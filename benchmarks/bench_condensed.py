@@ -1,0 +1,73 @@
+"""EXP-NUCLEUS — §5.3: a single tableau represents an exponential repair
+space.
+
+For the Example 5.1 family: 2^n repairs, but the nucleus has n tuples and
+answers conjunctive queries with the consistent answers directly.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.condensed.nucleus import certain_answers_on_nucleus, nucleus
+from repro.cqa.certain import certain_answers
+from repro.paper import example51_instance, example51_key
+from repro.relational import algebra
+from repro.repair.enumerate import count_repairs_by_components
+
+
+@pytest.mark.parametrize("n", [4, 16, 64])
+def test_nucleus_construction_scales(benchmark, n):
+    db = example51_instance(n)
+    g = benchmark(nucleus, db.relation("R"), [example51_key()])
+    assert len(g) == n  # linear-size representation of 2^n repairs
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["nucleus_tuples"] = len(g)
+    benchmark.extra_info["repairs_represented"] = 2 ** n if n <= 64 else None
+
+
+def test_nucleus_answers_equal_consistent_answers(benchmark):
+    db = example51_instance(5)
+    # add a conflict-free tuple so the certain answer set is non-trivial
+    db.relation("R").add(("stable", "b-clean"))
+    key = example51_key()
+    g = nucleus(db.relation("R"), [key])
+
+    def query(instance):
+        return algebra.project(instance, ["B"])
+
+    nucleus_answers = benchmark(certain_answers_on_nucleus, g, query)
+    reference = certain_answers(
+        db, [key], lambda d: algebra.project(d.relation("R"), ["B"])
+    )
+    assert nucleus_answers == reference == {("b-clean",)}
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_wsd_succinct_representation(benchmark, n):
+    """World-set decompositions ([4,5]): O(n) cells for 2^n worlds, with
+    count and certain answers computed without enumeration."""
+    from repro.condensed.wsd import decompose_repairs
+
+    db = example51_instance(n)
+    wsd = benchmark(decompose_repairs, db, [example51_key()])
+    assert wsd.world_count() == 2 ** n
+    assert wsd.size() <= 2 * n
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["worlds"] = wsd.world_count()
+    benchmark.extra_info["cells_stored"] = wsd.size()
+
+
+def test_condensed_series(benchmark):
+    rows = []
+    for n in (2, 8, 32):
+        db = example51_instance(n)
+        g = nucleus(db.relation("R"), [example51_key()])
+        rows.append([n, count_repairs_by_components(db, [example51_key()]), len(g)])
+    benchmark(lambda: nucleus(example51_instance(8).relation("R"), [example51_key()]))
+    print_table(
+        "EXP-NUCLEUS: repair space vs nucleus size",
+        ["n", "#repairs", "nucleus tuples"],
+        rows,
+    )
+    for n, repairs, size in rows:
+        assert repairs == 2 ** n and size == n

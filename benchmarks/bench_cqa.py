@@ -1,0 +1,64 @@
+"""EXP-CQA — §5.2: PTIME rewriting vs exhaustive repair enumeration.
+
+Validates the rewriting on a key-violating relation and shows the
+crossover the complexity results predict: enumeration cost explodes with
+the number of conflicts (2^k repairs) while the rewriting stays flat.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.cqa.certain import certain_answers
+from repro.cqa.rewriting import certain_sp
+from repro.deps.fd import FD
+from repro.relational.domains import STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.query import Base, Project
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def _conflicted_db(n_groups, conflicted_groups):
+    """n_groups key groups; the first `conflicted_groups` have 2 variants."""
+    schema = RelationSchema("R", [("K", STRING), ("V", STRING)])
+    rows = []
+    for i in range(n_groups):
+        rows.append((f"k{i}", f"v{i}"))
+        if i < conflicted_groups:
+            rows.append((f"k{i}", f"v{i}x"))
+    return DatabaseInstance(DatabaseSchema([schema]), {"R": rows})
+
+
+@pytest.mark.parametrize("conflicts", [2, 6, 10])
+def test_enumeration_cost_grows(benchmark, conflicts):
+    db = _conflicted_db(20, conflicts)
+    fd = FD("R", ["K"], ["V"])
+    query = Project(Base("R"), ["V"])
+    answers = benchmark(certain_answers, db, [fd], query)
+    assert len(answers) == 20 - conflicts
+    benchmark.extra_info["conflicts"] = conflicts
+    benchmark.extra_info["repairs"] = 2 ** conflicts
+
+
+@pytest.mark.parametrize("conflicts", [2, 10, 50])
+def test_rewriting_cost_flat(benchmark, conflicts):
+    db = _conflicted_db(100, conflicts)
+    answers = benchmark(certain_sp, db, "R", ["K"], ["V"])
+    assert len(answers) == 100 - conflicts
+    benchmark.extra_info["conflicts"] = conflicts
+
+
+def test_rewriting_equals_enumeration(benchmark):
+    rows = []
+    for conflicts in (1, 4, 8):
+        db = _conflicted_db(12, conflicts)
+        fd = FD("R", ["K"], ["V"])
+        reference = certain_answers(db, [fd], Project(Base("R"), ["V"]))
+        rewritten = certain_sp(db, "R", ["K"], ["V"])
+        assert rewritten == reference
+        rows.append([conflicts, 2 ** conflicts, len(rewritten)])
+    benchmark(lambda: certain_sp(_conflicted_db(12, 4), "R", ["K"], ["V"]))
+    print_table(
+        "EXP-CQA: rewriting == enumeration",
+        ["conflicted groups", "#repairs", "certain answers"],
+        rows,
+    )

@@ -1,0 +1,41 @@
+"""EX41 — Example 4.1: CFD consistency flips with the domain.
+
+{ψ1, ψ2} is unsatisfiable over dom(A) = bool and satisfiable the moment A
+ranges over an infinite domain — the interaction of pattern constants with
+finite domains that separates Theorems 4.1 and 4.3.
+"""
+
+from benchmarks.conftest import print_table
+from repro.cfd.consistency import find_witness_tuple, is_consistent
+from repro.paper import example41_cfds, example41_schema
+
+
+def test_ex41_bool_domain(benchmark):
+    result = benchmark(
+        is_consistent, example41_schema(True), example41_cfds(True)
+    )
+    assert result is False
+    benchmark.extra_info["domain"] = "bool"
+    benchmark.extra_info["consistent"] = result
+
+
+def test_ex41_infinite_domain(benchmark):
+    result = benchmark(
+        is_consistent, example41_schema(False), example41_cfds(False)
+    )
+    assert result is True
+    benchmark.extra_info["domain"] = "int"
+    benchmark.extra_info["consistent"] = result
+
+
+def test_ex41_witness_shape(benchmark):
+    witness = benchmark(
+        find_witness_tuple, example41_schema(False), example41_cfds(False)
+    )
+    # the witness avoids both pattern constants 1 and 0 on A
+    assert witness["A"] not in (0, 1)
+    print_table(
+        "Example 4.1: consistency of {ψ1, ψ2}",
+        ["dom(A)", "consistent"],
+        [["bool", False], ["int (infinite)", True]],
+    )

@@ -1,0 +1,93 @@
+"""EX42 — Example 4.2: propagation through the three-country union view.
+
+Σ0 ⊭σ0 f3 and Σ0 ⊭σ0 f3+i, yet Σ0 ⊨σ0 ϕ7 and Σ0 ⊨σ0 ϕ8: source FDs
+survive integration only as *conditional* dependencies.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.cfd.model import CFD, UNNAMED
+from repro.deps.fd import FD
+from repro.paper import example42_sources
+from repro.propagation.propagate import propagates
+from repro.propagation.views import tagged_union_view
+from repro.relational.domains import INT
+from repro.relational.schema import Attribute
+
+
+def _setup():
+    schema = example42_sources()
+    view = tagged_union_view(
+        [("R1", 44), ("R2", 1), ("R3", 31)], Attribute("CC", INT)
+    )
+    sigma = [
+        FD("R1", ["zip"], ["street"]),
+        FD("R1", ["AC"], ["city"]),
+        FD("R2", ["AC"], ["city"]),
+        FD("R3", ["AC"], ["city"]),
+    ]
+    name = view.output_schema(schema).name
+    return schema, view, sigma, name
+
+
+def test_ex42_all_four_checks(benchmark):
+    schema, view, sigma, name = _setup()
+    targets = {
+        "f3 (zip→street, unconditional)": CFD(
+            name, ["zip"], ["street"], [{"zip": UNNAMED, "street": UNNAMED}]
+        ),
+        "f3+i (AC→city, unconditional)": CFD(
+            name, ["AC"], ["city"], [{"AC": UNNAMED, "city": UNNAMED}]
+        ),
+        "ϕ7 (CC=44: zip→street)": CFD(
+            name, ["CC", "zip"], ["street"],
+            [{"CC": 44, "zip": UNNAMED, "street": UNNAMED}],
+        ),
+        "ϕ8 (CC=c: AC→city)": CFD(
+            name, ["CC", "AC"], ["city"],
+            [{"CC": c, "AC": UNNAMED, "city": UNNAMED} for c in (44, 31, 1)],
+        ),
+    }
+
+    def run():
+        return {
+            label: propagates(schema, sigma, view, cfd)
+            for label, cfd in targets.items()
+        }
+
+    outcome = benchmark(run)
+    assert outcome["f3 (zip→street, unconditional)"] is False
+    assert outcome["f3+i (AC→city, unconditional)"] is False
+    assert outcome["ϕ7 (CC=44: zip→street)"] is True
+    assert outcome["ϕ8 (CC=c: AC→city)"] is True
+    print_table(
+        "Example 4.2: Σ0 ⊨σ0 φ?",
+        ["view dependency", "propagated"],
+        sorted(outcome.items()),
+    )
+
+
+@pytest.mark.parametrize("branches", [3, 6, 12])
+def test_ex42_scaling_in_branches(benchmark, branches):
+    """Propagation cost grows with the number of union branches (branch
+    pairs are quadratic)."""
+    from repro.relational.domains import STRING
+    from repro.relational.schema import DatabaseSchema, RelationSchema
+
+    attrs = [("zip", STRING), ("street", STRING)]
+    schema = DatabaseSchema(
+        [RelationSchema(f"S{i}", attrs) for i in range(branches)]
+    )
+    view = tagged_union_view(
+        [(f"S{i}", 100 + i) for i in range(branches)], Attribute("CC", INT)
+    )
+    sigma = [FD(f"S{i}", ["zip"], ["street"]) for i in range(branches)]
+    name = view.output_schema(schema).name
+    target = CFD(
+        name, ["CC", "zip"], ["street"],
+        [{"CC": 100, "zip": UNNAMED, "street": UNNAMED}],
+    )
+    result = benchmark(propagates, schema, sigma, view, target)
+    assert result
+    benchmark.extra_info["branches"] = branches

@@ -1,0 +1,57 @@
+"""EX43 — Example 4.3 / Theorem 4.8: PTIME MD implication and RCK
+derivation.
+
+Σ1 ⊨m rck_i for i ∈ [1, 3], decided by the polynomial fact-saturation
+procedure; the derivation bench then enumerates all RCKs up to length 3.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.md.inference import md_implies
+from repro.md.model import MD
+from repro.md.rck import derive_rcks
+from repro.md.similarity import EQ
+from repro.paper import YB, YC, example31_mds, example32_rcks
+
+
+def test_ex43_implication(benchmark):
+    sigma = list(example31_mds().values())
+    rcks = example32_rcks()
+
+    def run():
+        return {name: md_implies(sigma, rck) for name, rck in rcks.items()}
+
+    outcome = benchmark(run)
+    assert outcome == {"rck1": True, "rck2": True, "rck3": True}
+    print_table(
+        "Example 4.3: Σ1 ⊨m rck_i",
+        ["relative key", "implied"],
+        sorted(outcome.items()),
+    )
+
+
+def test_ex43_rck_derivation(benchmark):
+    sigma = list(example31_mds().values())
+    rcks = benchmark(
+        lambda: derive_rcks(sigma, list(YC), list(YB), max_length=3)
+    )
+    assert len(rcks) >= 3
+    benchmark.extra_info["derived_rcks"] = len(rcks)
+
+
+@pytest.mark.parametrize("n_mds", [4, 16, 64])
+def test_md_implication_scales_polynomially(benchmark, n_mds):
+    """Theorem 4.8: the implication check stays polynomial as Σ grows."""
+    from repro.md.model import MATCH
+
+    # a ⇋-chain: each conclusion feeds the next premise
+    sigma = [MD("R", "S", [("a0", "b0", EQ)], ["a1"], ["b1"])]
+    sigma += [
+        MD("R", "S", [(f"a{i}", f"b{i}", MATCH)], [f"a{i+1}"], [f"b{i+1}"])
+        for i in range(1, n_mds)
+    ]
+    target = MD("R", "S", [("a0", "b0", EQ)], [f"a{n_mds}"], [f"b{n_mds}"])
+    result = benchmark(md_implies, sigma, target)
+    assert result
+    benchmark.extra_info["n_mds"] = n_mds

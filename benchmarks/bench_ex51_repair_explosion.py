@@ -1,0 +1,44 @@
+"""EX51 — Example 5.1: 2^n repairs from 2n tuples.
+
+Enumerates the repair space for small n and counts it via independent
+conflict components for larger n, reproducing the exponential blow-up
+that motivates condensed representations (§5.3).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.paper import example51_instance, example51_key
+from repro.repair.enumerate import count_repairs_by_components
+from repro.repair.xrepair import all_x_repairs
+
+
+@pytest.mark.parametrize("n", [2, 4, 6, 8])
+def test_ex51_enumeration(benchmark, n):
+    db = example51_instance(n)
+    repairs = benchmark(all_x_repairs, db, [example51_key()])
+    assert len(repairs) == 2 ** n
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["repairs"] = len(repairs)
+
+
+@pytest.mark.parametrize("n", [8, 16, 24])
+def test_ex51_component_counting(benchmark, n):
+    """Counting by components stays cheap where enumeration explodes."""
+    db = example51_instance(n)
+    count = benchmark(count_repairs_by_components, db, [example51_key()])
+    assert count == 2 ** n
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["repairs"] = count
+
+
+def test_ex51_series(benchmark):
+    rows = []
+    for n in (1, 2, 4, 8, 16):
+        db = example51_instance(n)
+        rows.append(
+            [n, 2 * n, count_repairs_by_components(db, [example51_key()])]
+        )
+    benchmark(lambda: count_repairs_by_components(example51_instance(8), [example51_key()]))
+    print_table("Example 5.1: |Dn| vs #repairs", ["n", "tuples", "repairs"], rows)
+    assert [r[2] for r in rows] == [2, 4, 16, 256, 65536]

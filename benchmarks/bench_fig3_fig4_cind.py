@@ -1,0 +1,45 @@
+"""FIG3 + FIG4 — Figures 3/4: CIND detection on the source/target example
+and on scaled synthetic order data.
+
+D1 ⊨ ϕ4, ϕ5; D1 ⊭ ϕ6 (t9's audio book has no 'audio'-format match).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.cfd.detect import detect_violations
+from repro.paper import fig3_instance, fig4_cinds
+from repro.workloads.orders import OrdersConfig, generate_orders
+
+
+def test_fig4_on_paper_instance(benchmark):
+    db = fig3_instance()
+    cinds = fig4_cinds()
+
+    def run():
+        return {name: list(c.violations(db)) for name, c in cinds.items()}
+
+    outcome = benchmark(run)
+    assert outcome["phi4"] == [] and outcome["phi5"] == []
+    assert len(outcome["phi6"]) == 1
+    print_table(
+        "Figure 4: D1 ⊨ ψ?",
+        ["CIND", "violations"],
+        [(name, len(v)) for name, v in sorted(outcome.items())],
+    )
+
+
+@pytest.mark.parametrize("n_orders", [300, 1200])
+def test_fig4_scaled(benchmark, n_orders):
+    workload = generate_orders(OrdersConfig(n_orders=n_orders, error_rate=0.04))
+    cinds = workload.cinds()
+    report = benchmark(detect_violations, workload.db, cinds)
+    assert not report.is_clean()
+    benchmark.extra_info["n_orders"] = n_orders
+    benchmark.extra_info["violations"] = report.total
+
+
+def test_fig4_clean_data_no_false_positives(benchmark):
+    workload = generate_orders(OrdersConfig(n_orders=400, error_rate=0.0))
+    report = benchmark(detect_violations, workload.clean_db, workload.cinds())
+    assert report.is_clean()

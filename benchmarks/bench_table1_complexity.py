@@ -1,0 +1,178 @@
+"""TAB1 — Table 1: complexity and finite axiomatizability, empirically.
+
+Complexity *classes* cannot be timed, so each row of Table 1 is
+reproduced as (i) the decision procedure implementing it, exercised at
+growing input sizes in the regime the row describes, and (ii) a
+correctness assertion that the procedure returns the right verdict.
+The shape to observe across sizes:
+
+* FD implication — linear-time closure, flat growth;
+* CFD consistency/implication without finite domains — polynomial
+  (propagation / seeded search);
+* CFD consistency with finite domains — exponential candidate search
+  (kept tiny);
+* CIND consistency — O(1); CIND implication — chase, whose work grows
+  with the dependency chain (PSPACE/EXPTIME in general);
+* eCFD consistency — NP search over set constants;
+* CFDs + CINDs — undecidable; the bounded checker reports its verdict
+  and the explored-node count.
+"""
+
+import pytest
+
+from repro.cfd.consistency import find_witness_tuple, is_consistent
+from repro.cfd.ecfd import ECFD, SetPattern, ecfd_is_consistent
+from repro.cfd.implication import cfd_implies
+from repro.cfd.model import CFD, UNNAMED
+from repro.cind.implication import cind_implies, consistency_is_trivial
+from repro.cind.interaction import Verdict, check_joint_consistency
+from repro.cind.model import CIND
+from repro.deps.fd import FD, implies
+from repro.relational.domains import BOOL, STRING
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def _chain_fds(n):
+    return [FD("R", [f"A{i}"], [f"A{i+1}"]) for i in range(n)]
+
+
+def _wide_schema(n, finite=0):
+    attrs = [(f"A{i}", STRING) for i in range(n + 1 - finite)]
+    attrs += [(f"F{i}", BOOL) for i in range(finite)]
+    return RelationSchema("R", attrs)
+
+
+@pytest.mark.parametrize("n", [20, 80, 320])
+def test_row_fd_implication_linear(benchmark, n):
+    """FD implication: O(n) closure."""
+    fds = _chain_fds(n)
+    target = FD("R", ["A0"], [f"A{n}"])
+    result = benchmark(implies, fds, target)
+    assert result
+    benchmark.extra_info["n"] = n
+
+
+@pytest.mark.parametrize("n", [5, 20, 60])
+def test_row_cfd_consistency_no_finite_domain(benchmark, n):
+    """CFD consistency without finite domains: quadratic propagation."""
+    schema = _wide_schema(n)
+    # a forcing chain: (A_i = c_i → A_{i+1} = c_{i+1}), seeded by an
+    # unconditional head — consistent, every constant propagates
+    cfds = [CFD("R", ["A0"], ["A1"], [{"A0": UNNAMED, "A1": "c1"}])]
+    cfds += [
+        CFD("R", [f"A{i}"], [f"A{i+1}"], [{f"A{i}": f"c{i}", f"A{i+1}": f"c{i+1}"}])
+        for i in range(1, n)
+    ]
+    witness = benchmark(find_witness_tuple, schema, cfds)
+    assert witness is not None
+    assert witness["A1"] == "c1"
+    benchmark.extra_info["n"] = n
+
+
+@pytest.mark.parametrize("n", [2, 4, 6])
+def test_row_cfd_consistency_finite_domains(benchmark, n):
+    """CFD consistency with finite domains: exponential candidate search
+    (NP-complete) — sizes kept small on purpose."""
+    schema = _wide_schema(1, finite=n)
+    # force each boolean F_i via a chain so the search must branch
+    cfds = []
+    for i in range(n - 1):
+        cfds.append(
+            CFD(
+                "R", [f"F{i}"], [f"F{i+1}"],
+                [{f"F{i}": True, f"F{i+1}": False},
+                 {f"F{i}": False, f"F{i+1}": True}],
+            )
+        )
+    result = benchmark(is_consistent, schema, cfds)
+    assert result  # alternating assignment exists
+    benchmark.extra_info["n_finite_attrs"] = n
+
+
+@pytest.mark.parametrize("n", [3, 6, 9])
+def test_row_cfd_implication(benchmark, n):
+    """CFD implication (coNP in general): transitive chain targets."""
+    schema = _wide_schema(n)
+    cfds = [
+        CFD(
+            "R", [f"A{i}"], [f"A{i+1}"],
+            [{f"A{i}": UNNAMED, f"A{i+1}": UNNAMED}],
+        )
+        for i in range(n)
+    ]
+    target = CFD("R", ["A0"], [f"A{n}"], [{"A0": UNNAMED, f"A{n}": UNNAMED}])
+    result = benchmark(cfd_implies, schema, cfds, target)
+    assert result
+    benchmark.extra_info["n"] = n
+
+
+def test_row_cind_consistency_constant(benchmark):
+    """CIND consistency: O(1) — always satisfiable."""
+    result = benchmark(consistency_is_trivial)
+    assert result
+
+
+@pytest.mark.parametrize("n", [4, 16, 48])
+def test_row_cind_implication_chase(benchmark, n):
+    """CIND implication: chase along an n-relation chain."""
+    relations = [RelationSchema(f"R{i}", [("a", STRING), ("b", STRING)]) for i in range(n + 1)]
+    schema = DatabaseSchema(relations)
+    sigma = [CIND(f"R{i}", ["a"], f"R{i+1}", ["a"]) for i in range(n)]
+    target = CIND("R0", ["a"], f"R{n}", ["a"])
+    result = benchmark(cind_implies, schema, sigma, target)
+    assert result
+    benchmark.extra_info["chain_length"] = n
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_row_ecfd_consistency(benchmark, n):
+    """eCFD consistency: NP search over the listed set constants."""
+    schema = RelationSchema(
+        "R", [(f"A{i}", STRING) for i in range(n + 1)]
+    )
+    ecfds = [
+        ECFD(
+            "R", [f"A{i}"], [f"A{i+1}"],
+            {f"A{i}": SetPattern({f"x{i}", f"y{i}"}),
+             f"A{i+1}": SetPattern({f"x{i+1}", f"y{i+1}"})},
+        )
+        for i in range(n)
+    ]
+    result = benchmark(ecfd_is_consistent, schema, ecfds)
+    assert result
+    benchmark.extra_info["n"] = n
+
+
+def test_row_cfd_plus_cind_bounded(benchmark):
+    """CFDs + CINDs: undecidable ⟹ bounded three-valued checker."""
+    schema = DatabaseSchema(
+        [
+            RelationSchema("R", [("a", STRING), ("b", STRING)]),
+            RelationSchema("S", [("c", STRING), ("d", STRING)]),
+        ]
+    )
+    cfds = [
+        CFD("S", ["c"], ["d"], [{"c": UNNAMED, "d": "x"}]),
+        CFD("S", ["c"], ["d"], [{"c": UNNAMED, "d": "y"}]),
+    ]
+    cinds = [CIND("R", ["a"], "S", ["c"])]
+    result = benchmark(
+        check_joint_consistency, schema, cfds, cinds, "R"
+    )
+    assert result.verdict == Verdict.INCONSISTENT
+    benchmark.extra_info["explored_nodes"] = result.explored
+    benchmark.extra_info["verdict"] = result.verdict.value
+
+
+def test_row_axiomatizability_summary(benchmark):
+    """Finite axiomatizability column: exercised by the inference-system
+    test modules; recorded here so the Table-1 bench run states the row."""
+    from repro.cfd.inference import derive_cfd  # noqa: F401  (CFDs: yes)
+    from repro.deps.armstrong import derive  # noqa: F401  (FDs: yes)
+    from repro.md.inference import md_implies  # noqa: F401  (MDs: yes)
+
+    # CFDs+CINDs: no finite axiomatization (undecidable implication); the
+    # library accordingly exposes only the bounded checker for the pair.
+    from repro.cind.interaction import check_joint_consistency  # noqa: F401
+
+    benchmark(lambda: None)

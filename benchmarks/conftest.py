@@ -1,0 +1,24 @@
+"""Benchmark fixtures and a tiny table printer.
+
+Every benchmark regenerates one artifact of the paper (figure, table, or
+quoted experimental claim); qualitative assertions pin the *shape* of the
+result (who wins, where crossovers fall) and ``benchmark.extra_info``
+records the measured series so `--benchmark-json` output carries them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Render a small ASCII table to stdout (visible with pytest -s)."""
+    rendered = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        widths = [max(w, len(c)) for w, c in zip(widths, row)]
+    print(f"\n== {title} ==")
+    print(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        print(" | ".join(c.ljust(w) for c, w in zip(row, widths)))

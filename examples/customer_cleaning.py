@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Scaled cleaning pipeline: generate → profile → detect → repair → verify.
+
+A downstream-user scenario on synthetic customer data with seeded errors
+(the 1%–5% rates the paper quotes):
+
+* discover CFDs from a clean sample (profiling, §1);
+* compare the detection power of FDs vs CFDs against ground truth;
+* repair with the cost-based heuristic and measure how many injected
+  errors were actually restored.
+
+Run:  python examples/customer_cleaning.py
+"""
+
+from repro.cfd import detect_violations, discover_cfds
+from repro.repair import repair_cfds
+from repro.workloads import CustomerConfig, generate_customers
+
+
+def recall(workload, dependencies) -> float:
+    report = detect_violations(workload.db, dependencies)
+    tuples = workload.db.relation("customer").tuples()
+    index_of = {t: i for i, t in enumerate(tuples)}
+    caught = {index_of[t] for _, t in report.violating_tuples()}
+    dirty = workload.dirty_row_indices()
+    return len(caught & dirty) / len(dirty) if dirty else 1.0
+
+
+def main() -> None:
+    config = CustomerConfig(n_tuples=1000, error_rate=0.04, seed=42)
+    workload = generate_customers(config)
+    print(
+        f"Generated {config.n_tuples} customers, "
+        f"{len(workload.errors)} cells corrupted "
+        f"({config.error_rate:.0%} tuple error rate)."
+    )
+
+    print("\n-- Profiling: discover rules from a clean sample --")
+    sample = workload.clean_db.relation("customer")
+    discovered = discover_cfds(
+        sample, max_lhs=2, min_support=10, rhs_attributes=["city"]
+    )
+    for d in discovered[:5]:
+        print(f"  {d!r}")
+    print(f"  ... {len(discovered)} rules discovered in total")
+
+    print("\n-- Detection: FDs vs CFDs --")
+    print(f"  FD  recall: {recall(workload, workload.fds()):.3f}")
+    print(f"  CFD recall: {recall(workload, workload.cfds()):.3f}")
+
+    print("\n-- Repair: cost-based value modification --")
+    result = repair_cfds(workload.db, workload.cfds())
+    print(f"  {result!r}")
+
+    repaired = {t["phn"]: t for t in result.repaired.relation("customer")}
+    clean = workload.clean_db.relation("customer").tuples()
+    restored = sum(
+        1
+        for e in workload.errors
+        if repaired[clean[e.row_index]["phn"]][e.attribute] == e.clean
+    )
+    print(
+        f"  restored {restored}/{len(workload.errors)} injected errors "
+        "to the ground-truth value"
+    )
+    after = detect_violations(result.repaired, workload.cfds())
+    print(f"  violations remaining: {after.total}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Dependency propagation for data integration (paper §4.1, Example 4.2).
+
+Three customer sources — UK (R1), US (R2), Netherlands (R3) — are
+integrated by a union view that tags each tuple with its country code.
+Source FDs do *not* survive integration unconditionally (area code 20 is
+both London and Amsterdam); they survive as *conditional* dependencies.
+
+This example (1) decides propagation symbolically, (2) materializes the
+view on concrete data to show the propagated CFDs holding and the naive
+FDs failing, and (3) uses CINDs to check source-to-target containment.
+
+Run:  python examples/data_exchange_propagation.py
+"""
+
+from repro.cfd.model import CFD, UNNAMED
+from repro.deps.base import holds
+from repro.deps.fd import FD
+from repro.paper import example42_sources
+from repro.propagation import propagates, tagged_union_view
+from repro.relational.domains import INT
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import Attribute, DatabaseSchema
+
+
+def main() -> None:
+    schema = example42_sources()
+    view = tagged_union_view(
+        [("R1", 44), ("R2", 1), ("R3", 31)], Attribute("CC", INT)
+    )
+    view_schema = view.output_schema(schema)
+    print(f"Integration view schema: {view_schema!r}")
+
+    sigma = [
+        FD("R1", ["zip"], ["street"]),   # f3: UK only
+        FD("R1", ["AC"], ["city"]),      # f4
+        FD("R2", ["AC"], ["city"]),      # f5
+        FD("R3", ["AC"], ["city"]),      # f6
+    ]
+    name = view_schema.name
+    candidates = {
+        "f3: zip → street (unconditional)": CFD(
+            name, ["zip"], ["street"], [{"zip": UNNAMED, "street": UNNAMED}]
+        ),
+        "AC → city (unconditional)": CFD(
+            name, ["AC"], ["city"], [{"AC": UNNAMED, "city": UNNAMED}]
+        ),
+        "ϕ7: (CC=44) zip → street": CFD(
+            name, ["CC", "zip"], ["street"],
+            [{"CC": 44, "zip": UNNAMED, "street": UNNAMED}],
+        ),
+        "ϕ8: (CC=c) AC → city": CFD(
+            name, ["CC", "AC"], ["city"],
+            [{"CC": c, "AC": UNNAMED, "city": UNNAMED} for c in (44, 31, 1)],
+        ),
+    }
+
+    print("\nPropagation analysis (Σ0 ⊨σ0 φ?):")
+    for label, cfd in candidates.items():
+        print(f"  {label:<38} {propagates(schema, sigma, view, cfd)}")
+
+    print("\nConcrete check — sources where area code 20 is reused:")
+    db = DatabaseInstance(schema)
+    db.relation("R1").add(("EH4 8LE", "Mayfield", 131, "EDI"))
+    db.relation("R1").add(("SW1A 1AA", "Downing", 20, "LDN"))
+    db.relation("R2").add(("07974", "Mtn Ave", 908, "MH"))
+    db.relation("R3").add(("1011 AB", "Damrak", 20, "AMS"))
+    assert holds(db, sigma)
+    materialized = view.evaluate(db)
+    print(materialized.pretty())
+
+    view_db = DatabaseInstance(
+        DatabaseSchema([materialized.schema]),
+        {materialized.schema.name: materialized.tuples()},
+    )
+    naive = candidates["AC → city (unconditional)"]
+    conditional = candidates["ϕ8: (CC=c) AC → city"]
+    print(f"\n  view ⊨ AC → city?            {naive.holds_on(view_db)}"
+          "   (20 → LDN vs AMS)")
+    print(f"  view ⊨ ϕ8 (conditional)?     {conditional.holds_on(view_db)}")
+
+
+if __name__ == "__main__":
+    main()

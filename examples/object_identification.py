@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Object identification with matching dependencies (paper §3).
+
+The fraud-detection scenario: card and billing records describe the same
+people under different representations ("John Smith" vs "J. Smith",
+"Mountain Avenue" vs "Mtn Ave").  The pipeline:
+
+1. state the matching rules φ1–φ4 of Example 3.1 as MDs;
+2. derive relative candidate keys from them by generic reasoning
+   (Theorem 4.8 / Example 4.3) — including the paper's derived rule
+   ([LN, tel, FN], [SN, phn, FN]);
+3. match with and without the derived rules and compare quality.
+
+Run:  python examples/object_identification.py
+"""
+
+from repro.md import ObjectIdentifier, derive_rcks, md_implies
+from repro.paper import YB, YC, example31_mds, example32_rcks
+from repro.workloads import CardBillingConfig, generate_card_billing
+
+
+def main() -> None:
+    sigma = list(example31_mds().values())
+    print("Matching dependencies (Example 3.1):")
+    for md in sigma:
+        print(f"  {md!r}")
+
+    print("\nImplication analysis (Example 4.3): Σ1 ⊨m rck_i ?")
+    for name, rck in example32_rcks().items():
+        print(f"  {name}: {md_implies(sigma, rck)}")
+
+    print("\nDeriving relative candidate keys from Σ1 ...")
+    rcks = derive_rcks(sigma, list(YC), list(YB), max_length=3)
+    for rck in rcks:
+        premises = " ∧ ".join(repr(p) for p in rck.premises)
+        print(f"  RCK: {premises}")
+
+    workload = generate_card_billing(
+        CardBillingConfig(n_people=150, unrelated_billing=50, seed=7)
+    )
+    print(
+        f"\nMatching {len(workload.card)} card holders against "
+        f"{len(workload.billing)} billing records "
+        f"({len(workload.truth)} true pairs)..."
+    )
+    target = (list(YC), list(YB))
+    base_report = ObjectIdentifier(sigma, target=target, chain=False).identify(
+        workload.card, workload.billing
+    )
+    full_report = ObjectIdentifier(
+        sigma + rcks, target=target, chain=False
+    ).identify(workload.card, workload.billing)
+    chained_report = ObjectIdentifier(sigma, target=target).identify(
+        workload.card, workload.billing
+    )
+    print(f"\n  {'rule set':<32} {'precision':>9} {'recall':>7} {'F1':>6}")
+    for label, report in (
+        ("MDs φ1–φ4 (direct)", base_report),
+        ("+ derived RCKs (direct)", full_report),
+        ("MDs φ1–φ4 (chaining engine)", chained_report),
+    ):
+        q = report.quality(workload.truth)
+        print(
+            f"  {label:<32} {q['precision']:>9.3f} "
+            f"{q['recall']:>7.3f} {q['f1']:>6.3f}"
+        )
+    gained = len(full_report.matches - base_report.matches)
+    print(f"\n  true matches found only via derived rules: {gained}")
+    print(
+        "  (direct = each rule applied on source values, the practical\n"
+        "   mode of §3.3; derived RCKs compile the reasoning chain into\n"
+        "   direct comparisons — §3.1's 'derived comparison vectors')"
+    )
+
+
+if __name__ == "__main__":
+    main()

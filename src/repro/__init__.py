@@ -1,0 +1,46 @@
+"""repro — conditional and matching dependencies for data quality.
+
+A from-scratch implementation of the framework surveyed in
+
+    Wenfei Fan. "Dependencies Revisited for Improving Data Quality."
+    PODS 2008. DOI 10.1145/1376916.1376940
+
+Subpackages
+-----------
+``repro.relational``   typed domains, schemas, instances, algebra, queries
+``repro.deps``         FDs, INDs, denial constraints, Armstrong proofs
+``repro.cfd``          conditional functional dependencies and eCFDs (§2.1/§2.3)
+``repro.cind``         conditional inclusion dependencies (§2.2)
+``repro.md``           matching dependencies and relative candidate keys (§3)
+``repro.repair``       data repairing: X/S/U repairs, cost model (§5.1)
+``repro.cqa``          consistent query answering (§5.2)
+``repro.propagation``  CFD propagation through SPCU views (§4.1)
+``repro.condensed``    condensed representations of repairs (§5.3)
+``repro.workloads``    synthetic data generators with error injection
+``repro.paper``        the paper's figures and examples as objects
+"""
+
+from repro.errors import (
+    AnalysisBoundExceeded,
+    DependencyError,
+    DomainError,
+    InconsistentDependenciesError,
+    QueryError,
+    RepairError,
+    ReproError,
+    SchemaError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisBoundExceeded",
+    "DependencyError",
+    "DomainError",
+    "InconsistentDependenciesError",
+    "QueryError",
+    "RepairError",
+    "ReproError",
+    "SchemaError",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Conditional functional dependencies (paper §2.1, §2.3, §4.1):
+model, detection, SQL generation, consistency, implication, inference,
+covers, eCFDs and discovery."""
+
+from repro.cfd.consistency import (
+    consistency_by_relation,
+    find_witness_tuple,
+    is_consistent,
+)
+from repro.cfd.detect import DetectionReport, detect_violations, violating_tuples
+from repro.cfd.discovery import DiscoveredCFD, discover_cfds
+from repro.cfd.ecfd import ANY, ECFD, SetPattern, ecfd_implies, ecfd_is_consistent
+from repro.cfd.implication import cfd_implies, find_counterexample, minimal_cover_cfds
+from repro.cfd.model import CFD, UNNAMED, PatternTableau, PatternTuple, fd_as_cfd, matches
+from repro.cfd.normal_form import classify, denormalize, normalize
+from repro.cfd.sqlgen import pair_sql, single_tuple_sql, violation_sql
+
+__all__ = [
+    "ANY",
+    "CFD",
+    "DetectionReport",
+    "DiscoveredCFD",
+    "ECFD",
+    "PatternTableau",
+    "PatternTuple",
+    "SetPattern",
+    "UNNAMED",
+    "cfd_implies",
+    "classify",
+    "denormalize",
+    "normalize",
+    "consistency_by_relation",
+    "detect_violations",
+    "discover_cfds",
+    "ecfd_implies",
+    "ecfd_is_consistent",
+    "fd_as_cfd",
+    "find_counterexample",
+    "find_witness_tuple",
+    "is_consistent",
+    "matches",
+    "minimal_cover_cfds",
+    "pair_sql",
+    "single_tuple_sql",
+    "violating_tuples",
+    "violation_sql",
+]

@@ -1,0 +1,158 @@
+"""CFD discovery (profiling) from data.
+
+The paper's introduction motivates "profiling methods for dependencies ...
+for deducing and discovering rules for cleaning the data".  This module
+implements a levelwise discovery algorithm in the spirit of CTANE/CFDMiner:
+given an instance, a maximum LHS size and support/confidence thresholds, it
+finds
+
+* **variable CFDs** — embedded FDs that hold on the whole relation
+  (pattern all '_');
+* **conditioned CFDs** — embedded FDs that hold on the subset selected by
+  pinning some LHS attributes to frequent constants (the `zip → street
+  when CC = 44` shape of the running example);
+* **constant CFDs** — fully-constant pattern rows with sufficient support.
+
+Discovery is exponential in the LHS bound by nature; the implementation
+prunes by support and skips supersets of already-found LHSs for the same
+RHS (minimality).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, FrozenSet, List, Sequence, Set, Tuple as PyTuple
+
+from repro.cfd.model import CFD, UNNAMED, PatternTableau
+from repro.relational.instance import RelationInstance
+
+__all__ = ["DiscoveredCFD", "discover_cfds"]
+
+
+class DiscoveredCFD:
+    """A discovered rule with its support statistics."""
+
+    __slots__ = ("cfd", "support", "kind")
+
+    def __init__(self, cfd: CFD, support: int, kind: str):
+        self.cfd = cfd
+        self.support = support
+        self.kind = kind  # "variable" | "conditioned" | "constant"
+
+    def __repr__(self) -> str:
+        return f"DiscoveredCFD({self.kind}, support={self.support}, {self.cfd!r})"
+
+
+def _fd_holds_on(groups: Dict[tuple, List], rhs_index: List[str]) -> bool:
+    for group in groups.values():
+        first = group[0][rhs_index]
+        if any(t[rhs_index] != first for t in group[1:]):
+            return False
+    return True
+
+
+def discover_cfds(
+    instance: RelationInstance,
+    max_lhs: int = 2,
+    min_support: int = 2,
+    rhs_attributes: Sequence[str] | None = None,
+) -> List[DiscoveredCFD]:
+    """Discover CFDs holding on ``instance``.
+
+    ``min_support`` applies to the tuples a conditioned/constant pattern
+    selects.  Variable CFDs require the embedded FD to hold on the entire
+    instance (support = |D|).
+    """
+    schema = instance.schema
+    attrs = list(schema.attribute_names)
+    rhs_pool = list(rhs_attributes) if rhs_attributes else attrs
+    tuples = instance.tuples()
+    found: List[DiscoveredCFD] = []
+    # minimal variable-FD LHSs found per RHS attribute (for pruning)
+    minimal_lhs: Dict[str, List[FrozenSet[str]]] = {a: [] for a in rhs_pool}
+
+    for size in range(1, max_lhs + 1):
+        for lhs in itertools.combinations(attrs, size):
+            lhs_list = list(lhs)
+            groups: Dict[tuple, List] = {}
+            for t in tuples:
+                groups.setdefault(t[lhs_list], []).append(t)
+            for rhs in rhs_pool:
+                if rhs in lhs:
+                    continue
+                if any(prev <= set(lhs) for prev in minimal_lhs[rhs]):
+                    continue  # superset of a minimal variable CFD
+                rhs_index = [rhs]
+                if _fd_holds_on(groups, rhs_index):
+                    row = {a: UNNAMED for a in lhs_list + [rhs]}
+                    cfd = CFD(
+                        schema.name,
+                        lhs_list,
+                        [rhs],
+                        PatternTableau(tuple(lhs_list) + (rhs,), [row]),
+                        name=f"discovered-var:{lhs_list}->{rhs}",
+                    )
+                    found.append(DiscoveredCFD(cfd, len(tuples), "variable"))
+                    minimal_lhs[rhs].append(frozenset(lhs))
+                    continue
+                # conditioned: pin a strict subset of the LHS to constants
+                found.extend(
+                    _conditioned(
+                        schema.name, tuples, lhs_list, rhs, min_support
+                    )
+                )
+                # constant rows: X-groups that agree on the RHS
+                for key, group in groups.items():
+                    if len(group) < min_support:
+                        continue
+                    values = {t[rhs] for t in group}
+                    if len(values) == 1:
+                        row = dict(zip(lhs_list, key))
+                        row[rhs] = values.pop()
+                        cfd = CFD(
+                            schema.name,
+                            lhs_list,
+                            [rhs],
+                            PatternTableau(tuple(lhs_list) + (rhs,), [row]),
+                            name=f"discovered-const:{lhs_list}->{rhs}@{key}",
+                        )
+                        found.append(DiscoveredCFD(cfd, len(group), "constant"))
+    return found
+
+
+def _conditioned(
+    relation_name: str,
+    tuples: List,
+    lhs_list: List[str],
+    rhs: str,
+    min_support: int,
+) -> List[DiscoveredCFD]:
+    """FDs holding on the subset pinned by one LHS attribute's constant."""
+    results: List[DiscoveredCFD] = []
+    if len(lhs_list) < 2:
+        return results
+    for pin_attr in lhs_list:
+        free = [a for a in lhs_list if a != pin_attr]
+        by_pin: Dict[Any, List] = {}
+        for t in tuples:
+            by_pin.setdefault(t[pin_attr], []).append(t)
+        for pin_value, selected in by_pin.items():
+            if len(selected) < min_support:
+                continue
+            groups: Dict[tuple, List] = {}
+            for t in selected:
+                groups.setdefault(t[free], []).append(t)
+            # The conditioned FD must not be trivially variable overall —
+            # callers filter that; here just require it holds on the subset.
+            if _fd_holds_on(groups, [rhs]):
+                row: Dict[str, Any] = {a: UNNAMED for a in lhs_list + [rhs]}
+                row[pin_attr] = pin_value
+                cfd = CFD(
+                    relation_name,
+                    lhs_list,
+                    [rhs],
+                    PatternTableau(tuple(lhs_list) + (rhs,), [row]),
+                    name=f"discovered-cond:{pin_attr}={pin_value!r}:{lhs_list}->{rhs}",
+                )
+                results.append(DiscoveredCFD(cfd, len(selected), "conditioned"))
+    return results

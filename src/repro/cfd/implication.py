@@ -1,0 +1,238 @@
+"""CFD implication analysis (paper §4.1, Theorems 4.2 and 4.3).
+
+Σ ⊨ ϕ iff every instance satisfying Σ satisfies ϕ.  Implication is
+coNP-complete for CFDs; this module implements the exact complement search:
+
+    Σ ⊭ ϕ  iff  a *two-tuple* counterexample exists,
+
+because (i) any D ⊨ Σ violating ϕ contains a sub-instance of ≤ 2 tuples
+that witnesses the ϕ-violation, and (ii) CFD satisfaction is closed under
+sub-instances, so that witness still satisfies Σ.
+
+The value space is finite and exact for the same reason as in
+:mod:`repro.cfd.consistency`: only (a) equality with pattern constants and
+(b) equality between the two tuples on an attribute matter, so per
+attribute it suffices to consider the constants mentioned in Σ ∪ {ϕ} plus
+*two* fresh values (two, so the tuples can differ on a non-constant value).
+
+The search backtracks attribute-by-attribute assigning a (t1, t2) value
+pair at each level and pruning with every fully-assigned pattern row of Σ,
+seeded with the target's LHS equality (t1[X] = t2[X] ≍ tp[X]).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from repro.cfd.consistency import attribute_constants, candidate_values
+from repro.cfd.model import CFD, UNNAMED, PatternTuple
+from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.tuples import Tuple
+
+__all__ = ["cfd_implies", "find_counterexample", "minimal_cover_cfds"]
+
+Assignment = Dict[str, PyTuple[Any, Any]]  # attr -> (t1 value, t2 value)
+
+
+class _PairChecker:
+    """Incremental checker of the CFD pair+single semantics on {t1, t2}."""
+
+    def __init__(self, cfds: Sequence[CFD]):
+        self.rows: List[PyTuple[CFD, PatternTuple]] = [
+            (cfd, tp) for cfd in cfds for tp in cfd.tableau
+        ]
+
+    @staticmethod
+    def _lhs_status(
+        cfd: CFD, tp: PatternTuple, assignment: Assignment, which: int
+    ) -> Optional[bool]:
+        """Does t_<which> match tp on LHS?  None = not yet determined."""
+        result = True
+        for a in cfd.lhs:
+            if a not in assignment:
+                return None
+            expected = tp.get(a)
+            if expected is not UNNAMED and assignment[a][which] != expected:
+                result = False
+        return result
+
+    def violated(self, assignment: Assignment, complete_attrs: Set[str]) -> bool:
+        """True iff some row of Σ is *definitely* violated by the partial
+        assignment (all of the row's attributes are assigned)."""
+        for cfd, tp in self.rows:
+            attrs = set(cfd.lhs) | set(cfd.rhs)
+            if not attrs <= complete_attrs:
+                continue
+            for which in (0, 1):
+                if self._lhs_status(cfd, tp, assignment, which):
+                    for a in cfd.rhs:
+                        expected = tp.get(a)
+                        if expected is not UNNAMED and assignment[a][which] != expected:
+                            return True
+            # pair condition
+            t1_match = self._lhs_status(cfd, tp, assignment, 0)
+            t2_match = self._lhs_status(cfd, tp, assignment, 1)
+            if t1_match and t2_match and all(
+                assignment[a][0] == assignment[a][1] for a in cfd.lhs
+            ):
+                if any(assignment[a][0] != assignment[a][1] for a in cfd.rhs):
+                    return True
+        return False
+
+
+def _violates_target(assignment: Assignment, cfd: CFD, tp: PatternTuple) -> bool:
+    """Do (t1, t2) violate the target row tp (including t1 = t2 reading)?"""
+    for which in (0, 1):
+        if all(
+            tp.get(a) is UNNAMED or assignment[a][which] == tp.get(a)
+            for a in cfd.lhs
+        ):
+            for a in cfd.rhs:
+                expected = tp.get(a)
+                if expected is not UNNAMED and assignment[a][which] != expected:
+                    return True
+    if all(
+        assignment[a][0] == assignment[a][1]
+        and (tp.get(a) is UNNAMED or assignment[a][0] == tp.get(a))
+        for a in cfd.lhs
+    ):
+        if any(assignment[a][0] != assignment[a][1] for a in cfd.rhs):
+            return True
+    return False
+
+
+def find_counterexample(
+    schema: RelationSchema,
+    sigma: Sequence[CFD],
+    target: CFD,
+    search_limit: int = 5_000_000,
+) -> Optional[RelationInstance]:
+    """A ≤2-tuple instance satisfying Σ but violating ``target``, or None.
+
+    Exact decision of Σ ⊭ ϕ.  ``search_limit`` caps the number of visited
+    assignments (MemoryError beyond it — the problem is coNP-complete).
+    """
+    relevant_cfds = [c for c in sigma if c.relation_name == target.relation_name]
+    for cfd in relevant_cfds + [target]:
+        cfd.check_schema(schema)
+    constants = attribute_constants(list(relevant_cfds) + [target])
+    mentioned: Set[str] = set(constants)
+    for cfd in list(relevant_cfds) + [target]:
+        mentioned.update(cfd.lhs)
+        mentioned.update(cfd.rhs)
+    relevant = [a for a in schema.attribute_names if a in mentioned]
+    candidates = {
+        a: candidate_values(schema, a, constants.get(a, set()), fresh_count=2)
+        for a in relevant
+    }
+    checker = _PairChecker(relevant_cfds)
+
+    # Order attributes so target LHS comes first (strong seeding), then RHS.
+    ordered = (
+        [a for a in relevant if a in target.lhs]
+        + [a for a in relevant if a in target.rhs and a not in target.lhs]
+        + [a for a in relevant if a not in target.lhs and a not in target.rhs]
+    )
+
+    budget = [search_limit]
+
+    def pairs_for(attr: str, tp: PatternTuple) -> List[PyTuple[Any, Any]]:
+        values = candidates[attr]
+        if attr in target.lhs:
+            expected = tp.get(attr)
+            if expected is not UNNAMED:
+                # both tuples pinned to the pattern constant
+                return [(expected, expected)]
+            # t1[X] = t2[X]: equal pairs only
+            return [(v, v) for v in values]
+        return list(itertools.product(values, values))
+
+    for tp in target.tableau:
+        found = _search(
+            ordered, 0, {}, checker, pairs_for, tp, target, budget
+        )
+        if found is not None:
+            rows = []
+            for which in (0, 1):
+                data = {}
+                for attr in schema.attribute_names:
+                    if attr in found:
+                        data[attr] = found[attr][which]
+                    else:
+                        data[attr] = schema.domain(attr).fresh_value()
+                rows.append(data)
+            instance = RelationInstance(schema)
+            for row in rows:
+                instance.add(row)
+            return instance
+    return None
+
+
+def _search(
+    ordered: List[str],
+    index: int,
+    assignment: Assignment,
+    checker: _PairChecker,
+    pairs_for,
+    tp: PatternTuple,
+    target: CFD,
+    budget: List[int],
+) -> Optional[Assignment]:
+    if budget[0] <= 0:
+        raise MemoryError("CFD implication search budget exhausted")
+    budget[0] -= 1
+    complete = set(assignment)
+    if checker.violated(assignment, complete):
+        return None
+    if index == len(ordered):
+        if _violates_target(assignment, target, tp):
+            return dict(assignment)
+        return None
+    attr = ordered[index]
+    for pair in pairs_for(attr, tp):
+        assignment[attr] = pair
+        result = _search(
+            ordered, index + 1, assignment, checker, pairs_for, tp, target, budget
+        )
+        if result is not None:
+            return result
+        del assignment[attr]
+    return None
+
+
+def cfd_implies(
+    schema: RelationSchema,
+    sigma: Sequence[CFD],
+    target: CFD,
+    search_limit: int = 5_000_000,
+) -> bool:
+    """Decide Σ ⊨ ϕ (exact; coNP-complete in general, fast in practice)."""
+    return find_counterexample(schema, sigma, target, search_limit) is None
+
+
+def minimal_cover_cfds(
+    schema: RelationSchema, cfds: Sequence[CFD], search_limit: int = 5_000_000
+) -> List[CFD]:
+    """Remove redundant CFDs (and redundant pattern rows) from Σ.
+
+    As the paper notes, CFD sets "tend to be larger than their traditional
+    counterparts (due to pattern tableaux)", so covers matter for detector
+    performance.  Works row-at-a-time: a row is redundant if the remaining
+    rows imply its single-row CFD.
+    """
+    rows: List[CFD] = []
+    for cfd in cfds:
+        rows.extend(cfd.pattern_cfds())
+    kept: List[CFD] = list(rows)
+    changed = True
+    while changed:
+        changed = False
+        for row in list(kept):
+            rest = [r for r in kept if r is not row]
+            if cfd_implies(schema, rest, row, search_limit):
+                kept = rest
+                changed = True
+                break
+    return kept

@@ -1,0 +1,326 @@
+"""An inference system for CFDs (paper §4.1, Theorem 4.6).
+
+Theorem 4.6 states that CFDs taken alone are finitely axiomatizable; the
+system of [36] extends Armstrong's axioms with pattern-aware rules.  This
+module implements those rules as explicit, *individually sound* proof-step
+constructors plus a bounded forward-chaining prover:
+
+* ``reflexivity``      —  (X → A, tp) for A ∈ X with tp[A] on both sides;
+* ``augmentation``     —  extend the LHS with a fresh attribute patterned '_';
+* ``transitivity``     —  chain (X → Y, tp) and (Y → Z, tq) when the
+  patterns unify on Y (constants agree; '_' specializes);
+* ``instantiation``    —  replace an LHS '_' by any constant (a weaker,
+  hence implied, CFD);
+* ``rhs_weakening``    —  replace an RHS constant by '_';
+* ``finite_domain_case`` — if (X ∪ {B} → A, ...) holds for *every* value of
+  a finite dom(B) (one pattern row per value), drop B's constants to '_'
+  (the rule that makes finite domains interact with implication).
+
+Soundness of every rule is property-tested against the exact semantic
+decision procedure in :mod:`repro.cfd.implication`; the prover is therefore
+a certificate producer, while semantic completeness is delegated to the
+decision procedure (the paper's system is complete; the prover here is
+bounded search and hence complete only up to its step budget).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from repro.cfd.model import CFD, UNNAMED, PatternTableau, PatternTuple
+from repro.errors import DependencyError
+from repro.relational.schema import RelationSchema
+
+__all__ = [
+    "reflexivity",
+    "augmentation",
+    "transitivity",
+    "instantiation",
+    "rhs_weakening",
+    "finite_domain_case",
+    "derive_cfd",
+]
+
+
+def _single_row(cfd: CFD) -> PatternTuple:
+    if len(cfd.tableau) != 1:
+        raise DependencyError("inference rules operate on single-row CFDs; split first")
+    return cfd.tableau.rows[0]
+
+
+def _make(relation: str, lhs: Sequence[str], rhs: Sequence[str], row: Dict[str, Any]) -> CFD:
+    attrs = tuple(dict.fromkeys(list(lhs) + [a for a in rhs if a not in lhs]))
+    return CFD(relation, lhs, rhs, PatternTableau(attrs, [row]))
+
+
+def reflexivity(relation: str, lhs: Sequence[str], attr: str, pattern: Any = UNNAMED) -> CFD:
+    """(X → A, tp) with A ∈ X; trivially valid."""
+    if attr not in lhs:
+        raise DependencyError("reflexivity requires the RHS attribute to be in the LHS")
+    row = {a: UNNAMED for a in lhs}
+    row[attr] = pattern
+    return _make(relation, lhs, [attr], row)
+
+
+def augmentation(cfd: CFD, attribute: str) -> CFD:
+    """From (X → Y, tp) infer (X ∪ {B} → Y, tp + B='_')."""
+    row = _single_row(cfd).as_dict()
+    if attribute in cfd.lhs:
+        return cfd
+    row.setdefault(attribute, UNNAMED)
+    return _make(cfd.relation_name, list(cfd.lhs) + [attribute], cfd.rhs, row)
+
+
+def _unify(left: Any, right: Any) -> PyTuple[bool, Any]:
+    """Unify two pattern positions: constants must agree; '_' specializes."""
+    if left is UNNAMED:
+        return True, right
+    if right is UNNAMED:
+        return True, left
+    return (left == right), left
+
+
+def transitivity(first: CFD, second: CFD) -> Optional[CFD]:
+    """Chain (X → Y, tp) with (Y → Z, tq) into (X → Z, unified pattern).
+
+    Requires second.lhs ⊆ first.rhs ∪ first.lhs and pattern unification on
+    the shared attributes.  Returns None when the patterns clash (no sound
+    conclusion exists via this rule).
+    """
+    if first.relation_name != second.relation_name:
+        return None
+    row1 = _single_row(first)
+    row2 = _single_row(second)
+    available = set(first.lhs) | set(first.rhs)
+    if not set(second.lhs) <= available:
+        return None
+    combined: Dict[str, Any] = {}
+    for a in second.lhs:
+        ok, value = _unify(row1.get(a), row2.get(a))
+        if not ok:
+            return None
+        combined[a] = value
+    row: Dict[str, Any] = {a: row1.get(a) for a in first.lhs}
+    # The mid pattern must be *entailed by* what first guarantees on Y: if
+    # second requires a constant where first only guarantees '_', the chain
+    # is sound only if the LHS pattern pins it — we conservatively require
+    # unification success on every shared attribute (checked above).
+    for a in second.lhs:
+        if a in row:
+            ok, value = _unify(row[a], combined[a])
+            if not ok:
+                return None
+            row[a] = value
+    for a in second.rhs:
+        row[a] = row2.get(a)
+    # Attributes of second.lhs that came from first.rhs but where second
+    # demands a constant while first guarantees only '_' make the chain
+    # unsound; require: row2 constant on a ∈ first.rhs ⟹ row1[a] equals it.
+    for a in second.lhs:
+        if a in first.rhs and a not in first.lhs:
+            demanded = row2.get(a)
+            if demanded is not UNNAMED and row1.get(a) != demanded:
+                return None
+    return _make(first.relation_name, first.lhs, second.rhs, row)
+
+
+def instantiation(cfd: CFD, attribute: str, constant: Any) -> CFD:
+    """Specialize an LHS '_' to a constant — a weaker CFD, hence implied."""
+    if attribute not in cfd.lhs:
+        raise DependencyError("instantiation targets an LHS attribute")
+    row = _single_row(cfd).as_dict()
+    if row.get(attribute, UNNAMED) is not UNNAMED:
+        raise DependencyError("instantiation requires a '_' at the target position")
+    row[attribute] = constant
+    return _make(cfd.relation_name, cfd.lhs, cfd.rhs, row)
+
+
+def rhs_weakening(cfd: CFD, attribute: str) -> CFD:
+    """Replace an RHS constant with '_' — strictly weaker, hence implied."""
+    if attribute not in cfd.rhs:
+        raise DependencyError("rhs_weakening targets an RHS attribute")
+    row = _single_row(cfd).as_dict()
+    row[attribute] = UNNAMED
+    return _make(cfd.relation_name, cfd.lhs, cfd.rhs, row)
+
+
+def finite_domain_case(
+    schema: RelationSchema, cfds: Sequence[CFD], attribute: str
+) -> Optional[CFD]:
+    """Case analysis over a finite domain (the rule behind Example 4.1).
+
+    If single-row CFDs (X → Y, tp_b) exist for *every* b ∈ dom(B) — same X,
+    Y and pattern except tp_b[B] = b — conclude (X → Y, tp) with tp[B]='_'.
+    """
+    domain = schema.domain(attribute)
+    if not domain.is_finite:
+        return None
+    if not cfds:
+        return None
+    first = cfds[0]
+    base = _single_row(first).as_dict()
+    covered: Set[Any] = set()
+    for cfd in cfds:
+        if (cfd.relation_name, cfd.lhs, cfd.rhs) != (
+            first.relation_name,
+            first.lhs,
+            first.rhs,
+        ):
+            return None
+        row = _single_row(cfd).as_dict()
+        value = row.get(attribute, UNNAMED)
+        if value is UNNAMED:
+            return None
+        rest = {a: v for a, v in row.items() if a != attribute}
+        base_rest = {a: v for a, v in base.items() if a != attribute}
+        if rest != base_rest:
+            return None
+        covered.add(value)
+    if covered != set(domain.values()):
+        return None
+    conclusion = dict(base)
+    conclusion[attribute] = UNNAMED
+    return _make(first.relation_name, first.lhs, first.rhs, conclusion)
+
+
+class _DerivationStep:
+    __slots__ = ("cfd", "rule", "premises")
+
+    def __init__(self, cfd: CFD, rule: str, premises: PyTuple[int, ...] = ()):
+        self.cfd = cfd
+        self.rule = rule
+        self.premises = premises
+
+    def __repr__(self) -> str:
+        src = f" from {list(self.premises)}" if self.premises else ""
+        return f"{self.cfd!r} [{self.rule}{src}]"
+
+
+def derive_cfd(
+    schema: RelationSchema,
+    sigma: Sequence[CFD],
+    target: CFD,
+    max_steps: int = 2000,
+) -> Optional[List[_DerivationStep]]:
+    """Bounded forward-chaining proof search for Σ ⊢ ϕ.
+
+    Splits Σ and the target into single-row CFDs, saturates under
+    transitivity/augmentation/instantiation (with constants drawn from the
+    patterns in play), and checks whether every target row is derived.
+    Returns the derivation (a list of steps) or None if the budget runs out
+    — None does *not* mean Σ ⊭ ϕ; use the semantic procedure for decisions.
+    """
+    steps: List[_DerivationStep] = []
+    index: Dict[CFD, int] = {}
+
+    def absorb(cfd: CFD, rule: str, premises: PyTuple[int, ...] = ()) -> int:
+        if cfd in index:
+            return index[cfd]
+        steps.append(_DerivationStep(cfd, rule, premises))
+        index[cfd] = len(steps) - 1
+        return index[cfd]
+
+    rows: List[CFD] = []
+    for cfd in sigma:
+        for row_cfd in cfd.pattern_cfds():
+            rows.append(row_cfd)
+            absorb(row_cfd, "premise")
+    targets = target.pattern_cfds()
+
+    constants: Dict[str, Set[Any]] = {}
+    for cfd in list(rows) + targets:
+        row = _single_row(cfd)
+        for a in cfd.lhs + cfd.rhs:
+            v = row.get(a)
+            if v is not UNNAMED:
+                constants.setdefault(a, set()).add(v)
+
+    def subsumes(have: CFD, want: CFD) -> bool:
+        """Syntactic check: ``have`` implies ``want`` row-on-row (same FD,
+        have's LHS pattern no more specific, RHS pattern no less specific)."""
+        if (have.relation_name, set(have.lhs) <= set(want.lhs), have.rhs) != (
+            want.relation_name,
+            True,
+            want.rhs,
+        ):
+            return False
+        hrow, wrow = _single_row(have), _single_row(want)
+        for a in have.lhs:
+            hv, wv = hrow.get(a), wrow.get(a)
+            if hv is not UNNAMED and hv != wv:
+                return False
+        for a in have.rhs:
+            hv, wv = hrow.get(a), wrow.get(a)
+            if wv is not UNNAMED and hv != wv:
+                # want demands a constant the derivation does not guarantee
+                if not (hv is not UNNAMED and hv == wv):
+                    return False
+        return True
+
+    def satisfied() -> bool:
+        return all(
+            any(subsumes(steps[i].cfd, t) for i in range(len(steps)))
+            for t in targets
+        )
+
+    if satisfied():
+        return steps
+
+    frontier = list(range(len(steps)))
+    while frontier and len(steps) < max_steps:
+        i = frontier.pop(0)
+        current = steps[i].cfd
+        # augmentation toward target LHS attributes
+        for t in targets:
+            for attr in t.lhs:
+                if attr not in current.lhs:
+                    new = augmentation(current, attr)
+                    if new not in index:
+                        absorb(new, "augmentation", (i,))
+                        frontier.append(index[new])
+        # instantiation with known constants
+        row = _single_row(current)
+        for attr in current.lhs:
+            if row.get(attr) is UNNAMED:
+                for constant in sorted(constants.get(attr, ()), key=repr):
+                    new = instantiation(current, attr, constant)
+                    if new not in index:
+                        absorb(new, "instantiation", (i,))
+                        frontier.append(index[new])
+        # transitivity with everything derived so far
+        for j in range(len(steps)):
+            for first, second, pair in (
+                (steps[i].cfd, steps[j].cfd, (i, j)),
+                (steps[j].cfd, steps[i].cfd, (j, i)),
+            ):
+                chained = transitivity(first, second)
+                if chained is not None and chained not in index:
+                    absorb(chained, "transitivity", pair)
+                    frontier.append(index[chained])
+        # finite-domain case analysis on attributes with finite domains
+        for attr in set(a for c in rows for a in c.lhs):
+            if not schema.domain(attr).is_finite:
+                continue
+            group: Dict[PyTuple, List[CFD]] = {}
+            for k in range(len(steps)):
+                c = steps[k].cfd
+                if attr in c.lhs:
+                    r = _single_row(c).as_dict()
+                    if r.get(attr, UNNAMED) is not UNNAMED:
+                        key = (
+                            c.lhs,
+                            c.rhs,
+                            tuple(sorted(
+                                (a, repr(v)) for a, v in r.items() if a != attr
+                            )),
+                        )
+                        group.setdefault(key, []).append(c)
+            for members in group.values():
+                merged = finite_domain_case(schema, members, attr)
+                if merged is not None and merged not in index:
+                    premises = tuple(index[m] for m in members)
+                    absorb(merged, "finite-domain-case", premises)
+                    frontier.append(index[merged])
+        if satisfied():
+            return steps
+    return steps if satisfied() else None

@@ -1,0 +1,90 @@
+"""CFD normal form.
+
+The analyses of [36] work on CFDs in *normal form*: a single attribute on
+the right-hand side and a single pattern row.  This module provides the
+equivalence-preserving conversions both ways:
+
+* :func:`normalize` — split every CFD into single-RHS, single-row CFDs;
+* :func:`denormalize` — regroup rows that share an embedded FD into one
+  pattern tableau (the compact presentation of Figure 2, where ϕ2 carries
+  f1, cfd2 and cfd3 in one tableau);
+* :func:`classify` — partition a CFD set into constant CFDs (fully
+  constant patterns), variable CFDs (no RHS constants) and mixed ones,
+  the split that drives the detection/repair strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple as PyTuple
+
+from repro.cfd.model import CFD, UNNAMED, PatternTableau, PatternTuple
+
+__all__ = ["normalize", "denormalize", "classify", "equivalent_presentation"]
+
+
+def normalize(cfds: Sequence[CFD]) -> List[CFD]:
+    """Split into single-RHS-attribute, single-pattern-row CFDs."""
+    out: List[CFD] = []
+    for cfd in cfds:
+        for row_index, tp in enumerate(cfd.tableau):
+            for attr in cfd.rhs:
+                attrs = tuple(cfd.lhs) + ((attr,) if attr not in cfd.lhs else ())
+                row = {a: tp.get(a) for a in attrs}
+                out.append(
+                    CFD(
+                        cfd.relation_name,
+                        cfd.lhs,
+                        [attr],
+                        PatternTableau(attrs, [row]),
+                        name=f"{cfd.name}#r{row_index}:{attr}",
+                    )
+                )
+    return out
+
+
+def denormalize(cfds: Sequence[CFD]) -> List[CFD]:
+    """Group single-row CFDs sharing (relation, LHS, RHS) into tableaux."""
+    grouped: Dict[PyTuple, List[PatternTuple]] = {}
+    order: List[PyTuple] = []
+    for cfd in cfds:
+        key = (cfd.relation_name, cfd.lhs, cfd.rhs)
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].extend(cfd.tableau.rows)
+    out: List[CFD] = []
+    for key in order:
+        relation, lhs, rhs = key
+        attrs = tuple(lhs) + tuple(a for a in rhs if a not in lhs)
+        # drop duplicate rows while preserving order
+        seen: Dict[PatternTuple, None] = {}
+        for row in grouped[key]:
+            seen.setdefault(row, None)
+        out.append(
+            CFD(relation, lhs, rhs, PatternTableau(attrs, list(seen)))
+        )
+    return out
+
+
+def classify(cfds: Sequence[CFD]) -> Dict[str, List[CFD]]:
+    """Partition normalized CFDs into constant / variable / mixed."""
+    result: Dict[str, List[CFD]] = {"constant": [], "variable": [], "mixed": []}
+    for cfd in normalize(cfds):
+        if cfd.is_constant():
+            result["constant"].append(cfd)
+        elif cfd.is_variable():
+            result["variable"].append(cfd)
+        else:
+            result["mixed"].append(cfd)
+    return result
+
+
+def equivalent_presentation(
+    schema, original: Sequence[CFD], transformed: Sequence[CFD]
+) -> bool:
+    """Check two CFD sets are logically equivalent (mutual implication)."""
+    from repro.cfd.implication import cfd_implies
+
+    return all(
+        cfd_implies(schema, list(original), c) for c in transformed
+    ) and all(cfd_implies(schema, list(transformed), c) for c in original)

@@ -1,0 +1,100 @@
+"""SQL generation for CFD violation detection.
+
+[36] shows that all violations of a CFD (even with a large tableau) can be
+found with a *pair* of SQL queries: one for single-tuple violations against
+RHS pattern constants, one GROUP BY query for pair violations of the
+embedded FD on the matching subset.  This module emits that SQL as text, so
+the detectors can be pushed into any RDBMS; the pattern tableau is inlined
+as a VALUES list exactly as in the paper's encoding.
+
+The in-memory detector (:mod:`repro.cfd.detect`) remains the reference
+implementation; tests cross-check the generated SQL against it by executing
+the SQL with Python's :mod:`sqlite3`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple as PyTuple
+
+from repro.cfd.model import CFD, UNNAMED
+
+__all__ = ["violation_sql", "single_tuple_sql", "pair_sql", "tableau_values_sql"]
+
+#: Name used for the inlined pattern-tableau subquery.
+_TABLEAU_ALIAS = "tp"
+
+
+def _sql_literal(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return str(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def tableau_values_sql(cfd: CFD) -> str:
+    """The pattern tableau as a CTE over a VALUES list, NULL encoding '_'.
+
+    Columns are named ``p_<attr>`` to avoid clashing with data columns; the
+    CTE form (``WITH tp(...) AS (VALUES ...)``) is portable across sqlite,
+    PostgreSQL and friends.
+    """
+    attrs = list(cfd.lhs) + [a for a in cfd.rhs if a not in cfd.lhs]
+    rows: List[str] = []
+    for tp in cfd.tableau:
+        cells = []
+        for a in attrs:
+            v = tp.get(a)
+            cells.append("NULL" if v is UNNAMED else _sql_literal(v))
+        rows.append("(" + ", ".join(cells) + ")")
+    columns = ", ".join(f"p_{a}" for a in attrs)
+    return (
+        f"WITH {_TABLEAU_ALIAS}({columns}) AS (VALUES {', '.join(rows)})"
+    )
+
+
+def _match_condition(table: str, attrs: PyTuple[str, ...]) -> str:
+    """t[attrs] ≍ tp[attrs]: each position equals the pattern or pattern is NULL."""
+    clauses = [
+        f"({_TABLEAU_ALIAS}.p_{a} IS NULL OR {table}.{a} = {_TABLEAU_ALIAS}.p_{a})"
+        for a in attrs
+    ]
+    return " AND ".join(clauses) if clauses else "1=1"
+
+
+def single_tuple_sql(cfd: CFD) -> str:
+    """Query Q1 of [36]: tuples matching tp[X] whose Y clashes a constant."""
+    table = cfd.relation_name
+    mismatch = " OR ".join(
+        f"({_TABLEAU_ALIAS}.p_{a} IS NOT NULL AND {table}.{a} <> {_TABLEAU_ALIAS}.p_{a})"
+        for a in cfd.rhs
+    )
+    return (
+        f"{tableau_values_sql(cfd)} "
+        f"SELECT {table}.* FROM {table}, {_TABLEAU_ALIAS} "
+        f"WHERE {_match_condition(table, cfd.lhs)} AND ({mismatch})"
+    )
+
+
+def pair_sql(cfd: CFD) -> str:
+    """Query Q2 of [36]: X-groups (within a pattern) with > 1 distinct Y value."""
+    table = cfd.relation_name
+    group_cols = ", ".join(f"{table}.{a}" for a in cfd.lhs) or "1"
+    distinct_checks = " OR ".join(
+        f"COUNT(DISTINCT {table}.{a}) > 1" for a in cfd.rhs
+    )
+    select_cols = group_cols if cfd.lhs else "COUNT(*)"
+    return (
+        f"{tableau_values_sql(cfd)} "
+        f"SELECT {select_cols} FROM {table}, {_TABLEAU_ALIAS} "
+        f"WHERE {_match_condition(table, cfd.lhs)} "
+        f"GROUP BY {group_cols} HAVING {distinct_checks}"
+    )
+
+
+def violation_sql(cfd: CFD) -> PyTuple[str, str]:
+    """The (single-tuple, pair) query pair detecting all violations of ϕ."""
+    return single_tuple_sql(cfd), pair_sql(cfd)

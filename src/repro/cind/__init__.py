@@ -1,0 +1,29 @@
+"""Conditional inclusion dependencies (paper §2.2, §4.1): model, detection,
+chase, implication, and the CFD+CIND interaction heuristics."""
+
+from repro.cind.chase import ChaseState, LabelledNull, chase
+from repro.cind.implication import (
+    cind_implies,
+    consistency_is_trivial,
+    seed_realizable,
+)
+from repro.cind.interaction import (
+    InteractionResult,
+    Verdict,
+    check_joint_consistency,
+)
+from repro.cind.model import CIND, ind_as_cind
+
+__all__ = [
+    "CIND",
+    "ChaseState",
+    "InteractionResult",
+    "LabelledNull",
+    "Verdict",
+    "chase",
+    "check_joint_consistency",
+    "cind_implies",
+    "consistency_is_trivial",
+    "ind_as_cind",
+    "seed_realizable",
+]

@@ -1,0 +1,133 @@
+"""A chase procedure for CINDs.
+
+The implication problem for CINDs is EXPTIME-complete in general and
+PSPACE-complete without finite-domain attributes (Theorems 4.2/4.3), so an
+unbounded exact procedure is out of reach; the classical *chase* gives an
+exact procedure whenever it terminates (e.g. for acyclic CINDs) and a
+bounded semi-decision otherwise.
+
+The chase works on a symbolic database whose cells are either constants
+(from pattern tableaux) or labelled nulls — fresh values pairwise distinct
+and distinct from every constant, which is the canonical choice for
+counterexample construction in the absence of finite-domain attributes.
+Starting from a seed tuple, every applicable CIND that lacks a witness adds
+one, until fixpoint or until ``max_steps`` new tuples have been created.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple as PyTuple
+
+from repro.cind.model import CIND
+from repro.errors import AnalysisBoundExceeded
+
+__all__ = ["LabelledNull", "ChaseState", "chase"]
+
+
+class LabelledNull:
+    """A labelled null: a placeholder value distinct from all constants and
+    from every other null with a different label."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: int):
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"⊥{self.label}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LabelledNull) and self.label == other.label
+
+    def __hash__(self) -> int:
+        return hash(("LabelledNull", self.label))
+
+
+class ChaseState:
+    """Symbolic database: relation name → list of attr→value dicts."""
+
+    def __init__(self) -> None:
+        self.relations: Dict[str, List[Dict[str, Any]]] = {}
+        self._null_counter = itertools.count()
+
+    def fresh_null(self) -> LabelledNull:
+        return LabelledNull(next(self._null_counter))
+
+    def add_tuple(self, relation: str, values: Mapping[str, Any]) -> Dict[str, Any]:
+        row = dict(values)
+        self.relations.setdefault(relation, []).append(row)
+        return row
+
+    def tuples(self, relation: str) -> List[Dict[str, Any]]:
+        return self.relations.get(relation, [])
+
+    def total_tuples(self) -> int:
+        return sum(len(rows) for rows in self.relations.values())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{r}:{len(rows)}" for r, rows in self.relations.items())
+        return f"ChaseState({inner})"
+
+
+def _find_witness(
+    state: ChaseState, cind: CIND, row: Mapping[str, Any], source: Mapping[str, Any]
+) -> Optional[Dict[str, Any]]:
+    rhs_pat = cind.rhs_pattern(row)
+    wanted = tuple(source[a] for a in cind.lhs_attrs)
+    for candidate in state.tuples(cind.rhs_relation):
+        if tuple(candidate[a] for a in cind.rhs_attrs) != wanted:
+            continue
+        if all(candidate[a] == v for a, v in rhs_pat.items()):
+            return dict(candidate)
+    return None
+
+
+def _applicable(cind: CIND, row: Mapping[str, Any], source: Mapping[str, Any]) -> bool:
+    """Does the source tuple match the row's Xp pattern?  Labelled nulls do
+    not match constants (the canonical fresh-value reading)."""
+    return all(source.get(a) == v for a, v in cind.lhs_pattern(row).items())
+
+
+def chase(
+    state: ChaseState,
+    cinds: Sequence[CIND],
+    schemas: Mapping[str, Sequence[str]],
+    max_steps: int = 10_000,
+) -> ChaseState:
+    """Run the CIND chase to fixpoint (mutates and returns ``state``).
+
+    ``schemas`` maps relation name → attribute names, so newly created
+    witnesses can be padded with fresh nulls on unconstrained attributes.
+    Raises :class:`AnalysisBoundExceeded` after ``max_steps`` additions —
+    cyclic CINDs may chase forever (the source of the PSPACE/EXPTIME lower
+    bounds).
+    """
+    steps = 0
+    changed = True
+    while changed:
+        changed = False
+        for cind in cinds:
+            for row in cind.tableau:
+                # iterate over a snapshot: the chase may add to this relation
+                for source in list(state.tuples(cind.lhs_relation)):
+                    if not _applicable(cind, row, source):
+                        continue
+                    if _find_witness(state, cind, row, source) is not None:
+                        continue
+                    steps += 1
+                    if steps > max_steps:
+                        raise AnalysisBoundExceeded(
+                            f"CIND chase exceeded {max_steps} steps; "
+                            "the dependency set is likely cyclic"
+                        )
+                    witness: Dict[str, Any] = {}
+                    for attr in schemas[cind.rhs_relation]:
+                        witness[attr] = state.fresh_null()
+                    for src_attr, dst_attr in zip(cind.lhs_attrs, cind.rhs_attrs):
+                        witness[dst_attr] = source[src_attr]
+                    for attr, value in cind.rhs_pattern(row).items():
+                        witness[attr] = value
+                    state.add_tuple(cind.rhs_relation, witness)
+                    changed = True
+    return state

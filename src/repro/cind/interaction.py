@@ -1,0 +1,243 @@
+"""CFDs and CINDs taken together (paper Theorems 4.1/4.2/4.4).
+
+Consistency and implication for CFDs + CINDs jointly are *undecidable*, so
+— exactly as the paper prescribes ("heuristic algorithms for checking
+consistency of CFDs and CINDs taken together can be found in [20]") — this
+module provides a bounded model search that returns a three-valued verdict:
+
+* ``CONSISTENT``   — a concrete nonempty instance satisfying all the CFDs
+  and CINDs was constructed (a certificate; always sound);
+* ``INCONSISTENT`` — the bounded search space was exhausted; sound whenever
+  the CIND chase depth never hit the bound (reported in the verdict);
+* ``UNKNOWN``      — the bound was hit, nothing can be concluded.
+
+The search builds instances tuple-by-tuple: each relation's tuples draw
+values from the exact CFD candidate sets (pattern constants + fresh), and
+CIND obligations are discharged either by an existing tuple or by creating
+a new one, depth-first with backtracking.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from repro.cfd.consistency import attribute_constants, candidate_values
+from repro.cfd.model import CFD, UNNAMED
+from repro.cind.model import CIND
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema
+
+__all__ = ["Verdict", "InteractionResult", "check_joint_consistency"]
+
+
+class Verdict(enum.Enum):
+    """Three-valued outcome of the (undecidable) joint analysis."""
+
+    CONSISTENT = "consistent"
+    INCONSISTENT = "inconsistent"
+    UNKNOWN = "unknown"
+
+
+class InteractionResult:
+    """Outcome of the joint CFD+CIND consistency check."""
+
+    def __init__(
+        self,
+        verdict: Verdict,
+        witness: Optional[DatabaseInstance],
+        explored: int,
+        bound_hit: bool,
+    ):
+        self.verdict = verdict
+        self.witness = witness
+        self.explored = explored
+        self.bound_hit = bound_hit
+
+    def __repr__(self) -> str:
+        return (
+            f"InteractionResult({self.verdict.value}, explored={self.explored}, "
+            f"bound_hit={self.bound_hit})"
+        )
+
+
+def _cfd_ok_single(assignment: Dict[str, Any], cfds: Sequence[CFD]) -> bool:
+    for cfd in cfds:
+        for tp in cfd.tableau:
+            if all(
+                tp.get(a) is UNNAMED or assignment[a] == tp.get(a)
+                for a in cfd.lhs
+            ):
+                for a in cfd.rhs:
+                    expected = tp.get(a)
+                    if expected is not UNNAMED and assignment[a] != expected:
+                        return False
+    return True
+
+
+def _cfd_ok_pair(
+    t1: Dict[str, Any], t2: Dict[str, Any], cfds: Sequence[CFD]
+) -> bool:
+    for cfd in cfds:
+        for tp in cfd.tableau:
+            if all(t1[a] == t2[a] for a in cfd.lhs) and all(
+                tp.get(a) is UNNAMED or t1[a] == tp.get(a) for a in cfd.lhs
+            ):
+                if any(t1[a] != t2[a] for a in cfd.rhs):
+                    return False
+    return True
+
+
+class _Searcher:
+    def __init__(
+        self,
+        db_schema: DatabaseSchema,
+        cfds_by_rel: Dict[str, List[CFD]],
+        cinds: Sequence[CIND],
+        max_tuples: int,
+        max_nodes: int,
+    ):
+        self.db_schema = db_schema
+        self.cfds_by_rel = cfds_by_rel
+        self.cinds = cinds
+        self.max_tuples = max_tuples
+        self.max_nodes = max_nodes
+        self.explored = 0
+        self.bound_hit = False
+        # exact candidate sets per relation/attribute (CFD + CIND constants)
+        self.candidates: Dict[str, Dict[str, List[Any]]] = {}
+        for rel in db_schema:
+            constants = attribute_constants(cfds_by_rel.get(rel.name, []))
+            for cind in cinds:
+                for row in cind.tableau:
+                    if cind.lhs_relation == rel.name:
+                        for a, v in cind.lhs_pattern(row).items():
+                            constants.setdefault(a, set()).add(v)
+                    if cind.rhs_relation == rel.name:
+                        for a, v in cind.rhs_pattern(row).items():
+                            constants.setdefault(a, set()).add(v)
+            self.candidates[rel.name] = {
+                a: candidate_values(rel, a, constants.get(a, set()), fresh_count=2)
+                for a in rel.attribute_names
+            }
+
+    def _tuple_choices(
+        self, relation: str, pinned: Dict[str, Any]
+    ) -> "itertools.product":
+        rel = self.db_schema.relation(relation)
+        options: List[List[Any]] = []
+        for attr in rel.attribute_names:
+            if attr in pinned:
+                options.append([pinned[attr]])
+            else:
+                options.append(self.candidates[relation][attr])
+        return itertools.product(*options)
+
+    def _open_obligation(
+        self, state: Dict[str, List[Dict[str, Any]]]
+    ) -> Optional[PyTuple[CIND, Dict[str, Any], Dict[str, Any]]]:
+        for cind in self.cinds:
+            for row in cind.tableau:
+                lhs_pat = cind.lhs_pattern(row)
+                rhs_pat = cind.rhs_pattern(row)
+                for t1 in state.get(cind.lhs_relation, []):
+                    if not all(t1[a] == v for a, v in lhs_pat.items()):
+                        continue
+                    satisfied = False
+                    for t2 in state.get(cind.rhs_relation, []):
+                        if tuple(t2[a] for a in cind.rhs_attrs) == tuple(
+                            t1[a] for a in cind.lhs_attrs
+                        ) and all(t2[a] == v for a, v in rhs_pat.items()):
+                            satisfied = True
+                            break
+                    if not satisfied:
+                        return cind, dict(row), t1
+        return None
+
+    def _consistent_so_far(self, state: Dict[str, List[Dict[str, Any]]]) -> bool:
+        for relation, rows in state.items():
+            cfds = self.cfds_by_rel.get(relation, [])
+            if not cfds:
+                continue
+            for row in rows:
+                if not _cfd_ok_single(row, cfds):
+                    return False
+            for i, t1 in enumerate(rows):
+                for t2 in rows[i + 1 :]:
+                    if not _cfd_ok_pair(t1, t2, cfds) or not _cfd_ok_pair(
+                        t2, t1, cfds
+                    ):
+                        return False
+        return True
+
+    def search(self, state: Dict[str, List[Dict[str, Any]]]) -> Optional[Dict]:
+        self.explored += 1
+        if self.explored > self.max_nodes:
+            self.bound_hit = True
+            return None
+        if not self._consistent_so_far(state):
+            return None
+        obligation = self._open_obligation(state)
+        if obligation is None:
+            return state
+        cind, row, t1 = obligation
+        total = sum(len(rows) for rows in state.values())
+        if total >= self.max_tuples:
+            self.bound_hit = True
+            return None
+        pinned: Dict[str, Any] = dict(cind.rhs_pattern(row))
+        for src, dst in zip(cind.lhs_attrs, cind.rhs_attrs):
+            if dst in pinned and pinned[dst] != t1[src]:
+                return None  # pattern clashes with the copied values
+            pinned[dst] = t1[src]
+        for values in self._tuple_choices(cind.rhs_relation, pinned):
+            rel = self.db_schema.relation(cind.rhs_relation)
+            new_tuple = dict(zip(rel.attribute_names, values))
+            state.setdefault(cind.rhs_relation, []).append(new_tuple)
+            result = self.search(state)
+            if result is not None:
+                return result
+            state[cind.rhs_relation].pop()
+        return None
+
+
+def check_joint_consistency(
+    db_schema: DatabaseSchema,
+    cfds: Sequence[CFD],
+    cinds: Sequence[CIND],
+    nonempty_relation: str | None = None,
+    max_tuples: int = 12,
+    max_nodes: int = 200_000,
+) -> InteractionResult:
+    """Bounded consistency check for CFDs + CINDs taken together.
+
+    ``nonempty_relation`` names the relation required to be nonempty
+    (defaults to the first relation some CFD or CIND mentions).
+    """
+    cfds_by_rel: Dict[str, List[CFD]] = {}
+    for cfd in cfds:
+        cfds_by_rel.setdefault(cfd.relation_name, []).append(cfd)
+    if nonempty_relation is None:
+        if cfds:
+            nonempty_relation = cfds[0].relation_name
+        elif cinds:
+            nonempty_relation = cinds[0].lhs_relation
+        else:
+            nonempty_relation = db_schema.relation_names[0]
+    searcher = _Searcher(db_schema, cfds_by_rel, cinds, max_tuples, max_nodes)
+    rel = db_schema.relation(nonempty_relation)
+    for values in searcher._tuple_choices(nonempty_relation, {}):
+        seed = dict(zip(rel.attribute_names, values))
+        state: Dict[str, List[Dict[str, Any]]] = {nonempty_relation: [seed]}
+        result = searcher.search(state)
+        if result is not None:
+            witness = DatabaseInstance(db_schema)
+            for relation, rows in result.items():
+                for row in rows:
+                    witness.relation(relation).add(row)
+            return InteractionResult(
+                Verdict.CONSISTENT, witness, searcher.explored, searcher.bound_hit
+            )
+    verdict = Verdict.UNKNOWN if searcher.bound_hit else Verdict.INCONSISTENT
+    return InteractionResult(verdict, None, searcher.explored, searcher.bound_hit)

@@ -1,0 +1,136 @@
+"""Command-line interface: detect, repair, discover over CSV files.
+
+Usage::
+
+    python -m repro.cli detect  --schema schema.json --rules rules.json data.csv
+    python -m repro.cli repair  --schema schema.json --rules rules.json \
+                                --output clean.csv data.csv
+    python -m repro.cli discover --schema schema.json --max-lhs 2 \
+                                 --min-support 5 data.csv
+
+``detect`` prints one line per violation and exits nonzero when the data
+is dirty, so it slots into shell pipelines and CI checks; ``repair``
+writes the repaired relation as CSV and a summary to stderr; ``discover``
+emits a rules JSON document on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Sequence
+
+from repro.cfd.detect import detect_violations
+from repro.cfd.discovery import discover_cfds
+from repro.cfd.model import CFD
+from repro.relational.csvio import dump_csv, load_csv
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema
+from repro.repair.urepair import repair_cfds
+from repro.cfd.model import fd_as_cfd
+from repro.deps.fd import FD
+from repro.rules_json import load_rules, load_schema, rules_to_list
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CFD-based data quality: detect, repair, discover",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    detect = sub.add_parser("detect", help="report dependency violations")
+    detect.add_argument("data", help="CSV file (header row required)")
+    detect.add_argument("--schema", required=True, help="schema JSON")
+    detect.add_argument("--rules", required=True, help="rules JSON")
+    detect.add_argument(
+        "--summary-only", action="store_true", help="print only the summary line"
+    )
+
+    repair = sub.add_parser("repair", help="value-modification repair")
+    repair.add_argument("data")
+    repair.add_argument("--schema", required=True)
+    repair.add_argument("--rules", required=True)
+    repair.add_argument("--output", required=True, help="repaired CSV path")
+    repair.add_argument(
+        "--max-passes", type=int, default=25, help="heuristic pass cap"
+    )
+
+    discover = sub.add_parser("discover", help="profile CFDs from data")
+    discover.add_argument("data")
+    discover.add_argument("--schema", required=True)
+    discover.add_argument("--max-lhs", type=int, default=2)
+    discover.add_argument("--min-support", type=int, default=3)
+
+    return parser
+
+
+def _load(args) -> tuple:
+    schema = load_schema(args.schema)
+    instance = load_csv(schema, args.data)
+    db = DatabaseInstance(DatabaseSchema([schema]))
+    for t in instance:
+        db.relation(schema.name).add(t)
+    return schema, db
+
+
+def _cmd_detect(args) -> int:
+    schema, db = _load(args)
+    rules = load_rules(args.rules, schema)
+    report = detect_violations(db, rules)
+    if not args.summary_only:
+        for violation in report.violations:
+            print(violation.reason)
+    print(report.summary())
+    return 1 if report.total else 0
+
+
+def _cmd_repair(args) -> int:
+    schema, db = _load(args)
+    rules = load_rules(args.rules, schema)
+    cfds: List[CFD] = [
+        rule if isinstance(rule, CFD) else fd_as_cfd(rule)
+        for rule in rules
+        if isinstance(rule, (CFD, FD))
+    ]
+    result = repair_cfds(db, cfds, max_passes=args.max_passes)
+    dump_csv(result.repaired.relation(schema.name), args.output)
+    print(
+        f"{result.changed_cells()} cells changed, cost {result.cost:.3f}, "
+        f"resolved={result.resolved}",
+        file=sys.stderr,
+    )
+    return 0 if result.resolved else 2
+
+
+def _cmd_discover(args) -> int:
+    schema, db = _load(args)
+    discovered = discover_cfds(
+        db.relation(schema.name),
+        max_lhs=args.max_lhs,
+        min_support=args.min_support,
+    )
+    documents = rules_to_list([d.cfd for d in discovered])
+    for doc, found in zip(documents, discovered):
+        doc["support"] = found.support
+        doc["kind"] = found.kind
+    json.dump(documents, sys.stdout, indent=2, default=str)
+    print()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "detect": _cmd_detect,
+        "repair": _cmd_repair,
+        "discover": _cmd_discover,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

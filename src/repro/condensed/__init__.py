@@ -1,0 +1,25 @@
+"""Condensed representations of repairs (paper §5.3): tableaux with
+variables, homomorphisms/subsumption, merge-nuclei, and world-set
+decompositions."""
+
+from repro.condensed.nucleus import certain_answers_on_nucleus, nucleus
+from repro.condensed.tableau import (
+    TVar,
+    find_homomorphism,
+    is_variable,
+    subsumes,
+    variables_of,
+)
+from repro.condensed.wsd import WorldSetDecomposition, decompose_repairs
+
+__all__ = [
+    "TVar",
+    "WorldSetDecomposition",
+    "certain_answers_on_nucleus",
+    "decompose_repairs",
+    "find_homomorphism",
+    "is_variable",
+    "nucleus",
+    "subsumes",
+    "variables_of",
+]

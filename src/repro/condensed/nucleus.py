@@ -1,0 +1,119 @@
+"""Nuclei: single-tableau representations of all U-repairs (paper §5.3).
+
+Wijsen [68] shows that for full dependencies a tableau G (the *nucleus*)
+can represent every U-repair of D: G is homomorphic to all repairs, and
+consistent answers to conjunctive queries are obtained by evaluating the
+query on G directly and keeping the variable-free answers.
+
+This module implements the construction for FD/CFD-style equality-
+generating dependencies by *merging*: while some pattern row has two
+tuples forced to agree on its LHS but differing on its RHS, the two tuples
+are merged into one whose disagreeing cells become fresh tableau
+variables.  Each merge strictly decreases the tuple count, so the
+construction terminates; for key-style FDs the result is the textbook
+nucleus (one tuple per key group, variables on the conflicting
+attributes).  The exponential-size lower bound of [68] concerns arbitrary
+full dependencies; the EXP-NUCLEUS benchmark exhibits the growth of the
+repair space next to the linear-size nucleus for the Example 5.1 family.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from repro.cfd.model import CFD, UNNAMED, fd_as_cfd
+from repro.condensed.tableau import TVar, is_variable
+from repro.deps.fd import FD
+from repro.relational.instance import RelationInstance
+from repro.relational.tuples import Tuple
+
+__all__ = ["nucleus", "certain_answers_on_nucleus"]
+
+
+def _pattern_matches(value: Any, expected: Any) -> bool:
+    """≍ on a tableau cell: variables do not match constants (they stand
+    for arbitrary values, so matching is not *forced*)."""
+    if expected is UNNAMED:
+        return True
+    return not is_variable(value) and value == expected
+
+
+def _find_merge_pair(
+    rows: List[PyTuple[Any, ...]],
+    attr_index: Dict[str, int],
+    cfds: Sequence[CFD],
+) -> Optional[PyTuple[int, int, CFD]]:
+    for cfd in cfds:
+        lhs_idx = [attr_index[a] for a in cfd.lhs]
+        rhs_idx = [attr_index[a] for a in cfd.rhs]
+        for tp in cfd.tableau:
+            lhs_expected = [tp.get(a) for a in cfd.lhs]
+            for i in range(len(rows)):
+                row_i = rows[i]
+                if not all(
+                    _pattern_matches(row_i[k], e)
+                    for k, e in zip(lhs_idx, lhs_expected)
+                ):
+                    continue
+                for j in range(i + 1, len(rows)):
+                    row_j = rows[j]
+                    if any(row_i[k] != row_j[k] for k in lhs_idx):
+                        continue
+                    if not all(
+                        _pattern_matches(row_j[k], e)
+                        for k, e in zip(lhs_idx, lhs_expected)
+                    ):
+                        continue
+                    if any(row_i[k] != row_j[k] for k in rhs_idx):
+                        return i, j, cfd
+    return None
+
+
+def nucleus(
+    instance: RelationInstance, dependencies: Sequence[FD | CFD]
+) -> RelationInstance:
+    """The merge-nucleus of ``instance`` w.r.t. FD/CFD dependencies.
+
+    Conflicting tuples are merged; cells on which they disagree become
+    fresh tableau variables.  The result satisfies: every variable-free
+    conjunctive-query answer on the nucleus is a consistent answer on the
+    original instance (tests cross-check against repair enumeration).
+    """
+    cfds = [fd_as_cfd(d) if isinstance(d, FD) else d for d in dependencies]
+    attr_index = {
+        a: i for i, a in enumerate(instance.schema.attribute_names)
+    }
+    rows: List[PyTuple[Any, ...]] = [t.values() for t in instance]
+    while True:
+        found = _find_merge_pair(rows, attr_index, cfds)
+        if found is None:
+            break
+        i, j, _ = found
+        row_i, row_j = rows[i], rows[j]
+        merged = tuple(
+            a if a == b else TVar() for a, b in zip(row_i, row_j)
+        )
+        rows = [r for k, r in enumerate(rows) if k not in (i, j)]
+        rows.append(merged)
+    result = RelationInstance(instance.schema)
+    for row in rows:
+        result.add(Tuple(instance.schema, row, validate=False))
+    return result
+
+
+def certain_answers_on_nucleus(
+    nucleus_instance: RelationInstance,
+    query,
+) -> Set[tuple]:
+    """Evaluate a query on the nucleus, keep the variable-free answers.
+
+    ``query`` maps a RelationInstance to a RelationInstance (use the
+    algebra functions or a lambda); rows mentioning a tableau variable are
+    possible-but-not-certain and are dropped.
+    """
+    result = query(nucleus_instance)
+    return {
+        t.values()
+        for t in result
+        if not any(is_variable(v) for v in t.values())
+    }

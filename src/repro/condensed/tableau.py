@@ -1,0 +1,113 @@
+"""Tableaux with variables: the substrate for condensed repair
+representations (paper §5.3).
+
+A tableau is a relation instance whose cells may be *tableau variables* —
+placeholders that stand for any domain value.  Following [68] (Wijsen's
+nuclei), the key notions are
+
+* **homomorphism** h: variables → values/variables, identity on constants,
+  with h(T1) ⊆ T2;
+* **subsumption** of tableaux, via homomorphisms, which captures the
+  minimality of U-repairs.
+
+Tableau variables are ordinary Python values (hashable, equal only to
+themselves), so tableaux live inside normal
+:class:`~repro.relational.instance.RelationInstance` objects and are
+queried with the normal algebra — exactly how a "strong dependency system"
+is supposed to work: evaluate the query on the single condensed table.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple as PyTuple
+
+from repro.relational.instance import RelationInstance
+
+__all__ = ["TVar", "is_variable", "variables_of", "find_homomorphism", "subsumes"]
+
+
+class TVar:
+    """A tableau variable (equal only to itself)."""
+
+    __slots__ = ("label",)
+    _counter = itertools.count()
+
+    def __init__(self, label: str | None = None):
+        self.label = label if label is not None else f"x{next(TVar._counter)}"
+
+    def __repr__(self) -> str:
+        return f"?{self.label}"
+
+    # identity-based equality/hash inherited from object is exactly what a
+    # tableau variable needs, but an explicit label keeps output readable.
+
+
+def is_variable(value: Any) -> bool:
+    """True iff the cell value is a tableau variable."""
+    return isinstance(value, TVar)
+
+
+def variables_of(instance: RelationInstance) -> List[TVar]:
+    """All distinct variables appearing in the tableau (first-seen order)."""
+    seen: Dict[TVar, None] = {}
+    for t in instance:
+        for value in t.values():
+            if is_variable(value) and value not in seen:
+                seen[value] = None
+    return list(seen)
+
+
+def _apply(row: PyTuple[Any, ...], assignment: Dict[TVar, Any]) -> PyTuple[Any, ...]:
+    return tuple(assignment.get(v, v) if is_variable(v) else v for v in row)
+
+
+def find_homomorphism(
+    source: RelationInstance, target: RelationInstance
+) -> Optional[Dict[TVar, Any]]:
+    """A variable assignment h with h(source) ⊆ target, or None.
+
+    Backtracking over the source rows; target cells (constants or target
+    variables) are the candidate images.  Exponential in the worst case —
+    homomorphism checking is NP-complete — fine at tableau scale.
+    """
+    source_rows = [t.values() for t in source]
+    target_rows = [t.values() for t in target]
+
+    def extend(
+        index: int, assignment: Dict[TVar, Any]
+    ) -> Optional[Dict[TVar, Any]]:
+        if index == len(source_rows):
+            return dict(assignment)
+        row = source_rows[index]
+        for target_row in target_rows:
+            trial = dict(assignment)
+            ok = True
+            for cell, image in zip(row, target_row):
+                if is_variable(cell):
+                    bound = trial.get(cell, cell)
+                    if is_variable(bound) and bound is cell:
+                        trial[cell] = image
+                    elif bound != image:
+                        ok = False
+                        break
+                elif cell != image:
+                    ok = False
+                    break
+            if ok:
+                result = extend(index + 1, trial)
+                if result is not None:
+                    return result
+        return None
+
+    return extend(0, {})
+
+
+def subsumes(general: RelationInstance, specific: RelationInstance) -> bool:
+    """True iff a homomorphism maps ``general`` into ``specific``.
+
+    ``general ⊑ specific``: every way of reading ``specific`` is covered by
+    some instantiation of ``general`` — the subsumption order [68] uses to
+    state U-repair minimality in tableau terms.
+    """
+    return find_homomorphism(general, specific) is not None

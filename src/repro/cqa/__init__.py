@@ -1,0 +1,25 @@
+"""Consistent query answering (paper §5.2): exact repair-enumeration
+semantics, the PTIME first-order rewriting for primary keys, and
+range-consistent aggregate answers."""
+
+from repro.cqa.aggregates import (
+    AggregateRange,
+    range_count,
+    range_max,
+    range_min,
+    range_sum,
+)
+from repro.cqa.certain import certain_answers, possible_answers
+from repro.cqa.rewriting import certain_sp, certain_spj
+
+__all__ = [
+    "AggregateRange",
+    "certain_answers",
+    "certain_sp",
+    "certain_spj",
+    "possible_answers",
+    "range_count",
+    "range_max",
+    "range_min",
+    "range_sum",
+]

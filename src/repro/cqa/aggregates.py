@@ -1,0 +1,171 @@
+"""Range-consistent answers to aggregate queries (paper §5.2 Remark).
+
+"Consistent query answering has also been studied for aggregate queries
+and FDs [6, 42]" — the classical semantics (Arenas et al., scalar
+aggregation in inconsistent databases) returns the *range* [glb, lub] an
+aggregate can take across all repairs.
+
+For a primary key (repairs pick one tuple per key group independently),
+the range is computable directly:
+
+* MIN / MAX — combine per-group extreme choices;
+* SUM      — sum of per-group minima … sum of per-group maxima;
+* COUNT    — |groups| in every repair (constant), exposed for uniformity;
+* AVG      — bounded via the extremes of SUM over the fixed COUNT.
+
+All functions also accept a selection predicate; a group contributes a
+mandatory/optional interval depending on whether every/some choice
+passes the filter, which keeps the ranges tight and exact (validated
+against repair enumeration in the tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple as PyTuple
+
+from repro.relational.instance import DatabaseInstance
+from repro.relational.tuples import Tuple
+
+__all__ = ["AggregateRange", "range_sum", "range_min", "range_max", "range_count"]
+
+Predicate = Callable[[Tuple], bool]
+
+
+class AggregateRange:
+    """[glb, lub] of an aggregate across all repairs."""
+
+    __slots__ = ("glb", "lub")
+
+    def __init__(self, glb, lub):
+        self.glb = glb
+        self.lub = lub
+
+    @property
+    def is_consistent(self) -> bool:
+        """True iff the aggregate has the same value in every repair."""
+        return self.glb == self.lub
+
+    def __iter__(self):
+        return iter((self.glb, self.lub))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, AggregateRange)
+            and (self.glb, self.lub) == (other.glb, other.lub)
+        )
+
+    def __repr__(self) -> str:
+        return f"AggregateRange[{self.glb}, {self.lub}]"
+
+
+def _groups(
+    db: DatabaseInstance, relation: str, key: Sequence[str]
+) -> List[List[Tuple]]:
+    return list(db.relation(relation).group_by(list(key)).values())
+
+
+def range_sum(
+    db: DatabaseInstance,
+    relation: str,
+    key: Sequence[str],
+    attribute: str,
+    predicate: Predicate | None = None,
+) -> AggregateRange:
+    """Range of SUM(attribute) over σ_predicate(relation) across repairs."""
+    predicate = predicate or (lambda t: True)
+    glb = 0.0
+    lub = 0.0
+    for group in _groups(db, relation, key):
+        contributions = [
+            t[attribute] if predicate(t) else 0 for t in group
+        ]
+        glb += min(contributions)
+        lub += max(contributions)
+    return AggregateRange(glb, lub)
+
+
+def range_count(
+    db: DatabaseInstance,
+    relation: str,
+    key: Sequence[str],
+    predicate: Predicate | None = None,
+) -> AggregateRange:
+    """Range of COUNT(*) over σ_predicate(relation) across repairs."""
+    predicate = predicate or (lambda t: True)
+    glb = 0
+    lub = 0
+    for group in _groups(db, relation, key):
+        passing = sum(1 for t in group if predicate(t))
+        if passing == len(group):
+            glb += 1  # every choice passes
+        if passing > 0:
+            lub += 1  # some choice passes
+    return AggregateRange(glb, lub)
+
+
+def _range_extreme(
+    db: DatabaseInstance,
+    relation: str,
+    key: Sequence[str],
+    attribute: str,
+    predicate: Predicate | None,
+    find_max: bool,
+) -> AggregateRange:
+    predicate = predicate or (lambda t: True)
+    pick = max if find_max else min
+    anti = min if find_max else max
+    # mandatory groups (every choice passes) constrain both bounds;
+    # optional groups (some choice passes) can push the lub (for MAX)
+    # or the glb (for MIN) but can also vanish entirely.
+    mandatory_extremes: List = []
+    optional_values: List = []
+    for group in _groups(db, relation, key):
+        passing = [t[attribute] for t in group if predicate(t)]
+        if not passing:
+            continue
+        if len(passing) == len(group):
+            mandatory_extremes.append((anti(passing), pick(passing)))
+        else:
+            optional_values.extend(passing)
+    if not mandatory_extremes and not optional_values:
+        return AggregateRange(None, None)
+    if find_max:
+        # glb: the adversary minimizes the maximum: optional groups drop
+        # out, each mandatory group contributes its smallest value
+        glb = max((low for low, _ in mandatory_extremes), default=None)
+        lub_candidates = [high for _, high in mandatory_extremes] + optional_values
+        lub = max(lub_candidates)
+        if glb is None:
+            # only optional groups: the max may not exist (all filtered);
+            # glb is None (no guaranteed answer)
+            return AggregateRange(None, lub)
+        return AggregateRange(glb, lub)
+    glb_candidates = [high for _, high in mandatory_extremes] + optional_values
+    glb = min(glb_candidates)
+    lub = min((low for low, _ in mandatory_extremes), default=None)
+    if lub is None:
+        return AggregateRange(glb, None)
+    return AggregateRange(glb, lub)
+
+
+def range_max(
+    db: DatabaseInstance,
+    relation: str,
+    key: Sequence[str],
+    attribute: str,
+    predicate: Predicate | None = None,
+) -> AggregateRange:
+    """Range of MAX(attribute) across repairs (None bound = the aggregate
+    may be undefined / unbounded-by-mandatory in some repair)."""
+    return _range_extreme(db, relation, key, attribute, predicate, find_max=True)
+
+
+def range_min(
+    db: DatabaseInstance,
+    relation: str,
+    key: Sequence[str],
+    attribute: str,
+    predicate: Predicate | None = None,
+) -> AggregateRange:
+    """Range of MIN(attribute) across repairs."""
+    return _range_extreme(db, relation, key, attribute, predicate, find_max=False)

@@ -1,0 +1,59 @@
+"""Consistent query answering by repair enumeration (paper §5.2).
+
+The reference (exponential) semantics: a tuple is a *consistent answer* to
+Q on D w.r.t. Σ iff it is in the answer to Q in **every** repair of D.
+This module materializes the repair space (X-repairs; = S-repairs for
+denial-class Σ) and intersects the query answers — intractable in general,
+which is exactly why the rewriting of :mod:`repro.cqa.rewriting` matters;
+the tests use this module as ground truth for the rewriting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Set, Tuple as PyTuple
+
+from repro.deps.base import Dependency
+from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational.query import Query
+from repro.repair.xrepair import all_x_repairs
+
+__all__ = ["certain_answers", "possible_answers"]
+
+QueryLike = Query | Callable[[DatabaseInstance], RelationInstance]
+
+
+def _answers(query: QueryLike, db: DatabaseInstance) -> Set[tuple]:
+    result = query.evaluate(db) if isinstance(query, Query) else query(db)
+    return {t.values() for t in result}
+
+
+def certain_answers(
+    db: DatabaseInstance,
+    dependencies: Sequence[Dependency],
+    query: QueryLike,
+    limit: int = 100_000,
+) -> Set[tuple]:
+    """Tuples in Q's answer on *every* repair (the consistent answers)."""
+    repairs = all_x_repairs(db, dependencies, limit)
+    if not repairs:
+        return set()
+    answers = _answers(query, repairs[0])
+    for repair in repairs[1:]:
+        answers &= _answers(query, repair)
+        if not answers:
+            break
+    return answers
+
+
+def possible_answers(
+    db: DatabaseInstance,
+    dependencies: Sequence[Dependency],
+    query: QueryLike,
+    limit: int = 100_000,
+) -> Set[tuple]:
+    """Tuples in Q's answer on *some* repair (the possible answers)."""
+    repairs = all_x_repairs(db, dependencies, limit)
+    answers: Set[tuple] = set()
+    for repair in repairs:
+        answers |= _answers(query, repair)
+    return answers

@@ -1,0 +1,44 @@
+"""Classical dependencies: FDs, INDs, denial constraints, Armstrong proofs,
+and normalization — the traditional baseline the paper revisits."""
+
+from repro.deps.armstrong_relation import (
+    armstrong_relation,
+    closed_sets,
+    is_armstrong_relation,
+)
+from repro.deps.base import Dependency, Violation, all_violations, holds
+from repro.deps.denial import DenialConstraint, fd_as_denial
+from repro.deps.fd import (
+    FD,
+    candidate_keys,
+    closure,
+    equivalent,
+    implies,
+    is_superkey,
+    minimal_cover,
+    project_fds,
+)
+from repro.deps.ind import IND, ind_implies, is_acyclic
+
+__all__ = [
+    "Dependency",
+    "armstrong_relation",
+    "closed_sets",
+    "is_armstrong_relation",
+    "DenialConstraint",
+    "FD",
+    "IND",
+    "Violation",
+    "all_violations",
+    "candidate_keys",
+    "closure",
+    "equivalent",
+    "fd_as_denial",
+    "holds",
+    "implies",
+    "ind_implies",
+    "is_acyclic",
+    "is_superkey",
+    "minimal_cover",
+    "project_fds",
+]

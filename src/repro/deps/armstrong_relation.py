@@ -1,0 +1,84 @@
+"""Armstrong relations for FD sets.
+
+An *Armstrong relation* for Σ is an instance that satisfies every FD in
+Σ⁺ and violates every FD not in Σ⁺ — the classical certificate that a
+dependency set means exactly what it says.  Construction (Beeri, Dowd,
+Fagin, Statman): for every closed attribute set C in a generating family
+of the closure lattice, add a tuple agreeing with the base tuple exactly
+on C.
+
+This substrate rounds out the FD toolbox (the paper's §1 notes profiling
+and reasoning support as a key reason dependencies matter for quality
+tools): an Armstrong relation is the canonical test fixture for rule
+discovery and for explaining a rule set to users by example.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, List, Sequence, Set
+
+from repro.deps.fd import FD, closure, implies
+from repro.relational.instance import RelationInstance
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import Tuple
+
+__all__ = ["closed_sets", "armstrong_relation", "is_armstrong_relation"]
+
+
+def closed_sets(schema: RelationSchema, fds: Sequence[FD]) -> List[FrozenSet[str]]:
+    """All closed attribute sets X = X⁺ (exponential; small schemas)."""
+    attrs = list(schema.attribute_names)
+    found: Set[FrozenSet[str]] = set()
+    for size in range(len(attrs) + 1):
+        for combo in itertools.combinations(attrs, size):
+            found.add(closure(combo, list(fds)))
+    return sorted(found, key=lambda s: (len(s), sorted(s)))
+
+
+def armstrong_relation(
+    schema: RelationSchema, fds: Sequence[FD]
+) -> RelationInstance:
+    """An instance satisfying exactly the FDs implied by Σ.
+
+    One base tuple of zeros plus, per closed set C, a tuple that equals
+    the base exactly on C (fresh values elsewhere).  Values are strings
+    ``"0"`` / ``"vK_A"``; the schema's attributes must accept them, so
+    this constructor works on all-string schemas (use ``validate=False``
+    tuples internally otherwise).
+    """
+    attrs = list(schema.attribute_names)
+    base = Tuple(schema, {a: "0" for a in attrs}, validate=False)
+    instance = RelationInstance(schema)
+    instance.add(base)
+    for index, closed in enumerate(closed_sets(schema, fds)):
+        if set(closed) == set(attrs):
+            continue  # agreeing everywhere duplicates the base tuple
+        row = {
+            a: "0" if a in closed else f"v{index}_{a}"
+            for a in attrs
+        }
+        instance.add(Tuple(schema, row, validate=False))
+    return instance
+
+
+def is_armstrong_relation(
+    instance: RelationInstance, schema: RelationSchema, fds: Sequence[FD]
+) -> bool:
+    """Check the defining property against all single-RHS FDs."""
+    from repro.relational.instance import DatabaseInstance
+    from repro.relational.schema import DatabaseSchema
+
+    db = DatabaseInstance(DatabaseSchema([schema]))
+    for t in instance:
+        db.relation(schema.name).add(t)
+    attrs = list(schema.attribute_names)
+    for size in range(1, len(attrs)):
+        for lhs in itertools.combinations(attrs, size):
+            for rhs in attrs:
+                if rhs in lhs:
+                    continue
+                fd = FD(schema.name, lhs, [rhs])
+                if implies(list(fds), fd) != fd.holds_on(db):
+                    return False
+    return True

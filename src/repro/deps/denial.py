@@ -1,0 +1,109 @@
+"""Denial constraints.
+
+A denial constraint (paper Section 2.3) is a universally quantified sentence
+
+    ∀ x̄1 ... x̄m ¬( R1(x̄1) ∧ ... ∧ Rm(x̄m) ∧ ϕ(x̄1,...,x̄m) )
+
+forbidding any combination of m tuples that jointly satisfies the built-in
+condition ϕ (=, !=, <, >, <=, >=, and constants).  FDs are the special case
+with m = 2 and ϕ = "agree on X and differ on some Y attribute".
+
+The condition is expressed with :mod:`repro.relational.predicates` over an
+environment where the attributes of the i-th relation atom are addressed as
+``"ti.Attr"``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence, Tuple as PyTuple
+
+from repro.deps.base import Dependency, Violation
+from repro.deps.fd import FD
+from repro.errors import DependencyError
+from repro.relational.instance import DatabaseInstance
+from repro.relational.predicates import And, Comparison, Condition
+
+__all__ = ["DenialConstraint", "fd_as_denial"]
+
+
+class DenialConstraint(Dependency):
+    """¬(R1(t1) ∧ ... ∧ Rm(tm) ∧ condition)."""
+
+    __slots__ = ("relation_names", "condition", "name")
+
+    def __init__(
+        self,
+        relation_names: Sequence[str],
+        condition: Condition,
+        name: str | None = None,
+    ):
+        if not relation_names:
+            raise DependencyError("denial constraint needs at least one relation atom")
+        self.relation_names: PyTuple[str, ...] = tuple(relation_names)
+        self.condition = condition
+        self.name = name or "denial"
+
+    def relations(self) -> PyTuple[str, ...]:
+        return tuple(dict.fromkeys(self.relation_names))
+
+    def _environment(self, tuples) -> dict:
+        env: dict = {}
+        for i, t in enumerate(tuples):
+            for attr, value in t.as_dict().items():
+                env[f"t{i}.{attr}"] = value
+        return env
+
+    def violations(self, db: DatabaseInstance) -> Iterator[Violation]:
+        pools = [db.relation(name).tuples() for name in self.relation_names]
+        # Variables range over tuples independently (a combo may repeat a
+        # tuple); conditions like t0[Y] != t1[Y] rule the diagonal out on
+        # their own, matching the standard semantics.
+        for combo in itertools.product(*pools):
+            if self.condition.evaluate(self._environment(combo)):
+                yield Violation(
+                    self,
+                    list(zip(self.relation_names, combo)),
+                    f"{self.name}: forbidden combination present",
+                )
+
+    def __repr__(self) -> str:
+        atoms = " ∧ ".join(
+            f"{rel}(t{i})" for i, rel in enumerate(self.relation_names)
+        )
+        return f"DenialConstraint(¬[{atoms} ∧ {self.condition!r}])"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DenialConstraint)
+            and self.relation_names == other.relation_names
+            and self.condition == other.condition
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.relation_names, self.condition))
+
+
+def fd_as_denial(fd: FD) -> DenialConstraint:
+    """Encode an FD X → Y as the denial constraints it abbreviates.
+
+    The encoding uses two atoms over the FD's relation with the condition
+    "t0, t1 agree on X and differ on the first Y attribute"; one denial per
+    RHS attribute is folded into a disjunction-free conjunction by emitting
+    the classical form for the full RHS: equality on X and inequality on Y
+    cannot be captured by a single conjunctive ϕ when |Y| > 1, so this
+    helper requires a singleton RHS (split the FD first).
+    """
+    if len(fd.rhs) != 1:
+        raise DependencyError(
+            "fd_as_denial requires a singleton RHS; split the FD first"
+        )
+    parts = [
+        Comparison(f"@t0.{a}", "=", f"@t1.{a}") for a in fd.lhs
+    ]
+    parts.append(Comparison(f"@t0.{fd.rhs[0]}", "!=", f"@t1.{fd.rhs[0]}"))
+    return DenialConstraint(
+        (fd.relation_name, fd.relation_name),
+        And(parts),
+        name=f"fd:{list(fd.lhs)}->{fd.rhs[0]}",
+    )

@@ -1,0 +1,126 @@
+"""Schema normalization: BCNF decomposition and 3NF synthesis.
+
+Dependencies were "traditionally used ... above all, to improve the quality
+of schema via normalization" (paper Section 1); this module supplies that
+classical substrate so the library covers both the schema-quality and the
+data-quality uses of FDs.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence, Tuple as PyTuple
+
+from repro.deps.fd import FD, candidate_keys, closure, is_superkey, minimal_cover, project_fds
+from repro.relational.schema import RelationSchema
+
+__all__ = [
+    "is_bcnf",
+    "bcnf_violating_fd",
+    "bcnf_decompose",
+    "third_nf_synthesize",
+    "is_lossless_binary",
+]
+
+
+def bcnf_violating_fd(schema: RelationSchema, fds: Sequence[FD]) -> FD | None:
+    """Return an FD violating BCNF (non-trivial with non-superkey LHS), if any."""
+    for fd in fds:
+        rhs_new = [a for a in fd.rhs if a not in fd.lhs]
+        if rhs_new and not is_superkey(fd.lhs, schema, list(fds)):
+            return FD(fd.relation_name, fd.lhs, rhs_new)
+    return None
+
+
+def is_bcnf(schema: RelationSchema, fds: Sequence[FD]) -> bool:
+    """True iff the schema is in Boyce–Codd normal form w.r.t. ``fds``."""
+    return bcnf_violating_fd(schema, fds) is None
+
+
+def bcnf_decompose(
+    schema: RelationSchema, fds: Sequence[FD]
+) -> List[PyTuple[RelationSchema, List[FD]]]:
+    """Classical lossless BCNF decomposition.
+
+    Recursively split on a violating FD X → Y into (X ∪ Y) and
+    (attrs − Y ∪ X), projecting the FDs each time (exponential in schema
+    width; intended for the small schemas of examples, like all textbook
+    implementations).
+    """
+    result: List[PyTuple[RelationSchema, List[FD]]] = []
+    work: List[PyTuple[RelationSchema, List[FD]]] = [(schema, list(fds))]
+    counter = 0
+    while work:
+        current_schema, current_fds = work.pop()
+        violating = bcnf_violating_fd(current_schema, current_fds)
+        if violating is None:
+            result.append((current_schema, current_fds))
+            continue
+        counter += 1
+        closed = closure(violating.lhs, current_fds)
+        left_attrs = [
+            a for a in current_schema.attribute_names if a in closed
+        ]
+        right_attrs = [
+            a
+            for a in current_schema.attribute_names
+            if a in violating.lhs or a not in closed
+        ]
+        left_schema = current_schema.project(
+            left_attrs, f"{current_schema.name}_b{counter}a"
+        ).rename(f"{current_schema.name}_b{counter}a")
+        right_schema = current_schema.project(
+            right_attrs, f"{current_schema.name}_b{counter}b"
+        ).rename(f"{current_schema.name}_b{counter}b")
+        work.append(
+            (left_schema, project_fds(current_fds, left_attrs, left_schema.name))
+        )
+        work.append(
+            (right_schema, project_fds(current_fds, right_attrs, right_schema.name))
+        )
+    return result
+
+
+def third_nf_synthesize(
+    schema: RelationSchema, fds: Sequence[FD]
+) -> List[RelationSchema]:
+    """3NF synthesis from a minimal cover (dependency-preserving, lossless)."""
+    cover = minimal_cover(fds)
+    groups: dict[FrozenSet[str], set] = {}
+    for fd in cover:
+        groups.setdefault(frozenset(fd.lhs), set()).update(fd.lhs)
+        groups[frozenset(fd.lhs)].update(fd.rhs)
+    schemas: List[RelationSchema] = []
+    for i, (lhs, attrs) in enumerate(sorted(groups.items(), key=lambda kv: sorted(kv[0]))):
+        ordered = [a for a in schema.attribute_names if a in attrs]
+        schemas.append(schema.project(ordered, f"{schema.name}_3nf{i}"))
+    # Ensure some relation contains a candidate key (lossless join guarantee).
+    keys = candidate_keys(schema, list(fds))
+    if keys and not any(
+        any(key <= set(s.attribute_names) for key in keys) for s in schemas
+    ):
+        key_attrs = [a for a in schema.attribute_names if a in sorted(keys[0])]
+        schemas.append(schema.project(key_attrs, f"{schema.name}_3nfkey"))
+    # Drop relations subsumed by others.
+    kept: List[RelationSchema] = []
+    for s in schemas:
+        if not any(
+            set(s.attribute_names) < set(o.attribute_names) for o in schemas
+        ):
+            if not any(set(s.attribute_names) == set(k.attribute_names) for k in kept):
+                kept.append(s)
+    return kept
+
+
+def is_lossless_binary(
+    schema: RelationSchema,
+    fds: Sequence[FD],
+    left_attrs: Sequence[str],
+    right_attrs: Sequence[str],
+) -> bool:
+    """Lossless-join test for a binary decomposition.
+
+    (R1, R2) is lossless iff R1 ∩ R2 → R1 or R1 ∩ R2 → R2 is implied.
+    """
+    shared = [a for a in left_attrs if a in set(right_attrs)]
+    closed = closure(shared, list(fds))
+    return set(left_attrs) <= closed or set(right_attrs) <= closed

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+any failure originating in this package with a single ``except`` clause while
+still being able to discriminate schema problems from analysis limits.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "DomainError",
+    "DependencyError",
+    "QueryError",
+    "AnalysisBoundExceeded",
+    "InconsistentDependenciesError",
+    "RepairError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or an operation referenced an unknown attribute."""
+
+
+class DomainError(ReproError):
+    """A value does not belong to the domain of the attribute it was given to."""
+
+
+class DependencyError(ReproError):
+    """A dependency is syntactically malformed (arity mismatch, bad pattern...)."""
+
+
+class QueryError(ReproError):
+    """A relational-algebra or SPC query is malformed for the given schema."""
+
+
+class AnalysisBoundExceeded(ReproError):
+    """An exact decision procedure hit its configured search/chase bound.
+
+    The analyses for CIND implication and for CFD+CIND interaction are
+    EXPTIME-hard or undecidable (paper, Theorems 4.1-4.2), so the exact
+    procedures in this library take an explicit bound and raise this error
+    (or return an ``UNKNOWN`` verdict, depending on the API) when the bound
+    is exhausted instead of silently guessing.
+    """
+
+
+class InconsistentDependenciesError(ReproError):
+    """An operation that requires a consistent dependency set was given a dirty one."""
+
+
+class RepairError(ReproError):
+    """A repair operation could not produce a consistent instance."""

@@ -1,0 +1,63 @@
+"""Matching dependencies (paper §3): similarity operators, MDs, relative
+candidate keys, PTIME implication, and object identification."""
+
+from repro.md.blocking import BlockedObjectIdentifier, Blocker
+from repro.md.dedup import DedupResult, EntityCluster, deduplicate
+from repro.md.inference import MDFactStore, deduce_closure, md_implies
+from repro.md.matching import MatchReport, ObjectIdentifier, match_pairs
+from repro.md.model import (
+    MATCH,
+    MD,
+    MatchInterpretation,
+    MatchOperator,
+    MDPremise,
+    RelativeKey,
+)
+from repro.md.rck import derive_rcks, is_rck_among, key_leq
+from repro.md.similarity import (
+    EQ,
+    ContainmentLattice,
+    EditDistanceSimilarity,
+    Equality,
+    JaroSimilarity,
+    QGramSimilarity,
+    SimilarityOperator,
+    TokenSetSimilarity,
+    jaro,
+    levenshtein,
+    qgrams,
+)
+
+__all__ = [
+    "BlockedObjectIdentifier",
+    "Blocker",
+    "ContainmentLattice",
+    "DedupResult",
+    "EntityCluster",
+    "deduplicate",
+    "EQ",
+    "EditDistanceSimilarity",
+    "Equality",
+    "JaroSimilarity",
+    "MATCH",
+    "MD",
+    "MDFactStore",
+    "MDPremise",
+    "MatchInterpretation",
+    "MatchOperator",
+    "MatchReport",
+    "ObjectIdentifier",
+    "QGramSimilarity",
+    "RelativeKey",
+    "SimilarityOperator",
+    "TokenSetSimilarity",
+    "deduce_closure",
+    "derive_rcks",
+    "is_rck_among",
+    "jaro",
+    "key_leq",
+    "levenshtein",
+    "match_pairs",
+    "md_implies",
+    "qgrams",
+]

@@ -1,0 +1,152 @@
+"""Deduplication (merge/purge) within a single relation.
+
+§3.1 frames object identification as "data deduplication, record linkage,
+merge-purge": find the tuples of *one* relation that describe the same
+real-world entity and consolidate them.  This module runs the matching
+rules of :mod:`repro.md` reflexively over a relation, closes the matched
+pairs transitively (the ⇋ axiom), and merges each entity cluster into a
+golden record by weighted per-attribute voting (the same w(t, A)
+confidence weights as the repair cost model).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Set, Tuple as PyTuple
+
+from repro.md.blocking import Blocker
+from repro.md.model import MD, MatchInterpretation
+from repro.relational.instance import RelationInstance
+from repro.relational.tuples import Tuple
+
+__all__ = ["EntityCluster", "DedupResult", "deduplicate"]
+
+
+class EntityCluster:
+    """One group of tuples identified as the same entity."""
+
+    __slots__ = ("members", "golden")
+
+    def __init__(self, members: List[Tuple], golden: Tuple):
+        self.members = members
+        self.golden = golden
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __repr__(self) -> str:
+        return f"EntityCluster({len(self.members)} tuples → {self.golden!r})"
+
+
+class DedupResult:
+    """Clusters plus the consolidated relation."""
+
+    def __init__(
+        self,
+        clusters: List[EntityCluster],
+        consolidated: RelationInstance,
+        comparisons: int,
+    ):
+        self.clusters = clusters
+        self.consolidated = consolidated
+        self.comparisons = comparisons
+
+    @property
+    def duplicates_removed(self) -> int:
+        return sum(len(c) - 1 for c in self.clusters)
+
+    def __repr__(self) -> str:
+        return (
+            f"DedupResult({len(self.clusters)} entities, "
+            f"{self.duplicates_removed} duplicates merged)"
+        )
+
+
+class _TupleUnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[Tuple, Tuple] = {}
+
+    def find(self, t: Tuple) -> Tuple:
+        parent = self._parent.setdefault(t, t)
+        if parent != t:
+            root = self.find(parent)
+            self._parent[t] = root
+            return root
+        return t
+
+    def union(self, a: Tuple, b: Tuple) -> None:
+        self._parent[self.find(a)] = self.find(b)
+
+
+def _golden_record(members: List[Tuple], cost_model) -> Tuple:
+    """Weighted plurality per attribute (ties broken deterministically)."""
+    schema = members[0].schema
+    values: Dict[str, Any] = {}
+    for attr in schema.attribute_names:
+        weight_of: Dict[Any, float] = {}
+        for t in members:
+            weight_of[t[attr]] = weight_of.get(t[attr], 0.0) + cost_model.weight(
+                t, attr
+            )
+        values[attr] = max(
+            sorted(weight_of, key=repr), key=lambda v: weight_of[v]
+        )
+    return Tuple(schema, values, validate=False)
+
+
+def deduplicate(
+    instance: RelationInstance,
+    rules: Sequence[MD],
+    cost_model=None,
+    max_rounds: int = 5,
+) -> DedupResult:
+    """Merge/purge ``instance`` with reflexive matching rules.
+
+    ``rules`` must be MDs over (R, R) for the instance's relation; pairs
+    matched by any rule are merged transitively into entity clusters.
+    ``cost_model`` is a :class:`repro.repair.models.CostModel` (imported
+    lazily: repair's cost metric itself uses the similarity metrics here).
+    """
+    if cost_model is None:
+        from repro.repair.models import CostModel
+
+        cost_model = CostModel()
+    interpretation = MatchInterpretation()
+    uf = _TupleUnionFind()
+    tuples = instance.tuples()
+    comparisons = 0
+    matched_pairs: Set[PyTuple[Tuple, Tuple]] = set()
+    blockers = [Blocker(rule, instance) for rule in rules]
+    for _ in range(max_rounds):
+        changed = False
+        for rule, blocker in zip(rules, blockers):
+            for i, t1 in enumerate(tuples):
+                for t2 in blocker.candidates(t1):
+                    if t1 == t2:
+                        continue
+                    comparisons += rule.length
+                    if not rule.premise_holds(t1, t2, interpretation):
+                        continue
+                    pair = (t1, t2)
+                    if pair not in matched_pairs:
+                        matched_pairs.add(pair)
+                        uf.union(t1, t2)
+                        changed = True
+                    for a, b in zip(rule.rhs_left, rule.rhs_right):
+                        changed |= interpretation.declare(
+                            ("L", a, t1[a]), ("R", b, t2[b])
+                        )
+        if not changed:
+            break
+    groups: Dict[Tuple, List[Tuple]] = {}
+    for t in tuples:
+        groups.setdefault(uf.find(t), []).append(t)
+    clusters: List[EntityCluster] = []
+    consolidated = RelationInstance(instance.schema)
+    for members in groups.values():
+        golden = (
+            members[0] if len(members) == 1 else _golden_record(members, cost_model)
+        )
+        clusters.append(EntityCluster(members, golden))
+        consolidated.add(golden)
+    clusters.sort(key=lambda c: repr(c.golden))
+    return DedupResult(clusters, consolidated, comparisons)

@@ -1,0 +1,195 @@
+"""Generic reasoning about MDs: the PTIME implication algorithm (Thm 4.8).
+
+Σ ⊨m φ holds iff φ is enforced whenever Σ is, *for every* interpretation of
+the similarity and matching operators satisfying their generic axioms
+(§3.2): each ≈ reflexive, symmetric, subsuming equality; ⇋ additionally
+transitive and pairwise-decomposable on lists.
+
+The decision procedure reasons about one universally-quantified tuple pair
+(t1, t2).  Its state is a set of *facts* about attribute nodes — ``L.A``
+(t1's value of A) and ``R.B`` (t2's) — of three kinds:
+
+* equality facts, closed under the equivalence axioms (union-find);
+* match facts (⇋), also an equivalence (union-find) into which equality
+  feeds (= ⊆ ⇋);
+* similarity facts (A, B, ≈) for the other operators, *not* transitive,
+  consulted modulo the equality classes and the known containment lattice.
+
+Seed the facts with φ's premise, saturate with Σ (fire an MD when each of
+its premise conjuncts is entailed by the facts), and test φ's conclusion.
+Each firing adds at least one fact over a quadratic universe, so the
+fixpoint is reached in polynomial time — this is the algorithm of [38]
+(Theorem 4.8), and its soundness/completeness rests on the canonical-model
+argument: the final fact set *is* an interpretation satisfying the generic
+axioms, so a non-derived conclusion has a countermodel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple as PyTuple
+
+from repro.errors import DependencyError
+from repro.md.model import MATCH, MD, MDPremise
+from repro.md.similarity import EQ, ContainmentLattice, SimilarityOperator
+
+__all__ = ["MDFactStore", "md_implies", "deduce_closure"]
+
+Node = PyTuple[str, str]  # ("L" | "R", attribute)
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[Node, Node] = {}
+
+    def find(self, item: Node) -> Node:
+        parent = self._parent.setdefault(item, item)
+        if parent != item:
+            root = self.find(parent)
+            self._parent[item] = root
+            return root
+        return item
+
+    def union(self, left: Node, right: Node) -> bool:
+        """Merge; True iff the classes were previously distinct."""
+        left_root, right_root = self.find(left), self.find(right)
+        if left_root == right_root:
+            return False
+        self._parent[left_root] = right_root
+        return True
+
+    def same(self, left: Node, right: Node) -> bool:
+        return self.find(left) == self.find(right)
+
+
+class MDFactStore:
+    """The fact state of the implication procedure."""
+
+    def __init__(self, lattice: ContainmentLattice):
+        self.lattice = lattice
+        self.eq = _UnionFind()
+        self.match = _UnionFind()
+        self.sim: Set[PyTuple[Node, Node, str]] = set()
+
+    def add(self, left: Node, right: Node, op: SimilarityOperator) -> bool:
+        """Record a fact; returns True iff the state changed."""
+        if op == EQ:
+            changed = self.eq.union(left, right)
+            # = ⊆ ⇋ and = ⊆ every similarity operator: equality classes are
+            # consulted directly by `entails`, so only ⇋ needs the feed-in.
+            changed |= self.match.union(left, right)
+            return changed
+        if op == MATCH:
+            return self.match.union(left, right)
+        fact = (self.eq.find(left), self.eq.find(right), op.name)
+        if fact in self.sim:
+            return False
+        self.sim.add(fact)
+        return True
+
+    def entails(self, left: Node, right: Node, op: SimilarityOperator) -> bool:
+        """Is t1[left] ≈op t2[right] forced by the facts?"""
+        # reflexivity + equality: equal values satisfy every operator
+        if self.eq.same(left, right):
+            return True
+        if op == MATCH and self.match.same(left, right):
+            return True
+        if op == EQ:
+            return False  # only the equality classes witness equality
+        left_root, right_root = self.eq.find(left), self.eq.find(right)
+        for fact_left, fact_right, fact_op in self.sim:
+            if {self.eq.find(fact_left), self.eq.find(fact_right)} != {
+                left_root,
+                right_root,
+            }:
+                continue
+            smaller = self.lattice.operators.get(fact_op)
+            if smaller is not None and self.lattice.contains(smaller, op):
+                return True
+        return False
+
+
+def _orient(
+    md: MD, left_relation: str, right_relation: str
+) -> PyTuple[List[MDPremise], bool] | None:
+    """Premises of ``md`` oriented as (left_relation, right_relation) and a
+    flag saying whether the MD was flipped; None for other relation pairs."""
+    if (md.left_relation, md.right_relation) == (left_relation, right_relation):
+        return list(md.premises), False
+    if (md.right_relation, md.left_relation) == (left_relation, right_relation):
+        # similarity operators are symmetric, so premises flip soundly
+        flipped = [
+            MDPremise(p.right_attr, p.left_attr, p.operator) for p in md.premises
+        ]
+        return flipped, True
+    return None
+
+
+def deduce_closure(
+    sigma: Sequence[MD],
+    target: MD,
+    lattice: ContainmentLattice,
+) -> MDFactStore:
+    """Seed with target's premise and saturate with Σ; returns the store."""
+    left_rel, right_rel = target.left_relation, target.right_relation
+    store = MDFactStore(lattice)
+    for p in target.premises:
+        store.add(("L", p.left_attr), ("R", p.right_attr), p.operator)
+
+    oriented: List[PyTuple[List[MDPremise], MD, bool]] = []
+    for md in sigma:
+        result = _orient(md, left_rel, right_rel)
+        if result is not None:
+            premises, swapped = result
+            oriented.append((premises, md, swapped))
+    changed = True
+    while changed:
+        changed = False
+        for premises, md, swapped in oriented:
+            if not all(
+                store.entails(("L", p.left_attr), ("R", p.right_attr), p.operator)
+                for p in premises
+            ):
+                continue
+            pairs = list(zip(md.rhs_left, md.rhs_right))
+            if swapped:
+                pairs = [(b, a) for a, b in pairs]
+            if md.rhs_operator in (MATCH, EQ):
+                # pairwise decomposition (axiom of ⇋; trivial for =)
+                for a, b in pairs:
+                    changed |= store.add(("L", a), ("R", b), md.rhs_operator)
+            else:
+                if len(pairs) != 1:
+                    raise DependencyError(
+                        "non-⇋ MD conclusions must be single-attribute"
+                    )
+                a, b = pairs[0]
+                changed |= store.add(("L", a), ("R", b), md.rhs_operator)
+    return store
+
+
+def md_implies(
+    sigma: Sequence[MD],
+    target: MD,
+    lattice: ContainmentLattice | None = None,
+) -> bool:
+    """Decide Σ ⊨m φ in PTIME (Theorem 4.8).
+
+    ``lattice`` carries the known containments among similarity operators;
+    by default only the generic ones (= ⊆ ≈ for all ≈, thresholded metrics
+    ordered by threshold) collected from the operators appearing in
+    Σ ∪ {φ}.
+    """
+    if lattice is None:
+        operators = {p.operator for md in list(sigma) + [target] for p in md.premises}
+        operators |= {md.rhs_operator for md in list(sigma) + [target]}
+        lattice = ContainmentLattice(operators)
+    store = deduce_closure(sigma, target, lattice)
+    pairs = list(zip(target.rhs_left, target.rhs_right))
+    if target.rhs_operator in (MATCH, EQ):
+        return all(
+            store.entails(("L", a), ("R", b), target.rhs_operator) for a, b in pairs
+        )
+    if len(pairs) != 1:
+        raise DependencyError("non-⇋ MD conclusions must be single-attribute")
+    a, b = pairs[0]
+    return store.entails(("L", a), ("R", b), target.rhs_operator)

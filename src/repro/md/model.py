@@ -1,0 +1,228 @@
+"""Matching dependencies and relative keys (paper §3.2).
+
+An MD over a pair of relation schemas (R1, R2) is
+
+    ⋀_{j ∈ [1,k]}  R1[X1[j]] ≈j R2[X2[j]]   →   R1[Z1] ⇋ R2[Z2]
+
+where each ≈j is a similarity operator in Θ and the conclusion operator is
+usually the matching operator ⇋ ("refer to the same real-world object").
+A *relative key* is an MD whose premise uses no ⇋.
+
+The matching operator is typically *not given* on the data (§3.3): it is
+the relation to be inferred.  Checking an MD on concrete instances
+therefore takes a :class:`MatchInterpretation` — an explicit, transitive,
+pairwise-decomposable interpretation of ⇋ (tests use interpretations
+derived from ground truth; the matcher builds one as it runs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Sequence, Set, Tuple as PyTuple
+
+from repro.errors import DependencyError
+from repro.md.similarity import EQ, SimilarityOperator
+from repro.relational.instance import DatabaseInstance
+from repro.relational.tuples import Tuple
+
+__all__ = ["MATCH", "MatchOperator", "MDPremise", "MD", "RelativeKey", "MatchInterpretation"]
+
+
+class MatchOperator(SimilarityOperator):
+    """The matching operator ⇋: transitive and pairwise-decomposable.
+
+    ``similar`` on raw values falls back to equality (x = x ⇋ x): the true
+    relation is supplied per-analysis by a :class:`MatchInterpretation`.
+    """
+
+    name = "⇋"
+
+    def similar(self, left: Any, right: Any) -> bool:
+        return left == right
+
+
+#: the shared matching-operator token used in MD conclusions/premises
+MATCH = MatchOperator()
+
+
+class MDPremise:
+    """One conjunct R1[A] ≈ R2[B] of an MD's premise."""
+
+    __slots__ = ("left_attr", "right_attr", "operator")
+
+    def __init__(self, left_attr: str, right_attr: str, operator: SimilarityOperator):
+        self.left_attr = left_attr
+        self.right_attr = right_attr
+        self.operator = operator
+
+    def __repr__(self) -> str:
+        return f"{self.left_attr} {self.operator.name} {self.right_attr}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MDPremise)
+            and (self.left_attr, self.right_attr, self.operator)
+            == (other.left_attr, other.right_attr, other.operator)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.left_attr, self.right_attr, self.operator))
+
+
+class MatchInterpretation:
+    """A concrete interpretation of ⇋ on attribute-value lists.
+
+    Maintains an equivalence over (tag, value-tuple) items via union-find;
+    ``matched(a, b)`` is True when the two items were declared equivalent
+    (or are equal — ⇋ subsumes equality).
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[Any, Any] = {}
+
+    def _find(self, item: Any) -> Any:
+        parent = self._parent.setdefault(item, item)
+        if parent != item:
+            root = self._find(parent)
+            self._parent[item] = root
+            return root
+        return item
+
+    def declare(self, left: Any, right: Any) -> bool:
+        """Declare left ⇋ right; True iff the classes were distinct."""
+        left_root, right_root = self._find(left), self._find(right)
+        if left_root == right_root:
+            return False
+        self._parent[left_root] = right_root
+        return True
+
+    def matched(self, left: Any, right: Any) -> bool:
+        if left == right:
+            return True
+        return self._find(left) == self._find(right)
+
+
+class MD:
+    """A matching dependency over (R1, R2)."""
+
+    def __init__(
+        self,
+        left_relation: str,
+        right_relation: str,
+        premises: Sequence[MDPremise | PyTuple[str, str, SimilarityOperator]],
+        rhs_left: Sequence[str],
+        rhs_right: Sequence[str],
+        rhs_operator: SimilarityOperator = MATCH,
+        name: str | None = None,
+    ):
+        if len(rhs_left) != len(rhs_right):
+            raise DependencyError("MD conclusion lists must have equal length")
+        if not rhs_left:
+            raise DependencyError("MD conclusion must be non-empty")
+        if not premises:
+            raise DependencyError("MD premise must be non-empty")
+        self.left_relation = left_relation
+        self.right_relation = right_relation
+        normalized: List[MDPremise] = []
+        for p in premises:
+            if isinstance(p, MDPremise):
+                normalized.append(p)
+            else:
+                left_attr, right_attr, operator = p
+                normalized.append(MDPremise(left_attr, right_attr, operator))
+        self.premises: PyTuple[MDPremise, ...] = tuple(normalized)
+        self.rhs_left: PyTuple[str, ...] = tuple(rhs_left)
+        self.rhs_right: PyTuple[str, ...] = tuple(rhs_right)
+        self.rhs_operator = rhs_operator
+        self.name = name or f"md:{len(self.premises)}-premise"
+
+    @property
+    def length(self) -> int:
+        """k — the number of premise conjuncts."""
+        return len(self.premises)
+
+    def is_relative_key(self) -> bool:
+        """True iff no premise uses the matching operator ⇋."""
+        return all(p.operator != MATCH for p in self.premises)
+
+    def premise_holds(
+        self,
+        t1: Tuple,
+        t2: Tuple,
+        interpretation: MatchInterpretation | None = None,
+    ) -> bool:
+        """Evaluate the premise on a concrete tuple pair.
+
+        ⇋-premises consult ``interpretation`` (single-attribute items are
+        tagged with their attribute pair so independently declared matches
+        do not collide).
+        """
+        for p in self.premises:
+            left_value, right_value = t1[p.left_attr], t2[p.right_attr]
+            if p.operator == MATCH:
+                # ⇋ subsumes equality on raw values (§3.2 axiom) ...
+                if left_value == right_value:
+                    continue
+                # ... otherwise only a previously derived match witnesses it
+                if interpretation is None or not interpretation.matched(
+                    ("L", p.left_attr, left_value), ("R", p.right_attr, right_value)
+                ):
+                    return False
+            elif not p.operator.similar(left_value, right_value):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        premise = " ∧ ".join(map(repr, self.premises))
+        return (
+            f"MD({self.left_relation}, {self.right_relation}: {premise} → "
+            f"{list(self.rhs_left)} {self.rhs_operator.name} {list(self.rhs_right)})"
+        )
+
+    def _key(self):
+        return (
+            self.left_relation,
+            self.right_relation,
+            frozenset(self.premises),
+            self.rhs_left,
+            self.rhs_right,
+            self.rhs_operator,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MD) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+
+class RelativeKey(MD):
+    """A key (X1, X2, C) relative to (Y1, Y2): no ⇋ in the premise."""
+
+    def __init__(
+        self,
+        left_relation: str,
+        right_relation: str,
+        lhs_pairs: Sequence[PyTuple[str, str]],
+        operators: Sequence[SimilarityOperator],
+        rhs_left: Sequence[str],
+        rhs_right: Sequence[str],
+        name: str | None = None,
+    ):
+        if len(lhs_pairs) != len(operators):
+            raise DependencyError("one operator per LHS attribute pair required")
+        if any(op == MATCH for op in operators):
+            raise DependencyError("relative keys must not use ⇋ in the premise")
+        premises = [
+            MDPremise(a, b, op) for (a, b), op in zip(lhs_pairs, operators)
+        ]
+        super().__init__(
+            left_relation,
+            right_relation,
+            premises,
+            rhs_left,
+            rhs_right,
+            MATCH,
+            name=name or f"rck:{[p for p in lhs_pairs]}",
+        )
+        self.lhs_pairs: PyTuple[PyTuple[str, str], ...] = tuple(lhs_pairs)
+        self.operators: PyTuple[SimilarityOperator, ...] = tuple(operators)

@@ -1,0 +1,115 @@
+"""Deriving relative candidate keys from MDs (paper §3.3 and §4.2).
+
+A key ψ = (X1, X2, C) relative to (Y1, Y2) is an MD without ⇋ in the
+premise whose conclusion is R1[Y1] ⇋ R2[Y2].  The ordering ψ ≤ ψ′ (fewer
+attribute pairs, each compared by a contained — i.e. stronger — similarity
+operator) makes "minimal" precise; a *relative candidate key* (RCK) is a
+≤-minimal key.  Derived RCKs serve as matching rules; [38] reports they
+"improve the quality and efficiency of various object identification
+methods", the claim benchmark EXP-MATCH measures.
+
+``derive_rcks`` enumerates candidate keys over a given pool of attribute
+pairs and operators (bounded length), keeps those implied by Σ (via the
+PTIME procedure of :mod:`repro.md.inference`), and prunes non-minimal ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Sequence, Tuple as PyTuple
+
+from repro.md.inference import md_implies
+from repro.md.model import MATCH, MD, RelativeKey
+from repro.md.similarity import ContainmentLattice, SimilarityOperator
+
+__all__ = ["key_leq", "is_rck_among", "derive_rcks"]
+
+
+def key_leq(
+    first: RelativeKey, second: RelativeKey, lattice: ContainmentLattice
+) -> bool:
+    """ψ ≤ ψ′ per the paper: every pair of ψ appears in ψ′ with a similarity
+    operator of ψ′ contained in ψ's (and ψ is no longer than ψ′)."""
+    if first.length > second.length:
+        return False
+    for (pair, op) in zip(first.lhs_pairs, first.operators):
+        found = False
+        for (pair2, op2) in zip(second.lhs_pairs, second.operators):
+            if pair == pair2 and lattice.contains(op2, op):
+                found = True
+                break
+        if not found:
+            return False
+    return True
+
+
+def key_lt(first: RelativeKey, second: RelativeKey, lattice: ContainmentLattice) -> bool:
+    """ψ < ψ′: ψ ≤ ψ′ but not ψ′ ≤ ψ."""
+    return key_leq(first, second, lattice) and not key_leq(second, first, lattice)
+
+
+def is_rck_among(
+    key: RelativeKey, others: Iterable[RelativeKey], lattice: ContainmentLattice
+) -> bool:
+    """True iff no other key is strictly smaller than ``key``."""
+    return not any(key_lt(other, key, lattice) for other in others if other != key)
+
+
+def derive_rcks(
+    sigma: Sequence[MD],
+    rhs_left: Sequence[str],
+    rhs_right: Sequence[str],
+    attribute_pairs: Sequence[PyTuple[str, str]] | None = None,
+    operators: Sequence[SimilarityOperator] | None = None,
+    max_length: int = 3,
+    lattice: ContainmentLattice | None = None,
+) -> List[RelativeKey]:
+    """Derive relative candidate keys for (rhs_left, rhs_right) from Σ.
+
+    ``attribute_pairs``/``operators`` bound the candidate space; both
+    default to the pairs and (non-⇋) operators appearing in Σ's premises.
+    Exhaustive up to ``max_length`` premise conjuncts, then ≤-minimized.
+    """
+    if not sigma:
+        return []
+    left_rel = sigma[0].left_relation
+    right_rel = sigma[0].right_relation
+    if attribute_pairs is None:
+        attribute_pairs = sorted(
+            {
+                (p.left_attr, p.right_attr)
+                for md in sigma
+                for p in md.premises
+            }
+        )
+    if operators is None:
+        operators = sorted(
+            {
+                p.operator
+                for md in sigma
+                for p in md.premises
+                if p.operator != MATCH
+            },
+            key=lambda op: op.name,
+        )
+    if lattice is None:
+        pool = set(operators)
+        for md in sigma:
+            pool.update(p.operator for p in md.premises)
+            pool.add(md.rhs_operator)
+        lattice = ContainmentLattice(pool)
+
+    implied: List[RelativeKey] = []
+    for size in range(1, max_length + 1):
+        for pairs in itertools.combinations(attribute_pairs, size):
+            for ops in itertools.product(operators, repeat=size):
+                candidate = RelativeKey(
+                    left_rel, right_rel, list(pairs), list(ops), rhs_left, rhs_right
+                )
+                # prune: a candidate ≥ an already-implied key is implied too
+                # but never minimal, so skip it outright
+                if any(key_leq(prev, candidate, lattice) for prev in implied):
+                    continue
+                if md_implies(sigma, candidate, lattice):
+                    implied.append(candidate)
+    return [k for k in implied if is_rck_among(k, implied, lattice)]

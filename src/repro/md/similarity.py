@@ -1,0 +1,268 @@
+"""Domain-specific similarity operators (paper §3.2).
+
+Each operator ≈ ∈ Θ is a binary relation on values that is **reflexive**,
+**symmetric**, and **subsumes equality** (x = y ⟹ x ≈ y).  The metrics the
+paper names — edit distance, q-grams, Jaro — are implemented from scratch,
+each thresholded (`x ≈θ y` iff the distance/score passes θ).
+
+Operators carry a *name* (identity for generic reasoning) and an optional
+declared containment: ``a.contained_in(b)`` means a ⊆ b as relations, the
+piece of knowledge the RCK derivation of §4.2 assumes is given.  Built-in
+containments: equality is contained in every operator, and two thresholded
+instances of the same metric are ordered by threshold.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, FrozenSet, Iterable, Sequence, Set, Tuple as PyTuple
+
+__all__ = [
+    "SimilarityOperator",
+    "Equality",
+    "EditDistanceSimilarity",
+    "JaroSimilarity",
+    "QGramSimilarity",
+    "TokenSetSimilarity",
+    "EQ",
+    "levenshtein",
+    "jaro",
+    "qgrams",
+    "ContainmentLattice",
+]
+
+
+def levenshtein(left: str, right: str) -> int:
+    """Classical edit distance (insert/delete/substitute, unit costs)."""
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    previous = list(range(len(right) + 1))
+    for i, lch in enumerate(left, start=1):
+        current = [i]
+        for j, rch in enumerate(right, start=1):
+            cost = 0 if lch == rch else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def jaro(left: str, right: str) -> float:
+    """Jaro similarity in [0, 1] (1 = identical)."""
+    if left == right:
+        return 1.0
+    if not left or not right:
+        return 0.0
+    window = max(len(left), len(right)) // 2 - 1
+    window = max(window, 0)
+    left_matched = [False] * len(left)
+    right_matched = [False] * len(right)
+    matches = 0
+    for i, ch in enumerate(left):
+        lo = max(0, i - window)
+        hi = min(len(right), i + window + 1)
+        for j in range(lo, hi):
+            if not right_matched[j] and right[j] == ch:
+                left_matched[i] = True
+                right_matched[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    k = 0
+    for i in range(len(left)):
+        if left_matched[i]:
+            while not right_matched[k]:
+                k += 1
+            if left[i] != right[k]:
+                transpositions += 1
+            k += 1
+    transpositions //= 2
+    m = float(matches)
+    return (m / len(left) + m / len(right) + (m - transpositions) / m) / 3.0
+
+
+def qgrams(value: str, q: int = 2) -> FrozenSet[str]:
+    """The padded q-gram set of a string."""
+    padded = ("#" * (q - 1)) + value + ("#" * (q - 1))
+    return frozenset(padded[i : i + q] for i in range(len(padded) - q + 1))
+
+
+class SimilarityOperator(ABC):
+    """A named, reflexive, symmetric relation subsuming equality."""
+
+    #: unique identifier; operators compare by name
+    name: str
+
+    @abstractmethod
+    def similar(self, left: Any, right: Any) -> bool:
+        """x ≈ y."""
+
+    def contained_in(self, other: "SimilarityOperator") -> bool:
+        """Declared containment ≈_self ⊆ ≈_other (generic knowledge).
+
+        Default: only reflexive containment plus "equality ⊆ everything".
+        Thresholded metrics refine this.
+        """
+        return self.name == other.name or isinstance(self, Equality)
+
+    def __call__(self, left: Any, right: Any) -> bool:
+        return self.similar(left, right)
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SimilarityOperator) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("SimilarityOperator", self.name))
+
+
+class Equality(SimilarityOperator):
+    """The equality relation = (always in Θ)."""
+
+    name = "="
+
+    def similar(self, left: Any, right: Any) -> bool:
+        return left == right
+
+
+#: shared equality instance
+EQ = Equality()
+
+
+class EditDistanceSimilarity(SimilarityOperator):
+    """x ≈θ y iff levenshtein(x, y) ≤ θ (the paper's ≈d)."""
+
+    def __init__(self, threshold: int = 2, name: str | None = None):
+        self.threshold = threshold
+        self.name = name or f"edit≤{threshold}"
+
+    def similar(self, left: Any, right: Any) -> bool:
+        left_s, right_s = str(left), str(right)
+        if abs(len(left_s) - len(right_s)) > self.threshold:
+            return False
+        return levenshtein(left_s, right_s) <= self.threshold
+
+    def contained_in(self, other: SimilarityOperator) -> bool:
+        if isinstance(other, EditDistanceSimilarity):
+            return self.threshold <= other.threshold
+        return super().contained_in(other)
+
+
+class JaroSimilarity(SimilarityOperator):
+    """x ≈ y iff jaro(x, y) ≥ θ."""
+
+    def __init__(self, threshold: float = 0.85, name: str | None = None):
+        self.threshold = threshold
+        self.name = name or f"jaro≥{threshold}"
+
+    def similar(self, left: Any, right: Any) -> bool:
+        return jaro(str(left), str(right)) >= self.threshold
+
+    def contained_in(self, other: SimilarityOperator) -> bool:
+        if isinstance(other, JaroSimilarity):
+            return self.threshold >= other.threshold
+        return super().contained_in(other)
+
+
+class QGramSimilarity(SimilarityOperator):
+    """x ≈ y iff the Jaccard overlap of q-gram sets is ≥ θ."""
+
+    def __init__(self, q: int = 2, threshold: float = 0.7, name: str | None = None):
+        self.q = q
+        self.threshold = threshold
+        self.name = name or f"{q}gram≥{threshold}"
+
+    def similar(self, left: Any, right: Any) -> bool:
+        left_s, right_s = str(left), str(right)
+        if left_s == right_s:
+            return True
+        left_g, right_g = qgrams(left_s, self.q), qgrams(right_s, self.q)
+        union = left_g | right_g
+        if not union:
+            return True
+        return len(left_g & right_g) / len(union) >= self.threshold
+
+    def contained_in(self, other: SimilarityOperator) -> bool:
+        if isinstance(other, QGramSimilarity) and self.q == other.q:
+            return self.threshold >= other.threshold
+        return super().contained_in(other)
+
+
+class TokenSetSimilarity(SimilarityOperator):
+    """x ≈ y iff the Jaccard overlap of whitespace tokens is ≥ θ.
+
+    Useful for addresses ("Mountain Ave 600" vs "600 Mountain Ave").
+    """
+
+    def __init__(self, threshold: float = 0.6, name: str | None = None):
+        self.threshold = threshold
+        self.name = name or f"tokens≥{threshold}"
+
+    def similar(self, left: Any, right: Any) -> bool:
+        left_t = set(str(left).lower().split())
+        right_t = set(str(right).lower().split())
+        if left_t == right_t:
+            return True
+        union = left_t | right_t
+        if not union:
+            return True
+        return len(left_t & right_t) / len(union) >= self.threshold
+
+    def contained_in(self, other: SimilarityOperator) -> bool:
+        if isinstance(other, TokenSetSimilarity):
+            return self.threshold >= other.threshold
+        return super().contained_in(other)
+
+
+class ContainmentLattice:
+    """The known containment relationships among similarity operators.
+
+    The RCK derivation of §4.2 "assumes that the containment relationship
+    of similarity relations in Θ is known (excluding ⇋)".  The lattice is
+    seeded with each operator's self-declared containments and closed under
+    reflexivity and transitivity; extra pairs can be declared explicitly.
+    """
+
+    def __init__(
+        self,
+        operators: Iterable[SimilarityOperator],
+        extra_pairs: Iterable[PyTuple[str, str]] = (),
+    ):
+        self.operators: Dict[str, SimilarityOperator] = {
+            op.name: op for op in operators
+        }
+        if EQ.name not in self.operators:
+            self.operators[EQ.name] = EQ
+        self._contained: Set[PyTuple[str, str]] = set()
+        names = list(self.operators)
+        for a in names:
+            for b in names:
+                if self.operators[a].contained_in(self.operators[b]):
+                    self._contained.add((a, b))
+        for a, b in extra_pairs:
+            self._contained.add((a, b))
+        # transitive closure (tiny lattices; cubic is fine)
+        changed = True
+        while changed:
+            changed = False
+            for a, b in list(self._contained):
+                for c, d in list(self._contained):
+                    if b == c and (a, d) not in self._contained:
+                        self._contained.add((a, d))
+                        changed = True
+
+    def contains(self, smaller: SimilarityOperator, larger: SimilarityOperator) -> bool:
+        """smaller ⊆ larger?"""
+        return (smaller.name, larger.name) in self._contained
+
+    def __repr__(self) -> str:
+        return f"ContainmentLattice({sorted(self.operators)})"

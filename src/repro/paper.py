@@ -1,0 +1,363 @@
+"""The paper's running examples as ready-made objects.
+
+Everything in Figures 1–4 and Examples 2.1, 2.2, 4.1, 4.2, 5.1 of
+Fan, "Dependencies Revisited for Improving Data Quality" (PODS 2008) is
+constructed here exactly as printed, so tests, examples and benchmarks can
+refer to `fig1_instance()`, `fig2_cfds()`, ... and assert the claims the
+paper makes about them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple as PyTuple
+
+from repro.cfd.model import CFD, UNNAMED, PatternTableau
+from repro.cind.model import CIND
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.relational.domains import BOOL, EnumDomain, FLOAT, INT, STRING
+from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+
+__all__ = [
+    "customer_schema",
+    "fig1_instance",
+    "fig1_fds",
+    "fig2_cfds",
+    "source_target_schema",
+    "fig3_instance",
+    "fig3_naive_inds",
+    "fig4_cinds",
+    "example41_schema",
+    "example41_cfds",
+    "example42_sources",
+    "example51_schema",
+    "example51_instance",
+    "example51_key",
+]
+
+
+# ---------------------------------------------------------------------------
+# Section 2.1: the customer relation (Figure 1) and its FDs/CFDs (Figure 2)
+# ---------------------------------------------------------------------------
+
+def customer_schema() -> RelationSchema:
+    """customer (CC, AC, phn, name, street, city, zip) — paper §2.1.
+
+    The paper types CC/AC/phn as int; zip codes like 'EH4 8LE' force zip to
+    be a string, as printed.
+    """
+    return RelationSchema(
+        "customer",
+        [
+            ("CC", INT),
+            ("AC", INT),
+            ("phn", INT),
+            ("name", STRING),
+            ("street", STRING),
+            ("city", STRING),
+            ("zip", STRING),
+        ],
+    )
+
+
+def fig1_instance() -> DatabaseInstance:
+    """The instance D0 of Figure 1 (tuples t1, t2, t3)."""
+    schema = customer_schema()
+    db = DatabaseInstance(DatabaseSchema([schema]))
+    rel = db.relation("customer")
+    rel.add((44, 131, 1234567, "Mike", "Mayfield", "NYC", "EH4 8LE"))   # t1
+    rel.add((44, 131, 3456789, "Rick", "Crichton", "NYC", "EH4 8LE"))   # t2
+    rel.add((1, 908, 3456789, "Joe", "Mtn Ave", "NYC", "07974"))        # t3
+    return db
+
+
+def fig1_fds() -> List[FD]:
+    """f1: [CC,AC,phn] → [street,city,zip];  f2: [CC,AC] → [city]."""
+    return [
+        FD("customer", ["CC", "AC", "phn"], ["street", "city", "zip"]),
+        FD("customer", ["CC", "AC"], ["city"]),
+    ]
+
+
+def fig2_cfds() -> Dict[str, CFD]:
+    """The CFDs ϕ1, ϕ2, ϕ3 of Figure 2.
+
+    ϕ1 expresses cfd1; ϕ2's three pattern rows express f1, cfd2 and cfd3;
+    ϕ3 expresses f2.
+    """
+    phi1 = CFD(
+        "customer",
+        ["CC", "zip"],
+        ["street"],
+        PatternTableau(
+            ("CC", "zip", "street"),
+            [{"CC": 44, "zip": UNNAMED, "street": UNNAMED}],
+        ),
+        name="phi1",
+    )
+    phi2 = CFD(
+        "customer",
+        ["CC", "AC", "phn"],
+        ["street", "city", "zip"],
+        PatternTableau(
+            ("CC", "AC", "phn", "street", "city", "zip"),
+            [
+                {a: UNNAMED for a in ("CC", "AC", "phn", "street", "city", "zip")},
+                {"CC": 44, "AC": 131, "phn": UNNAMED, "street": UNNAMED,
+                 "city": "EDI", "zip": UNNAMED},
+                {"CC": 1, "AC": 908, "phn": UNNAMED, "street": UNNAMED,
+                 "city": "MH", "zip": UNNAMED},
+            ],
+        ),
+        name="phi2",
+    )
+    phi3 = CFD(
+        "customer",
+        ["CC", "AC"],
+        ["city"],
+        PatternTableau(
+            ("CC", "AC", "city"),
+            [{"CC": UNNAMED, "AC": UNNAMED, "city": UNNAMED}],
+        ),
+        name="phi3",
+    )
+    return {"phi1": phi1, "phi2": phi2, "phi3": phi3}
+
+
+# ---------------------------------------------------------------------------
+# Section 2.2: source/target schemas (Figure 3) and CINDs (Figure 4)
+# ---------------------------------------------------------------------------
+
+def source_target_schema() -> DatabaseSchema:
+    """order(asin, title, type, price); book(isbn, title, price, format);
+    CD(id, album, price, genre)."""
+    return DatabaseSchema(
+        [
+            RelationSchema(
+                "order",
+                [("asin", STRING), ("title", STRING), ("type", STRING), ("price", FLOAT)],
+            ),
+            RelationSchema(
+                "book",
+                [("isbn", STRING), ("title", STRING), ("price", FLOAT), ("format", STRING)],
+            ),
+            RelationSchema(
+                "CD",
+                [("id", STRING), ("album", STRING), ("price", FLOAT), ("genre", STRING)],
+            ),
+        ]
+    )
+
+
+def fig3_instance() -> DatabaseInstance:
+    """The instance D1 of Figure 3 (tuples t4..t9)."""
+    db = DatabaseInstance(source_target_schema())
+    order = db.relation("order")
+    order.add(("a23", "Snow White", "CD", 7.99))      # t4
+    order.add(("a12", "Harry Potter", "book", 17.99))  # t5
+    book = db.relation("book")
+    book.add(("b32", "Harry Potter", 17.99, "hard-cover"))  # t6
+    book.add(("b65", "Snow White", 7.99, "paper-cover"))    # t7
+    cd = db.relation("CD")
+    cd.add(("c12", "J. Denver", 7.94, "country"))   # t8
+    cd.add(("c58", "Snow White", 7.99, "a-book"))   # t9
+    return db
+
+
+def fig3_naive_inds() -> List[IND]:
+    """The INDs the paper says "do not make sense" on Figure 3's data."""
+    return [
+        IND("order", ["title", "price"], "book", ["title", "price"]),
+        IND("order", ["title", "price"], "CD", ["album", "price"]),
+    ]
+
+
+def fig4_cinds() -> Dict[str, CIND]:
+    """The CINDs ϕ4, ϕ5, ϕ6 of Figure 4 (cind1, cind2, cind3)."""
+    phi4 = CIND(
+        "order", ["title", "price"], "book", ["title", "price"],
+        lhs_pattern_attrs=["type"],
+        tableau=[{"type": "book"}],
+        name="phi4",
+    )
+    phi5 = CIND(
+        "order", ["title", "price"], "CD", ["album", "price"],
+        lhs_pattern_attrs=["type"],
+        tableau=[{"type": "CD"}],
+        name="phi5",
+    )
+    phi6 = CIND(
+        "CD", ["album", "price"], "book", ["title", "price"],
+        lhs_pattern_attrs=["genre"],
+        rhs_pattern_attrs=["format"],
+        tableau=[{"genre": "a-book", "format": "audio"}],
+        name="phi6",
+    )
+    return {"phi4": phi4, "phi5": phi5, "phi6": phi6}
+
+
+# ---------------------------------------------------------------------------
+# Section 3: card/billing schemas, MDs (Example 3.1), relative keys (3.2)
+# ---------------------------------------------------------------------------
+
+def card_billing_schema() -> DatabaseSchema:
+    """card(c#, SSN, FN, LN, addr, tel, email, type);
+    billing(c#, FN, SN, post, phn, email, item, price)."""
+    return DatabaseSchema(
+        [
+            RelationSchema(
+                "card",
+                [
+                    ("cnum", STRING), ("SSN", STRING), ("FN", STRING),
+                    ("LN", STRING), ("addr", STRING), ("tel", STRING),
+                    ("email", STRING), ("type", STRING),
+                ],
+            ),
+            RelationSchema(
+                "billing",
+                [
+                    ("cnum", STRING), ("FN", STRING), ("SN", STRING),
+                    ("post", STRING), ("phn", STRING), ("email", STRING),
+                    ("item", STRING), ("price", FLOAT),
+                ],
+            ),
+        ]
+    )
+
+
+#: Yc = [FN, LN, addr, tel, email];  Yb = [FN, SN, post, phn, email]
+YC: PyTuple[str, ...] = ("FN", "LN", "addr", "tel", "email")
+YB: PyTuple[str, ...] = ("FN", "SN", "post", "phn", "email")
+
+
+def example31_mds(edit_threshold: int = 2):
+    """The MDs φ1–φ4 of Example 3.1 (≈d = edit distance ≤ threshold)."""
+    from repro.md.model import MATCH, MD
+    from repro.md.similarity import EQ, EditDistanceSimilarity
+
+    approx = EditDistanceSimilarity(edit_threshold)
+    phi1 = MD(
+        "card", "billing",
+        [("tel", "phn", EQ)],
+        ["addr"], ["post"], MATCH, name="md-phi1",
+    )
+    phi2 = MD(
+        "card", "billing",
+        [("email", "email", MATCH)],
+        ["FN", "LN"], ["FN", "SN"], MATCH, name="md-phi2",
+    )
+    phi3 = MD(
+        "card", "billing",
+        [("LN", "SN", MATCH), ("addr", "post", MATCH), ("FN", "FN", MATCH)],
+        list(YC), list(YB), MATCH, name="md-phi3",
+    )
+    phi4 = MD(
+        "card", "billing",
+        [("LN", "SN", MATCH), ("addr", "post", MATCH), ("FN", "FN", approx)],
+        list(YC), list(YB), MATCH, name="md-phi4",
+    )
+    return {"phi1": phi1, "phi2": phi2, "phi3": phi3, "phi4": phi4}
+
+
+def example32_rcks(edit_threshold: int = 2):
+    """The relative keys rck1–rck3 of Example 3.2."""
+    from repro.md.model import RelativeKey
+    from repro.md.similarity import EQ, EditDistanceSimilarity
+
+    approx = EditDistanceSimilarity(edit_threshold)
+    rck1 = RelativeKey(
+        "card", "billing",
+        [("email", "email"), ("addr", "post")],
+        [EQ, EQ],
+        list(YC), list(YB), name="rck1",
+    )
+    rck2 = RelativeKey(
+        "card", "billing",
+        [("LN", "SN"), ("tel", "phn"), ("FN", "FN")],
+        [EQ, EQ, approx],
+        list(YC), list(YB), name="rck2",
+    )
+    rck3 = RelativeKey(
+        "card", "billing",
+        [("LN", "SN"), ("addr", "post"), ("FN", "FN")],
+        [EQ, EQ, approx],
+        list(YC), list(YB), name="rck3",
+    )
+    return {"rck1": rck1, "rck2": rck2, "rck3": rck3}
+
+
+# ---------------------------------------------------------------------------
+# Example 4.1: an inconsistent CFD set over a finite (bool) domain
+# ---------------------------------------------------------------------------
+
+def example41_schema(bool_domain: bool = True) -> RelationSchema:
+    """R(A, B) with dom(A) = bool (or an infinite domain when
+    ``bool_domain=False``, in which case the same CFDs are consistent)."""
+    a_domain = BOOL if bool_domain else INT
+    return RelationSchema("R", [("A", a_domain), ("B", STRING)])
+
+
+def example41_cfds(bool_domain: bool = True) -> List[CFD]:
+    """ψ1 = ([A] → [B], {(true‖b1), (false‖b2)}),
+    ψ2 = ([B] → [A], {(b1‖false), (b2‖true)})."""
+    true_value = True if bool_domain else 1
+    false_value = False if bool_domain else 0
+    psi1 = CFD(
+        "R", ["A"], ["B"],
+        PatternTableau(
+            ("A", "B"),
+            [{"A": true_value, "B": "b1"}, {"A": false_value, "B": "b2"}],
+        ),
+        name="psi1",
+    )
+    psi2 = CFD(
+        "R", ["B"], ["A"],
+        PatternTableau(
+            ("B", "A"),
+            [{"B": "b1", "A": false_value}, {"B": "b2", "A": true_value}],
+        ),
+        name="psi2",
+    )
+    return [psi1, psi2]
+
+
+# ---------------------------------------------------------------------------
+# Example 4.2: three customer sources and an integration view
+# ---------------------------------------------------------------------------
+
+def example42_sources() -> DatabaseSchema:
+    """R1 (UK), R2 (US), R3 (Netherlands): zip, street, AC, city."""
+    attrs = [("zip", STRING), ("street", STRING), ("AC", INT), ("city", STRING)]
+    return DatabaseSchema(
+        [
+            RelationSchema("R1", attrs),
+            RelationSchema("R2", attrs),
+            RelationSchema("R3", attrs),
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Example 5.1: the exponential-repair family
+# ---------------------------------------------------------------------------
+
+def example51_schema() -> RelationSchema:
+    """R(A, B) with string attributes."""
+    return RelationSchema("R", [("A", STRING), ("B", STRING)])
+
+
+def example51_instance(n: int) -> DatabaseInstance:
+    """Dn = {(ai, b), (ai, b') | i ∈ [1, n]} — 2n tuples, 2^n repairs."""
+    schema = example51_schema()
+    db = DatabaseInstance(DatabaseSchema([schema]))
+    rel = db.relation("R")
+    for i in range(1, n + 1):
+        rel.add((f"a{i}", "b"))
+        rel.add((f"a{i}", "b'"))
+    return db
+
+
+def example51_key() -> FD:
+    """The key A → B of Example 5.1."""
+    return FD("R", ["A"], ["B"])

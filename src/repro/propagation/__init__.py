@@ -1,0 +1,16 @@
+"""Dependency propagation through SPCU views (paper §4.1, Theorem 4.7)
+and automatic view-CFD derivation ([37])."""
+
+from repro.propagation.derive import candidate_view_cfds, derive_view_cfds, view_tags
+from repro.propagation.propagate import propagated_cfds, propagates
+from repro.propagation.views import select_project_view, tagged_union_view
+
+__all__ = [
+    "candidate_view_cfds",
+    "derive_view_cfds",
+    "propagated_cfds",
+    "propagates",
+    "select_project_view",
+    "tagged_union_view",
+    "view_tags",
+]

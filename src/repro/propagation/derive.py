@@ -1,0 +1,140 @@
+"""Automatic derivation of view CFDs (paper §4.1, "Computing view
+dependencies with conditions" [37]).
+
+:func:`propagates` *checks* a given view dependency; this module
+*generates* the view CFDs that hold, by building candidates from the
+source dependencies and the view's structure and filtering them through
+the propagation decision:
+
+* each source CFD whose attributes survive into the view yields a
+  candidate with the same embedded FD and pattern;
+* every ``Extend`` tag in the view (the CC column of Example 4.2)
+  contributes *conditional* variants — the source CFD's LHS extended with
+  the tag attribute pinned to each branch constant — which is exactly how
+  f3 reappears as ϕ7 and f3+i as ϕ8;
+* tag columns themselves yield candidate constant CFDs (∅ → tag = c per
+  branch) when the view has a single branch.
+
+The generator is deliberately a *candidate* enumerator: soundness comes
+entirely from the exact propagation check, completeness is relative to
+the candidate shapes above (the shapes of [37]'s output).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple as PyTuple
+
+from repro.cfd.model import CFD, UNNAMED, PatternTableau
+from repro.cfd.normal_form import denormalize
+from repro.deps.fd import FD
+from repro.propagation.propagate import propagates
+from repro.relational.query import Base, Extend, Project, Product, Query, Rename, Select, Union
+from repro.relational.schema import DatabaseSchema
+
+__all__ = ["view_tags", "candidate_view_cfds", "derive_view_cfds"]
+
+
+def view_tags(view: Query) -> Dict[str, Set]:
+    """Constant-valued attributes added by Extend nodes: name → values."""
+    tags: Dict[str, Set] = {}
+
+    def walk(node: Query) -> None:
+        if isinstance(node, Extend):
+            tags.setdefault(node.attribute.name, set()).add(node.value)
+            walk(node.child)
+        elif isinstance(node, (Select, Project, Rename)):
+            walk(node.child)
+        elif isinstance(node, (Union, Product)):
+            walk(node.left)
+            walk(node.right)
+        # Base: nothing
+
+    walk(view)
+    return tags
+
+
+def candidate_view_cfds(
+    db_schema: DatabaseSchema,
+    sigma: Sequence[CFD | FD],
+    view: Query,
+) -> List[CFD]:
+    """Enumerate candidate view CFDs from Σ and the view structure."""
+    view_schema = view.output_schema(db_schema)
+    view_attrs = set(view_schema.attribute_names)
+    tags = view_tags(view)
+    candidates: List[CFD] = []
+    seen: Set = set()
+
+    def add(cfd: CFD) -> None:
+        key = (cfd.lhs, cfd.rhs, cfd.tableau)
+        if key not in seen:
+            seen.add(key)
+            candidates.append(cfd)
+
+    from repro.cfd.model import fd_as_cfd
+
+    source_cfds = [
+        fd_as_cfd(dep) if isinstance(dep, FD) else dep for dep in sigma
+    ]
+    for cfd in source_cfds:
+        attrs = set(cfd.lhs) | set(cfd.rhs)
+        if not attrs <= view_attrs:
+            continue
+        tableau_attrs = tuple(cfd.lhs) + tuple(
+            a for a in cfd.rhs if a not in cfd.lhs
+        )
+        # 1. as-is (unconditional)
+        add(
+            CFD(
+                view_schema.name,
+                cfd.lhs,
+                cfd.rhs,
+                PatternTableau(
+                    tableau_attrs,
+                    [tp.project(tableau_attrs) for tp in cfd.tableau],
+                ),
+            )
+        )
+        # 2. conditioned on each tag constant
+        for tag_attr, values in tags.items():
+            if tag_attr in attrs:
+                continue
+            new_lhs = list(cfd.lhs) + [tag_attr]
+            new_attrs = tuple(new_lhs) + tuple(
+                a for a in cfd.rhs if a not in new_lhs
+            )
+            for value in sorted(values, key=repr):
+                rows = []
+                for tp in cfd.tableau:
+                    row = tp.project(tableau_attrs).as_dict()
+                    row[tag_attr] = value
+                    rows.append(row)
+                add(
+                    CFD(
+                        view_schema.name,
+                        new_lhs,
+                        cfd.rhs,
+                        PatternTableau(new_attrs, rows),
+                    )
+                )
+    return candidates
+
+
+def derive_view_cfds(
+    db_schema: DatabaseSchema,
+    sigma: Sequence[CFD | FD],
+    view: Query,
+    merge_tableaux: bool = True,
+) -> List[CFD]:
+    """The view CFDs from the candidate space that Σ actually propagates.
+
+    With ``merge_tableaux`` the surviving single-condition variants of one
+    embedded FD are regrouped into a single pattern tableau — producing
+    ϕ8's three-row presentation from Example 4.2 automatically.
+    """
+    surviving = [
+        c
+        for c in candidate_view_cfds(db_schema, sigma, view)
+        if propagates(db_schema, sigma, view, c)
+    ]
+    return denormalize(surviving) if merge_tableaux else surviving

@@ -1,0 +1,326 @@
+"""CFD propagation through SPCU views (paper §4.1, Theorem 4.7).
+
+Decides Σ ⊨σ ϕ — does every source database satisfying the source CFDs Σ
+yield a view σ(D) satisfying the view CFD ϕ? — by the classical tableau
+method extended with patterns:
+
+1. build *two symbolic view tuples* v1, v2 instantiating ϕ's hypothesis:
+   shared variables on ϕ's LHS (v1[X] = v2[X]), pattern constants where
+   tp[X] is constant, fresh variables elsewhere;
+2. *invert the view*: push the two tuples back through the SPCU tree,
+   producing the source tableaux that could generate them (a disjunction of
+   alternatives — one per combination of union branches), accumulating the
+   equalities/constants the operators force (selection conditions, Extend
+   tags, projections introduce fresh variables);
+3. *chase* each alternative with the source CFDs: a pattern row fires when
+   a pair of source tuples is **forced** to agree on the row's LHS and to
+   carry its constants — a variable is never assumed equal to a constant,
+   the canonical fresh-value reading;
+4. ϕ is propagated iff in every non-contradictory alternative the chase
+   forces ϕ's conclusion (v1[Y] = v2[Y] and the tp[Y] constants).
+
+In the absence of finite-domain attributes the chased tableau instantiated
+with fresh distinct constants is a genuine counterexample, so the
+procedure is **exact and polynomial** — the PTIME case of Theorem 4.7.
+With finite domains the "not propagated" answer may be conservative (the
+general problem is coNP-complete).  Selection conditions are restricted to
+conjunctions of equalities (the S of SPC); anything else raises
+:class:`~repro.errors.QueryError`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Sequence, Tuple as PyTuple
+
+from repro.cfd.model import CFD, UNNAMED, PatternTuple, fd_as_cfd
+from repro.deps.fd import FD
+from repro.errors import QueryError
+from repro.relational.predicates import And, Attr, Comparison, Condition, Const, TrueCondition
+from repro.relational.query import (
+    Base,
+    Difference,
+    Extend,
+    Project,
+    Product,
+    Query,
+    Rename,
+    Select,
+    Union,
+)
+from repro.relational.schema import DatabaseSchema
+
+__all__ = ["propagates", "propagated_cfds"]
+
+
+class _SymEnv:
+    """Union-find over symbolic values with optional constant binding."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[int, int] = {}
+        self._const: Dict[int, Any] = {}
+        self._next = 0
+        self.version = 0
+
+    def copy(self) -> "_SymEnv":
+        clone = _SymEnv()
+        clone._parent = dict(self._parent)
+        clone._const = dict(self._const)
+        clone._next = self._next
+        clone.version = self.version
+        return clone
+
+    def fresh(self) -> int:
+        sym = self._next
+        self._next += 1
+        self._parent[sym] = sym
+        return sym
+
+    def find(self, sym: int) -> int:
+        parent = self._parent[sym]
+        if parent != sym:
+            root = self.find(parent)
+            self._parent[sym] = root
+            return root
+        return sym
+
+    def const_of(self, sym: int) -> Any:
+        """The constant bound to sym's class, or UNNAMED when unbound."""
+        return self._const.get(self.find(sym), UNNAMED)
+
+    def bind(self, sym: int, constant: Any) -> bool:
+        """Bind sym's class to a constant; False on clash."""
+        root = self.find(sym)
+        existing = self._const.get(root, UNNAMED)
+        if existing is not UNNAMED:
+            return existing == constant
+        self._const[root] = constant
+        self.version += 1
+        return True
+
+    def unify(self, left: int, right: int) -> bool:
+        """Merge the classes; False when two distinct constants clash."""
+        left_root, right_root = self.find(left), self.find(right)
+        if left_root == right_root:
+            return True
+        left_const = self._const.get(left_root, UNNAMED)
+        right_const = self._const.get(right_root, UNNAMED)
+        if (
+            left_const is not UNNAMED
+            and right_const is not UNNAMED
+            and left_const != right_const
+        ):
+            return False
+        self._parent[left_root] = right_root
+        if left_const is not UNNAMED:
+            self._const[right_root] = left_const
+        self.version += 1
+        return True
+
+    def same(self, left: int, right: int) -> bool:
+        return self.find(left) == self.find(right)
+
+    def forced_equal(self, left: int, right: int) -> bool:
+        """Are the two symbols forced to denote the same value — same class
+        or both pinned to one constant?"""
+        if self.same(left, right):
+            return True
+        left_const = self.const_of(left)
+        return left_const is not UNNAMED and left_const == self.const_of(right)
+
+
+SourceTuple = PyTuple[str, Dict[str, int]]  # (relation, attr → sym)
+Alternative = PyTuple[List[SourceTuple], "_SymEnv"]
+
+
+def _condition_constraints(condition: Condition) -> List[PyTuple[str, Any, bool]]:
+    """Flatten a conjunction of equalities into (left, right, right_is_attr)."""
+    if isinstance(condition, TrueCondition):
+        return []
+    if isinstance(condition, And):
+        out: List[PyTuple[str, Any, bool]] = []
+        for part in condition.parts:
+            out.extend(_condition_constraints(part))
+        return out
+    if isinstance(condition, Comparison) and condition.op == "=":
+        left, right = condition.left, condition.right
+        if isinstance(left, Attr) and isinstance(right, Const):
+            return [(left.name, right.value, False)]
+        if isinstance(left, Const) and isinstance(right, Attr):
+            return [(right.name, left.value, False)]
+        if isinstance(left, Attr) and isinstance(right, Attr):
+            return [(left.name, right.name, True)]
+    raise QueryError(
+        "propagation supports selection conditions that are conjunctions of "
+        f"equalities only; got {condition!r}"
+    )
+
+
+def _invert(
+    query: Query,
+    db_schema: DatabaseSchema,
+    out_syms: Dict[str, int],
+    env: _SymEnv,
+) -> List[Alternative]:
+    """All source tableaux that can produce one view tuple with ``out_syms``."""
+    if isinstance(query, Base):
+        return [([(query.relation_name, dict(out_syms))], env)]
+    if isinstance(query, Rename):
+        child_schema = query.child.output_schema(db_schema)
+        reverse = {new: old for old, new in query.mapping.items()}
+        child_syms = {
+            reverse.get(attr, attr): sym for attr, sym in out_syms.items()
+        }
+        return _invert(query.child, db_schema, child_syms, env)
+    if isinstance(query, Select):
+        alternatives = _invert(query.child, db_schema, out_syms, env)
+        surviving: List[Alternative] = []
+        for tableau, alt_env in alternatives:
+            alt_env = alt_env.copy()
+            ok = True
+            for left, right, right_is_attr in _condition_constraints(query.condition):
+                if right_is_attr:
+                    ok = alt_env.unify(out_syms[left], out_syms[right])
+                else:
+                    ok = alt_env.bind(out_syms[left], right)
+                if not ok:
+                    break
+            if ok:
+                surviving.append((tableau, alt_env))
+        return surviving
+    if isinstance(query, Project):
+        child_schema = query.child.output_schema(db_schema)
+        child_syms: Dict[str, int] = {}
+        for attr in child_schema.attribute_names:
+            if attr in out_syms:
+                child_syms[attr] = out_syms[attr]
+            else:
+                child_syms[attr] = env.fresh()
+        return _invert(query.child, db_schema, child_syms, env)
+    if isinstance(query, Product):
+        left_schema = query.left.output_schema(db_schema)
+        left_syms = {
+            a: out_syms[a] for a in left_schema.attribute_names
+        }
+        right_schema = query.right.output_schema(db_schema)
+        right_syms = {
+            a: out_syms[a] for a in right_schema.attribute_names
+        }
+        combined: List[Alternative] = []
+        for left_tab, env1 in _invert(query.left, db_schema, left_syms, env):
+            for right_tab, env2 in _invert(query.right, db_schema, right_syms, env1):
+                combined.append((left_tab + right_tab, env2))
+        return combined
+    if isinstance(query, Union):
+        return _invert(query.left, db_schema, out_syms, env.copy()) + _invert(
+            query.right, db_schema, out_syms, env.copy()
+        )
+    if isinstance(query, Extend):
+        env = env.copy()
+        if not env.bind(out_syms[query.attribute.name], query.value):
+            return []  # the view tuple cannot come from this branch
+        child_syms = {
+            attr: sym
+            for attr, sym in out_syms.items()
+            if attr != query.attribute.name
+        }
+        return _invert(query.child, db_schema, child_syms, env)
+    if isinstance(query, Difference):
+        raise QueryError("propagation is defined for SPCU views (no difference)")
+    raise QueryError(f"unsupported query node {type(query).__name__}")
+
+
+def _chase(
+    tableau: List[SourceTuple], env: _SymEnv, rows: List[PyTuple[CFD, PatternTuple]]
+) -> bool:
+    """Chase to fixpoint.  Returns False when a contradiction arises (the
+    hypothesis is unsatisfiable — vacuous propagation for this branch)."""
+    changed = True
+    while changed:
+        changed = False
+        before = env.version
+        for cfd, tp in rows:
+            members = [syms for rel, syms in tableau if rel == cfd.relation_name]
+            for s1, s2 in itertools.product(members, repeat=2):
+                # forced LHS match?
+                applies = True
+                for attr in cfd.lhs:
+                    if not env.forced_equal(s1[attr], s2[attr]):
+                        applies = False
+                        break
+                    expected = tp.get(attr)
+                    if expected is not UNNAMED and env.const_of(s1[attr]) != expected:
+                        applies = False
+                        break
+                if not applies:
+                    continue
+                for attr in cfd.rhs:
+                    if not env.unify(s1[attr], s2[attr]):
+                        return False
+                    expected = tp.get(attr)
+                    if expected is not UNNAMED:
+                        if not env.bind(s1[attr], expected):
+                            return False
+            if env.version != before:
+                changed = True
+                before = env.version
+    return True
+
+
+def propagates(
+    db_schema: DatabaseSchema,
+    sigma: Sequence[CFD | FD],
+    view: Query,
+    target: CFD,
+) -> bool:
+    """Decide Σ ⊨σ ϕ for source CFDs/FDs, an SPCU view and a view CFD."""
+    source_rows: List[PyTuple[CFD, PatternTuple]] = []
+    for dep in sigma:
+        cfd = fd_as_cfd(dep) if isinstance(dep, FD) else dep
+        for tp in cfd.tableau:
+            source_rows.append((cfd, tp))
+    view_schema = view.output_schema(db_schema)
+    target.check_schema(view_schema)
+
+    for tp in target.tableau:
+        env = _SymEnv()
+        v1: Dict[str, int] = {}
+        v2: Dict[str, int] = {}
+        for attr in view_schema.attribute_names:
+            v1[attr] = env.fresh()
+            v2[attr] = env.fresh()
+        ok = True
+        for attr in target.lhs:
+            ok = env.unify(v1[attr], v2[attr])
+            expected = tp.get(attr)
+            if ok and expected is not UNNAMED:
+                ok = env.bind(v1[attr], expected)
+            if not ok:
+                break
+        if not ok:
+            continue  # hypothesis unsatisfiable for this row
+        for tab1, env1 in _invert(view, db_schema, v1, env):
+            for tab2, env2 in _invert(view, db_schema, v2, env1):
+                branch_env = env2.copy()
+                if not _chase(tab1 + tab2, branch_env, source_rows):
+                    continue  # contradictory branch: vacuously fine
+                for attr in target.rhs:
+                    expected = tp.get(attr)
+                    if not branch_env.forced_equal(v1[attr], v2[attr]):
+                        return False
+                    if (
+                        expected is not UNNAMED
+                        and branch_env.const_of(v1[attr]) != expected
+                    ):
+                        return False
+    return True
+
+
+def propagated_cfds(
+    db_schema: DatabaseSchema,
+    sigma: Sequence[CFD | FD],
+    view: Query,
+    candidates: Sequence[CFD],
+) -> List[CFD]:
+    """Filter a candidate list down to the view CFDs propagated from Σ."""
+    return [c for c in candidates if propagates(db_schema, sigma, view, c)]

@@ -1,0 +1,60 @@
+"""Helper constructors for integration views (paper Example 4.2).
+
+Dependency propagation asks whether source dependencies force a view
+dependency through an SPCU query.  The canonical shape — and the one in
+Example 4.2 — is a union of sources, each tagged with a constant (the
+country code) via :class:`~repro.relational.query.Extend`.  This module
+provides that constructor plus small conveniences used by the examples,
+benchmarks and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple as PyTuple
+
+from repro.errors import QueryError
+from repro.relational.query import Base, Extend, Project, Query, Rename, Select, Union
+from repro.relational.schema import Attribute
+
+__all__ = ["tagged_union_view", "select_project_view"]
+
+
+def tagged_union_view(
+    branches: Sequence[PyTuple[str, Any]],
+    tag_attribute: Attribute,
+    keep_attributes: Sequence[str] | None = None,
+) -> Query:
+    """⋃_i Extend(R_i, tag = value_i) — the Example 4.2 integration view.
+
+    ``branches`` lists (relation_name, tag_value) pairs; every source must
+    be union-compatible.  ``keep_attributes`` optionally projects each
+    branch first (tag attribute appended automatically).
+    """
+    if not branches:
+        raise QueryError("tagged_union_view needs at least one branch")
+    views = []
+    for relation_name, tag_value in branches:
+        branch: Query = Base(relation_name)
+        if keep_attributes is not None:
+            branch = Project(branch, keep_attributes)
+        branch = Extend(branch, tag_attribute, tag_value)
+        views.append(branch)
+    view = views[0]
+    for other in views[1:]:
+        view = Union(view, other)
+    return view
+
+
+def select_project_view(
+    relation_name: str,
+    condition=None,
+    attributes: Sequence[str] | None = None,
+) -> Query:
+    """σ→π view over one base relation (the single-operator cases of
+    Theorem 4.7)."""
+    view: Query = Base(relation_name)
+    if condition is not None:
+        view = Select(view, condition)
+    if attributes is not None:
+        view = Project(view, attributes)
+    return view

@@ -1,0 +1,37 @@
+"""In-memory relational substrate: domains, schemas, tuples, instances,
+relational algebra and SPC/SPCU query trees."""
+
+from repro.relational.domains import (
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    BoolDomain,
+    Domain,
+    EnumDomain,
+    FloatDomain,
+    IntDomain,
+    StringDomain,
+)
+from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.tuples import Tuple
+
+__all__ = [
+    "Attribute",
+    "BOOL",
+    "BoolDomain",
+    "DatabaseInstance",
+    "DatabaseSchema",
+    "Domain",
+    "EnumDomain",
+    "FLOAT",
+    "FloatDomain",
+    "INT",
+    "IntDomain",
+    "RelationInstance",
+    "RelationSchema",
+    "STRING",
+    "StringDomain",
+    "Tuple",
+]

@@ -1,0 +1,158 @@
+"""Relational-algebra operators over in-memory instances.
+
+These implement set-semantics σ, π, ×, ∪, −, natural join and attribute
+renaming over :class:`~repro.relational.instance.RelationInstance`.  They are
+the substrate for SPC/SPCU views (dependency propagation, Section 4.1) and
+for the relational-algebra fragments of consistent query answering
+(Theorem 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import QueryError, SchemaError
+from repro.relational.instance import RelationInstance
+from repro.relational.predicates import Condition
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.tuples import Tuple
+
+__all__ = [
+    "select",
+    "project",
+    "product",
+    "union",
+    "difference",
+    "intersection",
+    "rename",
+    "natural_join",
+]
+
+
+def select(instance: RelationInstance, condition: Condition) -> RelationInstance:
+    """σ: tuples of ``instance`` satisfying ``condition``."""
+    unknown = condition.attributes() - set(instance.schema.attribute_names)
+    if unknown:
+        raise QueryError(
+            f"selection condition mentions unknown attributes {sorted(unknown)}"
+        )
+    return instance.filter(lambda t: condition.evaluate(t.as_dict()))
+
+
+def project(
+    instance: RelationInstance,
+    attributes: Sequence[str],
+    new_name: str | None = None,
+) -> RelationInstance:
+    """π: projection (duplicate-eliminating) onto ``attributes``."""
+    schema = instance.schema.project(attributes, new_name)
+    result = RelationInstance(schema)
+    for t in instance:
+        result.add(Tuple(schema, t[list(attributes)], validate=False))
+    return result
+
+
+def product(
+    left: RelationInstance,
+    right: RelationInstance,
+    new_name: str | None = None,
+) -> RelationInstance:
+    """×: Cartesian product; attribute names must be disjoint (rename first)."""
+    overlap = set(left.schema.attribute_names) & set(right.schema.attribute_names)
+    if overlap:
+        raise QueryError(
+            f"product operands share attributes {sorted(overlap)}; rename first"
+        )
+    schema = RelationSchema(
+        new_name or f"{left.schema.name}_x_{right.schema.name}",
+        list(left.schema.attributes) + list(right.schema.attributes),
+    )
+    result = RelationInstance(schema)
+    for lt in left:
+        for rt in right:
+            result.add(Tuple(schema, lt.values() + rt.values(), validate=False))
+    return result
+
+
+def _check_union_compatible(left: RelationInstance, right: RelationInstance) -> None:
+    if left.schema.attribute_names != right.schema.attribute_names:
+        raise QueryError(
+            f"operands not union-compatible: {left.schema.attribute_names} "
+            f"vs {right.schema.attribute_names}"
+        )
+
+
+def union(
+    left: RelationInstance,
+    right: RelationInstance,
+    new_name: str | None = None,
+) -> RelationInstance:
+    """∪: set union of two union-compatible instances."""
+    _check_union_compatible(left, right)
+    schema = left.schema if new_name is None else left.schema.rename(new_name)
+    result = RelationInstance(schema)
+    for t in left:
+        result.add(Tuple(schema, t.values(), validate=False))
+    for t in right:
+        result.add(Tuple(schema, t.values(), validate=False))
+    return result
+
+
+def difference(left: RelationInstance, right: RelationInstance) -> RelationInstance:
+    """−: tuples of ``left`` not in ``right`` (union-compatible operands)."""
+    _check_union_compatible(left, right)
+    right_values = {t.values() for t in right}
+    return left.filter(lambda t: t.values() not in right_values)
+
+
+def intersection(left: RelationInstance, right: RelationInstance) -> RelationInstance:
+    """∩: tuples in both operands (union-compatible)."""
+    _check_union_compatible(left, right)
+    right_values = {t.values() for t in right}
+    return left.filter(lambda t: t.values() in right_values)
+
+
+def rename(
+    instance: RelationInstance,
+    mapping: Mapping[str, str],
+    new_name: str | None = None,
+) -> RelationInstance:
+    """ρ: rename attributes according to ``mapping`` (old → new)."""
+    for old in mapping:
+        instance.schema.attribute(old)
+    new_attrs = []
+    for attr in instance.schema.attributes:
+        new_attrs.append(Attribute(mapping.get(attr.name, attr.name), attr.domain))
+    try:
+        schema = RelationSchema(new_name or instance.schema.name, new_attrs)
+    except SchemaError as exc:
+        raise QueryError(f"rename produced an invalid schema: {exc}") from exc
+    result = RelationInstance(schema)
+    for t in instance:
+        result.add(Tuple(schema, t.values(), validate=False))
+    return result
+
+
+def natural_join(
+    left: RelationInstance,
+    right: RelationInstance,
+    new_name: str | None = None,
+) -> RelationInstance:
+    """⋈: natural join on the shared attribute names."""
+    shared = [a for a in left.schema.attribute_names if a in right.schema]
+    right_only = [a for a in right.schema.attribute_names if a not in left.schema]
+    schema = RelationSchema(
+        new_name or f"{left.schema.name}_join_{right.schema.name}",
+        list(left.schema.attributes)
+        + [right.schema.attribute(a) for a in right_only],
+    )
+    index: dict[tuple, list[Tuple]] = {}
+    for rt in right:
+        index.setdefault(rt[shared], []).append(rt)
+    result = RelationInstance(schema)
+    for lt in left:
+        for rt in index.get(lt[shared], []):
+            result.add(
+                Tuple(schema, lt.values() + rt[right_only], validate=False)
+            )
+    return result

@@ -1,0 +1,93 @@
+"""Loading and saving relation instances as CSV.
+
+The generators in :mod:`repro.workloads` produce instances directly, but a
+downstream user will want to run the detectors over their own files; this
+module gives a minimal, dependency-free CSV bridge with per-attribute value
+parsing driven by the schema's domains.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Callable, Iterable, TextIO
+
+from repro.errors import SchemaError
+from repro.relational.domains import BoolDomain, FloatDomain, IntDomain
+from repro.relational.instance import RelationInstance
+from repro.relational.schema import RelationSchema
+
+__all__ = ["load_csv", "dump_csv", "read_rows", "write_rows"]
+
+
+def _parser_for(domain) -> Callable[[str], Any]:
+    if isinstance(domain, BoolDomain):
+        return lambda s: s.strip().lower() in ("1", "true", "t", "yes")
+    if isinstance(domain, IntDomain):
+        return lambda s: int(s)
+    if isinstance(domain, FloatDomain):
+        return lambda s: float(s)
+    return lambda s: s
+
+
+def read_rows(schema: RelationSchema, rows: Iterable[Iterable[str]]) -> RelationInstance:
+    """Build an instance from string rows, parsing per attribute domain."""
+    parsers = [_parser_for(a.domain) for a in schema.attributes]
+    instance = RelationInstance(schema)
+    for row in rows:
+        cells = list(row)
+        if len(cells) != len(schema):
+            raise SchemaError(
+                f"row has {len(cells)} cells, schema {schema.name} has {len(schema)} attributes"
+            )
+        instance.add(tuple(parse(cell) for parse, cell in zip(parsers, cells)))
+    return instance
+
+
+def load_csv(
+    schema: RelationSchema,
+    path: str | Path | TextIO,
+    has_header: bool = True,
+) -> RelationInstance:
+    """Load an instance from a CSV file whose columns follow the schema order."""
+    if hasattr(path, "read"):
+        return _load_from_handle(schema, path, has_header)
+    with open(path, newline="") as handle:
+        return _load_from_handle(schema, handle, has_header)
+
+
+def _load_from_handle(schema: RelationSchema, handle: TextIO, has_header: bool) -> RelationInstance:
+    reader = csv.reader(handle)
+    if has_header:
+        header = next(reader, None)
+        if header is not None and tuple(header) != schema.attribute_names:
+            raise SchemaError(
+                f"CSV header {header} does not match schema attributes "
+                f"{list(schema.attribute_names)}"
+            )
+    return read_rows(schema, reader)
+
+
+def write_rows(instance: RelationInstance) -> list[list[str]]:
+    """Render an instance as string rows (schema attribute order)."""
+    return [[str(v) for v in t.values()] for t in instance]
+
+
+def dump_csv(
+    instance: RelationInstance,
+    path: str | Path | TextIO,
+    write_header: bool = True,
+) -> None:
+    """Write an instance to a CSV file."""
+    if hasattr(path, "write"):
+        _dump_to_handle(instance, path, write_header)
+        return
+    with open(path, "w", newline="") as handle:
+        _dump_to_handle(instance, handle, write_header)
+
+
+def _dump_to_handle(instance: RelationInstance, handle: TextIO, write_header: bool) -> None:
+    writer = csv.writer(handle)
+    if write_header:
+        writer.writerow(instance.schema.attribute_names)
+    writer.writerows(write_rows(instance))

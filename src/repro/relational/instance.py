@@ -1,0 +1,187 @@
+"""Relation and database instances.
+
+A :class:`RelationInstance` is a bag-free (set-semantics) collection of
+:class:`~repro.relational.tuples.Tuple` preserving insertion order, which
+keeps examples and error reports deterministic.  A
+:class:`DatabaseInstance` maps relation names to relation instances and is
+the object every dependency's ``holds_on`` / violation detector consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.tuples import Tuple
+
+__all__ = ["RelationInstance", "DatabaseInstance"]
+
+
+class RelationInstance:
+    """A finite set of tuples over one relation schema (insertion-ordered)."""
+
+    def __init__(self, schema: RelationSchema, tuples: Iterable[Tuple | Mapping | Sequence] = ()):
+        self.schema = schema
+        self._tuples: Dict[Tuple, None] = {}
+        for t in tuples:
+            self.add(t)
+
+    def _coerce(self, t: Tuple | Mapping | Sequence) -> Tuple:
+        if isinstance(t, Tuple):
+            if t.schema.attribute_names != self.schema.attribute_names:
+                raise SchemaError(
+                    f"tuple over {t.schema.name} cannot enter instance of {self.schema.name}"
+                )
+            return t
+        return Tuple(self.schema, t)
+
+    def add(self, t: Tuple | Mapping | Sequence) -> Tuple:
+        """Insert a tuple (idempotent under set semantics); return it."""
+        coerced = self._coerce(t)
+        self._tuples.setdefault(coerced, None)
+        return coerced
+
+    def remove(self, t: Tuple) -> None:
+        """Delete a tuple (KeyError if absent)."""
+        del self._tuples[t]
+
+    def discard(self, t: Tuple) -> None:
+        """Delete a tuple if present."""
+        self._tuples.pop(t, None)
+
+    def __contains__(self, t: Tuple) -> bool:
+        return t in self._tuples
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RelationInstance)
+            and self.schema == other.schema
+            and set(self._tuples) == set(other._tuples)
+        )
+
+    def tuples(self) -> List[Tuple]:
+        """All tuples in insertion order (fresh list)."""
+        return list(self._tuples)
+
+    def copy(self) -> "RelationInstance":
+        return RelationInstance(self.schema, self._tuples)
+
+    def filter(self, predicate: Callable[[Tuple], bool]) -> "RelationInstance":
+        """New instance with the tuples satisfying ``predicate``."""
+        return RelationInstance(self.schema, (t for t in self._tuples if predicate(t)))
+
+    def project_values(self, attributes: Sequence[str]) -> List[tuple]:
+        """List of value tuples for the projection on ``attributes``."""
+        self.schema.check_attributes(attributes)
+        return [t[list(attributes)] for t in self._tuples]
+
+    def active_domain(self, attribute: str) -> List[Any]:
+        """Distinct values appearing in ``attribute``, in first-seen order."""
+        seen: Dict[Any, None] = {}
+        for t in self._tuples:
+            seen.setdefault(t[attribute], None)
+        return list(seen)
+
+    def group_by(self, attributes: Sequence[str]) -> Dict[tuple, List[Tuple]]:
+        """Partition tuples by their projection on ``attributes``."""
+        groups: Dict[tuple, List[Tuple]] = {}
+        for t in self._tuples:
+            groups.setdefault(t[list(attributes)], []).append(t)
+        return groups
+
+    def to_rows(self) -> List[tuple]:
+        """All tuples as plain value tuples (schema attribute order)."""
+        return [t.values() for t in self._tuples]
+
+    def pretty(self, max_rows: int | None = None) -> str:
+        """ASCII table rendering (used by examples and error messages)."""
+        headers = list(self.schema.attribute_names)
+        rows = [[repr(v) for v in t.values()] for t in self._tuples]
+        if max_rows is not None:
+            rows = rows[:max_rows]
+        widths = [len(h) for h in headers]
+        for row in rows:
+            widths = [max(w, len(c)) for w, c in zip(widths, row)]
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        lines.extend(" | ".join(c.ljust(w) for c, w in zip(row, widths)) for row in rows)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"RelationInstance({self.schema.name}, {len(self)} tuples)"
+
+
+class DatabaseInstance:
+    """A database: one relation instance per relation schema."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        relations: Mapping[str, RelationInstance | Iterable] | None = None,
+    ):
+        self.schema = schema
+        self._relations: Dict[str, RelationInstance] = {}
+        for rel_schema in schema:
+            self._relations[rel_schema.name] = RelationInstance(rel_schema)
+        if relations:
+            for name, content in relations.items():
+                target = self.relation(name)
+                if isinstance(content, RelationInstance):
+                    if content.schema != target.schema:
+                        raise SchemaError(
+                            f"instance for {name!r} has schema {content.schema!r}, "
+                            f"expected {target.schema!r}"
+                        )
+                    self._relations[name] = content.copy()
+                else:
+                    for t in content:
+                        target.add(t)
+
+    def relation(self, name: str) -> RelationInstance:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"database has no relation {name!r}; relations are {list(self._relations)}"
+            ) from None
+
+    def __getitem__(self, name: str) -> RelationInstance:
+        return self.relation(name)
+
+    def __iter__(self) -> Iterator[RelationInstance]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def total_tuples(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(rel) for rel in self._relations.values())
+
+    def is_empty(self) -> bool:
+        return self.total_tuples() == 0
+
+    def copy(self) -> "DatabaseInstance":
+        return DatabaseInstance(
+            self.schema, {name: rel.copy() for name, rel in self._relations.items()}
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DatabaseInstance)
+            and self.schema == other.schema
+            and self._relations == other._relations
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}:{len(r)}" for n, r in self._relations.items())
+        return f"DatabaseInstance({inner})"

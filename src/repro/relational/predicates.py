@@ -1,0 +1,322 @@
+"""Comparison predicates over tuples.
+
+These are the built-in predicates (=, !=, <, >, <=, >=) used by selection
+conditions in relational algebra, by denial constraints (paper Section 2.3)
+and by eCFD set patterns.  A predicate term is either an attribute reference
+or a constant; a :class:`Comparison` relates two terms; :class:`And`,
+:class:`Or`, :class:`Not` combine conditions.
+"""
+
+from __future__ import annotations
+
+import operator
+from abc import ABC, abstractmethod
+from typing import Any, Callable, FrozenSet, Iterable, Mapping, Sequence
+
+from repro.errors import QueryError
+
+__all__ = [
+    "Term",
+    "Attr",
+    "Const",
+    "Condition",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "InSet",
+    "TrueCondition",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+]
+
+_OPERATORS: Mapping[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Term(ABC):
+    """A term in a comparison: attribute reference or constant."""
+
+    @abstractmethod
+    def evaluate(self, env: Mapping[str, Any]) -> Any:
+        """Value of this term in the given attribute-name → value environment."""
+
+    @abstractmethod
+    def attributes(self) -> FrozenSet[str]:
+        """Attribute names this term mentions."""
+
+
+class Attr(Term):
+    """Reference to an attribute (optionally qualified ``rel.attr``)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, env: Mapping[str, Any]) -> Any:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise QueryError(f"attribute {self.name!r} not bound in environment") from None
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Attr) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("Attr", self.name))
+
+
+class Const(Term):
+    """A constant value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def evaluate(self, env: Mapping[str, Any]) -> Any:
+        return self.value
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("Const", self.value))
+
+
+def _as_term(value: Any) -> Term:
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, str) and value.startswith("@"):
+        # "@name" is shorthand for an attribute reference in helper builders.
+        return Attr(value[1:])
+    return Const(value)
+
+
+class Condition(ABC):
+    """A boolean condition over an attribute environment."""
+
+    @abstractmethod
+    def evaluate(self, env: Mapping[str, Any]) -> bool:
+        """Truth value of the condition in the environment."""
+
+    @abstractmethod
+    def attributes(self) -> FrozenSet[str]:
+        """All attribute names mentioned."""
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return And([self, other])
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Or([self, other])
+
+    def __invert__(self) -> "Condition":
+        return Not(self)
+
+
+class TrueCondition(Condition):
+    """The always-true condition (empty selection)."""
+
+    def evaluate(self, env: Mapping[str, Any]) -> bool:
+        return True
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TrueCondition)
+
+    def __hash__(self) -> int:
+        return hash("TrueCondition")
+
+
+class Comparison(Condition):
+    """``left op right`` with op one of = != < <= > >=."""
+
+    __slots__ = ("left", "op", "right")
+
+    def __init__(self, left: Any, op: str, right: Any):
+        if op not in _OPERATORS:
+            raise QueryError(f"unknown comparison operator {op!r}")
+        self.left = _as_term(left)
+        self.op = op
+        self.right = _as_term(right)
+
+    def evaluate(self, env: Mapping[str, Any]) -> bool:
+        return _OPERATORS[self.op](self.left.evaluate(env), self.right.evaluate(env))
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Comparison)
+            and (self.left, self.op, self.right) == (other.left, other.op, other.right)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Comparison", self.left, self.op, self.right))
+
+
+class InSet(Condition):
+    """``attr ∈ {v1,...,vk}`` — the disjunction construct of eCFDs (§2.3)."""
+
+    __slots__ = ("term", "values", "negated")
+
+    def __init__(self, term: Any, values: Iterable[Any], negated: bool = False):
+        self.term = _as_term(term)
+        self.values = frozenset(values)
+        self.negated = negated
+
+    def evaluate(self, env: Mapping[str, Any]) -> bool:
+        inside = self.term.evaluate(env) in self.values
+        return not inside if self.negated else inside
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.term.attributes()
+
+    def __repr__(self) -> str:
+        symbol = "NOT IN" if self.negated else "IN"
+        rendered = ", ".join(sorted(map(repr, self.values)))
+        return f"({self.term!r} {symbol} {{{rendered}}})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, InSet)
+            and (self.term, self.values, self.negated)
+            == (other.term, other.values, other.negated)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("InSet", self.term, self.values, self.negated))
+
+
+class And(Condition):
+    """Conjunction of conditions."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Sequence[Condition]):
+        self.parts = tuple(parts)
+
+    def evaluate(self, env: Mapping[str, Any]) -> bool:
+        return all(p.evaluate(env) for p in self.parts)
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset().union(*(p.attributes() for p in self.parts)) if self.parts else frozenset()
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(map(repr, self.parts)) + ")"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, And) and self.parts == other.parts
+
+    def __hash__(self) -> int:
+        return hash(("And", self.parts))
+
+
+class Or(Condition):
+    """Disjunction of conditions."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Sequence[Condition]):
+        self.parts = tuple(parts)
+
+    def evaluate(self, env: Mapping[str, Any]) -> bool:
+        return any(p.evaluate(env) for p in self.parts)
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset().union(*(p.attributes() for p in self.parts)) if self.parts else frozenset()
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(map(repr, self.parts)) + ")"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Or) and self.parts == other.parts
+
+    def __hash__(self) -> int:
+        return hash(("Or", self.parts))
+
+
+class Not(Condition):
+    """Negation of a condition."""
+
+    __slots__ = ("part",)
+
+    def __init__(self, part: Condition):
+        self.part = part
+
+    def evaluate(self, env: Mapping[str, Any]) -> bool:
+        return not self.part.evaluate(env)
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.part.attributes()
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.part!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and self.part == other.part
+
+    def __hash__(self) -> int:
+        return hash(("Not", self.part))
+
+
+def eq(left: Any, right: Any) -> Comparison:
+    """Shorthand for ``Comparison(left, "=", right)``."""
+    return Comparison(left, "=", right)
+
+
+def ne(left: Any, right: Any) -> Comparison:
+    """Shorthand for ``!=``."""
+    return Comparison(left, "!=", right)
+
+
+def lt(left: Any, right: Any) -> Comparison:
+    """Shorthand for ``<``."""
+    return Comparison(left, "<", right)
+
+
+def le(left: Any, right: Any) -> Comparison:
+    """Shorthand for ``<=``."""
+    return Comparison(left, "<=", right)
+
+
+def gt(left: Any, right: Any) -> Comparison:
+    """Shorthand for ``>``."""
+    return Comparison(left, ">", right)
+
+
+def ge(left: Any, right: Any) -> Comparison:
+    """Shorthand for ``>=``."""
+    return Comparison(left, ">=", right)

@@ -1,0 +1,262 @@
+"""SPC/SPCU query trees (views).
+
+The propagation analysis of Section 4.1 (Theorem 4.7) and the relational-
+algebra fragments of Theorem 5.3 are phrased over queries built from
+selection (S), projection (P), Cartesian product (C) and union (U).  This
+module provides an explicit AST for such queries with
+
+* ``output_schema(db_schema)`` — static schema computation, and
+* ``evaluate(db)``             — evaluation over a database instance.
+
+Difference is also provided (for the C(σ,×,−) fragments of Theorem 5.3) but
+is *not* part of the SPCU fragment used by the propagation analysis.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping, Sequence
+
+from repro.errors import QueryError
+from repro.relational import algebra
+from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational.predicates import Condition
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+
+__all__ = [
+    "Query",
+    "Base",
+    "Select",
+    "Project",
+    "Product",
+    "Union",
+    "Difference",
+    "Rename",
+    "Extend",
+]
+
+
+class Query(ABC):
+    """A node of an SPCU(-) query tree."""
+
+    @abstractmethod
+    def output_schema(self, db_schema: DatabaseSchema) -> RelationSchema:
+        """Schema of the query result."""
+
+    @abstractmethod
+    def evaluate(self, db: DatabaseInstance) -> RelationInstance:
+        """Evaluate the query over a database instance."""
+
+    @abstractmethod
+    def operators(self) -> frozenset:
+        """Set of operator letters used, drawn from {"S","P","C","U","-","E"}."""
+
+    def uses_only(self, letters: str) -> bool:
+        """True iff the query uses only the given operator letters."""
+        return self.operators() <= set(letters)
+
+
+class Base(Query):
+    """Leaf: scan of a base relation."""
+
+    def __init__(self, relation_name: str):
+        self.relation_name = relation_name
+
+    def output_schema(self, db_schema: DatabaseSchema) -> RelationSchema:
+        return db_schema.relation(self.relation_name)
+
+    def evaluate(self, db: DatabaseInstance) -> RelationInstance:
+        return db.relation(self.relation_name)
+
+    def operators(self) -> frozenset:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return f"Base({self.relation_name})"
+
+
+class Select(Query):
+    """σ_condition(child)."""
+
+    def __init__(self, child: Query, condition: Condition):
+        self.child = child
+        self.condition = condition
+
+    def output_schema(self, db_schema: DatabaseSchema) -> RelationSchema:
+        schema = self.child.output_schema(db_schema)
+        unknown = self.condition.attributes() - set(schema.attribute_names)
+        if unknown:
+            raise QueryError(f"selection mentions unknown attributes {sorted(unknown)}")
+        return schema
+
+    def evaluate(self, db: DatabaseInstance) -> RelationInstance:
+        return algebra.select(self.child.evaluate(db), self.condition)
+
+    def operators(self) -> frozenset:
+        return self.child.operators() | {"S"}
+
+    def __repr__(self) -> str:
+        return f"Select({self.child!r}, {self.condition!r})"
+
+
+class Project(Query):
+    """π_attributes(child)."""
+
+    def __init__(self, child: Query, attributes: Sequence[str]):
+        self.child = child
+        self.attributes = tuple(attributes)
+
+    def output_schema(self, db_schema: DatabaseSchema) -> RelationSchema:
+        return self.child.output_schema(db_schema).project(self.attributes)
+
+    def evaluate(self, db: DatabaseInstance) -> RelationInstance:
+        return algebra.project(self.child.evaluate(db), self.attributes)
+
+    def operators(self) -> frozenset:
+        return self.child.operators() | {"P"}
+
+    def __repr__(self) -> str:
+        return f"Project({self.child!r}, {list(self.attributes)})"
+
+
+class Product(Query):
+    """child_left × child_right (disjoint attribute names)."""
+
+    def __init__(self, left: Query, right: Query):
+        self.left = left
+        self.right = right
+
+    def output_schema(self, db_schema: DatabaseSchema) -> RelationSchema:
+        ls = self.left.output_schema(db_schema)
+        rs = self.right.output_schema(db_schema)
+        overlap = set(ls.attribute_names) & set(rs.attribute_names)
+        if overlap:
+            raise QueryError(f"product operands share attributes {sorted(overlap)}")
+        return RelationSchema(
+            f"{ls.name}_x_{rs.name}", list(ls.attributes) + list(rs.attributes)
+        )
+
+    def evaluate(self, db: DatabaseInstance) -> RelationInstance:
+        return algebra.product(self.left.evaluate(db), self.right.evaluate(db))
+
+    def operators(self) -> frozenset:
+        return self.left.operators() | self.right.operators() | {"C"}
+
+    def __repr__(self) -> str:
+        return f"Product({self.left!r}, {self.right!r})"
+
+
+class Union(Query):
+    """child_left ∪ child_right (union-compatible)."""
+
+    def __init__(self, left: Query, right: Query):
+        self.left = left
+        self.right = right
+
+    def output_schema(self, db_schema: DatabaseSchema) -> RelationSchema:
+        ls = self.left.output_schema(db_schema)
+        rs = self.right.output_schema(db_schema)
+        if ls.attribute_names != rs.attribute_names:
+            raise QueryError(
+                f"union operands not compatible: {ls.attribute_names} vs {rs.attribute_names}"
+            )
+        return ls
+
+    def evaluate(self, db: DatabaseInstance) -> RelationInstance:
+        return algebra.union(self.left.evaluate(db), self.right.evaluate(db))
+
+    def operators(self) -> frozenset:
+        return self.left.operators() | self.right.operators() | {"U"}
+
+    def __repr__(self) -> str:
+        return f"Union({self.left!r}, {self.right!r})"
+
+
+class Difference(Query):
+    """child_left − child_right (outside SPCU; used by CQA fragments)."""
+
+    def __init__(self, left: Query, right: Query):
+        self.left = left
+        self.right = right
+
+    def output_schema(self, db_schema: DatabaseSchema) -> RelationSchema:
+        ls = self.left.output_schema(db_schema)
+        rs = self.right.output_schema(db_schema)
+        if ls.attribute_names != rs.attribute_names:
+            raise QueryError("difference operands not union-compatible")
+        return ls
+
+    def evaluate(self, db: DatabaseInstance) -> RelationInstance:
+        return algebra.difference(self.left.evaluate(db), self.right.evaluate(db))
+
+    def operators(self) -> frozenset:
+        return self.left.operators() | self.right.operators() | {"-"}
+
+    def __repr__(self) -> str:
+        return f"Difference({self.left!r}, {self.right!r})"
+
+
+class Rename(Query):
+    """ρ: rename attributes (old → new); schema-preserving otherwise."""
+
+    def __init__(self, child: Query, mapping: Mapping[str, str], new_name: str | None = None):
+        self.child = child
+        self.mapping = dict(mapping)
+        self.new_name = new_name
+
+    def output_schema(self, db_schema: DatabaseSchema) -> RelationSchema:
+        schema = self.child.output_schema(db_schema)
+        attrs = [
+            Attribute(self.mapping.get(a.name, a.name), a.domain)
+            for a in schema.attributes
+        ]
+        return RelationSchema(self.new_name or schema.name, attrs)
+
+    def evaluate(self, db: DatabaseInstance) -> RelationInstance:
+        return algebra.rename(self.child.evaluate(db), self.mapping, self.new_name)
+
+    def operators(self) -> frozenset:
+        return self.child.operators()
+
+    def __repr__(self) -> str:
+        return f"Rename({self.child!r}, {self.mapping})"
+
+
+class Extend(Query):
+    """Add a constant-valued attribute to every tuple.
+
+    This is how an integration view tags each source with, e.g., its country
+    code — exactly the construction of Example 4.2 where the view over the
+    UK/US/Netherlands sources adds CC.  ``Extend`` is expressible as a product
+    with a single-tuple constant relation, so it stays inside SPC ("E" is
+    tracked separately for clarity but treated as "C" for fragment checks).
+    """
+
+    def __init__(self, child: Query, attribute: Attribute, value):
+        self.child = child
+        self.attribute = attribute
+        self.value = attribute.domain.validate(value)
+
+    def output_schema(self, db_schema: DatabaseSchema) -> RelationSchema:
+        schema = self.child.output_schema(db_schema)
+        if self.attribute.name in schema:
+            raise QueryError(f"attribute {self.attribute.name!r} already present")
+        return RelationSchema(
+            schema.name, list(schema.attributes) + [self.attribute]
+        )
+
+    def evaluate(self, db: DatabaseInstance) -> RelationInstance:
+        child = self.child.evaluate(db)
+        schema = RelationSchema(
+            child.schema.name, list(child.schema.attributes) + [self.attribute]
+        )
+        result = RelationInstance(schema)
+        for t in child:
+            result.add(t.values() + (self.value,))
+        return result
+
+    def operators(self) -> frozenset:
+        return self.child.operators() | {"E"}
+
+    def __repr__(self) -> str:
+        return f"Extend({self.child!r}, {self.attribute.name}={self.value!r})"

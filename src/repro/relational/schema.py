@@ -1,0 +1,182 @@
+"""Relation and database schemas.
+
+A :class:`RelationSchema` is an ordered list of named, typed attributes; a
+:class:`DatabaseSchema` is a named collection of relation schemas.  Following
+Section 2 of the paper, attribute domains are part of the schema because the
+consistency analyses of conditional dependencies interact with finite domains.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.domains import Domain, STRING
+
+__all__ = ["Attribute", "RelationSchema", "DatabaseSchema"]
+
+
+class Attribute:
+    """A named attribute with a domain."""
+
+    __slots__ = ("name", "domain")
+
+    def __init__(self, name: str, domain: Domain = STRING):
+        if not name:
+            raise SchemaError("attribute name must be non-empty")
+        self.name = name
+        self.domain = domain
+
+    def __repr__(self) -> str:
+        return f"Attribute({self.name}: {self.domain.name})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Attribute)
+            and self.name == other.name
+            and self.domain == other.domain
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.domain))
+
+
+class RelationSchema:
+    """An ordered, duplicate-free list of attributes with a relation name."""
+
+    def __init__(self, name: str, attributes: Iterable[Attribute | Tuple[str, Domain] | str]):
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        self.name = name
+        attrs: list[Attribute] = []
+        for spec in attributes:
+            if isinstance(spec, Attribute):
+                attrs.append(spec)
+            elif isinstance(spec, str):
+                attrs.append(Attribute(spec))
+            else:
+                attr_name, domain = spec
+                attrs.append(Attribute(attr_name, domain))
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in schema {name}: {names}")
+        if not attrs:
+            raise SchemaError(f"schema {name} must have at least one attribute")
+        self._attributes: Tuple[Attribute, ...] = tuple(attrs)
+        self._by_name: Dict[str, Attribute] = {a.name: a for a in attrs}
+        self._index: Dict[str, int] = {a.name: i for i, a in enumerate(attrs)}
+
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __contains__(self, attribute_name: str) -> bool:
+        return attribute_name in self._by_name
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up an attribute by name (SchemaError if absent)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self.name} has no attribute {name!r}; "
+                f"attributes are {list(self.attribute_names)}"
+            ) from None
+
+    def domain(self, name: str) -> Domain:
+        """Domain of the named attribute."""
+        return self.attribute(name).domain
+
+    def index_of(self, name: str) -> int:
+        """Position of the named attribute in tuple order."""
+        self.attribute(name)
+        return self._index[name]
+
+    def check_attributes(self, names: Sequence[str]) -> Tuple[str, ...]:
+        """Validate that every name exists; return them as a tuple."""
+        for name in names:
+            self.attribute(name)
+        return tuple(names)
+
+    def project(self, names: Sequence[str], new_name: str | None = None) -> "RelationSchema":
+        """Schema of the projection onto ``names`` (order as given)."""
+        self.check_attributes(names)
+        return RelationSchema(
+            new_name or f"{self.name}_proj",
+            [self._by_name[n] for n in names],
+        )
+
+    def rename(self, new_name: str) -> "RelationSchema":
+        """Same attributes under a different relation name."""
+        return RelationSchema(new_name, self._attributes)
+
+    def has_finite_domain_attribute(self) -> bool:
+        """True iff some attribute ranges over a finite domain.
+
+        This is the schema property that separates the general (intractable)
+        and special (quadratic) cases of CFD analyses in Theorems 4.1/4.3.
+        """
+        return any(a.domain.is_finite for a in self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RelationSchema)
+            and self.name == other.name
+            and self._attributes == other._attributes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self._attributes))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{a.name}: {a.domain.name}" for a in self._attributes)
+        return f"{self.name}({inner})"
+
+
+class DatabaseSchema:
+    """A collection of relation schemas addressed by relation name."""
+
+    def __init__(self, relations: Iterable[RelationSchema]):
+        self._relations: Dict[str, RelationSchema] = {}
+        for rel in relations:
+            if rel.name in self._relations:
+                raise SchemaError(f"duplicate relation name {rel.name!r}")
+            self._relations[rel.name] = rel
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(self._relations)
+
+    def relation(self, name: str) -> RelationSchema:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"database schema has no relation {name!r}; "
+                f"relations are {list(self._relations)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DatabaseSchema) and self._relations == other._relations
+
+    def __repr__(self) -> str:
+        return f"DatabaseSchema({', '.join(self._relations)})"

@@ -1,0 +1,103 @@
+"""Immutable tuples over a relation schema.
+
+``Tuple`` is a value type: hashable, comparable, with projection ``t[X]`` as
+in the paper's notation.  Values are validated against attribute domains at
+construction time so that dirty *types* never enter the system — dirty
+*values* (the paper's concern) of course do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Mapping, Sequence, Tuple as PyTuple
+
+from repro.errors import DomainError, SchemaError
+from repro.relational.schema import RelationSchema
+
+__all__ = ["Tuple"]
+
+
+class Tuple:
+    """An immutable tuple conforming to a :class:`RelationSchema`."""
+
+    __slots__ = ("schema", "_values", "_hash")
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        values: Mapping[str, Any] | Sequence[Any],
+        validate: bool = True,
+    ):
+        self.schema = schema
+        if isinstance(values, Mapping):
+            missing = [a for a in schema.attribute_names if a not in values]
+            if missing:
+                raise SchemaError(f"tuple for {schema.name} missing attributes {missing}")
+            extra = [k for k in values if k not in schema]
+            if extra:
+                raise SchemaError(f"tuple for {schema.name} has unknown attributes {extra}")
+            ordered = tuple(values[a] for a in schema.attribute_names)
+        else:
+            ordered = tuple(values)
+            if len(ordered) != len(schema):
+                raise SchemaError(
+                    f"tuple for {schema.name} has {len(ordered)} values, "
+                    f"schema has {len(schema)} attributes"
+                )
+        if validate:
+            for attr, value in zip(schema.attributes, ordered):
+                if not attr.domain.contains(value):
+                    raise DomainError(
+                        f"value {value!r} for {schema.name}.{attr.name} "
+                        f"not in domain {attr.domain.name}"
+                    )
+        self._values: PyTuple[Any, ...] = ordered
+        self._hash = hash((schema.name, ordered))
+
+    def __getitem__(self, attributes: str | Sequence[str]) -> Any:
+        """Projection: ``t["A"]`` is a value, ``t[["A","B"]]`` a value tuple."""
+        if isinstance(attributes, str):
+            return self._values[self.schema.index_of(attributes)]
+        return tuple(self._values[self.schema.index_of(a)] for a in attributes)
+
+    def values(self) -> PyTuple[Any, ...]:
+        """All values in schema attribute order."""
+        return self._values
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Attribute-name → value mapping (a fresh dict)."""
+        return dict(zip(self.schema.attribute_names, self._values))
+
+    def replace(self, **changes: Any) -> "Tuple":
+        """A copy of this tuple with the given attributes updated."""
+        data = self.as_dict()
+        for attr, value in changes.items():
+            if attr not in self.schema:
+                raise SchemaError(f"relation {self.schema.name} has no attribute {attr!r}")
+            data[attr] = value
+        return Tuple(self.schema, data)
+
+    def agrees_with(self, other: "Tuple", attributes: Sequence[str]) -> bool:
+        """True iff both tuples have equal projections on ``attributes``."""
+        return self[attributes] == other[list(attributes)]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Tuple)
+            and self.schema.name == other.schema.name
+            and self._values == other._values
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{a}={v!r}" for a, v in zip(self.schema.attribute_names, self._values)
+        )
+        return f"{self.schema.name}({inner})"

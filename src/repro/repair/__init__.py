@@ -1,0 +1,51 @@
+"""Data repairing (paper §5.1): repair models X/S/U, the statistical-agency
+cost metric, repair checking, heuristic and exact repair algorithms, and
+repair-space enumeration."""
+
+from repro.repair.checking import (
+    URepairCheck,
+    check_u_repair,
+    is_s_repair,
+    is_x_repair,
+)
+from repro.repair.enumerate import (
+    conflict_components,
+    count_repairs_by_components,
+    repair_space,
+)
+from repro.repair.master import MasterRepairResult, repair_with_master_data
+from repro.repair.models import (
+    CellChange,
+    CostModel,
+    RepairModel,
+    ValueRepair,
+    default_distance,
+)
+from repro.repair.srepair import all_s_repairs, is_denial_class, symmetric_difference
+from repro.repair.urepair import repair_cfds, repair_fds
+from repro.repair.xrepair import all_x_repairs, count_x_repairs, greedy_x_repair
+
+__all__ = [
+    "CellChange",
+    "MasterRepairResult",
+    "repair_with_master_data",
+    "CostModel",
+    "RepairModel",
+    "URepairCheck",
+    "ValueRepair",
+    "all_s_repairs",
+    "all_x_repairs",
+    "check_u_repair",
+    "conflict_components",
+    "count_repairs_by_components",
+    "count_x_repairs",
+    "default_distance",
+    "greedy_x_repair",
+    "is_denial_class",
+    "is_s_repair",
+    "is_x_repair",
+    "repair_cfds",
+    "repair_fds",
+    "repair_space",
+    "symmetric_difference",
+]

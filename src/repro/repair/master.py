@@ -1,0 +1,151 @@
+"""Master-data repair (paper §5.1, Remark).
+
+"A more reasonable way is to conduct repairing based on master data
+(reference data) [30, 62] ... At the very least this involves object
+identification to match tuples in Dr and those in D that refer to the
+same object ... matching dependencies and relative candidate keys may
+help us conduct data repairing and object identification in a uniform
+dependency-based framework."
+
+This module implements exactly that pipeline:
+
+1. **identify** — match each dirty tuple against the master relation with
+   matching rules (MDs/RCKs from the dirty schema to the master schema);
+2. **repair** — for every matched tuple, copy the master's values into
+   the dirty tuple over a declared attribute correspondence, but only for
+   cells that actually differ (each copy is logged with its
+   w(t,A)·dis(v,v′) cost);
+3. tuples with no master match (or with ambiguous matches, by default)
+   are left untouched and reported.
+
+Master repair composes with the CFD machinery: run it first to pull
+trusted values, then :func:`repro.repair.urepair.repair_cfds` for the
+residual violations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple as PyTuple
+
+from repro.md.model import MD
+from repro.md.blocking import Blocker
+from repro.md.model import MatchInterpretation
+from repro.relational.instance import RelationInstance
+from repro.relational.tuples import Tuple
+from repro.repair.models import CellChange, CostModel
+
+__all__ = ["MasterRepairResult", "repair_with_master_data"]
+
+
+class MasterRepairResult:
+    """Outcome of a master-data repair pass."""
+
+    def __init__(
+        self,
+        repaired: RelationInstance,
+        changes: List[CellChange],
+        matched: int,
+        unmatched: List[Tuple],
+        ambiguous: List[Tuple],
+    ):
+        self.repaired = repaired
+        self.changes = changes
+        self.matched = matched
+        self.unmatched = unmatched
+        self.ambiguous = ambiguous
+
+    @property
+    def cost(self) -> float:
+        return sum(c.cost for c in self.changes)
+
+    def __repr__(self) -> str:
+        return (
+            f"MasterRepairResult({self.matched} matched, "
+            f"{len(self.unmatched)} unmatched, {len(self.ambiguous)} ambiguous, "
+            f"{len(self.changes)} cells copied, cost={self.cost:.3f})"
+        )
+
+
+def _master_matches(
+    dirty_tuple: Tuple,
+    rules: Sequence[MD],
+    blockers: Sequence[Blocker],
+) -> List[Tuple]:
+    interpretation = MatchInterpretation()
+    found: Dict[Tuple, None] = {}
+    for rule, blocker in zip(rules, blockers):
+        for master_tuple in blocker.candidates(dirty_tuple):
+            if rule.premise_holds(dirty_tuple, master_tuple, interpretation):
+                found.setdefault(master_tuple, None)
+    return list(found)
+
+
+def repair_with_master_data(
+    dirty: RelationInstance,
+    master: RelationInstance,
+    rules: Sequence[MD],
+    correspondence: Mapping[str, str],
+    cost_model: CostModel | None = None,
+    on_ambiguous: str = "skip",
+) -> MasterRepairResult:
+    """Repair ``dirty`` by copying values from matched ``master`` tuples.
+
+    ``rules`` are matching rules from the dirty schema (left) to the
+    master schema (right); ``correspondence`` maps dirty attributes to the
+    master attributes whose values should overwrite them.
+
+    ``on_ambiguous`` controls tuples matching several distinct master
+    tuples: ``"skip"`` (default) leaves them untouched and reports them;
+    ``"first"`` uses the first match (master order is deterministic).
+    """
+    if on_ambiguous not in ("skip", "first"):
+        raise ValueError("on_ambiguous must be 'skip' or 'first'")
+    for dirty_attr, master_attr in correspondence.items():
+        dirty.schema.attribute(dirty_attr)
+        master.schema.attribute(master_attr)
+
+    cost_model = cost_model or CostModel()
+    blockers = [Blocker(rule, master) for rule in rules]
+    repaired = RelationInstance(dirty.schema)
+    changes: List[CellChange] = []
+    unmatched: List[Tuple] = []
+    ambiguous: List[Tuple] = []
+    matched = 0
+
+    for t in dirty:
+        candidates = _master_matches(t, rules, blockers)
+        if not candidates:
+            unmatched.append(t)
+            repaired.add(t)
+            continue
+        if len(candidates) > 1:
+            # matches that agree on every corresponded value are harmless
+            images = {
+                tuple(m[attr] for attr in correspondence.values())
+                for m in candidates
+            }
+            if len(images) > 1:
+                ambiguous.append(t)
+                if on_ambiguous == "skip":
+                    repaired.add(t)
+                    continue
+        matched += 1
+        reference = candidates[0]
+        updated = t
+        for dirty_attr, master_attr in correspondence.items():
+            master_value = reference[master_attr]
+            if updated[dirty_attr] != master_value:
+                changes.append(
+                    CellChange(
+                        dirty.schema.name,
+                        t,
+                        dirty_attr,
+                        updated[dirty_attr],
+                        master_value,
+                        cost_model.weight(t, dirty_attr)
+                        * cost_model.distance(updated[dirty_attr], master_value),
+                    )
+                )
+                updated = updated.replace(**{dirty_attr: master_value})
+        repaired.add(updated)
+    return MasterRepairResult(repaired, changes, matched, unmatched, ambiguous)

@@ -1,0 +1,152 @@
+"""Repair models and the cost metric of §5.1.
+
+Three repair models (paper, §5.1):
+
+* **X-repair** — a maximal consistent subset (tuple deletions only);
+* **S-repair** — consistent D′ with ⊆-minimal symmetric difference
+  (deletions and insertions);
+* **U-repair** — consistent D′ obtained by value modifications with
+  minimal aggregate cost.
+
+The cost metric is the one "motivated by an approach proposed for use in
+US national statistical agencies [40, 69]":
+
+    cost(v, v′) = w(t, A) · dis(v, v′)
+
+summed over all modified cells.  ``w`` is a per-cell confidence weight
+(default 1); ``dis`` a distance with lower = more similar — normalized
+edit distance for strings, relative difference for numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple as PyTuple
+
+from repro.md.similarity import levenshtein
+from repro.relational.instance import DatabaseInstance
+from repro.relational.tuples import Tuple
+
+__all__ = [
+    "RepairModel",
+    "default_distance",
+    "CostModel",
+    "CellChange",
+    "ValueRepair",
+]
+
+
+class RepairModel(enum.Enum):
+    """The three repair models of §5.1."""
+
+    X = "X-repair"   # deletions only, maximal subset
+    S = "S-repair"   # deletions + insertions, minimal symmetric difference
+    U = "U-repair"   # value modifications, minimal cost
+
+
+def default_distance(old: Any, new: Any) -> float:
+    """dis(v, v′) ∈ [0, 1]: 0 iff equal; normalized edit distance for
+    strings; relative difference for numbers; 1 otherwise."""
+    if old == new:
+        return 0.0
+    if isinstance(old, str) and isinstance(new, str):
+        longest = max(len(old), len(new))
+        if longest == 0:
+            return 0.0
+        return levenshtein(old, new) / longest
+    if isinstance(old, (int, float)) and isinstance(new, (int, float)):
+        denominator = max(abs(old), abs(new), 1)
+        return min(1.0, abs(old - new) / denominator)
+    return 1.0
+
+
+class CostModel:
+    """w(t, A) · dis(v, v′) with pluggable weights and distance.
+
+    ``weights`` maps (tuple, attribute) to the user's confidence in the
+    cell's accuracy; absent cells use ``default_weight`` — exactly the
+    paper's "if w(t, A) is not available, a default value is used".
+    """
+
+    def __init__(
+        self,
+        weights: Mapping[PyTuple[Tuple, str], float] | None = None,
+        distance: Callable[[Any, Any], float] = default_distance,
+        default_weight: float = 1.0,
+    ):
+        self._weights: Dict[PyTuple[Tuple, str], float] = dict(weights or {})
+        self.distance = distance
+        self.default_weight = default_weight
+
+    def weight(self, t: Tuple, attribute: str) -> float:
+        return self._weights.get((t, attribute), self.default_weight)
+
+    def set_weight(self, t: Tuple, attribute: str, value: float) -> None:
+        self._weights[(t, attribute)] = value
+
+    def change_cost(self, t: Tuple, attribute: str, new_value: Any) -> float:
+        """cost of changing t[A] to ``new_value``."""
+        return self.weight(t, attribute) * self.distance(t[attribute], new_value)
+
+    def tuple_cost(self, original: Tuple, repaired: Tuple) -> float:
+        """Sum of per-attribute change costs between two versions of a tuple."""
+        total = 0.0
+        for attribute in original.schema.attribute_names:
+            if original[attribute] != repaired[attribute]:
+                total += self.change_cost(original, attribute, repaired[attribute])
+        return total
+
+
+class CellChange:
+    """One value modification: (relation, tuple, attribute, old → new)."""
+
+    __slots__ = ("relation", "original", "attribute", "old", "new", "cost")
+
+    def __init__(
+        self,
+        relation: str,
+        original: Tuple,
+        attribute: str,
+        old: Any,
+        new: Any,
+        cost: float,
+    ):
+        self.relation = relation
+        self.original = original
+        self.attribute = attribute
+        self.old = old
+        self.new = new
+        self.cost = cost
+
+    def __repr__(self) -> str:
+        return (
+            f"CellChange({self.relation}.{self.attribute}: "
+            f"{self.old!r} → {self.new!r}, cost={self.cost:.3f})"
+        )
+
+
+class ValueRepair:
+    """A U-repair result: the repaired database, the edit log, total cost."""
+
+    def __init__(
+        self,
+        repaired: DatabaseInstance,
+        changes: Sequence[CellChange],
+        resolved: bool,
+    ):
+        self.repaired = repaired
+        self.changes = list(changes)
+        self.resolved = resolved  # False when the heuristic hit its pass cap
+
+    @property
+    def cost(self) -> float:
+        return sum(c.cost for c in self.changes)
+
+    def changed_cells(self) -> int:
+        return len(self.changes)
+
+    def __repr__(self) -> str:
+        return (
+            f"ValueRepair({self.changed_cells()} changes, cost={self.cost:.3f}, "
+            f"resolved={self.resolved})"
+        )

@@ -1,0 +1,185 @@
+"""JSON (de)serialization of schemas and dependencies.
+
+A downstream user drives the detectors from files: a schema document
+describes one relation (attribute names and types), and a rules document
+lists FDs and CFDs.  The wildcard '_' is spelled as the literal string
+``"_"`` in CFD pattern rows; typed constants are parsed against the
+schema's domains.
+
+Schema document::
+
+    {"name": "customer",
+     "attributes": [{"name": "CC", "type": "int"},
+                    {"name": "city", "type": "string"}]}
+
+Rules document::
+
+    [{"type": "fd", "relation": "customer",
+      "lhs": ["CC", "AC"], "rhs": ["city"]},
+     {"type": "cfd", "relation": "customer",
+      "lhs": ["CC", "zip"], "rhs": ["street"],
+      "tableau": [{"CC": 44, "zip": "_", "street": "_"}]}]
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.cfd.model import CFD, UNNAMED, PatternTableau
+from repro.deps.base import Dependency
+from repro.deps.fd import FD
+from repro.errors import DependencyError, SchemaError
+from repro.relational.domains import BOOL, Domain, EnumDomain, FLOAT, INT, STRING
+from repro.relational.schema import Attribute, RelationSchema
+
+__all__ = [
+    "schema_from_dict",
+    "schema_to_dict",
+    "rules_from_list",
+    "rules_to_list",
+    "load_schema",
+    "load_rules",
+]
+
+_TYPE_TO_DOMAIN: Dict[str, Domain] = {
+    "int": INT,
+    "float": FLOAT,
+    "string": STRING,
+    "bool": BOOL,
+}
+_DOMAIN_TO_TYPE = {v.name: k for k, v in _TYPE_TO_DOMAIN.items()}
+
+
+def schema_from_dict(document: Mapping[str, Any]) -> RelationSchema:
+    """Parse a schema document into a :class:`RelationSchema`."""
+    try:
+        name = document["name"]
+        specs = document["attributes"]
+    except KeyError as exc:
+        raise SchemaError(f"schema document missing key {exc}") from exc
+    attributes: List[Attribute] = []
+    for spec in specs:
+        type_name = spec.get("type", "string")
+        if type_name == "enum":
+            domain: Domain = EnumDomain(spec["values"])
+        elif type_name in _TYPE_TO_DOMAIN:
+            domain = _TYPE_TO_DOMAIN[type_name]
+        else:
+            raise SchemaError(
+                f"unknown attribute type {type_name!r}; "
+                f"expected one of {sorted(_TYPE_TO_DOMAIN)} or 'enum'"
+            )
+        attributes.append(Attribute(spec["name"], domain))
+    return RelationSchema(name, attributes)
+
+
+def schema_to_dict(schema: RelationSchema) -> Dict[str, Any]:
+    """Serialize a relation schema back to a document."""
+    attributes = []
+    for attr in schema.attributes:
+        if isinstance(attr.domain, EnumDomain) and attr.domain != BOOL:
+            attributes.append(
+                {
+                    "name": attr.name,
+                    "type": "enum",
+                    "values": sorted(attr.domain.values(), key=repr),
+                }
+            )
+        else:
+            attributes.append(
+                {
+                    "name": attr.name,
+                    "type": _DOMAIN_TO_TYPE.get(attr.domain.name, "string"),
+                }
+            )
+    return {"name": schema.name, "attributes": attributes}
+
+
+def _parse_pattern_cell(value: Any):
+    return UNNAMED if value == "_" else value
+
+
+def rules_from_list(
+    documents: Sequence[Mapping[str, Any]], schema: RelationSchema | None = None
+) -> List[Dependency]:
+    """Parse a rules document into FD/CFD objects (validated if a schema
+    is supplied)."""
+    rules: List[Dependency] = []
+    for i, doc in enumerate(documents):
+        kind = doc.get("type")
+        if kind == "fd":
+            rule: Dependency = FD(doc["relation"], doc["lhs"], doc["rhs"])
+        elif kind == "cfd":
+            rows = [
+                {attr: _parse_pattern_cell(v) for attr, v in row.items()}
+                for row in doc["tableau"]
+            ]
+            attrs = tuple(doc["lhs"]) + tuple(
+                a for a in doc["rhs"] if a not in doc["lhs"]
+            )
+            rule = CFD(
+                doc["relation"],
+                doc["lhs"],
+                doc["rhs"],
+                PatternTableau(attrs, rows),
+                name=doc.get("name"),
+            )
+        else:
+            raise DependencyError(
+                f"rule #{i}: unknown type {kind!r}; expected 'fd' or 'cfd'"
+            )
+        if schema is not None:
+            if isinstance(rule, FD):
+                rule.check_schema(schema)
+            else:
+                rule.check_schema(schema)
+        rules.append(rule)
+    return rules
+
+
+def rules_to_list(rules: Sequence[Dependency]) -> List[Dict[str, Any]]:
+    """Serialize FDs/CFDs back to plain documents."""
+    documents: List[Dict[str, Any]] = []
+    for rule in rules:
+        if isinstance(rule, CFD):
+            documents.append(
+                {
+                    "type": "cfd",
+                    "relation": rule.relation_name,
+                    "name": rule.name,
+                    "lhs": list(rule.lhs),
+                    "rhs": list(rule.rhs),
+                    "tableau": [
+                        {
+                            attr: ("_" if tp.get(attr) is UNNAMED else tp.get(attr))
+                            for attr in rule.tableau.attributes
+                        }
+                        for tp in rule.tableau
+                    ],
+                }
+            )
+        elif isinstance(rule, FD):
+            documents.append(
+                {
+                    "type": "fd",
+                    "relation": rule.relation_name,
+                    "lhs": list(rule.lhs),
+                    "rhs": list(rule.rhs),
+                }
+            )
+        else:
+            raise DependencyError(f"cannot serialize rule of type {type(rule).__name__}")
+    return documents
+
+
+def load_schema(path) -> RelationSchema:
+    """Read a schema document from a JSON file."""
+    with open(path) as handle:
+        return schema_from_dict(json.load(handle))
+
+
+def load_rules(path, schema: RelationSchema | None = None) -> List[Dependency]:
+    """Read a rules document from a JSON file."""
+    with open(path) as handle:
+        return rules_from_list(json.load(handle), schema)

@@ -1,0 +1,40 @@
+"""Seeded synthetic workloads with ground-truth error injection — the
+substitution for the proprietary datasets of the cited experiments."""
+
+from repro.workloads.card_billing import (
+    CardBillingConfig,
+    CardBillingWorkload,
+    generate_card_billing,
+)
+from repro.workloads.customer import (
+    CustomerConfig,
+    CustomerWorkload,
+    generate_customers,
+)
+from repro.workloads.noise import (
+    InjectedError,
+    abbreviate_name,
+    address_variant,
+    pick_other,
+    truncate,
+    typo,
+)
+from repro.workloads.orders import OrdersConfig, OrdersWorkload, generate_orders
+
+__all__ = [
+    "CardBillingConfig",
+    "CardBillingWorkload",
+    "CustomerConfig",
+    "CustomerWorkload",
+    "InjectedError",
+    "OrdersConfig",
+    "OrdersWorkload",
+    "abbreviate_name",
+    "address_variant",
+    "generate_card_billing",
+    "generate_customers",
+    "generate_orders",
+    "pick_other",
+    "truncate",
+    "typo",
+]

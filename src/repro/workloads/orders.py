@@ -1,0 +1,152 @@
+"""Synthetic order/book/CD data in the shape of Figure 3.
+
+Clean generation satisfies the CINDs cind1–cind3 of §2.2 (every ordered
+book exists in ``book``, every ordered CD in ``CD``, every audio-book CD
+has an 'audio'-format book); injection then breaks them in controlled
+ways: drop target rows, corrupt prices, or flip an audio-book's format —
+the violations ϕ4–ϕ6 must catch (benchmark FIG3/FIG4 at scale).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Tuple as PyTuple
+
+from repro.cind.model import CIND
+from repro.paper import fig4_cinds, source_target_schema
+from repro.relational.instance import DatabaseInstance
+from repro.workloads.noise import InjectedError
+
+__all__ = ["OrdersConfig", "OrdersWorkload", "generate_orders"]
+
+_TITLES = [
+    "Snow White", "Harry Potter", "War and Peace", "Dune", "Emma",
+    "Dracula", "Ulysses", "Beloved", "Middlemarch", "Persuasion",
+]
+
+_GENRES = ["country", "rock", "jazz", "classical", "a-book"]
+
+_FORMATS = ["hard-cover", "paper-cover", "audio"]
+
+
+class OrdersConfig:
+    """Knobs for the order/book/CD generator."""
+
+    def __init__(
+        self,
+        n_orders: int = 500,
+        error_rate: float = 0.04,
+        audio_book_share: float = 0.2,
+        seed: int = 11,
+    ):
+        self.n_orders = n_orders
+        self.error_rate = error_rate
+        self.audio_book_share = audio_book_share
+        self.seed = seed
+
+
+class OrdersWorkload:
+    """Generated data plus ground truth and the CIND rule set."""
+
+    def __init__(
+        self,
+        db: DatabaseInstance,
+        clean_db: DatabaseInstance,
+        errors: List[InjectedError],
+        config: OrdersConfig,
+    ):
+        self.db = db
+        self.clean_db = clean_db
+        self.errors = errors
+        self.config = config
+
+    @staticmethod
+    def cinds() -> List[CIND]:
+        """ϕ4, ϕ5, ϕ6 — the Figure 4 CINDs."""
+        return list(fig4_cinds().values())
+
+
+def generate_orders(config: OrdersConfig | None = None) -> OrdersWorkload:
+    """Seeded order/book/CD generator with CIND-violating injections."""
+    config = config or OrdersConfig()
+    rng = random.Random(config.seed)
+    schema = source_target_schema()
+    clean = DatabaseInstance(schema)
+
+    book_rows: List[Dict[str, Any]] = []
+    cd_rows: List[Dict[str, Any]] = []
+    order_rows: List[Dict[str, Any]] = []
+
+    prices: Dict[str, float] = {
+        title: round(5.0 + rng.random() * 25.0, 2) for title in _TITLES
+    }
+    for i, title in enumerate(_TITLES):
+        book_rows.append(
+            {
+                "isbn": f"b{i:03d}",
+                "title": title,
+                "price": prices[title],
+                "format": rng.choice(["hard-cover", "paper-cover"]),
+            }
+        )
+    for i in range(config.n_orders):
+        title = rng.choice(_TITLES)
+        if rng.random() < 0.5:
+            order_rows.append(
+                {"asin": f"a{i:04d}", "title": title, "type": "book",
+                 "price": prices[title]}
+            )
+        else:
+            genre = (
+                "a-book"
+                if rng.random() < config.audio_book_share
+                else rng.choice([g for g in _GENRES if g != "a-book"])
+            )
+            cd_price = round(prices[title] * 0.5, 2)
+            cd_rows.append(
+                {"id": f"c{i:04d}", "album": title, "price": cd_price,
+                 "genre": genre}
+            )
+            order_rows.append(
+                {"asin": f"a{i:04d}", "title": title, "type": "CD",
+                 "price": cd_price}
+            )
+            if genre == "a-book":
+                # cind3 witness: an audio-format book with the CD's price
+                book_rows.append(
+                    {"isbn": f"ab{i:04d}", "title": title, "price": cd_price,
+                     "format": "audio"}
+                )
+    # every CD price needs a CD row for cind2: CD orders above already have
+    # one; book orders reference book_rows directly — the clean instance
+    # satisfies all three CINDs by construction.
+    for row in book_rows:
+        clean.relation("book").add(row)
+    for row in cd_rows:
+        clean.relation("CD").add(row)
+    for row in order_rows:
+        clean.relation("order").add(row)
+
+    errors: List[InjectedError] = []
+    dirty = clean.copy()
+    # 1. corrupt order prices (breaks cind1/cind2 matching)
+    for index, t in enumerate(list(dirty.relation("order"))):
+        if rng.random() >= config.error_rate:
+            continue
+        old_price = t["price"]
+        new_price = round(old_price + 1.0 + rng.random() * 3.0, 2)
+        dirty.relation("order").discard(t)
+        dirty.relation("order").add(t.replace(price=new_price))
+        errors.append(
+            InjectedError("order", index, "price", old_price, new_price)
+        )
+    # 2. flip audio-book formats (breaks cind3)
+    for index, t in enumerate(list(dirty.relation("book"))):
+        if t["format"] != "audio" or rng.random() >= config.error_rate * 2:
+            continue
+        dirty.relation("book").discard(t)
+        dirty.relation("book").add(t.replace(format="paper-cover"))
+        errors.append(
+            InjectedError("book", index, "format", "audio", "paper-cover")
+        )
+    return OrdersWorkload(dirty, clean, errors, config)

@@ -1,0 +1,175 @@
+"""CFD consistency (Theorems 4.1/4.3): exactness on both regimes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfd.consistency import (
+    attribute_constants,
+    candidate_values,
+    consistency_by_relation,
+    find_witness_tuple,
+    is_consistent,
+)
+from repro.cfd.model import CFD, UNNAMED
+from repro.paper import example41_cfds, example41_schema
+from repro.relational.domains import BOOL, EnumDomain, INT, STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def _schema(a_domain=STRING, b_domain=STRING):
+    return RelationSchema("R", [("A", a_domain), ("B", b_domain)])
+
+
+class TestExample41:
+    def test_bool_domain_inconsistent(self):
+        assert not is_consistent(example41_schema(True), example41_cfds(True))
+
+    def test_infinite_domain_consistent(self):
+        assert is_consistent(example41_schema(False), example41_cfds(False))
+
+    def test_witness_satisfies(self):
+        schema = example41_schema(False)
+        cfds = example41_cfds(False)
+        witness = find_witness_tuple(schema, cfds)
+        db = DatabaseInstance(DatabaseSchema([schema]))
+        db.relation("R").add(witness)
+        assert all(cfd.holds_on(db) for cfd in cfds)
+
+
+class TestInfiniteDomainPropagation:
+    def test_empty_set_consistent(self):
+        assert is_consistent(_schema(), [])
+
+    def test_clashing_forced_constants(self):
+        # tp with all-wildcard LHS forces B = b1 and B = b2: inconsistent
+        cfds = [
+            CFD("R", ["A"], ["B"], [{"A": UNNAMED, "B": "b1"}]),
+            CFD("R", ["A"], ["B"], [{"A": UNNAMED, "B": "b2"}]),
+        ]
+        assert not is_consistent(_schema(), cfds)
+
+    def test_chained_forcing_consistent(self):
+        cfds = [
+            CFD("R", ["A"], ["B"], [{"A": UNNAMED, "B": "b1"}]),
+            CFD("R", ["B"], ["A"], [{"B": "b1", "A": "a1"}]),
+        ]
+        witness = find_witness_tuple(_schema(), cfds)
+        assert witness is not None
+        assert witness["B"] == "b1"
+        assert witness["A"] == "a1"
+
+    def test_chained_forcing_inconsistent(self):
+        cfds = [
+            CFD("R", ["A"], ["B"], [{"A": UNNAMED, "B": "b1"}]),
+            CFD("R", ["B"], ["A"], [{"B": "b1", "A": "a1"}]),
+            CFD("R", ["A"], ["B"], [{"A": "a1", "B": "b2"}]),
+        ]
+        assert not is_consistent(_schema(), cfds)
+
+    def test_constant_lhs_avoidable(self):
+        # LHS constant patterns never fire on the fresh witness
+        cfds = [
+            CFD("R", ["A"], ["B"], [{"A": "a1", "B": "b1"}]),
+            CFD("R", ["A"], ["B"], [{"A": "a1", "B": "b2"}]),
+        ]
+        # conflicting only for tuples with A = a1; a fresh A avoids both
+        assert is_consistent(_schema(), cfds)
+
+
+class TestFiniteDomainSearch:
+    def test_small_enum_exhaustion(self):
+        domain = EnumDomain(["x", "y"])
+        schema = _schema(a_domain=domain)
+        # every A value forces a different B, and B's forced values feed
+        # back incompatibly (mirrors Example 4.1 on a 2-value enum)
+        cfds = [
+            CFD("R", ["A"], ["B"], [{"A": "x", "B": "b1"}, {"A": "y", "B": "b2"}]),
+            CFD("R", ["B"], ["A"], [{"B": "b1", "A": "y"}, {"B": "b2", "A": "x"}]),
+        ]
+        assert not is_consistent(schema, cfds)
+
+    def test_three_valued_enum_escapes(self):
+        domain = EnumDomain(["x", "y", "z"])
+        schema = _schema(a_domain=domain)
+        cfds = [
+            CFD("R", ["A"], ["B"], [{"A": "x", "B": "b1"}, {"A": "y", "B": "b2"}]),
+            CFD("R", ["B"], ["A"], [{"B": "b1", "A": "y"}, {"B": "b2", "A": "x"}]),
+        ]
+        witness = find_witness_tuple(schema, cfds)
+        assert witness is not None
+        assert witness["A"] == "z"
+
+
+class TestHelpers:
+    def test_attribute_constants(self):
+        cfds = [CFD("R", ["A"], ["B"], [{"A": "a1", "B": "b1"}])]
+        constants = attribute_constants(cfds)
+        assert constants == {"A": {"a1"}, "B": {"b1"}}
+
+    def test_candidate_values_include_fresh(self):
+        schema = _schema()
+        values = candidate_values(schema, "A", {"a1"}, fresh_count=2)
+        assert "a1" in values
+        assert len(values) == 3
+
+    def test_candidate_values_finite_exhausted(self):
+        schema = _schema(a_domain=BOOL)
+        values = candidate_values(schema, "A", {True, False}, fresh_count=2)
+        assert set(values) == {True, False}
+
+    def test_by_relation(self):
+        schema_r = _schema()
+        schema_s = RelationSchema("S", [("A", STRING), ("B", STRING)])
+        db_schema = DatabaseSchema([schema_r, schema_s])
+        cfds = [
+            CFD("R", ["A"], ["B"], [{"A": UNNAMED, "B": "b1"}]),
+            CFD("S", ["A"], ["B"], [{"A": UNNAMED, "B": "b1"}]),
+            CFD("S", ["A"], ["B"], [{"A": UNNAMED, "B": "b2"}]),
+        ]
+        result = consistency_by_relation(db_schema, cfds)
+        assert result["R"] is not None
+        assert result["S"] is None
+
+    def test_mismatched_relation_rejected(self):
+        with pytest.raises(ValueError):
+            find_witness_tuple(
+                _schema(), [CFD("S", ["A"], ["B"], [{"A": UNNAMED, "B": "b"}])]
+            )
+
+
+class TestWitnessProperty:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a1", "a2", None]),
+                st.sampled_from(["b1", "b2", None]),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_witness_always_satisfies(self, rows):
+        """Whenever a witness is returned it genuinely satisfies Σ."""
+        schema = _schema()
+        cfds = [
+            CFD(
+                "R",
+                ["A"],
+                ["B"],
+                [
+                    {
+                        "A": a if a is not None else UNNAMED,
+                        "B": b if b is not None else UNNAMED,
+                    }
+                ],
+            )
+            for a, b in rows
+        ]
+        witness = find_witness_tuple(schema, cfds)
+        if witness is not None:
+            db = DatabaseInstance(DatabaseSchema([schema]))
+            db.relation("R").add(witness)
+            assert all(cfd.holds_on(db) for cfd in cfds)

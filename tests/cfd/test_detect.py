@@ -1,0 +1,45 @@
+"""Batch detection reports."""
+
+from repro.cfd.detect import DetectionReport, detect_violations, violating_tuples
+from repro.paper import fig1_fds, fig1_instance, fig2_cfds
+
+
+class TestDetectionReport:
+    def test_fds_see_nothing_on_d0(self):
+        report = detect_violations(fig1_instance(), fig1_fds())
+        assert report.is_clean()
+        assert report.total == 0
+
+    def test_cfds_see_everything_on_d0(self):
+        """The paper: "none of the tuples in D0 is error-free"."""
+        report = detect_violations(fig1_instance(), fig2_cfds().values())
+        assert not report.is_clean()
+        assert len(report.violating_tuples()) == 3  # all of t1, t2, t3
+
+    def test_split_by_kind(self):
+        report = detect_violations(fig1_instance(), fig2_cfds().values())
+        assert len(report.single_tuple()) == 3  # city constants
+        assert len(report.pairs()) == 1  # phi1 on t1, t2
+
+    def test_by_dependency(self):
+        cfds = fig2_cfds()
+        report = detect_violations(fig1_instance(), cfds.values())
+        per_dep = report.by_dependency()
+        assert len(per_dep[cfds["phi1"]]) == 1
+        assert len(per_dep[cfds["phi2"]]) == 3
+        assert cfds["phi3"] not in per_dep
+
+    def test_summary_is_informative(self):
+        report = detect_violations(fig1_instance(), fig2_cfds().values())
+        text = report.summary()
+        assert "4 violations" in text
+        assert "phi1" in text
+
+    def test_violating_tuples_helper(self):
+        cells = violating_tuples(fig1_instance(), fig2_cfds().values())
+        assert all(rel == "customer" for rel, _ in cells)
+
+    def test_empty_report(self):
+        report = DetectionReport([])
+        assert report.is_clean()
+        assert report.violating_tuples() == set()

@@ -1,0 +1,124 @@
+"""eCFDs (§2.3, Theorem 4.4): set/negated-set patterns, NY-state example."""
+
+import pytest
+
+from repro.cfd.ecfd import ANY, ECFD, SetPattern, ecfd_implies, ecfd_is_consistent
+from repro.errors import DependencyError
+from repro.relational.domains import INT, STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def _schema():
+    return RelationSchema("NY", [("CT", STRING), ("AC", INT)])
+
+
+def _db(rows):
+    return DatabaseInstance(DatabaseSchema([_schema()]), {"NY": rows})
+
+
+NYC_CODES = {212, 718, 646, 347, 917}
+
+
+def ecfd1():
+    """CT ∉ {NYC, LI} → AC (the FD holds off the two listed cities)."""
+    return ECFD(
+        "NY", ["CT"], ["AC"],
+        {"CT": SetPattern({"NYC", "LI"}, negated=True)},
+        name="ecfd1",
+    )
+
+
+def ecfd2():
+    """CT ∈ {NYC} → AC ∈ {212, 718, 646, 347, 917}."""
+    return ECFD(
+        "NY", ["CT"], ["AC"],
+        {"CT": SetPattern({"NYC"}), "AC": SetPattern(NYC_CODES)},
+        name="ecfd2",
+    )
+
+
+class TestSetPattern:
+    def test_positive(self):
+        assert SetPattern({1, 2}).matches(1)
+        assert not SetPattern({1, 2}).matches(3)
+
+    def test_negated(self):
+        assert SetPattern({1, 2}, negated=True).matches(3)
+        assert not SetPattern({1, 2}, negated=True).matches(1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DependencyError):
+            SetPattern([])
+
+
+class TestPaperExamples:
+    def test_ecfd1_satisfied_off_list(self):
+        db = _db([("Albany", 518), ("Buffalo", 716)])
+        assert ecfd1().holds_on(db)
+
+    def test_ecfd1_nyc_exempt_from_fd(self):
+        # NYC has many area codes; ecfd1 does not constrain it
+        db = _db([("NYC", 212), ("NYC", 718)])
+        assert ecfd1().holds_on(db)
+
+    def test_ecfd1_violated_by_other_city(self):
+        db = _db([("Albany", 518), ("Albany", 212)])
+        violations = list(ecfd1().violations(db))
+        assert len(violations) == 1
+        assert len(violations[0].tuples) == 2
+
+    def test_ecfd2_constrains_nyc_codes(self):
+        assert ecfd2().holds_on(_db([("NYC", 212)]))
+        bad = _db([("NYC", 518)])
+        violations = list(ecfd2().violations(bad))
+        assert len(violations) == 1
+        assert len(violations[0].tuples) == 1
+
+    def test_ecfd2_ignores_other_cities(self):
+        assert ecfd2().holds_on(_db([("Albany", 518)]))
+
+
+class TestConsistency:
+    def test_paper_pair_consistent(self):
+        assert ecfd_is_consistent(_schema(), [ecfd1(), ecfd2()])
+
+    def test_empty_set_consistent(self):
+        assert ecfd_is_consistent(_schema(), [])
+
+    def test_forced_membership_clash(self):
+        # every tuple must have AC ∈ {1} and AC ∉ {1}: inconsistent
+        e1 = ECFD("NY", ["CT"], ["AC"], {"AC": SetPattern({1})})
+        e2 = ECFD("NY", ["CT"], ["AC"], {"AC": SetPattern({1}, negated=True)})
+        assert not ecfd_is_consistent(_schema(), [e1, e2])
+
+    def test_finiteness_via_sets_no_finite_domain_needed(self):
+        """Theorem 4.4: eCFDs can force finite behaviour on infinite domains."""
+        # CT forced into {a, b}; CT = a forces AC ∈ {1}; CT = b forces
+        # AC ∈ {2}; and another rule forces AC ∉ {1, 2}: inconsistent,
+        # although every attribute has an infinite domain.
+        e_a = ECFD("NY", ["CT"], ["AC"], {"CT": SetPattern({"a"}), "AC": SetPattern({1})})
+        e_b = ECFD("NY", ["CT"], ["AC"], {"CT": SetPattern({"b"}), "AC": SetPattern({2})})
+        e_ct = ECFD("NY", ["AC"], ["CT"], {"CT": SetPattern({"a", "b"})})
+        e_not = ECFD("NY", ["CT"], ["AC"], {"AC": SetPattern({1, 2}, negated=True)})
+        assert not ecfd_is_consistent(_schema(), [e_a, e_b, e_ct, e_not])
+
+
+class TestImplication:
+    def test_self_implication(self):
+        assert ecfd_implies(_schema(), [ecfd1()], ecfd1())
+
+    def test_superset_weakening(self):
+        strong = ECFD("NY", ["CT"], ["AC"], {"CT": SetPattern({"NYC"}), "AC": SetPattern({212})})
+        weak = ECFD("NY", ["CT"], ["AC"], {"CT": SetPattern({"NYC"}), "AC": SetPattern(NYC_CODES)})
+        assert ecfd_implies(_schema(), [strong], weak)
+        assert not ecfd_implies(_schema(), [weak], strong)
+
+    def test_narrower_lhs_implied(self):
+        broad = ecfd1()  # CT ∉ {NYC, LI} → AC
+        narrow = ECFD(
+            "NY", ["CT"], ["AC"],
+            {"CT": SetPattern({"NYC", "LI", "Albany"}, negated=True)},
+        )
+        assert ecfd_implies(_schema(), [broad], narrow)
+        assert not ecfd_implies(_schema(), [narrow], broad)

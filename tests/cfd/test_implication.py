@@ -1,0 +1,149 @@
+"""CFD implication (Theorem 4.2): exact two-tuple counterexample search."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfd.implication import cfd_implies, find_counterexample, minimal_cover_cfds
+from repro.cfd.model import CFD, UNNAMED, fd_as_cfd
+from repro.deps.fd import FD, implies as fd_implies
+from repro.paper import customer_schema, fig2_cfds
+from repro.relational.domains import STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+ATTRS = ["A", "B", "C"]
+
+
+def _schema():
+    return RelationSchema("R", [(a, STRING) for a in ATTRS])
+
+
+class TestBasicImplication:
+    def test_self_implication(self):
+        cfd = CFD("R", ["A"], ["B"], [{"A": "a", "B": UNNAMED}])
+        assert cfd_implies(_schema(), [cfd], cfd)
+
+    def test_unconditional_implies_conditional(self):
+        # FD A → B implies the same FD restricted to A = 'a'
+        general = CFD("R", ["A"], ["B"], [{"A": UNNAMED, "B": UNNAMED}])
+        restricted = CFD("R", ["A"], ["B"], [{"A": "a", "B": UNNAMED}])
+        assert cfd_implies(_schema(), [general], restricted)
+
+    def test_conditional_does_not_imply_unconditional(self):
+        general = CFD("R", ["A"], ["B"], [{"A": UNNAMED, "B": UNNAMED}])
+        restricted = CFD("R", ["A"], ["B"], [{"A": "a", "B": UNNAMED}])
+        assert not cfd_implies(_schema(), [restricted], general)
+
+    def test_transitivity(self):
+        ab = CFD("R", ["A"], ["B"], [{"A": UNNAMED, "B": UNNAMED}])
+        bc = CFD("R", ["B"], ["C"], [{"B": UNNAMED, "C": UNNAMED}])
+        ac = CFD("R", ["A"], ["C"], [{"A": UNNAMED, "C": UNNAMED}])
+        assert cfd_implies(_schema(), [ab, bc], ac)
+
+    def test_constant_strengthening(self):
+        # (A='a' → B='b') implies (A='a' → B) with wildcard RHS
+        strong = CFD("R", ["A"], ["B"], [{"A": "a", "B": "b"}])
+        weak = CFD("R", ["A"], ["B"], [{"A": "a", "B": UNNAMED}])
+        assert cfd_implies(_schema(), [strong], weak)
+        assert not cfd_implies(_schema(), [weak], strong)
+
+    def test_counterexample_is_genuine(self):
+        sigma = [CFD("R", ["A"], ["B"], [{"A": "a", "B": UNNAMED}])]
+        target = CFD("R", ["A"], ["B"], [{"A": UNNAMED, "B": UNNAMED}])
+        counter = find_counterexample(_schema(), sigma, target)
+        assert counter is not None
+        db = DatabaseInstance(DatabaseSchema([_schema()]))
+        for t in counter:
+            db.relation("R").add(t)
+        assert all(c.holds_on(db) for c in sigma)
+        assert not target.holds_on(db)
+
+    def test_inconsistent_sigma_implies_everything(self):
+        sigma = [
+            CFD("R", ["A"], ["B"], [{"A": UNNAMED, "B": "b1"}]),
+            CFD("R", ["A"], ["B"], [{"A": UNNAMED, "B": "b2"}]),
+        ]
+        anything = CFD("R", ["C"], ["A"], [{"C": UNNAMED, "A": UNNAMED}])
+        assert cfd_implies(_schema(), sigma, anything)
+
+
+class TestAgainstFDImplication:
+    """On all-wildcard CFDs, CFD implication must coincide with Armstrong."""
+
+    @st.composite
+    @staticmethod
+    def fd_cases(draw):
+        n = draw(st.integers(1, 3))
+        sigma = [
+            FD(
+                "R",
+                draw(st.lists(st.sampled_from(ATTRS), min_size=1, max_size=2)),
+                [draw(st.sampled_from(ATTRS))],
+            )
+            for _ in range(n)
+        ]
+        target = FD(
+            "R",
+            draw(st.lists(st.sampled_from(ATTRS), min_size=1, max_size=2)),
+            [draw(st.sampled_from(ATTRS))],
+        )
+        return sigma, target
+
+    @given(fd_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_agreement(self, case):
+        sigma, target = case
+        expected = fd_implies(sigma, target)
+        got = cfd_implies(
+            _schema(), [fd_as_cfd(f) for f in sigma], fd_as_cfd(target)
+        )
+        assert got == expected
+
+
+class TestPaperCFDs:
+    def test_phi2_rows_imply_weaker_city_rule(self):
+        schema = customer_schema()
+        phi2 = fig2_cfds()["phi2"]
+        # the 44/131 row of phi2 forces city=EDI given CC,AC,phn;
+        # so Σ={phi2} implies ([CC,AC,phn] → [city], (44,131,_||EDI))
+        weaker = CFD(
+            "customer",
+            ["CC", "AC", "phn"],
+            ["city"],
+            [{"CC": 44, "AC": 131, "phn": UNNAMED, "city": "EDI"}],
+        )
+        assert cfd_implies(schema, [phi2], weaker)
+
+    def test_phi1_does_not_imply_us_variant(self):
+        schema = customer_schema()
+        phi1 = fig2_cfds()["phi1"]
+        us_variant = CFD(
+            "customer",
+            ["CC", "zip"],
+            ["street"],
+            [{"CC": 1, "zip": UNNAMED, "street": UNNAMED}],
+        )
+        assert not cfd_implies(schema, [phi1], us_variant)
+
+
+class TestMinimalCover:
+    def test_redundant_row_removed(self):
+        schema = _schema()
+        general = CFD("R", ["A"], ["B"], [{"A": UNNAMED, "B": UNNAMED}])
+        redundant = CFD("R", ["A"], ["B"], [{"A": "a", "B": UNNAMED}])
+        cover = minimal_cover_cfds(schema, [general, redundant])
+        assert len(cover) == 1
+        assert cover[0].tableau.rows[0]["A"] is UNNAMED
+
+    def test_cover_equivalent(self):
+        schema = _schema()
+        cfds = [
+            CFD("R", ["A"], ["B"], [{"A": UNNAMED, "B": UNNAMED}]),
+            CFD("R", ["B"], ["C"], [{"B": UNNAMED, "C": UNNAMED}]),
+            CFD("R", ["A"], ["C"], [{"A": UNNAMED, "C": UNNAMED}]),  # implied
+        ]
+        cover = minimal_cover_cfds(schema, cfds)
+        assert len(cover) == 2
+        for original in cfds:
+            assert cfd_implies(schema, cover, original)

@@ -1,0 +1,139 @@
+"""CFD inference rules: soundness against the semantic decision procedure
+(Theorem 4.6's finite axiomatizability, operationally)."""
+
+import pytest
+
+from repro.cfd.implication import cfd_implies
+from repro.cfd.inference import (
+    augmentation,
+    derive_cfd,
+    finite_domain_case,
+    instantiation,
+    reflexivity,
+    rhs_weakening,
+    transitivity,
+)
+from repro.cfd.model import CFD, UNNAMED
+from repro.errors import DependencyError
+from repro.relational.domains import BOOL, STRING
+from repro.relational.schema import RelationSchema
+
+
+def _schema():
+    return RelationSchema(
+        "R", [("A", STRING), ("B", STRING), ("C", STRING), ("F", BOOL)]
+    )
+
+
+def _cfd(lhs, rhs, row):
+    return CFD("R", lhs, rhs, [row])
+
+
+class TestRuleSoundness:
+    def test_reflexivity(self):
+        cfd = reflexivity("R", ["A", "B"], "A")
+        assert cfd_implies(_schema(), [], cfd)
+
+    def test_augmentation(self):
+        base = _cfd(["A"], ["B"], {"A": UNNAMED, "B": UNNAMED})
+        augmented = augmentation(base, "C")
+        assert cfd_implies(_schema(), [base], augmented)
+
+    def test_augmentation_idempotent_on_existing(self):
+        base = _cfd(["A"], ["B"], {"A": UNNAMED, "B": UNNAMED})
+        assert augmentation(base, "A") == base
+
+    def test_instantiation(self):
+        base = _cfd(["A"], ["B"], {"A": UNNAMED, "B": UNNAMED})
+        special = instantiation(base, "A", "a1")
+        assert cfd_implies(_schema(), [base], special)
+        assert not cfd_implies(_schema(), [special], base)
+
+    def test_instantiation_requires_wildcard(self):
+        base = _cfd(["A"], ["B"], {"A": "a1", "B": UNNAMED})
+        with pytest.raises(DependencyError):
+            instantiation(base, "A", "a2")
+
+    def test_rhs_weakening(self):
+        base = _cfd(["A"], ["B"], {"A": "a1", "B": "b1"})
+        weak = rhs_weakening(base, "B")
+        assert cfd_implies(_schema(), [base], weak)
+
+    def test_transitivity_sound(self):
+        ab = _cfd(["A"], ["B"], {"A": UNNAMED, "B": UNNAMED})
+        bc = _cfd(["B"], ["C"], {"B": UNNAMED, "C": UNNAMED})
+        chained = transitivity(ab, bc)
+        assert chained is not None
+        assert cfd_implies(_schema(), [ab, bc], chained)
+
+    def test_transitivity_with_constants_sound(self):
+        ab = _cfd(["A"], ["B"], {"A": "a1", "B": "b1"})
+        bc = _cfd(["B"], ["C"], {"B": "b1", "C": "c1"})
+        chained = transitivity(ab, bc)
+        assert chained is not None
+        assert cfd_implies(_schema(), [ab, bc], chained)
+
+    def test_transitivity_clash_refused(self):
+        ab = _cfd(["A"], ["B"], {"A": UNNAMED, "B": "b1"})
+        bc = _cfd(["B"], ["C"], {"B": "b2", "C": "c1"})
+        assert transitivity(ab, bc) is None
+
+    def test_transitivity_unguaranteed_constant_refused(self):
+        # first only guarantees B = '_' but second demands B = 'b1'
+        ab = _cfd(["A"], ["B"], {"A": UNNAMED, "B": UNNAMED})
+        bc = _cfd(["B"], ["C"], {"B": "b1", "C": "c1"})
+        result = transitivity(ab, bc)
+        if result is not None:
+            assert cfd_implies(_schema(), [ab, bc], result)
+
+    def test_finite_domain_case(self):
+        schema = _schema()
+        rows = [
+            _cfd(["F", "A"], ["B"], {"F": True, "A": UNNAMED, "B": UNNAMED}),
+            _cfd(["F", "A"], ["B"], {"F": False, "A": UNNAMED, "B": UNNAMED}),
+        ]
+        merged = finite_domain_case(schema, rows, "F")
+        assert merged is not None
+        assert merged.tableau.rows[0]["F"] is UNNAMED
+        assert cfd_implies(schema, rows, merged)
+
+    def test_finite_domain_case_incomplete_coverage(self):
+        schema = _schema()
+        rows = [_cfd(["F", "A"], ["B"], {"F": True, "A": UNNAMED, "B": UNNAMED})]
+        assert finite_domain_case(schema, rows, "F") is None
+
+    def test_finite_domain_case_infinite_attribute(self):
+        schema = _schema()
+        rows = [_cfd(["A"], ["B"], {"A": "x", "B": UNNAMED})]
+        assert finite_domain_case(schema, rows, "A") is None
+
+
+class TestDerivationEngine:
+    def test_derives_transitivity(self):
+        sigma = [
+            _cfd(["A"], ["B"], {"A": UNNAMED, "B": UNNAMED}),
+            _cfd(["B"], ["C"], {"B": UNNAMED, "C": UNNAMED}),
+        ]
+        target = _cfd(["A"], ["C"], {"A": UNNAMED, "C": UNNAMED})
+        derivation = derive_cfd(_schema(), sigma, target)
+        assert derivation is not None
+
+    def test_derives_instantiated_target(self):
+        sigma = [_cfd(["A"], ["B"], {"A": UNNAMED, "B": UNNAMED})]
+        target = _cfd(["A"], ["B"], {"A": "a1", "B": UNNAMED})
+        assert derive_cfd(_schema(), sigma, target) is not None
+
+    def test_derivation_steps_all_sound(self):
+        sigma = [
+            _cfd(["A"], ["B"], {"A": UNNAMED, "B": UNNAMED}),
+            _cfd(["B"], ["C"], {"B": UNNAMED, "C": UNNAMED}),
+        ]
+        target = _cfd(["A"], ["C"], {"A": UNNAMED, "C": UNNAMED})
+        derivation = derive_cfd(_schema(), sigma, target)
+        for step in derivation:
+            assert cfd_implies(_schema(), sigma, step.cfd), step
+
+    def test_returns_none_when_underivable(self):
+        sigma = [_cfd(["A"], ["B"], {"A": UNNAMED, "B": UNNAMED})]
+        target = _cfd(["B"], ["A"], {"B": UNNAMED, "A": UNNAMED})
+        assert derive_cfd(_schema(), sigma, target, max_steps=200) is None

@@ -1,0 +1,144 @@
+"""CFD model: pattern matching, semantics on the paper's Figure 1/2."""
+
+import pytest
+
+from repro.cfd.model import CFD, UNNAMED, PatternTableau, PatternTuple, fd_as_cfd, matches
+from repro.deps.fd import FD
+from repro.errors import DependencyError
+from repro.paper import customer_schema, fig1_instance, fig2_cfds
+from repro.relational.domains import STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+class TestMatchOperator:
+    def test_constant_vs_constant(self):
+        assert matches("a", "a")
+        assert not matches("a", "b")
+
+    def test_wildcard_matches_anything(self):
+        assert matches("a", UNNAMED)
+        assert matches(UNNAMED, "a")
+        assert matches(UNNAMED, UNNAMED)
+
+    def test_unnamed_is_singleton(self):
+        from repro.cfd.model import _Unnamed
+
+        assert _Unnamed() is UNNAMED
+
+
+class TestPatternTuple:
+    def test_projection_and_constants(self):
+        tp = PatternTuple({"A": "a", "B": UNNAMED})
+        assert tp["A"] == "a"
+        assert tp.constants_on(["A", "B"]) == {"A": "a"}
+        assert not tp.is_constant_on(["A", "B"])
+        assert tp.is_constant_on(["A"])
+
+    def test_unknown_attribute(self):
+        with pytest.raises(DependencyError):
+            PatternTuple({})["missing"]
+
+    def test_equality(self):
+        assert PatternTuple({"A": 1}) == PatternTuple({"A": 1})
+        assert PatternTuple({"A": 1}) != PatternTuple({"A": 2})
+
+
+class TestPatternTableau:
+    def test_rows_normalized_with_wildcards(self):
+        tab = PatternTableau(("A", "B"), [{"A": "a"}])
+        assert tab.rows[0]["B"] is UNNAMED
+
+    def test_extra_attribute_rejected(self):
+        with pytest.raises(DependencyError):
+            PatternTableau(("A",), [{"B": 1}])
+
+    def test_empty_tableau_rejected(self):
+        with pytest.raises(DependencyError):
+            PatternTableau(("A",), [])
+
+    def test_pretty_renders_wildcards(self):
+        tab = PatternTableau(("A", "B"), [{"A": 44, "B": UNNAMED}])
+        rendered = tab.pretty()
+        assert "44" in rendered and "_" in rendered
+
+
+class TestCFDSemantics:
+    def _db(self, rows):
+        schema = RelationSchema("R", [("A", STRING), ("B", STRING)])
+        return DatabaseInstance(DatabaseSchema([schema]), {"R": rows})
+
+    def test_constant_pattern_single_tuple_violation(self):
+        cfd = CFD("R", ["A"], ["B"], [{"A": "uk", "B": "x"}])
+        db = self._db([("uk", "y")])
+        violations = list(cfd.violations(db))
+        assert len(violations) == 1
+        assert len(violations[0].tuples) == 1
+
+    def test_non_matching_tuple_exempt(self):
+        cfd = CFD("R", ["A"], ["B"], [{"A": "uk", "B": "x"}])
+        db = self._db([("us", "anything")])
+        assert cfd.holds_on(db)
+
+    def test_pair_violation_within_pattern(self):
+        cfd = CFD("R", ["A"], ["B"], [{"A": "uk", "B": UNNAMED}])
+        db = self._db([("uk", "x"), ("uk", "y")])
+        violations = list(cfd.violations(db))
+        assert any(len(v.tuples) == 2 for v in violations)
+
+    def test_pairs_outside_pattern_ignored(self):
+        cfd = CFD("R", ["A"], ["B"], [{"A": "uk", "B": UNNAMED}])
+        db = self._db([("us", "x"), ("us", "y")])
+        assert cfd.holds_on(db)
+
+    def test_fd_as_cfd_equivalence(self):
+        fd = FD("R", ["A"], ["B"])
+        cfd = fd_as_cfd(fd)
+        good = self._db([("a", "x"), ("b", "y")])
+        bad = self._db([("a", "x"), ("a", "y")])
+        assert cfd.holds_on(good) and fd.holds_on(good)
+        assert not cfd.holds_on(bad) and not fd.holds_on(bad)
+
+    def test_pattern_split(self):
+        cfd = CFD(
+            "R", ["A"], ["B"], [{"A": "u", "B": "x"}, {"A": "v", "B": "y"}]
+        )
+        rows = cfd.pattern_cfds()
+        assert len(rows) == 2
+        assert all(len(r.tableau) == 1 for r in rows)
+
+    def test_constant_and_variable_classification(self):
+        constant = CFD("R", ["A"], ["B"], [{"A": "u", "B": "x"}])
+        variable = CFD("R", ["A"], ["B"], [{"A": "u", "B": UNNAMED}])
+        assert constant.is_constant() and not constant.is_variable()
+        assert variable.is_variable() and not variable.is_constant()
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(DependencyError):
+            CFD("R", ["A"], [], [{}])
+
+
+class TestPaperFigure2:
+    """The exact satisfaction pattern the paper states for D0."""
+
+    def test_phi1_violated_by_t1_t2(self):
+        db = fig1_instance()
+        phi1 = fig2_cfds()["phi1"]
+        violations = list(phi1.violations(db))
+        assert len(violations) == 1
+        streets = {t["street"] for _, t in violations[0].tuples}
+        assert streets == {"Mayfield", "Crichton"}
+
+    def test_phi2_single_tuple_violations(self):
+        db = fig1_instance()
+        phi2 = fig2_cfds()["phi2"]
+        singles = [v for v in phi2.violations(db) if len(v.tuples) == 1]
+        # t1 and t2 (city != EDI) and t3 (city != MH)
+        assert len(singles) == 3
+
+    def test_phi3_satisfied(self):
+        assert fig2_cfds()["phi3"].holds_on(fig1_instance())
+
+    def test_check_schema_accepts_figure(self):
+        for cfd in fig2_cfds().values():
+            cfd.check_schema(customer_schema())

@@ -1,0 +1,106 @@
+"""The CIND chase: witnesses, fixpoints, termination bounds."""
+
+import pytest
+
+from repro.cind.chase import ChaseState, LabelledNull, chase
+from repro.cind.model import CIND
+from repro.errors import AnalysisBoundExceeded
+
+
+SCHEMAS = {
+    "R": ("a", "b"),
+    "S": ("c", "d"),
+    "T": ("e", "f"),
+}
+
+
+class TestLabelledNull:
+    def test_equality_by_label(self):
+        assert LabelledNull(1) == LabelledNull(1)
+        assert LabelledNull(1) != LabelledNull(2)
+
+    def test_never_equals_constants(self):
+        assert LabelledNull(1) != 1
+        assert LabelledNull(1) != "⊥1"
+
+
+class TestChase:
+    def test_adds_missing_witness(self):
+        state = ChaseState()
+        state.add_tuple("R", {"a": "v", "b": state.fresh_null()})
+        cind = CIND("R", ["a"], "S", ["c"])
+        chase(state, [cind], SCHEMAS)
+        assert len(state.tuples("S")) == 1
+        assert state.tuples("S")[0]["c"] == "v"
+
+    def test_existing_witness_reused(self):
+        state = ChaseState()
+        state.add_tuple("R", {"a": "v", "b": state.fresh_null()})
+        state.add_tuple("S", {"c": "v", "d": "x"})
+        cind = CIND("R", ["a"], "S", ["c"])
+        chase(state, [cind], SCHEMAS)
+        assert len(state.tuples("S")) == 1
+
+    def test_pattern_gated_application(self):
+        state = ChaseState()
+        state.add_tuple("R", {"a": "v", "b": "not-book"})
+        cind = CIND(
+            "R", ["a"], "S", ["c"],
+            lhs_pattern_attrs=["b"], tableau=[{"b": "book"}],
+        )
+        chase(state, [cind], SCHEMAS)
+        assert state.tuples("S") == []
+
+    def test_null_does_not_match_pattern_constant(self):
+        state = ChaseState()
+        state.add_tuple("R", {"a": "v", "b": state.fresh_null()})
+        cind = CIND(
+            "R", ["a"], "S", ["c"],
+            lhs_pattern_attrs=["b"], tableau=[{"b": "book"}],
+        )
+        chase(state, [cind], SCHEMAS)
+        assert state.tuples("S") == []
+
+    def test_rhs_pattern_applied_to_witness(self):
+        state = ChaseState()
+        state.add_tuple("R", {"a": "v", "b": "book"})
+        cind = CIND(
+            "R", ["a"], "S", ["c"],
+            lhs_pattern_attrs=["b"],
+            rhs_pattern_attrs=["d"],
+            tableau=[{"b": "book", "d": "audio"}],
+        )
+        chase(state, [cind], SCHEMAS)
+        assert state.tuples("S")[0]["d"] == "audio"
+
+    def test_transitive_cascade(self):
+        state = ChaseState()
+        state.add_tuple("R", {"a": "v", "b": state.fresh_null()})
+        cinds = [
+            CIND("R", ["a"], "S", ["c"]),
+            CIND("S", ["c"], "T", ["e"]),
+        ]
+        chase(state, cinds, SCHEMAS)
+        assert len(state.tuples("T")) == 1
+        assert state.tuples("T")[0]["e"] == "v"
+
+    def test_cyclic_bounded(self):
+        # R[a] ⊆ S[c] and S[d] ⊆ R[a]: each new witness gets a fresh d,
+        # which spawns a fresh R tuple, forever — the bound must trip.
+        state = ChaseState()
+        state.add_tuple("R", {"a": "v", "b": "x"})
+        cinds = [
+            CIND("R", ["a"], "S", ["c"]),
+            CIND("S", ["d"], "R", ["a"]),
+        ]
+        with pytest.raises(AnalysisBoundExceeded):
+            chase(state, cinds, SCHEMAS, max_steps=50)
+
+    def test_idempotent_at_fixpoint(self):
+        state = ChaseState()
+        state.add_tuple("R", {"a": "v", "b": "x"})
+        cind = CIND("R", ["a"], "S", ["c"])
+        chase(state, [cind], SCHEMAS)
+        size = state.total_tuples()
+        chase(state, [cind], SCHEMAS)
+        assert state.total_tuples() == size

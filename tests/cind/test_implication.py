@@ -1,0 +1,145 @@
+"""CIND implication via the chase (Theorem 4.2)."""
+
+import pytest
+
+from repro.cind.implication import cind_implies, consistency_is_trivial, seed_realizable
+from repro.cind.model import CIND
+from repro.deps.ind import IND, ind_implies
+from repro.errors import AnalysisBoundExceeded
+from repro.paper import fig4_cinds, source_target_schema
+from repro.relational.domains import STRING
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def _three_relations():
+    return DatabaseSchema(
+        [
+            RelationSchema("R", [("a", STRING), ("b", STRING)]),
+            RelationSchema("S", [("c", STRING), ("d", STRING)]),
+            RelationSchema("T", [("e", STRING), ("f", STRING)]),
+        ]
+    )
+
+
+class TestBasics:
+    def test_consistency_is_trivial(self):
+        """Theorem 4.1: CIND consistency is O(1) — always yes."""
+        assert consistency_is_trivial() is True
+
+    def test_self_implication(self):
+        schema = source_target_schema()
+        phi4 = fig4_cinds()["phi4"]
+        assert cind_implies(schema, [phi4], phi4)
+
+    def test_unrelated_not_implied(self):
+        schema = source_target_schema()
+        cinds = fig4_cinds()
+        assert not cind_implies(schema, [cinds["phi4"]], cinds["phi6"])
+
+    def test_transitivity(self):
+        schema = _three_relations()
+        sigma = [
+            CIND("R", ["a"], "S", ["c"]),
+            CIND("S", ["c"], "T", ["e"]),
+        ]
+        target = CIND("R", ["a"], "T", ["e"])
+        assert cind_implies(schema, sigma, target)
+
+    def test_pattern_weakening_implied(self):
+        schema = _three_relations()
+        # unconditional R[a] ⊆ S[c] implies its restriction to b = 'book'
+        general = CIND("R", ["a"], "S", ["c"])
+        restricted = CIND(
+            "R", ["a"], "S", ["c"],
+            lhs_pattern_attrs=["b"], tableau=[{"b": "book"}],
+        )
+        assert cind_implies(schema, [general], restricted)
+        assert not cind_implies(schema, [restricted], general)
+
+    def test_rhs_pattern_strengthening_not_implied(self):
+        schema = _three_relations()
+        general = CIND("R", ["a"], "S", ["c"])
+        stronger = CIND(
+            "R", ["a"], "S", ["c"],
+            rhs_pattern_attrs=["d"], tableau=[{"d": "audio"}],
+        )
+        assert cind_implies(schema, [stronger], general)
+        assert not cind_implies(schema, [general], stronger)
+
+    def test_pattern_chained_transitivity(self):
+        schema = _three_relations()
+        sigma = [
+            CIND(
+                "R", ["a"], "S", ["c"],
+                lhs_pattern_attrs=["b"],
+                rhs_pattern_attrs=["d"],
+                tableau=[{"b": "x", "d": "y"}],
+            ),
+            CIND(
+                "S", ["c"], "T", ["e"],
+                lhs_pattern_attrs=["d"],
+                tableau=[{"d": "y"}],
+            ),
+        ]
+        target = CIND(
+            "R", ["a"], "T", ["e"],
+            lhs_pattern_attrs=["b"], tableau=[{"b": "x"}],
+        )
+        assert cind_implies(schema, sigma, target)
+
+    def test_pattern_mismatch_blocks_transitivity(self):
+        schema = _three_relations()
+        sigma = [
+            CIND(
+                "R", ["a"], "S", ["c"],
+                lhs_pattern_attrs=["b"],
+                rhs_pattern_attrs=["d"],
+                tableau=[{"b": "x", "d": "y"}],
+            ),
+            CIND(
+                "S", ["c"], "T", ["e"],
+                lhs_pattern_attrs=["d"],
+                tableau=[{"d": "OTHER"}],
+            ),
+        ]
+        target = CIND(
+            "R", ["a"], "T", ["e"],
+            lhs_pattern_attrs=["b"], tableau=[{"b": "x"}],
+        )
+        assert not cind_implies(schema, sigma, target)
+
+    def test_cyclic_sigma_raises_bound(self):
+        schema = _three_relations()
+        sigma = [
+            CIND("R", ["a"], "S", ["c"]),
+            CIND("S", ["d"], "R", ["a"]),
+        ]
+        target = CIND("R", ["a"], "T", ["e"])
+        with pytest.raises(AnalysisBoundExceeded):
+            cind_implies(schema, sigma, target, max_steps=30)
+
+
+class TestAgainstPlainINDs:
+    """On empty-pattern CINDs the chase must agree with IND saturation."""
+
+    def test_projection_case(self):
+        schema = _three_relations()
+        sigma_ind = [IND("R", ["a", "b"], "S", ["c", "d"])]
+        target_ind = IND("R", ["a"], "S", ["c"])
+        sigma_cind = [CIND("R", ["a", "b"], "S", ["c", "d"])]
+        target_cind = CIND("R", ["a"], "S", ["c"])
+        assert ind_implies(sigma_ind, target_ind) == cind_implies(
+            schema, sigma_cind, target_cind
+        )
+
+    def test_negative_case(self):
+        schema = _three_relations()
+        assert not cind_implies(
+            schema,
+            [CIND("R", ["a"], "S", ["c"])],
+            CIND("S", ["c"], "R", ["a"]),
+        )
+
+    def test_seed_realizable(self):
+        schema = _three_relations()
+        assert seed_realizable(schema, CIND("R", ["a"], "S", ["c"]))

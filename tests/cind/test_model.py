@@ -1,0 +1,104 @@
+"""CIND model and the Figure 3/4 satisfaction pattern."""
+
+import pytest
+
+from repro.cind.model import CIND, ind_as_cind
+from repro.deps.ind import IND
+from repro.errors import DependencyError
+from repro.paper import fig3_instance, fig3_naive_inds, fig4_cinds, source_target_schema
+
+
+class TestConstruction:
+    def test_arity_mismatch(self):
+        with pytest.raises(DependencyError):
+            CIND("order", ["title"], "book", ["title", "price"])
+
+    def test_x_xp_overlap_rejected(self):
+        with pytest.raises(DependencyError):
+            CIND(
+                "order", ["title"], "book", ["title"],
+                lhs_pattern_attrs=["title"],
+                tableau=[{"title": "x"}],
+            )
+
+    def test_y_yp_overlap_rejected(self):
+        with pytest.raises(DependencyError):
+            CIND(
+                "order", ["title"], "book", ["title"],
+                rhs_pattern_attrs=["title"],
+                tableau=[{"title": "x"}],
+            )
+
+    def test_missing_pattern_cell_rejected(self):
+        with pytest.raises(DependencyError):
+            CIND(
+                "order", ["title"], "book", ["title"],
+                lhs_pattern_attrs=["type"],
+                tableau=[{}],
+            )
+
+    def test_embedded_ind(self):
+        phi4 = fig4_cinds()["phi4"]
+        assert phi4.embedded_ind == IND("order", ["title", "price"], "book", ["title", "price"])
+
+    def test_check_schema(self):
+        schema = source_target_schema()
+        for cind in fig4_cinds().values():
+            cind.check_schema(schema)
+
+    def test_equality(self):
+        assert fig4_cinds()["phi4"] == fig4_cinds()["phi4"]
+        assert fig4_cinds()["phi4"] != fig4_cinds()["phi5"]
+
+
+class TestPaperSemantics:
+    """The exact claims of §2.2 about D1."""
+
+    def test_phi4_phi5_hold(self):
+        db = fig3_instance()
+        cinds = fig4_cinds()
+        assert cinds["phi4"].holds_on(db)
+        assert cinds["phi5"].holds_on(db)
+
+    def test_phi6_violated_by_t9(self):
+        db = fig3_instance()
+        violations = list(fig4_cinds()["phi6"].violations(db))
+        assert len(violations) == 1
+        _, witness = violations[0].tuples[0]
+        assert witness["id"] == "c58"  # t9
+
+    def test_t7_not_a_match_for_t9(self):
+        """t7 agrees on album/price but has paper-cover, not audio."""
+        db = fig3_instance()
+        # removing the format requirement makes the CIND hold
+        relaxed = CIND(
+            "CD", ["album", "price"], "book", ["title", "price"],
+            lhs_pattern_attrs=["genre"],
+            tableau=[{"genre": "a-book"}],
+        )
+        assert relaxed.holds_on(db)
+
+    def test_naive_inds_do_not_make_sense(self):
+        """The unconditioned INDs cannot both hold: a book order has no CD
+        to match (order(title,price) ⊆ CD(album,price) fails on t5).  The
+        book-side IND holds on the tiny D1 only coincidentally."""
+        db = fig3_instance()
+        ind_book, ind_cd = fig3_naive_inds()
+        violations = list(ind_cd.violations(db))
+        assert violations, "the CD-side IND must fail on the book order t5"
+        assert any(t["type"] == "book" for _, t in violations[0].tuples)
+
+    def test_ind_as_cind_equivalence(self):
+        db = fig3_instance()
+        for ind in fig3_naive_inds():
+            assert ind_as_cind(ind).holds_on(db) == ind.holds_on(db)
+
+    def test_pattern_restriction_only_selected_tuples(self):
+        """Only type='book' order tuples are constrained by phi4."""
+        db = fig3_instance()
+        # empty the book table; phi4 must now flag only t5 (the book order)
+        db.relation("book").discard(db.relation("book").tuples()[0])
+        db.relation("book").discard(db.relation("book").tuples()[0])
+        violations = list(fig4_cinds()["phi4"].violations(db))
+        assert len(violations) == 1
+        assert violations[0].tuples[0][1]["type"] == "book"

@@ -1,0 +1,102 @@
+"""Nuclei: merge construction, CQ answers = consistent answers."""
+
+import pytest
+
+from repro.cfd.model import CFD, UNNAMED
+from repro.condensed.nucleus import certain_answers_on_nucleus, nucleus
+from repro.condensed.tableau import is_variable, variables_of
+from repro.cqa.certain import certain_answers
+from repro.deps.fd import FD
+from repro.paper import example51_instance, example51_key
+from repro.relational import algebra
+from repro.relational.domains import STRING
+from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def _db(rows):
+    schema = RelationSchema("R", [("A", STRING), ("B", STRING), ("C", STRING)])
+    return DatabaseInstance(DatabaseSchema([schema]), {"R": rows})
+
+
+class TestConstruction:
+    def test_example51_linear_size(self):
+        """2^n repairs, but the nucleus has n tuples."""
+        db = example51_instance(5)
+        g = nucleus(db.relation("R"), [example51_key()])
+        assert len(g) == 5
+        assert len(variables_of(g)) == 5  # one variable per conflict
+
+    def test_conflict_free_attributes_stay_constant(self):
+        db = example51_instance(2)
+        g = nucleus(db.relation("R"), [example51_key()])
+        for t in g:
+            assert not is_variable(t["A"])
+            assert is_variable(t["B"])
+
+    def test_clean_instance_unchanged(self):
+        db = _db([("a", "x", "1"), ("b", "y", "2")])
+        g = nucleus(db.relation("R"), [FD("R", ["A"], ["B"])])
+        assert {t.values() for t in g} == {("a", "x", "1"), ("b", "y", "2")}
+
+    def test_three_way_merge(self):
+        db = _db([("a", "x", "1"), ("a", "y", "1"), ("a", "z", "1")])
+        g = nucleus(db.relation("R"), [FD("R", ["A"], ["B"])])
+        assert len(g) == 1
+        merged = g.tuples()[0]
+        assert merged["A"] == "a"
+        assert is_variable(merged["B"])
+        assert merged["C"] == "1"
+
+    def test_cfd_pattern_scoped_merge(self):
+        cfd = CFD("R", ["A"], ["B"], [{"A": "uk", "B": UNNAMED}])
+        db = _db([("uk", "x", "1"), ("uk", "y", "1"), ("us", "p", "2"), ("us", "q", "2")])
+        g = nucleus(db.relation("R"), [cfd])
+        # only the uk pair merges; the us pair is outside the pattern
+        assert len(g) == 3
+
+
+class TestCertainAnswers:
+    def test_variable_free_answers_are_consistent_answers(self):
+        db = _db([("a", "x", "1"), ("a", "y", "1"), ("b", "z", "2")])
+        fd = FD("R", ["A"], ["B"])
+        g = nucleus(db.relation("R"), [fd])
+
+        def q_project_b(instance):
+            return algebra.project(instance, ["B"])
+
+        nucleus_answers = certain_answers_on_nucleus(g, q_project_b)
+        reference = certain_answers(
+            db, [fd], lambda d: algebra.project(d.relation("R"), ["B"])
+        )
+        assert nucleus_answers == reference == {("z",)}
+
+    def test_projection_on_stable_attributes(self):
+        db = _db([("a", "x", "1"), ("a", "y", "1")])
+        fd = FD("R", ["A"], ["B"])
+        g = nucleus(db.relation("R"), [fd])
+        answers = certain_answers_on_nucleus(
+            g, lambda inst: algebra.project(inst, ["A", "C"])
+        )
+        assert answers == {("a", "1")}
+
+    def test_selection_queries(self):
+        db = _db([("a", "x", "1"), ("a", "y", "1"), ("b", "x", "2")])
+        fd = FD("R", ["A"], ["B"])
+        g = nucleus(db.relation("R"), [fd])
+        from repro.relational.predicates import eq
+
+        answers = certain_answers_on_nucleus(
+            g,
+            lambda inst: algebra.project(
+                algebra.select(inst, eq("@B", "x")), ["A"]
+            ),
+        )
+        reference = certain_answers(
+            db,
+            [fd],
+            lambda d: algebra.project(
+                algebra.select(d.relation("R"), eq("@B", "x")), ["A"]
+            ),
+        )
+        assert answers == reference == {("b",)}

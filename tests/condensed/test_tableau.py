@@ -1,0 +1,101 @@
+"""Tableaux with variables: homomorphisms and subsumption."""
+
+import pytest
+
+from repro.condensed.tableau import (
+    TVar,
+    find_homomorphism,
+    is_variable,
+    subsumes,
+    variables_of,
+)
+from repro.relational.domains import STRING
+from repro.relational.instance import RelationInstance
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import Tuple
+
+
+def _schema():
+    return RelationSchema("R", [("A", STRING), ("B", STRING)])
+
+
+def _tableau(rows):
+    schema = _schema()
+    instance = RelationInstance(schema)
+    for row in rows:
+        instance.add(Tuple(schema, row, validate=False))
+    return instance
+
+
+class TestTVar:
+    def test_identity_equality(self):
+        x = TVar()
+        assert x == x
+        assert TVar() != TVar()
+
+    def test_is_variable(self):
+        assert is_variable(TVar())
+        assert not is_variable("a")
+
+    def test_labels_unique_by_default(self):
+        assert TVar().label != TVar().label
+
+
+class TestVariablesOf:
+    def test_collects_distinct(self):
+        x, y = TVar("x"), TVar("y")
+        tableau = _tableau([("a", x), ("b", y), ("c", x)])
+        assert variables_of(tableau) == [x, y]
+
+    def test_ground_instance_has_none(self):
+        assert variables_of(_tableau([("a", "b")])) == []
+
+
+class TestHomomorphism:
+    def test_variable_maps_to_constant(self):
+        x = TVar()
+        general = _tableau([("a", x)])
+        specific = _tableau([("a", "b")])
+        h = find_homomorphism(general, specific)
+        assert h == {x: "b"}
+
+    def test_consistent_binding_required(self):
+        x = TVar()
+        general = _tableau([("a", x), ("b", x)])
+        specific = _tableau([("a", "p"), ("b", "q")])  # x would need p and q
+        assert find_homomorphism(general, specific) is None
+
+    def test_consistent_binding_found(self):
+        x = TVar()
+        general = _tableau([("a", x), ("b", x)])
+        specific = _tableau([("a", "p"), ("b", "p")])
+        assert find_homomorphism(general, specific) == {x: "p"}
+
+    def test_constants_must_match(self):
+        general = _tableau([("a", "b")])
+        specific = _tableau([("a", "c")])
+        assert find_homomorphism(general, specific) is None
+
+    def test_ground_subset(self):
+        general = _tableau([("a", "b")])
+        specific = _tableau([("a", "b"), ("c", "d")])
+        assert find_homomorphism(general, specific) == {}
+
+
+class TestSubsumption:
+    def test_general_subsumes_specific(self):
+        x = TVar()
+        assert subsumes(_tableau([("a", x)]), _tableau([("a", "b")]))
+
+    def test_specific_does_not_subsume_general(self):
+        x = TVar()
+        general = _tableau([("a", x)])
+        specific = _tableau([("a", "b")])
+        # specific's constant row has no image row ("a", "b") in general?
+        # actually ("a", x) can be the image only if b maps... constants
+        # cannot map, so no homomorphism exists
+        assert not subsumes(specific, general)
+
+    def test_reflexive(self):
+        t = _tableau([("a", TVar())])
+        assert subsumes(t, t)

@@ -1,0 +1,112 @@
+"""World-set decompositions of repair spaces (§5.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.condensed.wsd import decompose_repairs
+from repro.deps.fd import FD
+from repro.paper import example51_instance, example51_key
+from repro.relational import algebra
+from repro.relational.domains import STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.repair.xrepair import all_x_repairs
+
+
+def _db(rows):
+    schema = RelationSchema("R", [("A", STRING), ("B", STRING)])
+    return DatabaseInstance(DatabaseSchema([schema]), {"R": rows})
+
+
+class TestDecomposition:
+    def test_example51_structure(self):
+        db = example51_instance(5)
+        wsd = decompose_repairs(db, [example51_key()])
+        assert len(wsd.blocks) == 5
+        assert all(len(block) == 2 for block in wsd.blocks)
+        assert wsd.world_count() == 32
+
+    def test_succinctness(self):
+        """O(n) cells represent 2^n worlds (the §5.3 motivation)."""
+        db = example51_instance(16)
+        wsd = decompose_repairs(db, [example51_key()])
+        assert wsd.world_count() == 65536
+        assert wsd.size() <= 2 * 16  # one cell per alternative
+
+    def test_clean_instance_single_world(self):
+        db = _db([("a", "x"), ("b", "y")])
+        wsd = decompose_repairs(db, [FD("R", ["A"], ["B"])])
+        assert wsd.world_count() == 1
+        assert len(wsd.core) == 2
+        assert wsd.blocks == []
+
+    def test_worlds_equal_repair_space(self):
+        db = _db([("a", "x"), ("a", "y"), ("b", "z")])
+        fd = FD("R", ["A"], ["B"])
+        wsd = decompose_repairs(db, [fd])
+        worlds = {
+            frozenset(t.values() for t in w.relation("R"))
+            for w in wsd.worlds()
+        }
+        repairs = {
+            frozenset(t.values() for t in r.relation("R"))
+            for r in all_x_repairs(db, [fd])
+        }
+        assert worlds == repairs
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]), st.sampled_from(["x", "y"])
+            ),
+            min_size=1,
+            max_size=7,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_worlds_equal_repairs_random(self, rows):
+        db = _db(rows)
+        fd = FD("R", ["A"], ["B"])
+        wsd = decompose_repairs(db, [fd])
+        worlds = {
+            frozenset(t.values() for t in w.relation("R"))
+            for w in wsd.worlds()
+        }
+        repairs = {
+            frozenset(t.values() for t in r.relation("R"))
+            for r in all_x_repairs(db, [fd])
+        }
+        assert worlds == repairs
+        assert wsd.world_count() == len(repairs)
+
+
+class TestCertainAnswers:
+    def test_certain_cells(self):
+        db = _db([("a", "x"), ("a", "y"), ("b", "z")])
+        wsd = decompose_repairs(db, [FD("R", ["A"], ["B"])])
+        certain_values = {t.values() for _, t in wsd.certain_cells()}
+        assert certain_values == {("b", "z")}
+
+    def test_certain_answers_match_enumeration(self):
+        from repro.cqa.certain import certain_answers
+
+        db = _db([("a", "x"), ("a", "y"), ("b", "z")])
+        fd = FD("R", ["A"], ["B"])
+        wsd = decompose_repairs(db, [fd])
+        query = lambda inst: algebra.project(inst.relation("R"), ["B"])
+        got = wsd.certain_answers(
+            lambda d: algebra.project(d.relation("R"), ["B"])
+        )
+        reference = certain_answers(
+            db, [fd], lambda d: algebra.project(d.relation("R"), ["B"])
+        )
+        assert got == reference == {("z",)}
+
+    def test_shared_cell_across_alternatives_is_certain(self):
+        # two alternatives in the same block can share a tuple; it is then
+        # certain even though its block is conflicted
+        db = _db([("a", "x"), ("a", "y"), ("a", "z")])
+        wsd = decompose_repairs(db, [FD("R", ["A"], ["B"])])
+        # no shared tuples here (each repair keeps exactly one of three)
+        assert wsd.certain_cells() == set()

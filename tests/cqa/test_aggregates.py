@@ -1,0 +1,129 @@
+"""Range-consistent aggregate answers vs repair enumeration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cqa.aggregates import (
+    AggregateRange,
+    range_count,
+    range_max,
+    range_min,
+    range_sum,
+)
+from repro.deps.fd import FD
+from repro.relational.domains import INT, STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.repair.xrepair import all_x_repairs
+
+
+def _db(rows):
+    schema = RelationSchema("R", [("K", STRING), ("V", INT)])
+    return DatabaseInstance(DatabaseSchema([schema]), {"R": rows})
+
+
+def _enumerated_range(db, aggregate, predicate=None):
+    predicate = predicate or (lambda t: True)
+    fd = FD("R", ["K"], ["V"])
+    values = []
+    for repair in all_x_repairs(db, [fd]):
+        selected = [t["V"] for t in repair.relation("R") if predicate(t)]
+        values.append(aggregate(selected))
+    return min(values), max(values)
+
+
+class TestSum:
+    def test_simple_range(self):
+        db = _db([("a", 1), ("a", 5), ("b", 10)])
+        assert range_sum(db, "R", ["K"], "V") == AggregateRange(11, 15)
+
+    def test_consistent_when_no_conflict(self):
+        db = _db([("a", 1), ("b", 2)])
+        result = range_sum(db, "R", ["K"], "V")
+        assert result.is_consistent
+        assert result.glb == 3
+
+    def test_with_predicate(self):
+        db = _db([("a", 1), ("a", 100), ("b", 7)])
+        result = range_sum(db, "R", ["K"], "V", predicate=lambda t: t["V"] < 50)
+        # group a: contributes 1 or 0 (the 100 fails the filter)
+        assert result == AggregateRange(7 + 0, 7 + 1)
+
+    rows = st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(-5, 10)),
+        min_size=1,
+        max_size=7,
+    )
+
+    @given(rows)
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_enumeration(self, rows):
+        db = _db(rows)
+        got = range_sum(db, "R", ["K"], "V")
+        expected = _enumerated_range(db, sum)
+        assert (got.glb, got.lub) == expected
+
+    @given(rows)
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_enumeration_under_filter(self, rows):
+        predicate = lambda t: t["V"] >= 0
+        db = _db(rows)
+        got = range_sum(db, "R", ["K"], "V", predicate=predicate)
+        expected = _enumerated_range(
+            db, lambda vs: sum(vs), predicate=predicate
+        )
+        assert (got.glb, got.lub) == expected
+
+
+class TestCount:
+    def test_count_constant_without_filter(self):
+        db = _db([("a", 1), ("a", 5), ("b", 10)])
+        result = range_count(db, "R", ["K"])
+        assert result.is_consistent
+        assert result.glb == 2  # one tuple per key group in every repair
+
+    def test_count_with_filter(self):
+        db = _db([("a", 1), ("a", 100), ("b", 7)])
+        result = range_count(db, "R", ["K"], predicate=lambda t: t["V"] < 50)
+        assert result == AggregateRange(1, 2)
+
+    @given(TestSum.rows)
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_enumeration(self, rows):
+        predicate = lambda t: t["V"] % 2 == 0
+        db = _db(rows)
+        got = range_count(db, "R", ["K"], predicate=predicate)
+        expected = _enumerated_range(db, len, predicate=predicate)
+        assert (got.glb, got.lub) == expected
+
+
+class TestMinMax:
+    def test_max_range(self):
+        db = _db([("a", 1), ("a", 5), ("b", 3)])
+        assert range_max(db, "R", ["K"], "V") == AggregateRange(3, 5)
+
+    def test_min_range(self):
+        db = _db([("a", 1), ("a", 5), ("b", 3)])
+        assert range_min(db, "R", ["K"], "V") == AggregateRange(1, 3)
+
+    def test_empty_after_filter(self):
+        db = _db([("a", 1)])
+        result = range_max(db, "R", ["K"], "V", predicate=lambda t: t["V"] > 99)
+        assert result == AggregateRange(None, None)
+
+    @given(TestSum.rows)
+    @settings(max_examples=60, deadline=None)
+    def test_max_agrees_with_enumeration(self, rows):
+        db = _db(rows)
+        got = range_max(db, "R", ["K"], "V")
+        expected = _enumerated_range(db, max)
+        assert (got.glb, got.lub) == expected
+
+    @given(TestSum.rows)
+    @settings(max_examples=60, deadline=None)
+    def test_min_agrees_with_enumeration(self, rows):
+        db = _db(rows)
+        got = range_min(db, "R", ["K"], "V")
+        expected = _enumerated_range(db, min)
+        assert (got.glb, got.lub) == expected

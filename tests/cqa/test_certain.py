@@ -1,0 +1,72 @@
+"""Certain answers via repair enumeration (the reference semantics)."""
+
+import pytest
+
+from repro.cqa.certain import certain_answers, possible_answers
+from repro.deps.fd import FD
+from repro.paper import example51_instance, example51_key
+from repro.relational.domains import STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.predicates import eq
+from repro.relational.query import Base, Project, Select
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def _db(rows):
+    schema = RelationSchema("R", [("A", STRING), ("B", STRING)])
+    return DatabaseInstance(DatabaseSchema([schema]), {"R": rows})
+
+
+class TestCertainAnswers:
+    def test_conflicting_values_not_certain(self):
+        db = _db([("a", "x"), ("a", "y")])
+        query = Project(Base("R"), ["B"])
+        answers = certain_answers(db, [FD("R", ["A"], ["B"])], query)
+        assert answers == set()  # each repair keeps a different B
+
+    def test_key_attribute_certain(self):
+        db = _db([("a", "x"), ("a", "y")])
+        query = Project(Base("R"), ["A"])
+        answers = certain_answers(db, [FD("R", ["A"], ["B"])], query)
+        assert answers == {("a",)}  # 'a' survives in every repair
+
+    def test_conflict_free_tuples_certain(self):
+        db = _db([("a", "x"), ("a", "y"), ("b", "z")])
+        query = Project(Base("R"), ["B"])
+        answers = certain_answers(db, [FD("R", ["A"], ["B"])], query)
+        assert answers == {("z",)}
+
+    def test_selection_query(self):
+        db = _db([("a", "x"), ("a", "y"), ("b", "x")])
+        query = Project(Select(Base("R"), eq("@B", "x")), ["A"])
+        answers = certain_answers(db, [FD("R", ["A"], ["B"])], query)
+        assert answers == {("b",)}
+
+    def test_callable_query(self):
+        db = _db([("a", "x"), ("b", "y")])
+        answers = certain_answers(
+            db, [FD("R", ["A"], ["B"])], lambda d: d.relation("R")
+        )
+        assert answers == {("a", "x"), ("b", "y")}
+
+    def test_clean_database_query_unchanged(self):
+        db = _db([("a", "x"), ("b", "y")])
+        query = Project(Base("R"), ["B"])
+        answers = certain_answers(db, [FD("R", ["A"], ["B"])], query)
+        assert answers == {("x",), ("y",)}
+
+
+class TestPossibleAnswers:
+    def test_union_of_repairs(self):
+        db = _db([("a", "x"), ("a", "y")])
+        query = Project(Base("R"), ["B"])
+        fd = FD("R", ["A"], ["B"])
+        assert possible_answers(db, [fd], query) == {("x",), ("y",)}
+
+    def test_certain_subset_of_possible(self):
+        db = example51_instance(3)
+        query = Project(Base("R"), ["A"])
+        fd = example51_key()
+        certain = certain_answers(db, [fd], query)
+        possible = possible_answers(db, [fd], query)
+        assert certain <= possible

@@ -1,0 +1,170 @@
+"""PTIME rewriting vs exhaustive repair enumeration — the Theorem 5.2
+tractable cases, validated against ground truth on random instances."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cqa.certain import certain_answers
+from repro.cqa.rewriting import certain_sp, certain_spj
+from repro.deps.fd import FD
+from repro.relational.domains import STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.predicates import eq
+from repro.relational.query import Base, Project, Select
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def _db(rows):
+    schema = RelationSchema("R", [("K", STRING), ("V", STRING), ("W", STRING)])
+    return DatabaseInstance(DatabaseSchema([schema]), {"R": rows})
+
+
+class TestSelectProject:
+    def test_basic(self):
+        db = _db([("k1", "x", "p"), ("k1", "y", "p"), ("k2", "z", "q")])
+        answers = certain_sp(db, "R", key=["K"], projection=["V"])
+        assert answers == {("z",)}
+
+    def test_with_condition(self):
+        db = _db([("k1", "x", "p"), ("k2", "x", "q")])
+        answers = certain_sp(
+            db, "R", key=["K"], projection=["K"], condition=eq("@W", "p")
+        )
+        assert answers == {("k1",)}
+
+    def test_condition_must_hold_in_every_repair(self):
+        # group k1: one tuple passes the filter, one does not ⟹ not certain
+        db = _db([("k1", "x", "p"), ("k1", "x", "q")])
+        answers = certain_sp(
+            db, "R", key=["K"], projection=["K"], condition=eq("@W", "p")
+        )
+        assert answers == set()
+
+    rows_strategy = st.lists(
+        st.tuples(
+            st.sampled_from(["k1", "k2", "k3"]),
+            st.sampled_from(["x", "y"]),
+            st.sampled_from(["p", "q"]),
+        ),
+        min_size=1,
+        max_size=7,
+    )
+
+    @given(rows_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_enumeration(self, rows):
+        db = _db(rows)
+        fd = FD("R", ["K"], ["V", "W"])  # K is the primary key
+        rewriting = certain_sp(db, "R", key=["K"], projection=["V"])
+        reference = certain_answers(db, [fd], Project(Base("R"), ["V"]))
+        assert rewriting == reference
+
+    @given(rows_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_enumeration_under_selection(self, rows):
+        db = _db(rows)
+        fd = FD("R", ["K"], ["V", "W"])
+        rewriting = certain_sp(
+            db, "R", key=["K"], projection=["V"], condition=eq("@W", "p")
+        )
+        reference = certain_answers(
+            db, [fd], Project(Select(Base("R"), eq("@W", "p")), ["V"])
+        )
+        assert rewriting == reference
+
+
+class TestSelectProjectJoin:
+    def _two_rel_db(self, r_rows, s_rows):
+        schema = DatabaseSchema(
+            [
+                RelationSchema("R1", [("K", STRING), ("FK", STRING), ("V", STRING)]),
+                RelationSchema("R2", [("K2", STRING), ("W", STRING)]),
+            ]
+        )
+        return DatabaseInstance(schema, {"R1": r_rows, "R2": s_rows})
+
+    def test_join_must_cover_right_key(self):
+        db = self._two_rel_db([], [])
+        with pytest.raises(ValueError):
+            certain_spj(
+                db, "R1", ["K"], "R2", ["K2"],
+                join=[("V", "W")],  # W is not R2's key
+                projection=[("L", "V")],
+            )
+
+    def test_simple_certain_join(self):
+        db = self._two_rel_db(
+            [("a", "f1", "v1")],
+            [("f1", "w1")],
+        )
+        answers = certain_spj(
+            db, "R1", ["K"], "R2", ["K2"],
+            join=[("FK", "K2")],
+            projection=[("L", "V"), ("R", "W")],
+        )
+        assert answers == {("v1", "w1")}
+
+    def test_right_side_conflict_blocks_certainty(self):
+        db = self._two_rel_db(
+            [("a", "f1", "v1")],
+            [("f1", "w1"), ("f1", "w2")],  # key conflict on R2
+        )
+        answers = certain_spj(
+            db, "R1", ["K"], "R2", ["K2"],
+            join=[("FK", "K2")],
+            projection=[("L", "V"), ("R", "W")],
+        )
+        assert answers == set()
+
+    def test_dangling_foreign_key_blocks_group(self):
+        db = self._two_rel_db(
+            [("a", "f1", "v1"), ("a", "f9", "v1")],  # f9 has no partner
+            [("f1", "w1")],
+        )
+        answers = certain_spj(
+            db, "R1", ["K"], "R2", ["K2"],
+            join=[("FK", "K2")],
+            projection=[("L", "V")],
+        )
+        assert answers == set()
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b"]),
+                st.sampled_from(["f1", "f2"]),
+                st.sampled_from(["v1", "v2"]),
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        st.lists(
+            st.tuples(st.sampled_from(["f1", "f2"]), st.sampled_from(["w1", "w2"])),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_join_agrees_with_enumeration(self, r_rows, s_rows):
+        db = self._two_rel_db(r_rows, s_rows)
+        fds = [FD("R1", ["K"], ["FK", "V"]), FD("R2", ["K2"], ["W"])]
+
+        def join_query(d):
+            from repro.relational import algebra
+
+            joined = algebra.natural_join(
+                algebra.rename(d.relation("R1"), {"FK": "K2"}),
+                d.relation("R2"),
+            )
+            return algebra.project(joined, ["V", "W"])
+
+        reference = certain_answers(db, fds, join_query)
+        rewriting = certain_spj(
+            db, "R1", ["K"], "R2", ["K2"],
+            join=[("FK", "K2")],
+            projection=[("L", "V"), ("R", "W")],
+        )
+        assert rewriting == reference

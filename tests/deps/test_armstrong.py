@@ -1,0 +1,69 @@
+"""Armstrong proofs agree with the closure-based decision procedure."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deps.armstrong import derive, is_derivable
+from repro.deps.fd import FD, implies
+
+ATTRS = ["A", "B", "C", "D"]
+
+
+@st.composite
+def fd_sets(draw):
+    n = draw(st.integers(1, 5))
+    return [
+        FD(
+            "R",
+            draw(st.lists(st.sampled_from(ATTRS), min_size=1, max_size=2)),
+            draw(st.lists(st.sampled_from(ATTRS), min_size=1, max_size=2)),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestDerive:
+    def test_transitivity_proof(self):
+        sigma = [FD("R", ["A"], ["B"]), FD("R", ["B"], ["C"])]
+        proof = derive(sigma, FD("R", ["A"], ["C"]))
+        assert proof is not None
+        assert proof.conclusion == FD("R", ["A"], ["C"])
+        rules = {step.rule for step in proof.steps}
+        assert "transitivity" in rules
+
+    def test_underivable(self):
+        assert derive([FD("R", ["A"], ["B"])], FD("R", ["B"], ["A"])) is None
+
+    def test_reflexivity_only(self):
+        proof = derive([], FD("R", ["A", "B"], ["A"]))
+        assert proof is not None
+
+    def test_premises_recorded(self):
+        sigma = [FD("R", ["A"], ["B"])]
+        proof = derive(sigma, FD("R", ["A"], ["B"]))
+        assert any(step.rule == "premise" for step in proof.steps)
+
+    def test_proof_renders(self):
+        sigma = [FD("R", ["A"], ["B"])]
+        proof = derive(sigma, FD("R", ["A"], ["B"]))
+        assert "transitivity" in proof.pretty() or "premise" in proof.pretty()
+
+
+class TestSoundnessCompleteness:
+    @given(fd_sets(), fd_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_derivability_equals_implication(self, sigma, targets):
+        # Armstrong completeness: ⊢ coincides with ⊨ on every random case
+        for target in targets:
+            assert is_derivable(sigma, target) == implies(sigma, target)
+
+    @given(fd_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_every_proof_step_is_implied(self, sigma):
+        target = FD("R", ["A", "B"], ["C"])
+        proof = derive(sigma, target)
+        if proof is None:
+            return
+        for step in proof.steps:
+            # soundness: each derived line is semantically implied
+            assert implies(sigma, step.fd) or step.rule == "premise"

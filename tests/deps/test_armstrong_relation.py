@@ -1,0 +1,75 @@
+"""Armstrong relations: the instance satisfies exactly Σ⁺."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deps.armstrong_relation import (
+    armstrong_relation,
+    closed_sets,
+    is_armstrong_relation,
+)
+from repro.deps.fd import FD, closure
+from repro.relational.domains import STRING
+from repro.relational.schema import RelationSchema
+
+ATTRS = ["A", "B", "C", "D"]
+
+
+def _schema():
+    return RelationSchema("R", [(a, STRING) for a in ATTRS])
+
+
+class TestClosedSets:
+    def test_full_set_always_closed(self):
+        sets = closed_sets(_schema(), [])
+        assert frozenset(ATTRS) in sets
+
+    def test_no_fds_every_set_closed(self):
+        sets = closed_sets(_schema(), [])
+        assert len(sets) == 2 ** len(ATTRS)
+
+    def test_closure_membership(self):
+        fds = [FD("R", ["A"], ["B"])]
+        for closed in closed_sets(_schema(), fds):
+            assert closure(closed, fds) == closed
+
+
+class TestArmstrongRelation:
+    def test_simple_fd(self):
+        fds = [FD("R", ["A"], ["B"])]
+        instance = armstrong_relation(_schema(), fds)
+        assert is_armstrong_relation(instance, _schema(), fds)
+
+    def test_transitive_set(self):
+        fds = [FD("R", ["A"], ["B"]), FD("R", ["B"], ["C"])]
+        instance = armstrong_relation(_schema(), fds)
+        assert is_armstrong_relation(instance, _schema(), fds)
+
+    def test_empty_fd_set(self):
+        instance = armstrong_relation(_schema(), [])
+        assert is_armstrong_relation(instance, _schema(), [])
+
+    def test_key_fd(self):
+        fds = [FD("R", ["A"], ["B", "C", "D"])]
+        instance = armstrong_relation(_schema(), fds)
+        assert is_armstrong_relation(instance, _schema(), fds)
+
+    @st.composite
+    @staticmethod
+    def fd_sets(draw):
+        n = draw(st.integers(1, 4))
+        return [
+            FD(
+                "R",
+                draw(st.lists(st.sampled_from(ATTRS), min_size=1, max_size=2)),
+                draw(st.lists(st.sampled_from(ATTRS), min_size=1, max_size=2)),
+            )
+            for _ in range(n)
+        ]
+
+    @given(fd_sets())
+    @settings(max_examples=25, deadline=None)
+    def test_random_fd_sets(self, fds):
+        instance = armstrong_relation(_schema(), fds)
+        assert is_armstrong_relation(instance, _schema(), fds)

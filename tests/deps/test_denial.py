@@ -1,0 +1,80 @@
+"""Denial constraints."""
+
+import pytest
+
+from repro.deps.denial import DenialConstraint, fd_as_denial
+from repro.deps.fd import FD
+from repro.errors import DependencyError
+from repro.relational.domains import INT, STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.predicates import And, Comparison
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+@pytest.fixture
+def db():
+    schema = DatabaseSchema(
+        [RelationSchema("emp", [("name", STRING), ("salary", INT), ("bonus", INT)])]
+    )
+    return DatabaseInstance(
+        schema,
+        {"emp": [("ann", 100, 10), ("bob", 50, 80), ("cat", 70, 20)]},
+    )
+
+
+class TestDenial:
+    def test_single_atom_range_constraint(self, db):
+        # forbid bonus > salary
+        dc = DenialConstraint(
+            ["emp"], Comparison("@t0.bonus", ">", "@t0.salary"), name="bonus<=salary"
+        )
+        violations = list(dc.violations(db))
+        assert len(violations) == 1
+        assert violations[0].tuples[0][1]["name"] == "bob"
+
+    def test_two_atom_constraint(self, db):
+        # forbid a pair where one earns more but gets a lower bonus than
+        # someone with half the salary -- arbitrary two-tuple condition
+        dc = DenialConstraint(
+            ["emp", "emp"],
+            And(
+                [
+                    Comparison("@t0.salary", ">", "@t1.salary"),
+                    Comparison("@t0.bonus", "<", "@t1.bonus"),
+                ]
+            ),
+        )
+        assert not dc.holds_on(db)
+
+    def test_satisfied(self, db):
+        dc = DenialConstraint(["emp"], Comparison("@t0.salary", ">", 1000))
+        assert dc.holds_on(db)
+
+    def test_no_atoms_rejected(self):
+        with pytest.raises(DependencyError):
+            DenialConstraint([], Comparison("@t0.x", "=", 1))
+
+
+class TestFDAsDenial:
+    def test_requires_singleton_rhs(self):
+        with pytest.raises(DependencyError):
+            fd_as_denial(FD("R", ["A"], ["B", "C"]))
+
+    def test_equivalence_with_fd_semantics(self):
+        schema = DatabaseSchema(
+            [RelationSchema("R", [("A", STRING), ("B", STRING)])]
+        )
+        fd = FD("R", ["A"], ["B"])
+        dc = fd_as_denial(fd)
+        good = DatabaseInstance(schema, {"R": [("a", "x"), ("b", "y")]})
+        bad = DatabaseInstance(schema, {"R": [("a", "x"), ("a", "y")]})
+        assert fd.holds_on(good) == dc.holds_on(good) is True
+        assert fd.holds_on(bad) == dc.holds_on(bad) is False
+
+    def test_diagonal_not_a_violation(self):
+        # (t, t) satisfies t0[B] != t1[B] never; single tuple is fine
+        schema = DatabaseSchema(
+            [RelationSchema("R", [("A", STRING), ("B", STRING)])]
+        )
+        db = DatabaseInstance(schema, {"R": [("a", "x")]})
+        assert fd_as_denial(FD("R", ["A"], ["B"])).holds_on(db)

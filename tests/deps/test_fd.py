@@ -1,0 +1,200 @@
+"""FDs: closure, implication, covers, keys — plus hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deps.fd import (
+    FD,
+    candidate_keys,
+    closure,
+    equivalent,
+    implies,
+    is_superkey,
+    minimal_cover,
+    project_fds,
+)
+from repro.errors import DependencyError
+from repro.relational.domains import STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+ATTRS = ["A", "B", "C", "D", "E"]
+
+
+def _schema():
+    return RelationSchema("R", [(a, STRING) for a in ATTRS])
+
+
+@st.composite
+def fd_sets(draw, max_fds=6):
+    n = draw(st.integers(1, max_fds))
+    fds = []
+    for _ in range(n):
+        lhs = draw(st.lists(st.sampled_from(ATTRS), min_size=1, max_size=3))
+        rhs = draw(st.lists(st.sampled_from(ATTRS), min_size=1, max_size=2))
+        fds.append(FD("R", lhs, rhs))
+    return fds
+
+
+class TestFDBasics:
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(DependencyError):
+            FD("R", ["A"], [])
+
+    def test_duplicates_removed(self):
+        fd = FD("R", ["A", "A", "B"], ["C", "C"])
+        assert fd.lhs == ("A", "B")
+        assert fd.rhs == ("C",)
+
+    def test_equality_is_set_based(self):
+        assert FD("R", ["A", "B"], ["C"]) == FD("R", ["B", "A"], ["C"])
+        assert FD("R", ["A"], ["C"]) != FD("S", ["A"], ["C"])
+
+    def test_check_schema(self):
+        FD("R", ["A"], ["B"]).check_schema(_schema())
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            FD("R", ["Z"], ["B"]).check_schema(_schema())
+
+
+class TestViolations:
+    def _db(self, rows):
+        schema = RelationSchema("R", [("A", STRING), ("B", STRING)])
+        return DatabaseInstance(DatabaseSchema([schema]), {"R": rows})
+
+    def test_satisfied(self):
+        db = self._db([("a", "x"), ("b", "y")])
+        assert FD("R", ["A"], ["B"]).holds_on(db)
+
+    def test_violated(self):
+        db = self._db([("a", "x"), ("a", "y")])
+        violations = list(FD("R", ["A"], ["B"]).violations(db))
+        assert len(violations) == 1
+        assert len(violations[0].tuples) == 2
+
+    def test_empty_lhs_requires_agreement(self):
+        db = self._db([("a", "x"), ("b", "x")])
+        assert FD("R", [], ["B"]).holds_on(db)
+        db2 = self._db([("a", "x"), ("b", "y")])
+        assert not FD("R", [], ["B"]).holds_on(db2)
+
+
+class TestClosure:
+    def test_textbook_example(self):
+        fds = [FD("R", ["A"], ["B"]), FD("R", ["B"], ["C"])]
+        assert closure(["A"], fds) == {"A", "B", "C"}
+
+    def test_no_fds(self):
+        assert closure(["A", "B"], []) == {"A", "B"}
+
+    def test_empty_lhs_fd_always_fires(self):
+        fds = [FD("R", [], ["B"])]
+        assert closure(["A"], fds) == {"A", "B"}
+
+    def test_multi_attribute_lhs(self):
+        fds = [FD("R", ["A", "B"], ["C"])]
+        assert closure(["A"], fds) == {"A"}
+        assert closure(["A", "B"], fds) == {"A", "B", "C"}
+
+    @given(fd_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_contains_inputs(self, fds):
+        assert {"A"} <= closure(["A"], fds)
+
+    @given(fd_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent(self, fds):
+        first = closure(["A", "B"], fds)
+        assert closure(first, fds) == first
+
+    @given(fd_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_monotone(self, fds):
+        assert closure(["A"], fds) <= closure(["A", "B"], fds)
+
+
+class TestImplication:
+    def test_transitivity(self):
+        fds = [FD("R", ["A"], ["B"]), FD("R", ["B"], ["C"])]
+        assert implies(fds, FD("R", ["A"], ["C"]))
+
+    def test_non_implication(self):
+        fds = [FD("R", ["A"], ["B"])]
+        assert not implies(fds, FD("R", ["B"], ["A"]))
+
+    def test_reflexivity(self):
+        assert implies([], FD("R", ["A", "B"], ["A"]))
+
+    def test_cross_relation_fds_ignored(self):
+        fds = [FD("S", ["A"], ["B"])]
+        assert not implies(fds, FD("R", ["A"], ["B"]))
+
+    @given(fd_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_each_fd_self_implied(self, fds):
+        for fd in fds:
+            assert implies(fds, fd)
+
+
+class TestMinimalCover:
+    def test_removes_redundant(self):
+        fds = [
+            FD("R", ["A"], ["B"]),
+            FD("R", ["B"], ["C"]),
+            FD("R", ["A"], ["C"]),  # redundant
+        ]
+        cover = minimal_cover(fds)
+        assert equivalent(cover, fds)
+        assert len(cover) == 2
+
+    def test_trims_lhs(self):
+        fds = [FD("R", ["A"], ["B"]), FD("R", ["A", "C"], ["B"])]
+        cover = minimal_cover(fds)
+        assert equivalent(cover, fds)
+        assert all(len(fd.lhs) == 1 for fd in cover)
+
+    def test_singleton_rhs(self):
+        cover = minimal_cover([FD("R", ["A"], ["B", "C"])])
+        assert all(len(fd.rhs) == 1 for fd in cover)
+
+    @given(fd_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_cover_equivalent(self, fds):
+        assert equivalent(minimal_cover(fds), fds)
+
+
+class TestKeys:
+    def test_candidate_keys_simple(self):
+        schema = _schema()
+        fds = [FD("R", ["A"], ["B", "C", "D", "E"])]
+        keys = candidate_keys(schema, fds)
+        assert frozenset({"A"}) in keys
+
+    def test_two_keys(self):
+        schema = RelationSchema("R", [("A", STRING), ("B", STRING)])
+        fds = [FD("R", ["A"], ["B"]), FD("R", ["B"], ["A"])]
+        keys = candidate_keys(schema, fds)
+        assert set(keys) == {frozenset({"A"}), frozenset({"B"})}
+
+    def test_no_fds_key_is_everything(self):
+        schema = RelationSchema("R", [("A", STRING), ("B", STRING)])
+        assert candidate_keys(schema, []) == [frozenset({"A", "B"})]
+
+    def test_is_superkey(self):
+        schema = _schema()
+        fds = [FD("R", ["A"], ["B", "C", "D", "E"])]
+        assert is_superkey(["A", "B"], schema, fds)
+        assert not is_superkey(["B"], schema, fds)
+
+
+class TestProjection:
+    def test_transitive_dependency_survives(self):
+        fds = [FD("R", ["A"], ["B"]), FD("R", ["B"], ["C"])]
+        projected = project_fds(fds, ["A", "C"])
+        assert implies(projected, FD("R", ["A"], ["C"]))
+        assert not implies(projected, FD("R", ["C"], ["A"]))
+
+    def test_empty_projection(self):
+        assert project_fds([], ["A"]) == []

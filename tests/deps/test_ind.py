@@ -1,0 +1,119 @@
+"""INDs: semantics, implication axioms, acyclicity."""
+
+import pytest
+
+from repro.deps.ind import IND, ind_implies, is_acyclic
+from repro.errors import DependencyError
+from repro.relational.domains import STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def _db(r_rows, s_rows):
+    schema = DatabaseSchema(
+        [
+            RelationSchema("R", [("a", STRING), ("b", STRING)]),
+            RelationSchema("S", [("c", STRING), ("d", STRING)]),
+        ]
+    )
+    return DatabaseInstance(schema, {"R": r_rows, "S": s_rows})
+
+
+class TestINDBasics:
+    def test_arity_mismatch(self):
+        with pytest.raises(DependencyError):
+            IND("R", ["a", "b"], "S", ["c"])
+
+    def test_empty_lists_rejected(self):
+        with pytest.raises(DependencyError):
+            IND("R", [], "S", [])
+
+    def test_repeated_attributes_rejected(self):
+        with pytest.raises(DependencyError):
+            IND("R", ["a", "a"], "S", ["c", "d"])
+
+    def test_equality(self):
+        assert IND("R", ["a"], "S", ["c"]) == IND("R", ["a"], "S", ["c"])
+        assert IND("R", ["a"], "S", ["c"]) != IND("R", ["b"], "S", ["c"])
+
+
+class TestSemantics:
+    def test_satisfied(self):
+        db = _db([("1", "x")], [("1", "y")])
+        assert IND("R", ["a"], "S", ["c"]).holds_on(db)
+
+    def test_violated(self):
+        db = _db([("1", "x"), ("2", "y")], [("1", "z")])
+        violations = list(IND("R", ["a"], "S", ["c"]).violations(db))
+        assert len(violations) == 1
+        assert violations[0].tuples[0][1]["a"] == "2"
+
+    def test_multi_attribute(self):
+        db = _db([("1", "x")], [("1", "x")])
+        assert IND("R", ["a", "b"], "S", ["c", "d"]).holds_on(db)
+        db2 = _db([("1", "x")], [("1", "y")])
+        assert not IND("R", ["a", "b"], "S", ["c", "d"]).holds_on(db2)
+
+    def test_empty_source_trivially_satisfied(self):
+        db = _db([], [])
+        assert IND("R", ["a"], "S", ["c"]).holds_on(db)
+
+
+class TestImplication:
+    def test_reflexivity(self):
+        assert ind_implies([], IND("R", ["a", "b"], "R", ["a", "b"]))
+
+    def test_projection(self):
+        sigma = [IND("R", ["a", "b"], "S", ["c", "d"])]
+        assert ind_implies(sigma, IND("R", ["a"], "S", ["c"]))
+        assert ind_implies(sigma, IND("R", ["b"], "S", ["d"]))
+
+    def test_permutation(self):
+        sigma = [IND("R", ["a", "b"], "S", ["c", "d"])]
+        assert ind_implies(sigma, IND("R", ["b", "a"], "S", ["d", "c"]))
+
+    def test_cross_column_not_implied(self):
+        sigma = [IND("R", ["a", "b"], "S", ["c", "d"])]
+        assert not ind_implies(sigma, IND("R", ["a"], "S", ["d"]))
+
+    def test_transitivity(self):
+        sigma = [
+            IND("R", ["a"], "S", ["c"]),
+            IND("S", ["c"], "T", ["e"]),
+        ]
+        assert ind_implies(sigma, IND("R", ["a"], "T", ["e"]))
+
+    def test_transitivity_chain_of_three(self):
+        sigma = [
+            IND("R", ["a"], "S", ["c"]),
+            IND("S", ["c"], "T", ["e"]),
+            IND("T", ["e"], "U", ["g"]),
+        ]
+        assert ind_implies(sigma, IND("R", ["a"], "U", ["g"]))
+
+    def test_not_implied(self):
+        sigma = [IND("R", ["a"], "S", ["c"])]
+        assert not ind_implies(sigma, IND("S", ["c"], "R", ["a"]))
+
+    def test_projection_then_transitivity(self):
+        sigma = [
+            IND("R", ["a", "b"], "S", ["c", "d"]),
+            IND("S", ["c"], "T", ["e"]),
+        ]
+        assert ind_implies(sigma, IND("R", ["a"], "T", ["e"]))
+
+
+class TestAcyclicity:
+    def test_acyclic(self):
+        assert is_acyclic([IND("R", ["a"], "S", ["c"]), IND("S", ["c"], "T", ["e"])])
+
+    def test_two_cycle(self):
+        assert not is_acyclic(
+            [IND("R", ["a"], "S", ["c"]), IND("S", ["c"], "R", ["a"])]
+        )
+
+    def test_self_loop(self):
+        assert not is_acyclic([IND("R", ["a"], "R", ["b"])])
+
+    def test_empty(self):
+        assert is_acyclic([])

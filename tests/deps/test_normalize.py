@@ -1,0 +1,78 @@
+"""Normalization: BCNF, 3NF, lossless joins."""
+
+import pytest
+
+from repro.deps.fd import FD, implies
+from repro.deps.normalize import (
+    bcnf_decompose,
+    bcnf_violating_fd,
+    is_bcnf,
+    is_lossless_binary,
+    third_nf_synthesize,
+)
+from repro.relational.domains import STRING
+from repro.relational.schema import RelationSchema
+
+
+def _schema(attrs):
+    return RelationSchema("R", [(a, STRING) for a in attrs])
+
+
+class TestBCNF:
+    def test_key_based_schema_is_bcnf(self):
+        schema = _schema(["A", "B"])
+        assert is_bcnf(schema, [FD("R", ["A"], ["B"])])
+
+    def test_violating_fd_found(self):
+        schema = _schema(["A", "B", "C"])
+        fds = [FD("R", ["A"], ["B"]), FD("R", ["B"], ["C"])]
+        violating = bcnf_violating_fd(schema, fds)
+        assert violating is not None
+        assert violating == FD("R", ["B"], ["C"])
+
+    def test_decomposition_reaches_bcnf(self):
+        schema = _schema(["A", "B", "C"])
+        fds = [FD("R", ["A"], ["B"]), FD("R", ["B"], ["C"])]
+        pieces = bcnf_decompose(schema, fds)
+        assert len(pieces) == 2
+        for piece_schema, piece_fds in pieces:
+            assert is_bcnf(piece_schema, piece_fds)
+
+    def test_decomposition_attribute_preserving(self):
+        schema = _schema(["A", "B", "C", "D"])
+        fds = [FD("R", ["A"], ["B"]), FD("R", ["C"], ["D"])]
+        pieces = bcnf_decompose(schema, fds)
+        covered = set()
+        for piece_schema, _ in pieces:
+            covered.update(piece_schema.attribute_names)
+        assert covered == {"A", "B", "C", "D"}
+
+
+class Test3NF:
+    def test_synthesis_covers_attributes(self):
+        schema = _schema(["A", "B", "C"])
+        fds = [FD("R", ["A"], ["B"]), FD("R", ["B"], ["C"])]
+        pieces = third_nf_synthesize(schema, fds)
+        covered = set()
+        for piece in pieces:
+            covered.update(piece.attribute_names)
+        assert covered == {"A", "B", "C"}
+
+    def test_key_relation_added_when_missing(self):
+        schema = _schema(["A", "B", "C"])
+        # no FD mentions C, so a key relation containing C must be added
+        fds = [FD("R", ["A"], ["B"])]
+        pieces = third_nf_synthesize(schema, fds)
+        assert any("C" in piece.attribute_names for piece in pieces)
+
+
+class TestLossless:
+    def test_lossless_split(self):
+        schema = _schema(["A", "B", "C"])
+        fds = [FD("R", ["B"], ["C"])]
+        assert is_lossless_binary(schema, fds, ["A", "B"], ["B", "C"])
+
+    def test_lossy_split(self):
+        schema = _schema(["A", "B", "C"])
+        fds = []
+        assert not is_lossless_binary(schema, fds, ["A", "B"], ["B", "C"])

@@ -1,0 +1,110 @@
+"""Merge/purge deduplication within one relation."""
+
+import pytest
+
+from repro.md.dedup import deduplicate
+from repro.md.model import MD
+from repro.md.similarity import EQ, EditDistanceSimilarity, TokenSetSimilarity
+from repro.relational.domains import STRING
+from repro.relational.instance import RelationInstance
+from repro.relational.schema import RelationSchema
+from repro.repair.models import CostModel
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema(
+        "people", [("name", STRING), ("phone", STRING), ("city", STRING)]
+    )
+
+
+@pytest.fixture
+def instance(schema):
+    return RelationInstance(
+        schema,
+        [
+            ("John Smith", "555", "Edinburgh"),
+            ("Jon Smith", "555", "Edinburgh"),     # same person, typo
+            ("J. Smith", "555", "Edinburg"),       # same person, abbreviated
+            ("Mary Chen", "777", "London"),
+            ("Mary Chen", "778", "London"),        # different phone: distinct
+        ],
+    )
+
+
+def _rules():
+    return [
+        MD(
+            "people", "people",
+            [("phone", "phone", EQ)],
+            ["name", "phone", "city"], ["name", "phone", "city"],
+            name="same-phone",
+        ),
+    ]
+
+
+class TestDeduplicate:
+    def test_clusters_by_rule(self, instance):
+        result = deduplicate(instance, _rules())
+        assert len(result.clusters) == 3
+        sizes = sorted(len(c) for c in result.clusters)
+        assert sizes == [1, 1, 3]
+
+    def test_duplicates_removed_count(self, instance):
+        result = deduplicate(instance, _rules())
+        assert result.duplicates_removed == 2
+        assert len(result.consolidated) == 3
+
+    def test_transitive_closure(self, schema):
+        """a~b via phone, b~c via name similarity ⟹ one cluster of 3."""
+        instance = RelationInstance(
+            schema,
+            [
+                ("John Smith", "555", "X"),
+                ("Jon Smith", "555", "Y"),
+                ("Jon Smith", "556", "Y"),
+            ],
+        )
+        rules = _rules() + [
+            MD(
+                "people", "people",
+                [("name", "name", EQ), ("city", "city", EQ)],
+                ["name", "phone", "city"], ["name", "phone", "city"],
+                name="same-name-city",
+            )
+        ]
+        result = deduplicate(instance, rules)
+        assert len(result.clusters) == 1
+        assert len(result.clusters[0]) == 3
+
+    def test_golden_record_plurality(self, instance):
+        result = deduplicate(instance, _rules())
+        big = max(result.clusters, key=len)
+        # "Edinburgh" outvotes "Edinburg" 2:1
+        assert big.golden["city"] == "Edinburgh"
+
+    def test_weights_influence_golden_record(self, instance):
+        trusted = instance.tuples()[2]  # the "J. Smith"/"Edinburg" row
+        model = CostModel()
+        model.set_weight(trusted, "city", 10.0)
+        result = deduplicate(instance, _rules(), cost_model=model)
+        big = max(result.clusters, key=len)
+        assert big.golden["city"] == "Edinburg"
+
+    def test_no_rules_no_merging(self, instance):
+        rules = [
+            MD(
+                "people", "people",
+                [("name", "name", EQ), ("phone", "phone", EQ), ("city", "city", EQ)],
+                ["name"], ["name"],
+                name="identity-ish",
+            )
+        ]
+        result = deduplicate(instance, rules)
+        assert result.duplicates_removed == 0
+
+    def test_blocking_used_for_equality_rules(self, instance):
+        result = deduplicate(instance, _rules())
+        # 5 tuples × 5 tuples × 1 premise = 25 unblocked; phone-blocking
+        # compares only same-phone pairs (3² + 1 + 1 − diagonal skips)
+        assert result.comparisons < 25

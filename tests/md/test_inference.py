@@ -1,0 +1,125 @@
+"""MD implication (Theorem 4.8): the PTIME procedure on Example 4.3 and
+generic-reasoning corner cases."""
+
+import pytest
+
+from repro.md.inference import md_implies
+from repro.md.model import MATCH, MD, RelativeKey
+from repro.md.similarity import EQ, ContainmentLattice, EditDistanceSimilarity
+from repro.paper import YB, YC, example31_mds, example32_rcks
+
+
+@pytest.fixture
+def sigma():
+    return list(example31_mds().values())
+
+
+class TestExample43:
+    """Σ1 ⊨m rck_i for i ∈ [1,3] — the paper's exact claim."""
+
+    def test_rck1_implied(self, sigma):
+        assert md_implies(sigma, example32_rcks()["rck1"])
+
+    def test_rck2_implied(self, sigma):
+        assert md_implies(sigma, example32_rcks()["rck2"])
+
+    def test_rck3_implied(self, sigma):
+        assert md_implies(sigma, example32_rcks()["rck3"])
+
+    def test_fn_alone_not_implied(self, sigma):
+        bogus = RelativeKey(
+            "card", "billing", [("FN", "FN")], [EQ], list(YC), list(YB)
+        )
+        assert not md_implies(sigma, bogus)
+
+    def test_email_alone_not_implied(self, sigma):
+        bogus = RelativeKey(
+            "card", "billing", [("email", "email")], [EQ], list(YC), list(YB)
+        )
+        # email= gives FN,LN ⇋ via φ2 but addr ⇋ post is not derivable
+        assert not md_implies(sigma, bogus)
+
+
+class TestGenericReasoning:
+    def test_self_implication(self):
+        md = MD("R", "S", [("a", "b", EQ)], ["c"], ["d"])
+        assert md_implies([md], md)
+
+    def test_equality_subsumes_similarity_in_premise(self):
+        approx = EditDistanceSimilarity(2)
+        needs_similar = MD("R", "S", [("a", "b", approx)], ["c"], ["d"])
+        has_equal = MD("R", "S", [("a", "b", EQ)], ["c"], ["d"])
+        # a premise satisfied by '=' satisfies any ≈ (x = y ⟹ x ≈ y)
+        assert md_implies([needs_similar], has_equal)
+
+    def test_similarity_does_not_give_equality(self):
+        approx = EditDistanceSimilarity(2)
+        needs_equal = MD("R", "S", [("a", "b", EQ)], ["c"], ["d"])
+        has_similar = MD("R", "S", [("a", "b", approx)], ["c"], ["d"])
+        assert not md_implies([needs_equal], has_similar)
+
+    def test_match_premise_not_satisfied_by_similarity(self):
+        """⇋ in a premise is only witnessed by derived matches, never by a
+        raw similarity fact — similarity is not transitive or semantic."""
+        approx = EditDistanceSimilarity(2)
+        needs_match = MD("R", "S", [("a", "b", MATCH)], ["c"], ["d"])
+        has_similar = MD("R", "S", [("a", "b", approx)], ["c"], ["d"])
+        assert not md_implies([needs_match], has_similar)
+
+    def test_chained_matches(self):
+        """⇋-conclusions feed ⇋-premises (the φ1 → φ3 chain shape)."""
+        step1 = MD("R", "S", [("t", "p", EQ)], ["addr"], ["post"])
+        step2 = MD("R", "S", [("addr", "post", MATCH)], ["n"], ["m"])
+        target = MD("R", "S", [("t", "p", EQ)], ["n"], ["m"])
+        assert md_implies([step1, step2], target)
+
+    def test_pairwise_decomposition(self):
+        """[A,B] ⇋ [C,D] decomposes to A ⇋ C and B ⇋ D (and conversely)."""
+        joint = MD("R", "S", [("x", "y", EQ)], ["a", "b"], ["c", "d"])
+        first = MD("R", "S", [("x", "y", EQ)], ["a"], ["c"])
+        assert md_implies([joint], first)
+        split = [
+            MD("R", "S", [("x", "y", EQ)], ["a"], ["c"]),
+            MD("R", "S", [("x", "y", EQ)], ["b"], ["d"]),
+        ]
+        assert md_implies(split, joint)
+
+    def test_transitivity_of_match_across_attributes(self):
+        """a⇋c and b⇋c force a⇋... via the shared R2 attribute."""
+        sigma = [
+            MD("R", "S", [("x", "y", EQ)], ["a"], ["c"]),
+            MD("R", "S", [("x", "y", EQ)], ["b"], ["c"]),
+        ]
+        # L.a ⇋ R.c and L.b ⇋ R.c give nothing directly expressible as an
+        # (L, R) conclusion here, but deriving ["a"] ⇋ ["c"] again must work
+        assert md_implies(sigma, MD("R", "S", [("x", "y", EQ)], ["a"], ["c"]))
+
+    def test_containment_lattice_respected(self):
+        tight = EditDistanceSimilarity(1)
+        loose = EditDistanceSimilarity(3)
+        # premise satisfied with edit≤1 fact entails an edit≤3 requirement
+        produces_tight = MD("R", "S", [("x", "y", EQ)], ["a"], ["b"], tight)
+        needs_loose = MD("R", "S", [("a", "b", loose)], ["c"], ["d"])
+        target = MD("R", "S", [("x", "y", EQ)], ["c"], ["d"])
+        lattice = ContainmentLattice([tight, loose, EQ, MATCH])
+        assert md_implies([produces_tight, needs_loose], target, lattice)
+
+    def test_containment_direction_matters(self):
+        tight = EditDistanceSimilarity(1)
+        loose = EditDistanceSimilarity(3)
+        produces_loose = MD("R", "S", [("x", "y", EQ)], ["a"], ["b"], loose)
+        needs_tight = MD("R", "S", [("a", "b", tight)], ["c"], ["d"])
+        target = MD("R", "S", [("x", "y", EQ)], ["c"], ["d"])
+        lattice = ContainmentLattice([tight, loose, EQ, MATCH])
+        assert not md_implies([produces_loose, needs_tight], target, lattice)
+
+    def test_swapped_relation_pair_premises(self):
+        """MDs over (S, R) apply symmetrically to a (R, S) target."""
+        flipped = MD("S", "R", [("p", "t", EQ)], ["post"], ["addr"])
+        target = MD("R", "S", [("t", "p", EQ)], ["addr"], ["post"])
+        assert md_implies([flipped], target)
+
+    def test_other_relation_pairs_ignored(self):
+        unrelated = MD("X", "Y", [("a", "b", EQ)], ["c"], ["d"])
+        target = MD("R", "S", [("a", "b", EQ)], ["c"], ["d"])
+        assert not md_implies([unrelated], target)

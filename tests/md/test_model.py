@@ -1,0 +1,110 @@
+"""MD model: premises, relative keys, concrete evaluation."""
+
+import pytest
+
+from repro.errors import DependencyError
+from repro.md.model import MATCH, MD, MatchInterpretation, MDPremise, RelativeKey
+from repro.md.similarity import EQ, EditDistanceSimilarity
+from repro.paper import YB, YC, card_billing_schema, example31_mds, example32_rcks
+from repro.relational.instance import DatabaseInstance
+
+
+@pytest.fixture
+def pair():
+    db = DatabaseInstance(card_billing_schema())
+    card = db.relation("card").add(
+        {
+            "cnum": "C1", "SSN": "S1", "FN": "John", "LN": "Smith",
+            "addr": "12 Mountain Avenue", "tel": "555", "email": "j@x.com",
+            "type": "visa",
+        }
+    )
+    billing = db.relation("billing").add(
+        {
+            "cnum": "C1", "FN": "J.", "SN": "Smith",
+            "post": "12 Mtn Ave", "phn": "555", "email": "j@x.com",
+            "item": "book", "price": 9.99,
+        }
+    )
+    return card, billing
+
+
+class TestConstruction:
+    def test_rejects_empty_conclusion(self):
+        with pytest.raises(DependencyError):
+            MD("card", "billing", [("tel", "phn", EQ)], [], [])
+
+    def test_rejects_arity_mismatch(self):
+        with pytest.raises(DependencyError):
+            MD("card", "billing", [("tel", "phn", EQ)], ["FN", "LN"], ["FN"])
+
+    def test_rejects_empty_premise(self):
+        with pytest.raises(DependencyError):
+            MD("card", "billing", [], ["FN"], ["FN"])
+
+    def test_relative_key_forbids_match_premise(self):
+        with pytest.raises(DependencyError):
+            RelativeKey(
+                "card", "billing", [("addr", "post")], [MATCH],
+                list(YC), list(YB),
+            )
+
+    def test_relative_key_classification(self):
+        rcks = example32_rcks()
+        assert all(rck.is_relative_key() for rck in rcks.values())
+        mds = example31_mds()
+        assert not mds["phi3"].is_relative_key()  # uses ⇋ premises
+        assert mds["phi1"].is_relative_key()  # only '='
+
+    def test_length(self):
+        assert example32_rcks()["rck2"].length == 3
+
+
+class TestPremiseEvaluation:
+    def test_equality_premise(self, pair):
+        card, billing = pair
+        md = MD("card", "billing", [("tel", "phn", EQ)], ["addr"], ["post"])
+        assert md.premise_holds(card, billing)
+
+    def test_similarity_premise(self, pair):
+        card, billing = pair
+        approx = EditDistanceSimilarity(3)
+        md = MD("card", "billing", [("FN", "FN", approx)], ["LN"], ["SN"])
+        # "John" vs "J." is 3 edits
+        assert md.premise_holds(card, billing)
+
+    def test_failed_premise(self, pair):
+        card, billing = pair
+        md = MD("card", "billing", [("FN", "FN", EQ)], ["LN"], ["SN"])
+        assert not md.premise_holds(card, billing)
+
+    def test_match_premise_uses_interpretation(self, pair):
+        card, billing = pair
+        md = MD(
+            "card", "billing",
+            [("addr", "post", MATCH)],
+            ["FN"], ["FN"],
+        )
+        empty = MatchInterpretation()
+        assert not md.premise_holds(card, billing, empty)
+        declared = MatchInterpretation()
+        declared.declare(
+            ("L", "addr", card["addr"]), ("R", "post", billing["post"])
+        )
+        assert md.premise_holds(card, billing, declared)
+
+
+class TestMatchInterpretation:
+    def test_equality_always_matches(self):
+        interp = MatchInterpretation()
+        assert interp.matched("x", "x")
+
+    def test_declared_matches_transitively(self):
+        interp = MatchInterpretation()
+        interp.declare("a", "b")
+        interp.declare("b", "c")
+        assert interp.matched("a", "c")
+
+    def test_undeclared_not_matched(self):
+        interp = MatchInterpretation()
+        assert not interp.matched("a", "b")

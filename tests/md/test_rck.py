@@ -1,0 +1,95 @@
+"""RCK derivation and the ≤ order on relative keys (§3.3, §4.2)."""
+
+import pytest
+
+from repro.md.rck import derive_rcks, is_rck_among, key_leq
+from repro.md.model import RelativeKey
+from repro.md.similarity import EQ, ContainmentLattice, EditDistanceSimilarity
+from repro.paper import YB, YC, example31_mds
+
+
+@pytest.fixture
+def sigma():
+    return list(example31_mds().values())
+
+
+@pytest.fixture
+def lattice():
+    from repro.md.model import MATCH
+
+    return ContainmentLattice([EQ, EditDistanceSimilarity(2), MATCH])
+
+
+def _key(pairs, ops):
+    return RelativeKey("card", "billing", pairs, ops, list(YC), list(YB))
+
+
+class TestOrder:
+    def test_shorter_key_leq(self, lattice):
+        short = _key([("email", "email")], [EQ])
+        long = _key([("email", "email"), ("addr", "post")], [EQ, EQ])
+        assert key_leq(short, long, lattice)
+        assert not key_leq(long, short, lattice)
+
+    def test_operator_containment_in_order(self, lattice):
+        approx = EditDistanceSimilarity(2)
+        # ψ with the *looser* operator is below: C'[i] ⊆ C[j] — the key
+        # demanding only similarity is weaker-hypothesis ... per the paper
+        # ψ ≤ ψ′ requires ≈′_i ⊆ ≈_j, i.e. ψ′ uses a *stronger* operator.
+        similar = _key([("FN", "FN")], [approx])
+        equal = _key([("FN", "FN")], [EQ])
+        assert key_leq(similar, equal, lattice)
+        assert not key_leq(equal, similar, lattice)
+
+    def test_incomparable(self, lattice):
+        k1 = _key([("email", "email")], [EQ])
+        k2 = _key([("addr", "post")], [EQ])
+        assert not key_leq(k1, k2, lattice)
+        assert not key_leq(k2, k1, lattice)
+
+    def test_is_rck_among(self, lattice):
+        small = _key([("email", "email")], [EQ])
+        large = _key([("email", "email"), ("addr", "post")], [EQ, EQ])
+        assert is_rck_among(small, [small, large], lattice)
+        assert not is_rck_among(large, [small, large], lattice)
+
+
+class TestDerivation:
+    def test_derives_paper_rck2(self, sigma):
+        """The paper's flagship derived rule: [LN, tel, FN] / [SN, phn, FN]."""
+        rcks = derive_rcks(sigma, list(YC), list(YB), max_length=3)
+        shapes = {
+            tuple(sorted((p.left_attr, p.right_attr) for p in rck.premises))
+            for rck in rcks
+        }
+        assert tuple(sorted([("LN", "SN"), ("tel", "phn"), ("FN", "FN")])) in shapes
+
+    def test_derives_rck1_shape(self, sigma):
+        rcks = derive_rcks(sigma, list(YC), list(YB), max_length=2)
+        shapes = {
+            tuple(sorted((p.left_attr, p.right_attr) for p in rck.premises))
+            for rck in rcks
+        }
+        assert tuple(sorted([("email", "email"), ("addr", "post")])) in shapes
+
+    def test_all_derived_keys_are_implied(self, sigma):
+        from repro.md.inference import md_implies
+
+        for rck in derive_rcks(sigma, list(YC), list(YB), max_length=3):
+            assert md_implies(sigma, rck)
+
+    def test_derived_keys_are_minimal(self, sigma):
+        from repro.md.model import MATCH
+
+        rcks = derive_rcks(sigma, list(YC), list(YB), max_length=3)
+        operators = {p.operator for md in sigma for p in md.premises} | {EQ, MATCH}
+        lattice = ContainmentLattice(operators)
+        for rck in rcks:
+            assert is_rck_among(rck, rcks, lattice)
+
+    def test_empty_sigma(self):
+        assert derive_rcks([], list(YC), list(YB)) == []
+
+    def test_max_length_respected(self, sigma):
+        rcks = derive_rcks(sigma, list(YC), list(YB), max_length=2)
+        assert all(rck.length <= 2 for rck in rcks)

@@ -1,0 +1,166 @@
+"""Similarity operators: metrics from scratch plus the §3.2 axioms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.similarity import (
+    EQ,
+    ContainmentLattice,
+    EditDistanceSimilarity,
+    JaroSimilarity,
+    QGramSimilarity,
+    TokenSetSimilarity,
+    jaro,
+    levenshtein,
+    qgrams,
+)
+
+TEXT = st.text(alphabet="abcdef ", max_size=12)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "abd", 1),
+            ("abc", "ab", 1),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("", "xyz", 3),
+        ],
+    )
+    def test_known_values(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    @given(TEXT, TEXT)
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(TEXT, TEXT, TEXT)
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(TEXT)
+    @settings(max_examples=50, deadline=None)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        # classical example: martha vs marhta ≈ 0.944
+        assert abs(jaro("martha", "marhta") - 0.9444) < 0.01
+
+    def test_disjoint(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert jaro("", "abc") == 0.0
+
+    @given(TEXT, TEXT)
+    @settings(max_examples=80, deadline=None)
+    def test_range_and_symmetry(self, a, b):
+        score = jaro(a, b)
+        assert 0.0 <= score <= 1.0
+        assert abs(score - jaro(b, a)) < 1e-9
+
+
+class TestQGrams:
+    def test_padding(self):
+        grams = qgrams("ab", 2)
+        assert "#a" in grams and "b#" in grams
+
+    def test_single_char(self):
+        assert qgrams("a", 2) == {"#a", "a#"}
+
+
+class TestOperatorAxioms:
+    """§3.2: reflexive, symmetric, subsumes equality."""
+
+    OPERATORS = [
+        EQ,
+        EditDistanceSimilarity(2),
+        JaroSimilarity(0.8),
+        QGramSimilarity(2, 0.5),
+        TokenSetSimilarity(0.5),
+    ]
+
+    @pytest.mark.parametrize("op", OPERATORS, ids=lambda o: o.name)
+    @given(value=TEXT)
+    @settings(max_examples=30, deadline=None)
+    def test_reflexive(self, op, value):
+        assert op.similar(value, value)
+
+    @pytest.mark.parametrize("op", OPERATORS, ids=lambda o: o.name)
+    @given(a=TEXT, b=TEXT)
+    @settings(max_examples=30, deadline=None)
+    def test_symmetric(self, op, a, b):
+        assert op.similar(a, b) == op.similar(b, a)
+
+    @pytest.mark.parametrize("op", OPERATORS, ids=lambda o: o.name)
+    @given(a=TEXT)
+    @settings(max_examples=30, deadline=None)
+    def test_subsumes_equality(self, op, a):
+        assert op.similar(a, str(a))
+
+
+class TestThresholds:
+    def test_edit_distance_threshold(self):
+        op = EditDistanceSimilarity(1)
+        # plain Levenshtein: a transposition costs 2, one substitution 1
+        assert not op.similar("John", "Jonh")
+        assert op.similar("John", "Johm")
+        assert not op.similar("John", "Mary")
+
+    def test_length_shortcut(self):
+        op = EditDistanceSimilarity(1)
+        assert not op.similar("a", "abcdef")
+
+    def test_token_set(self):
+        op = TokenSetSimilarity(0.6)
+        assert op.similar("12 Mountain Ave", "Mountain Ave 12")
+        assert not op.similar("12 Mountain Ave", "99 Ocean Blvd")
+
+
+class TestContainment:
+    def test_equality_contained_in_everything(self):
+        edit = EditDistanceSimilarity(2)
+        assert EQ.contained_in(edit)
+        assert not edit.contained_in(EQ)
+
+    def test_edit_thresholds_ordered(self):
+        tight = EditDistanceSimilarity(1)
+        loose = EditDistanceSimilarity(3)
+        assert tight.contained_in(loose)
+        assert not loose.contained_in(tight)
+
+    def test_jaro_thresholds_ordered_inverted(self):
+        strict = JaroSimilarity(0.95)
+        loose = JaroSimilarity(0.7)
+        assert strict.contained_in(loose)
+        assert not loose.contained_in(strict)
+
+    def test_lattice_transitive_closure(self):
+        e1 = EditDistanceSimilarity(1)
+        e2 = EditDistanceSimilarity(2)
+        e3 = EditDistanceSimilarity(3)
+        lattice = ContainmentLattice([e1, e2, e3])
+        assert lattice.contains(e1, e3)
+        assert lattice.contains(EQ, e1)
+        assert not lattice.contains(e3, e1)
+
+    def test_extra_pairs(self):
+        edit = EditDistanceSimilarity(1)
+        token = TokenSetSimilarity(0.5)
+        lattice = ContainmentLattice(
+            [edit, token], extra_pairs=[(edit.name, token.name)]
+        )
+        assert lattice.contains(edit, token)

@@ -1,0 +1,85 @@
+"""Automatic view-CFD derivation ([37]): Example 4.2 regenerated."""
+
+import pytest
+
+from repro.cfd.model import CFD, UNNAMED
+from repro.deps.fd import FD
+from repro.paper import example42_sources
+from repro.propagation.derive import candidate_view_cfds, derive_view_cfds, view_tags
+from repro.propagation.views import tagged_union_view
+from repro.relational.domains import INT, STRING
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+
+
+@pytest.fixture
+def ex42():
+    schema = example42_sources()
+    view = tagged_union_view(
+        [("R1", 44), ("R2", 1), ("R3", 31)], Attribute("CC", INT)
+    )
+    sigma = [
+        FD("R1", ["zip"], ["street"]),
+        FD("R1", ["AC"], ["city"]),
+        FD("R2", ["AC"], ["city"]),
+        FD("R3", ["AC"], ["city"]),
+    ]
+    return schema, view, sigma
+
+
+class TestViewTags:
+    def test_union_tags_collected(self, ex42):
+        _, view, _ = ex42
+        assert view_tags(view) == {"CC": {44, 1, 31}}
+
+    def test_no_tags_on_plain_base(self):
+        from repro.relational.query import Base
+
+        assert view_tags(Base("R")) == {}
+
+
+class TestCandidates:
+    def test_candidates_include_conditional_variants(self, ex42):
+        schema, view, sigma = ex42
+        candidates = candidate_view_cfds(schema, sigma, view)
+        shapes = {(c.lhs, c.rhs) for c in candidates}
+        assert (("zip", "CC"), ("street",)) in shapes
+        assert (("zip",), ("street",)) in shapes  # the unconditional one too
+
+
+class TestDerivation:
+    def test_example42_phi7_phi8_derived(self, ex42):
+        """The headline: ϕ7 and ϕ8 fall out automatically from Σ0 and σ0."""
+        schema, view, sigma = ex42
+        derived = derive_view_cfds(schema, sigma, view)
+        by_fd = {(c.lhs, c.rhs): c for c in derived}
+        phi7 = by_fd.get((("zip", "CC"), ("street",)))
+        assert phi7 is not None
+        assert [tp["CC"] for tp in phi7.tableau] == [44]
+        phi8 = by_fd.get((("AC", "CC"), ("city",)))
+        assert phi8 is not None
+        assert sorted(tp["CC"] for tp in phi8.tableau) == [1, 31, 44]
+
+    def test_unconditional_fds_not_derived(self, ex42):
+        schema, view, sigma = ex42
+        derived = derive_view_cfds(schema, sigma, view, merge_tableaux=False)
+        shapes = {(c.lhs, c.rhs) for c in derived}
+        assert (("zip",), ("street",)) not in shapes
+        assert (("AC",), ("city",)) not in shapes
+
+    def test_all_derived_cfds_propagate(self, ex42):
+        from repro.propagation.propagate import propagates
+
+        schema, view, sigma = ex42
+        for cfd in derive_view_cfds(schema, sigma, view, merge_tableaux=False):
+            assert propagates(schema, sigma, view, cfd)
+
+    def test_single_source_everything_survives(self):
+        schema = DatabaseSchema(
+            [RelationSchema("S", [("a", STRING), ("b", STRING)])]
+        )
+        from repro.relational.query import Base
+
+        sigma = [FD("S", ["a"], ["b"])]
+        derived = derive_view_cfds(schema, sigma, Base("S"))
+        assert len(derived) == 1
+        assert derived[0].lhs == ("a",)

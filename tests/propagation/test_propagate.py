@@ -1,0 +1,174 @@
+"""CFD propagation through SPCU views (Theorem 4.7, Example 4.2)."""
+
+import pytest
+
+from repro.cfd.model import CFD, UNNAMED
+from repro.deps.fd import FD
+from repro.errors import QueryError
+from repro.paper import example42_sources
+from repro.propagation.propagate import propagated_cfds, propagates
+from repro.propagation.views import select_project_view, tagged_union_view
+from repro.relational.domains import INT, STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.predicates import Comparison, eq
+from repro.relational.query import Base, Project, Select, Union
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+
+
+def _cfd(rel, lhs, rhs, row):
+    return CFD(rel, lhs, rhs, [row])
+
+
+@pytest.fixture
+def ex42():
+    schema = example42_sources()
+    view = tagged_union_view(
+        [("R1", 44), ("R2", 1), ("R3", 31)], Attribute("CC", INT)
+    )
+    sigma = [
+        FD("R1", ["zip"], ["street"]),
+        FD("R1", ["AC"], ["city"]),
+        FD("R2", ["AC"], ["city"]),
+        FD("R3", ["AC"], ["city"]),
+    ]
+    view_name = view.output_schema(schema).name
+    return schema, view, sigma, view_name
+
+
+class TestExample42:
+    def test_f3_not_propagated(self, ex42):
+        schema, view, sigma, name = ex42
+        f3 = _cfd(name, ["zip"], ["street"], {"zip": UNNAMED, "street": UNNAMED})
+        assert not propagates(schema, sigma, view, f3)
+
+    def test_ac_city_not_propagated(self, ex42):
+        """Area code 20 is London *and* Amsterdam: AC → city fails."""
+        schema, view, sigma, name = ex42
+        f = _cfd(name, ["AC"], ["city"], {"AC": UNNAMED, "city": UNNAMED})
+        assert not propagates(schema, sigma, view, f)
+
+    def test_phi7_propagated(self, ex42):
+        schema, view, sigma, name = ex42
+        phi7 = _cfd(
+            name, ["CC", "zip"], ["street"],
+            {"CC": 44, "zip": UNNAMED, "street": UNNAMED},
+        )
+        assert propagates(schema, sigma, view, phi7)
+
+    def test_phi8_propagated(self, ex42):
+        schema, view, sigma, name = ex42
+        phi8 = CFD(
+            name, ["CC", "AC"], ["city"],
+            [
+                {"CC": c, "AC": UNNAMED, "city": UNNAMED}
+                for c in (44, 1, 31)
+            ],
+        )
+        assert propagates(schema, sigma, view, phi8)
+
+    def test_us_zip_rule_not_propagated(self, ex42):
+        """No source FD about zip in the US ⟹ (CC=1, zip → street) fails."""
+        schema, view, sigma, name = ex42
+        us = _cfd(
+            name, ["CC", "zip"], ["street"],
+            {"CC": 1, "zip": UNNAMED, "street": UNNAMED},
+        )
+        assert not propagates(schema, sigma, view, us)
+
+    def test_filtering_candidates(self, ex42):
+        schema, view, sigma, name = ex42
+        good = _cfd(
+            name, ["CC", "zip"], ["street"],
+            {"CC": 44, "zip": UNNAMED, "street": UNNAMED},
+        )
+        bad = _cfd(name, ["zip"], ["street"], {"zip": UNNAMED, "street": UNNAMED})
+        assert propagated_cfds(schema, sigma, view, [good, bad]) == [good]
+
+
+class TestSelectionViews:
+    def _schema(self):
+        return DatabaseSchema(
+            [RelationSchema("R", [("A", STRING), ("B", STRING), ("C", STRING)])]
+        )
+
+    def test_fd_survives_selection(self):
+        schema = self._schema()
+        view = select_project_view("R", condition=eq("@C", "keep"))
+        fd = _cfd("R", ["A"], ["B"], {"A": UNNAMED, "B": UNNAMED})
+        assert propagates(schema, [FD("R", ["A"], ["B"])], view, fd)
+
+    def test_selection_constant_becomes_cfd(self):
+        """σ_{C='keep'} makes (∅ → C='keep') hold on the view."""
+        schema = self._schema()
+        view = select_project_view("R", condition=eq("@C", "keep"))
+        forced = CFD("R", ["A"], ["C"], [{"A": UNNAMED, "C": "keep"}])
+        assert propagates(schema, [], view, forced)
+
+    def test_selection_equality_between_attrs(self):
+        schema = self._schema()
+        view = Select(Base("R"), eq("@A", "@B"))
+        # on the view, A determines B outright (they are equal)
+        fd = _cfd("R", ["A"], ["B"], {"A": UNNAMED, "B": UNNAMED})
+        assert propagates(schema, [], view, fd)
+
+    def test_unsupported_condition_raises(self):
+        schema = self._schema()
+        view = Select(Base("R"), Comparison("@A", "<", "@B"))
+        fd = _cfd("R", ["A"], ["B"], {"A": UNNAMED, "B": UNNAMED})
+        with pytest.raises(QueryError):
+            propagates(schema, [], view, fd)
+
+
+class TestProjectionViews:
+    def test_fd_on_kept_attributes_survives(self):
+        schema = DatabaseSchema(
+            [RelationSchema("R", [("A", STRING), ("B", STRING), ("C", STRING)])]
+        )
+        view = Project(Base("R"), ["A", "B"])
+        target = CFD("R_proj", ["A"], ["B"], [{"A": UNNAMED, "B": UNNAMED}])
+        assert propagates(schema, [FD("R", ["A"], ["B"])], view, target)
+
+    def test_transitive_fd_through_projection(self):
+        """A → B → C with B projected out still gives A → C on the view."""
+        schema = DatabaseSchema(
+            [RelationSchema("R", [("A", STRING), ("B", STRING), ("C", STRING)])]
+        )
+        view = Project(Base("R"), ["A", "C"])
+        sigma = [FD("R", ["A"], ["B"]), FD("R", ["B"], ["C"])]
+        target = CFD("R_proj", ["A"], ["C"], [{"A": UNNAMED, "C": UNNAMED}])
+        assert propagates(schema, sigma, view, target)
+
+    def test_lost_dependency_not_propagated(self):
+        schema = DatabaseSchema(
+            [RelationSchema("R", [("A", STRING), ("B", STRING), ("C", STRING)])]
+        )
+        view = Project(Base("R"), ["A", "C"])
+        sigma = [FD("R", ["A"], ["B"])]
+        target = CFD("R_proj", ["A"], ["C"], [{"A": UNNAMED, "C": UNNAMED}])
+        assert not propagates(schema, sigma, view, target)
+
+
+class TestSoundnessOnConcreteData:
+    def test_propagated_cfd_holds_on_materialized_view(self, ex42):
+        """End-to-end: build concrete sources satisfying Σ, materialize the
+        view, check the propagated CFDs actually hold."""
+        schema, view, sigma, name = ex42
+        db = DatabaseInstance(schema)
+        db.relation("R1").add(("EH4", "Mayfield", 131, "EDI"))
+        db.relation("R1").add(("EH4", "Mayfield", 20, "LDN"))
+        db.relation("R2").add(("07974", "Mtn Ave", 908, "MH"))
+        db.relation("R3").add(("1011", "Dam", 20, "AMS"))
+        from repro.deps.base import holds
+
+        assert holds(db, sigma)
+        materialized = view.evaluate(db)
+        phi7 = _cfd(
+            name, ["CC", "zip"], ["street"],
+            {"CC": 44, "zip": UNNAMED, "street": UNNAMED},
+        )
+        view_db_schema = DatabaseSchema([materialized.schema])
+        view_db = DatabaseInstance(view_db_schema, {materialized.schema.name: materialized.tuples()})
+        assert phi7.holds_on(view_db)
+        # and the view genuinely violates AC → city (20 → LDN vs AMS)
+        f = _cfd(name, ["AC"], ["city"], {"AC": UNNAMED, "city": UNNAMED})
+        assert not f.holds_on(view_db)

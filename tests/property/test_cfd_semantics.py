@@ -1,0 +1,142 @@
+"""Property tests: CFD machinery against brute-force definitions.
+
+These tests pin the semantics: the optimized detectors, the consistency
+witnesses and the implication procedure must agree with the literal
+paper definitions evaluated naively on random small instances.
+"""
+
+from typing import Any, Dict, List
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfd.consistency import find_witness_tuple
+from repro.cfd.implication import cfd_implies
+from repro.cfd.model import CFD, UNNAMED, PatternTableau
+from repro.relational.domains import STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+ATTRS = ("A", "B", "C")
+VALUES = ("u", "v", "w")
+
+
+def _schema() -> RelationSchema:
+    return RelationSchema("R", [(a, STRING) for a in ATTRS])
+
+
+@st.composite
+def instances(draw):
+    rows = draw(
+        st.lists(
+            st.tuples(*[st.sampled_from(VALUES) for _ in ATTRS]),
+            min_size=0,
+            max_size=6,
+        )
+    )
+    db = DatabaseInstance(DatabaseSchema([_schema()]))
+    for row in rows:
+        db.relation("R").add(row)
+    return db
+
+
+@st.composite
+def cfds(draw):
+    lhs = draw(st.lists(st.sampled_from(ATTRS), min_size=1, max_size=2, unique=True))
+    rhs_pool = [a for a in ATTRS if a not in lhs]
+    if not rhs_pool:
+        rhs_pool = list(ATTRS)
+    rhs = [draw(st.sampled_from(rhs_pool))]
+    n_rows = draw(st.integers(1, 2))
+    rows = []
+    for _ in range(n_rows):
+        row: Dict[str, Any] = {}
+        for a in list(lhs) + rhs:
+            cell = draw(st.sampled_from(VALUES + ("_",)))
+            row[a] = UNNAMED if cell == "_" else cell
+        rows.append(row)
+    attrs = tuple(lhs) + tuple(a for a in rhs if a not in lhs)
+    return CFD("R", lhs, rhs, PatternTableau(attrs, rows))
+
+
+def _brute_force_satisfies(db: DatabaseInstance, cfd: CFD) -> bool:
+    """The literal §2.1 definition: quantify over rows and tuple pairs."""
+    tuples = db.relation("R").tuples()
+    lhs, rhs = list(cfd.lhs), list(cfd.rhs)
+    for tp in cfd.tableau:
+        for t1 in tuples:
+            for t2 in tuples:
+                lhs_eq = t1[lhs] == t2[lhs]
+                lhs_match = tp.matches_tuple(t1, lhs)
+                if lhs_eq and lhs_match:
+                    if t1[rhs] != t2[rhs]:
+                        return False
+                    if not tp.matches_tuple(t1, rhs):
+                        return False
+    return True
+
+
+class TestDetectorAgreesWithDefinition:
+    @given(instances(), cfds())
+    @settings(max_examples=150, deadline=None)
+    def test_holds_on_matches_brute_force(self, db, cfd):
+        assert cfd.holds_on(db) == _brute_force_satisfies(db, cfd)
+
+    @given(instances(), cfds())
+    @settings(max_examples=80, deadline=None)
+    def test_violation_witnesses_are_genuine(self, db, cfd):
+        for violation in cfd.violations(db):
+            witness_db = DatabaseInstance(DatabaseSchema([_schema()]))
+            for _, t in violation.tuples:
+                witness_db.relation("R").add(t)
+            assert not _brute_force_satisfies(witness_db, cfd)
+
+
+class TestConsistencyWitness:
+    @given(st.lists(cfds(), min_size=1, max_size=4))
+    @settings(max_examples=80, deadline=None)
+    def test_witness_satisfies_sigma(self, sigma):
+        witness = find_witness_tuple(_schema(), sigma)
+        if witness is None:
+            return
+        db = DatabaseInstance(DatabaseSchema([_schema()]))
+        db.relation("R").add(witness)
+        for cfd in sigma:
+            assert _brute_force_satisfies(db, cfd)
+
+    @given(st.lists(cfds(), min_size=1, max_size=3), instances())
+    @settings(max_examples=80, deadline=None)
+    def test_inconsistent_sigma_has_no_model(self, sigma, db):
+        """If the checker says inconsistent, no nonempty random instance
+        can satisfy all of Σ."""
+        if find_witness_tuple(_schema(), sigma) is not None:
+            return
+        if db.is_empty():
+            return
+        assert not all(_brute_force_satisfies(db, cfd) for cfd in sigma)
+
+
+class TestImplicationSemantics:
+    @given(st.lists(cfds(), min_size=1, max_size=2), cfds(), instances())
+    @settings(max_examples=100, deadline=None)
+    def test_implication_transfers_to_instances(self, sigma, target, db):
+        """Σ ⊨ φ means every random instance satisfying Σ satisfies φ."""
+        if not cfd_implies(_schema(), sigma, target):
+            return
+        if all(_brute_force_satisfies(db, c) for c in sigma):
+            assert _brute_force_satisfies(db, target)
+
+    @given(st.lists(cfds(), min_size=1, max_size=2), cfds())
+    @settings(max_examples=60, deadline=None)
+    def test_counterexample_is_sound(self, sigma, target):
+        from repro.cfd.implication import find_counterexample
+
+        counter = find_counterexample(_schema(), sigma, target)
+        if counter is None:
+            return
+        db = DatabaseInstance(DatabaseSchema([_schema()]))
+        for t in counter:
+            db.relation("R").add(t)
+        assert all(_brute_force_satisfies(db, c) for c in sigma)
+        assert not _brute_force_satisfies(db, target)

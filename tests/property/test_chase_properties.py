@@ -1,0 +1,84 @@
+"""Property tests: the CIND chase and implication."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cind.chase import ChaseState, chase
+from repro.cind.model import CIND
+from repro.errors import AnalysisBoundExceeded
+from repro.relational.domains import STRING
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+RELATIONS = ("R0", "R1", "R2", "R3")
+SCHEMAS = {name: ("a", "b") for name in RELATIONS}
+
+
+def _db_schema():
+    return DatabaseSchema(
+        [RelationSchema(name, [("a", STRING), ("b", STRING)]) for name in RELATIONS]
+    )
+
+
+@st.composite
+def acyclic_cinds(draw):
+    """CINDs whose relation edges only go forward R_i → R_j (i < j)."""
+    n = draw(st.integers(1, 4))
+    out = []
+    for _ in range(n):
+        i = draw(st.integers(0, len(RELATIONS) - 2))
+        j = draw(st.integers(i + 1, len(RELATIONS) - 1))
+        with_pattern = draw(st.booleans())
+        if with_pattern:
+            out.append(
+                CIND(
+                    RELATIONS[i], ["a"], RELATIONS[j], ["a"],
+                    lhs_pattern_attrs=["b"],
+                    tableau=[{"b": draw(st.sampled_from(["x", "y"]))}],
+                )
+            )
+        else:
+            out.append(CIND(RELATIONS[i], ["a"], RELATIONS[j], ["a"]))
+    return out
+
+
+class TestChaseProperties:
+    @given(acyclic_cinds(), st.sampled_from(["x", "y", "z"]))
+    @settings(max_examples=80, deadline=None)
+    def test_acyclic_chase_terminates_and_satisfies(self, cinds, seed_b):
+        state = ChaseState()
+        state.add_tuple("R0", {"a": "seed", "b": seed_b})
+        chase(state, cinds, SCHEMAS, max_steps=500)
+        # fixpoint: every applicable CIND has a witness
+        for cind in cinds:
+            for row in cind.tableau:
+                lhs_pat = cind.lhs_pattern(row)
+                rhs_pat = cind.rhs_pattern(row)
+                for source in state.tuples(cind.lhs_relation):
+                    if not all(source.get(k) == v for k, v in lhs_pat.items()):
+                        continue
+                    wanted = tuple(source[a] for a in cind.lhs_attrs)
+                    assert any(
+                        tuple(t[a] for a in cind.rhs_attrs) == wanted
+                        and all(t[k] == v for k, v in rhs_pat.items())
+                        for t in state.tuples(cind.rhs_relation)
+                    )
+
+    @given(acyclic_cinds())
+    @settings(max_examples=60, deadline=None)
+    def test_chase_monotone(self, cinds):
+        """Chasing never removes tuples."""
+        state = ChaseState()
+        state.add_tuple("R0", {"a": "seed", "b": "x"})
+        before = state.total_tuples()
+        chase(state, cinds, SCHEMAS, max_steps=500)
+        assert state.total_tuples() >= before
+
+    @given(acyclic_cinds())
+    @settings(max_examples=40, deadline=None)
+    def test_implication_reflexive_on_sigma(self, cinds):
+        from repro.cind.implication import cind_implies
+
+        schema = _db_schema()
+        for target in cinds:
+            assert cind_implies(schema, cinds, target, max_steps=500)

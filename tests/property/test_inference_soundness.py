@@ -1,0 +1,87 @@
+"""Property tests: every CFD inference rule application is sound.
+
+The inference system of Theorem 4.6 must never derive something the
+semantics rejects; these tests fuzz the rule constructors against the
+exact decision procedure.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfd.implication import cfd_implies
+from repro.cfd.inference import (
+    augmentation,
+    derive_cfd,
+    instantiation,
+    rhs_weakening,
+    transitivity,
+)
+from repro.cfd.model import CFD, UNNAMED, PatternTableau
+from repro.relational.domains import STRING
+from repro.relational.schema import RelationSchema
+
+ATTRS = ("A", "B", "C")
+VALUES = ("u", "v")
+
+
+def _schema():
+    return RelationSchema("R", [(a, STRING) for a in ATTRS])
+
+
+@st.composite
+def single_row_cfds(draw):
+    lhs = draw(st.lists(st.sampled_from(ATTRS), min_size=1, max_size=2, unique=True))
+    rhs_pool = [a for a in ATTRS if a not in lhs] or list(ATTRS)
+    rhs = [draw(st.sampled_from(rhs_pool))]
+    row = {}
+    for a in list(lhs) + rhs:
+        cell = draw(st.sampled_from(VALUES + ("_",)))
+        row[a] = UNNAMED if cell == "_" else cell
+    attrs = tuple(lhs) + tuple(a for a in rhs if a not in lhs)
+    return CFD("R", lhs, rhs, PatternTableau(attrs, [row]))
+
+
+class TestRuleSoundnessFuzzed:
+    @given(single_row_cfds(), st.sampled_from(ATTRS))
+    @settings(max_examples=60, deadline=None)
+    def test_augmentation_sound(self, cfd, attr):
+        derived = augmentation(cfd, attr)
+        assert cfd_implies(_schema(), [cfd], derived)
+
+    @given(single_row_cfds(), st.sampled_from(VALUES))
+    @settings(max_examples=60, deadline=None)
+    def test_instantiation_sound(self, cfd, constant):
+        row = cfd.tableau.rows[0]
+        wildcard_lhs = [a for a in cfd.lhs if row.get(a) is UNNAMED]
+        if not wildcard_lhs:
+            return
+        derived = instantiation(cfd, wildcard_lhs[0], constant)
+        assert cfd_implies(_schema(), [cfd], derived)
+
+    @given(single_row_cfds())
+    @settings(max_examples=60, deadline=None)
+    def test_rhs_weakening_sound(self, cfd):
+        derived = rhs_weakening(cfd, cfd.rhs[0])
+        assert cfd_implies(_schema(), [cfd], derived)
+
+    @given(single_row_cfds(), single_row_cfds())
+    @settings(max_examples=120, deadline=None)
+    def test_transitivity_sound(self, first, second):
+        derived = transitivity(first, second)
+        if derived is None:
+            return
+        assert cfd_implies(_schema(), [first, second], derived), (
+            first,
+            second,
+            derived,
+        )
+
+    @given(st.lists(single_row_cfds(), min_size=1, max_size=3), single_row_cfds())
+    @settings(max_examples=60, deadline=None)
+    def test_derivation_engine_sound(self, sigma, target):
+        derivation = derive_cfd(_schema(), sigma, target, max_steps=150)
+        if derivation is None:
+            return
+        # a successful derivation certifies semantic implication
+        assert cfd_implies(_schema(), sigma, target)

@@ -1,0 +1,126 @@
+"""Property tests: repair algorithms against their definitions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfd.model import CFD, UNNAMED, PatternTableau
+from repro.deps.base import holds
+from repro.deps.fd import FD
+from repro.relational.domains import STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.repair.checking import is_x_repair
+from repro.repair.urepair import repair_cfds
+from repro.repair.xrepair import all_x_repairs, greedy_x_repair
+
+ATTRS = ("A", "B", "C")
+VALUES = ("u", "v", "w")
+
+
+def _schema():
+    return RelationSchema("R", [(a, STRING) for a in ATTRS])
+
+
+@st.composite
+def instances(draw):
+    rows = draw(
+        st.lists(
+            st.tuples(*[st.sampled_from(VALUES) for _ in ATTRS]),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    db = DatabaseInstance(DatabaseSchema([_schema()]))
+    for row in rows:
+        db.relation("R").add(row)
+    return db
+
+
+@st.composite
+def fd_sets(draw):
+    n = draw(st.integers(1, 2))
+    out = []
+    for _ in range(n):
+        lhs = draw(st.lists(st.sampled_from(ATTRS), min_size=1, max_size=2, unique=True))
+        rhs = [draw(st.sampled_from([a for a in ATTRS if a not in lhs] or list(ATTRS)))]
+        out.append(FD("R", lhs, rhs))
+    return out
+
+
+class TestXRepairProperties:
+    @given(instances(), fd_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_greedy_output_is_always_an_x_repair(self, db, fds):
+        repaired = greedy_x_repair(db, fds)
+        assert is_x_repair(db, repaired, fds)
+
+    @given(instances(), fd_sets())
+    @settings(max_examples=50, deadline=None)
+    def test_enumeration_complete_and_sound(self, db, fds):
+        repairs = all_x_repairs(db, fds)
+        assert repairs
+        for repair in repairs:
+            assert is_x_repair(db, repair, fds)
+        # the greedy repair must appear in the exhaustive space
+        greedy = greedy_x_repair(db, fds)
+        signatures = {
+            frozenset(t.values() for t in r.relation("R")) for r in repairs
+        }
+        assert frozenset(t.values() for t in greedy.relation("R")) in signatures
+
+    @given(instances(), fd_sets())
+    @settings(max_examples=50, deadline=None)
+    def test_repairs_pairwise_incomparable(self, db, fds):
+        repairs = all_x_repairs(db, fds)
+        sets = [frozenset(t for t in r.relation("R")) for r in repairs]
+        for i, s1 in enumerate(sets):
+            for s2 in sets[i + 1 :]:
+                assert not (s1 < s2 or s2 < s1)
+
+
+class TestURepairProperties:
+    @st.composite
+    @staticmethod
+    def constant_cfds(draw):
+        n = draw(st.integers(1, 2))
+        out = []
+        for _ in range(n):
+            lhs_value = draw(st.sampled_from(VALUES))
+            rhs_value = draw(st.sampled_from(VALUES))
+            out.append(
+                CFD(
+                    "R", ["A"], ["B"],
+                    PatternTableau(("A", "B"), [{"A": lhs_value, "B": rhs_value}]),
+                )
+            )
+        return out
+
+    @given(instances(), constant_cfds())
+    @settings(max_examples=80, deadline=None)
+    def test_resolved_repairs_are_consistent(self, db, cfds):
+        result = repair_cfds(db, cfds, max_passes=10)
+        if result.resolved:
+            assert holds(result.repaired, cfds)
+
+    @given(instances(), constant_cfds())
+    @settings(max_examples=80, deadline=None)
+    def test_change_log_accounts_for_every_edit(self, db, cfds):
+        result = repair_cfds(db, cfds, max_passes=10)
+        # every logged change has nonnegative cost and a real difference
+        for change in result.changes:
+            assert change.old != change.new
+            assert change.cost >= 0
+
+    @given(instances())
+    @settings(max_examples=40, deadline=None)
+    def test_clean_input_is_fixed_point(self, db):
+        fd_cfd = CFD(
+            "R", ["A"], ["B"],
+            PatternTableau(("A", "B"), [{"A": UNNAMED, "B": UNNAMED}]),
+        )
+        first = repair_cfds(db, [fd_cfd])
+        if not first.resolved:
+            return
+        second = repair_cfds(first.repaired, [fd_cfd])
+        assert second.changed_cells() == 0

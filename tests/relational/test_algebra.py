@@ -1,0 +1,112 @@
+"""Relational algebra operators."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.relational import algebra
+from repro.relational.domains import INT, STRING
+from repro.relational.instance import RelationInstance
+from repro.relational.predicates import Comparison, eq
+from repro.relational.schema import RelationSchema
+
+
+@pytest.fixture
+def r():
+    schema = RelationSchema("R", [("a", INT), ("b", STRING)])
+    return RelationInstance(schema, [(1, "x"), (2, "y"), (3, "x")])
+
+
+@pytest.fixture
+def s():
+    schema = RelationSchema("S", [("c", INT), ("d", STRING)])
+    return RelationInstance(schema, [(1, "p"), (2, "q")])
+
+
+class TestSelect:
+    def test_equality_selection(self, r):
+        result = algebra.select(r, eq("@b", "x"))
+        assert {t["a"] for t in result} == {1, 3}
+
+    def test_comparison_selection(self, r):
+        result = algebra.select(r, Comparison("@a", ">", 1))
+        assert {t["a"] for t in result} == {2, 3}
+
+    def test_unknown_attribute_raises(self, r):
+        with pytest.raises(QueryError):
+            algebra.select(r, eq("@zzz", 1))
+
+
+class TestProject:
+    def test_duplicate_elimination(self, r):
+        result = algebra.project(r, ["b"])
+        assert len(result) == 2
+
+    def test_order(self, r):
+        result = algebra.project(r, ["b", "a"])
+        assert result.schema.attribute_names == ("b", "a")
+
+
+class TestProduct:
+    def test_cardinality(self, r, s):
+        result = algebra.product(r, s)
+        assert len(result) == 6
+        assert result.schema.attribute_names == ("a", "b", "c", "d")
+
+    def test_shared_attributes_rejected(self, r):
+        with pytest.raises(QueryError):
+            algebra.product(r, r)
+
+
+class TestSetOperators:
+    def test_union(self, r):
+        other = RelationInstance(r.schema, [(9, "z"), (1, "x")])
+        result = algebra.union(r, other)
+        assert len(result) == 4  # (1, x) deduplicated
+
+    def test_union_incompatible(self, r, s):
+        with pytest.raises(QueryError):
+            algebra.union(r, s)
+
+    def test_difference(self, r):
+        other = RelationInstance(r.schema, [(1, "x")])
+        result = algebra.difference(r, other)
+        assert {t["a"] for t in result} == {2, 3}
+
+    def test_intersection(self, r):
+        other = RelationInstance(r.schema, [(1, "x"), (9, "z")])
+        result = algebra.intersection(r, other)
+        assert len(result) == 1
+
+
+class TestRename:
+    def test_rename_attribute(self, r):
+        result = algebra.rename(r, {"a": "alpha"})
+        assert result.schema.attribute_names == ("alpha", "b")
+        assert {t["alpha"] for t in result} == {1, 2, 3}
+
+    def test_rename_collision_rejected(self, r):
+        with pytest.raises(QueryError):
+            algebra.rename(r, {"a": "b"})
+
+    def test_rename_unknown_attr(self, r):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            algebra.rename(r, {"zzz": "w"})
+
+
+class TestNaturalJoin:
+    def test_join_on_shared(self):
+        left = RelationInstance(
+            RelationSchema("L", [("k", INT), ("x", STRING)]), [(1, "a"), (2, "b")]
+        )
+        right = RelationInstance(
+            RelationSchema("R", [("k", INT), ("y", STRING)]), [(1, "p"), (1, "q")]
+        )
+        result = algebra.natural_join(left, right)
+        assert result.schema.attribute_names == ("k", "x", "y")
+        assert len(result) == 2  # (1,a,p), (1,a,q)
+
+    def test_join_no_shared_is_product(self, r, s):
+        result = algebra.natural_join(r, s)
+        assert len(result) == 6

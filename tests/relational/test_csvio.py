@@ -1,0 +1,69 @@
+"""CSV bridge: round trips and parsing driven by the schema domains."""
+
+import io
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.csvio import dump_csv, load_csv, read_rows, write_rows
+from repro.relational.domains import BOOL, FLOAT, INT, STRING
+from repro.relational.instance import RelationInstance
+from repro.relational.schema import RelationSchema
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema(
+        "R", [("i", INT), ("f", FLOAT), ("s", STRING), ("b", BOOL)]
+    )
+
+
+class TestReadRows:
+    def test_parsing_by_domain(self, schema):
+        instance = read_rows(schema, [["1", "2.5", "abc", "true"]])
+        t = instance.tuples()[0]
+        assert t.values() == (1, 2.5, "abc", True)
+
+    def test_bool_parsing_variants(self, schema):
+        instance = read_rows(
+            schema,
+            [["1", "0.0", "x", "YES"], ["2", "0.0", "x", "0"]],
+        )
+        values = [t["b"] for t in instance]
+        assert values == [True, False]
+
+    def test_wrong_arity(self, schema):
+        with pytest.raises(SchemaError):
+            read_rows(schema, [["1", "2.0"]])
+
+
+class TestRoundTrip:
+    def test_file_roundtrip(self, schema, tmp_path):
+        original = RelationInstance(
+            schema, [(1, 1.5, "hello", True), (2, 2.5, "world", False)]
+        )
+        path = tmp_path / "data.csv"
+        dump_csv(original, path)
+        loaded = load_csv(schema, path)
+        assert loaded == original
+
+    def test_handle_roundtrip(self, schema):
+        original = RelationInstance(schema, [(1, 1.0, "x", True)])
+        buffer = io.StringIO()
+        dump_csv(original, buffer)
+        buffer.seek(0)
+        assert load_csv(schema, buffer) == original
+
+    def test_header_mismatch_rejected(self, schema):
+        buffer = io.StringIO("wrong,header,names,here\n1,1.0,x,true\n")
+        with pytest.raises(SchemaError):
+            load_csv(schema, buffer)
+
+    def test_no_header_mode(self, schema):
+        buffer = io.StringIO("1,1.0,x,true\n")
+        loaded = load_csv(schema, buffer, has_header=False)
+        assert len(loaded) == 1
+
+    def test_write_rows_strings(self, schema):
+        instance = RelationInstance(schema, [(1, 1.0, "x", True)])
+        assert write_rows(instance) == [["1", "1.0", "x", "True"]]

@@ -1,0 +1,139 @@
+"""Domains: membership, finiteness, fresh-value generation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DomainError
+from repro.relational.domains import (
+    BOOL,
+    EnumDomain,
+    FLOAT,
+    INT,
+    STRING,
+    BoolDomain,
+    IntDomain,
+    StringDomain,
+)
+
+
+class TestIntDomain:
+    def test_contains_int(self):
+        assert INT.contains(5)
+        assert INT.contains(-3)
+
+    def test_rejects_bool(self):
+        # bool is a subclass of int but must not type-pun into IntDomain
+        assert not INT.contains(True)
+
+    def test_rejects_string(self):
+        assert not INT.contains("5")
+
+    def test_not_finite(self):
+        assert not INT.is_finite
+
+    def test_enumerating_infinite_domain_raises(self):
+        with pytest.raises(DomainError):
+            list(INT.values())
+
+    def test_size_of_infinite_domain_raises(self):
+        with pytest.raises(DomainError):
+            INT.size()
+
+    def test_fresh_value_avoids(self):
+        avoid = {0, 1, 2}
+        assert INT.fresh_value(avoid) not in avoid
+
+    def test_validate_passes_member(self):
+        assert INT.validate(7) == 7
+
+    def test_validate_raises_for_nonmember(self):
+        with pytest.raises(DomainError):
+            INT.validate("x")
+
+
+class TestStringDomain:
+    def test_contains(self):
+        assert STRING.contains("hello")
+        assert not STRING.contains(5)
+
+    def test_fresh_values_distinct(self):
+        values = []
+        for v in STRING.fresh_values():
+            values.append(v)
+            if len(values) == 10:
+                break
+        assert len(set(values)) == 10
+
+    def test_fresh_avoids(self):
+        avoid = {"v0", "v1"}
+        assert STRING.fresh_value(avoid) not in avoid
+
+
+class TestFloatDomain:
+    def test_contains_numbers(self):
+        assert FLOAT.contains(1.5)
+        assert FLOAT.contains(2)  # ints acceptable in float columns
+
+    def test_rejects_bool(self):
+        assert not FLOAT.contains(False)
+
+
+class TestBoolDomain:
+    def test_finite_with_two_values(self):
+        assert BOOL.is_finite
+        assert BOOL.size() == 2
+        assert set(BOOL.values()) == {True, False}
+
+    def test_contains_only_bools(self):
+        assert BOOL.contains(True)
+        assert not BOOL.contains(1)
+
+    def test_exhaustion(self):
+        with pytest.raises(DomainError):
+            BOOL.fresh_value({True, False})
+
+    def test_fresh_respects_avoid(self):
+        assert BOOL.fresh_value({True}) is False
+
+
+class TestEnumDomain:
+    def test_membership(self):
+        d = EnumDomain(["a", "b", "c"])
+        assert d.contains("a")
+        assert not d.contains("z")
+
+    def test_empty_enum_rejected(self):
+        with pytest.raises(DomainError):
+            EnumDomain([])
+
+    def test_enumeration_deterministic(self):
+        d = EnumDomain(["b", "a", "c"])
+        assert list(d.values()) == list(d.values())
+
+    def test_fresh_values_only_remaining(self):
+        d = EnumDomain([1, 2, 3])
+        assert set(d.fresh_values({1})) == {2, 3}
+
+    def test_equality_by_value_set(self):
+        assert EnumDomain([1, 2]) == EnumDomain([2, 1])
+        assert EnumDomain([1, 2]) != EnumDomain([1, 3])
+
+    def test_hashable(self):
+        assert len({EnumDomain([1, 2]), EnumDomain([2, 1])}) == 1
+
+    @given(st.sets(st.integers(), min_size=1, max_size=10))
+    def test_size_matches_values(self, values):
+        d = EnumDomain(values)
+        assert d.size() == len(values)
+        assert set(d.values()) == values
+
+
+class TestDomainEquality:
+    def test_singletons_equal_fresh_instances(self):
+        assert INT == IntDomain()
+        assert STRING == StringDomain()
+        assert BOOL == BoolDomain()
+
+    def test_cross_type_inequality(self):
+        assert INT != STRING

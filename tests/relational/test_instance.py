@@ -1,0 +1,117 @@
+"""Relation and database instances: set semantics, grouping, copying."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.domains import INT, STRING
+from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("R", [("a", INT), ("b", STRING)])
+
+
+@pytest.fixture
+def instance(schema):
+    return RelationInstance(schema, [(1, "x"), (2, "y"), (1, "z")])
+
+
+class TestRelationInstance:
+    def test_set_semantics(self, schema):
+        rel = RelationInstance(schema, [(1, "x"), (1, "x")])
+        assert len(rel) == 1
+
+    def test_insertion_order_preserved(self, instance):
+        assert [t.values() for t in instance] == [(1, "x"), (2, "y"), (1, "z")]
+
+    def test_add_coerces_dicts(self, schema):
+        rel = RelationInstance(schema)
+        t = rel.add({"a": 1, "b": "x"})
+        assert t in rel
+
+    def test_wrong_schema_tuple_rejected(self, schema):
+        other = RelationSchema("S", [("c", INT)])
+        rel = RelationInstance(schema)
+        from repro.relational.tuples import Tuple
+
+        with pytest.raises(SchemaError):
+            rel.add(Tuple(other, (1,)))
+
+    def test_remove_and_discard(self, schema, instance):
+        t = instance.tuples()[0]
+        instance.remove(t)
+        assert t not in instance
+        instance.discard(t)  # no error on absent
+        with pytest.raises(KeyError):
+            instance.remove(t)
+
+    def test_filter(self, instance):
+        filtered = instance.filter(lambda t: t["a"] == 1)
+        assert len(filtered) == 2
+
+    def test_group_by(self, instance):
+        groups = instance.group_by(["a"])
+        assert len(groups[(1,)]) == 2
+        assert len(groups[(2,)]) == 1
+
+    def test_group_by_empty_key_single_group(self, instance):
+        groups = instance.group_by([])
+        assert len(groups) == 1
+        assert len(groups[()]) == 3
+
+    def test_active_domain(self, instance):
+        assert instance.active_domain("a") == [1, 2]
+
+    def test_copy_is_independent(self, instance):
+        clone = instance.copy()
+        clone.remove(clone.tuples()[0])
+        assert len(instance) == 3
+        assert len(clone) == 2
+
+    def test_equality_ignores_order(self, schema):
+        r1 = RelationInstance(schema, [(1, "x"), (2, "y")])
+        r2 = RelationInstance(schema, [(2, "y"), (1, "x")])
+        assert r1 == r2
+
+    def test_pretty_contains_data(self, instance):
+        rendered = instance.pretty()
+        assert "a" in rendered and "'x'" in rendered
+
+
+class TestDatabaseInstance:
+    def test_construction_with_rows(self, schema):
+        db_schema = DatabaseSchema([schema])
+        db = DatabaseInstance(db_schema, {"R": [(1, "x")]})
+        assert len(db.relation("R")) == 1
+
+    def test_unknown_relation(self, schema):
+        db = DatabaseInstance(DatabaseSchema([schema]))
+        with pytest.raises(SchemaError):
+            db.relation("S")
+
+    def test_getitem(self, schema):
+        db = DatabaseInstance(DatabaseSchema([schema]), {"R": [(1, "x")]})
+        assert len(db["R"]) == 1
+
+    def test_total_and_empty(self, schema):
+        db = DatabaseInstance(DatabaseSchema([schema]))
+        assert db.is_empty()
+        db.relation("R").add((1, "x"))
+        assert db.total_tuples() == 1
+        assert not db.is_empty()
+
+    def test_copy_independence(self, schema):
+        db = DatabaseInstance(DatabaseSchema([schema]), {"R": [(1, "x")]})
+        clone = db.copy()
+        clone.relation("R").add((2, "y"))
+        assert len(db.relation("R")) == 1
+
+    def test_equality(self, schema):
+        db_schema = DatabaseSchema([schema])
+        db1 = DatabaseInstance(db_schema, {"R": [(1, "x")]})
+        db2 = DatabaseInstance(db_schema, {"R": [(1, "x")]})
+        assert db1 == db2
+        db2.relation("R").add((2, "y"))
+        assert db1 != db2

@@ -1,0 +1,110 @@
+"""Predicate terms and conditions."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.relational.predicates import (
+    And,
+    Attr,
+    Comparison,
+    Const,
+    InSet,
+    Not,
+    Or,
+    TrueCondition,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    ne,
+)
+
+
+class TestTerms:
+    def test_attr_evaluation(self):
+        assert Attr("x").evaluate({"x": 5}) == 5
+
+    def test_attr_unbound(self):
+        with pytest.raises(QueryError):
+            Attr("x").evaluate({})
+
+    def test_const(self):
+        assert Const(3).evaluate({}) == 3
+
+    def test_at_shorthand(self):
+        cond = eq("@x", 1)
+        assert cond.left == Attr("x")
+        assert cond.right == Const(1)
+
+    def test_plain_string_is_constant(self):
+        cond = eq("x", 1)
+        assert cond.left == Const("x")
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "builder, value, expected",
+        [
+            (eq, 5, True), (eq, 6, False),
+            (ne, 6, True), (ne, 5, False),
+            (lt, 4, True), (lt, 5, False),
+            (le, 5, True), (le, 6, False),
+            (gt, 6, True), (gt, 5, False),
+            (ge, 5, True), (ge, 4, False),
+        ],
+    )
+    def test_operators(self, builder, value, expected):
+        cond = builder("@x", 5)
+        assert cond.evaluate({"x": value}) is expected
+
+    def test_attr_vs_attr(self):
+        cond = eq("@x", "@y")
+        assert cond.evaluate({"x": 1, "y": 1})
+        assert not cond.evaluate({"x": 1, "y": 2})
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryError):
+            Comparison("@x", "~", 1)
+
+    def test_attributes_collected(self):
+        assert eq("@x", "@y").attributes() == {"x", "y"}
+
+
+class TestBooleanCombinators:
+    def test_and(self):
+        cond = eq("@x", 1) & gt("@y", 0)
+        assert cond.evaluate({"x": 1, "y": 5})
+        assert not cond.evaluate({"x": 1, "y": 0})
+
+    def test_or(self):
+        cond = eq("@x", 1) | eq("@x", 2)
+        assert cond.evaluate({"x": 2})
+        assert not cond.evaluate({"x": 3})
+
+    def test_not(self):
+        cond = ~eq("@x", 1)
+        assert cond.evaluate({"x": 2})
+
+    def test_true_condition(self):
+        assert TrueCondition().evaluate({})
+
+    def test_nested_attributes(self):
+        cond = And([eq("@x", 1), Or([eq("@y", 2), Not(eq("@z", 3))])])
+        assert cond.attributes() == {"x", "y", "z"}
+
+
+class TestInSet:
+    def test_membership(self):
+        cond = InSet("@city", {"NYC", "LI"})
+        assert cond.evaluate({"city": "NYC"})
+        assert not cond.evaluate({"city": "EDI"})
+
+    def test_negated(self):
+        cond = InSet("@city", {"NYC", "LI"}, negated=True)
+        assert cond.evaluate({"city": "EDI"})
+        assert not cond.evaluate({"city": "LI"})
+
+    def test_equality_value_semantics(self):
+        assert InSet("@c", {1, 2}) == InSet("@c", {2, 1})
+        assert InSet("@c", {1}) != InSet("@c", {1}, negated=True)

@@ -1,0 +1,120 @@
+"""SPCU query trees: schemas, evaluation, operator tracking."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.relational.domains import INT, STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.predicates import eq
+from repro.relational.query import (
+    Base,
+    Difference,
+    Extend,
+    Project,
+    Product,
+    Rename,
+    Select,
+    Union,
+)
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+
+
+@pytest.fixture
+def db():
+    schema = DatabaseSchema(
+        [
+            RelationSchema("R", [("a", INT), ("b", STRING)]),
+            RelationSchema("S", [("c", INT), ("d", STRING)]),
+            RelationSchema("R2", [("a", INT), ("b", STRING)]),
+        ]
+    )
+    return DatabaseInstance(
+        schema,
+        {
+            "R": [(1, "x"), (2, "y")],
+            "S": [(1, "p")],
+            "R2": [(3, "z")],
+        },
+    )
+
+
+class TestEvaluation:
+    def test_base(self, db):
+        assert len(Base("R").evaluate(db)) == 2
+
+    def test_select(self, db):
+        q = Select(Base("R"), eq("@b", "x"))
+        assert [t["a"] for t in q.evaluate(db)] == [1]
+
+    def test_project(self, db):
+        q = Project(Base("R"), ["b"])
+        assert q.output_schema(db.schema).attribute_names == ("b",)
+        assert len(q.evaluate(db)) == 2
+
+    def test_product(self, db):
+        q = Product(Base("R"), Base("S"))
+        assert len(q.evaluate(db)) == 2
+        assert q.output_schema(db.schema).attribute_names == ("a", "b", "c", "d")
+
+    def test_union(self, db):
+        q = Union(Base("R"), Base("R2"))
+        assert len(q.evaluate(db)) == 3
+
+    def test_difference(self, db):
+        q = Difference(Union(Base("R"), Base("R2")), Base("R2"))
+        assert len(q.evaluate(db)) == 2
+
+    def test_rename(self, db):
+        q = Rename(Base("R"), {"a": "alpha"})
+        assert q.output_schema(db.schema).attribute_names == ("alpha", "b")
+
+    def test_extend(self, db):
+        q = Extend(Base("R"), Attribute("tag", INT), 44)
+        result = q.evaluate(db)
+        assert all(t["tag"] == 44 for t in result)
+        assert q.output_schema(db.schema).attribute_names == ("a", "b", "tag")
+
+    def test_nested_pipeline(self, db):
+        q = Project(
+            Select(Union(Base("R"), Base("R2")), eq("@b", "z")), ["a"]
+        )
+        assert [t["a"] for t in q.evaluate(db)] == [3]
+
+
+class TestSchemaChecks:
+    def test_select_unknown_attribute(self, db):
+        q = Select(Base("R"), eq("@zzz", 1))
+        with pytest.raises(QueryError):
+            q.output_schema(db.schema)
+
+    def test_product_attribute_clash(self, db):
+        q = Product(Base("R"), Base("R2"))
+        with pytest.raises(QueryError):
+            q.output_schema(db.schema)
+
+    def test_union_incompatible(self, db):
+        q = Union(Base("R"), Base("S"))
+        with pytest.raises(QueryError):
+            q.output_schema(db.schema)
+
+    def test_extend_existing_attribute(self, db):
+        q = Extend(Base("R"), Attribute("a", INT), 1)
+        with pytest.raises(QueryError):
+            q.output_schema(db.schema)
+
+
+class TestOperatorTracking:
+    def test_letters(self, db):
+        q = Project(Select(Base("R"), eq("@b", "x")), ["a"])
+        assert q.operators() == {"S", "P"}
+        assert q.uses_only("SPCU")
+
+    def test_difference_not_spcu(self, db):
+        q = Difference(Base("R"), Base("R2"))
+        assert not q.uses_only("SPCU")
+
+    def test_union_product(self, db):
+        q = Union(Base("R"), Base("R2"))
+        assert q.operators() == {"U"}
+        q2 = Product(Base("R"), Base("S"))
+        assert q2.operators() == {"C"}

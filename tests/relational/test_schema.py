@@ -1,0 +1,105 @@
+"""Schemas: construction, lookup, projection, finite-domain detection."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.domains import BOOL, INT, STRING
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+
+
+class TestAttribute:
+    def test_default_domain_is_string(self):
+        assert Attribute("name").domain == STRING
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_equality(self):
+        assert Attribute("a", INT) == Attribute("a", INT)
+        assert Attribute("a", INT) != Attribute("a", STRING)
+
+
+class TestRelationSchema:
+    def test_mixed_attribute_specs(self):
+        schema = RelationSchema("R", [Attribute("a", INT), ("b", STRING), "c"])
+        assert schema.attribute_names == ("a", "b", "c")
+        assert schema.domain("a") == INT
+        assert schema.domain("c") == STRING
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a", "a"])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [])
+
+    def test_unknown_attribute_lookup(self):
+        schema = RelationSchema("R", ["a"])
+        with pytest.raises(SchemaError):
+            schema.attribute("zzz")
+
+    def test_index_of(self):
+        schema = RelationSchema("R", ["a", "b", "c"])
+        assert schema.index_of("b") == 1
+
+    def test_contains(self):
+        schema = RelationSchema("R", ["a"])
+        assert "a" in schema
+        assert "b" not in schema
+
+    def test_project_preserves_order_given(self):
+        schema = RelationSchema("R", ["a", "b", "c"])
+        projected = schema.project(["c", "a"])
+        assert projected.attribute_names == ("c", "a")
+
+    def test_project_unknown_attribute(self):
+        schema = RelationSchema("R", ["a"])
+        with pytest.raises(SchemaError):
+            schema.project(["nope"])
+
+    def test_rename(self):
+        schema = RelationSchema("R", ["a"]).rename("S")
+        assert schema.name == "S"
+        assert schema.attribute_names == ("a",)
+
+    def test_finite_domain_detection(self):
+        finite = RelationSchema("R", [("flag", BOOL), ("x", INT)])
+        infinite = RelationSchema("R", [("x", INT), ("s", STRING)])
+        assert finite.has_finite_domain_attribute()
+        assert not infinite.has_finite_domain_attribute()
+
+    def test_check_attributes(self):
+        schema = RelationSchema("R", ["a", "b"])
+        assert schema.check_attributes(["b", "a"]) == ("b", "a")
+        with pytest.raises(SchemaError):
+            schema.check_attributes(["a", "zz"])
+
+    def test_equality_and_hash(self):
+        s1 = RelationSchema("R", [("a", INT)])
+        s2 = RelationSchema("R", [("a", INT)])
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+        assert s1 != RelationSchema("R", [("a", STRING)])
+
+
+class TestDatabaseSchema:
+    def test_lookup(self):
+        db = DatabaseSchema([RelationSchema("R", ["a"]), RelationSchema("S", ["b"])])
+        assert db.relation("R").name == "R"
+        assert len(db) == 2
+        assert "S" in db
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([RelationSchema("R", ["a"]), RelationSchema("R", ["b"])])
+
+    def test_unknown_relation(self):
+        db = DatabaseSchema([RelationSchema("R", ["a"])])
+        with pytest.raises(SchemaError):
+            db.relation("S")
+
+    def test_iteration_order(self):
+        db = DatabaseSchema([RelationSchema("R", ["a"]), RelationSchema("S", ["b"])])
+        assert [r.name for r in db] == ["R", "S"]

@@ -1,0 +1,98 @@
+"""Tuples: construction, validation, projection, replace."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DomainError, SchemaError
+from repro.relational.domains import INT, STRING
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import Tuple
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("R", [("a", INT), ("b", STRING)])
+
+
+class TestConstruction:
+    def test_from_mapping(self, schema):
+        t = Tuple(schema, {"a": 1, "b": "x"})
+        assert t["a"] == 1
+        assert t["b"] == "x"
+
+    def test_from_sequence(self, schema):
+        t = Tuple(schema, (1, "x"))
+        assert t.values() == (1, "x")
+
+    def test_missing_attribute(self, schema):
+        with pytest.raises(SchemaError):
+            Tuple(schema, {"a": 1})
+
+    def test_extra_attribute(self, schema):
+        with pytest.raises(SchemaError):
+            Tuple(schema, {"a": 1, "b": "x", "c": 2})
+
+    def test_wrong_arity(self, schema):
+        with pytest.raises(SchemaError):
+            Tuple(schema, (1,))
+
+    def test_domain_validation(self, schema):
+        with pytest.raises(DomainError):
+            Tuple(schema, {"a": "not an int", "b": "x"})
+
+    def test_validation_can_be_skipped(self, schema):
+        t = Tuple(schema, ("anything", object()), validate=False)
+        assert len(t) == 2
+
+
+class TestProjection:
+    def test_single_attribute(self, schema):
+        t = Tuple(schema, (1, "x"))
+        assert t["b"] == "x"
+
+    def test_attribute_list(self, schema):
+        t = Tuple(schema, (1, "x"))
+        assert t[["b", "a"]] == ("x", 1)
+
+    def test_empty_projection(self, schema):
+        t = Tuple(schema, (1, "x"))
+        assert t[[]] == ()
+
+    def test_agrees_with(self, schema):
+        t1 = Tuple(schema, (1, "x"))
+        t2 = Tuple(schema, (1, "y"))
+        assert t1.agrees_with(t2, ["a"])
+        assert not t1.agrees_with(t2, ["b"])
+
+
+class TestValueSemantics:
+    def test_equality(self, schema):
+        assert Tuple(schema, (1, "x")) == Tuple(schema, {"a": 1, "b": "x"})
+
+    def test_hash_consistency(self, schema):
+        assert len({Tuple(schema, (1, "x")), Tuple(schema, (1, "x"))}) == 1
+
+    def test_replace_returns_new(self, schema):
+        t = Tuple(schema, (1, "x"))
+        t2 = t.replace(b="y")
+        assert t["b"] == "x"
+        assert t2["b"] == "y"
+        assert t2["a"] == 1
+
+    def test_replace_unknown_attribute(self, schema):
+        with pytest.raises(SchemaError):
+            Tuple(schema, (1, "x")).replace(nope=1)
+
+    def test_as_dict_is_fresh(self, schema):
+        t = Tuple(schema, (1, "x"))
+        d = t.as_dict()
+        d["a"] = 99
+        assert t["a"] == 1
+
+    @given(st.integers(), st.text(max_size=10))
+    def test_roundtrip(self, a, b):
+        schema = RelationSchema("R", [("a", INT), ("b", STRING)])
+        t = Tuple(schema, {"a": a, "b": b})
+        assert Tuple(schema, t.as_dict()) == t
+        assert tuple(t) == (a, b)

@@ -1,0 +1,71 @@
+"""Conflict components and repair counting (Example 5.1)."""
+
+import pytest
+
+from repro.deps.fd import FD
+from repro.paper import example51_instance, example51_key
+from repro.relational.domains import STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.repair.enumerate import (
+    conflict_components,
+    count_repairs_by_components,
+    repair_space,
+)
+
+
+class TestConflictComponents:
+    def test_example51_has_n_components(self):
+        db = example51_instance(4)
+        components = conflict_components(db, [example51_key()])
+        assert len(components) == 4
+        assert all(len(c) == 2 for c in components)
+
+    def test_clean_instance_no_components(self):
+        schema = RelationSchema("R", [("A", STRING), ("B", STRING)])
+        db = DatabaseInstance(DatabaseSchema([schema]), {"R": [("a", "x")]})
+        assert conflict_components(db, [FD("R", ["A"], ["B"])]) == []
+
+    def test_triangle_single_component(self):
+        schema = RelationSchema("R", [("A", STRING), ("B", STRING)])
+        db = DatabaseInstance(
+            DatabaseSchema([schema]),
+            {"R": [("a", "x"), ("a", "y"), ("a", "z")]},
+        )
+        components = conflict_components(db, [FD("R", ["A"], ["B"])])
+        assert len(components) == 1
+        assert len(components[0]) == 3
+
+
+class TestCounting:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_component_product_matches_exponential(self, n):
+        db = example51_instance(n)
+        assert count_repairs_by_components(db, [example51_key()]) == 2 ** n
+
+    def test_counting_scales_beyond_enumeration(self):
+        """Component-wise counting handles n where full enumeration (2^n
+        instances) would be painful."""
+        db = example51_instance(16)
+        assert count_repairs_by_components(db, [example51_key()]) == 65536
+
+    def test_clean_instance_one_repair(self):
+        schema = RelationSchema("R", [("A", STRING), ("B", STRING)])
+        db = DatabaseInstance(DatabaseSchema([schema]), {"R": [("a", "x")]})
+        assert count_repairs_by_components(db, [FD("R", ["A"], ["B"])]) == 1
+
+    def test_mixed_group_sizes(self):
+        schema = RelationSchema("R", [("A", STRING), ("B", STRING)])
+        db = DatabaseInstance(
+            DatabaseSchema([schema]),
+            {
+                "R": [
+                    ("a", "x"), ("a", "y"), ("a", "z"),  # 3 repairs
+                    ("b", "p"), ("b", "q"),              # 2 repairs
+                    ("c", "solo"),                        # conflict-free
+                ]
+            },
+        )
+        fd = FD("R", ["A"], ["B"])
+        assert count_repairs_by_components(db, [fd]) == 6
+        assert len(repair_space(db, [fd])) == 6

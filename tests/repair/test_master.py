@@ -1,0 +1,154 @@
+"""Master-data repair (§5.1 Remark): identify against reference data,
+copy trusted values."""
+
+import pytest
+
+from repro.md.model import MD, RelativeKey
+from repro.md.similarity import EQ, EditDistanceSimilarity
+from repro.relational.domains import STRING
+from repro.relational.instance import RelationInstance
+from repro.relational.schema import RelationSchema
+from repro.repair.master import repair_with_master_data
+
+
+@pytest.fixture
+def dirty_schema():
+    return RelationSchema(
+        "cust", [("ssn", STRING), ("name", STRING), ("city", STRING)]
+    )
+
+
+@pytest.fixture
+def master_schema():
+    return RelationSchema(
+        "master", [("id", STRING), ("full_name", STRING), ("home_city", STRING)]
+    )
+
+
+@pytest.fixture
+def dirty(dirty_schema):
+    return RelationInstance(
+        dirty_schema,
+        [
+            ("s1", "John Smith", "Edinburg"),   # typo in city
+            ("s2", "Mary Chen", "London"),      # already clean
+            ("s3", "Unknown Person", "Nowhere"),  # no master record
+        ],
+    )
+
+
+@pytest.fixture
+def master(master_schema):
+    return RelationInstance(
+        master_schema,
+        [
+            ("s1", "John Smith", "Edinburgh"),
+            ("s2", "Mary Chen", "London"),
+        ],
+    )
+
+
+def _rule():
+    return RelativeKey(
+        "cust", "master",
+        [("ssn", "id")], [EQ],
+        ["name", "city"], ["full_name", "home_city"],
+        name="ssn-key",
+    )
+
+
+class TestMasterRepair:
+    def test_copies_trusted_values(self, dirty, master):
+        result = repair_with_master_data(
+            dirty, master, [_rule()], {"city": "home_city"}
+        )
+        by_ssn = {t["ssn"]: t for t in result.repaired}
+        assert by_ssn["s1"]["city"] == "Edinburgh"
+        assert by_ssn["s2"]["city"] == "London"
+
+    def test_change_log_and_cost(self, dirty, master):
+        result = repair_with_master_data(
+            dirty, master, [_rule()], {"city": "home_city"}
+        )
+        assert len(result.changes) == 1  # only s1's city differed
+        assert result.changes[0].old == "Edinburg"
+        assert result.changes[0].new == "Edinburgh"
+        assert 0 < result.cost < 1  # single-character edit, normalized
+
+    def test_unmatched_untouched(self, dirty, master):
+        result = repair_with_master_data(
+            dirty, master, [_rule()], {"city": "home_city"}
+        )
+        assert len(result.unmatched) == 1
+        assert result.unmatched[0]["ssn"] == "s3"
+        by_ssn = {t["ssn"]: t for t in result.repaired}
+        assert by_ssn["s3"]["city"] == "Nowhere"
+
+    def test_matched_count(self, dirty, master):
+        result = repair_with_master_data(
+            dirty, master, [_rule()], {"city": "home_city"}
+        )
+        assert result.matched == 2
+
+    def test_similarity_rule_matching(self, dirty_schema, master):
+        """Match on approximately-equal names when SSNs are absent."""
+        dirty = RelationInstance(
+            dirty_schema, [("zz", "Jon Smith", "Glasgow")]
+        )
+        rule = MD(
+            "cust", "master",
+            [("name", "full_name", EditDistanceSimilarity(2))],
+            ["city"], ["home_city"],
+        )
+        result = repair_with_master_data(
+            dirty, master, [rule], {"city": "home_city"}
+        )
+        assert result.matched == 1
+        assert result.repaired.tuples()[0]["city"] == "Edinburgh"
+
+    def test_ambiguous_skipped_by_default(self, dirty_schema, master_schema):
+        dirty = RelationInstance(dirty_schema, [("s1", "A", "X")])
+        master = RelationInstance(
+            master_schema,
+            [("s1", "A", "CityOne"), ("s1", "A2", "CityTwo")],
+        )
+        result = repair_with_master_data(
+            dirty, master, [_rule()], {"city": "home_city"}
+        )
+        assert len(result.ambiguous) == 1
+        assert result.repaired.tuples()[0]["city"] == "X"  # untouched
+
+    def test_ambiguous_first_policy(self, dirty_schema, master_schema):
+        dirty = RelationInstance(dirty_schema, [("s1", "A", "X")])
+        master = RelationInstance(
+            master_schema,
+            [("s1", "A", "CityOne"), ("s1", "A2", "CityTwo")],
+        )
+        result = repair_with_master_data(
+            dirty, master, [_rule()], {"city": "home_city"}, on_ambiguous="first"
+        )
+        assert result.repaired.tuples()[0]["city"] == "CityOne"
+
+    def test_agreeing_duplicates_not_ambiguous(self, dirty_schema, master_schema):
+        dirty = RelationInstance(dirty_schema, [("s1", "A", "X")])
+        master = RelationInstance(
+            master_schema,
+            [("s1", "A", "SameCity"), ("s1", "A2", "SameCity")],
+        )
+        result = repair_with_master_data(
+            dirty, master, [_rule()], {"city": "home_city"}
+        )
+        assert result.ambiguous == []
+        assert result.repaired.tuples()[0]["city"] == "SameCity"
+
+    def test_bad_policy_rejected(self, dirty, master):
+        with pytest.raises(ValueError):
+            repair_with_master_data(
+                dirty, master, [_rule()], {"city": "home_city"}, on_ambiguous="zzz"
+            )
+
+    def test_unknown_correspondence_attribute(self, dirty, master):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            repair_with_master_data(dirty, master, [_rule()], {"nope": "home_city"})

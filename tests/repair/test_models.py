@@ -1,0 +1,67 @@
+"""Cost model: w(t,A)·dis(v,v′)."""
+
+import pytest
+
+from repro.repair.models import CostModel, default_distance
+from repro.relational.domains import INT, STRING
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import Tuple
+
+
+@pytest.fixture
+def t():
+    schema = RelationSchema("R", [("a", STRING), ("n", INT)])
+    return Tuple(schema, ("hello", 10))
+
+
+class TestDefaultDistance:
+    def test_equal_is_zero(self):
+        assert default_distance("x", "x") == 0.0
+        assert default_distance(5, 5) == 0.0
+
+    def test_string_normalized(self):
+        assert default_distance("abc", "abd") == pytest.approx(1 / 3)
+        assert default_distance("abc", "xyz") == 1.0
+
+    def test_numeric_relative(self):
+        assert default_distance(10, 11) == pytest.approx(0.1, abs=0.01)
+        assert default_distance(0, 1000) == 1.0
+
+    def test_cross_type_is_one(self):
+        assert default_distance("x", 5) == 1.0
+
+    def test_bounded(self):
+        assert 0.0 <= default_distance("a" * 50, "b") <= 1.0
+
+
+class TestCostModel:
+    def test_default_weight(self, t):
+        model = CostModel()
+        assert model.weight(t, "a") == 1.0
+
+    def test_explicit_weight(self, t):
+        model = CostModel(weights={(t, "a"): 3.0})
+        assert model.weight(t, "a") == 3.0
+        assert model.weight(t, "n") == 1.0
+
+    def test_change_cost_scales_with_weight(self, t):
+        cheap = CostModel()
+        expensive = CostModel(weights={(t, "a"): 10.0})
+        assert expensive.change_cost(t, "a", "hellp") == pytest.approx(
+            10 * cheap.change_cost(t, "a", "hellp")
+        )
+
+    def test_tuple_cost_sums_changed_cells(self, t):
+        model = CostModel()
+        repaired = t.replace(a="hellp", n=11)
+        cost = model.tuple_cost(t, repaired)
+        expected = model.change_cost(t, "a", "hellp") + model.change_cost(t, "n", 11)
+        assert cost == pytest.approx(expected)
+
+    def test_identical_tuples_cost_zero(self, t):
+        assert CostModel().tuple_cost(t, t) == 0.0
+
+    def test_set_weight(self, t):
+        model = CostModel()
+        model.set_weight(t, "a", 5.0)
+        assert model.weight(t, "a") == 5.0

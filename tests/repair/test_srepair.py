@@ -1,0 +1,104 @@
+"""S-repairs: denial-class coincidence with X, insertion handling for INDs."""
+
+import pytest
+
+from repro.cfd.model import CFD, UNNAMED
+from repro.cind.model import CIND
+from repro.deps.base import holds
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.paper import example51_instance, example51_key
+from repro.relational.domains import STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.repair.checking import is_s_repair
+from repro.repair.srepair import all_s_repairs, is_denial_class, symmetric_difference
+from repro.repair.xrepair import all_x_repairs
+
+
+def _two_relations():
+    return DatabaseSchema(
+        [
+            RelationSchema("R", [("a", STRING), ("b", STRING)]),
+            RelationSchema("S", [("c", STRING), ("d", STRING)]),
+        ]
+    )
+
+
+class TestDenialClass:
+    def test_classification(self):
+        assert is_denial_class([example51_key()])
+        assert is_denial_class([CFD("R", ["a"], ["b"], [{"a": UNNAMED, "b": "x"}])])
+        assert not is_denial_class([IND("R", ["a"], "S", ["c"])])
+        assert not is_denial_class([CIND("R", ["a"], "S", ["c"])])
+
+    def test_s_equals_x_for_keys(self):
+        """§5.1: for denial constraints X- and S-repairs coincide."""
+        db = example51_instance(3)
+        x = all_x_repairs(db, [example51_key()])
+        s = all_s_repairs(db, [example51_key()])
+        x_sigs = {frozenset(t.values() for t in r.relation("R")) for r in x}
+        s_sigs = {frozenset(t.values() for t in r.relation("R")) for r in s}
+        assert x_sigs == s_sigs
+
+
+class TestWithInclusionDependencies:
+    def test_insertion_can_beat_deletion(self):
+        """With R[a] ⊆ S[c], inserting the missing S tuple is a repair with
+        symmetric difference {insert}, incomparable to deleting R's tuple."""
+        schema = _two_relations()
+        db = DatabaseInstance(schema, {"R": [("v", "w")], "S": []})
+        ind = IND("R", ["a"], "S", ["c"])
+        repairs = all_s_repairs(db, [ind], max_insertions=2)
+        assert repairs
+        kinds = set()
+        for repair in repairs:
+            assert holds(repair, [ind])
+            delta = symmetric_difference(db, repair)
+            assert delta  # the original is inconsistent, something changed
+            if any(rel == "S" for rel, _ in delta):
+                kinds.add("insertion")
+            if any(rel == "R" for rel, _ in delta):
+                kinds.add("deletion")
+        assert "insertion" in kinds and "deletion" in kinds
+
+    def test_minimality_of_differences(self):
+        schema = _two_relations()
+        db = DatabaseInstance(schema, {"R": [("v", "w")], "S": []})
+        ind = IND("R", ["a"], "S", ["c"])
+        repairs = all_s_repairs(db, [ind], max_insertions=2)
+        deltas = [frozenset(symmetric_difference(db, r)) for r in repairs]
+        for d1 in deltas:
+            assert not any(d2 < d1 for d2 in deltas)
+
+    def test_cind_repair_with_pattern(self):
+        schema = _two_relations()
+        db = DatabaseInstance(schema, {"R": [("v", "book")], "S": []})
+        cind = CIND(
+            "R", ["a"], "S", ["c"],
+            lhs_pattern_attrs=["b"],
+            rhs_pattern_attrs=["d"],
+            tableau=[{"b": "book", "d": "audio"}],
+        )
+        repairs = all_s_repairs(db, [cind], max_insertions=2)
+        inserted = [
+            r for r in repairs if len(r.relation("S")) == 1
+        ]
+        assert inserted
+        witness = inserted[0].relation("S").tuples()[0]
+        assert witness["c"] == "v" and witness["d"] == "audio"
+
+
+class TestSymmetricDifference:
+    def test_empty_for_identical(self):
+        db = example51_instance(2)
+        assert symmetric_difference(db, db.copy()) == set()
+
+    def test_counts_both_directions(self):
+        db = example51_instance(1)
+        other = db.copy()
+        removed = other.relation("R").tuples()[0]
+        other.relation("R").discard(removed)
+        other.relation("R").add(("a99", "b"))
+        delta = symmetric_difference(db, other)
+        assert len(delta) == 2

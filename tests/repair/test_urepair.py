@@ -1,0 +1,113 @@
+"""U-repair heuristics: Figure 1 repair, cost accounting, weights."""
+
+import pytest
+
+from repro.cfd.model import CFD, UNNAMED
+from repro.deps.fd import FD
+from repro.paper import fig1_instance, fig2_cfds
+from repro.relational.domains import STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.repair.models import CostModel
+from repro.repair.urepair import repair_cfds, repair_fds
+
+
+class TestFigure1Repair:
+    def test_repairs_to_consistency(self):
+        cfds = list(fig2_cfds().values())
+        result = repair_cfds(fig1_instance(), cfds)
+        assert result.resolved
+        assert all(cfd.holds_on(result.repaired) for cfd in cfds)
+
+    def test_city_constants_written(self):
+        cfds = list(fig2_cfds().values())
+        result = repair_cfds(fig1_instance(), cfds)
+        cities = {t["city"] for t in result.repaired.relation("customer")}
+        assert cities == {"EDI", "MH"}
+
+    def test_changes_logged_with_cost(self):
+        cfds = list(fig2_cfds().values())
+        result = repair_cfds(fig1_instance(), cfds)
+        assert result.changed_cells() >= 4  # 3 cities + 1 street
+        assert result.cost > 0
+        assert all(change.cost >= 0 for change in result.changes)
+
+    def test_tuple_count_preserved(self):
+        cfds = list(fig2_cfds().values())
+        result = repair_cfds(fig1_instance(), cfds)
+        assert len(result.repaired.relation("customer")) == 3
+
+
+class TestWeights:
+    def _db(self):
+        schema = RelationSchema("R", [("A", STRING), ("B", STRING)])
+        return DatabaseInstance(
+            DatabaseSchema([schema]), {"R": [("k", "cheap"), ("k", "pricey")]}
+        )
+
+    def test_plurality_respects_weights(self):
+        db = self._db()
+        fd = FD("R", ["A"], ["B"])
+        trusted = db.relation("R").tuples()[1]  # the "pricey" tuple
+        model = CostModel()
+        model.set_weight(trusted, "B", 100.0)
+        result = repair_fds(db, [fd], model)
+        assert result.resolved
+        values = {t["B"] for t in result.repaired.relation("R")}
+        # changing the trusted cell would cost 100×; the cheap one moves
+        assert values == {"pricey"}
+
+    def test_unweighted_deterministic(self):
+        db = self._db()
+        fd = FD("R", ["A"], ["B"])
+        first = repair_fds(db, [fd])
+        second = repair_fds(self._db(), [fd])
+        assert {t.values() for t in first.repaired.relation("R")} == {
+            t.values() for t in second.repaired.relation("R")
+        }
+
+
+class TestConstantPhase:
+    def test_rhs_constant_written(self):
+        schema = RelationSchema("R", [("A", STRING), ("B", STRING)])
+        db = DatabaseInstance(DatabaseSchema([schema]), {"R": [("uk", "wrong")]})
+        cfd = CFD("R", ["A"], ["B"], [{"A": "uk", "B": "right"}])
+        result = repair_cfds(db, [cfd])
+        assert result.resolved
+        assert result.repaired.relation("R").tuples()[0]["B"] == "right"
+        assert len(result.changes) == 1
+
+    def test_cascading_rules(self):
+        """Writing one constant triggers another rule's LHS."""
+        schema = RelationSchema("R", [("A", STRING), ("B", STRING), ("C", STRING)])
+        db = DatabaseInstance(
+            DatabaseSchema([schema]), {"R": [("uk", "wrong", "wrong2")]}
+        )
+        cfds = [
+            CFD("R", ["A"], ["B"], [{"A": "uk", "B": "mid"}]),
+            CFD("R", ["B"], ["C"], [{"B": "mid", "C": "final"}]),
+        ]
+        result = repair_cfds(db, cfds)
+        assert result.resolved
+        t = result.repaired.relation("R").tuples()[0]
+        assert (t["B"], t["C"]) == ("mid", "final")
+
+    def test_clean_input_zero_changes(self):
+        cfds = list(fig2_cfds().values())
+        repaired_once = repair_cfds(fig1_instance(), cfds).repaired
+        second = repair_cfds(repaired_once, cfds)
+        assert second.resolved
+        assert second.changed_cells() == 0
+
+    def test_unresolvable_flagged(self):
+        """Two contradictory constants on the same selected tuples cannot be
+        fixed by value modification of B alone; the heuristic must not
+        claim success."""
+        schema = RelationSchema("R", [("A", STRING), ("B", STRING)])
+        db = DatabaseInstance(DatabaseSchema([schema]), {"R": [("uk", "v")]})
+        cfds = [
+            CFD("R", ["A"], ["B"], [{"A": "uk", "B": "x"}]),
+            CFD("R", ["A"], ["B"], [{"A": "uk", "B": "y"}]),
+        ]
+        result = repair_cfds(db, cfds, max_passes=5)
+        assert not result.resolved

@@ -1,0 +1,93 @@
+"""X-repairs: greedy and exhaustive, with Example 5.1."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deps.base import holds
+from repro.deps.fd import FD
+from repro.paper import example51_instance, example51_key
+from repro.relational.domains import STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.repair.checking import is_x_repair
+from repro.repair.xrepair import all_x_repairs, count_x_repairs, greedy_x_repair
+
+
+class TestExample51:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_exactly_2_to_the_n_repairs(self, n):
+        db = example51_instance(n)
+        assert count_x_repairs(db, [example51_key()]) == 2 ** n
+
+    def test_each_repair_valid(self):
+        db = example51_instance(3)
+        for repair in all_x_repairs(db, [example51_key()]):
+            assert is_x_repair(db, repair, [example51_key()])
+            assert len(repair.relation("R")) == 3  # one tuple per key group
+
+    def test_limit_enforced(self):
+        db = example51_instance(10)
+        with pytest.raises(MemoryError):
+            all_x_repairs(db, [example51_key()], limit=50)
+
+
+class TestGreedy:
+    def test_produces_maximal_consistent_subset(self):
+        db = example51_instance(4)
+        repair = greedy_x_repair(db, [example51_key()])
+        assert is_x_repair(db, repair, [example51_key()])
+
+    def test_consistent_input_unchanged(self):
+        schema = RelationSchema("R", [("A", STRING), ("B", STRING)])
+        db = DatabaseInstance(
+            DatabaseSchema([schema]), {"R": [("a", "x"), ("b", "y")]}
+        )
+        repair = greedy_x_repair(db, [FD("R", ["A"], ["B"])])
+        assert repair == db
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]), st.sampled_from(["x", "y"])
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_greedy_always_maximal(self, rows):
+        schema = RelationSchema("R", [("A", STRING), ("B", STRING)])
+        db = DatabaseInstance(DatabaseSchema([schema]), {"R": rows})
+        fd = FD("R", ["A"], ["B"])
+        repair = greedy_x_repair(db, [fd])
+        assert is_x_repair(db, repair, [fd])
+
+
+class TestExhaustiveMatchesDefinition:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b"]), st.sampled_from(["x", "y", "z"])
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_enumerated_repair_checks_out(self, rows):
+        schema = RelationSchema("R", [("A", STRING), ("B", STRING)])
+        db = DatabaseInstance(DatabaseSchema([schema]), {"R": rows})
+        fd = FD("R", ["A"], ["B"])
+        repairs = all_x_repairs(db, [fd])
+        assert repairs  # at least one maximal consistent subset exists
+        for repair in repairs:
+            assert is_x_repair(db, repair, [fd])
+
+    def test_repairs_distinct(self):
+        db = example51_instance(3)
+        repairs = all_x_repairs(db, [example51_key()])
+        signatures = {
+            frozenset(t.values() for t in r.relation("R")) for r in repairs
+        }
+        assert len(signatures) == len(repairs)

@@ -1,0 +1,91 @@
+"""CLI: detect / repair / discover over CSV files."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.paper import fig1_instance, fig2_cfds
+from repro.relational.csvio import dump_csv, load_csv
+from repro.rules_json import rules_to_list, schema_to_dict
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    """Figure 1 data + Figure 2 rules on disk."""
+    schema = fig1_instance().relation("customer").schema
+    data_path = tmp_path / "customers.csv"
+    dump_csv(fig1_instance().relation("customer"), data_path)
+    schema_path = tmp_path / "schema.json"
+    schema_path.write_text(json.dumps(schema_to_dict(schema)))
+    rules_path = tmp_path / "rules.json"
+    rules_path.write_text(json.dumps(rules_to_list(list(fig2_cfds().values()))))
+    return tmp_path, data_path, schema_path, rules_path, schema
+
+
+class TestDetect:
+    def test_dirty_data_nonzero_exit(self, workspace, capsys):
+        _, data, schema_path, rules, _ = workspace
+        code = main(
+            ["detect", "--schema", str(schema_path), "--rules", str(rules), str(data)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "4 violations" in out
+
+    def test_summary_only(self, workspace, capsys):
+        _, data, schema_path, rules, _ = workspace
+        main(
+            [
+                "detect", "--summary-only",
+                "--schema", str(schema_path), "--rules", str(rules), str(data),
+            ]
+        )
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 1
+
+
+class TestRepair:
+    def test_repair_writes_clean_csv(self, workspace, capsys):
+        tmp, data, schema_path, rules, schema = workspace
+        out_path = tmp / "clean.csv"
+        code = main(
+            [
+                "repair",
+                "--schema", str(schema_path),
+                "--rules", str(rules),
+                "--output", str(out_path),
+                str(data),
+            ]
+        )
+        assert code == 0
+        repaired = load_csv(schema, out_path)
+        cities = {t["city"] for t in repaired}
+        assert cities == {"EDI", "MH"}
+        # re-detect on the repaired file: clean exit
+        clean_code = main(
+            [
+                "detect", "--summary-only",
+                "--schema", str(schema_path), "--rules", str(rules), str(out_path),
+            ]
+        )
+        assert clean_code == 0
+
+
+class TestDiscover:
+    def test_discover_emits_rules_json(self, workspace, capsys):
+        _, data, schema_path, _, _ = workspace
+        code = main(
+            [
+                "discover",
+                "--schema", str(schema_path),
+                "--max-lhs", "1",
+                "--min-support", "2",
+                str(data),
+            ]
+        )
+        assert code == 0
+        documents = json.loads(capsys.readouterr().out)
+        assert documents
+        assert all(doc["type"] == "cfd" for doc in documents)
+        assert all("support" in doc for doc in documents)

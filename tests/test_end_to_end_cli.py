@@ -1,0 +1,98 @@
+"""End-to-end: discover rules from clean data, then use them to police and
+repair dirty data — the full profiling→detection→repair loop through the
+file-based interfaces a downstream user would script."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.relational.csvio import dump_csv, load_csv
+from repro.rules_json import schema_to_dict
+from repro.workloads.customer import CustomerConfig, generate_customers
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    workload = generate_customers(
+        CustomerConfig(n_tuples=300, error_rate=0.04, seed=99)
+    )
+    schema = workload.db.relation("customer").schema
+    clean_path = tmp_path / "clean.csv"
+    dirty_path = tmp_path / "dirty.csv"
+    dump_csv(workload.clean_db.relation("customer"), clean_path)
+    dump_csv(workload.db.relation("customer"), dirty_path)
+    schema_path = tmp_path / "schema.json"
+    schema_path.write_text(json.dumps(schema_to_dict(schema)))
+    return tmp_path, workload, schema, clean_path, dirty_path, schema_path
+
+
+class TestDiscoverThenDetectThenRepair:
+    def test_full_loop(self, workspace, capsys):
+        tmp, workload, schema, clean_path, dirty_path, schema_path = workspace
+
+        # 1. profile the clean sample
+        code = main(
+            [
+                "discover",
+                "--schema", str(schema_path),
+                "--max-lhs", "2",
+                "--min-support", "8",
+                str(clean_path),
+            ]
+        )
+        assert code == 0
+        discovered = json.loads(capsys.readouterr().out)
+        assert discovered
+        rules_path = tmp / "rules.json"
+        # keep the semantically grounded city rules (area code determines
+        # city); discovery also reports spurious high-support associations
+        # like street → city that a curator would reject
+        kept = [
+            {k: v for k, v in doc.items() if k not in ("support", "kind")}
+            for doc in discovered
+            if doc["rhs"] == ["city"] and set(doc["lhs"]) <= {"CC", "AC"}
+        ]
+        assert kept
+        rules_path.write_text(json.dumps(kept))
+
+        # 2. the clean file passes, the dirty file is flagged
+        assert (
+            main(
+                ["detect", "--summary-only", "--schema", str(schema_path),
+                 "--rules", str(rules_path), str(clean_path)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                ["detect", "--summary-only", "--schema", str(schema_path),
+                 "--rules", str(rules_path), str(dirty_path)]
+            )
+            == 1
+        )
+        capsys.readouterr()
+
+        # 3. repair the dirty file against the discovered rules
+        out_path = tmp / "repaired.csv"
+        code = main(
+            [
+                "repair",
+                "--schema", str(schema_path),
+                "--rules", str(rules_path),
+                "--output", str(out_path),
+                str(dirty_path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+        # 4. the repaired file passes detection
+        assert (
+            main(
+                ["detect", "--summary-only", "--schema", str(schema_path),
+                 "--rules", str(rules_path), str(out_path)]
+            )
+            == 0
+        )

@@ -1,0 +1,219 @@
+"""One test per checkable claim in the paper — the reproduction record.
+
+Each test's docstring quotes or paraphrases the claim; EXPERIMENTS.md
+indexes these tests by figure/table/example number.
+"""
+
+import pytest
+
+from repro.cfd import cfd_implies, detect_violations, is_consistent
+from repro.cfd.model import CFD, UNNAMED
+from repro.cind import Verdict, check_joint_consistency, cind_implies, consistency_is_trivial
+from repro.deps.base import holds
+from repro.md import derive_rcks, md_implies
+from repro.paper import (
+    YB,
+    YC,
+    customer_schema,
+    example31_mds,
+    example32_rcks,
+    example41_cfds,
+    example41_schema,
+    example42_sources,
+    example51_instance,
+    example51_key,
+    fig1_fds,
+    fig1_instance,
+    fig2_cfds,
+    fig3_instance,
+    fig4_cinds,
+    source_target_schema,
+)
+from repro.propagation import propagates, tagged_union_view
+from repro.relational.domains import INT
+from repro.relational.schema import Attribute
+from repro.repair import count_repairs_by_components, repair_cfds
+
+
+class TestSection21:
+    def test_d0_satisfies_f1_f2(self):
+        """"The instance D0 of Fig. 1 satisfies f1 and f2."""
+        assert holds(fig1_instance(), fig1_fds())
+
+    def test_no_tuple_is_error_free(self):
+        """"A closer examination of D0 ... none of the tuples in D0 is
+        error-free" — all three tuples violate some CFD."""
+        report = detect_violations(fig1_instance(), fig2_cfds().values())
+        assert len(report.violating_tuples()) == 3
+
+    def test_t1_t2_violate_cfd1(self):
+        """"Tuples t1 and t2 in D0 violate cfd1."""
+        phi1 = fig2_cfds()["phi1"]
+        violations = list(phi1.violations(fig1_instance()))
+        assert len(violations) == 1
+        phones = {t["phn"] for _, t in violations[0].tuples}
+        assert phones == {1234567, 3456789}
+
+    def test_each_of_t1_t2_violates_cfd2_and_t3_cfd3(self):
+        """"each of t1 and t2 in D0 violates cfd2 ... t3 violates cfd3"."""
+        phi2 = fig2_cfds()["phi2"]
+        singles = [
+            v for v in phi2.violations(fig1_instance()) if len(v.tuples) == 1
+        ]
+        cities = sorted(t["city"] for v in singles for _, t in v.tuples)
+        assert cities == ["NYC", "NYC", "NYC"]
+
+    def test_d0_satisfies_phi3(self):
+        """"the instance D0 of Fig. 1 satisfies the CFD ϕ3"."""
+        assert fig2_cfds()["phi3"].holds_on(fig1_instance())
+
+
+class TestSection22:
+    def test_d1_satisfies_cind1_cind2(self):
+        """"While D1 of Fig 3 satisfies cind1 and cind2 ..." """
+        db = fig3_instance()
+        cinds = fig4_cinds()
+        assert cinds["phi4"].holds_on(db)
+        assert cinds["phi5"].holds_on(db)
+
+    def test_d1_violates_cind3(self):
+        """"... it violates cind3. Indeed, tuple t9 ... cannot find a match
+        in the book table with 'audio' format."""
+        violations = list(fig4_cinds()["phi6"].violations(fig3_instance()))
+        assert [t["id"] for _, t in violations[0].tuples] == ["c58"]
+
+
+class TestTheorem41:
+    def test_example_41_inconsistent(self):
+        """Example 4.1: no nonempty instance satisfies {ψ1, ψ2} over bool."""
+        assert not is_consistent(example41_schema(True), example41_cfds(True))
+
+    def test_fds_always_consistent_as_cfds(self):
+        """"One can specify arbitrary FDs ... without worrying about their
+        consistency" — all-wildcard CFDs are always consistent."""
+        from repro.cfd.model import fd_as_cfd
+
+        cfds = [fd_as_cfd(fd) for fd in fig1_fds()]
+        assert is_consistent(customer_schema(), cfds)
+
+    def test_cind_consistency_trivial(self):
+        """Theorem 4.1: consistency for CINDs alone is O(1) (always yes)."""
+        assert consistency_is_trivial()
+
+    def test_joint_interaction_detects_inconsistency(self):
+        """CFDs + CINDs together: the (necessarily bounded) checker finds a
+        genuine interaction inconsistency."""
+        from repro.cind.model import CIND
+        from repro.relational.domains import STRING
+        from repro.relational.schema import DatabaseSchema, RelationSchema
+
+        schema = DatabaseSchema(
+            [
+                RelationSchema("R", [("a", STRING), ("b", STRING)]),
+                RelationSchema("S", [("c", STRING), ("d", STRING)]),
+            ]
+        )
+        cfds = [
+            CFD("S", ["c"], ["d"], [{"c": UNNAMED, "d": "x"}]),
+            CFD("S", ["c"], ["d"], [{"c": UNNAMED, "d": "y"}]),
+        ]
+        cinds = [CIND("R", ["a"], "S", ["c"])]
+        result = check_joint_consistency(schema, cfds, cinds, "R")
+        assert result.verdict == Verdict.INCONSISTENT
+
+
+class TestTheorem42:
+    def test_cfd_implication_examples(self):
+        """Implication behaves as dependency theory predicts on CFDs."""
+        schema = customer_schema()
+        phi2 = fig2_cfds()["phi2"]
+        weaker = CFD(
+            "customer", ["CC", "AC", "phn"], ["city"],
+            [{"CC": 44, "AC": 131, "phn": UNNAMED, "city": "EDI"}],
+        )
+        assert cfd_implies(schema, [phi2], weaker)
+        assert not cfd_implies(schema, [weaker], phi2)
+
+    def test_cind_implication_via_chase(self):
+        schema = source_target_schema()
+        cinds = fig4_cinds()
+        assert cind_implies(schema, [cinds["phi4"]], cinds["phi4"])
+        assert not cind_implies(schema, [cinds["phi4"]], cinds["phi5"])
+
+
+class TestExample42:
+    def _setup(self):
+        schema = example42_sources()
+        view = tagged_union_view(
+            [("R1", 44), ("R2", 1), ("R3", 31)], Attribute("CC", INT)
+        )
+        from repro.deps.fd import FD
+
+        sigma = [
+            FD("R1", ["zip"], ["street"]),
+            FD("R1", ["AC"], ["city"]),
+            FD("R2", ["AC"], ["city"]),
+            FD("R3", ["AC"], ["city"]),
+        ]
+        name = view.output_schema(schema).name
+        return schema, view, sigma, name
+
+    def test_neither_f3_nor_f3i_propagates(self):
+        """"one can expect neither Σ0 ⊨σ0 f3 nor Σ0 ⊨σ0 f3+i"."""
+        schema, view, sigma, name = self._setup()
+        f3 = CFD(name, ["zip"], ["street"], [{"zip": UNNAMED, "street": UNNAMED}])
+        f_ac = CFD(name, ["AC"], ["city"], [{"AC": UNNAMED, "city": UNNAMED}])
+        assert not propagates(schema, sigma, view, f3)
+        assert not propagates(schema, sigma, view, f_ac)
+
+    def test_phi7_phi8_propagate(self):
+        """"In contrast, Σ0 ⊨σ0 ϕ7 and Σ0 ⊨σ0 ϕ8"."""
+        schema, view, sigma, name = self._setup()
+        phi7 = CFD(
+            name, ["CC", "zip"], ["street"],
+            [{"CC": 44, "zip": UNNAMED, "street": UNNAMED}],
+        )
+        phi8 = CFD(
+            name, ["CC", "AC"], ["city"],
+            [{"CC": c, "AC": UNNAMED, "city": UNNAMED} for c in (44, 31, 1)],
+        )
+        assert propagates(schema, sigma, view, phi7)
+        assert propagates(schema, sigma, view, phi8)
+
+
+class TestExample43AndTheorem48:
+    def test_sigma1_implies_all_three_rcks(self):
+        """Example 4.3: Σ1 ⊨m rck_i for each i ∈ [1, 3]."""
+        sigma = list(example31_mds().values())
+        for rck in example32_rcks().values():
+            assert md_implies(sigma, rck)
+
+    def test_rck_derivation_produces_the_derived_rule(self):
+        """§3.1: "An example of derived rules is: if t[LN, tel] and
+        t′[SN, phn] equal, and if t[FN] and t′[FN] are similar ..." """
+        sigma = list(example31_mds().values())
+        rcks = derive_rcks(sigma, list(YC), list(YB), max_length=3)
+        shapes = {
+            frozenset((p.left_attr, p.right_attr) for p in rck.premises)
+            for rck in rcks
+        }
+        assert frozenset({("LN", "SN"), ("tel", "phn"), ("FN", "FN")}) in shapes
+
+
+class TestExample51:
+    @pytest.mark.parametrize("n", [1, 3, 6, 10])
+    def test_2_to_n_repairs(self, n):
+        """"each Dn has 2n tuples and 2^n repairs"."""
+        db = example51_instance(n)
+        assert len(db.relation("R")) == 2 * n
+        assert count_repairs_by_components(db, [example51_key()]) == 2 ** n
+
+
+class TestSection51Repairing:
+    def test_figure1_urepair_round_trip(self):
+        """U-repair fixes D0 so that all the Figure 2 CFDs hold."""
+        cfds = list(fig2_cfds().values())
+        result = repair_cfds(fig1_instance(), cfds)
+        assert result.resolved
+        report = detect_violations(result.repaired, cfds)
+        assert report.is_clean()

@@ -1,0 +1,128 @@
+"""Sanity of the paper-fixture layer itself (repro.paper)."""
+
+import pytest
+
+from repro.deps.base import holds
+from repro.paper import (
+    YB,
+    YC,
+    card_billing_schema,
+    customer_schema,
+    example31_mds,
+    example32_rcks,
+    example41_cfds,
+    example41_schema,
+    example42_sources,
+    example51_instance,
+    example51_key,
+    fig1_fds,
+    fig1_instance,
+    fig2_cfds,
+    fig3_instance,
+    fig3_naive_inds,
+    fig4_cinds,
+    source_target_schema,
+)
+
+
+class TestCustomerFixtures:
+    def test_schema_matches_paper(self):
+        schema = customer_schema()
+        assert schema.attribute_names == (
+            "CC", "AC", "phn", "name", "street", "city", "zip"
+        )
+
+    def test_instance_has_three_tuples(self):
+        assert len(fig1_instance().relation("customer")) == 3
+
+    def test_tuples_match_figure1(self):
+        rows = {t["name"]: t for t in fig1_instance().relation("customer")}
+        assert rows["Mike"]["street"] == "Mayfield"
+        assert rows["Rick"]["zip"] == "EH4 8LE"
+        assert rows["Joe"]["AC"] == 908
+
+    def test_cfds_validate_against_schema(self):
+        schema = customer_schema()
+        for cfd in fig2_cfds().values():
+            cfd.check_schema(schema)
+
+    def test_fds_validate(self):
+        schema = customer_schema()
+        for fd in fig1_fds():
+            fd.check_schema(schema)
+
+    def test_fixtures_are_fresh_objects(self):
+        """Mutating one fixture instance must not leak into the next."""
+        first = fig1_instance()
+        first.relation("customer").add(
+            (99, 99, 99, "X", "Y", "Z", "W")
+        )
+        assert len(fig1_instance().relation("customer")) == 3
+
+
+class TestSourceTargetFixtures:
+    def test_schema_relations(self):
+        assert set(source_target_schema().relation_names) == {"order", "book", "CD"}
+
+    def test_instance_counts(self):
+        db = fig3_instance()
+        assert len(db.relation("order")) == 2
+        assert len(db.relation("book")) == 2
+        assert len(db.relation("CD")) == 2
+
+    def test_cind_fixtures_validate(self):
+        schema = source_target_schema()
+        for cind in fig4_cinds().values():
+            cind.check_schema(schema)
+
+    def test_naive_inds_shape(self):
+        inds = fig3_naive_inds()
+        assert len(inds) == 2
+        assert inds[0].rhs_relation == "book"
+        assert inds[1].rhs_relation == "CD"
+
+
+class TestExampleFixtures:
+    def test_example41_domains(self):
+        assert example41_schema(True).domain("A").is_finite
+        assert not example41_schema(False).domain("A").is_finite
+
+    def test_example41_cfds_have_two_rows_each(self):
+        for cfd in example41_cfds(True):
+            assert len(cfd.tableau) == 2
+
+    def test_example42_three_sources(self):
+        assert len(example42_sources()) == 3
+
+    def test_example51_shape(self):
+        db = example51_instance(4)
+        assert len(db.relation("R")) == 8
+        assert not example51_key().holds_on(db)
+
+    def test_example51_zero(self):
+        db = example51_instance(0)
+        assert db.is_empty()
+        assert example51_key().holds_on(db)
+
+
+class TestCardBillingFixtures:
+    def test_schema(self):
+        schema = card_billing_schema()
+        assert "card" in schema and "billing" in schema
+        assert set(YC) <= set(schema.relation("card").attribute_names)
+        assert set(YB) <= set(schema.relation("billing").attribute_names)
+
+    def test_mds_and_rcks_align(self):
+        mds = example31_mds()
+        assert set(mds) == {"phi1", "phi2", "phi3", "phi4"}
+        rcks = example32_rcks()
+        assert set(rcks) == {"rck1", "rck2", "rck3"}
+        for rck in rcks.values():
+            assert rck.is_relative_key()
+
+    def test_phi3_phi4_differ_only_in_fn_operator(self):
+        mds = example31_mds()
+        ops3 = {p.operator.name for p in mds["phi3"].premises}
+        ops4 = {p.operator.name for p in mds["phi4"].premises}
+        assert ops3 == {"⇋"}
+        assert "edit≤2" in ops4

@@ -1,0 +1,83 @@
+"""JSON schema/rules serialization round trips."""
+
+import pytest
+
+from repro.cfd.model import CFD, UNNAMED
+from repro.deps.fd import FD
+from repro.errors import DependencyError, SchemaError
+from repro.paper import fig2_cfds
+from repro.relational.domains import BOOL, EnumDomain, INT, STRING
+from repro.relational.schema import RelationSchema
+from repro.rules_json import (
+    rules_from_list,
+    rules_to_list,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+
+class TestSchemaDocuments:
+    def test_parse_basic(self):
+        doc = {
+            "name": "customer",
+            "attributes": [
+                {"name": "CC", "type": "int"},
+                {"name": "city"},
+                {"name": "flag", "type": "bool"},
+            ],
+        }
+        schema = schema_from_dict(doc)
+        assert schema.domain("CC") == INT
+        assert schema.domain("city") == STRING
+        assert schema.domain("flag") == BOOL
+
+    def test_enum_type(self):
+        doc = {
+            "name": "R",
+            "attributes": [{"name": "ct", "type": "enum", "values": ["a", "b"]}],
+        }
+        schema = schema_from_dict(doc)
+        assert schema.domain("ct") == EnumDomain(["a", "b"])
+
+    def test_unknown_type_rejected(self):
+        doc = {"name": "R", "attributes": [{"name": "x", "type": "blob"}]}
+        with pytest.raises(SchemaError):
+            schema_from_dict(doc)
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(SchemaError):
+            schema_from_dict({"attributes": []})
+
+    def test_round_trip(self):
+        schema = RelationSchema(
+            "R", [("a", INT), ("b", STRING), ("c", EnumDomain([1, 2]))]
+        )
+        assert schema_from_dict(schema_to_dict(schema)) == schema
+
+
+class TestRuleDocuments:
+    def test_fd_round_trip(self):
+        fd = FD("R", ["A", "B"], ["C"])
+        docs = rules_to_list([fd])
+        assert rules_from_list(docs) == [fd]
+
+    def test_cfd_round_trip(self):
+        for cfd in fig2_cfds().values():
+            docs = rules_to_list([cfd])
+            (parsed,) = rules_from_list(docs)
+            assert parsed == cfd
+
+    def test_wildcard_spelling(self):
+        cfd = CFD("R", ["A"], ["B"], [{"A": "x", "B": UNNAMED}])
+        doc = rules_to_list([cfd])[0]
+        assert doc["tableau"][0]["B"] == "_"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(DependencyError):
+            rules_from_list([{"type": "mystery"}])
+
+    def test_schema_validation(self):
+        schema = RelationSchema("R", [("A", STRING), ("B", STRING)])
+        docs = [{"type": "fd", "relation": "R", "lhs": ["A"], "rhs": ["ZZ"]}]
+        with pytest.raises(SchemaError):
+            rules_from_list(docs, schema)

@@ -1,0 +1,123 @@
+"""Workload generators: determinism, clean-data invariants, injection
+ground truth."""
+
+import pytest
+
+from repro.deps.base import holds
+from repro.workloads.card_billing import CardBillingConfig, generate_card_billing
+from repro.workloads.customer import CustomerConfig, generate_customers
+from repro.workloads.noise import abbreviate_name, address_variant, pick_other, truncate, typo
+from repro.workloads.orders import OrdersConfig, generate_orders
+
+import random
+
+
+class TestNoise:
+    def test_typo_changes_string(self):
+        rng = random.Random(1)
+        changed = sum(1 for _ in range(50) if typo("hello", rng) != "hello")
+        assert changed >= 45  # transpose of equal chars can be a no-op
+
+    def test_typo_on_empty(self):
+        assert typo("", random.Random(1))
+
+    def test_truncate_keeps_prefix(self):
+        rng = random.Random(2)
+        out = truncate("abcdefgh", rng)
+        assert "abcdefgh".startswith(out)
+        assert len(out) >= 3
+
+    def test_abbreviate(self):
+        assert abbreviate_name("John Smith") == "J. Smith"
+        assert abbreviate_name("Cher") == "Cher"
+
+    def test_address_variant_differs(self):
+        rng = random.Random(3)
+        assert address_variant("12 Mountain Avenue", rng) != "12 Mountain Avenue"
+
+    def test_pick_other(self):
+        rng = random.Random(4)
+        assert pick_other("a", ["a", "b"], rng) == "b"
+        with pytest.raises(ValueError):
+            pick_other("a", ["a"], rng)
+
+
+class TestCustomerWorkload:
+    def test_deterministic_given_seed(self):
+        w1 = generate_customers(CustomerConfig(n_tuples=50, seed=5))
+        w2 = generate_customers(CustomerConfig(n_tuples=50, seed=5))
+        assert w1.db == w2.db
+        assert len(w1.errors) == len(w2.errors)
+
+    def test_different_seeds_differ(self):
+        w1 = generate_customers(CustomerConfig(n_tuples=50, seed=5))
+        w2 = generate_customers(CustomerConfig(n_tuples=50, seed=6))
+        assert w1.db != w2.db
+
+    def test_clean_data_satisfies_all_rules(self):
+        w = generate_customers(CustomerConfig(n_tuples=120, error_rate=0.1))
+        assert holds(w.clean_db, w.cfds())
+        assert holds(w.clean_db, w.fds())
+
+    def test_zero_error_rate_clean(self):
+        w = generate_customers(CustomerConfig(n_tuples=50, error_rate=0.0))
+        assert w.errors == []
+        assert w.db == w.clean_db
+
+    def test_errors_recorded_accurately(self):
+        w = generate_customers(CustomerConfig(n_tuples=200, error_rate=0.05))
+        tuples = w.db.relation("customer").tuples()
+        clean_tuples = w.clean_db.relation("customer").tuples()
+        for error in w.errors:
+            assert tuples[error.row_index][error.attribute] == error.dirty
+            assert clean_tuples[error.row_index][error.attribute] == error.clean
+
+    def test_error_rate_roughly_respected(self):
+        w = generate_customers(CustomerConfig(n_tuples=1000, error_rate=0.05))
+        assert 20 <= len(w.errors) <= 90
+
+
+class TestOrdersWorkload:
+    def test_clean_satisfies_cinds(self):
+        w = generate_orders(OrdersConfig(n_orders=150))
+        assert holds(w.clean_db, w.cinds())
+
+    def test_dirty_violates_when_errors_injected(self):
+        w = generate_orders(OrdersConfig(n_orders=300, error_rate=0.08))
+        assert w.errors
+        assert not holds(w.db, w.cinds())
+
+    def test_deterministic(self):
+        w1 = generate_orders(OrdersConfig(n_orders=80, seed=2))
+        w2 = generate_orders(OrdersConfig(n_orders=80, seed=2))
+        assert w1.db == w2.db
+
+
+class TestCardBillingWorkload:
+    def test_truth_pairs_cover_population(self):
+        config = CardBillingConfig(n_people=30, billings_per_person=2)
+        w = generate_card_billing(config)
+        assert len(w.truth) == 60
+        assert len(w.card) == 30
+        assert len(w.billing) == 60 + config.unrelated_billing
+
+    def test_deterministic(self):
+        w1 = generate_card_billing(CardBillingConfig(n_people=20, seed=9))
+        w2 = generate_card_billing(CardBillingConfig(n_people=20, seed=9))
+        assert w1.db == w2.db
+
+    def test_truth_pairs_share_cnum(self):
+        w = generate_card_billing(CardBillingConfig(n_people=15))
+        for card_t, billing_t in w.truth:
+            assert card_t["cnum"] == billing_t["cnum"]
+
+    def test_variation_actually_varies(self):
+        w = generate_card_billing(
+            CardBillingConfig(n_people=40, variation_rate=1.0)
+        )
+        varied = sum(
+            1
+            for card_t, billing_t in w.truth
+            if card_t["FN"] != billing_t["FN"] or card_t["addr"] != billing_t["post"]
+        )
+        assert varied > len(w.truth) * 0.8
