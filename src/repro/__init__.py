@@ -8,6 +8,7 @@ A from-scratch implementation of the framework surveyed in
 Subpackages
 -----------
 ``repro.relational``   typed domains, schemas, instances, algebra, queries
+``repro.engine``       indexed execution: shared scans, batch planning
 ``repro.deps``         FDs, INDs, denial constraints, Armstrong proofs
 ``repro.cfd``          conditional functional dependencies and eCFDs (§2.1/§2.3)
 ``repro.cind``         conditional inclusion dependencies (§2.2)

@@ -69,11 +69,24 @@ class DetectionReport:
 
 
 def detect_violations(
-    db: DatabaseInstance, dependencies: Iterable[Dependency]
+    db: DatabaseInstance, dependencies: Iterable[Dependency], engine: bool = True
 ) -> DetectionReport:
-    """Run every dependency's detector and aggregate into a report."""
+    """Batch violation detection, aggregated into a report.
+
+    With ``engine=True`` (the default) the dependency set is planned and
+    executed over shared relation indexes — each relation is partitioned
+    once per LHS signature no matter how many dependencies or tableau rows
+    share it.  ``engine=False`` keeps the per-dependency loop (each
+    detector still hits the shared index cache; this switch only disables
+    the cross-dependency plan).
+    """
+    deps = list(dependencies)
+    if engine:
+        from repro.engine.executor import detect_violations_indexed
+
+        return detect_violations_indexed(db, deps)
     found: List[Violation] = []
-    for dep in dependencies:
+    for dep in deps:
         found.extend(dep.violations(db))
     return DetectionReport(found)
 

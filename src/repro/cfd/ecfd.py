@@ -25,6 +25,7 @@ import itertools
 from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple as PyTuple
 
 from repro.deps.base import Dependency, Violation
+from repro.engine.indexes import canonical_signature, key_getter
 from repro.errors import DependencyError
 from repro.relational.instance import DatabaseInstance, RelationInstance
 from repro.relational.schema import RelationSchema
@@ -126,34 +127,91 @@ class ECFD(Dependency):
     def lhs_matches(self, t: Tuple) -> bool:
         return all(_matches(t[a], self.pattern[a]) for a in self.lhs)
 
-    def violations(self, db: DatabaseInstance) -> Iterator[Violation]:
-        relation = db.relation(self.relation_name)
-        selected = [t for t in relation if self.lhs_matches(t)]
-        for t in selected:
-            bad = [
-                a
-                for a in self.rhs
-                if not _matches(t[a], self.pattern[a])
-            ]
-            if bad:
-                yield Violation(
-                    self,
-                    [(self.relation_name, t)],
-                    f"{self.name}: RHS pattern fails on {bad}",
-                )
-        groups: Dict[tuple, List[Tuple]] = {}
-        for t in selected:
-            groups.setdefault(t[list(self.lhs)], []).append(t)
-        for group in groups.values():
+    @property
+    def scan_signature(self) -> PyTuple[str, ...]:
+        """Canonical LHS signature; shares partitions with FDs and CFDs."""
+        return canonical_signature(self.lhs)
+
+    def lhs_key_matches(self, signature: Sequence[str], key: tuple) -> bool:
+        """LHS set-pattern match on a partition key (projection on
+        ``signature``); depends only on t[X], so it decides whole groups."""
+        by_attr = dict(zip(signature, key))
+        return all(_matches(by_attr[a], self.pattern[a]) for a in self.lhs)
+
+    def scan_tasks(self, schema: RelationSchema) -> List["ScanTask"]:
+        """One compiled sweep task with set-pattern key matching."""
+        from repro.engine.scan import ScanTask
+
+        signature = self.scan_signature
+        key_position = {a: i for i, a in enumerate(signature)}
+        lhs_checks = [
+            (key_position[a], self.pattern[a])
+            for a in self.lhs
+            if self.pattern[a] is not ANY
+        ]
+        rhs_checks = [
+            (schema.index_of(a), a, self.pattern[a])
+            for a in self.rhs
+            if self.pattern[a] is not ANY
+        ]
+        rhs_of = key_getter(schema, self.rhs)
+
+        def match(key: tuple) -> bool:
+            return all(p.matches(key[i]) for i, p in lhs_checks)
+
+        def evaluate(group, out: list) -> None:
+            if rhs_checks:
+                for t in group:
+                    values = t.values()
+                    bad = [a for p, a, pat in rhs_checks if not pat.matches(values[p])]
+                    if bad:
+                        out.append(
+                            Violation(
+                                self,
+                                [(self.relation_name, t)],
+                                f"{self.name}: RHS pattern fails on {bad}",
+                            )
+                        )
+            if len(group) < 2:
+                return
             first = group[0]
+            first_rhs = rhs_of(first.values())
             for other in group[1:]:
-                if first[list(self.rhs)] != other[list(self.rhs)]:
-                    yield Violation(
-                        self,
-                        [(self.relation_name, first), (self.relation_name, other)],
-                        f"{self.name}: agree on {list(self.lhs)} but differ on "
-                        f"{list(self.rhs)}",
+                if first_rhs != rhs_of(other.values()):
+                    out.append(
+                        Violation(
+                            self,
+                            [(self.relation_name, first), (self.relation_name, other)],
+                            f"{self.name}: agree on {list(self.lhs)} but differ on "
+                            f"{list(self.rhs)}",
+                        )
                     )
+
+        return [
+            ScanTask(
+                None,
+                [],
+                evaluate,
+                skip_singletons=not rhs_checks,
+                match_fn=match,
+            )
+        ]
+
+    def group_violations(self, group: Sequence[Tuple]) -> Iterator[Violation]:
+        """Violations within one X-partition whose key matched the LHS."""
+        group = list(group)
+        if not group:
+            return
+        out: List[Violation] = []
+        self.scan_tasks(group[0].schema)[0].evaluate(group, out)
+        yield from out
+
+    def violations(self, db: DatabaseInstance) -> Iterator[Violation]:
+        from repro.engine.scan import run_scan_tasks
+
+        relation = db.relation(self.relation_name)
+        groups = relation.indexes.group_index(self.scan_signature)
+        yield from run_scan_tasks(groups, self.scan_tasks(relation.schema))
 
     def __repr__(self) -> str:
         rendered = ", ".join(f"{a}{self.pattern[a]!r}" for a in self.lhs + self.rhs)

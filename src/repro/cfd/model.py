@@ -22,6 +22,8 @@ from typing import Any, Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
 from repro.deps.base import Dependency, Violation
 from repro.deps.fd import FD
+from repro.engine.indexes import canonical_signature, key_getter
+from repro.engine.scan import ScanTask, run_scan_tasks
 from repro.errors import DependencyError
 from repro.relational.instance import DatabaseInstance
 from repro.relational.schema import RelationSchema
@@ -234,37 +236,67 @@ class CFD(Dependency):
         """True iff no tableau row has a constant on the RHS."""
         return all(not tp.constants_on(self.rhs) for tp in self.tableau)
 
-    def violations(self, db: DatabaseInstance) -> Iterator[Violation]:
-        relation = db.relation(self.relation_name)
+    @property
+    def scan_signature(self) -> PyTuple[str, ...]:
+        """Canonical LHS signature; CFDs sharing it share one partition."""
+        return canonical_signature(self.lhs)
+
+    def pattern_key_matches(
+        self, tp: PatternTuple, signature: Sequence[str], key: tuple
+    ) -> bool:
+        """Does a partition key (projection on ``signature``) match tp on X?
+
+        Pattern matching on X depends only on t[X], so whole partitions
+        match or fail together — the engine tests the key once per group
+        instead of once per tuple.
+        """
+        return all(matches(v, tp.get(a)) for a, v in zip(signature, key))
+
+    def _compile_evaluator(self, tp: PatternTuple, schema: RelationSchema):
+        """Positional evaluator for one row within one X-partition.
+
+        Every tuple in a partition agrees on X, so the embedded FD can only
+        be violated within it, and the single-tuple RHS-constant check is
+        local to it as well.  Attribute names resolve to value positions
+        here, once, keeping the per-group loop free of name lookups.
+        """
         lhs = list(self.lhs)
         rhs = list(self.rhs)
-        for tp in self.tableau:
-            # Select Dtp = tuples matching tp on X.
-            selected = [t for t in relation if tp.matches_tuple(t, lhs)]
-            rhs_constants = tp.constants_on(rhs)
-            # Single-tuple violations against RHS constants.
-            for t in selected:
-                bad = {
-                    a: c for a, c in rhs_constants.items() if t[a] != c
-                }
-                if bad:
-                    yield Violation(
-                        self,
-                        [(self.relation_name, t)],
-                        f"{self.name}: tuple matches {tp!r} on LHS but has "
-                        f"{ {a: t[a] for a in bad} } instead of {bad}",
-                    )
-            # Pair violations: same X values, different Y values.
-            groups: Dict[tuple, List[Tuple]] = {}
-            for t in selected:
-                groups.setdefault(t[lhs], []).append(t)
-            for group in groups.values():
-                if len(group) < 2:
-                    continue
-                first = group[0]
-                for other in group[1:]:
-                    if first[rhs] != other[rhs]:
-                        yield Violation(
+        rhs_of = key_getter(schema, rhs)
+        rhs_constants = [
+            (schema.index_of(a), a, c) for a, c in tp.constants_on(rhs).items()
+        ]
+
+        def single_violation(t: Tuple, bad: Dict[str, Any]) -> Violation:
+            return Violation(
+                self,
+                [(self.relation_name, t)],
+                f"{self.name}: tuple matches {tp!r} on LHS but has "
+                f"{ {a: t[a] for a in bad} } instead of {bad}",
+            )
+
+        def evaluate(group: Sequence[Tuple], out: list) -> None:
+            if len(rhs_constants) == 1:
+                # Overwhelmingly common shape: one constant to check, and
+                # clean tuples exit on a single comparison.
+                p, a, c = rhs_constants[0]
+                for t in group:
+                    if t.values()[p] != c:
+                        out.append(single_violation(t, {a: c}))
+            elif rhs_constants:
+                for t in group:
+                    values = t.values()
+                    bad = {a: c for p, a, c in rhs_constants if values[p] != c}
+                    if bad:
+                        out.append(single_violation(t, bad))
+            if len(group) < 2:
+                return
+            first = group[0]
+            first_rhs = rhs_of(first.values())
+            for other in group[1:]:
+                if first_rhs != rhs_of(other.values()):
+                    out.append(
+                        Violation(
                             self,
                             [
                                 (self.relation_name, first),
@@ -273,6 +305,54 @@ class CFD(Dependency):
                             f"{self.name}: tuples agree on {lhs} (matching "
                             f"{tp!r}) but differ on {rhs}",
                         )
+                    )
+
+        return evaluate, bool(rhs_constants)
+
+    def scan_tasks(self, schema: RelationSchema) -> List[ScanTask]:
+        """One compiled :class:`~repro.engine.scan.ScanTask` per tableau row."""
+        signature = self.scan_signature
+        tasks: List[ScanTask] = []
+        for tp in self.tableau:
+            evaluate, has_rhs_constants = self._compile_evaluator(tp, schema)
+            if tp.is_constant_on(signature):
+                # Fully-constant pattern: the matching partition is a
+                # single hash lookup instead of a sweep.
+                lookup = tuple(tp[a] for a in signature)
+                key_constants: List[tuple] = []
+            else:
+                lookup = None
+                key_constants = [
+                    (i, tp[a])
+                    for i, a in enumerate(signature)
+                    if tp.get(a) is not UNNAMED
+                ]
+            tasks.append(
+                ScanTask(
+                    lookup,
+                    key_constants,
+                    evaluate,
+                    skip_singletons=not has_rhs_constants,
+                )
+            )
+        return tasks
+
+    def pattern_group_violations(
+        self, tp: PatternTuple, group: Sequence[Tuple]
+    ) -> Iterator[Violation]:
+        """Violations of one pattern row within one X-partition."""
+        group = list(group)
+        if not group:
+            return
+        evaluate, _ = self._compile_evaluator(tp, group[0].schema)
+        out: List[Violation] = []
+        evaluate(group, out)
+        yield from out
+
+    def violations(self, db: DatabaseInstance) -> Iterator[Violation]:
+        relation = db.relation(self.relation_name)
+        groups = relation.indexes.group_index(self.scan_signature)
+        yield from run_scan_tasks(groups, self.scan_tasks(relation.schema))
 
     def __repr__(self) -> str:
         return (

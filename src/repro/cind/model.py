@@ -17,6 +17,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
 from repro.deps.base import Dependency, Violation
 from repro.deps.ind import IND
+from repro.engine.indexes import key_getter
 from repro.errors import DependencyError
 from repro.relational.instance import DatabaseInstance
 from repro.relational.schema import DatabaseSchema
@@ -123,19 +124,37 @@ class CIND(Dependency):
     def violations(self, db: DatabaseInstance) -> Iterator[Violation]:
         source = db.relation(self.lhs_relation)
         target = db.relation(self.rhs_relation)
+        # Target tuples indexed by Yp projection → set of Y projections,
+        # built once per (relation, Yp, Y) signature and cached on the
+        # relation, so it is shared across tableau rows *and* across every
+        # CIND with the same signature (previously rebuilt per row).
+        target_index = target.indexes.grouped_key_sets(
+            self.rhs_pattern_attrs, self.rhs_attrs
+        )
+        # Source tuples partitioned by Xp projection: each row touches only
+        # the tuples it conditions on instead of scanning the relation.
+        source_groups = (
+            source.indexes.group_index(self.lhs_pattern_attrs)
+            if self.lhs_pattern_attrs
+            else None
+        )
+        empty: frozenset = frozenset()
+        key_of = key_getter(source.schema, self.lhs_attrs)
         for row in self.tableau:
             lhs_pat = self.lhs_pattern(row)
             rhs_pat = self.rhs_pattern(row)
-            # Index matching target tuples by their Y projection.
-            matching_keys = {
-                t2[list(self.rhs_attrs)]
-                for t2 in target
-                if all(t2[a] == v for a, v in rhs_pat.items())
-            }
-            for t1 in source:
-                if not all(t1[a] == v for a, v in lhs_pat.items()):
-                    continue
-                if t1[list(self.lhs_attrs)] not in matching_keys:
+            matching_keys = target_index.get(
+                tuple(rhs_pat[a] for a in self.rhs_pattern_attrs), empty
+            )
+            candidates = (
+                source_groups.get(
+                    tuple(lhs_pat[a] for a in self.lhs_pattern_attrs), ()
+                )
+                if source_groups is not None
+                else source
+            )
+            for t1 in candidates:
+                if key_of(t1.values()) not in matching_keys:
                     yield Violation(
                         self,
                         [(self.lhs_relation, t1)],

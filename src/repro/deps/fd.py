@@ -49,23 +49,63 @@ class FD(Dependency):
         schema.check_attributes(self.lhs)
         schema.check_attributes(self.rhs)
 
-    def violations(self, db: DatabaseInstance) -> Iterator[Violation]:
-        relation = db.relation(self.relation_name)
-        # Empty-LHS FDs require all tuples to agree on rhs; group_by(()) puts
-        # everything in one group, which handles that uniformly.
-        for _, group in relation.group_by(self.lhs).items():
+    @property
+    def scan_signature(self) -> PyTuple[str, ...]:
+        """Canonical LHS signature; FDs and CFDs sharing it share a partition."""
+        from repro.engine.indexes import canonical_signature
+
+        return canonical_signature(self.lhs)
+
+    def scan_tasks(self, schema: RelationSchema) -> List["ScanTask"]:
+        """One compiled sweep task: pair violations within each partition.
+
+        Within a partition all tuples agree on X, so each tuple disagreeing
+        with the first on the RHS is a pair violation; singleton groups are
+        skipped by the executor before any call is made.
+        """
+        from repro.engine.scan import ScanTask
+
+        from repro.engine.indexes import key_getter
+
+        rhs_of = key_getter(schema, self.rhs)
+        message = (
+            f"tuples agree on {list(self.lhs)} but differ on {list(self.rhs)}"
+        )
+
+        def evaluate(group, out: list) -> None:
             if len(group) < 2:
-                continue
-            # Within a group all tuples must agree on rhs; report each tuple
-            # disagreeing with the first as a pair violation.
+                return
             first = group[0]
+            first_rhs = rhs_of(first.values())
             for other in group[1:]:
-                if first[list(self.rhs)] != other[list(self.rhs)]:
-                    yield Violation(
-                        self,
-                        [(self.relation_name, first), (self.relation_name, other)],
-                        f"tuples agree on {list(self.lhs)} but differ on {list(self.rhs)}",
+                if first_rhs != rhs_of(other.values()):
+                    out.append(
+                        Violation(
+                            self,
+                            [(self.relation_name, first), (self.relation_name, other)],
+                            message,
+                        )
                     )
+
+        return [ScanTask(None, [], evaluate, skip_singletons=True)]
+
+    def group_violations(self, group: Sequence["object"]) -> Iterator[Violation]:
+        """Pair violations within one X-partition (all tuples agree on X)."""
+        group = list(group)
+        if len(group) < 2:
+            return
+        out: List[Violation] = []
+        self.scan_tasks(group[0].schema)[0].evaluate(group, out)
+        yield from out
+
+    def violations(self, db: DatabaseInstance) -> Iterator[Violation]:
+        from repro.engine.scan import run_scan_tasks
+
+        relation = db.relation(self.relation_name)
+        # Empty-LHS FDs require all tuples to agree on rhs; the index puts
+        # everything in one group keyed by (), which handles that uniformly.
+        groups = relation.indexes.group_index(self.scan_signature)
+        yield from run_scan_tasks(groups, self.scan_tasks(relation.schema))
 
     def __repr__(self) -> str:
         return f"FD({self.relation_name}: {list(self.lhs)} -> {list(self.rhs)})"

@@ -16,6 +16,7 @@ import itertools
 from typing import Iterable, Iterator, List, Sequence, Set, Tuple as PyTuple
 
 from repro.deps.base import Dependency, Violation
+from repro.engine.indexes import key_getter
 from repro.errors import DependencyError
 from repro.relational.instance import DatabaseInstance
 
@@ -52,11 +53,13 @@ class IND(Dependency):
         return (self.lhs_relation, self.rhs_relation)
 
     def violations(self, db: DatabaseInstance) -> Iterator[Violation]:
-        target = {
-            t[list(self.rhs_attrs)] for t in db.relation(self.rhs_relation)
-        }
-        for t in db.relation(self.lhs_relation):
-            if t[list(self.lhs_attrs)] not in target:
+        # The target key set is a cached index: built once per
+        # (relation, attrs) and shared across every IND/CIND that needs it.
+        target = db.relation(self.rhs_relation).indexes.key_set(self.rhs_attrs)
+        source = db.relation(self.lhs_relation)
+        key_of = key_getter(source.schema, self.lhs_attrs)
+        for t in source:
+            if key_of(t.values()) not in target:
                 yield Violation(
                     self,
                     [(self.lhs_relation, t)],

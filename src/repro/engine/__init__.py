@@ -1,0 +1,53 @@
+"""Indexed execution engine: one shared scan layer under every detector.
+
+Layering (see ``docs/engine.md``):
+
+* **storage** — :class:`~repro.relational.instance.RelationInstance` owns a
+  mutation version counter and lazily-built hash indexes
+  (:mod:`repro.engine.indexes`);
+* **planning** — :mod:`repro.engine.planner` groups a dependency set by the
+  indexes its members share (relation + canonical LHS signature for
+  FD/CFD/eCFD, target key signature for IND/CIND);
+* **execution** — :mod:`repro.engine.executor` partitions each relation
+  once per signature and evaluates every pattern tuple of every member
+  against the shared partitions;
+* **incremental** — :mod:`repro.engine.incremental` re-checks consistency
+  after single-tuple edits touching only the affected partitions (used by
+  repair checking);
+* **reference** — :mod:`repro.engine.naive` keeps the original full-scan
+  detectors as the correctness oracle and benchmark baseline.
+"""
+
+from repro.engine.executor import (
+    ExecutionStats,
+    detect_violations_indexed,
+    execute_plan,
+)
+from repro.engine.incremental import IncrementalChecker
+from repro.engine.indexes import IndexStats, RelationIndexes, canonical_signature
+from repro.engine.naive import detect_violations_naive, naive_violations
+from repro.engine.planner import (
+    DetectionPlan,
+    InclusionGroup,
+    ScanGroup,
+    plan_detection,
+)
+from repro.engine.scan import ScanTask, run_scan_tasks
+
+__all__ = [
+    "DetectionPlan",
+    "ExecutionStats",
+    "InclusionGroup",
+    "IncrementalChecker",
+    "IndexStats",
+    "RelationIndexes",
+    "ScanGroup",
+    "ScanTask",
+    "canonical_signature",
+    "detect_violations_indexed",
+    "detect_violations_naive",
+    "execute_plan",
+    "naive_violations",
+    "plan_detection",
+    "run_scan_tasks",
+]

@@ -1,0 +1,227 @@
+"""Incremental consistency re-checking for single-tuple edits.
+
+Repair checking (X-repair maximality, U-repair local minimality) asks the
+same question over and over: *starting from a database known to satisfy Σ,
+does it still satisfy Σ after putting one tuple back / reverting one cell?*
+The naive answer copies the whole database and re-runs every detector; the
+incremental answer observes that a single-tuple change can only create
+violations in the partitions it touches:
+
+* removing a tuple never creates FD/CFD/eCFD violations (their violation
+  sets are monotone in the relation), so only the *added* tuple's
+  LHS-partition needs re-evaluation;
+* an added tuple can violate an inclusion dependency only as its own
+  source tuple;
+* removing a tuple from an inclusion *target* can strand exactly the
+  source tuples demanding its key — a hash-index lookup, not a scan;
+* adding a target tuple never creates inclusion violations.
+
+Dependency classes outside FD/CFD/eCFD/IND/CIND fall back to a materialized
+trial copy, checked fully, so the result is exact for arbitrary mixes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.deps.base import Dependency
+from repro.relational.instance import DatabaseInstance
+from repro.relational.tuples import Tuple
+
+__all__ = ["IncrementalChecker"]
+
+
+class IncrementalChecker:
+    """Re-check Σ after one remove/add against a consistent base.
+
+    The base database must satisfy every dependency at construction time
+    (both call sites in :mod:`repro.repair.checking` establish this before
+    probing); ``consistent_after`` then answers for the hypothetical
+    instance ``db − removed + added`` on one relation without materializing
+    it (except for fallback dependency classes).
+    """
+
+    def __init__(self, db: DatabaseInstance, dependencies: Sequence[Dependency]):
+        from repro.cfd.ecfd import ECFD
+        from repro.cfd.model import CFD
+        from repro.cind.model import CIND
+        from repro.deps.fd import FD
+        from repro.deps.ind import IND
+
+        self._db = db
+        # Scan deps are compiled once here: (signature, tasks) per dep, so
+        # each probe is pure group evaluation with no recompilation.
+        self._scans: Dict[str, List[tuple]] = {}
+        self._sources: Dict[str, List[Dependency]] = {}
+        self._targets: Dict[str, List[Dependency]] = {}
+        self._fallback: List[Dependency] = []
+        for dep in dependencies:
+            if isinstance(dep, (CFD, ECFD, FD)):
+                schema = db.relation(dep.relation_name).schema
+                self._scans.setdefault(dep.relation_name, []).append(
+                    (dep.scan_signature, dep.scan_tasks(schema))
+                )
+            elif isinstance(dep, (CIND, IND)):
+                self._sources.setdefault(dep.lhs_relation, []).append(dep)
+                self._targets.setdefault(dep.rhs_relation, []).append(dep)
+            else:
+                self._fallback.append(dep)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _provided(
+        self,
+        relation_name: str,
+        combined_attrs: List[str],
+        combined_key: tuple,
+        removed: Optional[Tuple],
+        added: Optional[Tuple],
+        changed_relation: str,
+    ) -> bool:
+        """Does the modified target still hold a tuple projecting to
+        ``combined_key`` on ``combined_attrs``?"""
+        providers = (
+            self._db.relation(relation_name)
+            .indexes.group_index(combined_attrs)
+            .get(combined_key, ())
+        )
+        same_relation = relation_name == changed_relation
+        for t in providers:
+            if not (same_relation and t == removed):
+                return True
+        return (
+            same_relation
+            and added is not None
+            and added[combined_attrs] == combined_key
+        )
+
+    def _inclusion_attrs(self, dep) -> List[tuple]:
+        """(lhs_pattern, rhs_pattern) pairs, one per row, over IND/CIND."""
+        from repro.cind.model import CIND
+
+        if isinstance(dep, CIND):
+            return [
+                (dep.lhs_pattern(row), dep.rhs_pattern(row)) for row in dep.tableau
+            ]
+        return [({}, {})]  # plain IND: one unconditional row
+
+    # -- the check -------------------------------------------------------
+
+    def consistent_after(
+        self,
+        relation_name: str,
+        removed: Optional[Tuple] = None,
+        added: Optional[Tuple] = None,
+    ) -> bool:
+        """Σ ⊨ (db − removed + added) on ``relation_name``?"""
+        from repro.cind.model import CIND
+
+        if removed == added:
+            return True
+        relation = self._db.relation(relation_name)
+        if added is not None and added in relation and added != removed:
+            # Set semantics: the addition is a no-op; only the removal acts.
+            added = None
+            if removed is None:
+                return True
+
+        # 1. FD/CFD/eCFD: only the added tuple's LHS-partition can go bad.
+        if added is not None:
+            for signature, tasks in self._scans.get(relation_name, ()):
+                key = added[list(signature)]
+                base_group = relation.indexes.group_index(signature).get(key, ())
+                group = [t for t in base_group if t != removed]
+                group.append(added)
+                singleton = len(group) < 2
+                for task in tasks:
+                    if singleton and task.skip_singletons:
+                        continue
+                    if task.lookup_key is not None:
+                        if task.lookup_key != key:
+                            continue
+                    elif not task.matches(key):
+                        continue
+                    found: list = []
+                    task.evaluate(group, found)
+                    if found:
+                        return False
+
+        # 2. Inclusions where the changed relation is the source: only the
+        #    added tuple can newly demand a missing target key.
+        if added is not None:
+            for dep in self._sources.get(relation_name, ()):
+                is_cind = isinstance(dep, CIND)
+                for lhs_pat, rhs_pat in self._inclusion_attrs(dep):
+                    if is_cind and any(
+                        added[a] != v for a, v in lhs_pat.items()
+                    ):
+                        continue
+                    combined_attrs = list(dep.rhs_pattern_attrs) + list(
+                        dep.rhs_attrs
+                    ) if is_cind else list(dep.rhs_attrs)
+                    combined_key = (
+                        tuple(rhs_pat[a] for a in dep.rhs_pattern_attrs)
+                        if is_cind
+                        else ()
+                    ) + added[list(dep.lhs_attrs)]
+                    if not self._provided(
+                        dep.rhs_relation,
+                        combined_attrs,
+                        combined_key,
+                        removed,
+                        added,
+                        relation_name,
+                    ):
+                        return False
+
+        # 3. Inclusions where the changed relation is the target: removing
+        #    a provider strands exactly the source tuples demanding its key.
+        if removed is not None:
+            for dep in self._targets.get(relation_name, ()):
+                is_cind = isinstance(dep, CIND)
+                for lhs_pat, rhs_pat in self._inclusion_attrs(dep):
+                    if is_cind and any(
+                        removed[a] != v for a, v in rhs_pat.items()
+                    ):
+                        continue  # removed tuple was no provider for this row
+                    combined_attrs = list(dep.rhs_pattern_attrs) + list(
+                        dep.rhs_attrs
+                    ) if is_cind else list(dep.rhs_attrs)
+                    combined_key = removed[combined_attrs]
+                    if self._provided(
+                        dep.rhs_relation,
+                        combined_attrs,
+                        combined_key,
+                        removed,
+                        added,
+                        relation_name,
+                    ):
+                        continue  # another tuple still provides the key
+                    # The key is gone: any surviving source tuple demanding
+                    # it witnesses a violation.
+                    demand_key = removed[list(dep.rhs_attrs)]
+                    source = self._db.relation(dep.lhs_relation)
+                    demanders = source.indexes.group_index(
+                        tuple(dep.lhs_attrs)
+                    ).get(demand_key, ())
+                    source_changed = dep.lhs_relation == relation_name
+                    for t1 in demanders:
+                        if source_changed and t1 == removed:
+                            continue
+                        if is_cind and any(
+                            t1[a] != v for a, v in lhs_pat.items()
+                        ):
+                            continue
+                        return False
+
+        # 4. Everything else: materialize the trial for the fallback deps.
+        if self._fallback:
+            trial = self._db.copy()
+            if removed is not None:
+                trial.relation(relation_name).discard(removed)
+            if added is not None:
+                trial.relation(relation_name).add(added)
+            for dep in self._fallback:
+                if not dep.holds_on(trial):
+                    return False
+        return True

@@ -1,0 +1,184 @@
+"""Lazily-built, mutation-invalidated hash indexes over relation instances.
+
+This is the storage layer of the indexed execution engine: every detector
+(FD, CFD, eCFD, IND, CIND, MD blocking) asks the relation for the index it
+needs instead of re-scanning tuples.  Indexes are cached per
+:class:`~repro.relational.instance.RelationInstance` and keyed by the
+attribute signature, so two dependencies sharing a left-hand side share one
+partition of the data — the in-memory analogue of the paper's merged
+SQL detection queries, which touch the relation a fixed number of times no
+matter how many pattern tuples the tableaux hold.
+
+Invalidation is by version counter: ``RelationInstance`` bumps ``version``
+on every effective ``add``/``remove``/``discard``, and the index cache
+drops everything the next time it is consulted after a mutation.  ``copy``
+and ``filter`` build fresh instances, which start with empty caches.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple as PyTuple
+
+from repro.relational.tuples import Tuple
+
+__all__ = ["canonical_signature", "key_getter", "IndexStats", "RelationIndexes"]
+
+
+def canonical_signature(attributes: Iterable[str]) -> PyTuple[str, ...]:
+    """Order-insensitive attribute signature (sorted, duplicate-free).
+
+    Partitioning on ``{A, B}`` and on ``{B, A}`` yields the same groups, so
+    every engine component normalizes attribute sets to this form before
+    asking for an index — that is what lets dependencies with permuted
+    left-hand sides share one partition.
+    """
+    return tuple(sorted(dict.fromkeys(attributes)))
+
+
+def key_getter(schema: Any, attributes: Sequence[str]):
+    """Compile ``values → key tuple`` projection for ``attributes``.
+
+    The single authority for key shape across the engine: every index key
+    and every membership probe must be built by this helper so they agree.
+    ``itemgetter`` with one index returns a scalar, so the single-attribute
+    case wraps it to keep keys uniformly tuples; the empty signature maps
+    everything to ``()`` (empty-LHS dependencies: one global group).
+    """
+    positions = [schema.index_of(a) for a in attributes]
+    if not positions:
+        return lambda values: ()
+    if len(positions) == 1:
+        get = itemgetter(positions[0])
+        return lambda values: (get(values),)
+    return itemgetter(*positions)
+
+
+class IndexStats:
+    """Build/hit counters, exposed for tests and plan introspection."""
+
+    __slots__ = ("builds", "hits", "invalidations")
+
+    def __init__(self) -> None:
+        self.builds = 0
+        self.hits = 0
+        self.invalidations = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"IndexStats(builds={self.builds}, hits={self.hits}, "
+            f"invalidations={self.invalidations})"
+        )
+
+
+class RelationIndexes:
+    """Per-instance cache of hash indexes and columnar projections.
+
+    All returned structures are **read-only by contract**: they are shared
+    between every detector that asks for the same signature, and mutating
+    them would corrupt later lookups.  Groups preserve relation insertion
+    order (first-seen key order, insertion order within each group), which
+    keeps violation reports deterministic.
+    """
+
+    def __init__(self, relation: Any):
+        self._relation = relation
+        self._version = relation.version
+        self._groups: Dict[PyTuple[str, ...], Dict[tuple, List[Tuple]]] = {}
+        self._key_sets: Dict[PyTuple[str, ...], FrozenSet[tuple]] = {}
+        self._grouped_keys: Dict[
+            PyTuple[PyTuple[str, ...], PyTuple[str, ...]],
+            Dict[tuple, FrozenSet[tuple]],
+        ] = {}
+        self._projections: Dict[PyTuple[str, ...], List[tuple]] = {}
+        self.stats = IndexStats()
+
+    def _sync(self) -> None:
+        if self._version != self._relation.version:
+            self._groups.clear()
+            self._key_sets.clear()
+            self._grouped_keys.clear()
+            self._projections.clear()
+            self._version = self._relation.version
+            self.stats.invalidations += 1
+
+    def _key_getter(self, attrs: PyTuple[str, ...]):
+        return key_getter(self._relation.schema, attrs)
+
+    def group_index(self, attributes: Sequence[str]) -> Mapping[tuple, Sequence[Tuple]]:
+        """Hash partition: projection on ``attributes`` → tuples with it."""
+        self._sync()
+        attrs = tuple(attributes)
+        groups = self._groups.get(attrs)
+        if groups is None:
+            self.stats.builds += 1
+            key_of = self._key_getter(attrs)
+            groups = {}
+            setdefault = groups.setdefault
+            for t in self._relation:
+                setdefault(key_of(t.values()), []).append(t)
+            self._groups[attrs] = groups
+        else:
+            self.stats.hits += 1
+        return groups
+
+    def key_set(self, attributes: Sequence[str]) -> FrozenSet[tuple]:
+        """Distinct projections on ``attributes`` (IND/CIND membership)."""
+        self._sync()
+        attrs = tuple(attributes)
+        keys = self._key_sets.get(attrs)
+        if keys is None:
+            self.stats.builds += 1
+            key_of = self._key_getter(attrs)
+            keys = frozenset(key_of(t.values()) for t in self._relation)
+            self._key_sets[attrs] = keys
+        else:
+            self.stats.hits += 1
+        return keys
+
+    def grouped_key_sets(
+        self, group_attributes: Sequence[str], key_attributes: Sequence[str]
+    ) -> Mapping[tuple, FrozenSet[tuple]]:
+        """Per ``group_attributes`` value, the key set on ``key_attributes``.
+
+        This is the CIND target index: grouped by the Yp projection, keyed
+        by the Y projection, built once per (relation, Yp, Y) and reused
+        across every tableau row of every CIND with that signature.
+        """
+        self._sync()
+        cache_key = (tuple(group_attributes), tuple(key_attributes))
+        grouped = self._grouped_keys.get(cache_key)
+        if grouped is None:
+            self.stats.builds += 1
+            group_of = self._key_getter(cache_key[0])
+            key_of = self._key_getter(cache_key[1])
+            raw: Dict[tuple, set] = {}
+            for t in self._relation:
+                values = t.values()
+                raw.setdefault(group_of(values), set()).add(key_of(values))
+            grouped = {k: frozenset(v) for k, v in raw.items()}
+            self._grouped_keys[cache_key] = grouped
+        else:
+            self.stats.hits += 1
+        return grouped
+
+    def projection(self, attributes: Sequence[str]) -> Sequence[tuple]:
+        """Columnar projection: one value tuple per relation tuple, in order."""
+        self._sync()
+        attrs = tuple(attributes)
+        column = self._projections.get(attrs)
+        if column is None:
+            self.stats.builds += 1
+            key_of = self._key_getter(attrs)
+            column = [key_of(t.values()) for t in self._relation]
+            self._projections[attrs] = column
+        else:
+            self.stats.hits += 1
+        return column
+
+    def __repr__(self) -> str:
+        return (
+            f"RelationIndexes({self._relation.schema.name}@v{self._version}, "
+            f"{len(self._groups)} groups, {len(self._key_sets)} key sets, "
+            f"{len(self._grouped_keys)} grouped key sets, {self.stats!r})"
+        )

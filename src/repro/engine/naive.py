@@ -1,0 +1,167 @@
+"""Reference scan-based detectors (the pre-engine algorithms).
+
+These are the original per-dependency, per-tableau-row full-scan detectors,
+kept verbatim as the correctness oracle for the indexed engine: property
+tests assert that :func:`repro.engine.executor.execute_plan` returns the
+exact same violation set, and ``benchmarks/bench_engine_scaling.py`` uses
+them as the baseline for the asymptotic comparison.
+
+Do not use these in production paths — ``Dependency.violations`` is the
+indexed implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List
+
+from repro.deps.base import Dependency, Violation
+from repro.relational.instance import DatabaseInstance
+from repro.relational.tuples import Tuple
+
+__all__ = ["naive_violations", "detect_violations_naive"]
+
+
+def _cfd_violations(cfd, db: DatabaseInstance) -> Iterator[Violation]:
+    relation = db.relation(cfd.relation_name)
+    lhs = list(cfd.lhs)
+    rhs = list(cfd.rhs)
+    for tp in cfd.tableau:
+        # Select Dtp = tuples matching tp on X — one full scan per row.
+        selected = [t for t in relation if tp.matches_tuple(t, lhs)]
+        rhs_constants = tp.constants_on(rhs)
+        for t in selected:
+            bad = {a: c for a, c in rhs_constants.items() if t[a] != c}
+            if bad:
+                yield Violation(
+                    cfd,
+                    [(cfd.relation_name, t)],
+                    f"{cfd.name}: tuple matches {tp!r} on LHS but has "
+                    f"{ {a: t[a] for a in bad} } instead of {bad}",
+                )
+        groups: Dict[tuple, List[Tuple]] = {}
+        for t in selected:
+            groups.setdefault(t[lhs], []).append(t)
+        for group in groups.values():
+            if len(group) < 2:
+                continue
+            first = group[0]
+            for other in group[1:]:
+                if first[rhs] != other[rhs]:
+                    yield Violation(
+                        cfd,
+                        [(cfd.relation_name, first), (cfd.relation_name, other)],
+                        f"{cfd.name}: tuples agree on {lhs} (matching "
+                        f"{tp!r}) but differ on {rhs}",
+                    )
+
+
+def _ecfd_violations(ecfd, db: DatabaseInstance) -> Iterator[Violation]:
+    from repro.cfd.ecfd import _matches
+
+    relation = db.relation(ecfd.relation_name)
+    selected = [t for t in relation if ecfd.lhs_matches(t)]
+    for t in selected:
+        bad = [a for a in ecfd.rhs if not _matches(t[a], ecfd.pattern[a])]
+        if bad:
+            yield Violation(
+                ecfd,
+                [(ecfd.relation_name, t)],
+                f"{ecfd.name}: RHS pattern fails on {bad}",
+            )
+    groups: Dict[tuple, List[Tuple]] = {}
+    for t in selected:
+        groups.setdefault(t[list(ecfd.lhs)], []).append(t)
+    for group in groups.values():
+        first = group[0]
+        for other in group[1:]:
+            if first[list(ecfd.rhs)] != other[list(ecfd.rhs)]:
+                yield Violation(
+                    ecfd,
+                    [(ecfd.relation_name, first), (ecfd.relation_name, other)],
+                    f"{ecfd.name}: agree on {list(ecfd.lhs)} but differ on "
+                    f"{list(ecfd.rhs)}",
+                )
+
+
+def _fd_violations(fd, db: DatabaseInstance) -> Iterator[Violation]:
+    relation = db.relation(fd.relation_name)
+    for _, group in relation.group_by(fd.lhs).items():
+        if len(group) < 2:
+            continue
+        first = group[0]
+        for other in group[1:]:
+            if first[list(fd.rhs)] != other[list(fd.rhs)]:
+                yield Violation(
+                    fd,
+                    [(fd.relation_name, first), (fd.relation_name, other)],
+                    f"tuples agree on {list(fd.lhs)} but differ on {list(fd.rhs)}",
+                )
+
+
+def _ind_violations(ind, db: DatabaseInstance) -> Iterator[Violation]:
+    target = {t[list(ind.rhs_attrs)] for t in db.relation(ind.rhs_relation)}
+    for t in db.relation(ind.lhs_relation):
+        if t[list(ind.lhs_attrs)] not in target:
+            yield Violation(
+                ind,
+                [(ind.lhs_relation, t)],
+                f"no {ind.rhs_relation} tuple matches on "
+                f"{list(ind.rhs_attrs)}",
+            )
+
+
+def _cind_violations(cind, db: DatabaseInstance) -> Iterator[Violation]:
+    source = db.relation(cind.lhs_relation)
+    target = db.relation(cind.rhs_relation)
+    for row in cind.tableau:
+        lhs_pat = cind.lhs_pattern(row)
+        rhs_pat = cind.rhs_pattern(row)
+        # Rebuilds the target index once per tableau row — the hotspot the
+        # engine removes.
+        matching_keys = {
+            t2[list(cind.rhs_attrs)]
+            for t2 in target
+            if all(t2[a] == v for a, v in rhs_pat.items())
+        }
+        for t1 in source:
+            if not all(t1[a] == v for a, v in lhs_pat.items()):
+                continue
+            if t1[list(cind.lhs_attrs)] not in matching_keys:
+                yield Violation(
+                    cind,
+                    [(cind.lhs_relation, t1)],
+                    f"{cind.name}: no {cind.rhs_relation} tuple matches on "
+                    f"{list(cind.rhs_attrs)} with pattern {rhs_pat}",
+                )
+
+
+def naive_violations(dep: Dependency, db: DatabaseInstance) -> Iterator[Violation]:
+    """The original full-scan detector for ``dep`` (falls back to
+    ``dep.violations`` for dependency classes without a scan baseline)."""
+    from repro.cfd.ecfd import ECFD
+    from repro.cfd.model import CFD
+    from repro.cind.model import CIND
+    from repro.deps.fd import FD
+    from repro.deps.ind import IND
+
+    if isinstance(dep, CFD):
+        return _cfd_violations(dep, db)
+    if isinstance(dep, ECFD):
+        return _ecfd_violations(dep, db)
+    if isinstance(dep, FD):
+        return _fd_violations(dep, db)
+    if isinstance(dep, CIND):
+        return _cind_violations(dep, db)
+    if isinstance(dep, IND):
+        return _ind_violations(dep, db)
+    return dep.violations(db)
+
+
+def detect_violations_naive(db: DatabaseInstance, dependencies: Iterable[Dependency]):
+    """Per-dependency full scans aggregated into a DetectionReport."""
+    from repro.cfd.detect import DetectionReport
+
+    found: List[Violation] = []
+    for dep in dependencies:
+        found.extend(naive_violations(dep, db))
+    return DetectionReport(found)

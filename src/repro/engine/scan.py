@@ -1,0 +1,94 @@
+"""Compiled scan tasks: positional pattern evaluation over partitions.
+
+A :class:`ScanTask` is one tableau row (or FD / eCFD) compiled against a
+concrete relation schema: attribute names are resolved to value positions
+once, so the per-group inner loop is pure tuple indexing.  FD, CFD and
+eCFD expose ``scan_tasks(schema)``; both their own ``violations`` methods
+and the batch executor evaluate through the same compiled tasks, so the
+fast path and the facade cannot diverge.
+
+Task anatomy:
+
+* ``lookup_key`` — set when the pattern is constant on the whole scan
+  signature: the single matching partition is a hash lookup, no sweep;
+* ``key_constants`` / ``match_fn`` — for swept patterns, how to decide
+  from a partition *key* alone whether the group participates (pattern
+  matching on X depends only on t[X]);
+* ``skip_singletons`` — true when the row can only produce pair
+  violations, letting the sweep skip size-1 groups without a call;
+* ``evaluate(group, out)`` — append the row's violations within one
+  matching partition to ``out``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence, Tuple as PyTuple
+
+__all__ = ["ScanTask", "run_scan_tasks"]
+
+
+class ScanTask:
+    """One compiled pattern row ready to run against shared partitions."""
+
+    __slots__ = ("lookup_key", "key_constants", "match_fn", "skip_singletons", "evaluate")
+
+    def __init__(
+        self,
+        lookup_key: Optional[tuple],
+        key_constants: Sequence[PyTuple[int, object]],
+        evaluate: Callable[[Sequence, list], None],
+        skip_singletons: bool = False,
+        match_fn: Optional[Callable[[tuple], bool]] = None,
+    ):
+        self.lookup_key = lookup_key
+        self.key_constants = list(key_constants)
+        self.match_fn = match_fn
+        self.skip_singletons = skip_singletons
+        self.evaluate = evaluate
+
+    def matches(self, key: tuple) -> bool:
+        """Does the partition with this key participate in the row?"""
+        if self.match_fn is not None:
+            return self.match_fn(key)
+        for position, value in self.key_constants:
+            if key[position] != value:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        if self.lookup_key is not None:
+            return f"ScanTask(lookup {self.lookup_key})"
+        return (
+            f"ScanTask(sweep, {len(self.key_constants)} key constants, "
+            f"skip_singletons={self.skip_singletons})"
+        )
+
+
+def run_scan_tasks(
+    groups: Mapping[tuple, Sequence], tasks: Iterable[ScanTask]
+) -> Iterator:
+    """Drive compiled tasks over one partition map, yielding violations.
+
+    This is the single-dependency sweep driver shared by
+    ``FD/CFD/ECFD.violations`` (the batch executor interleaves many
+    dependencies' tasks per partition, so it keeps its own loop).  Lookup
+    tasks resolve by hash probe; sweep tasks visit each partition key once,
+    skipping singleton groups for pair-only rows.  Yields group-by-group so
+    ``holds_on`` short-circuits at the first violating partition.
+    """
+    for task in tasks:
+        if task.lookup_key is not None:
+            group = groups.get(task.lookup_key)
+            if group:
+                out: list = []
+                task.evaluate(group, out)
+                yield from out
+            continue
+        for key, group in groups.items():
+            if len(group) < 2 and task.skip_singletons:
+                continue
+            if task.matches(key):
+                out = []
+                task.evaluate(group, out)
+                if out:
+                    yield from out

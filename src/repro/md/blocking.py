@@ -40,8 +40,10 @@ class Blocker:
         self._right = right
         self._index: Dict[tuple, List[Tuple]] | None = None
         if self.equality_pairs:
+            # Shared engine index: rules blocking on the same attribute set
+            # reuse one partition of the right-hand instance.
             key_attrs = [b for _, b in self.equality_pairs]
-            self._index = right.group_by(key_attrs)
+            self._index = right.indexes.group_index(key_attrs)
 
     @property
     def is_indexed(self) -> bool:

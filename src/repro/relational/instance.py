@@ -17,6 +17,8 @@ from repro.relational.tuples import Tuple
 
 __all__ = ["RelationInstance", "DatabaseInstance"]
 
+_MISSING = object()
+
 
 class RelationInstance:
     """A finite set of tuples over one relation schema (insertion-ordered)."""
@@ -24,6 +26,8 @@ class RelationInstance:
     def __init__(self, schema: RelationSchema, tuples: Iterable[Tuple | Mapping | Sequence] = ()):
         self.schema = schema
         self._tuples: Dict[Tuple, None] = {}
+        self._version = 0
+        self._indexes = None
         for t in tuples:
             self.add(t)
 
@@ -39,16 +43,38 @@ class RelationInstance:
     def add(self, t: Tuple | Mapping | Sequence) -> Tuple:
         """Insert a tuple (idempotent under set semantics); return it."""
         coerced = self._coerce(t)
-        self._tuples.setdefault(coerced, None)
+        if coerced not in self._tuples:
+            self._tuples[coerced] = None
+            self._version += 1
         return coerced
 
     def remove(self, t: Tuple) -> None:
         """Delete a tuple (KeyError if absent)."""
         del self._tuples[t]
+        self._version += 1
 
     def discard(self, t: Tuple) -> None:
         """Delete a tuple if present."""
-        self._tuples.pop(t, None)
+        if self._tuples.pop(t, _MISSING) is not _MISSING:
+            self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumped on every effective add/remove/discard.
+
+        :class:`repro.engine.indexes.RelationIndexes` compares this against
+        the version its indexes were built at to decide invalidation.
+        """
+        return self._version
+
+    @property
+    def indexes(self) -> "Any":
+        """Lazily-built hash indexes over this instance (see repro.engine)."""
+        if self._indexes is None:
+            from repro.engine.indexes import RelationIndexes
+
+            self._indexes = RelationIndexes(self)
+        return self._indexes
 
     def __contains__(self, t: Tuple) -> bool:
         return t in self._tuples

@@ -20,6 +20,7 @@ import itertools
 from typing import List, Sequence, Set, Tuple as PyTuple
 
 from repro.deps.base import Dependency, all_violations, holds
+from repro.engine.incremental import IncrementalChecker
 from repro.relational.instance import DatabaseInstance
 from repro.relational.tuples import Tuple
 from repro.repair.models import CostModel
@@ -45,10 +46,11 @@ def is_x_repair(
         deleted.extend((rel, t) for t in old - new)
     if not holds(candidate, dependencies):
         return False
+    # Candidate is consistent, so each add-back probe only needs to re-check
+    # the partitions the restored tuple lands in, not the whole database.
+    checker = IncrementalChecker(candidate, dependencies)
     for rel, t in deleted:
-        trial = candidate.copy()
-        trial.relation(rel).add(t)
-        if holds(trial, dependencies):
+        if checker.consistent_after(rel, added=t):
             return False  # not maximal
     return True
 
@@ -131,11 +133,12 @@ def check_u_repair(
                     reversions.append((rel, n, attr, o[attr]))
     locally_minimal = True
     if consistent:
+        # Each reversion probe is a single-tuple replacement against the
+        # consistent candidate: re-check only the affected partitions.
+        checker = IncrementalChecker(candidate, dependencies)
         for rel, changed_tuple, attr, old_value in reversions:
-            trial = candidate.copy()
-            trial.relation(rel).discard(changed_tuple)
-            trial.relation(rel).add(changed_tuple.replace(**{attr: old_value}))
-            if holds(trial, dependencies):
+            reverted = changed_tuple.replace(**{attr: old_value})
+            if checker.consistent_after(rel, removed=changed_tuple, added=reverted):
                 locally_minimal = False
                 break
     return URepairCheck(consistent, locally_minimal, cost)

@@ -1,0 +1,78 @@
+"""Detection planner: signature grouping and fallback routing."""
+
+from repro.cfd.model import CFD, UNNAMED
+from repro.cind.model import CIND
+from repro.deps.denial import fd_as_denial
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.engine.planner import plan_detection
+
+
+def test_same_lhs_cfds_share_one_scan_group():
+    deps = [
+        CFD("R", ["A"], ["B"], [{"A": "u", "B": "x"}]),
+        CFD("R", ["A"], ["C"], [{"A": "v", "C": "y"}]),
+        FD("R", ["A"], ["B"]),
+    ]
+    plan = plan_detection(deps)
+    assert len(plan.scan_groups) == 1
+    group = plan.scan_groups[0]
+    assert group.relation_name == "R"
+    assert group.signature == ("A",)
+    assert [pos for pos, _ in group.members] == [0, 1, 2]
+    assert plan.shared_scans == 2
+
+
+def test_permuted_lhs_shares_partition():
+    deps = [
+        FD("R", ["A", "B"], ["C"]),
+        FD("R", ["B", "A"], ["C"]),
+    ]
+    plan = plan_detection(deps)
+    assert len(plan.scan_groups) == 1
+    assert plan.scan_groups[0].signature == ("A", "B")
+
+
+def test_different_relations_do_not_share():
+    deps = [FD("R", ["A"], ["B"]), FD("S", ["A"], ["B"])]
+    plan = plan_detection(deps)
+    assert len(plan.scan_groups) == 2
+
+
+def test_inclusion_grouping_by_target_signature():
+    deps = [
+        IND("R", ["A"], "S", ["A"]),
+        IND("T", ["A"], "S", ["A"]),
+        CIND("R", ["A"], "S", ["A"], rhs_pattern_attrs=["B"], tableau=[{"B": "x"}]),
+    ]
+    plan = plan_detection(deps)
+    # the two INDs share the (S, (), (A,)) index; the CIND needs (S, (B,), (A,))
+    assert len(plan.inclusion_groups) == 2
+    sizes = sorted(len(g.members) for g in plan.inclusion_groups)
+    assert sizes == [1, 2]
+    assert plan.shared_scans == 1
+
+
+def test_unsupported_dependency_goes_to_fallback():
+    denial = fd_as_denial(FD("R", ["A"], ["B"]))
+    plan = plan_detection([denial, FD("R", ["A"], ["B"])])
+    assert [pos for pos, _ in plan.fallback] == [0]
+    assert len(plan.scan_groups) == 1
+
+
+def test_describe_lists_every_dependency():
+    deps = [
+        CFD("R", ["A"], ["B"], [{"A": "u", "B": "x"}], name="phi-a"),
+        IND("R", ["A"], "S", ["A"]),
+        fd_as_denial(FD("R", ["A"], ["B"])),
+    ]
+    description = plan_detection(deps).describe()
+    assert "phi-a" in description
+    assert "fallback" in description
+    assert "inclusion into S" in description
+
+
+def test_positions_track_input_order_with_duplicates():
+    shared = CFD("R", ["A"], ["B"], [{"A": "u", "B": "x"}])
+    plan = plan_detection([shared, shared])
+    assert [pos for pos, _ in plan.scan_groups[0].members] == [0, 1]
