@@ -159,19 +159,39 @@ class ECFD(Dependency):
         def match(key: tuple) -> bool:
             return all(p.matches(key[i]) for i, p in lhs_checks)
 
+        pair_message = (
+            f"{self.name}: agree on {list(self.lhs)} but differ on "
+            f"{list(self.rhs)}"
+        )
+
+        def single(t, out: list) -> None:
+            if not rhs_checks:
+                return
+            values = t.values()
+            bad = [a for p, a, pat in rhs_checks if not pat.matches(values[p])]
+            if bad:
+                out.append(
+                    Violation(
+                        self,
+                        [(self.relation_name, t)],
+                        f"{self.name}: RHS pattern fails on {bad}",
+                    )
+                )
+
+        def pair(first, other, out: list) -> None:
+            if rhs_of(first.values()) != rhs_of(other.values()):
+                out.append(
+                    Violation(
+                        self,
+                        [(self.relation_name, first), (self.relation_name, other)],
+                        pair_message,
+                    )
+                )
+
         def evaluate(group, out: list) -> None:
             if rhs_checks:
                 for t in group:
-                    values = t.values()
-                    bad = [a for p, a, pat in rhs_checks if not pat.matches(values[p])]
-                    if bad:
-                        out.append(
-                            Violation(
-                                self,
-                                [(self.relation_name, t)],
-                                f"{self.name}: RHS pattern fails on {bad}",
-                            )
-                        )
+                    single(t, out)
             if len(group) < 2:
                 return
             first = group[0]
@@ -182,8 +202,7 @@ class ECFD(Dependency):
                         Violation(
                             self,
                             [(self.relation_name, first), (self.relation_name, other)],
-                            f"{self.name}: agree on {list(self.lhs)} but differ on "
-                            f"{list(self.rhs)}",
+                            pair_message,
                         )
                     )
 
@@ -194,6 +213,8 @@ class ECFD(Dependency):
                 evaluate,
                 skip_singletons=not rhs_checks,
                 match_fn=match,
+                single=single,
+                pair=pair,
             )
         ]
 

@@ -275,6 +275,29 @@ class CFD(Dependency):
                 f"{ {a: t[a] for a in bad} } instead of {bad}",
             )
 
+        pair_message = (
+            f"{self.name}: tuples agree on {lhs} (matching "
+            f"{tp!r}) but differ on {rhs}"
+        )
+
+        def single(t: Tuple, out: list) -> None:
+            if not rhs_constants:
+                return
+            values = t.values()
+            bad = {a: c for p, a, c in rhs_constants if values[p] != c}
+            if bad:
+                out.append(single_violation(t, bad))
+
+        def pair(first: Tuple, other: Tuple, out: list) -> None:
+            if rhs_of(first.values()) != rhs_of(other.values()):
+                out.append(
+                    Violation(
+                        self,
+                        [(self.relation_name, first), (self.relation_name, other)],
+                        pair_message,
+                    )
+                )
+
         def evaluate(group: Sequence[Tuple], out: list) -> None:
             if len(rhs_constants) == 1:
                 # Overwhelmingly common shape: one constant to check, and
@@ -302,19 +325,20 @@ class CFD(Dependency):
                                 (self.relation_name, first),
                                 (self.relation_name, other),
                             ],
-                            f"{self.name}: tuples agree on {lhs} (matching "
-                            f"{tp!r}) but differ on {rhs}",
+                            pair_message,
                         )
                     )
 
-        return evaluate, bool(rhs_constants)
+        return evaluate, single, pair, bool(rhs_constants)
 
     def scan_tasks(self, schema: RelationSchema) -> List[ScanTask]:
         """One compiled :class:`~repro.engine.scan.ScanTask` per tableau row."""
         signature = self.scan_signature
         tasks: List[ScanTask] = []
         for tp in self.tableau:
-            evaluate, has_rhs_constants = self._compile_evaluator(tp, schema)
+            evaluate, single, pair, has_rhs_constants = self._compile_evaluator(
+                tp, schema
+            )
             if tp.is_constant_on(signature):
                 # Fully-constant pattern: the matching partition is a
                 # single hash lookup instead of a sweep.
@@ -333,6 +357,8 @@ class CFD(Dependency):
                     key_constants,
                     evaluate,
                     skip_singletons=not has_rhs_constants,
+                    single=single,
+                    pair=pair,
                 )
             )
         return tasks
@@ -344,7 +370,7 @@ class CFD(Dependency):
         group = list(group)
         if not group:
             return
-        evaluate, _ = self._compile_evaluator(tp, group[0].schema)
+        evaluate, _, _, _ = self._compile_evaluator(tp, group[0].schema)
         out: List[Violation] = []
         evaluate(group, out)
         yield from out

@@ -1,4 +1,4 @@
-"""Command-line interface: detect, repair, discover over CSV files.
+"""Command-line interface: detect, repair, discover, stream over CSV files.
 
 Usage::
 
@@ -7,11 +7,15 @@ Usage::
                                 --output clean.csv data.csv
     python -m repro.cli discover --schema schema.json --max-lhs 2 \
                                  --min-support 5 data.csv
+    python -m repro.cli stream  --schema schema.json --rules rules.json \
+                                --batches 10 --batch-size 100 data.csv
 
 ``detect`` prints one line per violation and exits nonzero when the data
 is dirty, so it slots into shell pipelines and CI checks; ``repair``
 writes the repaired relation as CSV and a summary to stderr; ``discover``
-emits a rules JSON document on stdout.
+emits a rules JSON document on stdout; ``stream`` feeds seeded random edit
+batches through the delta engine and prints one violation-delta line per
+batch (``--verify`` cross-checks every batch against full re-detection).
 """
 
 from __future__ import annotations
@@ -64,6 +68,21 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--schema", required=True)
     discover.add_argument("--max-lhs", type=int, default=2)
     discover.add_argument("--min-support", type=int, default=3)
+
+    stream = sub.add_parser(
+        "stream", help="feed random edit batches through the delta engine"
+    )
+    stream.add_argument("data")
+    stream.add_argument("--schema", required=True)
+    stream.add_argument("--rules", required=True)
+    stream.add_argument("--batches", type=int, default=10)
+    stream.add_argument("--batch-size", type=int, default=100)
+    stream.add_argument("--seed", type=int, default=7)
+    stream.add_argument(
+        "--verify",
+        action="store_true",
+        help="cross-check every batch against full indexed re-detection",
+    )
 
     return parser
 
@@ -122,12 +141,37 @@ def _cmd_discover(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    from repro.engine.delta import DeltaEngine
+    from repro.workloads.stream import StreamConfig, run_stream
+
+    schema, db = _load(args)
+    rules = load_rules(args.rules, schema)
+    engine = DeltaEngine(db, rules)
+    print(f"start: {engine.total_violations()} violations", file=sys.stderr)
+    config = StreamConfig(
+        n_batches=args.batches, batch_size=args.batch_size, seed=args.seed
+    )
+    report = run_stream(db, rules, config, engine=engine, verify=args.verify)
+    for batch in report.batches:
+        print(
+            # ASCII only: this line goes to redirected stdout in pipelines,
+            # where the locale encoding may not cover U+2212
+            f"batch {batch.index}: {batch.edits} edits, "
+            f"+{batch.added} -{batch.removed} violations, "
+            f"{batch.total} total, {batch.seconds * 1e3:.2f} ms"
+        )
+    print(report.summary(), file=sys.stderr)
+    return 1 if report.final_violations else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "detect": _cmd_detect,
         "repair": _cmd_repair,
         "discover": _cmd_discover,
+        "stream": _cmd_stream,
     }
     return handlers[args.command](args)
 

@@ -72,6 +72,19 @@ class FD(Dependency):
             f"tuples agree on {list(self.lhs)} but differ on {list(self.rhs)}"
         )
 
+        def pair(first, other, out: list) -> None:
+            if rhs_of(first.values()) != rhs_of(other.values()):
+                out.append(
+                    Violation(
+                        self,
+                        [(self.relation_name, first), (self.relation_name, other)],
+                        message,
+                    )
+                )
+
+        def single(t, out: list) -> None:  # FDs have no single-tuple shape
+            return None
+
         def evaluate(group, out: list) -> None:
             if len(group) < 2:
                 return
@@ -87,7 +100,11 @@ class FD(Dependency):
                         )
                     )
 
-        return [ScanTask(None, [], evaluate, skip_singletons=True)]
+        return [
+            ScanTask(
+                None, [], evaluate, skip_singletons=True, single=single, pair=pair
+            )
+        ]
 
     def group_violations(self, group: Sequence["object"]) -> Iterator[Violation]:
         """Pair violations within one X-partition (all tuples agree on X)."""

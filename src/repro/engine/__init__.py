@@ -12,12 +12,23 @@ Layering (see ``docs/engine.md``):
   once per signature and evaluates every pattern tuple of every member
   against the shared partitions;
 * **incremental** — :mod:`repro.engine.incremental` re-checks consistency
-  after single-tuple edits touching only the affected partitions (used by
-  repair checking);
+  after single-tuple edits touching only the affected partitions;
+* **delta** — :mod:`repro.engine.delta` maintains the full violation set
+  under batched inserts/deletes/cell-updates (:class:`Changeset`),
+  returning added/removed violations per batch (used by repair and the
+  streaming workload);
 * **reference** — :mod:`repro.engine.naive` keeps the original full-scan
   detectors as the correctness oracle and benchmark baseline.
 """
 
+from repro.engine.delta import (
+    Changeset,
+    DeltaEngine,
+    DeltaStats,
+    StaleEngineError,
+    ViolationDelta,
+    violation_multiset,
+)
 from repro.engine.executor import (
     ExecutionStats,
     detect_violations_indexed,
@@ -35,8 +46,13 @@ from repro.engine.planner import (
 from repro.engine.scan import ScanTask, run_scan_tasks
 
 __all__ = [
+    "Changeset",
+    "DeltaEngine",
+    "DeltaStats",
     "DetectionPlan",
     "ExecutionStats",
+    "StaleEngineError",
+    "ViolationDelta",
     "InclusionGroup",
     "IncrementalChecker",
     "IndexStats",
@@ -50,4 +66,5 @@ __all__ = [
     "naive_violations",
     "plan_detection",
     "run_scan_tasks",
+    "violation_multiset",
 ]

@@ -1,0 +1,831 @@
+"""The delta engine: incremental violation maintenance under batched edits.
+
+The repair loop of §5 is detect → edit → re-detect, and PR 1's engine only
+re-checks *single-tuple* repair probes incrementally.  This module closes
+the gap for arbitrary batched edits: a :class:`Changeset` (inserts, deletes
+and cell updates) is applied to the versioned relation instances, and the
+:class:`DeltaEngine` answers with a :class:`ViolationDelta` — exactly which
+violations the batch created and which it resolved — while keeping the full
+current violation set available at all times.
+
+The maintenance strategy follows the same signature-sharing idea as the
+batch executor, localized to what the delta touches:
+
+* **FD/CFD/eCFD** — every violation (single-tuple or pair) lives entirely
+  inside one LHS-signature partition, so the engine keeps its own partition
+  map per scan group, patches it in place (preserving relation insertion
+  order, so a rebuild would produce the identical structure), and
+  re-evaluates the compiled scan tasks only on the partition keys the
+  batch touched;
+* **IND/CIND** — the engine keeps a reference-counted target key index per
+  (target relation, Yp, Y) signature and, per dependency tableau row, the
+  set of source tuples demanding each key.  A batch then resolves to key
+  *gains* (count 0 → >0: violations of the demanders disappear) and key
+  *losses* (count >0 → 0: the surviving demanders become violations), plus
+  the added/removed source tuples themselves — all hash lookups;
+* **anything else** (denial constraints, MDs, …) falls back to a targeted
+  re-scan, and only when the batch touches one of the dependency's
+  relations.
+
+Every ``apply`` also hands back the ``undo`` changeset that reverts the
+batch, which is what lets repair search trees (:mod:`repro.repair.xrepair`,
+:mod:`repro.repair.srepair`) explore edits without copying the database.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple as PyTuple,
+)
+
+from repro.deps.base import Dependency, Violation
+from repro.engine.indexes import key_getter
+from repro.engine.planner import plan_detection
+from repro.errors import ReproError
+from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational.tuples import Tuple
+
+__all__ = [
+    "Changeset",
+    "DeltaEngine",
+    "DeltaStats",
+    "StaleEngineError",
+    "ViolationDelta",
+    "violation_multiset",
+]
+
+
+def violation_multiset(violations: Iterable[Violation]) -> Counter:
+    """The canonical identity multiset for comparing violation reports.
+
+    One definition shared by every divergence check — the differential
+    test harness, ``run_stream(verify=True)``, and the incremental
+    benchmark — so they all enforce the same invariant: the dependency
+    *object* (``id``), plus the ordered witness tuples (so even
+    pair-violation orientation must agree).
+    """
+    return Counter((id(v.dependency), v.tuples) for v in violations)
+
+
+class StaleEngineError(ReproError):
+    """The underlying database was mutated behind the engine's back.
+
+    The delta engine maintains derived state (partitions, key counts,
+    violation sets) that is only valid for the relation versions it last
+    saw.  Route every mutation through :meth:`DeltaEngine.apply`, or call
+    :meth:`DeltaEngine.refresh` after mutating the instances directly.
+    """
+
+
+class Changeset:
+    """An ordered batch of edits against a database instance.
+
+    Three operations, chainable::
+
+        Changeset().insert("R", {"A": 1}).delete("R", t).update("R", t, B=2)
+
+    An update is a *cell edit*: the target tuple is replaced by
+    ``t.replace(**cells)``.  Application is sequential and follows set
+    semantics — inserting a present tuple or deleting an absent one is a
+    recorded no-op, so a changeset can be replayed safely.
+    """
+
+    __slots__ = ("_ops",)
+
+    _INSERT, _DELETE, _UPDATE = "insert", "delete", "update"
+
+    def __init__(self) -> None:
+        self._ops: List[PyTuple[str, str, Any]] = []
+
+    def insert(self, relation: str, row: Tuple | Mapping | Sequence) -> "Changeset":
+        self._ops.append((self._INSERT, relation, row))
+        return self
+
+    def delete(self, relation: str, t: Tuple | Mapping | Sequence) -> "Changeset":
+        self._ops.append((self._DELETE, relation, t))
+        return self
+
+    def update(
+        self, relation: str, t: Tuple | Mapping | Sequence, **cells: Any
+    ) -> "Changeset":
+        if not cells:
+            raise ValueError("update requires at least one cell assignment")
+        self._ops.append((self._UPDATE, relation, (t, cells)))
+        return self
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __bool__(self) -> bool:
+        return bool(self._ops)
+
+    def relations(self) -> List[str]:
+        """Relation names mentioned by the batch, in first-mention order."""
+        return list(dict.fromkeys(rel for _, rel, _ in self._ops))
+
+    @staticmethod
+    def _coerce(relation: RelationInstance, t: Tuple | Mapping | Sequence) -> Tuple:
+        if isinstance(t, Tuple):
+            return t
+        return Tuple(relation.schema, t)
+
+    def apply_to(
+        self, db: DatabaseInstance
+    ) -> Dict[str, List[PyTuple[str, Tuple]]]:
+        """Mutate ``db`` and return the *effective* primitive ops per relation.
+
+        Effective ops are ``("add", t)`` / ``("remove", t)`` pairs in
+        application order, with set-semantics no-ops dropped: inserting a
+        present tuple or deleting an absent one records nothing, and an
+        update whose replacement collides with an existing tuple records
+        only the removal.  Updating an *absent* tuple raises ``KeyError``
+        (unlike a delete, an update has no sensible no-op reading — the
+        caller's view of the cell is stale).  Application is atomic: if any
+        op fails, the already-applied prefix is rolled back before the
+        error propagates, so the database is never left half-edited.
+        """
+        effective: Dict[str, List[PyTuple[str, Tuple]]] = {}
+        try:
+            for kind, rel_name, payload in self._ops:
+                relation = db.relation(rel_name)
+                ops = effective.setdefault(rel_name, [])
+                if kind == self._INSERT:
+                    t = self._coerce(relation, payload)
+                    if t not in relation:
+                        relation.add(t)
+                        ops.append(("add", t))
+                elif kind == self._DELETE:
+                    t = self._coerce(relation, payload)
+                    if t in relation:
+                        relation.remove(t)
+                        ops.append(("remove", t))
+                else:  # update
+                    old, cells = payload
+                    old = self._coerce(relation, old)
+                    if old not in relation:
+                        raise KeyError(f"update target {old!r} not in {rel_name}")
+                    new = old.replace(**cells)
+                    if new == old:
+                        continue
+                    relation.remove(old)
+                    ops.append(("remove", old))
+                    if new not in relation:
+                        relation.add(new)
+                        ops.append(("add", new))
+        except Exception:
+            for rel_name, ops in effective.items():
+                relation = db.relation(rel_name)
+                for kind, t in reversed(ops):
+                    if kind == "add":
+                        relation.remove(t)
+                    else:
+                        relation.add(t)
+            raise
+        return {rel: ops for rel, ops in effective.items() if ops}
+
+    @staticmethod
+    def inverse_of(effective: Mapping[str, List[PyTuple[str, Tuple]]]) -> "Changeset":
+        """The changeset undoing ``effective`` ops (reversed, add↔remove)."""
+        undo = Changeset()
+        flat = [
+            (rel, kind, t)
+            for rel, ops in effective.items()
+            for kind, t in ops
+        ]
+        for rel, kind, t in reversed(flat):
+            if kind == "add":
+                undo.delete(rel, t)
+            else:
+                undo.insert(rel, t)
+        return undo
+
+    def __repr__(self) -> str:
+        kinds = Counter(kind for kind, _, _ in self._ops)
+        inner = ", ".join(f"{k}×{n}" for k, n in sorted(kinds.items()))
+        return f"Changeset({len(self._ops)} ops: {inner or 'empty'})"
+
+
+class ViolationDelta:
+    """What one applied changeset did to the violation set."""
+
+    __slots__ = ("added", "removed", "undo", "remaining")
+
+    def __init__(
+        self,
+        added: List[Violation],
+        removed: List[Violation],
+        undo: Changeset,
+        remaining: int,
+    ):
+        self.added = added
+        self.removed = removed
+        self.undo = undo
+        #: total violations in the maintained set *after* the batch
+        self.remaining = remaining
+
+    @property
+    def clean_after(self) -> bool:
+        """True iff the database satisfies Σ after the batch."""
+        return self.remaining == 0
+
+    @property
+    def net(self) -> int:
+        return len(self.added) - len(self.removed)
+
+    def __repr__(self) -> str:
+        return (
+            f"ViolationDelta(+{len(self.added)} −{len(self.removed)}, "
+            f"{self.remaining} remaining)"
+        )
+
+
+class DeltaStats:
+    """What incremental maintenance actually did, for tests and tuning."""
+
+    __slots__ = (
+        "batches",
+        "ops_applied",
+        "keys_patched",
+        "keys_reevaluated",
+        "inclusion_keys_touched",
+        "fallback_rescans",
+    )
+
+    def __init__(self) -> None:
+        self.batches = 0
+        self.ops_applied = 0
+        #: partition keys updated in O(1) per op (pair pivot survived)
+        self.keys_patched = 0
+        #: partition keys that needed a full re-sweep (pivot removed / new)
+        self.keys_reevaluated = 0
+        self.inclusion_keys_touched = 0
+        self.fallback_rescans = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaStats(batches={self.batches}, ops={self.ops_applied}, "
+            f"keys_patched={self.keys_patched}, "
+            f"keys_reevaluated={self.keys_reevaluated}, "
+            f"inclusion_keys_touched={self.inclusion_keys_touched}, "
+            f"fallback_rescans={self.fallback_rescans})"
+        )
+
+
+class _ScanState:
+    """Maintained partition + violations for one (relation, signature) group.
+
+    ``groups`` mirrors what ``RelationIndexes.group_index`` would build from
+    scratch — keys in first-seen order, tuples in relation insertion order
+    within each group — but stores each group as an insertion-ordered dict
+    of tuples, so patching is O(1) per op.  Patching replays the effective
+    ops in order, which preserves exactly the rebuild invariant (a
+    removed-then-readded tuple moves to the end of its group in the
+    relation too).
+
+    Violations are updated per touched partition key on one of two paths:
+
+    * **incremental** — every FD/CFD/eCFD violation is either a
+      single-tuple check or a first-vs-other pair check
+      (``ScanTask.single`` / ``.pair``).  As long as the partition's
+      *first* tuple survives the batch, each added tuple contributes
+      exactly ``single(t) + pair(first, t)`` and each removed tuple
+      retracts exactly the same — O(1) per op, no re-sweep;
+    * **re-evaluate** — if the batch removes the partition's first tuple
+      (the pair pivot changes) or the partition is new, the partition is
+      re-swept and the violation multisets diffed.
+    """
+
+    __slots__ = (
+        "relation_name",
+        "signature",
+        "key_of",
+        "tasks",
+        "incremental_ok",
+        "groups",
+        "violations",
+        "_universal",
+        "_conditional",
+    )
+
+    def __init__(self, relation: RelationInstance, scan_group) -> None:
+        self.relation_name = scan_group.relation_name
+        self.signature = scan_group.signature
+        self.key_of = key_getter(relation.schema, self.signature)
+        self.tasks: List[PyTuple[int, Any]] = [
+            (position, task)
+            for position, dep in scan_group.members
+            for task in dep.scan_tasks(relation.schema)
+        ]
+        self.incremental_ok = all(
+            task.supports_incremental for _, task in self.tasks
+        )
+        # Tasks that match every partition key (all-wildcard patterns) are
+        # split out once; only the rest pay a per-key pattern check.
+        self._universal: List[PyTuple[int, Any]] = [
+            (position, task)
+            for position, task in self.tasks
+            if task.lookup_key is None
+            and not task.key_constants
+            and task.match_fn is None
+        ]
+        self._conditional: List[PyTuple[int, Any]] = [
+            entry for entry in self.tasks if entry not in self._universal
+        ]
+        self.groups: Dict[tuple, Dict[Tuple, None]] = {}
+        for t in relation:
+            self.groups.setdefault(self.key_of(t.values()), {})[t] = None
+        self.violations: Dict[tuple, List[PyTuple[int, Violation]]] = {}
+        for key, group in self.groups.items():
+            found = self._evaluate(key, list(group))
+            if found:
+                self.violations[key] = found
+
+    def _applicable(self, key: tuple) -> List[PyTuple[int, Any]]:
+        """The member tasks whose pattern admits this partition key."""
+        if not self._conditional:
+            return self._universal
+        chosen = list(self._universal)
+        for position, task in self._conditional:
+            if task.lookup_key is not None:
+                if task.lookup_key != key:
+                    continue
+            elif not task.matches(key):
+                continue
+            chosen.append((position, task))
+        return chosen
+
+    def _evaluate(
+        self, key: tuple, group: Sequence[Tuple]
+    ) -> List[PyTuple[int, Violation]]:
+        singleton = len(group) < 2
+        found: List[PyTuple[int, Violation]] = []
+        for position, task in self._applicable(key):
+            if singleton and task.skip_singletons:
+                continue
+            out: List[Violation] = []
+            task.evaluate(group, out)
+            found.extend((position, v) for v in out)
+        return found
+
+    @staticmethod
+    def _contribution(
+        tasks: Sequence[PyTuple[int, Any]], first: Tuple, t: Tuple
+    ) -> List[PyTuple[int, Violation]]:
+        """The violations tuple ``t`` contributes to its partition, given
+        the partition's (surviving, distinct) first tuple."""
+        found: List[PyTuple[int, Violation]] = []
+        out: List[Violation] = []
+        for position, task in tasks:
+            task.single(t, out)
+            task.pair(first, t, out)
+            if out:
+                for v in out:
+                    found.append((position, v))
+                out.clear()
+        return found
+
+    def apply(
+        self, ops: Sequence[PyTuple[str, Tuple]], stats: DeltaStats
+    ) -> PyTuple[List[PyTuple[int, Violation]], List[PyTuple[int, Violation]]]:
+        """Patch partitions with the batch and update touched keys."""
+        by_key: Dict[tuple, List[PyTuple[str, Tuple]]] = {}
+        for kind, t in ops:
+            by_key.setdefault(self.key_of(t.values()), []).append((kind, t))
+        added: List[PyTuple[int, Violation]] = []
+        removed: List[PyTuple[int, Violation]] = []
+        for key, key_ops in by_key.items():
+            group = self.groups.get(key)
+            first = next(iter(group)) if group else None
+            pivot_safe = (
+                self.incremental_ok
+                and first is not None
+                and not any(kind == "remove" and t == first for kind, t in key_ops)
+            )
+            if pivot_safe:
+                stats.keys_patched += 1
+                tasks = self._applicable(key)
+                stored = self.violations.get(key)
+                if stored is None:
+                    stored = self.violations[key] = []
+                for kind, t in key_ops:
+                    contribution = self._contribution(tasks, first, t)
+                    if kind == "add":
+                        group[t] = None
+                        stored.extend(contribution)
+                        added.extend(contribution)
+                    else:
+                        del group[t]
+                        for entry in contribution:
+                            stored.remove(entry)
+                        removed.extend(contribution)
+                if not stored:
+                    del self.violations[key]
+            else:
+                # The pair pivot changes (or the partition is new): replay
+                # the ops structurally and re-sweep the partition.
+                stats.keys_reevaluated += 1
+                if group is None:
+                    group = self.groups[key] = {}
+                for kind, t in key_ops:
+                    if kind == "add":
+                        group[t] = None
+                    else:
+                        del group[t]
+                if not group:
+                    del self.groups[key]
+                old = self.violations.pop(key, [])
+                new = self._evaluate(key, list(group)) if group else []
+                if new:
+                    self.violations[key] = new
+                if old == new:
+                    continue
+                gained = Counter(new) - Counter(old)
+                lost = Counter(old) - Counter(new)
+                added.extend(gained.elements())
+                removed.extend(lost.elements())
+        return added, removed
+
+
+class _InclusionRow:
+    """Maintained demand/violation state for one tableau row of one IND/CIND."""
+
+    __slots__ = ("position", "dep", "lhs_pat", "yp_key", "reason", "demand", "violating")
+
+    def __init__(self, position: int, dep, lhs_pat: Dict[str, Any], rhs_pat: Dict[str, Any]):
+        from repro.cind.model import CIND
+
+        self.position = position
+        self.dep = dep
+        self.lhs_pat = list(lhs_pat.items())
+        if isinstance(dep, CIND):
+            self.yp_key = tuple(rhs_pat[a] for a in dep.rhs_pattern_attrs)
+            self.reason = (
+                f"{dep.name}: no {dep.rhs_relation} tuple matches on "
+                f"{list(dep.rhs_attrs)} with pattern {rhs_pat}"
+            )
+        else:
+            self.yp_key = ()
+            self.reason = (
+                f"no {dep.rhs_relation} tuple matches on {list(dep.rhs_attrs)}"
+            )
+        #: demanded key → source tuples matching Xp, in insertion order
+        self.demand: Dict[tuple, Dict[Tuple, None]] = {}
+        #: source tuple → its live Violation record
+        self.violating: Dict[Tuple, Violation] = {}
+
+    def matches_source(self, t: Tuple) -> bool:
+        return all(t[a] == v for a, v in self.lhs_pat)
+
+    def make_violation(self, t: Tuple) -> Violation:
+        return Violation(self.dep, [(self.dep.lhs_relation, t)], self.reason)
+
+
+class _InclusionState:
+    """One (target relation, Yp, Y) signature: shared counted key index."""
+
+    __slots__ = ("relation_name", "yp_of", "y_of", "provided", "rows", "sources")
+
+    def __init__(self, db: DatabaseInstance, inclusion_group) -> None:
+        from repro.cind.model import CIND
+
+        self.relation_name = inclusion_group.relation_name
+        target = db.relation(self.relation_name)
+        self.yp_of = key_getter(target.schema, inclusion_group.group_attrs)
+        self.y_of = key_getter(target.schema, inclusion_group.key_attrs)
+        #: Yp projection → (Y projection → provider count)
+        self.provided: Dict[tuple, Dict[tuple, int]] = {}
+        for t in target:
+            values = t.values()
+            counts = self.provided.setdefault(self.yp_of(values), {})
+            y = self.y_of(values)
+            counts[y] = counts.get(y, 0) + 1
+
+        self.rows: List[_InclusionRow] = []
+        #: source relation → (key getter on X, rows reading that source)
+        self.sources: Dict[str, PyTuple[Any, List[_InclusionRow]]] = {}
+        for position, dep in inclusion_group.members:
+            if isinstance(dep, CIND):
+                row_specs = [
+                    (dep.lhs_pattern(row), dep.rhs_pattern(row))
+                    for row in dep.tableau
+                ]
+            else:
+                row_specs = [({}, {})]
+            for lhs_pat, rhs_pat in row_specs:
+                row = _InclusionRow(position, dep, lhs_pat, rhs_pat)
+                self.rows.append(row)
+                source = db.relation(dep.lhs_relation)
+                entry = self.sources.get(dep.lhs_relation)
+                if entry is None:
+                    entry = self.sources[dep.lhs_relation] = (
+                        {},  # per-attribute-list key getters, see below
+                        [],
+                    )
+                getters, rows = entry
+                if dep.lhs_attrs not in getters:
+                    getters[dep.lhs_attrs] = key_getter(source.schema, dep.lhs_attrs)
+                rows.append(row)
+        # Initial demand/violation state: one pass per source relation.
+        for source_name, (getters, rows) in self.sources.items():
+            source = db.relation(source_name)
+            for t in source:
+                for row in rows:
+                    if not row.matches_source(t):
+                        continue
+                    key = getters[row.dep.lhs_attrs](t.values())
+                    row.demand.setdefault(key, {})[t] = None
+                    if not self._is_provided(row.yp_key, key):
+                        row.violating[t] = row.make_violation(t)
+
+    def _is_provided(self, yp_key: tuple, y_key: tuple) -> bool:
+        counts = self.provided.get(yp_key)
+        return bool(counts) and counts.get(y_key, 0) > 0
+
+    @staticmethod
+    def _net(ops: Sequence[PyTuple[str, Tuple]]) -> PyTuple[List[Tuple], List[Tuple]]:
+        """Net (removed, added) tuples of an effective op sequence."""
+        removed: Dict[Tuple, None] = {}
+        added: Dict[Tuple, None] = {}
+        for kind, t in ops:
+            if kind == "add":
+                if t in removed:
+                    del removed[t]
+                else:
+                    added[t] = None
+            else:
+                if t in added:
+                    del added[t]
+                else:
+                    removed[t] = None
+        return list(removed), list(added)
+
+    def apply(
+        self,
+        effective: Mapping[str, Sequence[PyTuple[str, Tuple]]],
+        stats: DeltaStats,
+    ) -> PyTuple[List[PyTuple[int, Violation]], List[PyTuple[int, Violation]]]:
+        added_v: List[PyTuple[int, Violation]] = []
+        removed_v: List[PyTuple[int, Violation]] = []
+
+        # 1. Net source removals leave the demand maps first, so key losses
+        #    below only ever strand *surviving* demanders.
+        for source_name, (getters, rows) in self.sources.items():
+            ops = effective.get(source_name)
+            if not ops:
+                continue
+            net_removed, _ = self._net(ops)
+            for t in net_removed:
+                for row in rows:
+                    if not row.matches_source(t):
+                        continue
+                    key = getters[row.dep.lhs_attrs](t.values())
+                    demanders = row.demand.get(key)
+                    if demanders is not None:
+                        demanders.pop(t, None)
+                        if not demanders:
+                            del row.demand[key]
+                    violation = row.violating.pop(t, None)
+                    if violation is not None:
+                        removed_v.append((row.position, violation))
+
+        # 2. Target key count transitions: a key gained (0 → >0) clears the
+        #    violations of its demanders; a key lost (>0 → 0) creates them.
+        target_ops = effective.get(self.relation_name)
+        if target_ops:
+            transitions: Dict[PyTuple[tuple, tuple], int] = {}
+            for kind, t in target_ops:
+                values = t.values()
+                yp, y = self.yp_of(values), self.y_of(values)
+                counts = self.provided.setdefault(yp, {})
+                before = counts.get(y, 0)
+                transitions.setdefault((yp, y), before)
+                after = before + (1 if kind == "add" else -1)
+                if after:
+                    counts[y] = after
+                else:
+                    counts.pop(y, None)
+                    if not counts:
+                        del self.provided[yp]
+            for (yp, y), before in transitions.items():
+                now = self._is_provided(yp, y)
+                was = before > 0
+                if was == now:
+                    continue
+                stats.inclusion_keys_touched += 1
+                for row in self.rows:
+                    if row.yp_key != yp:
+                        continue
+                    for t in row.demand.get(y, ()):  # iterates demander tuples
+                        if now:
+                            violation = row.violating.pop(t, None)
+                            if violation is not None:
+                                removed_v.append((row.position, violation))
+                        elif t not in row.violating:
+                            violation = row.make_violation(t)
+                            row.violating[t] = violation
+                            added_v.append((row.position, violation))
+
+        # 3. Net source additions check against the post-batch key index.
+        for source_name, (getters, rows) in self.sources.items():
+            ops = effective.get(source_name)
+            if not ops:
+                continue
+            _, net_added = self._net(ops)
+            for t in net_added:
+                for row in rows:
+                    if not row.matches_source(t):
+                        continue
+                    key = getters[row.dep.lhs_attrs](t.values())
+                    row.demand.setdefault(key, {})[t] = None
+                    if not self._is_provided(row.yp_key, key):
+                        violation = row.make_violation(t)
+                        row.violating[t] = violation
+                        added_v.append((row.position, violation))
+        return added_v, removed_v
+
+
+class DeltaEngine:
+    """Maintain the violation set of Σ over a database under batched edits.
+
+    Construction runs one full (indexed-equivalent) detection pass and
+    stores it in per-signature form; every :meth:`apply` then updates the
+    set in time proportional to the data the batch touches.  The maintained
+    multiset of violations is equal to what a fresh
+    :func:`~repro.engine.executor.detect_violations_indexed` run would
+    report on the current instance (the differential test harness pins this
+    against the naive oracle as well).
+    """
+
+    def __init__(self, db: DatabaseInstance, dependencies: Sequence[Dependency]):
+        self._db = db
+        self._plan = plan_detection(dependencies)
+        self.dependencies: List[Dependency] = self._plan.dependencies
+        self.stats = DeltaStats()
+        self._scan_states: List[_ScanState] = [
+            _ScanState(db.relation(group.relation_name), group)
+            for group in self._plan.scan_groups
+        ]
+        self._inclusion_states: List[_InclusionState] = [
+            _InclusionState(db, group) for group in self._plan.inclusion_groups
+        ]
+        self._fallback: List[PyTuple[int, Dependency, List[Violation]]] = [
+            (position, dep, list(dep.violations(db)))
+            for position, dep in self._plan.fallback
+        ]
+        self._total = sum(
+            len(found) for state in self._scan_states for found in state.violations.values()
+        )
+        self._total += sum(
+            len(row.violating)
+            for state in self._inclusion_states
+            for row in state.rows
+        )
+        self._total += sum(len(found) for _, _, found in self._fallback)
+        self._versions: Dict[str, int] = {
+            rel.schema.name: rel.version for rel in db
+        }
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def database(self) -> DatabaseInstance:
+        return self._db
+
+    def total_violations(self) -> int:
+        return self._total
+
+    def is_clean(self) -> bool:
+        return self._total == 0
+
+    def violations(self) -> List[Violation]:
+        """The full current violation multiset, grouped per dependency in
+        input order (order within a dependency is maintenance order, not
+        necessarily a fresh detection's order — the multisets are equal)."""
+        results: List[List[Violation]] = [[] for _ in self.dependencies]
+        for state in self._scan_states:
+            for found in state.violations.values():
+                for position, violation in found:
+                    results[position].append(violation)
+        for state in self._inclusion_states:
+            for row in state.rows:
+                results[row.position].extend(row.violating.values())
+        for position, _, found in self._fallback:
+            results[position].extend(found)
+        return [v for sub in results for v in sub]
+
+    def report(self):
+        """Current violations as a :class:`~repro.cfd.detect.DetectionReport`."""
+        from repro.cfd.detect import DetectionReport
+
+        return DetectionReport(self.violations())
+
+    def partitions(self, relation_name: str, signature: PyTuple[str, ...]):
+        """The maintained partition map for a tracked scan signature, or
+        ``None`` if no scan group uses it.  Values are insertion-ordered
+        mappings of tuples (read-only by contract)."""
+        for state in self._scan_states:
+            if state.relation_name == relation_name and state.signature == signature:
+                return state.groups
+        return None
+
+    # -- maintenance -----------------------------------------------------
+
+    def _check_versions(self) -> None:
+        for relation in self._db:
+            name = relation.schema.name
+            if self._versions.get(name) != relation.version:
+                raise StaleEngineError(
+                    f"relation {name!r} is at version {relation.version}, "
+                    f"engine expected {self._versions.get(name)}; apply edits "
+                    "through DeltaEngine.apply or call refresh()"
+                )
+
+    def refresh(self) -> None:
+        """Rebuild all maintained state from the current instance."""
+        self.__init__(self._db, self.dependencies)
+
+    def apply(self, changeset: Changeset) -> ViolationDelta:
+        """Apply the batch to the database and return the violation delta.
+
+        If the changeset fails mid-application (e.g. an update targeting an
+        absent tuple), ``apply_to`` rolls the database back to its prior
+        *content*; the rollback can reorder tuples, so the engine rebuilds
+        its maintained state before re-raising — the database and the
+        violation set stay consistent either way.
+        """
+        self._check_versions()
+        try:
+            effective = changeset.apply_to(self._db)
+        except Exception:
+            self.refresh()
+            raise
+        undo = Changeset.inverse_of(effective)
+        self.stats.batches += 1
+        self.stats.ops_applied += sum(len(ops) for ops in effective.values())
+
+        added: List[PyTuple[int, Violation]] = []
+        removed: List[PyTuple[int, Violation]] = []
+        if effective:
+            touched = set(effective)
+            for state in self._scan_states:
+                ops = effective.get(state.relation_name)
+                if ops:
+                    gained, lost = state.apply(ops, self.stats)
+                    added.extend(gained)
+                    removed.extend(lost)
+            for inclusion in self._inclusion_states:
+                if inclusion.relation_name in touched or any(
+                    name in touched for name in inclusion.sources
+                ):
+                    gained, lost = inclusion.apply(effective, self.stats)
+                    added.extend(gained)
+                    removed.extend(lost)
+            for index, (position, dep, old) in enumerate(self._fallback):
+                if touched.intersection(dep.relations()):
+                    self.stats.fallback_rescans += 1
+                    new = list(dep.violations(self._db))
+                    self._fallback[index] = (position, dep, new)
+                    gained = Counter(new) - Counter(old)
+                    lost = Counter(old) - Counter(new)
+                    added.extend((position, v) for v in gained.elements())
+                    removed.extend((position, v) for v in lost.elements())
+
+        self._total += len(added) - len(removed)
+        for rel in self._db:
+            self._versions[rel.schema.name] = rel.version
+        if added and removed:
+            # Net out violations that only existed transiently inside the
+            # batch (e.g. insert-then-delete), so the reported delta
+            # describes what the batch did to the violation set, not which
+            # internal maintenance path happened to run.
+            gained = Counter(added)
+            lost = Counter(removed)
+            added = list((gained - lost).elements())
+            removed = list((lost - gained).elements())
+        added.sort(key=lambda pv: pv[0])
+        removed.sort(key=lambda pv: pv[0])
+        return ViolationDelta(
+            [v for _, v in added], [v for _, v in removed], undo, self._total
+        )
+
+    def probe(self, changeset: Changeset) -> ViolationDelta:
+        """Apply, record the delta, and revert — a what-if without a copy."""
+        delta = self.apply(changeset)
+        self.apply(delta.undo)
+        return delta
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaEngine({len(self.dependencies)} deps, "
+            f"{len(self._scan_states)} scan groups, "
+            f"{len(self._inclusion_states)} inclusion groups, "
+            f"{self._total} current violations, {self.stats!r})"
+        )

@@ -17,7 +17,15 @@ Task anatomy:
 * ``skip_singletons`` — true when the row can only produce pair
   violations, letting the sweep skip size-1 groups without a call;
 * ``evaluate(group, out)`` — append the row's violations within one
-  matching partition to ``out``.
+  matching partition to ``out``;
+* ``single(t, out)`` / ``pair(first, other, out)`` — the same semantics
+  decomposed per tuple: every FD/CFD/eCFD violation is either a
+  *single-tuple* check on one tuple or a *first-vs-other* pair check
+  against the partition's first tuple, and ``evaluate`` is exactly "run
+  ``single`` on every member, then ``pair`` on every non-first member".
+  The delta engine (:mod:`repro.engine.delta`) uses the decomposition to
+  update a partition's violations in O(1) per edited tuple instead of
+  re-sweeping the partition.
 """
 
 from __future__ import annotations
@@ -30,7 +38,15 @@ __all__ = ["ScanTask", "run_scan_tasks"]
 class ScanTask:
     """One compiled pattern row ready to run against shared partitions."""
 
-    __slots__ = ("lookup_key", "key_constants", "match_fn", "skip_singletons", "evaluate")
+    __slots__ = (
+        "lookup_key",
+        "key_constants",
+        "match_fn",
+        "skip_singletons",
+        "evaluate",
+        "single",
+        "pair",
+    )
 
     def __init__(
         self,
@@ -39,12 +55,22 @@ class ScanTask:
         evaluate: Callable[[Sequence, list], None],
         skip_singletons: bool = False,
         match_fn: Optional[Callable[[tuple], bool]] = None,
+        single: Optional[Callable[[object, list], None]] = None,
+        pair: Optional[Callable[[object, object, list], None]] = None,
     ):
         self.lookup_key = lookup_key
         self.key_constants = list(key_constants)
         self.match_fn = match_fn
         self.skip_singletons = skip_singletons
         self.evaluate = evaluate
+        # Per-tuple decomposition (see module docstring); both present ⟺
+        # the task supports incremental partition maintenance.
+        self.single = single
+        self.pair = pair
+
+    @property
+    def supports_incremental(self) -> bool:
+        return self.single is not None and self.pair is not None
 
     def matches(self, key: tuple) -> bool:
         """Does the partition with this key participate in the row?"""

@@ -63,6 +63,7 @@ class RelationSchema:
         if not attrs:
             raise SchemaError(f"schema {name} must have at least one attribute")
         self._attributes: Tuple[Attribute, ...] = tuple(attrs)
+        self._attribute_names: Tuple[str, ...] = tuple(names)
         self._by_name: Dict[str, Attribute] = {a.name: a for a in attrs}
         self._index: Dict[str, int] = {a.name: i for i, a in enumerate(attrs)}
 
@@ -72,7 +73,7 @@ class RelationSchema:
 
     @property
     def attribute_names(self) -> Tuple[str, ...]:
-        return tuple(a.name for a in self._attributes)
+        return self._attribute_names
 
     def __iter__(self) -> Iterator[Attribute]:
         return iter(self._attributes)

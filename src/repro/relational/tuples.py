@@ -68,13 +68,29 @@ class Tuple:
         return dict(zip(self.schema.attribute_names, self._values))
 
     def replace(self, **changes: Any) -> "Tuple":
-        """A copy of this tuple with the given attributes updated."""
-        data = self.as_dict()
+        """A copy of this tuple with the given attributes updated.
+
+        Only the changed cells are validated against their domains — every
+        other value was already validated when this tuple was built.  Cell
+        updates are the hot path of the delta engine and the U-repair loop,
+        so the copy is assembled positionally.
+        """
+        values = list(self._values)
         for attr, value in changes.items():
-            if attr not in self.schema:
-                raise SchemaError(f"relation {self.schema.name} has no attribute {attr!r}")
-            data[attr] = value
-        return Tuple(self.schema, data)
+            try:
+                position = self.schema.index_of(attr)
+            except Exception:
+                raise SchemaError(
+                    f"relation {self.schema.name} has no attribute {attr!r}"
+                ) from None
+            domain = self.schema.attributes[position].domain
+            if not domain.contains(value):
+                raise DomainError(
+                    f"value {value!r} for {self.schema.name}.{attr} "
+                    f"not in domain {domain.name}"
+                )
+            values[position] = value
+        return Tuple(self.schema, tuple(values), validate=False)
 
     def agrees_with(self, other: "Tuple", attributes: Sequence[str]) -> bool:
         """True iff both tuples have equal projections on ``attributes``."""

@@ -12,15 +12,21 @@ the repair model:
   minimality is NP-hard to verify, so we check the standard local notion:
   no single cell can be reverted to its original value while keeping Σ
   satisfied (and report the cost).
+
+Every probe ("does Σ still hold after this edit?") runs on the delta
+engine: the check builds one :class:`~repro.engine.delta.DeltaEngine` over
+a working copy and answers each hypothetical through
+:meth:`~repro.engine.delta.DeltaEngine.probe`, which applies the edit,
+reads off the violation delta, and reverts — no full re-detection and no
+per-probe database copy.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import List, Sequence, Set, Tuple as PyTuple
+from typing import List, Sequence, Tuple as PyTuple
 
-from repro.deps.base import Dependency, all_violations, holds
-from repro.engine.incremental import IncrementalChecker
+from repro.deps.base import Dependency, holds
+from repro.engine.delta import Changeset, DeltaEngine
 from repro.relational.instance import DatabaseInstance
 from repro.relational.tuples import Tuple
 from repro.repair.models import CostModel
@@ -45,12 +51,12 @@ def is_x_repair(
             return False  # not a subset
         deleted.extend((rel, t) for t in old - new)
     if not holds(candidate, dependencies):
-        return False
-    # Candidate is consistent, so each add-back probe only needs to re-check
-    # the partitions the restored tuple lands in, not the whole database.
-    checker = IncrementalChecker(candidate, dependencies)
+        return False  # short-circuits at the first violation, no copy
+    engine = DeltaEngine(candidate.copy(), dependencies)
+    # Candidate is consistent, so each add-back probe is one violation
+    # delta over the partitions the restored tuple lands in.
     for rel, t in deleted:
-        if checker.consistent_after(rel, added=t):
+        if engine.probe(Changeset().insert(rel, t)).clean_after:
             return False  # not maximal
     return True
 
@@ -63,22 +69,26 @@ def is_s_repair(
     """Is ``candidate`` consistent with ⊆-minimal symmetric difference?
 
     Exact: every proper subset of the difference is re-applied and tested
-    (2^|Δ| checks; the problem is coNP-hard in general, Theorem 5.1).
+    (2^|Δ| probes against one delta-maintained working instance; the
+    problem is coNP-hard in general, Theorem 5.1).
     """
+    import itertools
+
     if not holds(candidate, dependencies):
         return False
     delta = sorted(
         symmetric_difference(original, candidate), key=lambda c: (c[0], repr(c[1]))
     )
+    engine = DeltaEngine(original.copy(), dependencies)
     for size in range(len(delta)):
         for subset in itertools.combinations(delta, size):
-            trial = original.copy()
+            trial = Changeset()
             for rel, t in subset:
                 if t in original.relation(rel):
-                    trial.relation(rel).discard(t)
+                    trial.delete(rel, t)
                 else:
-                    trial.relation(rel).add(t)
-            if holds(trial, dependencies):
+                    trial.insert(rel, t)
+            if engine.probe(trial).clean_after:
                 return False  # smaller difference suffices
     return True
 
@@ -116,7 +126,6 @@ def check_u_repair(
     single changed cell breaks consistency).
     """
     cost_model = cost_model or CostModel()
-    consistent = holds(candidate, dependencies)
     cost = 0.0
     reversions: List[PyTuple[str, Tuple, str, object]] = []
     for rel in original.schema.relation_names:
@@ -131,14 +140,16 @@ def check_u_repair(
                         o[attr], n[attr]
                     )
                     reversions.append((rel, n, attr, o[attr]))
+    consistent = holds(candidate, dependencies)
     locally_minimal = True
     if consistent:
-        # Each reversion probe is a single-tuple replacement against the
-        # consistent candidate: re-check only the affected partitions.
-        checker = IncrementalChecker(candidate, dependencies)
+        # Each reversion probe is a single-cell update against the
+        # consistent candidate: one violation delta over the partitions
+        # the reverted tuple moves between.
+        engine = DeltaEngine(candidate.copy(), dependencies)
         for rel, changed_tuple, attr, old_value in reversions:
-            reverted = changed_tuple.replace(**{attr: old_value})
-            if checker.consistent_after(rel, removed=changed_tuple, added=reverted):
+            probe = Changeset().update(rel, changed_tuple, **{attr: old_value})
+            if engine.probe(probe).clean_after:
                 locally_minimal = False
                 break
     return URepairCheck(consistent, locally_minimal, cost)

@@ -22,8 +22,9 @@ import itertools
 from typing import FrozenSet, List, Sequence, Set, Tuple as PyTuple
 
 from repro.cind.model import CIND
-from repro.deps.base import Dependency, all_violations
+from repro.deps.base import Dependency
 from repro.deps.ind import IND
+from repro.engine.delta import Changeset, DeltaEngine
 from repro.relational.instance import DatabaseInstance
 from repro.relational.tuples import Tuple
 from repro.repair.xrepair import all_x_repairs
@@ -126,8 +127,23 @@ def all_s_repairs(
     candidates = _insertion_candidates(
         db, dependencies, max_candidates_per_relation
     )
+    # One delta-maintained working instance walks the whole search tree:
+    # each branch applies its edit, recurses, and reverts through the
+    # returned undo changeset instead of copying the database per node.
+    engine = DeltaEngine(db.copy(), dependencies)
     consistent: List[PyTuple[FrozenSet[Cell], DatabaseInstance]] = []
     nodes = [0]
+
+    def branch(cell: Cell, removed: FrozenSet[Cell], inserted: FrozenSet[Cell], remove: bool) -> None:
+        rel, t = cell
+        edit = Changeset()
+        (edit.delete if remove else edit.insert)(rel, t)
+        delta = engine.apply(edit)
+        explore(
+            removed | {cell} if remove else removed,
+            inserted if remove else inserted | {cell},
+        )
+        engine.apply(delta.undo)
 
     def explore(
         removed: FrozenSet[Cell], inserted: FrozenSet[Cell]
@@ -135,19 +151,14 @@ def all_s_repairs(
         nodes[0] += 1
         if nodes[0] > limit:
             raise MemoryError(f"S-repair enumeration exceeded {limit} nodes")
-        current = db.copy()
-        for rel, t in removed:
-            current.relation(rel).discard(t)
-        for rel, t in inserted:
-            current.relation(rel).add(t)
-        violations = all_violations(current, dependencies)
+        violations = engine.violations()
         if not violations:
-            consistent.append((removed | inserted, current))
+            consistent.append((removed | inserted, engine.database.copy()))
             return
         first = violations[0]
         for cell in first.tuples:
             if cell not in inserted:
-                explore(removed | {cell}, inserted)
+                branch(cell, removed, inserted, remove=True)
             else:
                 # undoing an insertion re-creates the obligation; skip
                 continue
@@ -156,7 +167,7 @@ def all_s_repairs(
                 rel, t = cell
                 if t in db.relation(rel) or cell in inserted:
                     continue
-                explore(removed, inserted | {cell})
+                branch(cell, removed, inserted, remove=False)
 
     explore(frozenset(), frozenset())
     deltas = [symmetric_difference(db, inst) for _, inst in consistent]

@@ -14,6 +14,13 @@ equivalence-class strategy of the cost-based algorithms the paper cites —
    the class the value of minimal aggregate cost (weighted plurality);
 3. repeat (changes can re-trigger other rules) up to ``max_passes``.
 
+The loop runs on the delta engine: a
+:class:`~repro.engine.delta.DeltaEngine` maintains the violation set while
+cells are rewritten, so each pass works straight off the *current*
+violations — which tuples clash with which constants, which LHS-groups
+still disagree — instead of re-scanning the relation per pattern row, and
+the post-repair consistency verdict is read off the maintained set.
+
 The result records every cell edit with its cost w(t,A)·dis(v,v′).  Like
 the algorithms it reproduces, this is a heuristic: finding a minimum-cost
 repair is NP-complete already for a fixed set of FDs (Theorem 5.1), and on
@@ -26,6 +33,7 @@ from typing import Any, Dict, List, Sequence, Tuple as PyTuple
 
 from repro.cfd.model import CFD, UNNAMED, fd_as_cfd
 from repro.deps.fd import FD
+from repro.engine.delta import Changeset, DeltaEngine
 from repro.relational.instance import DatabaseInstance
 from repro.relational.tuples import Tuple
 from repro.repair.models import CellChange, CostModel, ValueRepair
@@ -66,7 +74,9 @@ def repair_cfds(
 ) -> ValueRepair:
     """Heuristic U-repair of a database against a set of CFDs."""
     cost_model = cost_model or CostModel()
+    cfds = list(cfds)
     repaired = db.copy()
+    engine = DeltaEngine(repaired, cfds)
     changes: List[CellChange] = []
     # map current tuple -> its original (for weights / cost accounting)
     origin: Dict[PyTuple[str, Tuple], Tuple] = {}
@@ -76,10 +86,8 @@ def repair_cfds(
 
     def apply_change(relation: str, current: Tuple, attribute: str, value: Any) -> Tuple:
         original = origin.pop((relation, current))
+        engine.apply(Changeset().update(relation, current, **{attribute: value}))
         updated = current.replace(**{attribute: value})
-        rel = repaired.relation(relation)
-        rel.discard(current)
-        rel.add(updated)
         origin[(relation, updated)] = original
         changes.append(
             CellChange(
@@ -96,14 +104,22 @@ def repair_cfds(
 
     for _ in range(max_passes):
         progress = False
-        # Phase 1: constant violations
+        # Phase 1: constant violations — read the current single-tuple
+        # violations off the engine; each one names exactly the tuples that
+        # clash with an RHS constant.  A witness updated earlier in the
+        # pass is skipped (its new violations, if any, surface next pass).
+        by_dep = engine.report().by_dependency()
         for cfd in cfds:
-            relation = repaired.relation(cfd.relation_name)
-            for tp in cfd.tableau:
-                rhs_constants = tp.constants_on(cfd.rhs)
-                if not rhs_constants:
+            for violation in by_dep.get(cfd, ()):
+                if len(violation.tuples) != 1:
                     continue
-                for t in list(relation):
+                _, t = violation.tuples[0]
+                if t not in repaired.relation(cfd.relation_name):
+                    continue  # stale witness: already rewritten this pass
+                for tp in cfd.tableau:
+                    rhs_constants = tp.constants_on(cfd.rhs)
+                    if not rhs_constants:
+                        continue
                     if not tp.matches_tuple(t, list(cfd.lhs)):
                         continue
                     for attribute, constant in rhs_constants.items():
@@ -112,40 +128,52 @@ def repair_cfds(
                                 cfd.relation_name, t, attribute, constant
                             )
                             progress = True
-        # Phase 2: pair violations, per pattern row and LHS group
+        # Phase 2: pair violations, per LHS equivalence class.  The
+        # engine's maintained partitions give each violating class in full
+        # (witnesses alone would miss members that agree with the
+        # plurality), live across the merges this phase performs.
+        by_dep = engine.report().by_dependency()
         for cfd in cfds:
-            relation = repaired.relation(cfd.relation_name)
-            for tp in cfd.tableau:
-                groups: Dict[tuple, List[Tuple]] = {}
-                for t in relation:
-                    if tp.matches_tuple(t, list(cfd.lhs)):
-                        groups.setdefault(t[list(cfd.lhs)], []).append(t)
-                for group in groups.values():
-                    if len(group) < 2:
+            partitions = engine.partitions(cfd.relation_name, cfd.scan_signature)
+            signature = list(cfd.scan_signature)
+            class_keys: List[tuple] = []
+            seen = set()
+            for violation in by_dep.get(cfd, ()):
+                if len(violation.tuples) < 2:
+                    continue
+                _, witness = violation.tuples[0]
+                if witness not in repaired.relation(cfd.relation_name):
+                    continue
+                key = witness[signature]
+                if key not in seen:
+                    seen.add(key)
+                    class_keys.append(key)
+            for key in class_keys:
+                group = partitions.get(key)
+                if not group or len(group) < 2:
+                    continue
+                for tp in cfd.tableau:
+                    if not tp.matches_tuple(next(iter(group)), list(cfd.lhs)):
                         continue
                     for attribute in cfd.rhs:
-                        values = {t[attribute] for t in group}
+                        members_now = list(group)
+                        values = {t[attribute] for t in members_now}
                         if len(values) <= 1:
                             continue
                         members = [
-                            (origin[(cfd.relation_name, t)], t) for t in group
+                            (origin[(cfd.relation_name, t)], t)
+                            for t in members_now
                         ]
                         target = _best_class_value(members, attribute, cost_model)
-                        updated_group = []
-                        for t in group:
+                        for t in members_now:
                             if t[attribute] != target:
-                                t = apply_change(
+                                apply_change(
                                     cfd.relation_name, t, attribute, target
                                 )
                                 progress = True
-                            updated_group.append(t)
-                        group[:] = updated_group
         if not progress:
             break
-    still_violated = any(
-        next(cfd.violations(repaired), None) is not None for cfd in cfds
-    )
-    return ValueRepair(repaired, changes, resolved=not still_violated)
+    return ValueRepair(repaired, changes, resolved=engine.is_clean())
 
 
 def repair_fds(

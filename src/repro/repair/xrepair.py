@@ -14,13 +14,20 @@ so only deletions are allowed.  Two algorithms:
 Both are complete for *universal* dependencies (FDs, CFDs, eCFDs, denial
 constraints) and remain correct for INDs/CINDs because a violated source
 tuple can only be fixed by deleting it when insertions are forbidden.
+
+Both run on the delta engine (:mod:`repro.engine.delta`): the violation set
+is maintained incrementally as tuples are deleted and restored, so the
+greedy loop pays per-edit cost instead of a full re-detection per step, and
+the exhaustive search explores its tree through apply/undo instead of
+copying the database at every node.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple as PyTuple
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple as PyTuple
 
-from repro.deps.base import Dependency, all_violations
+from repro.deps.base import Dependency
+from repro.engine.delta import Changeset, DeltaEngine
 from repro.relational.instance import DatabaseInstance
 from repro.relational.tuples import Tuple
 
@@ -41,24 +48,22 @@ def greedy_x_repair(
 ) -> DatabaseInstance:
     """A maximal consistent subset, greedily (delete max-degree witnesses,
     then re-insert while consistent)."""
-    removed: Set[Cell] = set()
     current = db.copy()
-    while True:
-        violations = all_violations(current, dependencies)
-        if not violations:
-            break
+    engine = DeltaEngine(current, dependencies)
+    removed: Set[Cell] = set()
+    while not engine.is_clean():
         degree: Dict[Cell, int] = {}
-        for v in violations:
+        for v in engine.violations():
             for cell in v.tuples:
                 degree[cell] = degree.get(cell, 0) + 1
         victim = max(degree, key=lambda c: (degree[c], repr(c[1])))
         removed.add(victim)
-        current.relation(victim[0]).discard(victim[1])
+        engine.apply(Changeset().delete(victim[0], victim[1]))
     # maximality: try to re-add in deterministic order
     for relation, t in sorted(removed, key=lambda c: (c[0], repr(c[1]))):
-        current.relation(relation).add(t)
-        if all_violations(current, dependencies):
-            current.relation(relation).remove(t)
+        delta = engine.apply(Changeset().insert(relation, t))
+        if not delta.clean_after:
+            engine.apply(delta.undo)
     return current
 
 
@@ -70,10 +75,13 @@ def all_x_repairs(
     """All X-repairs (maximal consistent subsets), exactly.
 
     Branch on the witness tuples of the first violation: any consistent
-    subset must exclude at least one of them.  Collected subsets are then
-    filtered for maximality and deduplicated.  ``limit`` bounds the number
-    of search nodes (MemoryError beyond — Example 5.1 is exponential).
+    subset must exclude at least one of them.  The search walks one
+    delta-maintained working instance via apply/undo.  Collected subsets
+    are then filtered for maximality and deduplicated.  ``limit`` bounds
+    the number of search nodes (MemoryError beyond — Example 5.1 is
+    exponential).
     """
+    engine = DeltaEngine(db.copy(), dependencies)
     consistent_subsets: Set[FrozenSet[Cell]] = set()
     nodes = [0]
 
@@ -81,14 +89,15 @@ def all_x_repairs(
         nodes[0] += 1
         if nodes[0] > limit:
             raise MemoryError(f"X-repair enumeration exceeded {limit} nodes")
-        current = _subset_db(db, set(removed))
-        violations = all_violations(current, dependencies)
+        violations = engine.violations()
         if not violations:
             consistent_subsets.add(removed)
             return
         first = violations[0]
         for cell in first.tuples:
+            delta = engine.apply(Changeset().delete(cell[0], cell[1]))
             explore(removed | {cell})
+            engine.apply(delta.undo)
 
     explore(frozenset())
     # keep only subsets whose removal set is minimal (⟺ subset maximal)

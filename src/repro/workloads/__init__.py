@@ -20,8 +20,16 @@ from repro.workloads.noise import (
     typo,
 )
 from repro.workloads.orders import OrdersConfig, OrdersWorkload, generate_orders
+from repro.workloads.stream import (
+    BatchResult,
+    StreamConfig,
+    StreamReport,
+    run_stream,
+    stream_edits,
+)
 
 __all__ = [
+    "BatchResult",
     "CardBillingConfig",
     "CardBillingWorkload",
     "CustomerConfig",
@@ -29,12 +37,16 @@ __all__ = [
     "InjectedError",
     "OrdersConfig",
     "OrdersWorkload",
+    "StreamConfig",
+    "StreamReport",
     "abbreviate_name",
     "address_variant",
     "generate_card_billing",
     "generate_customers",
     "generate_orders",
     "pick_other",
+    "run_stream",
+    "stream_edits",
     "truncate",
     "typo",
 ]

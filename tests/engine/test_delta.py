@@ -1,0 +1,276 @@
+"""Changeset application and DeltaEngine violation maintenance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfd.model import CFD, UNNAMED
+from repro.cind.model import CIND
+from repro.deps.denial import fd_as_denial
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.engine.delta import Changeset, DeltaEngine, StaleEngineError
+from repro.engine.executor import detect_violations_indexed
+from repro.relational.domains import STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.tuples import Tuple
+
+
+def _schemas():
+    r = RelationSchema("R", [("A", STRING), ("B", STRING), ("C", STRING)])
+    s = RelationSchema("S", [("X", STRING), ("Y", STRING)])
+    return DatabaseSchema([r, s])
+
+
+def _db(r_rows=(), s_rows=()):
+    return DatabaseInstance(_schemas(), {"R": r_rows, "S": s_rows})
+
+
+def _counts(violations):
+    from collections import Counter
+
+    return Counter((id(v.dependency), v.tuples) for v in violations)
+
+
+def _assert_in_sync(engine, db, deps):
+    assert _counts(engine.violations()) == _counts(
+        detect_violations_indexed(db, deps).violations
+    )
+
+
+class TestChangeset:
+    def test_effective_ops_follow_set_semantics(self):
+        db = _db([("a", "x", "1")])
+        existing = db.relation("R").tuples()[0]
+        cs = (
+            Changeset()
+            .insert("R", existing)  # already present: no-op
+            .insert("R", ("b", "y", "2"))
+            .delete("R", ("z", "z", "9"))  # absent: no-op
+        )
+        effective = cs.apply_to(db)
+        assert [kind for kind, _ in effective["R"]] == ["add"]
+        assert len(db.relation("R")) == 2
+
+    def test_update_is_remove_plus_add(self):
+        db = _db([("a", "x", "1")])
+        t = db.relation("R").tuples()[0]
+        effective = Changeset().update("R", t, B="y").apply_to(db)
+        assert [kind for kind, _ in effective["R"]] == ["remove", "add"]
+        assert db.relation("R").tuples()[0]["B"] == "y"
+
+    def test_update_collapsing_into_existing_records_only_removal(self):
+        db = _db([("a", "x", "1"), ("a", "y", "1")])
+        t = db.relation("R").tuples()[0]
+        effective = Changeset().update("R", t, B="y").apply_to(db)
+        assert [kind for kind, _ in effective["R"]] == ["remove"]
+        assert len(db.relation("R")) == 1
+
+    def test_update_of_absent_tuple_raises(self):
+        db = _db([("a", "x", "1")])
+        ghost = Tuple(db.relation("R").schema, ("q", "q", "q"))
+        with pytest.raises(KeyError):
+            Changeset().update("R", ghost, B="y").apply_to(db)
+
+    def test_noop_update_records_nothing(self):
+        db = _db([("a", "x", "1")])
+        t = db.relation("R").tuples()[0]
+        assert Changeset().update("R", t, B="x").apply_to(db) == {}
+
+    def test_inverse_restores_instance(self):
+        db = _db([("a", "x", "1"), ("b", "y", "2")])
+        before = {t.values() for t in db.relation("R")}
+        t = db.relation("R").tuples()[0]
+        cs = Changeset().delete("R", t).insert("R", ("c", "z", "3"))
+        effective = cs.apply_to(db)
+        Changeset.inverse_of(effective).apply_to(db)
+        assert {t.values() for t in db.relation("R")} == before
+
+
+class TestScanMaintenance:
+    def _deps(self):
+        return [
+            FD("R", ["A"], ["B"]),
+            CFD("R", ["A"], ["C"], [{"A": "k", "C": "ok"}]),
+        ]
+
+    def test_insert_creates_pair_violation(self):
+        deps = self._deps()
+        db = _db([("a", "x", "1")])
+        engine = DeltaEngine(db, deps)
+        assert engine.is_clean()
+        delta = engine.apply(Changeset().insert("R", ("a", "y", "2")))
+        assert len(delta.added) == 1 and not delta.removed
+        assert not delta.clean_after
+        _assert_in_sync(engine, db, deps)
+
+    def test_delete_resolves_violation(self):
+        deps = self._deps()
+        db = _db([("a", "x", "1"), ("a", "y", "2")])
+        engine = DeltaEngine(db, deps)
+        assert engine.total_violations() == 1
+        victim = db.relation("R").tuples()[1]
+        delta = engine.apply(Changeset().delete("R", victim))
+        assert len(delta.removed) == 1 and not delta.added
+        assert delta.clean_after
+        _assert_in_sync(engine, db, deps)
+
+    def test_cell_update_moves_tuple_between_partitions(self):
+        deps = self._deps()
+        db = _db([("a", "x", "1"), ("b", "x", "2")])
+        engine = DeltaEngine(db, deps)
+        t = db.relation("R").tuples()[1]
+        delta = engine.apply(Changeset().update("R", t, A="a", B="y"))
+        assert len(delta.added) == 1
+        _assert_in_sync(engine, db, deps)
+
+    def test_constant_cfd_single_tuple_violation(self):
+        deps = self._deps()
+        db = _db()
+        engine = DeltaEngine(db, deps)
+        delta = engine.apply(Changeset().insert("R", ("k", "b", "bad")))
+        assert len(delta.added) == 1
+        fixed = engine.apply(
+            Changeset().update("R", db.relation("R").tuples()[0], C="ok")
+        )
+        assert len(fixed.removed) == 1 and fixed.clean_after
+        _assert_in_sync(engine, db, deps)
+
+    def test_only_touched_keys_maintained(self):
+        deps = [FD("R", ["A"], ["B"])]
+        db = _db([(f"k{i}", "x", str(i)) for i in range(50)])
+        engine = DeltaEngine(db, deps)
+        # Insert into a live group whose first tuple survives: O(1) patch.
+        engine.apply(Changeset().insert("R", ("k0", "y", "new")))
+        assert engine.stats.keys_patched == 1
+        assert engine.stats.keys_reevaluated == 0
+        # Deleting a group's first tuple moves the pair pivot: full re-sweep
+        # of that one partition.
+        engine.apply(Changeset().delete("R", db.relation("R").tuples()[1]))
+        assert engine.stats.keys_reevaluated == 1
+
+
+class TestInclusionMaintenance:
+    def _deps(self):
+        return [
+            IND("R", ["A"], "S", ["X"]),
+            CIND(
+                "R",
+                ["C"],
+                "S",
+                ["X"],
+                lhs_pattern_attrs=["B"],
+                rhs_pattern_attrs=["Y"],
+                tableau=[{"B": "go", "Y": "p"}],
+            ),
+        ]
+
+    def test_source_insert_demands_missing_key(self):
+        deps = self._deps()
+        db = _db([], [("a", "p")])
+        engine = DeltaEngine(db, deps)
+        delta = engine.apply(Changeset().insert("R", ("z", "stop", "1")))
+        assert len(delta.added) == 1  # IND violated, CIND not (pattern off)
+        _assert_in_sync(engine, db, deps)
+
+    def test_target_insert_resolves_violations(self):
+        deps = self._deps()
+        db = _db([("z", "go", "q")], [("z", "p")])
+        engine = DeltaEngine(db, deps)
+        assert engine.total_violations() == 1  # CIND: key ("q",) not provided
+        delta = engine.apply(Changeset().insert("S", ("q", "p")))
+        assert len(delta.removed) == 1 and delta.clean_after
+        _assert_in_sync(engine, db, deps)
+
+    def test_target_delete_strands_demanders(self):
+        deps = self._deps()
+        db = _db([("a", "go", "a")], [("a", "p")])
+        engine = DeltaEngine(db, deps)
+        assert engine.is_clean()
+        provider = db.relation("S").tuples()[0]
+        delta = engine.apply(Changeset().delete("S", provider))
+        assert len(delta.added) == 2  # IND and CIND both strand ("a", go, a)
+        _assert_in_sync(engine, db, deps)
+
+    def test_second_provider_keeps_key_alive(self):
+        deps = [IND("R", ["A"], "S", ["X"])]
+        db = _db([("a", "x", "1")], [("a", "p"), ("a", "q")])
+        engine = DeltaEngine(db, deps)
+        delta = engine.apply(Changeset().delete("S", db.relation("S").tuples()[0]))
+        assert not delta.added and delta.clean_after
+        _assert_in_sync(engine, db, deps)
+
+    def test_insert_then_delete_in_one_batch_is_net_noop(self):
+        deps = self._deps()
+        db = _db([], [("a", "p")])
+        engine = DeltaEngine(db, deps)
+        cs = Changeset().insert("R", ("z", "stop", "1")).delete("R", ("z", "stop", "1"))
+        delta = engine.apply(cs)
+        assert not delta.added and not delta.removed and delta.clean_after
+        _assert_in_sync(engine, db, deps)
+
+
+class TestFallbackAndGuards:
+    def test_fallback_dependency_rescanned_only_when_touched(self):
+        fd = FD("R", ["A"], ["B"])
+        deps = [fd_as_denial(fd)]
+        db = _db([("a", "x", "1")], [("s", "t")])
+        engine = DeltaEngine(db, deps)
+        engine.apply(Changeset().insert("S", ("u", "v")))
+        assert engine.stats.fallback_rescans == 0
+        delta = engine.apply(Changeset().insert("R", ("a", "y", "2")))
+        assert engine.stats.fallback_rescans == 1
+        assert delta.added and len(delta.added) == delta.remaining
+
+    def test_failed_batch_rolls_back_and_engine_stays_consistent(self):
+        deps = [FD("R", ["A"], ["B"])]
+        db = _db([("a", "x", "1")])
+        engine = DeltaEngine(db, deps)
+        ghost = Tuple(db.relation("R").schema, ("q", "q", "q"))
+        bad = Changeset().insert("R", ("b", "y", "2")).update("R", ghost, B="z")
+        with pytest.raises(KeyError):
+            engine.apply(bad)
+        # The applied prefix (the insert) was rolled back...
+        assert {t.values() for t in db.relation("R")} == {("a", "x", "1")}
+        # ...and the engine still answers correctly afterwards.
+        delta = engine.apply(Changeset().insert("R", ("a", "y", "2")))
+        assert len(delta.added) == 1
+        _assert_in_sync(engine, db, deps)
+
+    def test_external_mutation_detected(self):
+        db = _db([("a", "x", "1")])
+        engine = DeltaEngine(db, [FD("R", ["A"], ["B"])])
+        db.relation("R").add(("b", "y", "2"))
+        with pytest.raises(StaleEngineError):
+            engine.apply(Changeset().insert("R", ("c", "z", "3")))
+        engine.refresh()
+        assert engine.apply(Changeset().insert("R", ("c", "z", "3"))).clean_after
+
+    def test_probe_leaves_state_unchanged(self):
+        deps = [FD("R", ["A"], ["B"]), IND("R", ["A"], "S", ["X"])]
+        db = _db([("a", "x", "1")], [("a", "p")])
+        engine = DeltaEngine(db, deps)
+        before = {t.values() for t in db.relation("R")}
+        delta = engine.probe(Changeset().insert("R", ("z", "y", "2")))
+        assert len(delta.added) == 1  # IND orphan; FD untouched
+        assert {t.values() for t in db.relation("R")} == before
+        assert engine.is_clean()
+        _assert_in_sync(engine, db, deps)
+
+    def test_undo_of_delta_restores_violation_set(self):
+        deps = [FD("R", ["A"], ["B"])]
+        db = _db([("a", "x", "1"), ("a", "y", "2")])
+        engine = DeltaEngine(db, deps)
+        delta = engine.apply(Changeset().delete("R", db.relation("R").tuples()[0]))
+        assert delta.clean_after
+        back = engine.apply(delta.undo)
+        assert back.remaining == 1
+        _assert_in_sync(engine, db, deps)
+
+    def test_report_matches_detect(self):
+        deps = [FD("R", ["A"], ["B"]), IND("R", ["A"], "S", ["X"])]
+        db = _db([("a", "x", "1"), ("a", "y", "2")], [])
+        engine = DeltaEngine(db, deps)
+        report = engine.report()
+        assert report.total == engine.total_violations() == 3

@@ -1,0 +1,216 @@
+"""Differential harness: naive vs indexed vs delta on generated cases.
+
+Three execution paths must agree on every violation set:
+
+* **naive** — the original per-dependency full scans
+  (:func:`repro.engine.naive.detect_violations_naive`), the oracle;
+* **indexed** — the planned batch executor over shared indexes
+  (:func:`repro.engine.executor.detect_violations_indexed`);
+* **delta** — :class:`repro.engine.delta.DeltaEngine`, whose maintained
+  violation set is checked after construction *and* after every random
+  edit batch it absorbs.
+
+Cases are seeded-random: schema shapes, instances, dependency sets (FDs,
+CFDs, eCFDs, INDs, CINDs) and batched edits (inserts, deletes, cell
+updates) all come from the per-case RNG, and the comparison is exact —
+multisets over (dependency, ordered witness tuples), so even witness order
+inside a pair violation must match.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import List
+
+from repro.cfd.ecfd import ECFD, SetPattern
+from repro.cfd.model import CFD, UNNAMED
+from repro.cind.model import CIND
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.engine.delta import Changeset, DeltaEngine, violation_multiset
+from repro.engine.executor import detect_violations_indexed
+from repro.engine.naive import detect_violations_naive
+from repro.relational.domains import STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+N_CASES = 220
+VALUES = ["a", "b", "c"]
+
+
+def _random_schema(rng: random.Random) -> DatabaseSchema:
+    r_arity = rng.randrange(3, 5)
+    s_arity = rng.randrange(2, 4)
+    r = RelationSchema("R", [(f"A{i}", STRING) for i in range(r_arity)])
+    s = RelationSchema("S", [(f"X{i}", STRING) for i in range(s_arity)])
+    return DatabaseSchema([r, s])
+
+
+def _random_instance(schema: DatabaseSchema, rng: random.Random) -> DatabaseInstance:
+    db = DatabaseInstance(schema)
+    for rel in schema:
+        for _ in range(rng.randrange(0, 9)):
+            db.relation(rel.name).add(
+                [rng.choice(VALUES) for _ in range(len(rel))]
+            )
+    return db
+
+
+def _random_fd(attrs: List[str], rng: random.Random) -> FD:
+    lhs = rng.sample(attrs, rng.randrange(1, min(3, len(attrs))))
+    rhs = [rng.choice([a for a in attrs if a not in lhs])]
+    return FD("R", lhs, rhs)
+
+
+def _random_cfd(attrs: List[str], rng: random.Random) -> CFD:
+    lhs = rng.sample(attrs, rng.randrange(1, min(3, len(attrs))))
+    rhs = [rng.choice([a for a in attrs if a not in lhs])]
+    rows = []
+    for _ in range(rng.randrange(1, 4)):
+        rows.append(
+            {
+                a: rng.choice([UNNAMED] + VALUES) if rng.random() < 0.7 else UNNAMED
+                for a in lhs + rhs
+            }
+        )
+    return CFD("R", lhs, rhs, rows)
+
+
+def _random_ecfd(attrs: List[str], rng: random.Random) -> ECFD:
+    lhs = rng.sample(attrs, rng.randrange(1, min(3, len(attrs))))
+    rhs = [rng.choice([a for a in attrs if a not in lhs])]
+    pattern = {}
+    for a in lhs + rhs:
+        if rng.random() < 0.5:
+            continue  # wildcard
+        values = rng.sample(VALUES, rng.randrange(1, 3))
+        pattern[a] = SetPattern(values, negated=rng.random() < 0.4)
+    return ECFD("R", lhs, rhs, pattern)
+
+
+def _random_inclusion(schema: DatabaseSchema, rng: random.Random):
+    r_attrs = list(schema.relation("R").attribute_names)
+    s_attrs = list(schema.relation("S").attribute_names)
+    width = rng.randrange(1, min(len(r_attrs), len(s_attrs)) + 1)
+    lhs = rng.sample(r_attrs, width)
+    rhs = rng.sample(s_attrs, width)
+    if rng.random() < 0.5:
+        return IND("R", lhs, "S", rhs)
+    lhs_free = [a for a in r_attrs if a not in lhs]
+    rhs_free = [a for a in s_attrs if a not in rhs]
+    lhs_pat = rng.sample(lhs_free, rng.randrange(0, len(lhs_free) + 1))
+    rhs_pat = rng.sample(rhs_free, rng.randrange(0, len(rhs_free) + 1))
+    rows = []
+    for _ in range(rng.randrange(1, 3)):
+        row = {f"L.{a}": rng.choice(VALUES) for a in lhs_pat}
+        row.update({f"R.{a}": rng.choice(VALUES) for a in rhs_pat})
+        rows.append(row)
+    return CIND(
+        "R", lhs, "S", rhs,
+        lhs_pattern_attrs=lhs_pat,
+        rhs_pattern_attrs=rhs_pat,
+        tableau=rows,
+    )
+
+
+def _random_dependencies(schema: DatabaseSchema, rng: random.Random) -> list:
+    r_attrs = list(schema.relation("R").attribute_names)
+    makers = [
+        lambda: _random_fd(r_attrs, rng),
+        lambda: _random_cfd(r_attrs, rng),
+        lambda: _random_ecfd(r_attrs, rng),
+        lambda: _random_inclusion(schema, rng),
+    ]
+    return [rng.choice(makers)() for _ in range(rng.randrange(2, 7))]
+
+
+def _random_batch(db: DatabaseInstance, rng: random.Random) -> Changeset:
+    cs = Changeset()
+    consumed = set()  # tuples already deleted/updated this batch
+    for _ in range(rng.randrange(1, 6)):
+        rel = db.relation(rng.choice(["R", "S"]))
+        live = [t for t in rel if t not in consumed]
+        kind = rng.choice(["insert", "delete", "update"])
+        if kind == "insert" or not live:
+            cs.insert(
+                rel.schema.name, [rng.choice(VALUES) for _ in range(len(rel.schema))]
+            )
+        elif kind == "delete":
+            victim = rng.choice(live)
+            consumed.add(victim)
+            cs.delete(rel.schema.name, victim)
+        else:
+            victim = rng.choice(live)
+            consumed.add(victim)
+            attr = rng.choice(list(rel.schema.attribute_names))
+            cs.update(rel.schema.name, victim, **{attr: rng.choice(VALUES)})
+    return cs
+
+
+# One canonical identity multiset shared with run_stream(verify=True) and
+# bench_incremental: id() pins the shared dependency object; tuples keep
+# witness order, so pair-violation orientation must agree across paths.
+_multiset = violation_multiset
+
+
+def _assert_all_paths_agree(db, deps, engine, context):
+    naive = _multiset(detect_violations_naive(db, deps).violations)
+    indexed = _multiset(detect_violations_indexed(db, deps).violations)
+    maintained = _multiset(engine.violations())
+    assert naive == indexed, f"naive vs indexed diverged: {context}"
+    assert maintained == naive, f"delta vs naive diverged: {context}"
+
+
+def test_differential_naive_indexed_delta():
+    checked_cases = 0
+    checked_batches = 0
+    for seed in range(N_CASES):
+        rng = random.Random(10_000 + seed)
+        schema = _random_schema(rng)
+        db = _random_instance(schema, rng)
+        deps = _random_dependencies(schema, rng)
+        engine = DeltaEngine(db, deps)
+        _assert_all_paths_agree(db, deps, engine, f"seed={seed} initial")
+        checked_cases += 1
+        for batch_index in range(rng.randrange(1, 4)):
+            batch = _random_batch(db, rng)
+            delta = engine.apply(batch)
+            # The delta's own bookkeeping must be internally consistent.
+            assert delta.remaining == engine.total_violations()
+            _assert_all_paths_agree(
+                db, deps, engine, f"seed={seed} batch={batch_index}"
+            )
+            checked_batches += 1
+    assert checked_cases >= 200
+    assert checked_batches >= 300
+
+
+def test_differential_undo_round_trip():
+    """A batch followed by its undo restores which dependencies fail.
+
+    Undo restores the *set content* of each relation, not its insertion
+    order: a deleted-then-readded tuple re-enters at the end, which can
+    change how many pair violations the first-vs-rest detector reports for
+    a group (on the delta path and on a fresh naive rebuild alike — the
+    strict harness above proves they keep agreeing).  What IS
+    order-invariant, and what repair search relies on, is whether each
+    dependency is violated at all.
+    """
+
+    def violated_deps(violations):
+        return {id(v.dependency) for v in violations}
+
+    for seed in range(60):
+        rng = random.Random(77_000 + seed)
+        schema = _random_schema(rng)
+        db = _random_instance(schema, rng)
+        deps = _random_dependencies(schema, rng)
+        engine = DeltaEngine(db, deps)
+        before = violated_deps(engine.violations())
+        was_clean = engine.is_clean()
+        delta = engine.apply(_random_batch(db, rng))
+        engine.apply(delta.undo)
+        assert violated_deps(engine.violations()) == before, f"seed={seed}"
+        assert engine.is_clean() == was_clean
+        _assert_all_paths_agree(db, deps, engine, f"seed={seed} after undo")

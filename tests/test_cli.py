@@ -89,3 +89,49 @@ class TestDiscover:
         assert documents
         assert all(doc["type"] == "cfd" for doc in documents)
         assert all("support" in doc for doc in documents)
+
+
+class TestStream:
+    def test_stream_prints_one_line_per_batch(self, workspace, capsys):
+        _, data, schema_path, rules, _ = workspace
+        code = main(
+            [
+                "stream",
+                "--schema", str(schema_path),
+                "--rules", str(rules),
+                "--batches", "4",
+                "--batch-size", "3",
+                "--seed", "1",
+                "--verify",
+                str(data),
+            ]
+        )
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        assert len(lines) == 4
+        assert all(line.startswith("batch ") for line in lines)
+        assert "verified against full re-detection" in captured.err
+        # exit code must mirror whether the final batch left violations live
+        final_total = int(lines[-1].split(" total,")[0].rsplit(" ", 1)[-1])
+        assert code == (1 if final_total else 0)
+
+    def test_stream_deterministic_given_seed(self, workspace, capsys):
+        _, data, schema_path, rules, _ = workspace
+        args = [
+            "stream",
+            "--schema", str(schema_path),
+            "--rules", str(rules),
+            "--batches", "3",
+            "--batch-size", "5",
+            "--seed", "42",
+            str(data),
+        ]
+        def stable(output):
+            # drop the per-batch timing, the only nondeterministic field
+            return [line.rsplit(",", 1)[0] for line in output.strip().splitlines()]
+
+        main(args)
+        first = capsys.readouterr().out
+        main(args)
+        second = capsys.readouterr().out
+        assert stable(first) == stable(second)
