@@ -28,10 +28,10 @@ from typing import Dict, List
 if __name__ == "__main__":  # allow running without an installed package
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.cfd.detect import detect_violations
 from repro.cfd.model import CFD, UNNAMED
 from repro.engine.naive import detect_violations_naive
 from repro.engine.planner import plan_detection
+from repro.session import Session
 from repro.workloads.customer import CustomerConfig, generate_customers
 
 SIZES = [1_000, 3_000, 10_000]
@@ -143,18 +143,18 @@ def measure(n_tuples: int, repeats: int = 3) -> Dict:
     naive_seconds = _time(lambda: detect_violations_naive(workload.db, cfds), repeats)
 
     # Equivalence check on its own copy so it cannot pre-warm a timed one.
-    engine_report = detect_violations(workload.db.copy(), cfds, engine=True)
-    # Cold engine runs: each timed iteration gets a fresh instance with
-    # empty index caches, so the timing includes index construction.
-    cold_copies = [workload.db.copy() for _ in range(repeats)]
-    cold_iter = iter(cold_copies)
-    engine_cold_seconds = _time(
-        lambda: detect_violations(next(cold_iter), cfds, engine=True), repeats
-    )
+    engine_report = Session.from_instance(workload.db.copy(), cfds).detect()
+    # Cold engine runs: each timed iteration gets a fresh session over a
+    # fresh instance with empty index caches, so the timing includes index
+    # construction.
+    cold_sessions = [
+        Session.from_instance(workload.db.copy(), cfds) for _ in range(repeats)
+    ]
+    cold_iter = iter(cold_sessions)
+    engine_cold_seconds = _time(lambda: next(cold_iter).detect(), repeats)
     # Warm run: caches already populated (steady-state monitoring shape).
-    engine_warm_seconds = _time(
-        lambda: detect_violations(workload.db, cfds, engine=True), repeats
-    )
+    warm_session = Session.from_instance(workload.db, cfds)
+    engine_warm_seconds = _time(warm_session.detect, repeats)
 
     if _multiset(engine_report.violations) != _multiset(naive_report.violations):
         raise AssertionError(

@@ -27,6 +27,7 @@ from repro.relational.instance import DatabaseInstance
 from repro.relational.query import Base, Project
 from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.repair import count_repairs_by_components
+from repro.session import Session
 
 
 def main() -> None:
@@ -48,7 +49,9 @@ def main() -> None:
     key = FD("emp", ["id"], ["dept", "salary"])
     print("Inconsistent employee relation (key: id):")
     print(db.relation("emp").pretty())
-    print(f"\nrepairs: {count_repairs_by_components(db, [key])}")
+    session = Session.from_instance(db, [key])
+    print(f"\n{session.detect().summary()}")
+    print(f"repairs: {count_repairs_by_components(db, [key])}")
 
     query = Project(Base("emp"), ["dept"])
     print("\nQ: π_dept(emp)")

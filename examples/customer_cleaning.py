@@ -12,13 +12,12 @@ A downstream-user scenario on synthetic customer data with seeded errors
 Run:  python examples/customer_cleaning.py
 """
 
-from repro.cfd import detect_violations, discover_cfds
-from repro.repair import repair_cfds
+from repro.session import Session
 from repro.workloads import CustomerConfig, generate_customers
 
 
 def recall(workload, dependencies) -> float:
-    report = detect_violations(workload.db, dependencies)
+    report = Session.from_instance(workload.db, dependencies).detect()
     tuples = workload.db.relation("customer").tuples()
     index_of = {t: i for i, t in enumerate(tuples)}
     caught = {index_of[t] for _, t in report.violating_tuples()}
@@ -36,9 +35,9 @@ def main() -> None:
     )
 
     print("\n-- Profiling: discover rules from a clean sample --")
-    sample = workload.clean_db.relation("customer")
-    discovered = discover_cfds(
-        sample, max_lhs=2, min_support=10, rhs_attributes=["city"]
+    clean_session = Session.from_instance(workload.clean_db)
+    discovered = clean_session.discover(
+        relation="customer", max_lhs=2, min_support=10, rhs_attributes=["city"]
     )
     for d in discovered[:5]:
         print(f"  {d!r}")
@@ -49,7 +48,8 @@ def main() -> None:
     print(f"  CFD recall: {recall(workload, workload.cfds()):.3f}")
 
     print("\n-- Repair: cost-based value modification --")
-    result = repair_cfds(workload.db, workload.cfds())
+    session = Session.from_instance(workload.db, workload.cfds())
+    result = session.repair(strategy="u")
     print(f"  {result!r}")
 
     repaired = {t["phn"]: t for t in result.repaired.relation("customer")}
@@ -63,8 +63,7 @@ def main() -> None:
         f"  restored {restored}/{len(workload.errors)} injected errors "
         "to the ground-truth value"
     )
-    after = detect_violations(result.repaired, workload.cfds())
-    print(f"  violations remaining: {after.total}")
+    print(f"  violations remaining: {result.residual.total}")
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ from repro.propagation import propagates, tagged_union_view
 from repro.relational.domains import INT
 from repro.relational.instance import DatabaseInstance
 from repro.relational.schema import Attribute, DatabaseSchema
+from repro.session import Session
 
 
 def main() -> None:
@@ -75,9 +76,11 @@ def main() -> None:
     )
     naive = candidates["AC → city (unconditional)"]
     conditional = candidates["ϕ8: (CC=c) AC → city"]
-    print(f"\n  view ⊨ AC → city?            {naive.holds_on(view_db)}"
+    naive_clean = Session.from_instance(view_db, [naive]).is_clean()
+    conditional_clean = Session.from_instance(view_db, [conditional]).is_clean()
+    print(f"\n  view ⊨ AC → city?            {naive_clean}"
           "   (20 → LDN vs AMS)")
-    print(f"  view ⊨ ϕ8 (conditional)?     {conditional.holds_on(view_db)}")
+    print(f"  view ⊨ ϕ8 (conditional)?     {conditional_clean}")
 
 
 if __name__ == "__main__":

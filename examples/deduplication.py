@@ -14,13 +14,15 @@ for in the §5.1 Remark:
 Run:  python examples/deduplication.py
 """
 
+from repro.deps.fd import FD
 from repro.md.dedup import deduplicate
 from repro.md.model import MD, RelativeKey
 from repro.md.similarity import EQ, EditDistanceSimilarity
 from repro.relational.domains import STRING
-from repro.relational.instance import RelationInstance
-from repro.relational.schema import RelationSchema
+from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.repair.master import repair_with_master_data
+from repro.session import Session
 
 
 def main() -> None:
@@ -40,6 +42,14 @@ def main() -> None:
     )
     print("Dirty relation:")
     print(dirty.pretty())
+
+    # An exact FD phone → name flags the duplicate clusters but cannot say
+    # which spelling is right — that is what the matching rules below add.
+    db = DatabaseInstance(DatabaseSchema([schema]), {"people": dirty.tuples()})
+    fd_report = Session.from_instance(
+        db, [FD("people", ["phone"], ["name"])]
+    ).detect()
+    print(f"\nFD phone → name: {fd_report.summary()}")
 
     rules = [
         MD(

@@ -9,13 +9,13 @@ Recreates the paper's running example (Figures 1 and 2) end to end:
    tuple;
 3. a cost-based U-repair fixes the violations by value modification.
 
+The whole lifecycle runs through one :class:`repro.session.Session`.
+
 Run:  python examples/quickstart.py
 """
 
-from repro.cfd import detect_violations
-from repro.deps import holds
 from repro.paper import fig1_fds, fig1_instance, fig2_cfds
-from repro.repair import repair_cfds
+from repro.session import Session
 
 
 def main() -> None:
@@ -23,9 +23,9 @@ def main() -> None:
     print("The customer instance D0 (Figure 1):")
     print(db.relation("customer").pretty())
 
-    fds = fig1_fds()
     print("\nStep 1 — traditional FDs f1, f2:")
-    print(f"  D0 ⊨ {{f1, f2}}?  {holds(db, fds)}  (no errors detected)")
+    fd_session = Session.from_instance(db, fig1_fds())
+    print(f"  D0 ⊨ {{f1, f2}}?  {fd_session.is_clean()}  (no errors detected)")
 
     cfds = fig2_cfds()
     print("\nStep 2 — conditional functional dependencies (Figure 2):")
@@ -33,20 +33,20 @@ def main() -> None:
         print(f"\n  {name}: {cfd!r}; pattern tableau:")
         for line in cfd.tableau.pretty().splitlines():
             print(f"    {line}")
-    report = detect_violations(db, cfds.values())
+    session = Session.from_instance(db, list(cfds.values()))
+    report = session.detect()
     print(f"\n  {report.summary()}")
     for violation in report.violations:
         print(f"    - {violation.reason}")
 
     print("\nStep 3 — cost-based U-repair (§5.1):")
-    result = repair_cfds(db, list(cfds.values()))
+    result = session.repair(strategy="u")
     print(f"  {result!r}")
     for change in result.changes:
         print(f"    - {change!r}")
     print("\nRepaired instance:")
     print(result.repaired.relation("customer").pretty())
-    after = detect_violations(result.repaired, cfds.values())
-    print(f"\n  violations after repair: {after.total}")
+    print(f"\n  violations after repair: {result.residual.total}")
 
 
 if __name__ == "__main__":

@@ -7,8 +7,10 @@ A from-scratch implementation of the framework surveyed in
 
 Subpackages
 -----------
+``repro.session``      the unified Session facade: detect/repair/discover/stream
+``repro.registry``     pluggable constraint registry: JSON codecs per class
 ``repro.relational``   typed domains, schemas, instances, algebra, queries
-``repro.engine``       indexed execution: shared scans, batch planning
+``repro.engine``       indexed execution: shared scans, batch planning, deltas
 ``repro.deps``         FDs, INDs, denial constraints, Armstrong proofs
 ``repro.cfd``          conditional functional dependencies and eCFDs (§2.1/§2.3)
 ``repro.cind``         conditional inclusion dependencies (§2.2)
@@ -19,6 +21,10 @@ Subpackages
 ``repro.condensed``    condensed representations of repairs (§5.3)
 ``repro.workloads``    synthetic data generators with error injection
 ``repro.paper``        the paper's figures and examples as objects
+
+The typical entry point is :class:`repro.session.Session` (also exported
+here as ``repro.Session``), which owns an instance plus a rule set and
+exposes the whole lifecycle over the indexed and delta engines.
 """
 
 from repro.errors import (
@@ -32,7 +38,7 @@ from repro.errors import (
     SchemaError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnalysisBoundExceeded",
@@ -43,5 +49,16 @@ __all__ = [
     "RepairError",
     "ReproError",
     "SchemaError",
+    "Session",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy: Session pulls in the engine stack, which most type-level users
+    # (schemas, implication analyses) never need at import time.
+    if name == "Session":
+        from repro.session import Session
+
+        return Session
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

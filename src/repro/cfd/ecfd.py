@@ -124,6 +124,15 @@ class ECFD(Dependency):
     def relations(self) -> PyTuple[str, ...]:
         return (self.relation_name,)
 
+    def check_schema(self, schema: RelationSchema) -> None:
+        """Validate attribute names and set-pattern constants against domains."""
+        schema.check_attributes(self.lhs)
+        schema.check_attributes(self.rhs)
+        for attr, pattern in self.pattern.items():
+            if isinstance(pattern, SetPattern):
+                for value in pattern.values:
+                    schema.domain(attr).validate(value)
+
     def lhs_matches(self, t: Tuple) -> bool:
         return all(_matches(t[a], self.pattern[a]) for a in self.lhs)
 

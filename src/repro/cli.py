@@ -10,12 +10,20 @@ Usage::
     python -m repro.cli stream  --schema schema.json --rules rules.json \
                                 --batches 10 --batch-size 100 data.csv
 
+Every subcommand builds a :class:`repro.session.Session` from the files and
+drives it; rules files may contain any constraint class registered in
+:mod:`repro.registry` (FDs, CFDs, eCFDs, INDs, CINDs, denial constraints).
+Multi-relation schemas pass one CSV per relation as ``relation=path``
+positional arguments.
+
 ``detect`` prints one line per violation and exits nonzero when the data
 is dirty, so it slots into shell pipelines and CI checks; ``repair``
 writes the repaired relation as CSV and a summary to stderr; ``discover``
 emits a rules JSON document on stdout; ``stream`` feeds seeded random edit
 batches through the delta engine and prints one violation-delta line per
 batch (``--verify`` cross-checks every batch against full re-detection).
+``detect`` and ``stream`` take ``--format json`` for machine-readable
+output on stdout.
 """
 
 from __future__ import annotations
@@ -23,56 +31,76 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Sequence
+from typing import Dict, Mapping, Sequence, Union
 
-from repro.cfd.detect import detect_violations
-from repro.cfd.discovery import discover_cfds
-from repro.cfd.model import CFD
-from repro.relational.csvio import dump_csv, load_csv
-from repro.relational.instance import DatabaseInstance
-from repro.relational.schema import DatabaseSchema
-from repro.repair.urepair import repair_cfds
-from repro.cfd.model import fd_as_cfd
-from repro.deps.fd import FD
-from repro.rules_json import load_rules, load_schema, rules_to_list
+from repro.relational.csvio import dump_csv
+from repro.rules_json import rules_to_list
+from repro.session import Session
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_data_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "data",
+        nargs="+",
+        help=(
+            "CSV file (header row required); for multi-relation schemas "
+            "pass one relation=path argument per relation"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="CFD-based data quality: detect, repair, discover",
+        description="dependency-based data quality: detect, repair, discover",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     detect = sub.add_parser("detect", help="report dependency violations")
-    detect.add_argument("data", help="CSV file (header row required)")
     detect.add_argument("--schema", required=True, help="schema JSON")
     detect.add_argument("--rules", required=True, help="rules JSON")
     detect.add_argument(
         "--summary-only", action="store_true", help="print only the summary line"
     )
+    detect.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json: one machine-readable document on stdout)",
+    )
+    _add_data_argument(detect)
 
-    repair = sub.add_parser("repair", help="value-modification repair")
-    repair.add_argument("data")
+    repair = sub.add_parser("repair", help="repair under a §5.1 model")
     repair.add_argument("--schema", required=True)
     repair.add_argument("--rules", required=True)
     repair.add_argument("--output", required=True, help="repaired CSV path")
     repair.add_argument(
-        "--max-passes", type=int, default=25, help="heuristic pass cap"
+        "--strategy",
+        choices=("u", "x", "s"),
+        default="u",
+        help="repair model: u=value modification, x=deletions, s=symmetric diff",
     )
+    repair.add_argument(
+        "--relation",
+        help="relation to write to --output (required for multi-relation schemas)",
+    )
+    repair.add_argument(
+        "--max-passes", type=int, default=25, help="heuristic pass cap (u-repair)"
+    )
+    _add_data_argument(repair)
 
     discover = sub.add_parser("discover", help="profile CFDs from data")
-    discover.add_argument("data")
     discover.add_argument("--schema", required=True)
+    discover.add_argument("--relation", help="relation to profile (default: only one)")
     discover.add_argument("--max-lhs", type=int, default=2)
     discover.add_argument("--min-support", type=int, default=3)
+    _add_data_argument(discover)
 
     stream = sub.add_parser(
         "stream", help="feed random edit batches through the delta engine"
     )
-    stream.add_argument("data")
     stream.add_argument("--schema", required=True)
     stream.add_argument("--rules", required=True)
     stream.add_argument("--batches", type=int, default=10)
@@ -83,52 +111,78 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="cross-check every batch against full indexed re-detection",
     )
+    stream.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json: one machine-readable document on stdout)",
+    )
+    _add_data_argument(stream)
 
     return parser
 
 
-def _load(args) -> tuple:
-    schema = load_schema(args.schema)
-    instance = load_csv(schema, args.data)
-    db = DatabaseInstance(DatabaseSchema([schema]))
-    for t in instance:
-        db.relation(schema.name).add(t)
-    return schema, db
+def _data_mapping(entries: Sequence[str]) -> Union[str, Mapping[str, str]]:
+    """One bare path stays a path; ``relation=path`` entries become a map."""
+    if len(entries) == 1 and "=" not in entries[0]:
+        return entries[0]
+    mapping: Dict[str, str] = {}
+    for entry in entries:
+        relation, sep, path = entry.partition("=")
+        if not sep or not relation or not path:
+            raise SystemExit(
+                f"data argument {entry!r} is not of the form relation=path"
+            )
+        mapping[relation] = path
+    return mapping
+
+
+def _session(args, with_rules: bool = True) -> Session:
+    return Session.from_files(
+        args.schema,
+        args.rules if with_rules else None,
+        _data_mapping(args.data),
+    )
 
 
 def _cmd_detect(args) -> int:
-    schema, db = _load(args)
-    rules = load_rules(args.rules, schema)
-    report = detect_violations(db, rules)
-    if not args.summary_only:
-        for violation in report.violations:
-            print(violation.reason)
-    print(report.summary())
+    session = _session(args)
+    report = session.detect()
+    if args.format == "json":
+        document = report.to_dict(include_violations=not args.summary_only)
+        json.dump(document, sys.stdout, indent=2, default=str)
+        print()
+    else:
+        if not args.summary_only:
+            for violation in report.violations:
+                print(violation.reason)
+        print(report.summary())
     return 1 if report.total else 0
 
 
 def _cmd_repair(args) -> int:
-    schema, db = _load(args)
-    rules = load_rules(args.rules, schema)
-    cfds: List[CFD] = [
-        rule if isinstance(rule, CFD) else fd_as_cfd(rule)
-        for rule in rules
-        if isinstance(rule, (CFD, FD))
-    ]
-    result = repair_cfds(db, cfds, max_passes=args.max_passes)
-    dump_csv(result.repaired.relation(schema.name), args.output)
+    session = _session(args)
+    if args.relation is None and len(session.schema.relation_names) > 1:
+        raise SystemExit(
+            f"schema has relations {list(session.schema.relation_names)}; "
+            "pass --relation to choose the one to write"
+        )
+    report = session.repair(strategy=args.strategy, max_passes=args.max_passes)
+    relation = args.relation or session.schema.relation_names[0]
+    dump_csv(report.repaired.relation(relation), args.output)
+    unit = "cells" if args.strategy == "u" else "tuples"
     print(
-        f"{result.changed_cells()} cells changed, cost {result.cost:.3f}, "
-        f"resolved={result.resolved}",
+        f"{report.changed} {unit} changed, cost {report.cost:.3f}, "
+        f"resolved={report.resolved}",
         file=sys.stderr,
     )
-    return 0 if result.resolved else 2
+    return 0 if report.resolved else 2
 
 
 def _cmd_discover(args) -> int:
-    schema, db = _load(args)
-    discovered = discover_cfds(
-        db.relation(schema.name),
+    session = _session(args, with_rules=False)
+    discovered = session.discover(
+        relation=args.relation,
         max_lhs=args.max_lhs,
         min_support=args.min_support,
     )
@@ -142,25 +196,47 @@ def _cmd_discover(args) -> int:
 
 
 def _cmd_stream(args) -> int:
-    from repro.engine.delta import DeltaEngine
-    from repro.workloads.stream import StreamConfig, run_stream
+    from repro.workloads.stream import StreamConfig
 
-    schema, db = _load(args)
-    rules = load_rules(args.rules, schema)
-    engine = DeltaEngine(db, rules)
-    print(f"start: {engine.total_violations()} violations", file=sys.stderr)
+    session = _session(args)
+    start = session.engine.total_violations()
+    print(f"start: {start} violations", file=sys.stderr)
     config = StreamConfig(
         n_batches=args.batches, batch_size=args.batch_size, seed=args.seed
     )
-    report = run_stream(db, rules, config, engine=engine, verify=args.verify)
-    for batch in report.batches:
-        print(
-            # ASCII only: this line goes to redirected stdout in pipelines,
-            # where the locale encoding may not cover U+2212
-            f"batch {batch.index}: {batch.edits} edits, "
-            f"+{batch.added} -{batch.removed} violations, "
-            f"{batch.total} total, {batch.seconds * 1e3:.2f} ms"
+    report = session.stream(config, verify=args.verify)
+    if args.format == "json":
+        json.dump(
+            {
+                "start_violations": start,
+                "batches": [
+                    {
+                        "batch": b.index,
+                        "edits": b.edits,
+                        "added": b.added,
+                        "removed": b.removed,
+                        "violations": b.total,
+                        "seconds": b.seconds,
+                    }
+                    for b in report.batches
+                ],
+                "final_violations": report.final_violations,
+                "total_edits": report.total_edits,
+                "verified": report.verified,
+            },
+            sys.stdout,
+            indent=2,
         )
+        print()
+    else:
+        for batch in report.batches:
+            print(
+                # ASCII only: this line goes to redirected stdout in pipelines,
+                # where the locale encoding may not cover U+2212
+                f"batch {batch.index}: {batch.edits} edits, "
+                f"+{batch.added} -{batch.removed} violations, "
+                f"{batch.total} total, {batch.seconds * 1e3:.2f} ms"
+            )
     print(report.summary(), file=sys.stderr)
     return 1 if report.final_violations else 0
 

@@ -47,6 +47,25 @@ class DenialConstraint(Dependency):
     def relations(self) -> PyTuple[str, ...]:
         return tuple(dict.fromkeys(self.relation_names))
 
+    def check_schema(self, db_schema) -> None:
+        """Raise if an atom names a missing relation or the condition
+        references an unknown ``ti.Attr`` position."""
+        schemas = [db_schema.relation(name) for name in self.relation_names]
+        for reference in sorted(self.condition.attributes()):
+            index_text, _, attr = reference.partition(".")
+            if not (index_text.startswith("t") and index_text[1:].isdigit()):
+                raise DependencyError(
+                    f"denial condition reference {reference!r} is not of the "
+                    f"form 'ti.Attr'"
+                )
+            index = int(index_text[1:])
+            if index >= len(schemas):
+                raise DependencyError(
+                    f"denial condition references atom t{index} but only "
+                    f"{len(schemas)} relation atoms are declared"
+                )
+            schemas[index].check_attributes([attr])
+
     def _environment(self, tuples) -> dict:
         env: dict = {}
         for i, t in enumerate(tuples):

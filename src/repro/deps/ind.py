@@ -52,6 +52,11 @@ class IND(Dependency):
     def relations(self) -> PyTuple[str, ...]:
         return (self.lhs_relation, self.rhs_relation)
 
+    def check_schema(self, db_schema: "DatabaseSchema") -> None:
+        """Raise if either side mentions a missing relation or attribute."""
+        db_schema.relation(self.lhs_relation).check_attributes(self.lhs_attrs)
+        db_schema.relation(self.rhs_relation).check_attributes(self.rhs_attrs)
+
     def violations(self, db: DatabaseInstance) -> Iterator[Violation]:
         # The target key set is a cached index: built once per
         # (relation, attrs) and shared across every IND/CIND that needs it.

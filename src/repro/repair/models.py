@@ -133,10 +133,12 @@ class ValueRepair:
         repaired: DatabaseInstance,
         changes: Sequence[CellChange],
         resolved: bool,
+        passes: int | None = None,
     ):
         self.repaired = repaired
         self.changes = list(changes)
         self.resolved = resolved  # False when the heuristic hit its pass cap
+        self.passes = passes  # repair passes the heuristic actually ran
 
     @property
     def cost(self) -> float:

@@ -102,7 +102,9 @@ def repair_cfds(
         )
         return updated
 
+    passes = 0
     for _ in range(max_passes):
+        passes += 1
         progress = False
         # Phase 1: constant violations — read the current single-tuple
         # violations off the engine; each one names exactly the tuples that
@@ -173,7 +175,7 @@ def repair_cfds(
                                 progress = True
         if not progress:
             break
-    return ValueRepair(repaired, changes, resolved=engine.is_clean())
+    return ValueRepair(repaired, changes, resolved=engine.is_clean(), passes=passes)
 
 
 def repair_fds(

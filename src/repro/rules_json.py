@@ -1,44 +1,58 @@
 """JSON (de)serialization of schemas and dependencies.
 
 A downstream user drives the detectors from files: a schema document
-describes one relation (attribute names and types), and a rules document
-lists FDs and CFDs.  The wildcard '_' is spelled as the literal string
-``"_"`` in CFD pattern rows; typed constants are parsed against the
-schema's domains.
+describes one relation — or, with a top-level ``"relations"`` list, a whole
+database schema — and a rules document lists constraints of any class
+registered in :mod:`repro.registry` (FDs, CFDs, eCFDs, INDs, CINDs, denial
+constraints, plus anything a user registers).  The wildcard '_' is spelled
+as the literal string ``"_"`` in CFD/eCFD pattern cells; typed constants
+are parsed against the schema's domains.
 
-Schema document::
+Single-relation schema document::
 
     {"name": "customer",
      "attributes": [{"name": "CC", "type": "int"},
                     {"name": "city", "type": "string"}]}
 
-Rules document::
+Multi-relation schema document::
+
+    {"relations": [{"name": "customer", "attributes": [...]},
+                   {"name": "orders", "attributes": [...]}]}
+
+Rules document (one entry per constraint, dispatched on ``"type"``)::
 
     [{"type": "fd", "relation": "customer",
       "lhs": ["CC", "AC"], "rhs": ["city"]},
      {"type": "cfd", "relation": "customer",
       "lhs": ["CC", "zip"], "rhs": ["street"],
-      "tableau": [{"CC": 44, "zip": "_", "street": "_"}]}]
+      "tableau": [{"CC": 44, "zip": "_", "street": "_"}]},
+     {"type": "ind", "lhs_relation": "orders", "lhs": ["phn"],
+      "rhs_relation": "customer", "rhs": ["phn"]}]
+
+See ``docs/api.md`` for the full document shapes of every built-in class
+and for how to register new ones.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Mapping, Sequence
+from typing import Any, Dict, List, Mapping, Sequence, Union
 
-from repro.cfd.model import CFD, UNNAMED, PatternTableau
+from repro import registry
 from repro.deps.base import Dependency
-from repro.deps.fd import FD
-from repro.errors import DependencyError, SchemaError
+from repro.errors import DependencyError, DomainError, ReproError, SchemaError
 from repro.relational.domains import BOOL, Domain, EnumDomain, FLOAT, INT, STRING
-from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
 
 __all__ = [
     "schema_from_dict",
     "schema_to_dict",
+    "database_schema_from_dict",
+    "database_schema_to_dict",
     "rules_from_list",
     "rules_to_list",
     "load_schema",
+    "load_database_schema",
     "load_rules",
 ]
 
@@ -52,7 +66,7 @@ _DOMAIN_TO_TYPE = {v.name: k for k, v in _TYPE_TO_DOMAIN.items()}
 
 
 def schema_from_dict(document: Mapping[str, Any]) -> RelationSchema:
-    """Parse a schema document into a :class:`RelationSchema`."""
+    """Parse a single-relation schema document into a :class:`RelationSchema`."""
     try:
         name = document["name"]
         specs = document["attributes"]
@@ -96,90 +110,122 @@ def schema_to_dict(schema: RelationSchema) -> Dict[str, Any]:
     return {"name": schema.name, "attributes": attributes}
 
 
-def _parse_pattern_cell(value: Any):
-    return UNNAMED if value == "_" else value
+def database_schema_from_dict(document: Mapping[str, Any]) -> DatabaseSchema:
+    """Parse a schema document (either form) into a :class:`DatabaseSchema`.
+
+    A ``{"relations": [...]}`` document yields one relation per entry; a
+    plain single-relation document yields a one-relation database schema.
+    """
+    if "relations" in document:
+        return DatabaseSchema(
+            [schema_from_dict(spec) for spec in document["relations"]]
+        )
+    return DatabaseSchema([schema_from_dict(document)])
+
+
+def database_schema_to_dict(db_schema: DatabaseSchema) -> Dict[str, Any]:
+    """Serialize a database schema to the multi-relation document form."""
+    return {"relations": [schema_to_dict(rel) for rel in db_schema]}
+
+
+def _as_database_schema(
+    schema: Union[RelationSchema, DatabaseSchema, None]
+) -> DatabaseSchema | None:
+    if schema is None or isinstance(schema, DatabaseSchema):
+        return schema
+    return DatabaseSchema([schema])
+
+
+def _rule_context(index: int, kind: Any, rule: Dependency | None) -> str:
+    relations = ", ".join(rule.relations()) if rule is not None else "?"
+    return f"rule #{index} ({kind} on relation {relations})"
+
+
+def _reraise_with_context(exc: ReproError, context: str) -> None:
+    """Re-raise ``exc`` with the rule context prefixed to its message.
+
+    The library's own error classes take a single message argument and are
+    reconstructed under their original type (callers catch SchemaError /
+    DomainError specifically); errors from user-registered codecs may have
+    arbitrary constructors, so they are wrapped in DependencyError instead
+    of being rebuilt.
+    """
+    cls = type(exc)
+    if cls in (SchemaError, DomainError, DependencyError):
+        raise cls(f"{context}: {exc}") from exc
+    raise DependencyError(f"{context}: {exc}") from exc
 
 
 def rules_from_list(
-    documents: Sequence[Mapping[str, Any]], schema: RelationSchema | None = None
+    documents: Sequence[Mapping[str, Any]],
+    schema: Union[RelationSchema, DatabaseSchema, None] = None,
 ) -> List[Dependency]:
-    """Parse a rules document into FD/CFD objects (validated if a schema
-    is supplied)."""
+    """Parse a rules document into dependency objects via the registry.
+
+    Any constraint class registered in :mod:`repro.registry` is accepted;
+    unknown ``"type"`` tags raise :class:`DependencyError` listing the
+    registered tags.  If a schema (relation or database) is supplied every
+    rule is validated against it, and validation errors name the offending
+    rule's index and relation(s), not just the attribute.
+    """
+    db_schema = _as_database_schema(schema)
     rules: List[Dependency] = []
     for i, doc in enumerate(documents):
         kind = doc.get("type")
-        if kind == "fd":
-            rule: Dependency = FD(doc["relation"], doc["lhs"], doc["rhs"])
-        elif kind == "cfd":
-            rows = [
-                {attr: _parse_pattern_cell(v) for attr, v in row.items()}
-                for row in doc["tableau"]
-            ]
-            attrs = tuple(doc["lhs"]) + tuple(
-                a for a in doc["rhs"] if a not in doc["lhs"]
-            )
-            rule = CFD(
-                doc["relation"],
-                doc["lhs"],
-                doc["rhs"],
-                PatternTableau(attrs, rows),
-                name=doc.get("name"),
-            )
-        else:
+        try:
+            codec = registry.codec_for_tag(kind)
+        except DependencyError as exc:
+            raise DependencyError(f"rule #{i}: {exc}") from exc
+        try:
+            rule = codec.from_dict(doc)
+        except ReproError as exc:
+            _reraise_with_context(exc, _rule_context(i, kind, None))
+        except KeyError as exc:
             raise DependencyError(
-                f"rule #{i}: unknown type {kind!r}; expected 'fd' or 'cfd'"
-            )
-        if schema is not None:
-            if isinstance(rule, FD):
-                rule.check_schema(schema)
-            else:
-                rule.check_schema(schema)
+                f"rule #{i} ({kind}): document missing key {exc}"
+            ) from exc
+        if db_schema is not None and codec.check is not None:
+            try:
+                codec.check(rule, db_schema)
+            except ReproError as exc:
+                _reraise_with_context(exc, _rule_context(i, kind, rule))
         rules.append(rule)
     return rules
 
 
 def rules_to_list(rules: Sequence[Dependency]) -> List[Dict[str, Any]]:
-    """Serialize FDs/CFDs back to plain documents."""
-    documents: List[Dict[str, Any]] = []
-    for rule in rules:
-        if isinstance(rule, CFD):
-            documents.append(
-                {
-                    "type": "cfd",
-                    "relation": rule.relation_name,
-                    "name": rule.name,
-                    "lhs": list(rule.lhs),
-                    "rhs": list(rule.rhs),
-                    "tableau": [
-                        {
-                            attr: ("_" if tp.get(attr) is UNNAMED else tp.get(attr))
-                            for attr in rule.tableau.attributes
-                        }
-                        for tp in rule.tableau
-                    ],
-                }
-            )
-        elif isinstance(rule, FD):
-            documents.append(
-                {
-                    "type": "fd",
-                    "relation": rule.relation_name,
-                    "lhs": list(rule.lhs),
-                    "rhs": list(rule.rhs),
-                }
-            )
-        else:
-            raise DependencyError(f"cannot serialize rule of type {type(rule).__name__}")
-    return documents
+    """Serialize dependencies back to plain documents via the registry."""
+    return [registry.encode(rule) for rule in rules]
 
 
 def load_schema(path) -> RelationSchema:
-    """Read a schema document from a JSON file."""
+    """Read a single-relation schema document from a JSON file.
+
+    Multi-relation documents are accepted when they declare exactly one
+    relation; use :func:`load_database_schema` for the general case.
+    """
     with open(path) as handle:
-        return schema_from_dict(json.load(handle))
+        document = json.load(handle)
+    if "relations" in document:
+        relations = document["relations"]
+        if len(relations) != 1:
+            raise SchemaError(
+                f"schema file {path} declares {len(relations)} relations; "
+                "use load_database_schema for multi-relation documents"
+            )
+        return schema_from_dict(relations[0])
+    return schema_from_dict(document)
 
 
-def load_rules(path, schema: RelationSchema | None = None) -> List[Dependency]:
+def load_database_schema(path) -> DatabaseSchema:
+    """Read a schema document (either form) from a JSON file."""
+    with open(path) as handle:
+        return database_schema_from_dict(json.load(handle))
+
+
+def load_rules(
+    path, schema: Union[RelationSchema, DatabaseSchema, None] = None
+) -> List[Dependency]:
     """Read a rules document from a JSON file."""
     with open(path) as handle:
         return rules_from_list(json.load(handle), schema)

@@ -18,12 +18,10 @@ does, and what the ``repro.cli stream`` subcommand and
 from __future__ import annotations
 
 import random
-import time
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.deps.base import Dependency
-from repro.engine.delta import Changeset, DeltaEngine, violation_multiset
-from repro.engine.executor import detect_violations_indexed
+from repro.engine.delta import Changeset, DeltaEngine
 from repro.errors import ReproError
 from repro.relational.instance import DatabaseInstance
 
@@ -171,34 +169,14 @@ def run_stream(
 ) -> StreamReport:
     """Feed the edit stream through the delta engine, batch by batch.
 
-    With ``verify=True`` every batch is followed by a full indexed
-    re-detection and the multisets are compared — the runtime analogue of
-    the differential test harness (raises ``ReproError`` on divergence).
+    Deprecated shim: the loop lives in :meth:`repro.session.Session.stream`
+    now; this free function wraps the instance (and an optional live
+    engine) in a session and delegates.  With ``verify=True`` every batch
+    is followed by a full indexed re-detection and the multisets are
+    compared — the runtime analogue of the differential test harness
+    (raises ``ReproError`` on divergence).
     """
-    config = config or StreamConfig()
-    engine = engine or DeltaEngine(db, dependencies)
-    results: List[BatchResult] = []
-    for index, batch in enumerate(stream_edits(db, config)):
-        started = time.perf_counter()
-        delta = engine.apply(batch)
-        elapsed = time.perf_counter() - started
-        results.append(
-            BatchResult(
-                index,
-                len(batch),
-                len(delta.added),
-                len(delta.removed),
-                delta.remaining,
-                elapsed,
-            )
-        )
-        if verify:
-            fresh = detect_violations_indexed(db, dependencies)
-            maintained = violation_multiset(engine.violations())
-            recomputed = violation_multiset(fresh.violations)
-            if maintained != recomputed:
-                raise ReproError(
-                    f"delta engine diverged from full re-detection at batch "
-                    f"{index}: {len(maintained)} vs {len(recomputed)} violations"
-                )
-    return StreamReport(results, verified=verify)
+    from repro.session import Session
+
+    session = Session.from_instance(db, dependencies, engine=engine)
+    return session.stream(config or StreamConfig(), verify=verify)

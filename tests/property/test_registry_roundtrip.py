@@ -1,0 +1,211 @@
+"""Property tests: every registered constraint class survives the registry.
+
+Hypothesis generates randomized schemas and constraint instances of every
+built-in class; ``decode(encode(x))`` must reproduce the object and a
+second ``encode`` must reproduce the document byte for byte (the canonical
+form the fixtures and ``Session.save_rules`` rely on).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import registry
+from repro.cfd.ecfd import ECFD, SetPattern
+from repro.cfd.model import CFD, UNNAMED
+from repro.cind.model import CIND
+from repro.deps.denial import DenialConstraint
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.errors import DependencyError
+from repro.relational.predicates import And, Comparison, InSet, Not, Or
+from repro.rules_json import rules_from_list, rules_to_list
+
+R_ATTRS = ("A0", "A1", "A2", "A3")
+S_ATTRS = ("X0", "X1", "X2")
+VALUES = ("a", "b", "c", 1, 2)
+
+
+@st.composite
+def _split(draw, attrs, max_lhs=2):
+    """A disjoint (lhs, rhs) pair over ``attrs``."""
+    pool = list(attrs)
+    lhs = draw(
+        st.lists(st.sampled_from(pool), min_size=1, max_size=max_lhs, unique=True)
+    )
+    rest = [a for a in pool if a not in lhs]
+    rhs = draw(st.lists(st.sampled_from(rest), min_size=1, max_size=2, unique=True))
+    return lhs, rhs
+
+
+@st.composite
+def fds(draw):
+    lhs, rhs = draw(_split(R_ATTRS))
+    return FD("R", lhs, rhs)
+
+
+@st.composite
+def cfds(draw):
+    lhs, rhs = draw(_split(R_ATTRS))
+    attrs = lhs + [a for a in rhs if a not in lhs]
+    rows = draw(
+        st.lists(
+            st.fixed_dictionaries(
+                {a: st.sampled_from((UNNAMED,) + VALUES) for a in attrs}
+            ),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    return CFD("R", lhs, rhs, rows)
+
+
+@st.composite
+def set_patterns(draw):
+    values = draw(st.lists(st.sampled_from(VALUES), min_size=1, max_size=3, unique=True))
+    return SetPattern(values, negated=draw(st.booleans()))
+
+
+@st.composite
+def ecfds(draw):
+    lhs, rhs = draw(_split(R_ATTRS))
+    pattern = {}
+    for a in lhs + rhs:
+        if draw(st.booleans()):
+            pattern[a] = draw(set_patterns())
+    return ECFD("R", lhs, rhs, pattern)
+
+
+@st.composite
+def inds(draw):
+    width = draw(st.integers(1, min(len(R_ATTRS), len(S_ATTRS))))
+    lhs = draw(st.permutations(R_ATTRS))[:width]
+    rhs = draw(st.permutations(S_ATTRS))[:width]
+    return IND("R", lhs, "S", rhs)
+
+
+@st.composite
+def cinds(draw):
+    width = draw(st.integers(1, 2))
+    lhs = draw(st.permutations(R_ATTRS))[:width]
+    rhs = draw(st.permutations(S_ATTRS))[:width]
+    lhs_free = [a for a in R_ATTRS if a not in lhs]
+    rhs_free = [a for a in S_ATTRS if a not in rhs]
+    lhs_pat = draw(st.lists(st.sampled_from(lhs_free), max_size=2, unique=True)) if lhs_free else []
+    rhs_pat = draw(st.lists(st.sampled_from(rhs_free), max_size=2, unique=True)) if rhs_free else []
+    n_rows = draw(st.integers(1, 2))
+    rows = []
+    for _ in range(n_rows):
+        row = {f"L.{a}": draw(st.sampled_from(VALUES)) for a in lhs_pat}
+        row.update({f"R.{a}": draw(st.sampled_from(VALUES)) for a in rhs_pat})
+        rows.append(row)
+    return CIND(
+        "R", lhs, "S", rhs,
+        lhs_pattern_attrs=lhs_pat,
+        rhs_pattern_attrs=rhs_pat,
+        tableau=rows,
+    )
+
+
+@st.composite
+def conditions(draw, depth=2):
+    def leaf():
+        kind = draw(st.integers(0, 1))
+        if kind == 0:
+            return Comparison(
+                f"@t0.{draw(st.sampled_from(R_ATTRS))}",
+                draw(st.sampled_from(("=", "!=", "<", "<=", ">", ">="))),
+                draw(
+                    st.one_of(
+                        st.sampled_from(VALUES),
+                        st.sampled_from(R_ATTRS).map(lambda a: f"@t1.{a}"),
+                    )
+                ),
+            )
+        return InSet(
+            f"@t0.{draw(st.sampled_from(R_ATTRS))}",
+            draw(st.lists(st.sampled_from(VALUES), min_size=1, max_size=3, unique=True)),
+            negated=draw(st.booleans()),
+        )
+
+    if depth == 0 or draw(st.booleans()):
+        return leaf()
+    parts = [draw(conditions(depth=depth - 1)) for _ in range(draw(st.integers(1, 2)))]
+    combiner = draw(st.sampled_from(("and", "or", "not")))
+    if combiner == "and":
+        return And(parts)
+    if combiner == "or":
+        return Or(parts)
+    return Not(parts[0])
+
+
+@st.composite
+def denials(draw):
+    return DenialConstraint(
+        ["R"] * draw(st.integers(1, 2)) + (["S"] if draw(st.booleans()) else []),
+        draw(conditions()),
+    )
+
+
+ALL_CLASSES = st.one_of(fds(), cfds(), ecfds(), inds(), cinds(), denials())
+
+
+@given(dep=ALL_CLASSES)
+@settings(max_examples=200, deadline=None)
+def test_every_registered_class_round_trips(dep):
+    document = registry.encode(dep)
+    json.loads(json.dumps(document, default=str))  # JSON-representable
+    decoded = registry.decode(document)
+    assert decoded == dep
+    assert registry.encode(decoded) == document  # canonical / byte-stable
+
+
+@given(deps=st.lists(ALL_CLASSES, min_size=1, max_size=5))
+@settings(max_examples=50, deadline=None)
+def test_rules_list_round_trips(deps):
+    documents = rules_to_list(deps)
+    assert rules_from_list(documents) == deps
+    assert rules_to_list(rules_from_list(documents)) == documents
+
+
+def test_unknown_tag_lists_registered_tags():
+    with pytest.raises(DependencyError) as excinfo:
+        rules_from_list([{"type": "mystery"}])
+    message = str(excinfo.value)
+    assert "rule #0" in message
+    for tag in registry.registered_tags():
+        assert tag in message
+
+
+def test_unregistered_class_cannot_serialize():
+    class Mystery:
+        pass
+
+    with pytest.raises(DependencyError):
+        registry.encode(Mystery())
+
+
+def test_custom_registration_is_pluggable():
+    """A user-registered class becomes file-loadable immediately."""
+
+    class Tagged(FD):
+        """An FD subclass standing in for a downstream extension."""
+
+    codec = registry.ConstraintCodec(
+        "tagged-fd",
+        Tagged,
+        lambda fd: {"relation": fd.relation_name, "lhs": list(fd.lhs), "rhs": list(fd.rhs)},
+        lambda doc: Tagged(doc["relation"], doc["lhs"], doc["rhs"]),
+    )
+    registry.register_constraint(codec)
+    try:
+        dep = Tagged("R", ["A0"], ["A1"])
+        assert registry.encode(dep)["type"] == "tagged-fd"
+        assert rules_from_list(rules_to_list([dep])) == [dep]
+        assert "tagged-fd" in registry.registered_tags()
+    finally:
+        registry._REGISTRY.pop("tagged-fd", None)

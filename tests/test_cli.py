@@ -45,6 +45,24 @@ class TestDetect:
         assert len(out) == 1
 
 
+class TestDetectJson:
+    def test_format_json_is_machine_readable(self, workspace, capsys):
+        _, data, schema_path, rules, _ = workspace
+        code = main(
+            [
+                "detect", "--format", "json",
+                "--schema", str(schema_path), "--rules", str(rules), str(data),
+            ]
+        )
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["total"] == 4
+        assert document["single_tuple"] == 3 and document["pairs"] == 1
+        assert len(document["violations"]) == 4
+        witness = document["violations"][0]["tuples"][0]
+        assert witness["relation"] == "customer" and "values" in witness
+
+
 class TestRepair:
     def test_repair_writes_clean_csv(self, workspace, capsys):
         tmp, data, schema_path, rules, schema = workspace
@@ -114,6 +132,29 @@ class TestStream:
         # exit code must mirror whether the final batch left violations live
         final_total = int(lines[-1].split(" total,")[0].rsplit(" ", 1)[-1])
         assert code == (1 if final_total else 0)
+
+    def test_stream_format_json(self, workspace, capsys):
+        _, data, schema_path, rules, _ = workspace
+        code = main(
+            [
+                "stream", "--format", "json",
+                "--schema", str(schema_path),
+                "--rules", str(rules),
+                "--batches", "4",
+                "--batch-size", "3",
+                "--seed", "1",
+                "--verify",
+                str(data),
+            ]
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert len(document["batches"]) == 4
+        assert document["verified"] is True
+        assert all(
+            {"batch", "edits", "added", "removed", "violations"} <= set(b)
+            for b in document["batches"]
+        )
+        assert code == (1 if document["final_violations"] else 0)
 
     def test_stream_deterministic_given_seed(self, workspace, capsys):
         _, data, schema_path, rules, _ = workspace

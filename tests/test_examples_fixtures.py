@@ -1,0 +1,122 @@
+"""The shipped examples/fixtures: every registered class, file-driven.
+
+These fixtures are what the CI packaging job smoke-runs the ``repro``
+console script against; here the same invocations go through ``main()``
+directly, plus the acceptance check that a rules document containing at
+least one of each dependency class loads, detects, and round-trips
+byte-stably.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.rules_json import (
+    database_schema_from_dict,
+    load_database_schema,
+    rules_from_list,
+    rules_to_list,
+)
+from repro.session import Session
+
+FIXTURES = Path(__file__).resolve().parent.parent / "examples" / "fixtures"
+DATA_ARGS = [
+    f"customer={FIXTURES / 'customer.csv'}",
+    f"orders={FIXTURES / 'orders.csv'}",
+]
+
+
+@pytest.fixture
+def schema():
+    return load_database_schema(FIXTURES / "schema.json")
+
+
+@pytest.fixture
+def rule_documents():
+    return json.loads((FIXTURES / "rules.json").read_text())
+
+
+class TestFixtureRules:
+    def test_one_rule_of_each_class(self, rule_documents):
+        tags = {doc["type"] for doc in rule_documents}
+        assert {"fd", "cfd", "ecfd", "ind", "cind", "denial"} <= tags
+
+    def test_round_trip_is_byte_stable(self, schema, rule_documents):
+        rules = rules_from_list(rule_documents, schema)
+        assert json.dumps(rules_to_list(rules), indent=2) == json.dumps(
+            rule_documents, indent=2
+        )
+
+    def test_session_loads_and_detects(self):
+        session = Session.from_files(
+            FIXTURES / "schema.json",
+            FIXTURES / "rules.json",
+            {
+                "customer": FIXTURES / "customer.csv",
+                "orders": FIXTURES / "orders.csv",
+            },
+        )
+        report = session.detect()
+        assert report.total > 0
+        per_dep = report.to_dict()["per_dependency"]
+        # the planted errors: one FD clash, eCFD area-code misses, one
+        # dangling order, two orders failing the CIND's EDI pattern
+        assert per_dep["nyc-area-codes"] >= 1
+        assert per_dep["uk-orders-need-edi-customers"] == 2
+
+
+class TestFixtureCli:
+    def _base(self, command):
+        return [
+            command,
+            "--schema", str(FIXTURES / "schema.json"),
+            "--rules", str(FIXTURES / "rules.json"),
+        ]
+
+    def test_detect_flags_the_fixture_errors(self, capsys):
+        code = main(self._base("detect") + DATA_ARGS)
+        assert code == 1
+        assert "violations" in capsys.readouterr().out
+
+    def test_detect_json_format(self, capsys):
+        code = main(self._base("detect") + ["--format", "json"] + DATA_ARGS)
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["total"] >= 5
+        assert document["per_dependency"]["uk-orders-need-edi-customers"] == 2
+
+    def test_stream_verify_over_multi_relation_fixtures(self, capsys):
+        code = main(
+            self._base("stream")
+            + ["--verify", "--batches", "3", "--batch-size", "5", "--seed", "3"]
+            + DATA_ARGS
+        )
+        captured = capsys.readouterr()
+        assert "verified against full re-detection" in captured.err
+        assert code in (0, 1)
+
+    def test_stream_json_format(self, capsys):
+        code = main(
+            self._base("stream")
+            + ["--format", "json", "--batches", "2", "--batch-size", "4"]
+            + DATA_ARGS
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert len(document["batches"]) == 2
+        assert code == (1 if document["final_violations"] else 0)
+
+    def test_single_path_with_multi_relation_schema_fails_clearly(self):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError, match="relation: path"):
+            main(self._base("detect") + [str(FIXTURES / "customer.csv")])
+
+
+def test_schema_document_round_trip(schema):
+    from repro.rules_json import database_schema_to_dict
+
+    assert database_schema_from_dict(database_schema_to_dict(schema)) == schema

@@ -23,6 +23,8 @@ MODULES = PACKAGES + [
     "repro.errors",
     "repro.cli",
     "repro.rules_json",
+    "repro.registry",
+    "repro.session",
     "repro.relational.algebra",
     "repro.relational.csvio",
     "repro.relational.predicates",

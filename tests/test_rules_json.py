@@ -4,11 +4,13 @@ import pytest
 
 from repro.cfd.model import CFD, UNNAMED
 from repro.deps.fd import FD
-from repro.errors import DependencyError, SchemaError
+from repro.errors import DependencyError, DomainError, SchemaError
 from repro.paper import fig2_cfds
 from repro.relational.domains import BOOL, EnumDomain, INT, STRING
-from repro.relational.schema import RelationSchema
+from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.rules_json import (
+    database_schema_from_dict,
+    database_schema_to_dict,
     rules_from_list,
     rules_to_list,
     schema_from_dict,
@@ -76,8 +78,81 @@ class TestRuleDocuments:
         with pytest.raises(DependencyError):
             rules_from_list([{"type": "mystery"}])
 
+    def test_unknown_type_lists_registered_tags(self):
+        with pytest.raises(DependencyError, match=r"rule #1.*'fd'.*'ind'"):
+            rules_from_list(
+                [{"type": "fd", "relation": "R", "lhs": ["A"], "rhs": ["B"]},
+                 {"type": "mystery"}]
+            )
+
     def test_schema_validation(self):
         schema = RelationSchema("R", [("A", STRING), ("B", STRING)])
         docs = [{"type": "fd", "relation": "R", "lhs": ["A"], "rhs": ["ZZ"]}]
         with pytest.raises(SchemaError):
             rules_from_list(docs, schema)
+
+    def test_schema_error_names_rule_index_and_relation(self):
+        """Unknown attributes report the offending rule, not just the attr."""
+        schema = RelationSchema("R", [("A", STRING), ("B", STRING)])
+        docs = [
+            {"type": "fd", "relation": "R", "lhs": ["A"], "rhs": ["B"]},
+            {"type": "fd", "relation": "R", "lhs": ["A"], "rhs": ["ZZ"]},
+        ]
+        with pytest.raises(SchemaError, match=r"rule #1 \(fd on relation R\)"):
+            rules_from_list(docs, schema)
+
+    def test_domain_error_keeps_rule_context(self):
+        schema = RelationSchema("R", [("A", INT), ("B", STRING)])
+        docs = [
+            {
+                "type": "cfd", "relation": "R", "lhs": ["A"], "rhs": ["B"],
+                "tableau": [{"A": "not-an-int", "B": "_"}],
+            }
+        ]
+        with pytest.raises(DomainError, match=r"rule #0 \(cfd on relation R\)"):
+            rules_from_list(docs, schema)
+
+    def test_missing_relation_reported_with_rule_index(self):
+        schema = RelationSchema("R", [("A", STRING)])
+        docs = [{"type": "fd", "relation": "Zed", "lhs": ["A"], "rhs": ["A"]}]
+        with pytest.raises(SchemaError, match=r"rule #0.*Zed"):
+            rules_from_list(docs, schema)
+
+    def test_validation_against_database_schema(self):
+        db_schema = DatabaseSchema(
+            [
+                RelationSchema("R", [("A", STRING)]),
+                RelationSchema("S", [("X", STRING)]),
+            ]
+        )
+        docs = [
+            {"type": "ind", "lhs_relation": "R", "lhs": ["A"],
+             "rhs_relation": "S", "rhs": ["X"]},
+        ]
+        (ind,) = rules_from_list(docs, db_schema)
+        assert ind.relations() == ("R", "S")
+        bad = [
+            {"type": "ind", "lhs_relation": "R", "lhs": ["A"],
+             "rhs_relation": "S", "rhs": ["ZZ"]},
+        ]
+        with pytest.raises(SchemaError, match=r"rule #0 \(ind on relation R, S\)"):
+            rules_from_list(bad, db_schema)
+
+
+class TestDatabaseSchemaDocuments:
+    def test_multi_relation_round_trip(self):
+        db_schema = DatabaseSchema(
+            [
+                RelationSchema("R", [("A", INT), ("B", STRING)]),
+                RelationSchema("S", [("X", STRING)]),
+            ]
+        )
+        doc = database_schema_to_dict(db_schema)
+        assert [r["name"] for r in doc["relations"]] == ["R", "S"]
+        assert database_schema_from_dict(doc) == db_schema
+
+    def test_single_relation_document_promotes(self):
+        doc = {"name": "R", "attributes": [{"name": "A", "type": "int"}]}
+        db_schema = database_schema_from_dict(doc)
+        assert db_schema.relation_names == ("R",)
+        assert db_schema.relation("R").domain("A") == INT

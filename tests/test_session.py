@@ -1,0 +1,233 @@
+"""The Session facade: one API over detect / repair / discover / stream.
+
+The acceptance bar for the facade is *exact* agreement with the free
+functions it fronts: ``Session.detect()``, ``Session.apply()`` /
+``Session.stream()`` and ``Session.repair()`` are pinned against
+``detect_violations`` / ``DeltaEngine`` / ``repair_cfds`` over the same
+220-seed corpus the engine differential harness uses.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.cfd.detect import detect_violations
+from repro.cfd.model import CFD
+from repro.deps.fd import FD
+from repro.engine.delta import Changeset, DeltaEngine, violation_multiset
+from repro.errors import RepairError, SchemaError
+from repro.paper import fig1_instance, fig2_cfds
+from repro.repair.urepair import repair_cfds
+from repro.session import RepairReport, Session, ViolationReport
+from repro.workloads.stream import StreamConfig, run_stream
+
+from tests.engine.test_differential import (
+    N_CASES,
+    _random_batch,
+    _random_dependencies,
+    _random_instance,
+    _random_schema,
+)
+
+
+def _case(seed: int):
+    rng = random.Random(10_000 + seed)
+    schema = _random_schema(rng)
+    db = _random_instance(schema, rng)
+    deps = _random_dependencies(schema, rng)
+    return rng, db, deps
+
+
+class TestDetectDifferential:
+    def test_detect_matches_free_function_on_corpus(self):
+        """Session.detect == detect_violations over all 220 corpus seeds."""
+        for seed in range(N_CASES):
+            _, db, deps = _case(seed)
+            session = Session.from_instance(db, deps)
+            facade = session.detect()
+            free = detect_violations(db, deps)
+            assert violation_multiset(facade.violations) == violation_multiset(
+                free.violations
+            ), f"seed={seed}"
+            assert isinstance(facade, ViolationReport)
+
+    def test_apply_matches_delta_engine_on_corpus(self):
+        """Session.apply == DeltaEngine.apply batch by batch (mirrored)."""
+        for seed in range(0, N_CASES, 2):
+            rng, db, deps = _case(seed)
+            mirror = db.copy()
+            session = Session.from_instance(db, deps)
+            reference = DeltaEngine(mirror, deps)
+            for batch_index in range(rng.randrange(1, 4)):
+                batch = _random_batch(db, rng)
+                facade_delta = session.apply(batch)
+                reference_delta = reference.apply(batch)
+                context = f"seed={seed} batch={batch_index}"
+                assert facade_delta.remaining == reference_delta.remaining, context
+                assert violation_multiset(
+                    facade_delta.added
+                ) == violation_multiset(reference_delta.added), context
+                assert violation_multiset(
+                    facade_delta.removed
+                ) == violation_multiset(reference_delta.removed), context
+
+
+class TestRepairDifferential:
+    def test_u_repair_matches_free_function_on_corpus(self):
+        """Session.repair('u') == repair_cfds on every corpus case that has
+        at least one FD/CFD (the classes U-repair consumes)."""
+        compared = 0
+        for seed in range(N_CASES):
+            _, db, deps = _case(seed)
+            value_rules = [
+                d for d in deps if isinstance(d, (FD, CFD))
+            ]
+            if not value_rules:
+                continue
+            session = Session.from_instance(db.copy(), deps)
+            report = session.repair(strategy="u", max_passes=5)
+            free = repair_cfds(
+                db.copy(), session._value_rules(), max_passes=5
+            )
+            context = f"seed={seed}"
+            assert report.repaired == free.repaired, context
+            assert report.cost == pytest.approx(free.cost), context
+            assert report.changed == free.changed_cells(), context
+            assert report.passes == free.passes, context
+            compared += 1
+        assert compared >= 100  # the corpus is FD/CFD-heavy
+
+
+class TestStreamDifferential:
+    def test_stream_matches_run_stream_shim(self):
+        for seed in (0, 7, 23):
+            _, db, deps = _case(seed)
+            config = StreamConfig(n_batches=4, batch_size=6, seed=seed + 1)
+            session = Session.from_instance(db.copy(), deps)
+            facade = session.stream(config, verify=True)
+            free = run_stream(db.copy(), deps, config, verify=True)
+            assert [
+                (b.edits, b.added, b.removed, b.total) for b in facade.batches
+            ] == [(b.edits, b.added, b.removed, b.total) for b in free.batches]
+
+    def test_stream_accepts_explicit_batches(self):
+        db = fig1_instance()
+        rules = list(fig2_cfds().values())
+        session = Session.from_instance(db, rules)
+        t = db.relation("customer").tuples()[0]
+        report = session.stream(
+            batches=[Changeset().delete("customer", t)], verify=True
+        )
+        assert len(report.batches) == 1
+        assert report.batches[0].edits == 1
+        assert report.verified
+
+
+class TestRepairStrategies:
+    def test_u_repair_report_fields(self):
+        session = Session.from_instance(fig1_instance(), list(fig2_cfds().values()))
+        report = session.repair(strategy="u")
+        assert isinstance(report, RepairReport)
+        assert report.resolved and report.residual.is_clean()
+        assert report.passes >= 1
+        assert report.cost > 0 and report.changed == len(report.changes)
+        assert report.to_dict()["residual_violations"] == 0
+
+    def test_x_repair_deletes_tuples(self):
+        session = Session.from_instance(fig1_instance(), list(fig2_cfds().values()))
+        before = session.database.total_tuples()
+        report = session.repair(strategy="x")
+        assert report.resolved
+        assert report.repaired.total_tuples() == before - report.changed
+        # the session still owns the unrepaired instance
+        assert session.database.total_tuples() == before
+
+    def test_s_repair_minimal_on_small_case(self):
+        session = Session.from_instance(fig1_instance(), list(fig2_cfds().values()))
+        report = session.repair(strategy="s", limit=50_000)
+        assert report.resolved
+        assert report.changed == report.cost
+
+    def test_adopt_swaps_the_instance(self):
+        session = Session.from_instance(fig1_instance(), list(fig2_cfds().values()))
+        assert not session.is_clean()
+        report = session.repair(strategy="u", adopt=True)
+        assert session.database is report.repaired
+        assert session.is_clean()
+
+    def test_unknown_strategy_rejected(self):
+        session = Session.from_instance(fig1_instance(), list(fig2_cfds().values()))
+        with pytest.raises(RepairError):
+            session.repair(strategy="z")
+
+    def test_u_repair_needs_value_rules(self):
+        session = Session.from_instance(fig1_instance(), [])
+        with pytest.raises(RepairError):
+            session.repair(strategy="u")
+
+
+class TestLifecycle:
+    def test_detect_report_to_dict(self):
+        session = Session.from_instance(fig1_instance(), list(fig2_cfds().values()))
+        document = session.detect().to_dict()
+        assert document["total"] == 4
+        assert set(document) >= {"per_dependency", "violations", "single_tuple"}
+        assert all("reason" in v and "tuples" in v for v in document["violations"])
+        json.dumps(document, default=str)  # JSON-ready
+
+    def test_engine_is_lazy_and_cached(self):
+        session = Session.from_instance(fig1_instance(), list(fig2_cfds().values()))
+        assert session._engine is None
+        engine = session.engine
+        assert session.engine is engine
+        session.add_rules(FD("customer", ["zip"], ["street"]))
+        assert session._engine is None  # rebuilt on next use
+        assert len(session.engine.dependencies) == 4
+
+    def test_apply_undo_round_trip(self):
+        session = Session.from_instance(fig1_instance(), list(fig2_cfds().values()))
+        before = session.engine.total_violations()
+        t = session.database.relation("customer").tuples()[0]
+        delta = session.apply(Changeset().delete("customer", t))
+        session.apply(delta.undo)
+        assert session.engine.total_violations() == before
+
+    def test_save_and_reload_round_trip(self, tmp_path):
+        session = Session.from_instance(fig1_instance(), list(fig2_cfds().values()))
+        schema_path = tmp_path / "schema.json"
+        rules_path = tmp_path / "rules.json"
+        data_path = tmp_path / "customer.csv"
+        session.save_schema(schema_path)
+        session.save_rules(rules_path)
+        session.save_data(data_path)
+        reloaded = Session.from_files(schema_path, rules_path, data_path)
+        # rule objects are reparsed, so compare reasons, not identities
+        assert sorted(v.reason for v in reloaded.detect().violations) == sorted(
+            v.reason for v in session.detect().violations
+        )
+        assert reloaded.rules_documents() == session.rules_documents()
+
+    def test_from_files_single_path_needs_single_relation(self, tmp_path):
+        schema_path = tmp_path / "schema.json"
+        schema_path.write_text(
+            json.dumps(
+                {
+                    "relations": [
+                        {"name": "a", "attributes": [{"name": "x"}]},
+                        {"name": "b", "attributes": [{"name": "y"}]},
+                    ]
+                }
+            )
+        )
+        data = tmp_path / "a.csv"
+        data.write_text("x\n1\n")
+        with pytest.raises(SchemaError):
+            Session.from_files(schema_path, None, data)
+
+    def test_discover_delegates(self):
+        session = Session.from_instance(fig1_instance())
+        found = session.discover(max_lhs=1, min_support=2)
+        assert found and all(d.cfd.relation_name == "customer" for d in found)
