@@ -1,0 +1,191 @@
+"""PARALLEL — sharded detection fan-out vs the serial indexed executor.
+
+The workload is steady-state monitoring at scale: one customer relation
+(100k tuples at the top size) under the established 25-CFD detection set
+plus a family of variable "monitor" CFDs — independent teams' rules
+sharing a handful of LHS signatures, which is exactly the shape whose
+evaluation cost the sharded executor fans out.  The serial baseline is
+the warm indexed executor; the parallel engine runs as a *warm*
+:class:`~repro.engine.parallel.ParallelExecutor` (shard buckets + worker
+pool cached across calls, the server shape) at 2 / 4 / 8 shards.
+
+Speedup is bounded by the machine: the per-shard evaluation parallelizes,
+the bucket build and the payload merge do not, and a pool cannot beat the
+serial path on fewer than ~4 cores.  The emitted JSON therefore records
+``cpu_count`` and gates the ≥2x-at-4-shards acceptance target only when
+at least 4 CPUs are available (``target_applicable``); on smaller hosts
+the run still verifies equivalence and reports honest numbers.
+
+Run standalone to produce ``BENCH_parallel.json``:
+
+    python benchmarks/bench_parallel_scaling.py [--smoke] [--out PATH]
+
+or under pytest for the smoke assertion (equivalence across shard counts).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+if __name__ == "__main__":  # allow running without an installed package
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_engine_scaling import engine_cfds
+
+from repro.cfd.model import CFD, UNNAMED
+from repro.engine.delta import violation_multiset
+from repro.engine.executor import detect_violations_indexed
+from repro.engine.parallel import ParallelExecutor
+from repro.workloads.customer import CustomerConfig, generate_customers
+
+SIZES = [10_000, 30_000, 100_000]
+SMOKE_SIZES = [2_000, 5_000]
+SHARD_COUNTS = [2, 4, 8]
+TARGET_SPEEDUP = 2.0
+TARGET_SHARDS = 4
+
+#: variable embedded FDs that hold on clean data (violations stay rare,
+#: so the comparison measures scan structure, not payload plumbing)
+_MONITOR_SHAPES = [
+    (["AC"], ["CC"]),
+    (["city"], ["CC"]),
+    (["zip"], ["city"]),
+    (["CC", "AC"], ["city"]),
+    (["AC"], ["city"]),
+    (["zip"], ["CC"]),
+]
+
+
+def parallel_cfds(monitor_replicas: int = 10) -> List[CFD]:
+    """The engine benchmark's 25 CFDs + replicated variable monitors."""
+    cfds = engine_cfds()
+    for replica in range(monitor_replicas):
+        for index, (lhs, rhs) in enumerate(_MONITOR_SHAPES):
+            cfds.append(
+                CFD(
+                    "customer",
+                    lhs,
+                    rhs,
+                    [{a: UNNAMED for a in lhs + rhs}],
+                    name=f"monitor-{replica}-{index}",
+                )
+            )
+    return cfds
+
+
+def _time(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure(n_tuples: int, repeats: int = 3, monitor_replicas: int = 10) -> Dict:
+    workload = generate_customers(
+        CustomerConfig(n_tuples=n_tuples, error_rate=0.005, seed=17)
+    )
+    db = workload.db
+    cfds = parallel_cfds(monitor_replicas)
+
+    serial_report = detect_violations_indexed(db, cfds)  # warms the indexes
+    serial_seconds = _time(lambda: detect_violations_indexed(db, cfds), repeats)
+    serial = violation_multiset(serial_report.violations)
+
+    row: Dict = {
+        "n_tuples": n_tuples,
+        "n_cfds": len(cfds),
+        "violations": serial_report.total,
+        "serial_seconds": serial_seconds,
+        "shards": {},
+    }
+    for shards in SHARD_COUNTS:
+        # Warm executor: pool (when multi-core) and shard buckets persist
+        # across the timed repeats, exactly like a serving deployment.
+        with ParallelExecutor(shards=shards) as executor:
+            report = executor.detect(db, cfds)
+            if violation_multiset(report.violations) != serial:
+                raise AssertionError(
+                    f"parallel({shards}) diverged from serial at n={n_tuples}"
+                )
+            seconds = _time(lambda: executor.detect(db, cfds), repeats)
+            row["shards"][str(shards)] = {
+                "seconds": seconds,
+                "speedup": serial_seconds / seconds,
+                "pool_workers": executor.stats.pool_workers,
+            }
+    return row
+
+
+def run(sizes=SIZES, repeats: int = 3, monitor_replicas: int = 10) -> Dict:
+    cpu_count = os.cpu_count() or 1
+    series = [measure(n, repeats, monitor_replicas) for n in sizes]
+    top = series[-1]
+    top_speedup = top["shards"][str(TARGET_SHARDS)]["speedup"]
+    target_applicable = cpu_count >= TARGET_SHARDS
+    return {
+        "benchmark": "parallel_scaling",
+        "workload": "customer + monitor CFDs",
+        "cpu_count": cpu_count,
+        "sizes": sizes,
+        "shard_counts": SHARD_COUNTS,
+        "target_speedup": TARGET_SPEEDUP,
+        "target_shards": TARGET_SHARDS,
+        "series": series,
+        "top_speedup_at_target_shards": top_speedup,
+        "target_applicable": target_applicable,
+        "meets_target": top_speedup >= TARGET_SPEEDUP,
+    }
+
+
+def test_parallel_scaling_smoke():
+    """Small-size smoke: every shard count reports the serial violations."""
+    row = measure(2_000, repeats=1, monitor_replicas=2)
+    assert row["violations"] > 0
+    assert set(row["shards"]) == {str(s) for s in SHARD_COUNTS}
+    assert all(entry["seconds"] > 0 for entry in row["shards"].values())
+
+
+def main(argv: List[str]) -> int:
+    out = Path("BENCH_parallel.json")
+    if "--out" in argv:
+        out = Path(argv[argv.index("--out") + 1])
+    smoke = "--smoke" in argv
+    sizes = SMOKE_SIZES if smoke else SIZES
+    repeats = 2 if smoke else 3
+    replicas = 3 if smoke else 10
+    result = run(sizes, repeats=repeats, monitor_replicas=replicas)
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    for row in result["series"]:
+        shard_text = "  ".join(
+            f"s={shards}:{entry['seconds']:.3f}s({entry['speedup']:.2f}x)"
+            for shards, entry in row["shards"].items()
+        )
+        print(
+            f"n={row['n_tuples']:>6}  serial={row['serial_seconds']:.3f}s  "
+            f"{shard_text}"
+        )
+    verdict = "MET" if result["meets_target"] else "MISSED"
+    if not result["target_applicable"]:
+        verdict += f" (not gated: only {result['cpu_count']} CPU(s))"
+    print(
+        f"speedup at {TARGET_SHARDS} shards, top size: "
+        f"{result['top_speedup_at_target_shards']:.2f}x "
+        f"(target >={TARGET_SPEEDUP:.0f}x: {verdict})"
+    )
+    # Smoke runs and small hosts report without gating; the full run on a
+    # multi-core machine enforces the acceptance target.
+    if smoke or not result["target_applicable"]:
+        return 0
+    return 0 if result["meets_target"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

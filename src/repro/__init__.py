@@ -10,7 +10,8 @@ Subpackages
 ``repro.session``      the unified Session facade: detect/repair/discover/stream
 ``repro.registry``     pluggable constraint registry: JSON codecs per class
 ``repro.relational``   typed domains, schemas, instances, algebra, queries
-``repro.engine``       indexed execution: shared scans, batch planning, deltas
+``repro.engine``       indexed execution: shared scans, batch planning, deltas,
+                       sharded parallel detection (``repro.engine.parallel``)
 ``repro.deps``         FDs, INDs, denial constraints, Armstrong proofs
 ``repro.cfd``          conditional functional dependencies and eCFDs (§2.1/§2.3)
 ``repro.cind``         conditional inclusion dependencies (§2.2)
@@ -38,7 +39,7 @@ from repro.errors import (
     SchemaError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AnalysisBoundExceeded",

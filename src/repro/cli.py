@@ -24,6 +24,13 @@ batches through the delta engine and prints one violation-delta line per
 batch (``--verify`` cross-checks every batch against full re-detection).
 ``detect`` and ``stream`` take ``--format json`` for machine-readable
 output on stdout.
+
+``--shards N`` on ``detect``/``repair``/``stream`` runs the session on
+the sharded parallel engine (:mod:`repro.engine.parallel`): detection
+fans out over hash shards and the delta engine maintains shard-local
+state.  Output is byte-identical for every shard count — ``stream
+--format json`` omits wall-clock timings unless ``--timings`` is given,
+so its document is deterministic too.
 """
 
 from __future__ import annotations
@@ -38,6 +45,19 @@ from repro.rules_json import rules_to_list
 from repro.session import Session
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_shards_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "hash-shard count for the parallel engine (default: the "
+            "REPRO_DEFAULT_SHARDS environment override, else 1)"
+        ),
+    )
 
 
 def _add_data_argument(parser: argparse.ArgumentParser) -> None:
@@ -70,6 +90,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="text",
         help="output format (json: one machine-readable document on stdout)",
     )
+    detect.add_argument(
+        "--executor",
+        choices=("indexed", "parallel", "naive"),
+        default=None,
+        help=(
+            "detection path (default: indexed, or parallel when --shards "
+            "is given)"
+        ),
+    )
+    _add_shards_argument(detect)
     _add_data_argument(detect)
 
     repair = sub.add_parser("repair", help="repair under a §5.1 model")
@@ -89,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
     repair.add_argument(
         "--max-passes", type=int, default=25, help="heuristic pass cap (u-repair)"
     )
+    _add_shards_argument(repair)
     _add_data_argument(repair)
 
     discover = sub.add_parser("discover", help="profile CFDs from data")
@@ -117,6 +148,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="text",
         help="output format (json: one machine-readable document on stdout)",
     )
+    stream.add_argument(
+        "--timings",
+        action="store_true",
+        help=(
+            "include per-batch wall-clock seconds in --format json output "
+            "(omitted by default so the document is deterministic)"
+        ),
+    )
+    _add_shards_argument(stream)
     _add_data_argument(stream)
 
     return parser
@@ -138,10 +178,17 @@ def _data_mapping(entries: Sequence[str]) -> Union[str, Mapping[str, str]]:
 
 
 def _session(args, with_rules: bool = True) -> Session:
+    shards = getattr(args, "shards", None)
+    executor = getattr(args, "executor", None)
+    if executor is None:
+        # --shards alone opts the session into the parallel engine.
+        executor = "parallel" if shards is not None else "indexed"
     return Session.from_files(
         args.schema,
         args.rules if with_rules else None,
         _data_mapping(args.data),
+        executor=executor,
+        shards=shards,
     )
 
 
@@ -209,6 +256,9 @@ def _cmd_stream(args) -> int:
         json.dump(
             {
                 "start_violations": start,
+                # "seconds" is opt-in (--timings): without it the document
+                # is deterministic — byte-identical across runs and shard
+                # counts for a given seed.
                 "batches": [
                     {
                         "batch": b.index,
@@ -216,7 +266,7 @@ def _cmd_stream(args) -> int:
                         "added": b.added,
                         "removed": b.removed,
                         "violations": b.total,
-                        "seconds": b.seconds,
+                        **({"seconds": b.seconds} if args.timings else {}),
                     }
                     for b in report.batches
                 ],

@@ -30,6 +30,15 @@ batch executor, localized to what the delta touches:
 Every ``apply`` also hands back the ``undo`` changeset that reverts the
 batch, which is what lets repair search trees (:mod:`repro.repair.xrepair`,
 :mod:`repro.repair.srepair`) explore edits without copying the database.
+
+With ``shards > 1`` the maintained state is split across hash shards of
+the same signature-aligned partitioning the parallel executor uses
+(:mod:`repro.engine.parallel`): every scan group keeps one
+:class:`_ScanState` per shard holding the partition keys that hash there,
+every inclusion group one key-filtered :class:`_InclusionState` per shard,
+and ``apply`` routes each effective op to the shard owning its key before
+patching.  The maintained violation multiset is identical for every shard
+count; ``REPRO_DEFAULT_SHARDS`` sets the default.
 """
 
 from __future__ import annotations
@@ -48,6 +57,7 @@ from typing import (
 
 from repro.deps.base import Dependency, Violation
 from repro.engine.indexes import key_getter
+from repro.engine.parallel import resolve_shards, stable_shard
 from repro.engine.planner import plan_detection
 from repro.errors import ReproError
 from repro.relational.instance import DatabaseInstance, RelationInstance
@@ -315,7 +325,12 @@ class _ScanState:
         "_conditional",
     )
 
-    def __init__(self, relation: RelationInstance, scan_group) -> None:
+    def __init__(
+        self,
+        relation: RelationInstance,
+        scan_group,
+        tuples: Optional[Iterable[Tuple]] = None,
+    ) -> None:
         self.relation_name = scan_group.relation_name
         self.signature = scan_group.signature
         self.key_of = key_getter(relation.schema, self.signature)
@@ -340,13 +355,21 @@ class _ScanState:
             entry for entry in self.tasks if entry not in self._universal
         ]
         self.groups: Dict[tuple, Dict[Tuple, None]] = {}
-        for t in relation:
+        # ``tuples`` restricts the state to a shard's bucket (in relation
+        # insertion order); every partition key lands wholly inside one
+        # shard, so each sub-state patches exactly as the unsharded one.
+        for t in relation if tuples is None else tuples:
             self.groups.setdefault(self.key_of(t.values()), {})[t] = None
         self.violations: Dict[tuple, List[PyTuple[int, Violation]]] = {}
         for key, group in self.groups.items():
             found = self._evaluate(key, list(group))
             if found:
                 self.violations[key] = found
+
+    def iter_found(self):
+        """All stored (position, violation) entries, per-partition order."""
+        for found in self.violations.values():
+            yield from found
 
     def _applicable(self, key: tuple) -> List[PyTuple[int, Any]]:
         """The member tasks whose pattern admits this partition key."""
@@ -491,12 +514,29 @@ class _InclusionRow:
 class _InclusionState:
     """One (target relation, Yp, Y) signature: shared counted key index."""
 
-    __slots__ = ("relation_name", "yp_of", "y_of", "provided", "rows", "sources")
+    __slots__ = (
+        "relation_name",
+        "yp_of",
+        "y_of",
+        "provided",
+        "rows",
+        "sources",
+        "_shard",
+    )
 
-    def __init__(self, db: DatabaseInstance, inclusion_group) -> None:
+    def __init__(
+        self,
+        db: DatabaseInstance,
+        inclusion_group,
+        shard: Optional[PyTuple[int, int]] = None,
+    ) -> None:
         from repro.cind.model import CIND
 
         self.relation_name = inclusion_group.relation_name
+        #: (shard index, shard count) — restricts this state to inclusion
+        #: keys hashing to the index; source X and target Y projections of
+        #: one key always hash alike, so per-key state stays shard-local.
+        self._shard = shard
         target = db.relation(self.relation_name)
         self.yp_of = key_getter(target.schema, inclusion_group.group_attrs)
         self.y_of = key_getter(target.schema, inclusion_group.key_attrs)
@@ -504,8 +544,10 @@ class _InclusionState:
         self.provided: Dict[tuple, Dict[tuple, int]] = {}
         for t in target:
             values = t.values()
-            counts = self.provided.setdefault(self.yp_of(values), {})
             y = self.y_of(values)
+            if not self._owns_key(y):
+                continue
+            counts = self.provided.setdefault(self.yp_of(values), {})
             counts[y] = counts.get(y, 0) + 1
 
         self.rows: List[_InclusionRow] = []
@@ -541,9 +583,18 @@ class _InclusionState:
                     if not row.matches_source(t):
                         continue
                     key = getters[row.dep.lhs_attrs](t.values())
+                    if not self._owns_key(key):
+                        continue
                     row.demand.setdefault(key, {})[t] = None
                     if not self._is_provided(row.yp_key, key):
                         row.violating[t] = row.make_violation(t)
+
+    def _owns_key(self, key: tuple) -> bool:
+        # Hot: called once per (row, op) during sharded apply routing.
+        if self._shard is None:
+            return True
+        index, count = self._shard
+        return stable_shard(key, count) == index
 
     def _is_provided(self, yp_key: tuple, y_key: tuple) -> bool:
         counts = self.provided.get(yp_key)
@@ -587,6 +638,8 @@ class _InclusionState:
                     if not row.matches_source(t):
                         continue
                     key = getters[row.dep.lhs_attrs](t.values())
+                    if not self._owns_key(key):
+                        continue
                     demanders = row.demand.get(key)
                     if demanders is not None:
                         demanders.pop(t, None)
@@ -604,6 +657,8 @@ class _InclusionState:
             for kind, t in target_ops:
                 values = t.values()
                 yp, y = self.yp_of(values), self.y_of(values)
+                if not self._owns_key(y):
+                    continue
                 counts = self.provided.setdefault(yp, {})
                 before = counts.get(y, 0)
                 transitions.setdefault((yp, y), before)
@@ -644,12 +699,122 @@ class _InclusionState:
                     if not row.matches_source(t):
                         continue
                     key = getters[row.dep.lhs_attrs](t.values())
+                    if not self._owns_key(key):
+                        continue
                     row.demand.setdefault(key, {})[t] = None
                     if not self._is_provided(row.yp_key, key):
                         violation = row.make_violation(t)
                         row.violating[t] = violation
                         added_v.append((row.position, violation))
         return added_v, removed_v
+
+
+class _ShardedScanState:
+    """One scan group split into shard-local :class:`_ScanState` children.
+
+    Each child owns the partition keys hashing to its shard (see
+    :func:`repro.engine.parallel.stable_shard`); since an FD/CFD/eCFD
+    violation never crosses a partition, the children's violation sets are
+    disjoint and their union equals the unsharded state's.  ``apply``
+    routes each effective op to the shard owning its partition key and
+    patches only the touched children — the seam a pool of per-shard
+    maintenance workers binds to.
+    """
+
+    __slots__ = ("relation_name", "signature", "key_of", "shards", "states")
+
+    def __init__(self, relation: RelationInstance, scan_group, shards: int) -> None:
+        self.relation_name = scan_group.relation_name
+        self.signature = scan_group.signature
+        self.key_of = key_getter(relation.schema, self.signature)
+        self.shards = shards
+        buckets: List[List[Tuple]] = [[] for _ in range(shards)]
+        for t in relation:
+            buckets[stable_shard(self.key_of(t.values()), shards)].append(t)
+        self.states = [
+            _ScanState(relation, scan_group, tuples=bucket) for bucket in buckets
+        ]
+
+    @property
+    def groups(self) -> Dict[tuple, Dict[Tuple, None]]:
+        """Merged view of the shard-local partition maps (shard-major)."""
+        merged: Dict[tuple, Dict[Tuple, None]] = {}
+        for state in self.states:
+            merged.update(state.groups)
+        return merged
+
+    @property
+    def violations(self) -> Dict[tuple, List[PyTuple[int, Violation]]]:
+        """Merged view of the shard-local violation maps (shard-major)."""
+        merged: Dict[tuple, List[PyTuple[int, Violation]]] = {}
+        for state in self.states:
+            merged.update(state.violations)
+        return merged
+
+    def iter_found(self):
+        """All stored (position, violation) entries without a merge copy."""
+        for state in self.states:
+            yield from state.iter_found()
+
+    def apply(
+        self, ops: Sequence[PyTuple[str, Tuple]], stats: DeltaStats
+    ) -> PyTuple[List[PyTuple[int, Violation]], List[PyTuple[int, Violation]]]:
+        routed: List[List[PyTuple[str, Tuple]]] = [[] for _ in range(self.shards)]
+        for kind, t in ops:
+            routed[stable_shard(self.key_of(t.values()), self.shards)].append(
+                (kind, t)
+            )
+        added: List[PyTuple[int, Violation]] = []
+        removed: List[PyTuple[int, Violation]] = []
+        for state, shard_ops in zip(self.states, routed):
+            if shard_ops:
+                gained, lost = state.apply(shard_ops, stats)
+                added.extend(gained)
+                removed.extend(lost)
+        return added, removed
+
+
+class _ShardedInclusionState:
+    """One inclusion group split into shard-filtered children.
+
+    Each child :class:`_InclusionState` owns the inclusion keys hashing to
+    its shard — both the demand side (source X projections) and the supply
+    side (target Y projections), which agree for any key that can match.
+    ``apply`` hands the batch to every child; each filters down to the
+    keys it owns, so every op is processed exactly once per tableau row.
+    """
+
+    __slots__ = ("relation_name", "sources", "states")
+
+    def __init__(self, db: DatabaseInstance, inclusion_group, shards: int) -> None:
+        self.states = [
+            _InclusionState(db, inclusion_group, shard=(index, shards))
+            for index in range(shards)
+        ]
+        self.relation_name = inclusion_group.relation_name
+        #: source relation names (the engine only consults the keys)
+        self.sources = self.states[0].sources
+
+    @property
+    def rows(self) -> List[_InclusionRow]:
+        return [row for state in self.states for row in state.rows]
+
+    def apply(
+        self,
+        effective: Mapping[str, Sequence[PyTuple[str, Tuple]]],
+        stats: DeltaStats,
+    ) -> PyTuple[List[PyTuple[int, Violation]], List[PyTuple[int, Violation]]]:
+        # Unlike scan groups, ops cannot be pre-routed per shard: one
+        # source op owes its key to each tableau row's own X projection,
+        # so the owning shard varies per (row, op).  Every child gets the
+        # batch and filters at key level via _owns_key.
+        added: List[PyTuple[int, Violation]] = []
+        removed: List[PyTuple[int, Violation]] = []
+        for state in self.states:
+            gained, lost = state.apply(effective, stats)
+            added.extend(gained)
+            removed.extend(lost)
+        return added, removed
 
 
 class DeltaEngine:
@@ -664,24 +829,43 @@ class DeltaEngine:
     against the naive oracle as well).
     """
 
-    def __init__(self, db: DatabaseInstance, dependencies: Sequence[Dependency]):
+    def __init__(
+        self,
+        db: DatabaseInstance,
+        dependencies: Sequence[Dependency],
+        shards: Optional[int] = None,
+    ):
         self._db = db
+        self._shards = resolve_shards(shards)
         self._plan = plan_detection(dependencies)
         self.dependencies: List[Dependency] = self._plan.dependencies
         self.stats = DeltaStats()
-        self._scan_states: List[_ScanState] = [
-            _ScanState(db.relation(group.relation_name), group)
-            for group in self._plan.scan_groups
-        ]
-        self._inclusion_states: List[_InclusionState] = [
-            _InclusionState(db, group) for group in self._plan.inclusion_groups
-        ]
+        if self._shards == 1:
+            self._scan_states: List[Any] = [
+                _ScanState(db.relation(group.relation_name), group)
+                for group in self._plan.scan_groups
+            ]
+            self._inclusion_states: List[Any] = [
+                _InclusionState(db, group)
+                for group in self._plan.inclusion_groups
+            ]
+        else:
+            self._scan_states = [
+                _ShardedScanState(
+                    db.relation(group.relation_name), group, self._shards
+                )
+                for group in self._plan.scan_groups
+            ]
+            self._inclusion_states = [
+                _ShardedInclusionState(db, group, self._shards)
+                for group in self._plan.inclusion_groups
+            ]
         self._fallback: List[PyTuple[int, Dependency, List[Violation]]] = [
             (position, dep, list(dep.violations(db)))
             for position, dep in self._plan.fallback
         ]
         self._total = sum(
-            len(found) for state in self._scan_states for found in state.violations.values()
+            1 for state in self._scan_states for _ in state.iter_found()
         )
         self._total += sum(
             len(row.violating)
@@ -699,6 +883,11 @@ class DeltaEngine:
     def database(self) -> DatabaseInstance:
         return self._db
 
+    @property
+    def shards(self) -> int:
+        """How many hash shards the maintained state is split across."""
+        return self._shards
+
     def total_violations(self) -> int:
         return self._total
 
@@ -711,9 +900,8 @@ class DeltaEngine:
         necessarily a fresh detection's order — the multisets are equal)."""
         results: List[List[Violation]] = [[] for _ in self.dependencies]
         for state in self._scan_states:
-            for found in state.violations.values():
-                for position, violation in found:
-                    results[position].append(violation)
+            for position, violation in state.iter_found():
+                results[position].append(violation)
         for state in self._inclusion_states:
             for row in state.rows:
                 results[row.position].extend(row.violating.values())
@@ -730,7 +918,11 @@ class DeltaEngine:
     def partitions(self, relation_name: str, signature: PyTuple[str, ...]):
         """The maintained partition map for a tracked scan signature, or
         ``None`` if no scan group uses it.  Values are insertion-ordered
-        mappings of tuples (read-only by contract)."""
+        mappings of tuples (read-only by contract).  With ``shards > 1``
+        the returned mapping is a merged snapshot (shard-major key order):
+        the per-key group dicts are the live maintained objects, but keys
+        created or dropped by later ``apply`` calls are not reflected —
+        re-fetch after mutating."""
         for state in self._scan_states:
             if state.relation_name == relation_name and state.signature == signature:
                 return state.groups
@@ -750,7 +942,7 @@ class DeltaEngine:
 
     def refresh(self) -> None:
         """Rebuild all maintained state from the current instance."""
-        self.__init__(self._db, self.dependencies)
+        self.__init__(self._db, self.dependencies, shards=self._shards)
 
     def apply(self, changeset: Changeset) -> ViolationDelta:
         """Apply the batch to the database and return the violation delta.
@@ -827,5 +1019,6 @@ class DeltaEngine:
             f"DeltaEngine({len(self.dependencies)} deps, "
             f"{len(self._scan_states)} scan groups, "
             f"{len(self._inclusion_states)} inclusion groups, "
+            f"{self._shards} shards, "
             f"{self._total} current violations, {self.stats!r})"
         )

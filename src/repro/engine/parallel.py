@@ -1,0 +1,532 @@
+"""Sharded parallel execution: detection fanned out over hash partitions.
+
+The detection queries of the paper admit horizontal partitioning: every
+FD/CFD/eCFD violation lives entirely inside one LHS-signature partition,
+and every IND/CIND check for an inclusion key ``k`` only ever consults
+target tuples whose key projection equals ``k``.  Hashing the signature's
+key columns therefore decomposes detection into ``shards`` independent
+jobs whose violation sets are disjoint and whose union is exactly the
+serial result:
+
+* **scan shards** — for each scan group, tuples are bucketed by
+  ``stable_shard(t[signature])``, so each partition (group) lands wholly
+  inside one shard and the compiled :class:`~repro.engine.scan.ScanTask`
+  sweep runs per shard unchanged;
+* **inclusion shards** — target tuples are bucketed by their Y projection
+  and, per member dependency, source tuples by their X projection; a
+  source key can only be provided by target tuples in the same shard, so
+  each shard evaluates the member with its ordinary ``violations`` method
+  over a shard-local instance;
+* **non-decomposable work** — denial constraints (cross-shard tuple
+  combinations), self-inclusions (source relation = target relation) and
+  any fallback dependency run serially in the parent process.
+
+Shard jobs are fanned out over a ``multiprocessing`` pool using the
+``fork`` start method: the prepared work travels through the pool
+initializer's ``initargs``, which fork passes by memory inheritance — so
+workers (including respawned ones) receive tuples, schemas and compiled
+tasks without pickling a byte of input; only the shard results travel
+back, as plain value payloads rebound to the parent's dependency
+objects.  Where ``fork`` is unavailable — or for ``shards=1`` — the same
+jobs run through a deterministic in-process executor.
+
+Determinism: shard assignment uses a salt-free CRC32 of the key's repr
+(never the process-salted builtin ``hash``), and merged violations are
+sorted by a canonical (dependency position, witnesses, reason) key, so
+the report — including ``ViolationReport.to_dict()`` bytes — is identical
+for every shard count and any worker scheduling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import zlib
+from typing import Any, Iterable, List, Optional, Sequence, Tuple as PyTuple
+
+from repro.deps.base import Dependency, Violation
+from repro.engine.planner import DetectionPlan, plan_detection
+from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational.tuples import Tuple
+
+__all__ = [
+    "ParallelExecutor",
+    "ParallelStats",
+    "default_shards",
+    "detect_violations_parallel",
+    "resolve_shards",
+    "stable_shard",
+]
+
+#: env var consulted when no explicit shard count is given (CI runs the
+#: whole tier-1 suite once under REPRO_DEFAULT_SHARDS=2)
+SHARDS_ENV = "REPRO_DEFAULT_SHARDS"
+
+
+def default_shards() -> int:
+    """The process-wide default shard count (``REPRO_DEFAULT_SHARDS`` or 1)."""
+    raw = os.environ.get(SHARDS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def resolve_shards(shards: Optional[int]) -> int:
+    """Explicit count wins; ``None`` falls back to :func:`default_shards`."""
+    if shards is None:
+        return default_shards()
+    count = int(shards)
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {shards}")
+    return count
+
+
+def _canonical_value(value: Any) -> str:
+    """A text form congruent with equality: ``x == y`` ⇒ same string.
+
+    Partition keys are dict keys, so Python's cross-type numeric equality
+    applies: ``1 == 1.0 == True`` and ``0.0 == -0.0`` must all land in
+    the same shard (``repr`` would split them).  Integral numbers
+    normalize to their int repr, non-integral floats keep theirs; the
+    type-tag prefixes keep e.g. the string ``"1"`` apart from the number.
+    Unequal values mapping to one string is harmless — sharding only
+    requires that *equal* keys agree.
+    """
+    if isinstance(value, (bool, int, float)):
+        if isinstance(value, float) and not value.is_integer():
+            return "f" + repr(value)  # also inf/nan (int() would raise)
+        return "n" + repr(int(value))
+    if isinstance(value, str):
+        return "s" + value
+    return "r" + repr(value)
+
+
+def stable_shard(key: tuple, shards: int) -> int:
+    """Deterministic shard of a partition/inclusion key.
+
+    Uses CRC32 of a canonical encoding: unlike builtin ``hash`` this is
+    not salted per process (PYTHONHASHSEED), so the parent and every pool
+    worker — and every rerun — agree on the owner of each key; unlike raw
+    ``repr`` the encoding respects dict-key equality across numeric types
+    (see :func:`_canonical_value`).
+    """
+    if shards <= 1:
+        return 0
+    text = "\x1f".join(_canonical_value(v) for v in key)
+    return zlib.crc32(text.encode("utf-8", "surrogatepass")) % shards
+
+
+class ParallelStats:
+    """What one parallel detection actually did, for tests and tuning."""
+
+    __slots__ = ("shards", "pool_workers", "scan_jobs", "inclusion_jobs", "serial_deps")
+
+    def __init__(self) -> None:
+        self.shards = 0
+        #: 0 when the deterministic in-process executor ran every job
+        self.pool_workers = 0
+        self.scan_jobs = 0
+        self.inclusion_jobs = 0
+        #: dependencies evaluated serially (fallback / self-inclusion)
+        self.serial_deps = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelStats(shards={self.shards}, "
+            f"pool_workers={self.pool_workers}, scan_jobs={self.scan_jobs}, "
+            f"inclusion_jobs={self.inclusion_jobs}, "
+            f"serial_deps={self.serial_deps})"
+        )
+
+
+# A violation crosses the process boundary in this neutral form:
+# (dependency position, reason, ((relation, value-tuple), ...)).
+_Payload = PyTuple[int, str, PyTuple[PyTuple[str, tuple], ...]]
+
+
+def _payload(position: int, violation: Violation) -> _Payload:
+    return (
+        position,
+        violation.reason,
+        tuple((rel, t.values()) for rel, t in violation.tuples),
+    )
+
+
+def _payload_sort_key(payload: _Payload):
+    position, reason, witnesses = payload
+    # repr-based witness keys stay comparable across mixed value types.
+    return (position, tuple((rel, repr(values)) for rel, values in witnesses), reason)
+
+
+class _ScanJob:
+    """One scan group prepared for sharded evaluation.
+
+    Sharding assigns whole *partitions* (distinct signature keys from the
+    relation's cached group index), not individual tuples: one CRC per
+    distinct key instead of one per tuple, and workers receive ready-made
+    partition maps — no per-shard regrouping.
+    """
+
+    __slots__ = ("shard_groups", "tasks")
+
+    def __init__(self, shard_groups, tasks):
+        #: per shard, {partition key: tuples} in first-seen key order
+        self.shard_groups: List[dict] = shard_groups
+        #: (dependency position, compiled ScanTask) in member order
+        self.tasks = tasks
+
+
+class _InclusionJob:
+    """One inclusion group prepared for sharded evaluation.
+
+    Target tuples are bucketed by their Y-projection partition, and each
+    member's source tuples by their X-projection partition — again one
+    CRC per distinct key, via the cached group indexes.
+    """
+
+    __slots__ = ("target_name", "target_buckets", "members")
+
+    def __init__(self, target_name, target_buckets, members):
+        self.target_name = target_name
+        #: per shard, target tuples whose Y projection hashes there
+        self.target_buckets: List[List[Tuple]] = target_buckets
+        #: (position, dependency, per-shard source tuple buckets)
+        self.members = members
+
+
+class _WorkState:
+    """Everything a shard job needs, inherited by pool workers via fork."""
+
+    __slots__ = ("db", "shards", "scan_jobs", "inclusion_jobs")
+
+    def __init__(self, db: DatabaseInstance, shards: int):
+        self.db = db
+        self.shards = shards
+        self.scan_jobs: List[_ScanJob] = []
+        self.inclusion_jobs: List[_InclusionJob] = []
+
+
+def _build_work(
+    db: DatabaseInstance, plan: DetectionPlan, shards: int
+) -> PyTuple[_WorkState, List[PyTuple[int, Dependency]]]:
+    """Bucket every decomposable group by shard; collect the serial rest."""
+    work = _WorkState(db, shards)
+    serial: List[PyTuple[int, Dependency]] = list(plan.fallback)
+
+    for group in plan.scan_groups:
+        relation = db.relation(group.relation_name)
+        # The cached group index is shared with the serial executor, so
+        # repeated detections pay the partitioning once.
+        groups = relation.indexes.group_index(group.signature)
+        shard_groups: List[dict] = [{} for _ in range(shards)]
+        for key, tuples in groups.items():
+            shard_groups[stable_shard(key, shards)][key] = tuples
+        tasks = [
+            (position, task)
+            for position, dep in group.members
+            for task in dep.scan_tasks(relation.schema)
+        ]
+        work.scan_jobs.append(_ScanJob(shard_groups, tasks))
+
+    for group in plan.inclusion_groups:
+        target = db.relation(group.relation_name)
+        target_groups = target.indexes.group_index(tuple(group.key_attrs))
+        target_buckets: List[List[Tuple]] = [[] for _ in range(shards)]
+        for key, tuples in target_groups.items():
+            target_buckets[stable_shard(key, shards)].extend(tuples)
+        members = []
+        for position, dep in group.members:
+            if dep.lhs_relation == dep.rhs_relation:
+                # A self-inclusion's source and target shard assignments
+                # disagree tuple-by-tuple; evaluate it serially instead.
+                serial.append((position, dep))
+                continue
+            source = db.relation(dep.lhs_relation)
+            source_groups = source.indexes.group_index(tuple(dep.lhs_attrs))
+            source_buckets: List[List[Tuple]] = [[] for _ in range(shards)]
+            for key, tuples in source_groups.items():
+                source_buckets[stable_shard(key, shards)].extend(tuples)
+            members.append((position, dep, source_buckets))
+        if members:
+            work.inclusion_jobs.append(
+                _InclusionJob(group.relation_name, target_buckets, members)
+            )
+    return work, serial
+
+
+def _eval_scan_shard(work: _WorkState, job_index: int, shard: int) -> List[_Payload]:
+    """The executor's scan-group loop, restricted to one shard's partitions."""
+    job = work.scan_jobs[job_index]
+    groups = job.shard_groups[shard]
+    payloads: List[_Payload] = []
+    out: List[Violation] = []
+    sweep = []
+    for position, task in job.tasks:
+        if task.lookup_key is not None:
+            group = groups.get(task.lookup_key)
+            if group:
+                task.evaluate(group, out)
+                payloads.extend(_payload(position, v) for v in out)
+                out.clear()
+        else:
+            sweep.append((position, task))
+    if sweep:
+        for key, group in groups.items():
+            singleton = len(group) < 2
+            for position, task in sweep:
+                if singleton and task.skip_singletons:
+                    continue
+                if task.matches(key):
+                    task.evaluate(group, out)
+                    payloads.extend(_payload(position, v) for v in out)
+                    out.clear()
+    return payloads
+
+
+def _eval_inclusion_shard(
+    work: _WorkState, job_index: int, shard: int
+) -> List[_Payload]:
+    """Evaluate each member over a shard-local (source, target) instance.
+
+    The shard instance holds the target tuples whose Y projection hashes
+    here and the member's source tuples whose X projection hashes here;
+    since an inclusion check on key ``k`` only consults target keys equal
+    to ``k``, the member's own ``violations`` method is exact per shard.
+    """
+    job = work.inclusion_jobs[job_index]
+    payloads: List[_Payload] = []
+    # One shared target instance per (job, shard): members read it only
+    # through its key indexes, so they reuse the same build.  Each member
+    # still gets its own source instance — two members over one source
+    # relation bucket *different* tuples (their X projections differ).
+    shared_target = RelationInstance(
+        work.db.schema.relation(job.target_name), job.target_buckets[shard]
+    )
+    for position, dep, source_buckets in job.members:
+        shard_db = DatabaseInstance(work.db.schema)
+        shard_db._relations[job.target_name] = shared_target
+        source = shard_db.relation(dep.lhs_relation)
+        for t in source_buckets[shard]:
+            source.add(t)
+        payloads.extend(_payload(position, v) for v in dep.violations(shard_db))
+    return payloads
+
+
+def _run_job(work: _WorkState, spec: PyTuple[str, int, int]) -> List[_Payload]:
+    kind, job_index, shard = spec
+    if kind == "scan":
+        return _eval_scan_shard(work, job_index, shard)
+    return _eval_inclusion_shard(work, job_index, shard)
+
+
+#: per-worker work state, set by the pool initializer at (re)spawn time
+_WORK: Optional[_WorkState] = None
+
+
+def _init_worker(work: _WorkState) -> None:
+    """Pool initializer: receives the work state through fork, no pickling.
+
+    Going through ``initializer``/``initargs`` (rather than a parent
+    global snapshotted at pool creation) matters for robustness: when the
+    pool replaces a dead worker, the respawned process runs the
+    initializer again and gets the same work state.
+    """
+    global _WORK
+    _WORK = work
+
+
+def _pool_run_job(spec: PyTuple[str, int, int]) -> List[_Payload]:
+    if _WORK is None:
+        raise RuntimeError("pool worker started without inherited work state")
+    return _run_job(_WORK, spec)
+
+
+def _fork_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork (e.g. Windows)
+        return None
+
+
+class ParallelExecutor:
+    """Sharded batch detection with a process pool and an inline fallback.
+
+    ``shards`` partitions the work (``None``: the ``REPRO_DEFAULT_SHARDS``
+    default); ``workers`` sizes the pool (``None``: ``min(shards, cpu)``);
+    ``use_pool`` forces the pool on/off (``None``: auto — pool only when
+    ``shards > 1``, ``fork`` is available and more than one worker would
+    run).  Whatever the knobs, the merged report is byte-identical.
+
+    The executor is *warm*: the shard buckets, the serial results and the
+    worker pool are cached against a fingerprint of (database identity,
+    dependency identities, relation versions), so repeated ``detect``
+    calls on an unchanged instance — the monitoring shape a server layer
+    drives — pay only the fan-out and merge.  Any observed mutation
+    rebuilds everything, including the pool (whose workers inherited the
+    now-stale buckets).  Call :meth:`close` (or use the executor as a
+    context manager) to release pool processes deterministically.
+    """
+
+    def __init__(
+        self,
+        shards: Optional[int] = None,
+        workers: Optional[int] = None,
+        use_pool: Optional[bool] = None,
+    ):
+        self.shards = resolve_shards(shards)
+        if workers is not None and workers < 1:
+            raise ValueError(f"worker count must be >= 1, got {workers}")
+        self.workers = workers
+        self.use_pool = use_pool
+        self.stats = ParallelStats()
+        self._fingerprint = None
+        #: strong refs backing the fingerprint's id()s — while the cache
+        #: is live these objects cannot be collected, so a recycled id can
+        #: never alias a new database/dependency into a stale cache hit
+        self._pinned: tuple = ()
+        self._plan: Optional[DetectionPlan] = None
+        self._work: Optional[_WorkState] = None
+        self._specs: List[PyTuple[str, int, int]] = []
+        self._serial_payloads: List[_Payload] = []
+        self._serial_count = 0
+        self._pool = None
+        self._pool_size = 0
+
+    def _pool_workers(self) -> int:
+        if self.workers is not None:
+            return self.workers
+        return max(1, min(self.shards, os.cpu_count() or 1))
+
+    def close(self) -> None:
+        """Release the worker pool and drop all cached shard state."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._pool_size = 0
+        self._fingerprint = None
+        self._pinned = ()
+        self._plan = None
+        self._work = None
+        self._specs = []
+        self._serial_payloads = []
+        self._serial_count = 0
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort; close() is the real contract
+        try:
+            if self._pool is not None:
+                self._pool.terminate()
+        except Exception:
+            pass
+
+    def _prepare(self, db: DatabaseInstance, dependencies: Sequence[Dependency]):
+        fingerprint = (
+            id(db),
+            tuple(id(dep) for dep in dependencies),
+            tuple((rel.schema.name, rel.version) for rel in db),
+        )
+        if fingerprint == self._fingerprint:
+            return
+        self.close()
+        self._pinned = (db, tuple(dependencies))
+        self._plan = plan_detection(dependencies)
+        self._work, serial = _build_work(db, self._plan, self.shards)
+        self._specs = [
+            ("scan", index, shard)
+            for index in range(len(self._work.scan_jobs))
+            for shard in range(self.shards)
+        ] + [
+            ("inclusion", index, shard)
+            for index in range(len(self._work.inclusion_jobs))
+            for shard in range(self.shards)
+        ]
+        # Non-decomposable work runs in the parent over the full instance;
+        # the fingerprint guards the cache exactly like the shard buckets.
+        self._serial_count = len(serial)
+        self._serial_payloads = [
+            _payload(position, v)
+            for position, dep in serial
+            for v in dep.violations(db)
+        ]
+        context = _fork_context()
+        pool_workers = self._pool_workers()
+        pooled = (
+            self.use_pool
+            if self.use_pool is not None
+            else (self.shards > 1 and pool_workers > 1 and context is not None)
+        )
+        if pooled and context is not None and self._specs:
+            # With the fork start method, initargs reach workers by memory
+            # inheritance — tuples, schemas and compiled task closures are
+            # never pickled.
+            self._pool = context.Pool(
+                processes=pool_workers,
+                initializer=_init_worker,
+                initargs=(self._work,),
+            )
+            self._pool_size = pool_workers
+        self._fingerprint = fingerprint
+
+    def detect(self, db: DatabaseInstance, dependencies: Iterable[Dependency]):
+        """Plan, shard, fan out, and merge one detection over ``db``."""
+        from repro.cfd.detect import DetectionReport
+
+        deps = list(dependencies)
+        self._prepare(db, deps)
+        assert self._plan is not None and self._work is not None
+
+        stats = self.stats = ParallelStats()
+        stats.shards = self.shards
+        stats.scan_jobs = len(self._work.scan_jobs) * self.shards
+        stats.inclusion_jobs = len(self._work.inclusion_jobs) * self.shards
+        stats.serial_deps = self._serial_count
+
+        payloads: List[_Payload] = list(self._serial_payloads)
+        if self._pool is not None:
+            for chunk in self._pool.map(_pool_run_job, self._specs):
+                payloads.extend(chunk)
+            stats.pool_workers = self._pool_size
+        else:
+            work = self._work
+            for spec in self._specs:
+                payloads.extend(_run_job(work, spec))
+
+        payloads.sort(key=_payload_sort_key)
+        violations = [
+            Violation(
+                self._plan.dependencies[position],
+                [
+                    (rel, Tuple(db.schema.relation(rel), values, validate=False))
+                    for rel, values in witnesses
+                ],
+                reason,
+            )
+            for position, reason, witnesses in payloads
+        ]
+        return DetectionReport(violations)
+
+
+def detect_violations_parallel(
+    db: DatabaseInstance,
+    dependencies: Iterable[Dependency],
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
+    use_pool: Optional[bool] = None,
+):
+    """One-shot sharded parallel detection (see :class:`ParallelExecutor`).
+
+    Builds a fresh executor, detects once and closes it — hold a
+    :class:`ParallelExecutor` yourself to amortize shard buckets and pool
+    startup across repeated detections.
+    """
+    with ParallelExecutor(shards, workers, use_pool) as executor:
+        return executor.detect(db, dependencies)

@@ -158,20 +158,43 @@ def _load_data_files(
     return db
 
 
+#: executor names accepted by Session(executor=...) and Session.detect
+_EXECUTORS = ("indexed", "parallel", "naive")
+
+
 class Session:
-    """One database instance + one rule set + the engines that serve them."""
+    """One database instance + one rule set + the engines that serve them.
+
+    ``executor`` selects the detection path — ``"indexed"`` (default, the
+    PR-1 batch executor), ``"parallel"`` (the sharded executor of
+    :mod:`repro.engine.parallel`) or ``"naive"`` (the per-dependency
+    oracle scans).  ``shards`` sets the hash-shard count used by the
+    parallel executor *and* by the session's delta engine; ``None``
+    defers to the ``REPRO_DEFAULT_SHARDS`` environment override (1 when
+    unset).  Every executor and shard count yields the same violation
+    multiset — the differential corpus pins them together.
+    """
 
     def __init__(
         self,
         db: DatabaseInstance,
         rules: Iterable[Dependency] = (),
         engine: Optional[DeltaEngine] = None,
+        executor: str = "indexed",
+        shards: Optional[int] = None,
     ):
+        if executor not in _EXECUTORS:
+            raise ReproError(
+                f"unknown executor {executor!r}; expected one of {_EXECUTORS}"
+            )
         self._db = db
         self._rules: List[Dependency] = list(rules)
+        self._executor = executor
+        self._shards = shards
         if engine is not None and engine.database is not db:
             raise ReproError("engine was built over a different database instance")
         self._engine: Optional[DeltaEngine] = engine
+        self._parallel = None  # warm ParallelExecutor, built on first use
 
     # -- construction ----------------------------------------------------
 
@@ -181,9 +204,11 @@ class Session:
         db: DatabaseInstance,
         rules: Iterable[Dependency] = (),
         engine: Optional[DeltaEngine] = None,
+        executor: str = "indexed",
+        shards: Optional[int] = None,
     ) -> "Session":
         """Wrap an in-memory database (and optionally a live delta engine)."""
-        return cls(db, rules, engine=engine)
+        return cls(db, rules, engine=engine, executor=executor, shards=shards)
 
     @classmethod
     def from_files(
@@ -191,6 +216,8 @@ class Session:
         schema: Union[str, Path],
         rules: Union[str, Path, None],
         data: Union[str, Path, Mapping[str, Union[str, Path]]],
+        executor: str = "indexed",
+        shards: Optional[int] = None,
     ) -> "Session":
         """Load schema JSON + rules JSON + CSV data into a session.
 
@@ -203,7 +230,12 @@ class Session:
 
         db_schema = load_database_schema(schema)
         parsed = load_rules(rules, db_schema) if rules is not None else []
-        return cls(_load_data_files(db_schema, data), parsed)
+        return cls(
+            _load_data_files(db_schema, data),
+            parsed,
+            executor=executor,
+            shards=shards,
+        )
 
     # -- state -----------------------------------------------------------
 
@@ -228,24 +260,91 @@ class Session:
         self._engine = None
         return self
 
+    def close(self) -> None:
+        """Release engine resources (notably parallel worker processes)."""
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def shards(self) -> int:
+        """The resolved shard count the session's engines run with."""
+        from repro.engine.parallel import resolve_shards
+
+        return resolve_shards(self._shards)
+
     @property
     def engine(self) -> DeltaEngine:
         """The delta engine over the session's instance (built on first use)."""
         if self._engine is None:
-            self._engine = DeltaEngine(self._db, self._rules)
+            self._engine = DeltaEngine(self._db, self._rules, shards=self._shards)
         return self._engine
 
     # -- detection -------------------------------------------------------
 
-    def detect(self, engine: bool = True) -> ViolationReport:
-        """Batch violation detection over the indexed execution engine.
+    def detect(
+        self,
+        engine: bool = True,
+        *,
+        executor: Optional[str] = None,
+        shards: Optional[int] = None,
+    ) -> ViolationReport:
+        """Batch violation detection over the configured execution engine.
 
-        Returns the exact violation set the free function
-        :func:`repro.cfd.detect.detect_violations` reports (the
-        differential corpus pins them equal); ``engine=False`` falls back
-        to the per-dependency loop.
+        Every executor reports the same violation multiset as the free
+        function :func:`repro.cfd.detect.detect_violations` (the
+        differential corpus pins them equal); the parallel executor
+        additionally sorts violations canonically, so its report is
+        byte-identical for every shard count.  ``executor``/``shards``
+        override the session-level configuration for this call;
+        ``engine=False`` keeps its historical meaning (the naive
+        per-dependency loop).
         """
-        report = detect_violations(self._db, self._rules, engine=engine)
+        chosen = executor if executor is not None else self._executor
+        if chosen not in _EXECUTORS:
+            raise ReproError(
+                f"unknown executor {chosen!r}; expected one of {_EXECUTORS}"
+            )
+        if not engine:
+            chosen = "naive"
+        if shards is not None and chosen != "parallel":
+            # Mirror the CLI: shards alone opts into the parallel engine;
+            # an explicit non-parallel executor + shards is contradictory.
+            if executor is None and engine:
+                chosen = "parallel"
+            else:
+                raise ReproError(
+                    f"shards= requires the parallel executor, got {chosen!r}"
+                )
+        if chosen == "parallel":
+            from repro.engine.parallel import (
+                ParallelExecutor,
+                detect_violations_parallel,
+                resolve_shards,
+            )
+
+            if shards is not None and resolve_shards(shards) != self.shards:
+                # Per-call shard override: one-shot executor, no caching.
+                report = detect_violations_parallel(
+                    self._db, self._rules, shards=shards
+                )
+            else:
+                # The warm path: shard buckets and the worker pool persist
+                # across calls; the executor's own (db, rules, versions)
+                # fingerprint rebuilds them when anything changed.
+                if self._parallel is None:
+                    self._parallel = ParallelExecutor(shards=self._shards)
+                report = self._parallel.detect(self._db, self._rules)
+        else:
+            report = detect_violations(
+                self._db, self._rules, engine=chosen == "indexed"
+            )
         return ViolationReport(report.violations)
 
     def is_clean(self) -> bool:
@@ -294,7 +393,11 @@ class Session:
                     "U-repair needs at least one FD or CFD in the rule set"
                 )
             result = repair_cfds(
-                self._db, value_rules, cost_model=cost_model, max_passes=max_passes
+                self._db,
+                value_rules,
+                cost_model=cost_model,
+                max_passes=max_passes,
+                shards=self._shards,
             )
             repaired = result.repaired
             cost = result.cost
@@ -302,11 +405,13 @@ class Session:
             passes = result.passes
             changes = result.changes
         elif strategy == "x":
-            repaired = greedy_x_repair(self._db, self._rules)
+            repaired = greedy_x_repair(self._db, self._rules, shards=self._shards)
             changed = self._db.total_tuples() - repaired.total_tuples()
             cost = float(changed)
         elif strategy == "s":
-            candidates = all_s_repairs(self._db, self._rules, limit=limit)
+            candidates = all_s_repairs(
+                self._db, self._rules, limit=limit, shards=self._shards
+            )
             if not candidates:
                 raise RepairError("S-repair search found no consistent instance")
             diffed = [

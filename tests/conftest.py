@@ -1,8 +1,28 @@
-"""Shared fixtures: small schemas and the paper's instances."""
+"""Shared fixtures: small schemas and the paper's instances.
+
+Also registers the hypothesis settings profiles: the default "dev"
+profile keeps hypothesis's standard deadline, while "ci" disables
+per-example deadlines entirely — property tests that touch the parallel
+engine can hit process-pool startup jitter on loaded CI runners, and a
+wall-clock deadline would turn that into flakes.  Select with
+``HYPOTHESIS_PROFILE=ci`` (the CI workflow does).
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile("dev", settings())
+settings.register_profile(
+    "ci",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.paper import (
     customer_schema,

@@ -1,6 +1,6 @@
-"""Differential harness: naive vs indexed vs delta on generated cases.
+"""Differential harness: naive vs indexed vs delta vs parallel on generated cases.
 
-Three execution paths must agree on every violation set:
+Four execution paths must agree on every violation set:
 
 * **naive** — the original per-dependency full scans
   (:func:`repro.engine.naive.detect_violations_naive`), the oracle;
@@ -8,34 +8,49 @@ Three execution paths must agree on every violation set:
   (:func:`repro.engine.executor.detect_violations_indexed`);
 * **delta** — :class:`repro.engine.delta.DeltaEngine`, whose maintained
   violation set is checked after construction *and* after every random
-  edit batch it absorbs.
+  edit batch it absorbs — once unsharded and once with a hash-sharded
+  state (shard count cycling over {2, 3, 8});
+* **parallel** — the sharded executor
+  (:func:`repro.engine.parallel.detect_violations_parallel`), run through
+  its deterministic in-process path at the same cycling shard counts
+  (pool-vs-inline equivalence is pinned separately in
+  ``test_parallel.py`` — per-case pools would dominate the corpus).
 
-Cases are seeded-random: schema shapes, instances, dependency sets (FDs,
-CFDs, eCFDs, INDs, CINDs) and batched edits (inserts, deletes, cell
-updates) all come from the per-case RNG, and the comparison is exact —
-multisets over (dependency, ordered witness tuples), so even witness order
-inside a pair violation must match.
+Cases are seeded-random and come in three phases: a mixed legacy phase
+(FDs, CFDs, eCFDs, INDs, CINDs), an inclusion-focused phase (IND/CIND
+rule sets under key-churning edit batches) and a denial-focused phase
+(single-atom, FD-shaped and cross-relation denial constraints) — so all
+six constraint classes meet batched inserts, deletes and cell updates.
+The comparison is exact — multisets over (dependency, ordered witness
+tuples), so even witness order inside a pair violation must match.
 """
 
 from __future__ import annotations
 
 import random
-from collections import Counter
 from typing import List
 
 from repro.cfd.ecfd import ECFD, SetPattern
 from repro.cfd.model import CFD, UNNAMED
 from repro.cind.model import CIND
+from repro.deps.denial import DenialConstraint
 from repro.deps.fd import FD
 from repro.deps.ind import IND
 from repro.engine.delta import Changeset, DeltaEngine, violation_multiset
 from repro.engine.executor import detect_violations_indexed
 from repro.engine.naive import detect_violations_naive
+from repro.engine.parallel import detect_violations_parallel
 from repro.relational.domains import STRING
 from repro.relational.instance import DatabaseInstance
+from repro.relational.predicates import And, Comparison
 from repro.relational.schema import DatabaseSchema, RelationSchema
 
-N_CASES = 220
+N_CASES = 220  # legacy mixed phase
+N_INCLUSION_CASES = 60  # IND/CIND-focused phase
+N_DENIAL_CASES = 60  # denial-constraint-focused phase
+TOTAL_CASES = N_CASES + N_INCLUSION_CASES + N_DENIAL_CASES
+#: shard counts the sharded delta/parallel checks cycle through per case
+SHARD_CYCLE = (2, 3, 8)
 VALUES = ["a", "b", "c"]
 
 
@@ -114,6 +129,46 @@ def _random_inclusion(schema: DatabaseSchema, rng: random.Random):
     )
 
 
+def _random_denial(schema: DatabaseSchema, rng: random.Random) -> DenialConstraint:
+    """A denial constraint in one of three shapes (all fallback-path).
+
+    * single-atom: forbid an R tuple carrying 1–2 specific constants;
+    * FD-shaped: two R atoms agreeing on one attribute, differing on
+      another (pair witnesses, like a classical FD);
+    * cross-relation: an R atom and an S atom agreeing on one attribute
+      each (a forbidden join — inherently cross-shard work).
+    """
+    r_attrs = list(schema.relation("R").attribute_names)
+    s_attrs = list(schema.relation("S").attribute_names)
+    shape = rng.randrange(3)
+    if shape == 0:
+        picked = rng.sample(r_attrs, rng.randrange(1, 3))
+        condition = And(
+            [Comparison(f"@t0.{a}", "=", rng.choice(VALUES)) for a in picked]
+        )
+        return DenialConstraint(("R",), condition, name=f"deny-const-{picked}")
+    if shape == 1:
+        agree, differ = rng.sample(r_attrs, 2)
+        condition = And(
+            [
+                Comparison(f"@t0.{agree}", "=", f"@t1.{agree}"),
+                Comparison(f"@t0.{differ}", "!=", f"@t1.{differ}"),
+            ]
+        )
+        return DenialConstraint(
+            ("R", "R"), condition, name=f"deny-fd-{agree}-{differ}"
+        )
+    a = rng.choice(r_attrs)
+    x = rng.choice(s_attrs)
+    condition = And(
+        [
+            Comparison(f"@t0.{a}", "=", f"@t1.{x}"),
+            Comparison(f"@t0.{a}", "=", rng.choice(VALUES)),
+        ]
+    )
+    return DenialConstraint(("R", "S"), condition, name=f"deny-join-{a}-{x}")
+
+
 def _random_dependencies(schema: DatabaseSchema, rng: random.Random) -> list:
     r_attrs = list(schema.relation("R").attribute_names)
     makers = [
@@ -123,6 +178,22 @@ def _random_dependencies(schema: DatabaseSchema, rng: random.Random) -> list:
         lambda: _random_inclusion(schema, rng),
     ]
     return [rng.choice(makers)() for _ in range(rng.randrange(2, 7))]
+
+
+def _random_inclusion_dependencies(schema: DatabaseSchema, rng: random.Random) -> list:
+    """IND/CIND-heavy rule sets: key churn is the whole story."""
+    deps = [_random_inclusion(schema, rng) for _ in range(rng.randrange(2, 6))]
+    if rng.random() < 0.3:
+        deps.append(_random_fd(list(schema.relation("R").attribute_names), rng))
+    return deps
+
+
+def _random_denial_dependencies(schema: DatabaseSchema, rng: random.Random) -> list:
+    """Denial-heavy rule sets (plus an occasional FD for partition churn)."""
+    deps: list = [_random_denial(schema, rng) for _ in range(rng.randrange(1, 4))]
+    if rng.random() < 0.4:
+        deps.append(_random_fd(list(schema.relation("R").attribute_names), rng))
+    return deps
 
 
 def _random_batch(db: DatabaseInstance, rng: random.Random) -> Changeset:
@@ -154,36 +225,88 @@ def _random_batch(db: DatabaseInstance, rng: random.Random) -> Changeset:
 _multiset = violation_multiset
 
 
-def _assert_all_paths_agree(db, deps, engine, context):
+def _assert_all_paths_agree(db, deps, engine, sharded_engine, shards, context):
     naive = _multiset(detect_violations_naive(db, deps).violations)
     indexed = _multiset(detect_violations_indexed(db, deps).violations)
-    maintained = _multiset(engine.violations())
     assert naive == indexed, f"naive vs indexed diverged: {context}"
+    parallel = _multiset(
+        detect_violations_parallel(db, deps, shards=shards, use_pool=False).violations
+    )
+    assert parallel == naive, f"parallel({shards}) vs naive diverged: {context}"
+    maintained = _multiset(engine.violations())
     assert maintained == naive, f"delta vs naive diverged: {context}"
+    if sharded_engine is not None:
+        sharded = _multiset(sharded_engine.violations())
+        assert sharded == naive, (
+            f"sharded delta({sharded_engine.shards}) vs naive diverged: {context}"
+        )
 
 
-def test_differential_naive_indexed_delta():
+def _cases():
+    """(case id, rng, dependency generator) for every corpus phase."""
+    for seed in range(N_CASES):
+        yield f"mixed-{seed}", random.Random(10_000 + seed), _random_dependencies
+    for seed in range(N_INCLUSION_CASES):
+        yield (
+            f"inclusion-{seed}",
+            random.Random(50_000 + seed),
+            _random_inclusion_dependencies,
+        )
+    for seed in range(N_DENIAL_CASES):
+        yield (
+            f"denial-{seed}",
+            random.Random(90_000 + seed),
+            _random_denial_dependencies,
+        )
+
+
+def test_differential_naive_indexed_delta_parallel():
     checked_cases = 0
     checked_batches = 0
-    for seed in range(N_CASES):
-        rng = random.Random(10_000 + seed)
+    classes_seen = set()
+    for case_id, rng, make_deps in _cases():
         schema = _random_schema(rng)
         db = _random_instance(schema, rng)
-        deps = _random_dependencies(schema, rng)
+        deps = make_deps(schema, rng)
+        classes_seen.update(type(dep).__name__ for dep in deps)
+        shards = SHARD_CYCLE[checked_cases % len(SHARD_CYCLE)]
         engine = DeltaEngine(db, deps)
-        _assert_all_paths_agree(db, deps, engine, f"seed={seed} initial")
+        # The sharded twin maintains its own copy of the instance; edit
+        # batches re-resolve their target tuples by value, so replaying
+        # the exact same changeset against it is well-defined.
+        sharded_db = db.copy()
+        sharded_engine = DeltaEngine(sharded_db, deps, shards=shards)
+        _assert_all_paths_agree(
+            db, deps, engine, sharded_engine, shards, f"{case_id} initial"
+        )
         checked_cases += 1
         for batch_index in range(rng.randrange(1, 4)):
             batch = _random_batch(db, rng)
             delta = engine.apply(batch)
-            # The delta's own bookkeeping must be internally consistent.
+            sharded_delta = sharded_engine.apply(batch)
+            # The delta's own bookkeeping must be internally consistent,
+            # and the sharded twin must report the identical delta.
             assert delta.remaining == engine.total_violations()
+            assert sharded_delta.remaining == delta.remaining
+            assert _multiset(v for v in sharded_delta.added) == _multiset(
+                v for v in delta.added
+            ), f"{case_id} batch={batch_index} added"
+            assert _multiset(v for v in sharded_delta.removed) == _multiset(
+                v for v in delta.removed
+            ), f"{case_id} batch={batch_index} removed"
             _assert_all_paths_agree(
-                db, deps, engine, f"seed={seed} batch={batch_index}"
+                db,
+                deps,
+                engine,
+                sharded_engine,
+                shards,
+                f"{case_id} batch={batch_index}",
             )
             checked_batches += 1
-    assert checked_cases >= 200
-    assert checked_batches >= 300
+    assert checked_cases >= 320
+    assert checked_batches >= 450
+    # Every constraint class the system detects must appear in the corpus.
+    assert {"FD", "CFD", "ECFD", "IND", "CIND", "DenialConstraint"} <= classes_seen
 
 
 def test_differential_undo_round_trip():
@@ -206,11 +329,14 @@ def test_differential_undo_round_trip():
         schema = _random_schema(rng)
         db = _random_instance(schema, rng)
         deps = _random_dependencies(schema, rng)
-        engine = DeltaEngine(db, deps)
+        shards = SHARD_CYCLE[seed % len(SHARD_CYCLE)]
+        engine = DeltaEngine(db, deps, shards=shards)
         before = violated_deps(engine.violations())
         was_clean = engine.is_clean()
         delta = engine.apply(_random_batch(db, rng))
         engine.apply(delta.undo)
         assert violated_deps(engine.violations()) == before, f"seed={seed}"
         assert engine.is_clean() == was_clean
-        _assert_all_paths_agree(db, deps, engine, f"seed={seed} after undo")
+        _assert_all_paths_agree(
+            db, deps, engine, None, shards, f"seed={seed} after undo"
+        )

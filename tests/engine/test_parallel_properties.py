@@ -1,0 +1,179 @@
+"""Hypothesis properties: the parallel paths equal their serial twins.
+
+Two invariants, each quantified over generated schemas, instances,
+dependency sets (all six constraint classes) and shard counts {1, 2, 3, 8}
+— including counts exceeding the tuple count, where most shards are empty:
+
+* parallel detection reports exactly the serial indexed executor's
+  violation multiset;
+* a sharded :class:`~repro.engine.delta.DeltaEngine` applies any edit
+  batch to the same violation multiset — and the same added/removed
+  delta — as the unsharded engine.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfd.model import CFD, UNNAMED
+from repro.deps.denial import DenialConstraint
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.engine.delta import Changeset, DeltaEngine, violation_multiset
+from repro.engine.executor import detect_violations_indexed
+from repro.engine.parallel import detect_violations_parallel
+from repro.relational.domains import STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.predicates import And, Comparison
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+SHARD_COUNTS = (1, 2, 3, 8)
+VALUES = ("a", "b", "c")
+
+R = RelationSchema("R", [("A", STRING), ("B", STRING), ("C", STRING)])
+S = RelationSchema("S", [("X", STRING), ("Y", STRING)])
+SCHEMA = DatabaseSchema([R, S])
+
+value = st.sampled_from(VALUES)
+r_row = st.tuples(value, value, value)
+s_row = st.tuples(value, value)
+
+
+def _db(r_rows, s_rows) -> DatabaseInstance:
+    db = DatabaseInstance(SCHEMA)
+    for row in r_rows:
+        db.relation("R").add(row)
+    for row in s_rows:
+        db.relation("S").add(row)
+    return db
+
+
+def _deps(variant: int) -> list:
+    """Six fixed rule sets cycling through every constraint class."""
+    fd = FD("R", ["A"], ["B"])
+    cfd = CFD("R", ["A"], ["B"], [{"A": "a", "B": "b"}, {"A": UNNAMED, "B": UNNAMED}])
+    ind = IND("R", ["A"], "S", ["X"])
+    denial = DenialConstraint(
+        ("R", "S"),
+        And([Comparison("@t0.A", "=", "@t1.X"), Comparison("@t0.B", "=", "b")]),
+        name="deny-join",
+    )
+    from repro.cfd.ecfd import ECFD, SetPattern
+    from repro.cind.model import CIND
+
+    ecfd = ECFD("R", ["A"], ["C"], {"A": SetPattern(["a", "b"]), "C": SetPattern(["c"], negated=True)})
+    cind = CIND(
+        "R", ["B"], "S", ["Y"],
+        lhs_pattern_attrs=["A"],
+        rhs_pattern_attrs=["X"],
+        tableau=[{"L.A": "a", "R.X": "b"}],
+    )
+    pools = [
+        [fd, ind],
+        [cfd, cind],
+        [ecfd, denial],
+        [fd, cfd, ecfd],
+        [ind, cind, denial],
+        [fd, cfd, ecfd, ind, cind, denial],
+    ]
+    return pools[variant % len(pools)]
+
+
+edits = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert_r"), r_row),
+        st.tuples(st.just("insert_s"), s_row),
+        st.tuples(st.just("delete"), st.integers(min_value=0, max_value=30)),
+        st.tuples(
+            st.just("update"),
+            st.integers(min_value=0, max_value=30),
+            st.sampled_from(["A", "B", "C"]),
+            value,
+        ),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _batch(db: DatabaseInstance, ops) -> Changeset:
+    """Compile generated edit ops into a changeset against the live db."""
+    cs = Changeset()
+    consumed: set = set()
+    for op in ops:
+        if op[0] == "insert_r":
+            cs.insert("R", list(op[1]))
+        elif op[0] == "insert_s":
+            cs.insert("S", list(op[1]))
+        else:
+            live = [t for t in db.relation("R") if t not in consumed]
+            if not live:
+                continue
+            victim = live[op[1] % len(live)]
+            consumed.add(victim)
+            if op[0] == "delete":
+                cs.delete("R", victim)
+            else:
+                cs.update("R", victim, **{op[2]: op[3]})
+    return cs
+
+
+@settings(max_examples=60)
+@given(
+    r_rows=st.lists(r_row, max_size=12),
+    s_rows=st.lists(s_row, max_size=8),
+    variant=st.integers(min_value=0, max_value=5),
+)
+def test_parallel_detection_equals_indexed(r_rows, s_rows, variant):
+    db = _db(r_rows, s_rows)
+    deps = _deps(variant)
+    serial = violation_multiset(detect_violations_indexed(db, deps).violations)
+    for shards in SHARD_COUNTS:
+        report = detect_violations_parallel(db, deps, shards=shards, use_pool=False)
+        assert violation_multiset(report.violations) == serial, f"shards={shards}"
+
+
+@settings(max_examples=40)
+@given(
+    r_rows=st.lists(r_row, max_size=10),
+    s_rows=st.lists(s_row, max_size=6),
+    variant=st.integers(min_value=0, max_value=5),
+    ops=edits,
+)
+def test_sharded_delta_apply_equals_serial(r_rows, s_rows, variant, ops):
+    deps = _deps(variant)
+    serial_db = _db(r_rows, s_rows)
+    serial = DeltaEngine(serial_db, deps)
+    batch = _batch(serial_db, ops)
+    serial_delta = serial.apply(batch)
+    for shards in SHARD_COUNTS[1:]:
+        db = _db(r_rows, s_rows)
+        engine = DeltaEngine(db, deps, shards=shards)
+        delta = engine.apply(batch)
+        assert delta.remaining == serial_delta.remaining, f"shards={shards}"
+        assert violation_multiset(delta.added) == violation_multiset(
+            serial_delta.added
+        ), f"shards={shards} added"
+        assert violation_multiset(delta.removed) == violation_multiset(
+            serial_delta.removed
+        ), f"shards={shards} removed"
+        assert violation_multiset(engine.violations()) == violation_multiset(
+            serial.violations()
+        ), f"shards={shards} maintained"
+
+
+@settings(max_examples=25)
+@given(
+    r_rows=st.lists(r_row, min_size=0, max_size=3),
+    variant=st.integers(min_value=0, max_value=5),
+)
+def test_shard_count_exceeding_tuple_count(r_rows, variant):
+    """shards ≫ |D|: most shards are empty, results must not change."""
+    db = _db(r_rows, [])
+    deps = _deps(variant)
+    serial = violation_multiset(detect_violations_indexed(db, deps).violations)
+    report = detect_violations_parallel(db, deps, shards=64, use_pool=False)
+    assert violation_multiset(report.violations) == serial
+    engine = DeltaEngine(_db(r_rows, []), deps, shards=64)
+    assert violation_multiset(engine.violations()) == serial
