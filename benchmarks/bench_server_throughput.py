@@ -1,0 +1,183 @@
+"""SERVER — warm hosted sessions vs. cold per-request session builds.
+
+The point of ``repro.server`` is amortization: a hosted session keeps its
+database, hash indexes and delta engine warm across requests, so repeated
+detect traffic pays only the marginal detection cost.  This driver measures
+that directly over real HTTP round-trips against an in-process server:
+
+* **warm** — one session created up front, then N ``POST .../detect``
+  requests against it (the production serving path);
+* **cold** — every request uploads the data, builds a fresh session,
+  detects once and deletes it (what per-invocation CLI traffic amounts
+  to).
+
+The acceptance target is a >=5x warm-over-cold speedup per request at 10k
+tuples.  Run standalone to produce ``BENCH_server.json``:
+
+    python benchmarks/bench_server_throughput.py [--out BENCH_server.json]
+    python benchmarks/bench_server_throughput.py --smoke   # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List
+
+if __name__ == "__main__":  # allow running without an installed package
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.client import ServerClient
+from repro.registry import encode
+from repro.rules_json import database_schema_to_dict
+from repro.server import make_server
+from repro.workloads.customer import CustomerConfig, generate_customers
+
+SIZES = [1_000, 10_000]
+TARGET_SPEEDUP = 5.0
+TARGET_TUPLES = 10_000
+
+
+def _workload(n_tuples: int) -> Dict[str, Any]:
+    """One customer workload as wire documents: schema, rules, rows."""
+    workload = generate_customers(CustomerConfig(n_tuples=n_tuples, seed=11))
+    relation = workload.db.relation("customer")
+    return {
+        "schema": database_schema_to_dict(workload.db.schema),
+        "rules": [encode(rule) for rule in workload.cfds()],
+        "rows": [t.as_dict() for t in relation],
+    }
+
+
+def _bench_size(
+    client: ServerClient,
+    documents: Dict[str, Any],
+    n_tuples: int,
+    warm_requests: int,
+    cold_requests: int,
+) -> Dict[str, Any]:
+    data = {"customer": documents["rows"]}
+
+    # -- warm: one session, many detects --------------------------------
+    client.create_session(
+        schema=documents["schema"],
+        rules=documents["rules"],
+        data=data,
+        session_id="bench-warm",
+    )
+    client.detect("bench-warm")  # build the indexes outside the clock
+    started = time.perf_counter()
+    for _ in range(warm_requests):
+        report = client.detect("bench-warm")
+    warm_seconds = time.perf_counter() - started
+    client.delete_session("bench-warm")
+
+    # -- cold: create + detect + delete per request ----------------------
+    started = time.perf_counter()
+    for _ in range(cold_requests):
+        client.create_session(
+            schema=documents["schema"],
+            rules=documents["rules"],
+            data=data,
+            session_id="bench-cold",
+        )
+        cold_report = client.detect("bench-cold")
+        client.delete_session("bench-cold")
+    cold_seconds = time.perf_counter() - started
+
+    assert report["total"] == cold_report["total"], "warm/cold reports diverge"
+    warm_per_request = warm_seconds / warm_requests
+    cold_per_request = cold_seconds / cold_requests
+    return {
+        "n_tuples": n_tuples,
+        "n_rules": len(documents["rules"]),
+        "violations": report["total"],
+        "warm_requests": warm_requests,
+        "cold_requests": cold_requests,
+        "warm_seconds_per_request": warm_per_request,
+        "cold_seconds_per_request": cold_per_request,
+        "warm_requests_per_second": 1.0 / warm_per_request,
+        "cold_requests_per_second": 1.0 / cold_per_request,
+        "speedup": cold_per_request / warm_per_request,
+    }
+
+
+def run(sizes: List[int], warm_requests: int, cold_requests: int) -> Dict[str, Any]:
+    server = make_server(port=0, max_sessions=8)
+    server.start_background()
+    try:
+        client = ServerClient(server.base_url, timeout=300.0)
+        client.wait_ready()
+        series = [
+            _bench_size(
+                client,
+                _workload(n_tuples),
+                n_tuples,
+                warm_requests,
+                cold_requests,
+            )
+            for n_tuples in sizes
+        ]
+    finally:
+        server.shutdown()
+    at_target = [
+        entry["speedup"]
+        for entry in series
+        if entry["n_tuples"] >= TARGET_TUPLES
+    ]
+    top = max(entry["speedup"] for entry in series)
+    return {
+        "benchmark": "server_throughput",
+        "workload": "customer over HTTP (warm hosted session vs cold builds)",
+        "sizes": sizes,
+        "target_speedup": TARGET_SPEEDUP,
+        "target_tuples": TARGET_TUPLES,
+        "series": series,
+        "top_speedup": top,
+        "speedup_at_target": max(at_target) if at_target else None,
+        "meets_target": bool(at_target) and max(at_target) >= TARGET_SPEEDUP,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_server.json")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sizes / few requests; no speedup gate (CI smoke)",
+    )
+    parser.add_argument("--warm-requests", type=int, default=None)
+    parser.add_argument("--cold-requests", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    # the smoke size matches the committed baseline's smallest size so the
+    # CI regression gate compares like scales
+    sizes = [1_000] if args.smoke else SIZES
+    warm_requests = args.warm_requests or (10 if args.smoke else 50)
+    cold_requests = args.cold_requests or (3 if args.smoke else 10)
+
+    document = run(sizes, warm_requests, cold_requests)
+    Path(args.out).write_text(json.dumps(document, indent=2) + "\n")
+    for entry in document["series"]:
+        print(
+            f"{entry['n_tuples']:>7} tuples: "
+            f"warm {entry['warm_requests_per_second']:8.1f} req/s, "
+            f"cold {entry['cold_requests_per_second']:8.1f} req/s, "
+            f"speedup {entry['speedup']:6.1f}x"
+        )
+    print(
+        f"top speedup {document['top_speedup']:.1f}x "
+        f"(target {TARGET_SPEEDUP}x at {TARGET_TUPLES} tuples: "
+        f"{'met' if document['meets_target'] else 'not gated' if args.smoke else 'MISSED'})"
+    )
+    if not args.smoke and not document["meets_target"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,8 @@ A from-scratch implementation of the framework surveyed in
 Subpackages
 -----------
 ``repro.session``      the unified Session facade: detect/repair/discover/stream
+``repro.server``       long-running HTTP/JSON service over warm named Sessions
+``repro.client``       stdlib urllib client for the server's wire protocol
 ``repro.registry``     pluggable constraint registry: JSON codecs per class
 ``repro.relational``   typed domains, schemas, instances, algebra, queries
 ``repro.engine``       indexed execution: shared scans, batch planning, deltas,
@@ -39,7 +41,7 @@ from repro.errors import (
     SchemaError,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AnalysisBoundExceeded",

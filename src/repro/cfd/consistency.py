@@ -30,8 +30,6 @@ import itertools
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
 
 from repro.cfd.model import CFD, UNNAMED, PatternTuple
-from repro.errors import DomainError
-from repro.relational.instance import DatabaseInstance, RelationInstance
 from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.relational.tuples import Tuple
 

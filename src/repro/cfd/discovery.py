@@ -21,7 +21,7 @@ RHS (minimality).
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, FrozenSet, List, Sequence, Set, Tuple as PyTuple
+from typing import Any, Dict, FrozenSet, List, Sequence
 
 from repro.cfd.model import CFD, UNNAMED, PatternTableau
 from repro.relational.instance import RelationInstance

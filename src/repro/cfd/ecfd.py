@@ -22,12 +22,12 @@ plus one or two fresh values.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple as PyTuple
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Sequence, Set, Tuple as PyTuple
 
 from repro.deps.base import Dependency, Violation
 from repro.engine.indexes import canonical_signature, key_getter
 from repro.errors import DependencyError
-from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational.instance import DatabaseInstance
 from repro.relational.schema import RelationSchema
 from repro.relational.tuples import Tuple
 

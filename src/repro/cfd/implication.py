@@ -27,8 +27,8 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple as PyTuple
 
 from repro.cfd.consistency import attribute_constants, candidate_values
 from repro.cfd.model import CFD, UNNAMED, PatternTuple
-from repro.relational.instance import DatabaseInstance, RelationInstance
-from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.instance import RelationInstance
+from repro.relational.schema import RelationSchema
 from repro.relational.tuples import Tuple
 
 __all__ = ["cfd_implies", "find_counterexample", "minimal_cover_cfds"]

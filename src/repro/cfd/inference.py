@@ -25,7 +25,7 @@ bounded search and hence complete only up to its step budget).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple as PyTuple
 
 from repro.cfd.model import CFD, UNNAMED, PatternTableau, PatternTuple
 from repro.errors import DependencyError

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple as PyTuple
 
-from repro.cfd.model import CFD, UNNAMED, PatternTableau, PatternTuple
+from repro.cfd.model import CFD, PatternTableau, PatternTuple
 
 __all__ = ["normalize", "denormalize", "classify", "equivalent_presentation"]
 

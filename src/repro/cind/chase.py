@@ -17,7 +17,7 @@ one, until fixpoint or until ``max_steps`` new tuples have been created.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple as PyTuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.cind.model import CIND
 from repro.errors import AnalysisBoundExceeded

@@ -19,7 +19,7 @@ that the fresh-null seed is not realizable — callers can check
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple as PyTuple
+from typing import Any, Dict, Sequence
 
 from repro.cind.chase import ChaseState, chase
 from repro.cind.model import CIND

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple as PyTuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple as PyTuple
 
 from repro.cfd.consistency import attribute_constants, candidate_values
 from repro.cfd.model import CFD, UNNAMED

@@ -31,6 +31,11 @@ fans out over hash shards and the delta engine maintains shard-local
 state.  Output is byte-identical for every shard count — ``stream
 --format json`` omits wall-clock timings unless ``--timings`` is given,
 so its document is deterministic too.
+
+``serve`` runs the long-lived HTTP/JSON constraint service
+(:mod:`repro.server`): many named warm sessions behind
+create/detect/apply/repair/rules endpoints, with ``/healthz`` and
+``/metrics`` for operations.  See ``docs/server.md``.
 """
 
 from __future__ import annotations
@@ -128,6 +133,31 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--max-lhs", type=int, default=2)
     discover.add_argument("--min-support", type=int, default=3)
     _add_data_argument(discover)
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived HTTP/JSON constraint service"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8765, help="bind port")
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        metavar="N",
+        help="hosted warm sessions before LRU eviction kicks in",
+    )
+    serve.add_argument(
+        "--data-root",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory server-side schema/rules/data paths resolve against "
+            "(default: the working directory)"
+        ),
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress per-request log lines"
+    )
 
     stream = sub.add_parser(
         "stream", help="feed random edit batches through the delta engine"
@@ -291,6 +321,18 @@ def _cmd_stream(args) -> int:
     return 1 if report.final_violations else 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.server import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        data_root=args.data_root,
+        verbose=not args.quiet,
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -298,6 +340,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "repair": _cmd_repair,
         "discover": _cmd_discover,
         "stream": _cmd_stream,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,215 @@
+"""``repro.client`` — a thin stdlib client for the ``repro.server`` API.
+
+One class, :class:`ServerClient`, wrapping ``urllib.request``: every method
+maps to one endpoint, takes/returns the plain JSON documents described in
+``docs/server.md``, and raises :class:`ServerError` (with the HTTP status
+and the server's error text) on any non-2xx response — so the registry's
+error messages (unknown constraint tags, malformed changesets, schema
+mismatches) surface verbatim on the client side.
+
+::
+
+    client = ServerClient("http://127.0.0.1:8765")
+    client.create_session(schema={...}, rules=[...], data={"customer": rows},
+                          session_id="crm")
+    report = client.detect("crm")                    # the CLI's JSON doc
+    delta = client.apply("crm", {"ops": [...]})      # delta + undo token
+    client.undo("crm", delta["undo_token"])
+    client.delete_session("crm")
+
+No third-party dependencies; used by the test suite, the CI packaging
+round-trip and ``benchmarks/bench_server_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from repro.errors import ReproError
+
+__all__ = ["ServerClient", "ServerError"]
+
+
+class ServerError(ReproError):
+    """A non-2xx response from the server (or no response at all).
+
+    ``status`` is the HTTP status code (0 when the server was unreachable),
+    ``kind`` the server-side exception class name when one was reported.
+    """
+
+    def __init__(self, message: str, status: int = 0, kind: str = ""):
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+
+
+class ServerClient:
+    """Client for one ``repro.server`` instance at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[Mapping[str, Any]] = None
+    ) -> Any:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body, default=str).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = Request(url, data=data, headers=headers, method=method)
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except HTTPError as exc:
+            raw = exc.read()
+            try:
+                document = json.loads(raw)
+                message = document.get("error", raw.decode("utf-8", "replace"))
+                kind = document.get("type", "")
+            except (json.JSONDecodeError, AttributeError):
+                message = raw.decode("utf-8", "replace") or str(exc)
+                kind = ""
+            raise ServerError(
+                f"{method} {path} -> {exc.code}: {message}",
+                status=exc.code,
+                kind=kind,
+            ) from None
+        except URLError as exc:
+            raise ServerError(
+                f"{method} {path}: server unreachable at {self.base_url} "
+                f"({exc.reason})"
+            ) from None
+
+    # -- service ---------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def wait_ready(self, attempts: int = 50, delay: float = 0.1) -> Dict[str, Any]:
+        """Poll ``/healthz`` until the server answers (boot synchronizer)."""
+        import time
+
+        last: Optional[ServerError] = None
+        for _ in range(attempts):
+            try:
+                return self.healthz()
+            except ServerError as exc:
+                last = exc
+                time.sleep(delay)
+        raise ServerError(
+            f"server at {self.base_url} not ready after "
+            f"{attempts * delay:.1f}s: {last}"
+        )
+
+    # -- session lifecycle -----------------------------------------------
+
+    def list_sessions(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/sessions")["sessions"]
+
+    def create_session(
+        self,
+        schema: Union[Mapping[str, Any], str],
+        rules: Union[Sequence[Mapping[str, Any]], str, None] = None,
+        data: Optional[Mapping[str, Any]] = None,
+        session_id: Optional[str] = None,
+        executor: str = "indexed",
+        shards: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Create a hosted session; returns its info document.
+
+        ``schema``/``rules``/``data`` values may be inline documents (row
+        lists for data) or server-side paths, exactly as the endpoint
+        accepts them.
+        """
+        body: Dict[str, Any] = {"schema": schema, "executor": executor}
+        if rules is not None:
+            body["rules"] = rules
+        if data is not None:
+            body["data"] = data
+        if session_id is not None:
+            body["id"] = session_id
+        if shards is not None:
+            body["shards"] = shards
+        return self._request("POST", "/sessions", body)
+
+    def session_info(self, session_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/sessions/{session_id}")
+
+    def delete_session(self, session_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/sessions/{session_id}")
+
+    # -- verbs -----------------------------------------------------------
+
+    def detect(
+        self,
+        session_id: str,
+        executor: Optional[str] = None,
+        shards: Optional[int] = None,
+        include_violations: bool = True,
+    ) -> Dict[str, Any]:
+        """Run detection; returns the CLI's ``--format json`` document."""
+        body: Dict[str, Any] = {"include_violations": include_violations}
+        if executor is not None:
+            body["executor"] = executor
+        if shards is not None:
+            body["shards"] = shards
+        return self._request("POST", f"/sessions/{session_id}/detect", body)
+
+    def apply(
+        self, session_id: str, changeset: Mapping[str, Any]
+    ) -> Dict[str, Any]:
+        """Apply a changeset document; returns the violation delta document
+        (``added``/``removed``/``remaining``/``clean``/``undo_token``)."""
+        return self._request(
+            "POST", f"/sessions/{session_id}/apply", changeset
+        )
+
+    def undo(self, session_id: str, token: str) -> Dict[str, Any]:
+        """Replay a stored undo token (single-use)."""
+        return self._request(
+            "POST", f"/sessions/{session_id}/undo", {"token": token}
+        )
+
+    def repair(
+        self,
+        session_id: str,
+        strategy: str = "u",
+        adopt: bool = False,
+        **options: Any,
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"strategy": strategy, "adopt": adopt}
+        body.update(options)
+        return self._request("POST", f"/sessions/{session_id}/repair", body)
+
+    def get_rules(self, session_id: str) -> List[Dict[str, Any]]:
+        return self._request("GET", f"/sessions/{session_id}/rules")["rules"]
+
+    def set_rules(
+        self, session_id: str, rules: Sequence[Mapping[str, Any]]
+    ) -> Dict[str, Any]:
+        """Replace the session's rule set with ``rules`` documents."""
+        return self._request(
+            "PUT", f"/sessions/{session_id}/rules", {"rules": list(rules)}
+        )
+
+    def add_rules(
+        self, session_id: str, rules: Sequence[Mapping[str, Any]]
+    ) -> Dict[str, Any]:
+        """Append ``rules`` documents to the session's rule set."""
+        return self._request(
+            "POST", f"/sessions/{session_id}/rules", {"rules": list(rules)}
+        )
+
+    def __repr__(self) -> str:
+        return f"ServerClient({self.base_url!r})"

@@ -20,7 +20,7 @@ is supposed to work: evaluate the query on the single condensed table.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple as PyTuple
+from typing import Any, Dict, List, Optional, Tuple as PyTuple
 
 from repro.relational.instance import RelationInstance
 

@@ -21,7 +21,7 @@ against repair enumeration in the tests).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple as PyTuple
+from typing import Callable, List, Sequence
 
 from repro.relational.instance import DatabaseInstance
 from repro.relational.tuples import Tuple

@@ -10,7 +10,7 @@ the tests use this module as ground truth for the rewriting.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Set, Tuple as PyTuple
+from typing import Callable, Sequence, Set
 
 from repro.deps.base import Dependency
 from repro.relational.instance import DatabaseInstance, RelationInstance

@@ -59,7 +59,7 @@ from repro.deps.base import Dependency, Violation
 from repro.engine.indexes import key_getter
 from repro.engine.parallel import resolve_shards, stable_shard
 from repro.engine.planner import plan_detection
-from repro.errors import ReproError
+from repro.errors import DependencyError, ReproError
 from repro.relational.instance import DatabaseInstance, RelationInstance
 from repro.relational.tuples import Tuple
 
@@ -216,6 +216,104 @@ class Changeset:
             else:
                 undo.insert(rel, t)
         return undo
+
+    # -- wire format ------------------------------------------------------
+
+    @staticmethod
+    def _row_to_dict(row: Tuple | Mapping | Sequence) -> Any:
+        if isinstance(row, Tuple):
+            return row.as_dict()
+        if isinstance(row, Mapping):
+            return dict(row)
+        return list(row)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The batch as a JSON-ready document: ``{"ops": [...]}``.
+
+        Each op is ``{"op": "insert"|"delete"|"update", "relation": name,
+        "row": {attr: value}}``, updates carrying an extra ``"cells"``
+        mapping of the edited attributes.  Tuple payloads render through
+        ``Tuple.as_dict``, so a changeset built from live tuples (e.g. an
+        undo changeset) serializes the same way as one built from mappings.
+        """
+        ops: List[Dict[str, Any]] = []
+        for kind, rel_name, payload in self._ops:
+            if kind == self._UPDATE:
+                row, cells = payload
+                ops.append(
+                    {
+                        "op": kind,
+                        "relation": rel_name,
+                        "row": self._row_to_dict(row),
+                        "cells": dict(cells),
+                    }
+                )
+            else:
+                ops.append(
+                    {
+                        "op": kind,
+                        "relation": rel_name,
+                        "row": self._row_to_dict(payload),
+                    }
+                )
+        return {"ops": ops}
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "Changeset":
+        """Parse a :meth:`to_dict` document back into a changeset.
+
+        Rows stay plain mappings/sequences; they are coerced to typed
+        tuples against the live schema at apply time, so a document can be
+        parsed without a database at hand.  Raises
+        :class:`~repro.errors.DependencyError` on a malformed document,
+        naming the offending op index.
+        """
+        ops = document.get("ops")
+        if not isinstance(ops, Sequence) or isinstance(ops, (str, bytes)):
+            raise DependencyError(
+                "changeset document needs an 'ops' list, got "
+                f"{type(ops).__name__}"
+            )
+        changeset = cls()
+        for i, op in enumerate(ops):
+            if not isinstance(op, Mapping):
+                raise DependencyError(f"changeset op #{i} is not a mapping")
+            kind = op.get("op")
+            rel_name = op.get("relation")
+            row = op.get("row")
+            if not isinstance(rel_name, str):
+                raise DependencyError(
+                    f"changeset op #{i} needs a 'relation' name"
+                )
+            if not isinstance(row, (Mapping, Sequence)) or isinstance(
+                row, (str, bytes)
+            ):
+                raise DependencyError(
+                    f"changeset op #{i} needs a 'row' mapping or list"
+                )
+            if kind == cls._INSERT:
+                changeset.insert(rel_name, row)
+            elif kind == cls._DELETE:
+                changeset.delete(rel_name, row)
+            elif kind == cls._UPDATE:
+                cells = op.get("cells")
+                if not isinstance(cells, Mapping) or not cells:
+                    raise DependencyError(
+                        f"changeset op #{i} (update) needs a non-empty "
+                        "'cells' mapping"
+                    )
+                # append directly rather than via update(**cells): an
+                # attribute literally named "relation" or "t" would
+                # collide with the method's positional parameters
+                changeset._ops.append(
+                    (cls._UPDATE, rel_name, (row, dict(cells)))
+                )
+            else:
+                raise DependencyError(
+                    f"changeset op #{i} has unknown op {kind!r}; expected "
+                    "'insert', 'delete' or 'update'"
+                )
+        return changeset
 
     def __repr__(self) -> str:
         kinds = Counter(kind for kind, _, _ in self._ops)

@@ -14,7 +14,7 @@ dimensions of the EXP-MATCH benchmark.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple as PyTuple
+from typing import Dict, Sequence, Set, Tuple as PyTuple
 
 from repro.md.model import MATCH, MD, MatchInterpretation
 from repro.relational.instance import RelationInstance

@@ -17,11 +17,10 @@ derived from ground truth; the matcher builds one as it runs).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Sequence, Set, Tuple as PyTuple
+from typing import Any, Dict, List, Sequence, Tuple as PyTuple
 
 from repro.errors import DependencyError
-from repro.md.similarity import EQ, SimilarityOperator
-from repro.relational.instance import DatabaseInstance
+from repro.md.similarity import SimilarityOperator
 from repro.relational.tuples import Tuple
 
 __all__ = ["MATCH", "MatchOperator", "MDPremise", "MD", "RelativeKey", "MatchInterpretation"]

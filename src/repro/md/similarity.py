@@ -15,7 +15,7 @@ instances of the same metric are ordered by threshold.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Dict, FrozenSet, Iterable, Sequence, Set, Tuple as PyTuple
+from typing import Any, Dict, FrozenSet, Iterable, Set, Tuple as PyTuple
 
 __all__ = [
     "SimilarityOperator",

@@ -15,9 +15,9 @@ from repro.cfd.model import CFD, UNNAMED, PatternTableau
 from repro.cind.model import CIND
 from repro.deps.fd import FD
 from repro.deps.ind import IND
-from repro.relational.domains import BOOL, EnumDomain, FLOAT, INT, STRING
-from repro.relational.instance import DatabaseInstance, RelationInstance
-from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.domains import BOOL, FLOAT, INT, STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
 
 __all__ = [
     "customer_schema",

@@ -22,9 +22,9 @@ the candidate shapes above (the shapes of [37]'s output).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple as PyTuple
+from typing import Dict, List, Sequence, Set
 
-from repro.cfd.model import CFD, UNNAMED, PatternTableau
+from repro.cfd.model import CFD, PatternTableau
 from repro.cfd.normal_form import denormalize
 from repro.deps.fd import FD
 from repro.propagation.propagate import propagates

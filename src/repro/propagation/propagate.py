@@ -31,7 +31,7 @@ conjunctions of equalities (the S of SPC); anything else raises
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, List, Optional, Sequence, Tuple as PyTuple
+from typing import Any, Dict, List, Sequence, Tuple as PyTuple
 
 from repro.cfd.model import CFD, UNNAMED, PatternTuple, fd_as_cfd
 from repro.deps.fd import FD

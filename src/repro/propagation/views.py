@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any, Sequence, Tuple as PyTuple
 
 from repro.errors import QueryError
-from repro.relational.query import Base, Extend, Project, Query, Rename, Select, Union
+from repro.relational.query import Base, Extend, Project, Query, Select, Union
 from repro.relational.schema import Attribute
 
 __all__ = ["tagged_union_view", "select_project_view"]

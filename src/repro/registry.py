@@ -28,7 +28,7 @@ any document the registry itself produced (byte-stable round trips).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Type
+from typing import Any, Callable, Dict, List, Mapping, Optional, Type
 
 from repro.errors import DependencyError
 from repro.relational.predicates import (
@@ -55,6 +55,8 @@ __all__ = [
     "decode",
     "condition_to_dict",
     "condition_from_dict",
+    "changeset_to_dict",
+    "changeset_from_dict",
 ]
 
 
@@ -144,6 +146,30 @@ def encode(dep: Any) -> Dict[str, Any]:
 def decode(document: Mapping[str, Any]) -> Any:
     """Parse a document into a dependency via its ``"type"`` tag."""
     return codec_for_tag(document.get("type")).from_dict(document)
+
+
+# --------------------------------------------------------------------------
+# Changeset documents (the edit-batch wire format)
+# --------------------------------------------------------------------------
+
+
+def changeset_to_dict(changeset: Any) -> Dict[str, Any]:
+    """Serialize a :class:`~repro.engine.delta.Changeset` to its wire
+    document — ``{"ops": [{"op": ..., "relation": ..., "row": ...}, ...]}``.
+
+    This is the same document shape ``repro.server`` accepts on
+    ``POST /sessions/{id}/apply``; the codec lives on the class, this
+    function just makes the registry the one lookup point for every wire
+    format (rules, schemas, conditions, changesets).
+    """
+    return changeset.to_dict()
+
+
+def changeset_from_dict(document: Mapping[str, Any]) -> Any:
+    """Parse a changeset wire document (see :func:`changeset_to_dict`)."""
+    from repro.engine.delta import Changeset
+
+    return Changeset.from_dict(document)
 
 
 # --------------------------------------------------------------------------

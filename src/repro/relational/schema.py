@@ -8,7 +8,7 @@ consistency analyses of conditional dependencies interact with finite domains.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, Sequence, Tuple
 
 from repro.errors import SchemaError
 from repro.relational.domains import Domain, STRING

@@ -8,7 +8,7 @@ construction time so that dirty *types* never enter the system — dirty
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, Mapping, Sequence, Tuple as PyTuple
+from typing import Any, Dict, Iterator, Mapping, Sequence, Tuple as PyTuple
 
 from repro.errors import DomainError, SchemaError
 from repro.relational.schema import RelationSchema

@@ -9,7 +9,7 @@ from the conflict structure without materializing the space.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple as PyTuple
+from typing import Dict, List, Sequence, Set, Tuple as PyTuple
 
 from repro.deps.base import Dependency, all_violations
 from repro.relational.instance import DatabaseInstance

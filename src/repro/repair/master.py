@@ -25,7 +25,7 @@ residual violations.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple as PyTuple
+from typing import Dict, List, Mapping, Sequence
 
 from repro.md.model import MD
 from repro.md.blocking import Blocker

@@ -21,7 +21,7 @@ edit distance for strings, relative difference for numbers.
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple as PyTuple
+from typing import Any, Callable, Dict, Mapping, Sequence, Tuple as PyTuple
 
 from repro.md.similarity import levenshtein
 from repro.relational.instance import DatabaseInstance

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple as PyTuple
 
-from repro.cfd.model import CFD, UNNAMED, fd_as_cfd
+from repro.cfd.model import CFD, fd_as_cfd
 from repro.deps.fd import FD
 from repro.engine.delta import Changeset, DeltaEngine
 from repro.relational.instance import DatabaseInstance

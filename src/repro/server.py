@@ -1,0 +1,872 @@
+"""``repro.server`` — a long-running JSON-over-HTTP constraint service.
+
+The batch CLI pays a cold start on every invocation: parse schema + rules,
+load the data, build the engine indexes, detect once, exit.  This module
+keeps that work *warm*: a resident :class:`ReproHTTPServer` hosts many
+named :class:`~repro.session.Session` objects, each with its hash indexes,
+shard buckets and delta engine alive across requests, so repeated
+detect/edit traffic pays only the marginal work of each request — the
+amortization the sharded engine layers were built for.
+
+Stdlib only (``http.server`` + ``ThreadingHTTPServer``); one thread per
+request.  Requests against *one* session serialize on that session's lock
+(the delta engine is single-writer); requests against *distinct* sessions
+run in parallel.  When more than ``max_sessions`` sessions are open the
+least-recently-used one is evicted through ``Session.close()``.
+
+Endpoints (see ``docs/server.md`` for the full wire format):
+
+===========================  ==============================================
+``GET  /healthz``            liveness + open-session count
+``GET  /metrics``            request counts, per-endpoint latency, cache stats
+``GET  /sessions``           list hosted sessions
+``POST /sessions``           create a session (inline docs or server paths)
+``GET  /sessions/{id}``      one session's info document
+``DELETE /sessions/{id}``    close + evict a session
+``POST /sessions/{id}/detect``  run detection → the CLI's ``--format json`` doc
+``POST /sessions/{id}/apply``   apply a changeset document via the delta engine
+``POST /sessions/{id}/undo``    replay a stored undo token
+``POST /sessions/{id}/repair``  repair (strategy u|x|s) → repair report doc
+``GET/PUT/POST /sessions/{id}/rules``  registry round-trip of the rule set
+===========================  ==============================================
+
+Start one from Python (tests, benchmarks)::
+
+    server = make_server(port=0)           # port 0: pick a free port
+    server.start_background()
+    ...                                    # drive it via repro.client
+    server.shutdown()
+
+or from the CLI: ``repro serve --port 8765 --max-sessions 64``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.engine.delta import Changeset, StaleEngineError
+from repro.errors import (
+    DependencyError,
+    DomainError,
+    RepairError,
+    ReproError,
+    SchemaError,
+)
+from repro.relational.csvio import load_csv
+from repro.relational.instance import DatabaseInstance
+from repro.session import Session
+
+__all__ = [
+    "ReproHTTPServer",
+    "SessionManager",
+    "HostedSession",
+    "UnknownSessionError",
+    "make_server",
+    "serve",
+]
+
+#: undo tokens remembered per session (oldest dropped first)
+MAX_UNDO_TOKENS = 32
+
+
+class UnknownSessionError(ReproError):
+    """No hosted session under the requested id (HTTP 404)."""
+
+
+class DuplicateSessionError(ReproError):
+    """A session with the requested id already exists (HTTP 409)."""
+
+
+class HostedSession:
+    """One warm session plus the server-side state that wraps it.
+
+    ``lock`` serializes every request that touches the session — the delta
+    engine and the warm parallel executor are single-writer structures, so
+    concurrent requests against one session queue here while requests
+    against other sessions proceed on their own locks.
+    """
+
+    __slots__ = (
+        "id",
+        "session",
+        "lock",
+        "created",
+        "last_used",
+        "requests",
+        "_undo",
+        "_undo_counter",
+    )
+
+    def __init__(self, session_id: str, session: Session):
+        self.id = session_id
+        self.session = session
+        self.lock = threading.Lock()
+        self.created = time.time()
+        self.last_used = self.created
+        self.requests = 0
+        self._undo: "OrderedDict[str, Changeset]" = OrderedDict()
+        self._undo_counter = 0
+
+    def touch(self) -> None:
+        self.last_used = time.time()
+        self.requests += 1
+
+    def remember_undo(self, undo: Changeset) -> str:
+        """Store an undo changeset; returns its single-use token."""
+        self._undo_counter += 1
+        token = f"undo-{self._undo_counter}"
+        self._undo[token] = undo
+        while len(self._undo) > MAX_UNDO_TOKENS:
+            self._undo.popitem(last=False)
+        return token
+
+    def take_undo(self, token: str) -> Changeset:
+        """Pop a stored undo changeset (tokens are single-use)."""
+        try:
+            return self._undo.pop(token)
+        except KeyError:
+            raise ReproError(
+                f"unknown or already-used undo token {token!r}"
+            ) from None
+
+    def restore_undo(self, token: str, undo: Changeset) -> None:
+        """Put a taken undo back (its replay failed and changed nothing)."""
+        self._undo[token] = undo
+
+    def clear_undo(self) -> None:
+        """Drop every stored token — the instance they were recorded
+        against has been replaced (e.g. ``repair(adopt=True)``)."""
+        self._undo.clear()
+
+    def info(self) -> Dict[str, Any]:
+        """The session info document.
+
+        Takes the session lock: ``_undo`` and the engine caches mutate
+        under it, so a listing racing an in-flight apply must wait for
+        the batch rather than iterate mutating state.
+        """
+        with self.lock:
+            session = self.session
+            return {
+                "session": self.id,
+                "relations": {
+                    rel.schema.name: len(rel) for rel in session.database
+                },
+                "rules": len(session.rules),
+                "executor": session.executor,
+                "shards": session.shards,
+                "warm_engine": session.has_warm_engine,
+                "warm_parallel": session.has_warm_parallel,
+                "requests": self.requests,
+                "age_seconds": time.time() - self.created,
+                "idle_seconds": time.time() - self.last_used,
+                "undo_tokens": list(self._undo),
+            }
+
+
+class SessionManager:
+    """The table of hosted sessions: create / resolve / evict.
+
+    LRU order is maintained on every resolve; when the table grows past
+    ``max_sessions`` the least-recently-used session is closed and dropped.
+    All table mutations hold the manager lock; the per-session work itself
+    runs under each :class:`HostedSession`'s own lock.
+    """
+
+    def __init__(self, max_sessions: int = 64, data_root: Optional[Path] = None):
+        if max_sessions < 1:
+            raise ReproError("max_sessions must be >= 1")
+        self.max_sessions = max_sessions
+        self.data_root = Path(data_root) if data_root is not None else Path.cwd()
+        self._lock = threading.RLock()
+        self._sessions: "OrderedDict[str, HostedSession]" = OrderedDict()
+        self._auto_counter = 0
+        self.created_total = 0
+        self.evicted_total = 0
+        self.closed_total = 0
+
+    # -- resolution ------------------------------------------------------
+
+    def get(self, session_id: str) -> HostedSession:
+        with self._lock:
+            try:
+                hosted = self._sessions[session_id]
+            except KeyError:
+                raise UnknownSessionError(
+                    f"no session {session_id!r}; open sessions: "
+                    f"{list(self._sessions)}"
+                ) from None
+            self._sessions.move_to_end(session_id)
+            hosted.touch()
+            return hosted
+
+    def list(self) -> List[HostedSession]:
+        with self._lock:
+            return list(self._sessions.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _resolve_path(self, path: str) -> Path:
+        candidate = Path(path)
+        if not candidate.is_absolute():
+            candidate = self.data_root / candidate
+        return candidate
+
+    def _build_session(self, document: Mapping[str, Any]) -> Session:
+        from repro.rules_json import (
+            database_schema_from_dict,
+            load_database_schema,
+            load_rules,
+            rules_from_list,
+        )
+
+        schema_doc = document.get("schema")
+        if isinstance(schema_doc, str):
+            db_schema = load_database_schema(self._resolve_path(schema_doc))
+        elif isinstance(schema_doc, Mapping):
+            db_schema = database_schema_from_dict(schema_doc)
+        else:
+            raise SchemaError(
+                "session document needs a 'schema' (inline document or "
+                "server-side path)"
+            )
+
+        rules_doc = document.get("rules")
+        if rules_doc is None:
+            rules: List[Any] = []
+        elif isinstance(rules_doc, str):
+            rules = load_rules(self._resolve_path(rules_doc), db_schema)
+        elif isinstance(rules_doc, (list, tuple)):
+            rules = rules_from_list(rules_doc, db_schema)
+        else:
+            raise DependencyError(
+                "'rules' must be a rules list or a server-side path"
+            )
+
+        db = DatabaseInstance(db_schema)
+        data = document.get("data") or {}
+        if not isinstance(data, Mapping):
+            raise SchemaError(
+                "'data' must map relation names to row lists or CSV paths"
+            )
+        for rel_name, payload in data.items():
+            relation = db.relation(rel_name)
+            if isinstance(payload, str):
+                for t in load_csv(relation.schema, self._resolve_path(payload)):
+                    relation.add(t)
+            elif isinstance(payload, (list, tuple)):
+                for row in payload:
+                    relation.add(row)
+            else:
+                raise SchemaError(
+                    f"data for relation {rel_name!r} must be a row list or "
+                    "a server-side CSV path"
+                )
+
+        executor = document.get("executor", "indexed")
+        shards = document.get("shards")
+        if shards is not None and not isinstance(shards, int):
+            raise ReproError(f"'shards' must be an integer, got {shards!r}")
+        return Session.from_instance(db, rules, executor=executor, shards=shards)
+
+    def create(self, document: Mapping[str, Any]) -> HostedSession:
+        """Build and register a session from a creation document.
+
+        The session is built *outside* the manager lock (data upload and
+        index construction can be slow); only the table insert and any
+        LRU eviction hold it.
+        """
+        session_id = document.get("id")
+        if session_id is not None and not isinstance(session_id, str):
+            raise ReproError(f"'id' must be a string, got {session_id!r}")
+        if session_id is not None:
+            # fail fast before paying the data upload / instance build;
+            # the post-build check below still covers a create/create race
+            with self._lock:
+                if session_id in self._sessions:
+                    raise DuplicateSessionError(
+                        f"session {session_id!r} already exists; DELETE it "
+                        "first or create under a fresh id"
+                    )
+        session = self._build_session(document)
+        evicted: List[HostedSession] = []
+        with self._lock:
+            if session_id is None:
+                self._auto_counter += 1
+                session_id = f"s{self._auto_counter}"
+                while session_id in self._sessions:
+                    self._auto_counter += 1
+                    session_id = f"s{self._auto_counter}"
+            elif session_id in self._sessions:
+                raise DuplicateSessionError(
+                    f"session {session_id!r} already exists; DELETE it first "
+                    "or create under a fresh id"
+                )
+            hosted = HostedSession(session_id, session)
+            self._sessions[session_id] = hosted
+            self.created_total += 1
+            while len(self._sessions) > self.max_sessions:
+                _, lru = self._sessions.popitem(last=False)
+                evicted.append(lru)
+                self.evicted_total += 1
+        for lru in evicted:
+            # Close outside the manager lock: an in-flight request may hold
+            # the session lock, and closing must wait for it, not block the
+            # whole table.
+            with lru.lock:
+                lru.session.close()
+        return hosted
+
+    def remove(self, session_id: str) -> HostedSession:
+        with self._lock:
+            try:
+                hosted = self._sessions.pop(session_id)
+            except KeyError:
+                raise UnknownSessionError(
+                    f"no session {session_id!r}; open sessions: "
+                    f"{list(self._sessions)}"
+                ) from None
+            self.closed_total += 1
+        with hosted.lock:
+            hosted.session.close()
+        return hosted
+
+    def close_all(self) -> None:
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for hosted in sessions:
+            with hosted.lock:
+                hosted.session.close()
+
+
+class ServerMetrics:
+    """Thread-safe request counters: totals, statuses, per-endpoint latency."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests_total = 0
+        self.responses: Dict[str, int] = {}
+        self.endpoints: Dict[str, Dict[str, float]] = {}
+
+    def record(self, endpoint: str, status: int, seconds: float) -> None:
+        with self._lock:
+            self.requests_total += 1
+            key = str(status)
+            self.responses[key] = self.responses.get(key, 0) + 1
+            stats = self.endpoints.setdefault(
+                endpoint, {"count": 0, "seconds_total": 0.0, "seconds_max": 0.0}
+            )
+            stats["count"] += 1
+            stats["seconds_total"] += seconds
+            stats["seconds_max"] = max(stats["seconds_max"], seconds)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            endpoints = {
+                endpoint: {
+                    "count": stats["count"],
+                    "seconds_total": stats["seconds_total"],
+                    "seconds_avg": stats["seconds_total"] / stats["count"],
+                    "seconds_max": stats["seconds_max"],
+                }
+                for endpoint, stats in sorted(self.endpoints.items())
+            }
+            return {
+                "requests_total": self.requests_total,
+                "responses": dict(sorted(self.responses.items())),
+                "endpoints": endpoints,
+            }
+
+
+class ReproHTTPServer(ThreadingHTTPServer):
+    """The threading HTTP server plus the shared service state."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        max_sessions: int = 64,
+        data_root: Optional[Path] = None,
+        verbose: bool = False,
+    ):
+        super().__init__(address, _Handler)
+        self.manager = SessionManager(max_sessions, data_root=data_root)
+        self.metrics = ServerMetrics()
+        self.started = time.time()
+        self.verbose = verbose
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def base_url(self) -> str:
+        host, port = self.server_address[0], self.server_address[1]
+        return f"http://{host}:{port}"
+
+    def start_background(self) -> threading.Thread:
+        """Serve requests on a daemon thread (tests, benchmarks)."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        self._thread = thread
+        return thread
+
+    def shutdown(self) -> None:  # type: ignore[override]
+        super().shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self.manager.close_all()
+        self.server_close()
+
+    # -- documents -------------------------------------------------------
+
+    def health_document(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self.started,
+            "sessions": len(self.manager),
+            "max_sessions": self.manager.max_sessions,
+        }
+
+    def metrics_document(self) -> Dict[str, Any]:
+        manager = self.manager
+        warm_engines = 0
+        warm_parallel = 0
+        delta_totals = {
+            "batches": 0,
+            "ops_applied": 0,
+            "keys_patched": 0,
+            "keys_reevaluated": 0,
+            "inclusion_keys_touched": 0,
+            "fallback_rescans": 0,
+        }
+        maintained_violations = 0
+        for hosted in manager.list():
+            # per-session lock: engine state mutates under it, and
+            # warm_engine (unlike Session.engine) never lazy-builds on
+            # this read path
+            with hosted.lock:
+                session = hosted.session
+                engine = session.warm_engine
+                if engine is not None:
+                    warm_engines += 1
+                    maintained_violations += engine.total_violations()
+                    for field in delta_totals:
+                        delta_totals[field] += getattr(engine.stats, field)
+                if session.has_warm_parallel:
+                    warm_parallel += 1
+        document = self.metrics_document_base()
+        document["sessions"] = {
+            "open": len(manager),
+            "max_sessions": manager.max_sessions,
+            "created_total": manager.created_total,
+            "evicted_total": manager.evicted_total,
+            "closed_total": manager.closed_total,
+        }
+        document["engines"] = {
+            "warm_delta_engines": warm_engines,
+            "warm_parallel_executors": warm_parallel,
+            "maintained_violations": maintained_violations,
+            "delta_stats": delta_totals,
+        }
+        return document
+
+    def metrics_document_base(self) -> Dict[str, Any]:
+        document = {"uptime_seconds": time.time() - self.started}
+        document.update(self.metrics.snapshot())
+        return document
+
+
+# --------------------------------------------------------------------------
+# Request handling
+# --------------------------------------------------------------------------
+
+#: (error class, HTTP status) in match order — first isinstance hit wins
+_ERROR_STATUS = (
+    (UnknownSessionError, 404),
+    (DuplicateSessionError, 409),
+    (StaleEngineError, 409),
+    (RepairError, 400),
+    (DependencyError, 400),
+    (SchemaError, 400),
+    (DomainError, 400),
+    (ReproError, 400),
+    (KeyError, 400),
+    (ValueError, 400),
+)
+
+
+class _BadRequest(Exception):
+    """Internal: malformed request envelope (not a library error)."""
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ReproHTTPServer  # narrowed for type checkers
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.server.verbose:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _read_body(self) -> Any:
+        self._body_read = True
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return None
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _BadRequest(f"request body is not valid JSON: {exc}") from exc
+
+    def _drain_body(self) -> None:
+        """Consume an unread request body before responding.
+
+        Connections are HTTP/1.1 keep-alive: if a handler errors before
+        reading the declared body (unknown route, unknown session), the
+        unread bytes would be parsed as the next request line on the
+        reused socket — a protocol desync.
+        """
+        if getattr(self, "_body_read", False):
+            return
+        self._body_read = True
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > 0:
+            self.rfile.read(length)
+
+    def _send_json(self, status: int, document: Mapping[str, Any]) -> None:
+        self._drain_body()
+        payload = (
+            json.dumps(document, indent=2, default=str) + "\n"
+        ).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_error_json(self, status: int, message: str, kind: str) -> None:
+        self._send_json(status, {"error": message, "type": kind})
+
+    def _endpoint_template(self, method: str) -> str:
+        """The metrics key for this request: the route *template* (session
+        ids replaced by ``{id}``) whatever the outcome — raw paths would
+        grow the metrics table without bound under probes against many
+        distinct (e.g. evicted) session ids."""
+        parts = [p for p in urlsplit(self.path).path.split("/") if p]
+        if parts and parts[0] == "sessions":
+            if len(parts) == 2:
+                parts = ["sessions", "{id}"]
+            elif len(parts) >= 3:
+                parts = ["sessions", "{id}", parts[2]]
+        return f"{method} /" + "/".join(parts)
+
+    def _dispatch(self, method: str) -> None:
+        started = time.perf_counter()
+        # one handler instance serves many requests on a keep-alive
+        # connection: the body-consumed flag is per-request state
+        self._body_read = False
+        endpoint = self._endpoint_template(method)
+        status = 500
+        try:
+            endpoint, status, document = self._route(method)
+            self._send_json(status, document)
+        except _BadRequest as exc:
+            status = 400
+            self._send_error_json(status, str(exc), "BadRequest")
+        except Exception as exc:
+            status = 500
+            for error_cls, error_status in _ERROR_STATUS:
+                if isinstance(exc, error_cls):
+                    status = error_status
+                    break
+            message = str(exc) if not isinstance(exc, KeyError) else repr(exc)
+            self._send_error_json(status, message, type(exc).__name__)
+        finally:
+            self.server.metrics.record(
+                endpoint, status, time.perf_counter() - started
+            )
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_PUT(self) -> None:
+        self._dispatch("PUT")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+    # -- routing ---------------------------------------------------------
+
+    def _route(self, method: str) -> Tuple[str, int, Dict[str, Any]]:
+        """Resolve one request; returns (endpoint template, status, doc)."""
+        path = urlsplit(self.path).path
+        parts = [p for p in path.split("/") if p]
+
+        if parts == ["healthz"] and method == "GET":
+            return "GET /healthz", 200, self.server.health_document()
+        if parts == ["metrics"] and method == "GET":
+            return "GET /metrics", 200, self.server.metrics_document()
+
+        manager = self.server.manager
+        if parts and parts[0] == "sessions":
+            if len(parts) == 1:
+                if method == "GET":
+                    return (
+                        "GET /sessions",
+                        200,
+                        {
+                            "sessions": [
+                                h.info() for h in manager.list()
+                            ]
+                        },
+                    )
+                if method == "POST":
+                    body = self._read_body() or {}
+                    if not isinstance(body, Mapping):
+                        raise _BadRequest(
+                            "session creation body must be a JSON object"
+                        )
+                    hosted = manager.create(body)
+                    return "POST /sessions", 201, hosted.info()
+            elif len(parts) == 2:
+                session_id = parts[1]
+                if method == "GET":
+                    return (
+                        "GET /sessions/{id}",
+                        200,
+                        manager.get(session_id).info(),
+                    )
+                if method == "DELETE":
+                    hosted = manager.remove(session_id)
+                    return (
+                        "DELETE /sessions/{id}",
+                        200,
+                        {"session": hosted.id, "closed": True},
+                    )
+            elif len(parts) == 3:
+                return self._route_session_verb(method, parts[1], parts[2])
+
+        raise _BadRequest(f"no route for {method} {path}")
+
+    def _route_session_verb(
+        self, method: str, session_id: str, verb: str
+    ) -> Tuple[str, int, Dict[str, Any]]:
+        manager = self.server.manager
+        if verb == "rules" and method == "GET":
+            hosted = manager.get(session_id)
+            with hosted.lock:
+                return (
+                    "GET /sessions/{id}/rules",
+                    200,
+                    {"rules": hosted.session.rules_documents()},
+                )
+        if verb == "rules" and method in ("PUT", "POST"):
+            body = self._read_body()
+            hosted = manager.get(session_id)
+            with hosted.lock:
+                return self._handle_rules_write(hosted, method, body)
+        if method != "POST":
+            raise _BadRequest(
+                f"no route for {method} /sessions/{{id}}/{verb}"
+            )
+        body = self._read_body()
+        hosted = manager.get(session_id)
+        with hosted.lock:
+            if verb == "detect":
+                return self._handle_detect(hosted, body)
+            if verb == "apply":
+                return self._handle_apply(hosted, body)
+            if verb == "undo":
+                return self._handle_undo(hosted, body)
+            if verb == "repair":
+                return self._handle_repair(hosted, body)
+        raise _BadRequest(f"no route for POST /sessions/{{id}}/{verb}")
+
+    # -- verbs (all run under the hosted session's lock) -----------------
+
+    @staticmethod
+    def _handle_detect(
+        hosted: HostedSession, body: Any
+    ) -> Tuple[str, int, Dict[str, Any]]:
+        body = body or {}
+        if not isinstance(body, Mapping):
+            raise _BadRequest("detect body must be a JSON object (or empty)")
+        report = hosted.session.detect(
+            executor=body.get("executor"),
+            shards=body.get("shards"),
+        )
+        document = report.to_dict(
+            include_violations=bool(body.get("include_violations", True))
+        )
+        return "POST /sessions/{id}/detect", 200, document
+
+    @staticmethod
+    def _delta_document(hosted: HostedSession, delta: Any) -> Dict[str, Any]:
+        from repro.session import ViolationReport
+
+        return {
+            "added": [
+                ViolationReport._violation_to_dict(v) for v in delta.added
+            ],
+            "removed": [
+                ViolationReport._violation_to_dict(v) for v in delta.removed
+            ],
+            "remaining": delta.remaining,
+            "clean": delta.clean_after,
+            "undo_token": hosted.remember_undo(delta.undo),
+        }
+
+    def _handle_apply(
+        self, hosted: HostedSession, body: Any
+    ) -> Tuple[str, int, Dict[str, Any]]:
+        if not isinstance(body, Mapping):
+            raise _BadRequest(
+                "apply body must be a changeset document {\"ops\": [...]}"
+            )
+        changeset = Changeset.from_dict(body)
+        delta = hosted.session.apply(changeset)
+        return (
+            "POST /sessions/{id}/apply",
+            200,
+            self._delta_document(hosted, delta),
+        )
+
+    def _handle_undo(
+        self, hosted: HostedSession, body: Any
+    ) -> Tuple[str, int, Dict[str, Any]]:
+        if not isinstance(body, Mapping) or "token" not in body:
+            raise _BadRequest("undo body must be {\"token\": \"...\"}")
+        undo = hosted.take_undo(body["token"])
+        try:
+            delta = hosted.session.apply(undo)
+        except Exception:
+            # a failed apply rolled the database back (delta-engine
+            # atomicity), so the token is still valid — keep it usable
+            # instead of burning it on a failed attempt
+            hosted.restore_undo(body["token"], undo)
+            raise
+        return (
+            "POST /sessions/{id}/undo",
+            200,
+            self._delta_document(hosted, delta),
+        )
+
+    @staticmethod
+    def _handle_repair(
+        hosted: HostedSession, body: Any
+    ) -> Tuple[str, int, Dict[str, Any]]:
+        body = body or {}
+        if not isinstance(body, Mapping):
+            raise _BadRequest("repair body must be a JSON object (or empty)")
+        kwargs: Dict[str, Any] = {}
+        if "max_passes" in body:
+            kwargs["max_passes"] = int(body["max_passes"])
+        if "limit" in body:
+            kwargs["limit"] = int(body["limit"])
+        adopt = bool(body.get("adopt", False))
+        report = hosted.session.repair(
+            strategy=body.get("strategy", "u"),
+            adopt=adopt,
+            **kwargs,
+        )
+        if adopt:
+            # the instance the stored undo changesets were recorded
+            # against is gone; replaying one on the repaired instance
+            # would silently corrupt it
+            hosted.clear_undo()
+        return "POST /sessions/{id}/repair", 200, report.to_dict()
+
+    @staticmethod
+    def _handle_rules_write(
+        hosted: HostedSession, method: str, body: Any
+    ) -> Tuple[str, int, Dict[str, Any]]:
+        from repro.rules_json import rules_from_list
+
+        if isinstance(body, Mapping):
+            documents = body.get("rules")
+        else:
+            documents = body
+        if not isinstance(documents, (list, tuple)):
+            raise _BadRequest(
+                "rules body must be a rules list (or {\"rules\": [...]})"
+            )
+        session = hosted.session
+        parsed = rules_from_list(documents, session.schema)
+        if method == "PUT":
+            session.replace_rules(parsed)
+        else:
+            session.add_rules(*parsed)
+        return (
+            f"{method} /sessions/{{id}}/rules",
+            200,
+            {"session": hosted.id, "rules": len(session.rules)},
+        )
+
+
+# --------------------------------------------------------------------------
+# Entry points
+# --------------------------------------------------------------------------
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    max_sessions: int = 64,
+    data_root: Optional[Path] = None,
+    verbose: bool = False,
+) -> ReproHTTPServer:
+    """Build a server (not yet serving); ``port=0`` picks a free port."""
+    return ReproHTTPServer(
+        (host, port), max_sessions=max_sessions, data_root=data_root,
+        verbose=verbose,
+    )
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    max_sessions: int = 64,
+    data_root: Optional[Path] = None,
+    verbose: bool = True,
+) -> int:
+    """Blocking entry point for ``repro serve`` (Ctrl-C to stop)."""
+    import sys
+
+    server = make_server(
+        host, port, max_sessions=max_sessions, data_root=data_root,
+        verbose=verbose,
+    )
+    print(
+        f"repro server listening on {server.base_url} "
+        f"(max {max_sessions} sessions)",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.manager.close_all()
+        server.server_close()
+    return 0

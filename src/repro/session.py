@@ -36,7 +36,7 @@ from repro.engine.delta import Changeset, DeltaEngine, ViolationDelta
 from repro.errors import RepairError, ReproError, SchemaError
 from repro.relational.csvio import dump_csv, load_csv
 from repro.relational.instance import DatabaseInstance
-from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.schema import DatabaseSchema
 
 __all__ = ["Session", "ViolationReport", "RepairReport"]
 
@@ -260,11 +260,24 @@ class Session:
         self._engine = None
         return self
 
+    def replace_rules(self, rules: Iterable[Dependency]) -> "Session":
+        """Swap the whole rule set; the delta engine is rebuilt on next use."""
+        self._rules = list(rules)
+        self._engine = None
+        return self
+
     def close(self) -> None:
-        """Release engine resources (notably parallel worker processes)."""
+        """Release engine resources: parallel worker processes and the warm
+        delta engine state.
+
+        This is the eviction hook the server layer calls — a closed session
+        stays usable (engines lazily rebuild on the next call), it just
+        holds no warm state until then.
+        """
         if self._parallel is not None:
             self._parallel.close()
             self._parallel = None
+        self._engine = None
 
     def __enter__(self) -> "Session":
         return self
@@ -278,6 +291,29 @@ class Session:
         from repro.engine.parallel import resolve_shards
 
         return resolve_shards(self._shards)
+
+    @property
+    def executor(self) -> str:
+        """The configured detection executor name."""
+        return self._executor
+
+    @property
+    def has_warm_engine(self) -> bool:
+        """True iff the delta engine is built (warm maintained state)."""
+        return self._engine is not None
+
+    @property
+    def warm_engine(self) -> Optional[DeltaEngine]:
+        """The delta engine if already built, else ``None`` — unlike
+        :attr:`engine` this never triggers a lazy build (introspection
+        surfaces like the server's ``/metrics`` must not construct
+        engine state on a read path)."""
+        return self._engine
+
+    @property
+    def has_warm_parallel(self) -> bool:
+        """True iff a warm parallel executor (and maybe its pool) is held."""
+        return self._parallel is not None
 
     @property
     def engine(self) -> DeltaEngine:

@@ -11,12 +11,12 @@ precision/recall improvement from derived RCKs exactly as §4.2 claims.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Set, Tuple as PyTuple
+from typing import Set, Tuple as PyTuple
 
 from repro.paper import card_billing_schema
 from repro.relational.instance import DatabaseInstance
 from repro.relational.tuples import Tuple
-from repro.workloads.noise import abbreviate_name, address_variant, typo
+from repro.workloads.noise import abbreviate_name, address_variant
 
 __all__ = ["CardBillingConfig", "CardBillingWorkload", "generate_card_billing"]
 

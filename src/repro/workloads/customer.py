@@ -13,7 +13,7 @@ EXP-DETECT).
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, List, Sequence, Tuple as PyTuple
+from typing import Any, Dict, List, Tuple as PyTuple
 
 from repro.cfd.model import CFD, UNNAMED, PatternTableau
 from repro.deps.fd import FD

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 import string
-from typing import Any, List, Sequence, Tuple as PyTuple
+from typing import Any, Sequence
 
 __all__ = [
     "typo",

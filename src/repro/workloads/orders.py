@@ -10,7 +10,7 @@ the violations ϕ4–ϕ6 must catch (benchmark FIG3/FIG4 at scale).
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, List, Tuple as PyTuple
+from typing import Any, Dict, List
 
 from repro.cind.model import CIND
 from repro.paper import fig4_cinds, source_target_schema

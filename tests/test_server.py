@@ -1,0 +1,706 @@
+"""The HTTP/JSON constraint service: wire protocol, locking, eviction.
+
+The acceptance bar mirrors the packaging job: a served detect must be
+*byte-identical* to the offline CLI detect on the shipped fixtures, the
+changeset wire format must ride the delta engine exactly as a local
+``Session.apply`` does, and concurrent clients must never tear a
+session's maintained state — one session serializes, distinct sessions
+run in parallel.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.client import ServerClient, ServerError
+from repro.engine.delta import Changeset
+from repro.registry import changeset_from_dict, changeset_to_dict
+from repro.server import make_server
+from repro.session import Session
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "examples" / "fixtures"
+
+#: a small single-relation session document used by most tests
+SCHEMA_DOC = {
+    "name": "emp",
+    "attributes": [
+        {"name": "dept", "type": "string"},
+        {"name": "floor", "type": "int"},
+    ],
+}
+RULES_DOC = [{"type": "fd", "relation": "emp", "lhs": ["dept"], "rhs": ["floor"]}]
+ROWS = [
+    {"dept": "eng", "floor": 1},
+    {"dept": "eng", "floor": 2},  # violates dept -> floor
+    {"dept": "ops", "floor": 3},
+]
+
+
+@pytest.fixture(scope="module")
+def server():
+    server = make_server(port=0, data_root=REPO_ROOT)
+    server.start_background()
+    yield server
+    server.shutdown()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    client = ServerClient(server.base_url)
+    client.wait_ready()
+    return client
+
+
+def _fresh(client: ServerClient, session_id: str, rows=ROWS, **kwargs):
+    """Create (or recreate) the small emp session under ``session_id``."""
+    try:
+        client.delete_session(session_id)
+    except ServerError:
+        pass
+    return client.create_session(
+        schema=SCHEMA_DOC,
+        rules=RULES_DOC,
+        data={"emp": list(rows)},
+        session_id=session_id,
+        **kwargs,
+    )
+
+
+class TestLifecycle:
+    def test_healthz(self, client):
+        doc = client.healthz()
+        assert doc["status"] == "ok"
+        assert doc["max_sessions"] == 64
+        assert doc["uptime_seconds"] >= 0
+
+    def test_create_info_list_delete(self, client):
+        info = _fresh(client, "life")
+        assert info["session"] == "life"
+        assert info["relations"] == {"emp": 3}
+        assert info["rules"] == 1
+        assert info["executor"] == "indexed"
+        assert not info["warm_engine"]
+        assert "life" in {s["session"] for s in client.list_sessions()}
+        assert client.session_info("life")["relations"] == {"emp": 3}
+        assert client.delete_session("life") == {
+            "session": "life",
+            "closed": True,
+        }
+        with pytest.raises(ServerError) as err:
+            client.session_info("life")
+        assert err.value.status == 404
+
+    def test_auto_ids_are_fresh(self, client):
+        a = client.create_session(schema=SCHEMA_DOC, data={"emp": ROWS})
+        b = client.create_session(schema=SCHEMA_DOC, data={"emp": ROWS})
+        assert a["session"] != b["session"]
+        client.delete_session(a["session"])
+        client.delete_session(b["session"])
+
+    def test_duplicate_id_conflicts(self, client):
+        _fresh(client, "dup")
+        with pytest.raises(ServerError) as err:
+            client.create_session(schema=SCHEMA_DOC, session_id="dup")
+        assert err.value.status == 409
+        assert "already exists" in str(err.value)
+        client.delete_session("dup")
+
+    def test_server_side_paths(self, client):
+        info = client.create_session(
+            schema="examples/fixtures/schema.json",
+            rules="examples/fixtures/rules.json",
+            data={
+                "customer": "examples/fixtures/customer.csv",
+                "orders": "examples/fixtures/orders.csv",
+            },
+            session_id="paths",
+        )
+        assert info["relations"] == {"customer": 7, "orders": 5}
+        assert info["rules"] == 6
+        client.delete_session("paths")
+
+
+class TestDetect:
+    def test_detect_matches_offline_byte_for_byte(self, client):
+        """The packaging-job invariant: served detect == CLI detect JSON."""
+        data = {
+            "customer": "examples/fixtures/customer.csv",
+            "orders": "examples/fixtures/orders.csv",
+        }
+        client.create_session(
+            schema="examples/fixtures/schema.json",
+            rules="examples/fixtures/rules.json",
+            data=data,
+            session_id="bytes",
+        )
+        served = client.detect("bytes")
+        offline = Session.from_files(
+            FIXTURES / "schema.json",
+            FIXTURES / "rules.json",
+            {name: FIXTURES / Path(path).name for name, path in data.items()},
+        ).detect().to_dict()
+        dump = lambda doc: json.dumps(doc, indent=2, default=str)  # noqa: E731
+        assert dump(served) == dump(offline)
+        client.delete_session("bytes")
+
+    def test_detect_summary_only(self, client):
+        _fresh(client, "sum")
+        doc = client.detect("sum", include_violations=False)
+        assert doc["total"] == 1
+        assert "violations" not in doc
+        assert list(doc["per_dependency"].values()) == [1]
+
+    def test_detect_warm_repeats_agree(self, client):
+        _fresh(client, "warm")
+        first = client.detect("warm")
+        for _ in range(3):
+            assert client.detect("warm") == first
+
+    def test_detect_executor_override(self, client):
+        _fresh(client, "exec")
+        indexed = client.detect("exec")
+        naive = client.detect("exec", executor="naive")
+        parallel = client.detect("exec", shards=2)
+        assert naive["total"] == indexed["total"]
+        assert parallel["total"] == indexed["total"]
+        with pytest.raises(ServerError) as err:
+            client.detect("exec", executor="warp-drive")
+        assert err.value.status == 400
+
+
+class TestApplyUndo:
+    def test_apply_matches_local_session(self, client):
+        _fresh(client, "app")
+        changeset = {
+            "ops": [
+                {
+                    "op": "insert",
+                    "relation": "emp",
+                    "row": {"dept": "ops", "floor": 9},
+                },
+                {
+                    "op": "update",
+                    "relation": "emp",
+                    "row": {"dept": "eng", "floor": 2},
+                    "cells": {"floor": 1},
+                },
+            ]
+        }
+        served = client.apply("app", changeset)
+
+        local = Session.from_instance(_local_db(), _local_rules())
+        delta = local.apply(Changeset.from_dict(changeset))
+        assert len(served["added"]) == len(delta.added)
+        assert len(served["removed"]) == len(delta.removed)
+        assert served["remaining"] == delta.remaining
+        assert served["clean"] == delta.clean_after
+
+    def test_undo_restores_and_tokens_are_single_use(self, client):
+        _fresh(client, "undo")
+        before = client.detect("undo")
+        delta = client.apply(
+            "undo",
+            {
+                "ops": [
+                    {
+                        "op": "delete",
+                        "relation": "emp",
+                        "row": {"dept": "eng", "floor": 2},
+                    }
+                ]
+            },
+        )
+        assert delta["remaining"] == 0 and delta["clean"]
+        restored = client.undo("undo", delta["undo_token"])
+        assert restored["remaining"] == before["total"]
+        assert client.detect("undo") == before
+        with pytest.raises(ServerError) as err:
+            client.undo("undo", delta["undo_token"])
+        assert err.value.status == 400
+        assert "already-used" in str(err.value)
+
+    def test_adopt_invalidates_stored_undo_tokens(self, client):
+        """repair(adopt=True) swaps the instance; replaying a pre-repair
+        undo against the repaired data must be refused, not applied."""
+        _fresh(client, "adopt-undo")
+        delta = client.apply(
+            "adopt-undo",
+            {"ops": [
+                {
+                    "op": "insert",
+                    "relation": "emp",
+                    "row": {"dept": "qa", "floor": 5},
+                }
+            ]},
+        )
+        client.repair("adopt-undo", strategy="x", adopt=True)
+        with pytest.raises(ServerError) as err:
+            client.undo("adopt-undo", delta["undo_token"])
+        assert err.value.status == 400
+        assert "unknown or already-used" in str(err.value)
+
+    def test_apply_failure_is_atomic(self, client):
+        """An update on an absent tuple 400s and leaves the session intact."""
+        _fresh(client, "atomic")
+        before = client.detect("atomic")
+        with pytest.raises(ServerError) as err:
+            client.apply(
+                "atomic",
+                {
+                    "ops": [
+                        {
+                            "op": "insert",
+                            "relation": "emp",
+                            "row": {"dept": "qa", "floor": 4},
+                        },
+                        {
+                            "op": "update",
+                            "relation": "emp",
+                            "row": {"dept": "ghost", "floor": 0},
+                            "cells": {"floor": 1},
+                        },
+                    ]
+                },
+            )
+        assert err.value.status == 400
+        assert client.detect("atomic") == before
+        assert client.session_info("atomic")["relations"] == {"emp": 3}
+
+
+class TestErrorPaths:
+    def test_error_metrics_use_route_templates(self, client, server):
+        """404s/400s against arbitrary session ids must aggregate under the
+        '{id}' template, not mint one metrics entry per probed path."""
+        for probe in ("probe-a", "probe-b", "probe-c"):
+            with pytest.raises(ServerError):
+                client.detect(probe)
+        endpoints = client.metrics()["endpoints"]
+        assert "POST /sessions/{id}/detect" in endpoints
+        assert not any("probe-" in key for key in endpoints)
+
+    def test_unknown_session_404_on_every_verb(self, client):
+        for call in (
+            lambda: client.detect("ghost"),
+            lambda: client.apply("ghost", {"ops": []}),
+            lambda: client.repair("ghost"),
+            lambda: client.get_rules("ghost"),
+            lambda: client.session_info("ghost"),
+            lambda: client.delete_session("ghost"),
+        ):
+            with pytest.raises(ServerError) as err:
+                call()
+            assert err.value.status == 404
+            assert err.value.kind == "UnknownSessionError"
+            assert "no session 'ghost'" in str(err.value)
+
+    def test_malformed_changeset_400_with_registry_text(self, client):
+        _fresh(client, "bad")
+        cases = [
+            ({"ops": [{"op": "frobnicate", "relation": "emp", "row": {}}]},
+             "unknown op"),
+            ({"ops": [{"op": "insert", "row": {}}]}, "'relation'"),
+            ({"ops": [{"op": "update", "relation": "emp",
+                       "row": {"dept": "eng", "floor": 1}}]}, "'cells'"),
+            ({"ops": "nope"}, "'ops' list"),
+        ]
+        for body, fragment in cases:
+            with pytest.raises(ServerError) as err:
+                client.apply("bad", body)
+            assert err.value.status == 400, body
+            assert err.value.kind == "DependencyError"
+            assert fragment in str(err.value)
+
+    def test_unknown_rule_type_400_lists_registered_tags(self, client):
+        _fresh(client, "tags")
+        with pytest.raises(ServerError) as err:
+            client.set_rules("tags", [{"type": "mystery"}])
+        assert err.value.status == 400
+        assert "registered types" in str(err.value)
+        assert "cfd" in str(err.value)
+
+    def test_invalid_json_body_400(self, client, server):
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"{server.base_url}/sessions/whatever/detect",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request)
+        assert err.value.code == 400
+        assert json.loads(err.value.read())["type"] == "BadRequest"
+
+    def test_keep_alive_survives_unrouted_request_with_body(self, server):
+        """A body POSTed to an unroutable path must be drained before the
+        400, or the next request on the kept-alive socket reads garbage."""
+        import http.client
+
+        host, port = server.server_address[0], server.server_address[1]
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            # /teapot never reaches _read_body, so without the drain the
+            # body bytes would be parsed as the next request line
+            body = json.dumps({"ops": [{"op": "insert"}] * 50})
+            conn.request(
+                "POST",
+                "/teapot",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            first = conn.getresponse()
+            assert first.status == 400
+            first.read()
+            # same socket: the follow-up must parse cleanly
+            conn.request("GET", "/healthz")
+            second = conn.getresponse()
+            assert second.status == 200
+            assert json.loads(second.read())["status"] == "ok"
+        finally:
+            conn.close()
+
+    def test_unrouted_paths_400(self, client):
+        with pytest.raises(ServerError) as err:
+            client._request("GET", "/teapot")
+        assert err.value.status == 400
+        with pytest.raises(ServerError) as err:
+            client._request("POST", "/sessions/x/brew")
+        assert err.value.status in (400, 404)  # 404: session checked first
+
+    def test_bad_session_document_400(self, client):
+        with pytest.raises(ServerError) as err:
+            client._request("POST", "/sessions", {"rules": []})
+        assert err.value.status == 400
+        assert "schema" in str(err.value)
+
+
+class TestRulesRoundTrip:
+    def test_get_put_post(self, client):
+        _fresh(client, "rules")
+        docs = client.get_rules("rules")
+        assert docs == [
+            {
+                "type": "fd",
+                "relation": "emp",
+                "lhs": ["dept"],
+                "rhs": ["floor"],
+            }
+        ]
+        extra = {
+            "type": "cfd",
+            "relation": "emp",
+            "name": "eng-first-floor",
+            "lhs": ["dept"],
+            "rhs": ["floor"],
+            "tableau": [{"dept": "eng", "floor": 1}],
+        }
+        assert client.add_rules("rules", [extra])["rules"] == 2
+        assert client.get_rules("rules")[1]["name"] == "eng-first-floor"
+        # served detection now includes the CFD's violations
+        assert client.detect("rules")["per_dependency"]["eng-first-floor"] >= 1
+        assert client.set_rules("rules", docs)["rules"] == 1
+        assert client.get_rules("rules") == docs
+
+
+class TestRepair:
+    def test_repair_x_and_adopt(self, client):
+        _fresh(client, "fix")
+        report = client.repair("fix", strategy="x")
+        assert report["strategy"] == "x"
+        assert report["resolved"] is True
+        # adopt=False: the hosted session is untouched
+        assert client.detect("fix")["total"] == 1
+        adopted = client.repair("fix", strategy="x", adopt=True)
+        assert adopted["resolved"] is True
+        assert client.detect("fix")["total"] == 0
+
+    def test_repair_u_reports_passes(self, client):
+        _fresh(client, "upass")
+        report = client.repair("upass", strategy="u")
+        assert report["strategy"] == "u"
+        assert report["passes"] >= 1
+
+    def test_unknown_strategy_400(self, client):
+        _fresh(client, "strat")
+        with pytest.raises(ServerError) as err:
+            client.repair("strat", strategy="q")
+        assert err.value.status == 400
+        assert err.value.kind == "RepairError"
+
+
+class TestConcurrency:
+    N_THREADS = 8
+    N_ROUNDS = 6
+
+    def test_one_session_serializes_no_torn_state(self, client):
+        """Threads hammer one session with apply+undo; the maintained
+        violation set must land exactly where it started."""
+        _fresh(client, "hammer")
+        before = client.detect("hammer")
+        failures: list = []
+
+        def worker(thread_id: int) -> None:
+            # insert-then-delete rather than insert-then-undo: with 8
+            # threads interleaving, the 32-token LRU undo cache may evict
+            # a token before its owner replays it (documented capacity
+            # behavior) — explicit inverse edits keep the hammer about
+            # delta-state integrity, not token retention
+            try:
+                for round_no in range(self.N_ROUNDS):
+                    row = {
+                        "dept": f"t{thread_id}",
+                        "floor": 100 + thread_id * self.N_ROUNDS + round_no,
+                    }
+                    delta = client.apply(
+                        "hammer",
+                        {"ops": [
+                            {"op": "insert", "relation": "emp", "row": row}
+                        ]},
+                    )
+                    assert delta["remaining"] >= before["total"]
+                    back = client.apply(
+                        "hammer",
+                        {"ops": [
+                            {"op": "delete", "relation": "emp", "row": row}
+                        ]},
+                    )
+                    assert back["remaining"] >= before["total"]
+            except Exception as exc:  # surfaced after join
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures, failures
+        after = client.detect("hammer")
+        assert after == before
+        assert client.session_info("hammer")["relations"] == {"emp": 3}
+        assert (
+            client.session_info("hammer")["requests"]
+            >= self.N_THREADS * self.N_ROUNDS * 2
+        )
+
+    def test_distinct_sessions_run_in_parallel(self, client):
+        """Concurrent traffic against distinct sessions stays isolated:
+        every session's detect sees only its own edits."""
+        ids = [f"iso-{i}" for i in range(self.N_THREADS)]
+        for i, session_id in enumerate(ids):
+            rows = ROWS + [
+                {"dept": f"only-{i}", "floor": 50 + i},
+            ]
+            _fresh(client, session_id, rows=rows)
+        results: dict = {}
+        failures: list = []
+
+        def worker(i: int) -> None:
+            try:
+                session_id = ids[i]
+                for _ in range(self.N_ROUNDS):
+                    client.apply(
+                        session_id,
+                        {"ops": [
+                            {
+                                "op": "insert",
+                                "relation": "emp",
+                                "row": {"dept": f"only-{i}", "floor": 999},
+                            }
+                        ]},
+                    )
+                    client.apply(
+                        session_id,
+                        {"ops": [
+                            {
+                                "op": "delete",
+                                "relation": "emp",
+                                "row": {"dept": f"only-{i}", "floor": 999},
+                            }
+                        ]},
+                    )
+                results[i] = client.detect(ids[i])
+            except Exception as exc:
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures, failures
+        for i in range(self.N_THREADS):
+            # each session still has exactly its own FD violation; the
+            # per-session "only-i" dept never leaked anywhere else
+            assert results[i]["total"] == 1
+            info = client.session_info(ids[i])
+            assert info["relations"] == {"emp": 4}
+        for session_id in ids:
+            client.delete_session(session_id)
+
+
+class TestEvictionAndMetrics:
+    def test_lru_eviction_closes_oldest(self):
+        server = make_server(port=0, max_sessions=2)
+        server.start_background()
+        try:
+            client = ServerClient(server.base_url)
+            client.wait_ready()
+            for session_id in ("a", "b", "c"):
+                client.create_session(
+                    schema=SCHEMA_DOC,
+                    rules=RULES_DOC,
+                    data={"emp": ROWS},
+                    session_id=session_id,
+                )
+            open_ids = {s["session"] for s in client.list_sessions()}
+            assert open_ids == {"b", "c"}
+            with pytest.raises(ServerError) as err:
+                client.detect("a")
+            assert err.value.status == 404
+            # touching "b" makes "c" the LRU victim of the next create
+            client.detect("b")
+            client.create_session(
+                schema=SCHEMA_DOC, rules=RULES_DOC,
+                data={"emp": ROWS}, session_id="d",
+            )
+            open_ids = {s["session"] for s in client.list_sessions()}
+            assert open_ids == {"b", "d"}
+            assert client.metrics()["sessions"]["evicted_total"] == 2
+        finally:
+            server.shutdown()
+
+    def test_metrics_track_requests_and_warm_engines(self):
+        server = make_server(port=0)
+        server.start_background()
+        try:
+            client = ServerClient(server.base_url)
+            client.wait_ready()
+            client.create_session(
+                schema=SCHEMA_DOC, rules=RULES_DOC,
+                data={"emp": ROWS}, session_id="m",
+            )
+            client.detect("m")
+            client.apply(
+                "m",
+                {"ops": [
+                    {
+                        "op": "insert",
+                        "relation": "emp",
+                        "row": {"dept": "qa", "floor": 7},
+                    }
+                ]},
+            )
+            # the /metrics request itself is recorded only after it responds
+            metrics = client.metrics()
+            assert metrics["requests_total"] >= 3
+            detect_stats = metrics["endpoints"]["POST /sessions/{id}/detect"]
+            assert detect_stats["count"] == 1
+            assert detect_stats["seconds_total"] > 0
+            assert detect_stats["seconds_max"] >= detect_stats["seconds_avg"]
+            assert metrics["responses"]["200"] >= 2
+            assert metrics["responses"]["201"] == 1
+            engines = metrics["engines"]
+            assert engines["warm_delta_engines"] == 1
+            assert engines["delta_stats"]["batches"] == 1
+            assert engines["delta_stats"]["ops_applied"] == 1
+            assert metrics["sessions"]["open"] == 1
+        finally:
+            server.shutdown()
+
+    def test_eviction_drops_warm_engine_state(self, client):
+        """DELETE closes the session: Session.close() released the engine."""
+        _fresh(client, "evict")
+        client.apply(
+            "evict",
+            {"ops": [
+                {
+                    "op": "insert",
+                    "relation": "emp",
+                    "row": {"dept": "qa", "floor": 8},
+                }
+            ]},
+        )
+        assert client.session_info("evict")["warm_engine"] is True
+        client.delete_session("evict")
+        with pytest.raises(ServerError):
+            client.session_info("evict")
+
+
+class TestChangesetWireFormat:
+    def test_round_trip_through_registry(self):
+        changeset = (
+            Changeset()
+            .insert("emp", {"dept": "a", "floor": 1})
+            .delete("emp", {"dept": "b", "floor": 2})
+            .update("emp", {"dept": "c", "floor": 3}, floor=4)
+        )
+        document = changeset_to_dict(changeset)
+        assert [op["op"] for op in document["ops"]] == [
+            "insert",
+            "delete",
+            "update",
+        ]
+        assert document["ops"][2]["cells"] == {"floor": 4}
+        rebuilt = changeset_from_dict(json.loads(json.dumps(document)))
+        assert changeset_to_dict(rebuilt) == document
+
+    def test_update_cells_may_shadow_parameter_names(self):
+        """Attributes literally named 'relation' or 't' must survive the
+        wire format (no **kwargs collision with Changeset.update)."""
+        document = {
+            "ops": [
+                {
+                    "op": "update",
+                    "relation": "r",
+                    "row": {"relation": "a", "t": 1},
+                    "cells": {"relation": "b", "t": 2},
+                }
+            ]
+        }
+        rebuilt = changeset_from_dict(document)
+        assert changeset_to_dict(rebuilt) == document
+
+    def test_undo_changesets_serialize_from_tuples(self):
+        db = _local_db()
+        session = Session.from_instance(db, _local_rules())
+        delta = session.apply(
+            Changeset().insert("emp", {"dept": "qa", "floor": 9})
+        )
+        document = changeset_to_dict(delta.undo)
+        assert document == {
+            "ops": [
+                {
+                    "op": "delete",
+                    "relation": "emp",
+                    "row": {"dept": "qa", "floor": 9},
+                }
+            ]
+        }
+
+
+def _local_db():
+    from repro.relational.instance import DatabaseInstance
+    from repro.rules_json import database_schema_from_dict
+
+    db = DatabaseInstance(database_schema_from_dict(SCHEMA_DOC))
+    for row in ROWS:
+        db.relation("emp").add(row)
+    return db
+
+
+def _local_rules():
+    from repro.rules_json import rules_from_list
+
+    return rules_from_list(RULES_DOC)
