@@ -10,7 +10,7 @@ runs this checker::
     ...
     python benchmarks/check_bench_regression.py --baseline-dir ci-baselines \
         BENCH_engine.json BENCH_incremental.json BENCH_parallel.json \
-        BENCH_server.json
+        BENCH_server.json BENCH_columnar.json
 
 Speedups are size-dependent (they grow with the data), and the smoke
 drivers run smaller sizes than the committed full-size baselines — so
@@ -70,7 +70,10 @@ METRICS: Dict[str, List[Tuple[str, Callable[[Dict[str, Any]], Dict[int, float]]]
     "engine_scaling": [
         ("speedup_warm", _series_metric("speedup_warm")),
         ("speedup_cold", _series_metric("speedup_cold")),
+        ("columnar_speedup_warm", _series_metric("columnar_speedup_warm")),
+        ("columnar_speedup_cold", _series_metric("columnar_speedup_cold")),
     ],
+    "columnar_memory": [("compression", _series_metric("compression"))],
     "incremental_delta_maintenance": [("speedup", _series_metric("speedup"))],
     "parallel_scaling": [("speedup_at_target_shards", _parallel_metric)],
     "server_throughput": [("speedup", _series_metric("speedup"))],

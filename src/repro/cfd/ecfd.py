@@ -149,7 +149,7 @@ class ECFD(Dependency):
 
     def scan_tasks(self, schema: RelationSchema) -> List["ScanTask"]:
         """One compiled sweep task with set-pattern key matching."""
-        from repro.engine.scan import ScanTask
+        from repro.engine.scan import ColumnarSpec, ScanTask
 
         signature = self.scan_signature
         key_position = {a: i for i, a in enumerate(signature)}
@@ -224,6 +224,17 @@ class ECFD(Dependency):
                 match_fn=match,
                 single=single,
                 pair=pair,
+                columnar=ColumnarSpec(
+                    pair_attrs=self.rhs,
+                    singles=[
+                        ("set", a, pat.values, pat.negated)
+                        for _, a, pat in rhs_checks
+                    ],
+                    key_checks=[
+                        ("set", i, pat.values, pat.negated)
+                        for i, pat in lhs_checks
+                    ],
+                ),
             )
         ]
 

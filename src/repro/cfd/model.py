@@ -23,7 +23,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
 from repro.deps.base import Dependency, Violation
 from repro.deps.fd import FD
 from repro.engine.indexes import canonical_signature, key_getter
-from repro.engine.scan import ScanTask, run_scan_tasks
+from repro.engine.scan import ColumnarSpec, ScanTask, run_scan_tasks
 from repro.errors import DependencyError
 from repro.relational.instance import DatabaseInstance
 from repro.relational.schema import RelationSchema
@@ -359,6 +359,14 @@ class CFD(Dependency):
                     skip_singletons=not has_rhs_constants,
                     single=single,
                     pair=pair,
+                    columnar=ColumnarSpec(
+                        pair_attrs=self.rhs,
+                        singles=[
+                            ("eq", a, c)
+                            for a, c in tp.constants_on(self.rhs).items()
+                        ],
+                        key_checks=[("eq", i, c) for i, c in key_constants],
+                    ),
                 )
             )
         return tasks

@@ -131,6 +131,50 @@ class CIND(Dependency):
         target_index = target.indexes.grouped_key_sets(
             self.rhs_pattern_attrs, self.rhs_attrs
         )
+        empty: frozenset = frozenset()
+        store = source.column_store
+        layout = (
+            source.indexes.group_layout(self.lhs_pattern_attrs)
+            if store is not None and self.lhs_pattern_attrs
+            else None
+        )
+        if store is not None and (layout is not None or not self.lhs_pattern_attrs):
+            # Columnar: candidate rows come from the vectorized partition
+            # (or all live rows for an unconditional LHS); membership is
+            # decided once per distinct encoded X-key, and only violating
+            # rows are materialized — in insertion order, as before.
+            positions = [source.schema.index_of(a) for a in self.lhs_attrs]
+            columns = [store.columns[p] for p in positions]
+            decode = [store.decode[p] for p in positions]
+            for row in self.tableau:
+                lhs_pat = self.lhs_pattern(row)
+                rhs_pat = self.rhs_pattern(row)
+                matching_keys = target_index.get(
+                    tuple(rhs_pat[a] for a in self.rhs_pattern_attrs), empty
+                )
+                if layout is not None:
+                    rank = layout.rank_of_key(
+                        tuple(lhs_pat[a] for a in self.lhs_pattern_attrs)
+                    )
+                    rows = layout.group_rows(rank) if rank is not None else ()
+                else:
+                    rows = store.iter_live_rows()
+                verdicts: Dict[tuple, bool] = {}
+                for r in rows:
+                    codes = tuple(column[r] for column in columns)
+                    bad = verdicts.get(codes)
+                    if bad is None:
+                        key = tuple(d[c] for d, c in zip(decode, codes))
+                        bad = key not in matching_keys
+                        verdicts[codes] = bad
+                    if bad:
+                        yield Violation(
+                            self,
+                            [(self.lhs_relation, store.tuple_at(r))],
+                            f"{self.name}: no {self.rhs_relation} tuple matches "
+                            f"on {list(self.rhs_attrs)} with pattern {rhs_pat}",
+                        )
+            return
         # Source tuples partitioned by Xp projection: each row touches only
         # the tuples it conditions on instead of scanning the relation.
         source_groups = (
@@ -138,7 +182,6 @@ class CIND(Dependency):
             if self.lhs_pattern_attrs
             else None
         )
-        empty: frozenset = frozenset()
         key_of = key_getter(source.schema, self.lhs_attrs)
         for row in self.tableau:
             lhs_pat = self.lhs_pattern(row)

@@ -63,7 +63,7 @@ class FD(Dependency):
         with the first on the RHS is a pair violation; singleton groups are
         skipped by the executor before any call is made.
         """
-        from repro.engine.scan import ScanTask
+        from repro.engine.scan import ColumnarSpec, ScanTask
 
         from repro.engine.indexes import key_getter
 
@@ -102,7 +102,13 @@ class FD(Dependency):
 
         return [
             ScanTask(
-                None, [], evaluate, skip_singletons=True, single=single, pair=pair
+                None,
+                [],
+                evaluate,
+                skip_singletons=True,
+                single=single,
+                pair=pair,
+                columnar=ColumnarSpec(pair_attrs=self.rhs),
             )
         ]
 

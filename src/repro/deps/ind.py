@@ -62,15 +62,31 @@ class IND(Dependency):
         # (relation, attrs) and shared across every IND/CIND that needs it.
         target = db.relation(self.rhs_relation).indexes.key_set(self.rhs_attrs)
         source = db.relation(self.lhs_relation)
+        message = f"no {self.rhs_relation} tuple matches on {list(self.rhs_attrs)}"
+        store = source.column_store
+        if store is not None:
+            # Columnar: decide membership once per distinct encoded key and
+            # materialize only the violating rows, in insertion order.
+            positions = [source.schema.index_of(a) for a in self.lhs_attrs]
+            columns = [store.columns[p] for p in positions]
+            decode = [store.decode[p] for p in positions]
+            verdicts: dict = {}
+            for row in store.iter_live_rows():
+                codes = tuple(column[row] for column in columns)
+                bad = verdicts.get(codes)
+                if bad is None:
+                    key = tuple(d[c] for d, c in zip(decode, codes))
+                    bad = key not in target
+                    verdicts[codes] = bad
+                if bad:
+                    yield Violation(
+                        self, [(self.lhs_relation, store.tuple_at(row))], message
+                    )
+            return
         key_of = key_getter(source.schema, self.lhs_attrs)
         for t in source:
             if key_of(t.values()) not in target:
-                yield Violation(
-                    self,
-                    [(self.lhs_relation, t)],
-                    f"no {self.rhs_relation} tuple matches on "
-                    f"{list(self.rhs_attrs)}",
-                )
+                yield Violation(self, [(self.lhs_relation, t)], message)
 
     def __repr__(self) -> str:
         return (

@@ -639,14 +639,20 @@ class _InclusionState:
         self.yp_of = key_getter(target.schema, inclusion_group.group_attrs)
         self.y_of = key_getter(target.schema, inclusion_group.key_attrs)
         #: Yp projection → (Y projection → provider count)
+        # Seeded from the relation's cached counted key index (built from
+        # encoded columns on columnar stores, shared across states with the
+        # same signature); copied because apply() mutates the counts.
         self.provided: Dict[tuple, Dict[tuple, int]] = {}
-        for t in target:
-            values = t.values()
-            y = self.y_of(values)
-            if not self._owns_key(y):
-                continue
-            counts = self.provided.setdefault(self.yp_of(values), {})
-            counts[y] = counts.get(y, 0) + 1
+        base = target.indexes.grouped_key_counts(
+            inclusion_group.group_attrs, inclusion_group.key_attrs
+        )
+        if self._shard is None:
+            self.provided = {yp: dict(counts) for yp, counts in base.items()}
+        else:
+            for yp, counts in base.items():
+                owned = {y: n for y, n in counts.items() if self._owns_key(y)}
+                if owned:
+                    self.provided[yp] = owned
 
         self.rows: List[_InclusionRow] = []
         #: source relation → (key getter on X, rows reading that source)

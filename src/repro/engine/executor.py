@@ -60,24 +60,89 @@ def execute_plan(
 
     for scan in plan.scan_groups:
         relation = db.relation(scan.relation_name)
-        groups = relation.indexes.group_index(scan.signature)
-        stats.partitions_built += 1
         # Compile every member's pattern rows once against the relation
         # schema; fully-constant rows resolve by one hash lookup, the rest
         # join the shared sweep.
+        lookups: List[tuple] = []
         sweep: List[tuple] = []
         for position, dep in scan.members:
             for task in dep.scan_tasks(relation.schema):
                 if task.lookup_key is not None:
-                    stats.constant_lookups += 1
-                    group = groups.get(task.lookup_key)
-                    if group:
-                        task.evaluate(group, results[position])
+                    lookups.append((position, task))
                 else:
                     sweep.append((position, task))
+        stats.partitions_built += 1
+        stats.constant_lookups += len(lookups)
+        stats.swept_patterns += len(sweep)
+        # Kernel path: when the relation is columnar and every task of the
+        # scan group declares its columnar decomposition, the vectorized
+        # layout replaces the hash partition entirely.  The kernels flag
+        # exactly the violating rows (code comparisons are congruent with
+        # the value comparisons the closures make), so the executor
+        # materializes only flagged rows — plus each flagged group's first
+        # tuple — and routes them through the original ``single``/``pair``
+        # closures in legacy emission order: groups in first-seen key
+        # order, tasks in member order, singles before pairs within each
+        # group.  Emitted violations are identical, object for object, to
+        # the legacy sweep below.
+        layout = (
+            relation.indexes.group_layout(scan.signature)
+            if all(
+                task.columnar is not None and task.supports_incremental
+                for _, task in lookups + sweep
+            )
+            else None
+        )
+        if layout is not None:
+            from repro.engine.kernels import flagged_rows
+
+            indexes = relation.indexes
+            tuple_at = layout.store.tuple_at
+
+            def emit(task, flags, rank: int, out: List[Violation], first=None):
+                singles, pairs = flagged_rows(layout, flags, rank)
+                for row in singles:
+                    task.single(tuple_at(row), out)
+                if pairs:
+                    if first is None:
+                        first = tuple_at(int(layout.rows_sorted[layout.starts[rank]]))
+                    for row in pairs:
+                        task.pair(first, tuple_at(row), out)
+                return first
+
+            for position, task in lookups:
+                rank = layout.rank_of_key(task.lookup_key)
+                if rank is not None:
+                    emit(task, indexes.task_flags(scan.signature, task.columnar),
+                         rank, results[position])
+            if not sweep:
+                continue
+            flagged: List[tuple] = []
+            union: set = set()
+            for position, task in sweep:
+                flags = indexes.task_flags(scan.signature, task.columnar)
+                flagged.append((position, task, flags))
+                union |= flags.candidate_set
+            for rank in sorted(union):
+                stats.groups_swept += 1
+                singleton = int(layout.sizes[rank]) < 2
+                key = layout.decoded_key(rank)
+                first = None
+                for position, task, flags in flagged:
+                    if rank not in flags.candidate_set:
+                        continue
+                    if singleton and task.skip_singletons:
+                        continue
+                    if task.matches(key):
+                        first = emit(task, flags, rank, results[position], first)
+            continue
+        groups = relation.indexes.group_index(scan.signature)
+        for position, task in lookups:
+            group = groups.get(task.lookup_key)
+            if group:
+                task.evaluate(group, results[position])
         if not sweep:
             continue
-        stats.swept_patterns += len(sweep)
         # One pass over the shared partitions evaluates every remaining
         # pattern row of every member dependency.
         for key, group in groups.items():

@@ -18,8 +18,9 @@ and ``filter`` build fresh instances, which start with empty caches.
 from __future__ import annotations
 
 from operator import itemgetter
-from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple as PyTuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple as PyTuple
 
+from repro.engine import kernels
 from repro.relational.tuples import Tuple
 
 __all__ = ["canonical_signature", "key_getter", "IndexStats", "RelationIndexes"]
@@ -52,6 +53,40 @@ def key_getter(schema: Any, attributes: Sequence[str]):
         get = itemgetter(positions[0])
         return lambda values: (get(values),)
     return itemgetter(*positions)
+
+
+def _code_rows(store: Any, schema: Any, attrs: Sequence[str]):
+    """Encoded key tuples per live row, in insertion order.
+
+    Returns ``(positions, rows)`` where each row is the tuple of interned
+    codes on ``attrs`` — the columnar analogue of ``key_of(t.values())``,
+    built from the code columns without materializing any ``Tuple``.
+    Codes are equality-congruent with values, so deduplicating or grouping
+    on code tuples decides exactly what value tuples would.
+    """
+    positions = [schema.index_of(a) for a in attrs]
+    columns = [store.columns[p].tolist() for p in positions]
+    if store.dead:
+        alive = store.alive
+        live = [i for i in range(store.n_rows) if alive[i]]
+        if not columns:
+            return positions, [()] * len(live)
+        return positions, [tuple(col[i] for col in columns) for i in live]
+    if not columns:
+        return positions, [()] * store.n_rows
+    if len(columns) == 1:
+        return positions, [(c,) for c in columns[0]]
+    return positions, list(zip(*columns))
+
+
+def _decoder(store: Any, positions: Sequence[int]):
+    """Compile ``code tuple → value tuple`` for one projection."""
+    tables = [store.decode[p] for p in positions]
+
+    def decode(codes: tuple) -> tuple:
+        return tuple(table[c] for table, c in zip(tables, codes))
+
+    return decode
 
 
 class IndexStats:
@@ -91,6 +126,9 @@ class RelationIndexes:
             Dict[tuple, FrozenSet[tuple]],
         ] = {}
         self._projections: Dict[PyTuple[str, ...], List[tuple]] = {}
+        self._layouts: Dict[PyTuple[str, ...], Any] = {}
+        self._sweeps: Dict[tuple, Any] = {}
+        self._grouped_counts: Dict[tuple, Dict[tuple, Dict[tuple, int]]] = {}
         self.stats = IndexStats()
 
     def _sync(self) -> None:
@@ -99,8 +137,15 @@ class RelationIndexes:
             self._key_sets.clear()
             self._grouped_keys.clear()
             self._projections.clear()
+            self._layouts.clear()
+            self._sweeps.clear()
+            self._grouped_counts.clear()
             self._version = self._relation.version
             self.stats.invalidations += 1
+
+    @property
+    def _store(self) -> Any:
+        return getattr(self._relation, "column_store", None)
 
     def _key_getter(self, attrs: PyTuple[str, ...]):
         return key_getter(self._relation.schema, attrs)
@@ -129,8 +174,15 @@ class RelationIndexes:
         keys = self._key_sets.get(attrs)
         if keys is None:
             self.stats.builds += 1
-            key_of = self._key_getter(attrs)
-            keys = frozenset(key_of(t.values()) for t in self._relation)
+            store = self._store
+            if store is not None:
+                # Dedupe on code tuples, decode each distinct key once.
+                positions, rows = _code_rows(store, self._relation.schema, attrs)
+                decode = _decoder(store, positions)
+                keys = frozenset(decode(codes) for codes in set(rows))
+            else:
+                key_of = self._key_getter(attrs)
+                keys = frozenset(key_of(t.values()) for t in self._relation)
             self._key_sets[attrs] = keys
         else:
             self.stats.hits += 1
@@ -150,13 +202,27 @@ class RelationIndexes:
         grouped = self._grouped_keys.get(cache_key)
         if grouped is None:
             self.stats.builds += 1
-            group_of = self._key_getter(cache_key[0])
-            key_of = self._key_getter(cache_key[1])
+            store = self._store
             raw: Dict[tuple, set] = {}
-            for t in self._relation:
-                values = t.values()
-                raw.setdefault(group_of(values), set()).add(key_of(values))
-            grouped = {k: frozenset(v) for k, v in raw.items()}
+            if store is not None:
+                schema = self._relation.schema
+                g_positions, g_rows = _code_rows(store, schema, cache_key[0])
+                k_positions, k_rows = _code_rows(store, schema, cache_key[1])
+                for g, k in zip(g_rows, k_rows):
+                    raw.setdefault(g, set()).add(k)
+                decode_g = _decoder(store, g_positions)
+                decode_k = _decoder(store, k_positions)
+                grouped = {
+                    decode_g(g): frozenset(decode_k(k) for k in keys)
+                    for g, keys in raw.items()
+                }
+            else:
+                group_of = self._key_getter(cache_key[0])
+                key_of = self._key_getter(cache_key[1])
+                for t in self._relation:
+                    values = t.values()
+                    raw.setdefault(group_of(values), set()).add(key_of(values))
+                grouped = {k: frozenset(v) for k, v in raw.items()}
             self._grouped_keys[cache_key] = grouped
         else:
             self.stats.hits += 1
@@ -169,12 +235,101 @@ class RelationIndexes:
         column = self._projections.get(attrs)
         if column is None:
             self.stats.builds += 1
-            key_of = self._key_getter(attrs)
-            column = [key_of(t.values()) for t in self._relation]
+            store = self._store
+            if store is not None:
+                positions, rows = _code_rows(store, self._relation.schema, attrs)
+                decode = _decoder(store, positions)
+                column = [decode(codes) for codes in rows]
+            else:
+                key_of = self._key_getter(attrs)
+                column = [key_of(t.values()) for t in self._relation]
             self._projections[attrs] = column
         else:
             self.stats.hits += 1
         return column
+
+    def group_layout(self, attributes: Sequence[str]) -> Optional[Any]:
+        """Vectorized partition layout for one signature, or ``None``.
+
+        Available only on columnar stores with numpy present; callers fall
+        back to :meth:`group_index` otherwise.  A layout build counts as
+        one index build — it plays the same role as the hash partition, so
+        the build/hit accounting (and the tests pinning it) carry over.
+        """
+        self._sync()
+        store = self._store
+        if store is None or not kernels.AVAILABLE:
+            return None
+        attrs = tuple(attributes)
+        layout = self._layouts.get(attrs)
+        if layout is None:
+            self.stats.builds += 1
+            layout = kernels.build_layout(store, self._relation.schema, attrs)
+            self._layouts[attrs] = layout
+        else:
+            self.stats.hits += 1
+        return layout
+
+    def task_flags(self, attributes: Sequence[str], spec: Any) -> Any:
+        """Kernel flags for one ``ColumnarSpec`` (cached by spec value).
+
+        Scan tasks are recompiled per detect, so the cache is keyed by the
+        spec's *value*: a warm re-detect reuses the kernel result without
+        touching the columns.  Deliberately outside the build/hit counters
+        — it is derived from the layout, not an index of its own.
+        """
+        self._sync()
+        attrs = tuple(attributes)
+        cache_key = (attrs, spec)
+        flags = self._sweeps.get(cache_key)
+        if flags is None:
+            layout = self._layouts.get(attrs)
+            if layout is None:
+                layout = self.group_layout(attrs)
+            flags = kernels.task_flags(layout, self._relation.schema, spec)
+            self._sweeps[cache_key] = flags
+        return flags
+
+    def grouped_key_counts(
+        self, group_attributes: Sequence[str], key_attributes: Sequence[str]
+    ) -> Mapping[tuple, Mapping[tuple, int]]:
+        """Per ``group_attributes`` value, multiplicity of each key value.
+
+        The delta engine's inclusion-state seed: like
+        :meth:`grouped_key_sets` but counting rows per key, so incremental
+        removals know when the last provider of a key disappears.  Returned
+        mappings are shared and read-only; callers who mutate must copy.
+        """
+        self._sync()
+        cache_key = (tuple(group_attributes), tuple(key_attributes))
+        counts = self._grouped_counts.get(cache_key)
+        if counts is None:
+            store = self._store
+            counts = {}
+            if store is not None:
+                schema = self._relation.schema
+                g_positions, g_rows = _code_rows(store, schema, cache_key[0])
+                k_positions, k_rows = _code_rows(store, schema, cache_key[1])
+                raw: Dict[tuple, Dict[tuple, int]] = {}
+                for g, k in zip(g_rows, k_rows):
+                    bucket = raw.setdefault(g, {})
+                    bucket[k] = bucket.get(k, 0) + 1
+                decode_g = _decoder(store, g_positions)
+                decode_k = _decoder(store, k_positions)
+                counts = {
+                    decode_g(g): {decode_k(k): n for k, n in kc.items()}
+                    for g, kc in raw.items()
+                }
+            else:
+                group_of = self._key_getter(cache_key[0])
+                key_of = self._key_getter(cache_key[1])
+                for t in self._relation:
+                    values = t.values()
+                    bucket = counts.setdefault(group_of(values), {})
+                    key = key_of(values)
+                    bucket[key] = bucket.get(key, 0) + 1
+            self._grouped_counts[cache_key] = counts
+        return counts
 
     def __repr__(self) -> str:
         return (

@@ -21,6 +21,13 @@ serial result:
   combinations), self-inclusions (source relation = target relation) and
   any fallback dependency run serially in the parent process.
 
+On columnar relations (:mod:`repro.relational.columnar`) the work state
+holds no ``Tuple`` objects at all: scan shards own sets of partition
+*ranks* against the shared vectorized layout, inclusion shards own lists
+of encoded row indices, and workers decode the rows they own straight
+out of the fork-inherited column stores — only flagged/violating rows
+are ever materialized, inside the worker.
+
 Shard jobs are fanned out over a ``multiprocessing`` pool using the
 ``fork`` start method: the prepared work travels through the pool
 initializer's ``initargs``, which fork passes by memory inheritance — so
@@ -45,6 +52,7 @@ import zlib
 from typing import Any, Iterable, List, Optional, Sequence, Tuple as PyTuple
 
 from repro.deps.base import Dependency, Violation
+from repro.engine.kernels import flagged_rows
 from repro.engine.planner import DetectionPlan, plan_detection
 from repro.relational.instance import DatabaseInstance, RelationInstance
 from repro.relational.tuples import Tuple
@@ -179,6 +187,25 @@ class _ScanJob:
         self.tasks = tasks
 
 
+class _ColumnarScanJob:
+    """One scan group prepared for sharded *columnar* evaluation.
+
+    Nothing here holds a ``Tuple``: workers inherit the encoded column
+    layout and the per-task flag vectors through fork and receive only
+    the set of partition ranks they own.  Violating rows are materialized
+    inside the worker, and only value payloads travel back.
+    """
+
+    __slots__ = ("layout", "shard_ranks", "items")
+
+    def __init__(self, layout, shard_ranks, items):
+        self.layout = layout
+        #: per shard, the partition ranks it owns
+        self.shard_ranks: List[set] = shard_ranks
+        #: (dependency position, compiled ScanTask, TaskFlags) in member order
+        self.items = items
+
+
 class _InclusionJob:
     """One inclusion group prepared for sharded evaluation.
 
@@ -194,6 +221,25 @@ class _InclusionJob:
         #: per shard, target tuples whose Y projection hashes there
         self.target_buckets: List[List[Tuple]] = target_buckets
         #: (position, dependency, per-shard source tuple buckets)
+        self.members = members
+
+
+class _ColumnarInclusionJob:
+    """One inclusion group prepared for sharded *columnar* evaluation.
+
+    Buckets hold encoded row indices only; workers decode the rows they
+    own straight out of the forked column stores into shard-local
+    instances via ``extend_rows`` — no ``Tuple`` crosses the boundary.
+    """
+
+    __slots__ = ("target_name", "target_store", "target_rows", "members")
+
+    def __init__(self, target_name, target_store, target_rows, members):
+        self.target_name = target_name
+        self.target_store = target_store
+        #: per shard, target row indices whose Y projection hashes there
+        self.target_rows: List[List[int]] = target_rows
+        #: (position, dependency, source store, per-shard source row indices)
         self.members = members
 
 
@@ -218,48 +264,154 @@ def _build_work(
 
     for group in plan.scan_groups:
         relation = db.relation(group.relation_name)
+        tasks = [
+            (position, task)
+            for position, dep in group.members
+            for task in dep.scan_tasks(relation.schema)
+        ]
+        # Columnar relations shard whole partitions by *rank*: one CRC per
+        # distinct key against the vectorized layout, and the work state
+        # carries encoded columns plus precomputed flag vectors — never a
+        # Tuple object.  Layout and flags are the same cached structures
+        # the serial executor uses.
+        layout = (
+            relation.indexes.group_layout(group.signature)
+            if all(
+                task.columnar is not None and task.supports_incremental
+                for _, task in tasks
+            )
+            else None
+        )
+        if layout is not None:
+            buckets: List[set] = [set() for _ in range(shards)]
+            for rank in range(layout.n_groups):
+                buckets[stable_shard(layout.decoded_key(rank), shards)].add(rank)
+            items = [
+                (
+                    position,
+                    task,
+                    relation.indexes.task_flags(group.signature, task.columnar),
+                )
+                for position, task in tasks
+            ]
+            work.scan_jobs.append(_ColumnarScanJob(layout, buckets, items))
+            continue
         # The cached group index is shared with the serial executor, so
         # repeated detections pay the partitioning once.
         groups = relation.indexes.group_index(group.signature)
         shard_groups: List[dict] = [{} for _ in range(shards)]
         for key, tuples in groups.items():
             shard_groups[stable_shard(key, shards)][key] = tuples
-        tasks = [
-            (position, task)
-            for position, dep in group.members
-            for task in dep.scan_tasks(relation.schema)
-        ]
         work.scan_jobs.append(_ScanJob(shard_groups, tasks))
 
     for group in plan.inclusion_groups:
         target = db.relation(group.relation_name)
-        target_groups = target.indexes.group_index(tuple(group.key_attrs))
-        target_buckets: List[List[Tuple]] = [[] for _ in range(shards)]
-        for key, tuples in target_groups.items():
-            target_buckets[stable_shard(key, shards)].extend(tuples)
-        members = []
+        key_attrs = tuple(group.key_attrs)
+        shardable = []
         for position, dep in group.members:
             if dep.lhs_relation == dep.rhs_relation:
                 # A self-inclusion's source and target shard assignments
                 # disagree tuple-by-tuple; evaluate it serially instead.
                 serial.append((position, dep))
-                continue
-            source = db.relation(dep.lhs_relation)
+            else:
+                shardable.append((position, dep, db.relation(dep.lhs_relation)))
+        if not shardable:
+            continue
+        # Columnar relations ship encoded row indices: workers decode the
+        # rows they own straight from the forked column stores.  One group
+        # layout per (relation, attrs) — the same cached structure the
+        # serial detectors use for their partition lookups.
+        target_layout = (
+            target.indexes.group_layout(key_attrs)
+            if target.column_store is not None
+            else None
+        )
+        if target_layout is not None and all(
+            source.column_store is not None
+            and source.indexes.group_layout(tuple(dep.lhs_attrs)) is not None
+            for _, dep, source in shardable
+        ):
+            target_rows: List[List[int]] = [[] for _ in range(shards)]
+            for rank in range(target_layout.n_groups):
+                shard = stable_shard(target_layout.decoded_key(rank), shards)
+                target_rows[shard].extend(target_layout.group_rows(rank))
+            row_members = []
+            for position, dep, source in shardable:
+                source_layout = source.indexes.group_layout(tuple(dep.lhs_attrs))
+                source_rows: List[List[int]] = [[] for _ in range(shards)]
+                for rank in range(source_layout.n_groups):
+                    shard = stable_shard(source_layout.decoded_key(rank), shards)
+                    source_rows[shard].extend(source_layout.group_rows(rank))
+                row_members.append((position, dep, source.column_store, source_rows))
+            work.inclusion_jobs.append(
+                _ColumnarInclusionJob(
+                    group.relation_name, target.column_store, target_rows, row_members
+                )
+            )
+            continue
+        target_groups = target.indexes.group_index(key_attrs)
+        target_buckets: List[List[Tuple]] = [[] for _ in range(shards)]
+        for key, tuples in target_groups.items():
+            target_buckets[stable_shard(key, shards)].extend(tuples)
+        members = []
+        for position, dep, source in shardable:
             source_groups = source.indexes.group_index(tuple(dep.lhs_attrs))
             source_buckets: List[List[Tuple]] = [[] for _ in range(shards)]
             for key, tuples in source_groups.items():
                 source_buckets[stable_shard(key, shards)].extend(tuples)
             members.append((position, dep, source_buckets))
-        if members:
-            work.inclusion_jobs.append(
-                _InclusionJob(group.relation_name, target_buckets, members)
-            )
+        work.inclusion_jobs.append(
+            _InclusionJob(group.relation_name, target_buckets, members)
+        )
     return work, serial
+
+
+def _eval_columnar_scan_shard(job: _ColumnarScanJob, shard: int) -> List[_Payload]:
+    """The executor's kernel path, restricted to one shard's ranks.
+
+    Per-shard emission order differs from the serial executor's sweep
+    order, which is irrelevant: the merged report is canonically sorted
+    either way.  Only flagged rows (plus each flagged group's first
+    tuple) are ever materialized, inside the worker.
+    """
+    layout = job.layout
+    owned = job.shard_ranks[shard]
+    tuple_at = layout.store.tuple_at
+    payloads: List[_Payload] = []
+    out: List[Violation] = []
+
+    def emit(position, task, flags, rank: int) -> None:
+        singles, pairs = flagged_rows(layout, flags, rank)
+        for row in singles:
+            task.single(tuple_at(row), out)
+        if pairs:
+            first = tuple_at(int(layout.rows_sorted[layout.starts[rank]]))
+            for row in pairs:
+                task.pair(first, tuple_at(row), out)
+        payloads.extend(_payload(position, v) for v in out)
+        out.clear()
+
+    for position, task, flags in job.items:
+        if task.lookup_key is not None:
+            rank = layout.rank_of_key(task.lookup_key)
+            if rank is not None and rank in owned:
+                emit(position, task, flags, rank)
+            continue
+        for rank in flags.candidates.tolist():
+            if rank not in owned:
+                continue
+            if int(layout.sizes[rank]) < 2 and task.skip_singletons:
+                continue
+            if task.matches(layout.decoded_key(rank)):
+                emit(position, task, flags, rank)
+    return payloads
 
 
 def _eval_scan_shard(work: _WorkState, job_index: int, shard: int) -> List[_Payload]:
     """The executor's scan-group loop, restricted to one shard's partitions."""
     job = work.scan_jobs[job_index]
+    if isinstance(job, _ColumnarScanJob):
+        return _eval_columnar_scan_shard(job, shard)
     groups = job.shard_groups[shard]
     payloads: List[_Payload] = []
     out: List[Violation] = []
@@ -302,6 +454,24 @@ def _eval_inclusion_shard(
     # through its key indexes, so they reuse the same build.  Each member
     # still gets its own source instance — two members over one source
     # relation bucket *different* tuples (their X projections differ).
+    if isinstance(job, _ColumnarInclusionJob):
+        # Rows were validated when first interned in the parent store, so
+        # the shard-local rebuild skips domain checks.
+        target_store = job.target_store
+        shared_target = RelationInstance(work.db.schema.relation(job.target_name))
+        shared_target.extend_rows(
+            (target_store.values_at(row) for row in job.target_rows[shard]),
+            validate=False,
+        )
+        for position, dep, source_store, source_rows in job.members:
+            shard_db = DatabaseInstance(work.db.schema)
+            shard_db._relations[job.target_name] = shared_target
+            shard_db.relation(dep.lhs_relation).extend_rows(
+                (source_store.values_at(row) for row in source_rows[shard]),
+                validate=False,
+            )
+            payloads.extend(_payload(position, v) for v in dep.violations(shard_db))
+        return payloads
     shared_target = RelationInstance(
         work.db.schema.relation(job.target_name), job.target_buckets[shard]
     )

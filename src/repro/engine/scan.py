@@ -26,13 +26,62 @@ Task anatomy:
   The delta engine (:mod:`repro.engine.delta`) uses the decomposition to
   update a partition's violations in O(1) per edited tuple instead of
   re-sweeping the partition.
+* ``columnar`` — an optional :class:`ColumnarSpec` declaring the same
+  semantics a third way, as primitive checks over encoded columns, so the
+  vectorized kernels (:mod:`repro.engine.kernels`) can decide *which*
+  partitions could violate without touching a ``Tuple``; tasks without a
+  spec (denial / custom constraints) keep the per-tuple sweep.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence, Tuple as PyTuple
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence, Tuple as PyTuple
 
-__all__ = ["ScanTask", "run_scan_tasks"]
+__all__ = ["ColumnarSpec", "ScanTask", "run_scan_tasks"]
+
+
+class ColumnarSpec:
+    """A task's semantics as primitive checks over encoded columns.
+
+    Every FD/CFD/eCFD task decomposes into:
+
+    * ``pair_attrs`` — attributes whose disagreement with the partition's
+      first tuple is a pair violation (the embedded FD's RHS);
+    * ``singles`` — per-row checks: ``("eq", attr, c)`` flags rows whose
+      value differs from the constant ``c``; ``("set", attr, values,
+      negated)`` flags rows failing the eCFD set pattern;
+    * ``key_checks`` — which partitions participate, decided from the key
+      alone: ``("eq", i, c)`` requires signature position ``i`` to equal
+      ``c``; ``("set", i, values, negated)`` applies a set pattern.
+
+    Specs are value-hashable so kernel results can be cached per
+    (signature, spec) across recompiled task closures.
+    """
+
+    __slots__ = ("pair_attrs", "singles", "key_checks", "_key")
+
+    def __init__(
+        self,
+        pair_attrs: Sequence[str] = (),
+        singles: Sequence[tuple] = (),
+        key_checks: Sequence[tuple] = (),
+    ):
+        self.pair_attrs: PyTuple[str, ...] = tuple(pair_attrs)
+        self.singles: PyTuple[tuple, ...] = tuple(singles)
+        self.key_checks: PyTuple[tuple, ...] = tuple(key_checks)
+        self._key = (self.pair_attrs, self.singles, self.key_checks)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ColumnarSpec) and self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarSpec(pair={list(self.pair_attrs)}, "
+            f"{len(self.singles)} singles, {len(self.key_checks)} key checks)"
+        )
 
 
 class ScanTask:
@@ -46,6 +95,7 @@ class ScanTask:
         "evaluate",
         "single",
         "pair",
+        "columnar",
     )
 
     def __init__(
@@ -57,6 +107,7 @@ class ScanTask:
         match_fn: Optional[Callable[[tuple], bool]] = None,
         single: Optional[Callable[[object, list], None]] = None,
         pair: Optional[Callable[[object, object, list], None]] = None,
+        columnar: Optional[ColumnarSpec] = None,
     ):
         self.lookup_key = lookup_key
         self.key_constants = list(key_constants)
@@ -67,6 +118,9 @@ class ScanTask:
         # the task supports incremental partition maintenance.
         self.single = single
         self.pair = pair
+        # Encoded-column decomposition; present ⟺ the vectorized kernels
+        # can pre-filter partitions for this task.
+        self.columnar = columnar
 
     @property
     def supports_incremental(self) -> bool:

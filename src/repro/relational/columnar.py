@@ -1,0 +1,310 @@
+"""Dictionary-encoded columnar storage behind :class:`RelationInstance`.
+
+The detection algorithms of the paper are near-linear in the data, but a
+per-``Tuple`` object heap representation pays an interpreter-level constant
+per tuple on every scan.  :class:`ColumnStore` keeps one column per
+attribute, with every value interned to a small integer code through a
+per-column dictionary:
+
+* ``encode[i]`` maps a value to its code, ``decode[i]`` maps the code back
+  to the first-seen representative.  Because the dictionaries are plain
+  Python dicts, interning inherits dict-key equality — ``1 == 1.0 == True``
+  share one code, exactly the congruence that set semantics and
+  :func:`repro.engine.parallel.stable_shard` already use (the first-seen
+  representative is the one set semantics would have kept anyway);
+* ``columns[i]`` is a stdlib ``array('q')`` of codes, one slot per row —
+  ``numpy`` (when present) views it zero-copy for the vectorized scan
+  kernels in :mod:`repro.engine.kernels`;
+* deletes flip a byte in the ``alive`` map and leave the row in place; the
+  store compacts only when dead rows outnumber the live ones, so row
+  indices are stable between rare compactions and delete is O(1);
+* ``Tuple`` objects are materialized lazily — only when a row is actually
+  reported (a violation witness) or iterated by a legacy consumer — and
+  cached per row.
+
+Row identity is the tuple of codes: an open-addressed hash ``table`` of
+row indices (probed against the columns themselves) gives O(1)
+set-semantics membership without constructing a ``Tuple`` — and without a
+per-row key object, so the whole membership structure costs a couple of
+machine words per row (code-tuple equality coincides with value-tuple
+equality because the per-column dictionaries are equality-congruent).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple as PyTuple
+
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import Tuple
+
+__all__ = ["ColumnStore"]
+
+#: compact only when the dead-row count exceeds this floor *and* the
+#: live-row count — keeps compaction O(edits) amortized and row indices
+#: stable for typical delete-light workloads
+COMPACT_MIN_DEAD = 64
+
+#: hash-table slot markers (row indices are always >= 0)
+_EMPTY = -1
+_TOMBSTONE = -2
+
+
+class ColumnStore:
+    """Encoded columns + alive map + lazy ``Tuple`` cache for one relation."""
+
+    __slots__ = (
+        "schema",
+        "encode",
+        "decode",
+        "columns",
+        "alive",
+        "table",
+        "mask",
+        "used",
+        "live",
+        "cache",
+        "dead",
+    )
+
+    def __init__(self, schema: RelationSchema):
+        self.schema = schema
+        width = len(schema)
+        #: per column, value → code (dict equality ⇒ cross-type congruence)
+        self.encode: List[Dict[Any, int]] = [{} for _ in range(width)]
+        #: per column, code → first-seen representative value
+        self.decode: List[List[Any]] = [[] for _ in range(width)]
+        #: per column, one code per row (dead rows keep their codes)
+        self.columns: List[array] = [array("q") for _ in range(width)]
+        #: one byte per row: 1 = live, 0 = deleted
+        self.alive = bytearray()
+        #: open-addressed membership table: slots hold row indices (or the
+        #: _EMPTY/_TOMBSTONE markers), keyed by ``hash(codes)`` and probed
+        #: against the columns — no per-row key object
+        self.table = array("q", [_EMPTY] * 8)
+        self.mask = 7
+        #: occupied slots (live + tombstones), drives table growth
+        self.used = 0
+        self.live = 0
+        #: lazily materialized ``Tuple`` per row (None until first asked)
+        self.cache: List[Optional[Tuple]] = []
+        self.dead = 0
+
+    def __len__(self) -> int:
+        return self.live
+
+    # -- membership table --------------------------------------------------
+
+    def find_row(self, codes: PyTuple[int, ...]) -> Optional[int]:
+        """Row index of the live row holding ``codes``, or ``None``."""
+        table = self.table
+        mask = self.mask
+        columns = self.columns
+        h = hash(codes)
+        i = h & mask
+        perturb = h & 0x7FFFFFFFFFFFFFFF
+        while True:
+            row = table[i]
+            if row == _EMPTY:
+                return None
+            if row != _TOMBSTONE and all(
+                column[row] == code for column, code in zip(columns, codes)
+            ):
+                return row
+            perturb >>= 5
+            i = (5 * i + perturb + 1) & mask
+
+    def _insert_slot(self, codes: PyTuple[int, ...], row: int) -> None:
+        """Claim a slot for ``row``; caller guarantees ``codes`` is absent."""
+        if 3 * (self.used + 1) >= 2 * (self.mask + 1):
+            self._rebuild_table()
+        table = self.table
+        mask = self.mask
+        h = hash(codes)
+        i = h & mask
+        perturb = h & 0x7FFFFFFFFFFFFFFF
+        while table[i] >= 0:
+            perturb >>= 5
+            i = (5 * i + perturb + 1) & mask
+        if table[i] == _EMPTY:
+            self.used += 1
+        table[i] = row
+        self.live += 1
+
+    def _delete_slot(self, codes: PyTuple[int, ...], row: int) -> None:
+        table = self.table
+        mask = self.mask
+        h = hash(codes)
+        i = h & mask
+        perturb = h & 0x7FFFFFFFFFFFFFFF
+        while table[i] != row:
+            perturb >>= 5
+            i = (5 * i + perturb + 1) & mask
+        table[i] = _TOMBSTONE
+        self.live -= 1
+
+    def _row_hash(self, row: int) -> int:
+        return hash(tuple(column[row] for column in self.columns))
+
+    def _rebuild_table(self) -> None:
+        """Fresh table sized for the live rows; tombstones evaporate."""
+        capacity = 8
+        while 3 * (self.live + 1) >= 2 * capacity:
+            capacity <<= 1
+        capacity <<= 1
+        table = array("q", [_EMPTY] * capacity)
+        mask = capacity - 1
+        alive = self.alive
+        for row in range(len(alive)):
+            if not alive[row]:
+                continue
+            h = self._row_hash(row)
+            i = h & mask
+            perturb = h & 0x7FFFFFFFFFFFFFFF
+            while table[i] != _EMPTY:
+                perturb >>= 5
+                i = (5 * i + perturb + 1) & mask
+            table[i] = row
+        self.table = table
+        self.mask = mask
+        self.used = self.live
+
+    @property
+    def n_rows(self) -> int:
+        """Physical row count, including dead rows awaiting compaction."""
+        return len(self.alive)
+
+    # -- encoding ----------------------------------------------------------
+
+    def probe(self, values: Sequence[Any]) -> Optional[PyTuple[int, ...]]:
+        """Codes for ``values`` if every value is already interned.
+
+        ``None`` means at least one value was never seen in its column, so
+        the row is definitely absent — the duplicate-insert fast path needs
+        no ``Tuple`` (and no value-tuple hash) to decide membership.
+        """
+        codes = []
+        append = codes.append
+        for mapping, value in zip(self.encode, values):
+            code = mapping.get(value)
+            if code is None:
+                return None
+            append(code)
+        return tuple(codes)
+
+    def intern_row(self, values: Sequence[Any]) -> PyTuple[int, ...]:
+        """Codes for ``values``, interning any value not yet seen."""
+        codes = []
+        append = codes.append
+        for mapping, rep, value in zip(self.encode, self.decode, values):
+            code = mapping.get(value)
+            if code is None:
+                code = len(rep)
+                mapping[value] = code
+                rep.append(value)
+            append(code)
+        return tuple(codes)
+
+    # -- row lifecycle -----------------------------------------------------
+
+    def append_row(
+        self, codes: PyTuple[int, ...], materialized: Optional[Tuple] = None
+    ) -> int:
+        """Append a live row for ``codes``; caller guarantees it is new."""
+        row = len(self.alive)
+        for column, code in zip(self.columns, codes):
+            column.append(code)
+        # Claim the table slot before the alive bit flips: a growth-driven
+        # rebuild must only see the rows that were already present.
+        self._insert_slot(codes, row)
+        self.alive.append(1)
+        self.cache.append(materialized)
+        return row
+
+    def kill_row(self, codes: PyTuple[int, ...], row: int) -> None:
+        """Mark a live row dead (O(1)); compact when dead rows dominate."""
+        self._delete_slot(codes, row)
+        self.alive[row] = 0
+        self.cache[row] = None
+        self.dead += 1
+        if self.dead > COMPACT_MIN_DEAD and self.dead > self.live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop dead rows, renumbering the live ones in insertion order.
+
+        Dictionaries never shrink — codes stay valid across compaction, so
+        only row indices move (every cached index structure is invalidated
+        by the owning instance's version bump that triggered the deletes).
+        """
+        alive = self.alive
+        keep = [row for row in range(len(alive)) if alive[row]]
+        self.columns = [
+            array("q", (column[row] for row in keep)) for column in self.columns
+        ]
+        self.cache = [self.cache[row] for row in keep]
+        self.alive = bytearray(b"\x01" * len(keep))
+        self.dead = 0
+        self._rebuild_table()
+
+    # -- materialization ---------------------------------------------------
+
+    def values_at(self, row: int) -> PyTuple[Any, ...]:
+        """Decoded value tuple of a row (no ``Tuple`` object)."""
+        return tuple(
+            rep[column[row]] for rep, column in zip(self.decode, self.columns)
+        )
+
+    def tuple_at(self, row: int) -> Tuple:
+        """The row as a :class:`Tuple`, materialized once and cached.
+
+        Values were validated when first interned, so materialization skips
+        domain checks — this is the violation-report boundary where encoded
+        rows become user-visible objects.
+        """
+        t = self.cache[row]
+        if t is None:
+            t = Tuple(self.schema, self.values_at(row), validate=False)
+            self.cache[row] = t
+        return t
+
+    def iter_tuples(self) -> Iterator[Tuple]:
+        """Live rows as (lazily materialized) tuples, in insertion order."""
+        alive = self.alive
+        cache = self.cache
+        for row in range(len(alive)):
+            if alive[row]:
+                t = cache[row]
+                yield t if t is not None else self.tuple_at(row)
+
+    def iter_live_rows(self) -> Iterator[int]:
+        """Live row indices in insertion order."""
+        alive = self.alive
+        for row in range(len(alive)):
+            if alive[row]:
+                yield row
+
+    # -- copying -----------------------------------------------------------
+
+    def copy(self) -> "ColumnStore":
+        """Independent store sharing only immutable values and tuples."""
+        clone = ColumnStore.__new__(ColumnStore)
+        clone.schema = self.schema
+        clone.encode = [mapping.copy() for mapping in self.encode]
+        clone.decode = [list(rep) for rep in self.decode]
+        clone.columns = [array("q", column) for column in self.columns]
+        clone.alive = bytearray(self.alive)
+        clone.table = array("q", self.table)
+        clone.mask = self.mask
+        clone.used = self.used
+        clone.live = self.live
+        clone.cache = list(self.cache)
+        clone.dead = self.dead
+        return clone
+
+    def __repr__(self) -> str:
+        distinct = sum(len(rep) for rep in self.decode)
+        return (
+            f"ColumnStore({self.schema.name}, {self.live} live rows, "
+            f"{self.dead} dead, {distinct} interned values)"
+        )

@@ -31,16 +31,26 @@ def _parser_for(domain) -> Callable[[str], Any]:
 
 
 def read_rows(schema: RelationSchema, rows: Iterable[Iterable[str]]) -> RelationInstance:
-    """Build an instance from string rows, parsing per attribute domain."""
+    """Build an instance from string rows, parsing per attribute domain.
+
+    Rows stream through the bulk loader: on the columnar backend each
+    *distinct* value is validated and interned once per column instead of
+    constructing a ``Tuple`` per CSV line.
+    """
     parsers = [_parser_for(a.domain) for a in schema.attributes]
+    width = len(schema)
+
+    def parsed() -> Iterable[tuple]:
+        for row in rows:
+            cells = list(row)
+            if len(cells) != width:
+                raise SchemaError(
+                    f"row has {len(cells)} cells, schema {schema.name} has {width} attributes"
+                )
+            yield tuple(parse(cell) for parse, cell in zip(parsers, cells))
+
     instance = RelationInstance(schema)
-    for row in rows:
-        cells = list(row)
-        if len(cells) != len(schema):
-            raise SchemaError(
-                f"row has {len(cells)} cells, schema {schema.name} has {len(schema)} attributes"
-            )
-        instance.add(tuple(parse(cell) for parse, cell in zip(parsers, cells)))
+    instance.extend_rows(parsed())
     return instance
 
 

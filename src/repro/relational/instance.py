@@ -5,31 +5,84 @@ A :class:`RelationInstance` is a bag-free (set-semantics) collection of
 keeps examples and error reports deterministic.  A
 :class:`DatabaseInstance` maps relation names to relation instances and is
 the object every dependency's ``holds_on`` / violation detector consumes.
+
+Two storage backends sit behind the same public surface:
+
+* ``"columnar"`` (the default) — a dictionary-encoded
+  :class:`~repro.relational.columnar.ColumnStore`: one code column per
+  attribute, an alive map for O(1) deletes, lazy ``Tuple`` materialization
+  at the violation-report boundary, and zero-copy views for the vectorized
+  scan kernels in :mod:`repro.engine`;
+* ``"object"`` — the legacy insertion-ordered dict of ``Tuple`` objects,
+  kept for one release as a differential safety net (CI runs the tier-1
+  suite once under ``REPRO_STORAGE=object``).
+
+The backend is chosen per instance at construction time — explicitly via
+``storage=`` or process-wide via the ``REPRO_STORAGE`` environment
+variable — and is invisible to every consumer: iteration order, set
+semantics, report byte-format and the index/version invalidation contract
+are identical on both.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Sequence
 
-from repro.errors import SchemaError
+from repro.errors import DomainError, SchemaError
+from repro.relational.columnar import ColumnStore
 from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.relational.tuples import Tuple
 
-__all__ = ["RelationInstance", "DatabaseInstance"]
+__all__ = ["RelationInstance", "DatabaseInstance", "STORAGE_ENV"]
 
 _MISSING = object()
+
+#: environment toggle for the default storage backend ("columnar"/"object")
+STORAGE_ENV = "REPRO_STORAGE"
+
+
+def _default_storage() -> str:
+    mode = os.environ.get(STORAGE_ENV, "").strip().lower()
+    return mode if mode in ("columnar", "object") else "columnar"
 
 
 class RelationInstance:
     """A finite set of tuples over one relation schema (insertion-ordered)."""
 
-    def __init__(self, schema: RelationSchema, tuples: Iterable[Tuple | Mapping | Sequence] = ()):
+    def __init__(
+        self,
+        schema: RelationSchema,
+        tuples: Iterable[Tuple | Mapping | Sequence] = (),
+        storage: str | None = None,
+    ):
         self.schema = schema
+        mode = storage or _default_storage()
+        if mode not in ("columnar", "object"):
+            raise ValueError(f"unknown storage backend {mode!r}")
+        self._store: ColumnStore | None = (
+            ColumnStore(schema) if mode == "columnar" else None
+        )
         self._tuples: Dict[Tuple, None] = {}
         self._version = 0
         self._indexes = None
         for t in tuples:
             self.add(t)
+
+    @property
+    def storage(self) -> str:
+        """The backend this instance runs on (``"columnar"``/``"object"``)."""
+        return "object" if self._store is None else "columnar"
+
+    @property
+    def column_store(self) -> ColumnStore | None:
+        """The encoded column store, or ``None`` in legacy object mode.
+
+        Read-only by contract for everyone but this instance: the engine
+        layers (indexes, kernels, parallel sharding) consume codes and
+        columns from here but never mutate them.
+        """
+        return self._store
 
     def _coerce(self, t: Tuple | Mapping | Sequence) -> Tuple:
         if isinstance(t, Tuple):
@@ -42,20 +95,144 @@ class RelationInstance:
 
     def add(self, t: Tuple | Mapping | Sequence) -> Tuple:
         """Insert a tuple (idempotent under set semantics); return it."""
-        coerced = self._coerce(t)
-        if coerced not in self._tuples:
-            self._tuples[coerced] = None
+        store = self._store
+        if store is None:
+            coerced = self._coerce(t)
+            if coerced not in self._tuples:
+                self._tuples[coerced] = None
+                self._version += 1
+            return coerced
+        if isinstance(t, Tuple):
+            if t.schema.attribute_names != self.schema.attribute_names:
+                raise SchemaError(
+                    f"tuple over {t.schema.name} cannot enter instance of {self.schema.name}"
+                )
+            values = t.values()
+            codes = store.probe(values)
+            if codes is not None and store.find_row(codes) is not None:
+                return t
+            if codes is None:
+                codes = store.intern_row(values)
+            store.append_row(codes, t)
             self._version += 1
+            return t
+        if isinstance(t, Mapping):
+            return self.add(Tuple(self.schema, t))
+        values = tuple(t)
+        if len(values) != len(self.schema):
+            raise SchemaError(
+                f"tuple for {self.schema.name} has {len(values)} values, "
+                f"schema has {len(self.schema)} attributes"
+            )
+        codes = store.probe(values)
+        if codes is not None:
+            row = store.find_row(codes)
+            if row is not None:
+                # Duplicate insert: the encoded-row hash probe decided
+                # membership without building a throwaway Tuple.  Domains
+                # are still checked so a bad-typed duplicate (e.g. True
+                # where an int column holds 1) fails exactly as before.
+                for attr, value in zip(self.schema.attributes, values):
+                    if not attr.domain.contains(value):
+                        raise DomainError(
+                            f"value {value!r} for {self.schema.name}.{attr.name} "
+                            f"not in domain {attr.domain.name}"
+                        )
+                return store.tuple_at(row)
+        coerced = Tuple(self.schema, values)
+        if codes is None:
+            codes = store.intern_row(values)
+        store.append_row(codes, coerced)
+        self._version += 1
         return coerced
+
+    def extend_rows(self, rows: Iterable[Sequence], validate: bool = True) -> int:
+        """Bulk-insert plain value rows; returns how many were new.
+
+        The columnar loader validates each *distinct* value once per column
+        at interning time instead of constructing (and hashing) a ``Tuple``
+        per row — the bulk-load path for CSV ingestion, shard rebuilds and
+        workload generators.
+        """
+        store = self._store
+        if store is None:
+            before = len(self._tuples)
+            for row in rows:
+                self.add(row)
+            return len(self._tuples) - before
+        width = len(self.schema)
+        attributes = self.schema.attributes
+        encode = store.encode
+        decode = store.decode
+        find_row = store.find_row
+        added = 0
+        for row in rows:
+            values = tuple(row)
+            if len(values) != width:
+                raise SchemaError(
+                    f"tuple for {self.schema.name} has {len(values)} values, "
+                    f"schema has {width} attributes"
+                )
+            codes = []
+            for mapping, rep, attr, value in zip(encode, decode, attributes, values):
+                code = mapping.get(value)
+                if code is None:
+                    if validate and not attr.domain.contains(value):
+                        raise DomainError(
+                            f"value {value!r} for {self.schema.name}.{attr.name} "
+                            f"not in domain {attr.domain.name}"
+                        )
+                    code = len(rep)
+                    mapping[value] = code
+                    rep.append(value)
+                codes.append(code)
+            key = tuple(codes)
+            if find_row(key) is not None:
+                continue
+            store.append_row(key)
+            added += 1
+        if added:
+            self._version += 1
+        return added
+
+    def _row_of(self, t: Tuple) -> int | None:
+        """Row index of ``t`` in the column store, or ``None`` if absent."""
+        store = self._store
+        assert store is not None
+        if not isinstance(t, Tuple) or t.schema.name != self.schema.name:
+            return None
+        codes = store.probe(t.values())
+        if codes is None:
+            return None
+        return store.find_row(codes)
 
     def remove(self, t: Tuple) -> None:
         """Delete a tuple (KeyError if absent)."""
-        del self._tuples[t]
+        store = self._store
+        if store is None:
+            del self._tuples[t]
+            self._version += 1
+            return
+        row = self._row_of(t)
+        if row is None:
+            raise KeyError(t)
+        codes = store.probe(t.values())
+        assert codes is not None
+        store.kill_row(codes, row)
         self._version += 1
 
     def discard(self, t: Tuple) -> None:
         """Delete a tuple if present."""
-        if self._tuples.pop(t, _MISSING) is not _MISSING:
+        store = self._store
+        if store is None:
+            if self._tuples.pop(t, _MISSING) is not _MISSING:
+                self._version += 1
+            return
+        row = self._row_of(t)
+        if row is not None:
+            codes = store.probe(t.values())
+            assert codes is not None
+            store.kill_row(codes, row)
             self._version += 1
 
     @property
@@ -77,59 +254,112 @@ class RelationInstance:
         return self._indexes
 
     def __contains__(self, t: Tuple) -> bool:
-        return t in self._tuples
+        if self._store is None:
+            return t in self._tuples
+        return self._row_of(t) is not None
 
     def __iter__(self) -> Iterator[Tuple]:
-        return iter(self._tuples)
+        if self._store is None:
+            return iter(self._tuples)
+        return self._store.iter_tuples()
 
     def __len__(self) -> int:
-        return len(self._tuples)
+        if self._store is None:
+            return len(self._tuples)
+        return len(self._store)
+
+    def _value_set(self) -> set:
+        store = self._store
+        if store is None:
+            return {t.values() for t in self._tuples}
+        return {store.values_at(row) for row in store.iter_live_rows()}
 
     def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, RelationInstance)
             and self.schema == other.schema
-            and set(self._tuples) == set(other._tuples)
+            and self._value_set() == other._value_set()
         )
 
     def tuples(self) -> List[Tuple]:
         """All tuples in insertion order (fresh list)."""
-        return list(self._tuples)
+        if self._store is None:
+            return list(self._tuples)
+        return list(self._store.iter_tuples())
 
     def copy(self) -> "RelationInstance":
-        return RelationInstance(self.schema, self._tuples)
+        """Independent instance with the same tuples and backend.
+
+        Columnar instances copy code columns and dictionaries directly —
+        O(n) small-int work with no re-hashing or re-validation.
+        """
+        store = self._store
+        if store is None:
+            return RelationInstance(self.schema, self._tuples, storage="object")
+        clone = RelationInstance(self.schema, storage="columnar")
+        clone._store = store.copy()
+        clone._version = len(clone._store)
+        return clone
 
     def filter(self, predicate: Callable[[Tuple], bool]) -> "RelationInstance":
         """New instance with the tuples satisfying ``predicate``."""
-        return RelationInstance(self.schema, (t for t in self._tuples if predicate(t)))
+        return RelationInstance(
+            self.schema, (t for t in self if predicate(t)), storage=self.storage
+        )
 
     def project_values(self, attributes: Sequence[str]) -> List[tuple]:
         """List of value tuples for the projection on ``attributes``."""
         self.schema.check_attributes(attributes)
-        return [t[list(attributes)] for t in self._tuples]
+        store = self._store
+        if store is None:
+            return [t[list(attributes)] for t in self._tuples]
+        positions = self.schema.projection_positions(attributes)
+        columns = [store.columns[p] for p in positions]
+        decode = [store.decode[p] for p in positions]
+        return [
+            tuple(rep[column[row]] for rep, column in zip(decode, columns))
+            for row in store.iter_live_rows()
+        ]
 
     def active_domain(self, attribute: str) -> List[Any]:
         """Distinct values appearing in ``attribute``, in first-seen order."""
-        seen: Dict[Any, None] = {}
-        for t in self._tuples:
-            seen.setdefault(t[attribute], None)
-        return list(seen)
+        store = self._store
+        if store is None:
+            seen: Dict[Any, None] = {}
+            for t in self._tuples:
+                seen.setdefault(t[attribute], None)
+            return list(seen)
+        position = self.schema.index_of(attribute)
+        column = store.columns[position]
+        rep = store.decode[position]
+        codes_seen: set = set()
+        out: List[Any] = []
+        for row in store.iter_live_rows():
+            code = column[row]
+            if code not in codes_seen:
+                codes_seen.add(code)
+                out.append(rep[code])
+        return out
 
     def group_by(self, attributes: Sequence[str]) -> Dict[tuple, List[Tuple]]:
         """Partition tuples by their projection on ``attributes``."""
         groups: Dict[tuple, List[Tuple]] = {}
-        for t in self._tuples:
-            groups.setdefault(t[list(attributes)], []).append(t)
+        names = list(attributes)
+        for t in self:
+            groups.setdefault(t[names], []).append(t)
         return groups
 
     def to_rows(self) -> List[tuple]:
         """All tuples as plain value tuples (schema attribute order)."""
-        return [t.values() for t in self._tuples]
+        store = self._store
+        if store is None:
+            return [t.values() for t in self._tuples]
+        return [store.values_at(row) for row in store.iter_live_rows()]
 
     def pretty(self, max_rows: int | None = None) -> str:
         """ASCII table rendering (used by examples and error messages)."""
         headers = list(self.schema.attribute_names)
-        rows = [[repr(v) for v in t.values()] for t in self._tuples]
+        rows = [[repr(v) for v in values] for values in self.to_rows()]
         if max_rows is not None:
             rows = rows[:max_rows]
         widths = [len(h) for h in headers]

@@ -66,6 +66,7 @@ class RelationSchema:
         self._attribute_names: Tuple[str, ...] = tuple(names)
         self._by_name: Dict[str, Attribute] = {a.name: a for a in attrs}
         self._index: Dict[str, int] = {a.name: i for i, a in enumerate(attrs)}
+        self._projections: Dict[Tuple[str, ...], Tuple[int, ...]] = {}
 
     @property
     def attributes(self) -> Tuple[Attribute, ...]:
@@ -102,6 +103,20 @@ class RelationSchema:
         """Position of the named attribute in tuple order."""
         self.attribute(name)
         return self._index[name]
+
+    def projection_positions(self, names: Sequence[str]) -> Tuple[int, ...]:
+        """Compiled value positions for a projection, cached per name list.
+
+        ``t[["A", "B"]]`` and the repair probes project the same few
+        attribute lists millions of times; like the ``attribute_names``
+        tuple this resolves each list to positions exactly once per schema.
+        """
+        key = tuple(names)
+        positions = self._projections.get(key)
+        if positions is None:
+            positions = tuple(self.index_of(n) for n in key)
+            self._projections[key] = positions
+        return positions
 
     def check_attributes(self, names: Sequence[str]) -> Tuple[str, ...]:
         """Validate that every name exists; return them as a tuple."""

@@ -57,7 +57,10 @@ class Tuple:
         """Projection: ``t["A"]`` is a value, ``t[["A","B"]]`` a value tuple."""
         if isinstance(attributes, str):
             return self._values[self.schema.index_of(attributes)]
-        return tuple(self._values[self.schema.index_of(a)] for a in attributes)
+        values = self._values
+        return tuple(
+            values[p] for p in self.schema.projection_positions(attributes)
+        )
 
     def values(self) -> PyTuple[Any, ...]:
         """All values in schema attribute order."""

@@ -170,8 +170,10 @@ def generate_customers(config: CustomerConfig | None = None) -> CustomerWorkload
                 "zip": zip_code,
             }
         )
-    for row in rows:
-        clean_rel.add(row)
+    # Bulk-load through extend_rows: the columnar backend interns each
+    # distinct value once instead of building a Tuple per generated row.
+    names = clean_rel.schema.attribute_names
+    clean_rel.extend_rows(tuple(row[a] for a in names) for row in rows)
 
     cities = sorted(set(_AREA_CITIES.values()))
     errors: List[InjectedError] = []
@@ -201,6 +203,5 @@ def generate_customers(config: CustomerConfig | None = None) -> CustomerWorkload
 
     db = DatabaseInstance(db_schema)
     rel = db.relation("customer")
-    for row in dirty_rows:
-        rel.add(row)
+    rel.extend_rows(tuple(row[a] for a in names) for row in dirty_rows)
     return CustomerWorkload(db, clean_db, errors, config)

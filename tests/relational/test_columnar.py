@@ -1,0 +1,201 @@
+"""Columnar storage edge cases: the encoded backend under stress.
+
+Covers the corners the differential corpus cannot reach by construction:
+empty relations, fully-deleted bitmaps followed by re-insertion,
+dictionary growth past 2**16 distinct values, cross-type equality
+congruence (dict-key interning must agree with ``stable_shard``), and
+``Tuple`` materialization round-trip identity.
+"""
+
+import pytest
+
+from repro.engine.parallel import stable_shard
+from repro.errors import DomainError
+from repro.relational.columnar import ColumnStore
+from repro.relational.domains import FLOAT, INT, STRING
+from repro.relational.instance import RelationInstance
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import Tuple
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("R", [("a", INT), ("b", STRING)])
+
+
+@pytest.fixture
+def columnar(schema):
+    return RelationInstance(schema, storage="columnar")
+
+
+class TestEmptyRelation:
+    def test_empty_basics(self, columnar):
+        assert len(columnar) == 0
+        assert list(columnar) == []
+        assert columnar.tuples() == []
+        assert columnar.to_rows() == []
+        assert (1, "x") not in [t.values() for t in columnar]
+
+    def test_empty_projection_and_domain(self, columnar):
+        assert columnar.project_values(["a"]) == []
+        assert columnar.active_domain("b") == []
+
+    def test_empty_copy_independent(self, columnar):
+        clone = columnar.copy()
+        clone.add((1, "x"))
+        assert len(clone) == 1
+        assert len(columnar) == 0
+
+    def test_empty_group_layout(self, columnar):
+        layout = columnar.indexes.group_layout(("a",))
+        if layout is not None:  # None only when numpy is unavailable
+            assert layout.n_groups == 0
+            assert layout.rank_of_key((1,)) is None
+
+
+class TestAllDeletedThenReinsert:
+    def test_delete_everything_then_reinsert(self, columnar):
+        rows = [(i, f"s{i % 7}") for i in range(300)]
+        columnar.extend_rows(rows)
+        for t in columnar.tuples():
+            columnar.remove(t)
+        assert len(columnar) == 0
+        assert list(columnar) == []
+        # Deleting everything crosses the compaction threshold repeatedly:
+        # at most the compaction floor of dead rows may linger physically,
+        # and membership must stay consistent.
+        store = columnar.column_store
+        assert store.dead <= 64
+        assert store.n_rows == store.dead
+        columnar.extend_rows(rows)
+        assert len(columnar) == 300
+        assert columnar.to_rows() == rows
+
+    def test_interleaved_delete_reinsert_membership(self, columnar):
+        for i in range(200):
+            columnar.add((i, "x"))
+        victims = [t for t in columnar.tuples() if t["a"] % 2 == 0]
+        for t in victims:
+            columnar.remove(t)
+        assert len(columnar) == 100
+        # Re-inserting a deleted row must succeed (it is genuinely absent),
+        # and duplicate-inserting a surviving row must stay a no-op.
+        columnar.add((0, "x"))
+        columnar.add((1, "x"))
+        assert len(columnar) == 101
+        values = {t.values() for t in columnar}
+        assert (0, "x") in values and (1, "x") in values
+
+    def test_remove_absent_raises(self, columnar):
+        columnar.add((1, "x"))
+        with pytest.raises(KeyError):
+            columnar.remove(Tuple(columnar.schema, (2, "y")))
+        columnar.discard(Tuple(columnar.schema, (2, "y")))  # no-op
+        assert len(columnar) == 1
+
+
+class TestDictionaryGrowth:
+    def test_past_two_to_sixteen_distinct_values(self):
+        schema = RelationSchema("wide", [("k", INT), ("tag", STRING)])
+        instance = RelationInstance(schema, storage="columnar")
+        n = (1 << 16) + 500
+        instance.extend_rows((i, f"t{i % 3}") for i in range(n))
+        assert len(instance) == n
+        store = instance.column_store
+        assert len(store.decode[0]) == n  # one code per distinct key
+        assert len(store.decode[1]) == 3
+        # Codes past 2**16 still round-trip and stay probeable.
+        assert store.probe((n - 1, f"t{(n - 1) % 3}")) is not None
+        past = (1 << 16) + 64  # a key whose code is beyond 2**16
+        assert store.find_row(store.probe((past, f"t{past % 3}"))) is not None
+        assert instance.add((past, f"t{past % 3}"))  # duplicate: no growth
+        assert len(instance) == n
+
+    def test_group_layout_survives_wide_dictionaries(self):
+        schema = RelationSchema("wide", [("k", INT), ("tag", STRING)])
+        instance = RelationInstance(schema, storage="columnar")
+        n = (1 << 16) + 10
+        instance.extend_rows((i, f"t{i % 5}") for i in range(n))
+        layout = instance.indexes.group_layout(("tag",))
+        if layout is not None:
+            assert layout.n_groups == 5
+            total = sum(int(layout.sizes[rank]) for rank in range(5))
+            assert total == n
+
+
+class TestEqualityCongruence:
+    def test_one_code_for_cross_type_equal_values(self):
+        schema = RelationSchema("S", [("v", FLOAT)])
+        store = ColumnStore(schema)
+        codes_int = store.intern_row((1,))
+        assert store.probe((1.0,)) == codes_int
+        assert store.probe((True,)) == codes_int
+        assert store.probe((0.0,)) is None
+        codes_zero = store.intern_row((0.0,))
+        assert store.probe((-0.0,)) == codes_zero
+        assert store.probe((False,)) == codes_zero
+
+    def test_congruence_matches_stable_shard(self):
+        # The interning dictionaries and the shard router must agree on
+        # which values are "the same", or a columnar-sharded run would
+        # split a partition that the object-mode run keeps whole.
+        for shards in (2, 5, 8):
+            assert (
+                stable_shard((1,), shards)
+                == stable_shard((1.0,), shards)
+                == stable_shard((True,), shards)
+            )
+            assert stable_shard((0.0,), shards) == stable_shard((-0.0,), shards)
+
+    def test_first_seen_representative_wins(self):
+        schema = RelationSchema("S", [("v", FLOAT)])
+        instance = RelationInstance(schema, storage="columnar")
+        instance.add((1,))
+        instance.add((1.0,))  # duplicate under ==; first-seen int survives
+        assert len(instance) == 1
+        (value,) = instance.to_rows()[0]
+        assert value == 1 and isinstance(value, int)
+
+
+class TestTupleRoundTrip:
+    def test_materialization_identity(self, columnar):
+        added = columnar.add((1, "x"))
+        assert columnar.tuples()[0] is added
+        assert columnar.tuples()[0] is columnar.tuples()[0]
+
+    def test_added_tuple_object_is_preserved(self, columnar, schema):
+        original = Tuple(schema, (7, "q"))
+        returned = columnar.add(original)
+        assert returned is original
+        assert list(columnar)[0] is original
+
+    def test_lazy_materialization_round_trips_values(self, columnar):
+        rows = [(i, f"s{i}") for i in range(50)]
+        columnar.extend_rows(rows)  # no Tuples built yet
+        materialized = [t.values() for t in columnar]
+        assert materialized == rows
+        # A second pass hands back the identical cached objects.
+        first_pass = columnar.tuples()
+        second_pass = columnar.tuples()
+        assert all(a is b for a, b in zip(first_pass, second_pass))
+
+    def test_duplicate_insert_rejects_bad_domain_value(self, columnar):
+        columnar.add((1, "x"))
+        with pytest.raises(DomainError):
+            columnar.add((True, "x"))  # equal under ==, but not in INT
+
+
+class TestObjectParity:
+    """The two backends must agree on every public observation."""
+
+    def test_equality_across_backends(self, schema):
+        rows = [(i % 13, f"s{i % 7}") for i in range(120)]
+        col = RelationInstance(schema, storage="columnar")
+        col.extend_rows(rows)
+        obj = RelationInstance(schema, storage="object")
+        obj.extend_rows(rows)
+        assert col == obj
+        assert len(col) == len(obj)
+        assert col.to_rows() == obj.to_rows()
+        assert col.project_values(["b"]) == obj.project_values(["b"])
+        assert col.active_domain("a") == obj.active_domain("a")
