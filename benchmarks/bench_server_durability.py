@@ -1,0 +1,256 @@
+"""SERVER DURABILITY — apply latency with the changeset WAL on vs. off.
+
+``repro serve --state-dir`` hardens every write verb with a CRC-framed,
+fsync'd WAL append before the HTTP response commits.  The fsync unit is
+one *request*, not one op: a whole changeset is framed as a single record
+and hardened by a single fsync, so the durability tax amortizes over the
+changeset's ops.  This driver measures that over real HTTP round-trips:
+
+* **plain** — a session on a server without ``--state-dir``;
+* **durable** — the same session on a durable server (WAL + snapshots at
+  the default cadence under a scratch state dir), same edit stream.
+
+The headline series times batched applies (``BATCH_OPS`` ops per
+changeset — the shape the delta engine's batch path is built for) with
+the snapshot cadence set above the request count, so the number isolates
+the per-request WAL tax (frame + write + fsync); the acceptance target
+is a durable apply latency within ``1.3x`` of plain at 10k tuples.  Each
+entry also records, as informational fields: the same stream at the
+*default* snapshot cadence (``overhead_with_snapshots`` — the amortized
+cost of periodically re-serializing the full instance, which an operator
+tunes with ``--snapshot-every`` against recovery-replay length), the
+single-op worst case (``single_op_overhead``, nothing to amortize the
+fsync over), and a cold recovery timing (crash + restart + first
+detect).  The regression gate tracks ``overhead_headroom = 1.3 /
+overhead`` (>=1 means the target holds) because the gate only compares
+ratios that start at 1x or better.
+
+    python benchmarks/bench_server_durability.py [--out BENCH_durability.json]
+    python benchmarks/bench_server_durability.py --smoke   # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from http.server import ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, List
+
+if __name__ == "__main__":  # allow running without an installed package
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.client import ServerClient
+from repro.registry import encode
+from repro.rules_json import database_schema_to_dict
+from repro.server import make_server
+from repro.workloads.customer import CustomerConfig, generate_customers
+
+SIZES = [1_000, 10_000]
+TARGET_OVERHEAD = 1.3
+TARGET_TUPLES = 10_000
+#: ops per timed changeset — matches the repo's canonical edit-batch size
+#: (``repro stream --batch-size`` default)
+BATCH_OPS = 100
+
+
+def _workload(n_tuples: int) -> Dict[str, Any]:
+    workload = generate_customers(CustomerConfig(n_tuples=n_tuples, seed=11))
+    relation = workload.db.relation("customer")
+    rows = [t.as_dict() for t in relation]
+    return {
+        "schema": database_schema_to_dict(workload.db.schema),
+        "rules": [encode(rule) for rule in workload.cfds()],
+        "rows": rows,
+        "template": dict(rows[0]),
+    }
+
+
+def _batch_rows(template: Dict[str, Any], round_no: int, batch: int):
+    rows = []
+    for i in range(batch):
+        row = dict(template)
+        row["name"] = f"bench-durability-{round_no}-{i}"
+        rows.append(row)
+    return rows
+
+
+def _time_applies(
+    client: ServerClient,
+    session_id: str,
+    template: Dict[str, Any],
+    requests: int,
+    batch: int,
+) -> float:
+    """Seconds per apply request; each request inserts (even rounds) or
+    deletes (odd rounds) ``batch`` synthetic rows — net-zero on the data,
+    so every timed apply sees the same instance size."""
+    for op, round_no in (("insert", -1), ("delete", -1)):  # warm the engine
+        client.apply(session_id, {"ops": [
+            {"op": op, "relation": "customer", "row": row}
+            for row in _batch_rows(template, round_no, batch)
+        ]})
+    started = time.perf_counter()
+    for request_no in range(requests):
+        op = "insert" if request_no % 2 == 0 else "delete"
+        rows = _batch_rows(template, request_no // 2, batch)
+        client.apply(session_id, {"ops": [
+            {"op": op, "relation": "customer", "row": row} for row in rows
+        ]})
+    return (time.perf_counter() - started) / requests
+
+
+def _bench_size(
+    documents: Dict[str, Any], n_tuples: int, requests: int
+) -> Dict[str, Any]:
+    create_kwargs = dict(
+        schema=documents["schema"],
+        rules=documents["rules"],
+        data={"customer": documents["rows"]},
+        session_id="bench",
+    )
+    template = documents["template"]
+
+    plain_server = make_server(port=0)
+    plain_server.start_background()
+    try:
+        client = ServerClient(plain_server.base_url, timeout=300.0)
+        client.wait_ready()
+        client.create_session(**create_kwargs)
+        plain_per_apply = _time_applies(client, "bench", template, requests, BATCH_OPS)
+        plain_single_op = _time_applies(client, "bench", template, requests, 1)
+    finally:
+        plain_server.shutdown()
+
+    # -- durable, WAL tax isolated: no snapshot fires inside the clock ---
+    state_dir = Path(tempfile.mkdtemp(prefix="repro-bench-durability-"))
+    try:
+        wal_only_every = 100 * requests  # far above the stream length
+        durable_server = make_server(
+            port=0, state_dir=state_dir, snapshot_every=wal_only_every
+        )
+        durable_server.start_background()
+        client = ServerClient(durable_server.base_url, timeout=300.0)
+        client.wait_ready()
+        client.create_session(**create_kwargs)
+        durable_per_apply = _time_applies(
+            client, "bench", template, requests, BATCH_OPS
+        )
+        durable_single_op = _time_applies(client, "bench", template, requests, 1)
+        # crash (no graceful flush) and time cold recovery on a restart
+        ThreadingHTTPServer.shutdown(durable_server)
+        durable_server.server_close()
+        restarted = make_server(port=0, state_dir=state_dir)
+        restarted.start_background()
+        try:
+            client = ServerClient(restarted.base_url, timeout=300.0)
+            client.wait_ready()
+            started = time.perf_counter()
+            client.detect("bench", include_violations=False)
+            recovery_seconds = time.perf_counter() - started
+        finally:
+            restarted.shutdown()
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+    # -- durable at the default snapshot cadence (informational) ---------
+    state_dir = Path(tempfile.mkdtemp(prefix="repro-bench-durability-"))
+    try:
+        cadence_server = make_server(port=0, state_dir=state_dir)
+        cadence_server.start_background()
+        client = ServerClient(cadence_server.base_url, timeout=300.0)
+        client.wait_ready()
+        client.create_session(**create_kwargs)
+        cadence_per_apply = _time_applies(
+            client, "bench", template, requests, BATCH_OPS
+        )
+        cadence_server.shutdown()
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+    overhead = durable_per_apply / plain_per_apply
+    return {
+        "n_tuples": n_tuples,
+        "n_rules": len(documents["rules"]),
+        "requests": requests,
+        "batch_ops": BATCH_OPS,
+        "plain_seconds_per_apply": plain_per_apply,
+        "durable_seconds_per_apply": durable_per_apply,
+        "overhead": overhead,
+        "overhead_headroom": TARGET_OVERHEAD / overhead,
+        "overhead_with_snapshots": cadence_per_apply / plain_per_apply,
+        "single_op_overhead": durable_single_op / plain_single_op,
+        "recovery_seconds": recovery_seconds,
+    }
+
+
+def run(sizes: List[int], requests: int) -> Dict[str, Any]:
+    series = [
+        _bench_size(_workload(n_tuples), n_tuples, requests)
+        for n_tuples in sizes
+    ]
+    at_target = [
+        entry["overhead"]
+        for entry in series
+        if entry["n_tuples"] >= TARGET_TUPLES
+    ]
+    return {
+        "benchmark": "server_durability",
+        "workload": (
+            f"customer {BATCH_OPS}-op changeset applies over HTTP "
+            "(WAL on vs off)"
+        ),
+        "sizes": sizes,
+        "target_overhead": TARGET_OVERHEAD,
+        "target_tuples": TARGET_TUPLES,
+        "series": series,
+        "max_overhead": max(entry["overhead"] for entry in series),
+        "overhead_at_target": min(at_target) if at_target else None,
+        "meets_target": bool(at_target) and min(at_target) <= TARGET_OVERHEAD,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_durability.json")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small size / few requests; no overhead gate (CI smoke)",
+    )
+    parser.add_argument("--requests", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    # the smoke size matches the committed baseline's smallest size so the
+    # CI regression gate compares like scales
+    sizes = [1_000] if args.smoke else SIZES
+    requests = args.requests or (20 if args.smoke else 120)
+
+    document = run(sizes, requests)
+    Path(args.out).write_text(json.dumps(document, indent=2) + "\n")
+    for entry in document["series"]:
+        print(
+            f"{entry['n_tuples']:>7} tuples: "
+            f"plain {entry['plain_seconds_per_apply'] * 1e3:7.2f} ms/apply, "
+            f"durable {entry['durable_seconds_per_apply'] * 1e3:7.2f} ms/apply, "
+            f"overhead {entry['overhead']:5.2f}x "
+            f"(default-cadence {entry['overhead_with_snapshots']:.2f}x, "
+            f"single-op {entry['single_op_overhead']:.2f}x, "
+            f"recovery {entry['recovery_seconds'] * 1e3:.1f} ms)"
+        )
+    print(
+        f"max overhead {document['max_overhead']:.2f}x "
+        f"(target <={TARGET_OVERHEAD}x at {TARGET_TUPLES} tuples: "
+        f"{'met' if document['meets_target'] else 'not gated' if args.smoke else 'MISSED'})"
+    )
+    if not args.smoke and not document["meets_target"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

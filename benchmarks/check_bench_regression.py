@@ -77,6 +77,12 @@ METRICS: Dict[str, List[Tuple[str, Callable[[Dict[str, Any]], Dict[int, float]]]
     "incremental_delta_maintenance": [("speedup", _series_metric("speedup"))],
     "parallel_scaling": [("speedup_at_target_shards", _parallel_metric)],
     "server_throughput": [("speedup", _series_metric("speedup"))],
+    # headroom = target_overhead / overhead: >=1 means the durable apply
+    # path holds its <=1.3x latency target, and higher is better — the
+    # orientation this gate's floor comparison expects
+    "server_durability": [
+        ("overhead_headroom", _series_metric("overhead_headroom"))
+    ],
 }
 
 

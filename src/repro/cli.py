@@ -156,6 +156,25 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "make sessions durable: changeset WAL + snapshots under DIR, "
+            "crash-safe recovery on restart (default: in-memory only)"
+        ),
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "WAL records per session before a snapshot retires the log "
+            "(default: 64; only meaningful with --state-dir)"
+        ),
+    )
+    serve.add_argument(
         "--quiet", action="store_true", help="suppress per-request log lines"
     )
 
@@ -322,13 +341,21 @@ def _cmd_stream(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.server import serve
+    from repro.server import DEFAULT_SNAPSHOT_EVERY, serve
 
+    if args.snapshot_every is not None and args.state_dir is None:
+        raise SystemExit("--snapshot-every requires --state-dir")
     return serve(
         host=args.host,
         port=args.port,
         max_sessions=args.max_sessions,
         data_root=args.data_root,
+        state_dir=args.state_dir,
+        snapshot_every=(
+            args.snapshot_every
+            if args.snapshot_every is not None
+            else DEFAULT_SNAPSHOT_EVERY
+        ),
         verbose=not args.quiet,
     )
 

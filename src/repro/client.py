@@ -115,7 +115,17 @@ class ServerClient:
     # -- session lifecycle -----------------------------------------------
 
     def list_sessions(self) -> List[Dict[str, Any]]:
+        """Info documents for the *resident* (warm) sessions.
+
+        On a durable server evicted sessions are not listed here — they
+        are still recoverable; see :meth:`cold_sessions`."""
         return self._request("GET", "/sessions")["sessions"]
+
+    def cold_sessions(self) -> List[str]:
+        """Durable session ids on disk but not resident (durable servers
+        only; empty when the server runs without ``--state-dir``).  Any
+        verb against one of these ids rehydrates it transparently."""
+        return self._request("GET", "/sessions").get("cold_sessions", [])
 
     def create_session(
         self,

@@ -28,7 +28,10 @@ any document the registry itself produced (byte-stable round trips).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Mapping, Optional, Type
+import json
+import struct
+import zlib
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Type
 
 from repro.errors import DependencyError
 from repro.relational.predicates import (
@@ -57,6 +60,8 @@ __all__ = [
     "condition_from_dict",
     "changeset_to_dict",
     "changeset_from_dict",
+    "wal_record_to_bytes",
+    "wal_records_from_bytes",
 ]
 
 
@@ -170,6 +175,65 @@ def changeset_from_dict(document: Mapping[str, Any]) -> Any:
     from repro.engine.delta import Changeset
 
     return Changeset.from_dict(document)
+
+
+# --------------------------------------------------------------------------
+# WAL record framing (the durability layer's on-disk format)
+# --------------------------------------------------------------------------
+
+#: frame header: payload length + CRC32 of the payload, both big-endian u32
+_WAL_HEADER = struct.Struct(">II")
+
+
+def wal_record_to_bytes(document: Mapping[str, Any]) -> bytes:
+    """Frame one JSON document as a crash-safe WAL record.
+
+    The payload is canonical JSON (sorted keys, compact separators, UTF-8),
+    preceded by an 8-byte header carrying its length and CRC32.  A torn
+    final write — a record cut short by a crash at any byte boundary — is
+    detectable on read: either the header is incomplete, the payload is
+    shorter than the header promises, or the CRC does not match.
+    """
+    payload = json.dumps(
+        document, sort_keys=True, separators=(",", ":"), default=str
+    ).encode("utf-8")
+    return _WAL_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def wal_records_from_bytes(
+    data: bytes,
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Parse framed WAL records; returns ``(documents, clean_length)``.
+
+    ``clean_length`` is the byte offset of the first torn or corrupt frame
+    (equal to ``len(data)`` when the log is intact).  Parsing stops at the
+    first bad frame — everything after a torn record is unreachable by
+    construction (records are appended and fsync'd in order), so the
+    caller truncates the log file to ``clean_length`` on recovery.
+    """
+    documents: List[Dict[str, Any]] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if offset + _WAL_HEADER.size > total:
+            break  # torn header
+        length, crc = _WAL_HEADER.unpack_from(data, offset)
+        start = offset + _WAL_HEADER.size
+        end = start + length
+        if end > total:
+            break  # torn payload
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            break  # corrupt payload
+        try:
+            document = json.loads(payload)
+        except json.JSONDecodeError:
+            break  # CRC collision on garbage: treat as torn
+        if not isinstance(document, dict):
+            break
+        documents.append(document)
+        offset = end
+    return documents, offset
 
 
 # --------------------------------------------------------------------------

@@ -14,6 +14,16 @@ request.  Requests against *one* session serialize on that session's lock
 run in parallel.  When more than ``max_sessions`` sessions are open the
 least-recently-used one is evicted through ``Session.close()``.
 
+With ``--state-dir`` the server is *durable*
+(:mod:`repro.server.durability`): every write verb appends a CRC-framed,
+fsync'd record to a per-session changeset WAL before the response
+commits, snapshots retire the log every ``--snapshot-every`` records,
+eviction becomes flush-then-drop, and on restart (or on first touch of
+an evicted session) the manager lazily rehydrates the session from
+snapshot + WAL tail — undo tokens included.  Kill -9 the process at any
+byte boundary, restart on the same state dir, and every session answers
+``detect`` byte-identically to an uninterrupted run.
+
 Endpoints (see ``docs/server.md`` for the full wire format):
 
 ===========================  ==============================================
@@ -61,6 +71,12 @@ from repro.errors import (
 )
 from repro.relational.csvio import load_csv
 from repro.relational.instance import DatabaseInstance
+from repro.server.durability import (
+    DEFAULT_SNAPSHOT_EVERY,
+    MAX_UNDO_TOKENS,
+    SessionJournal,
+    SessionStore,
+)
 from repro.session import Session
 
 __all__ = [
@@ -68,12 +84,13 @@ __all__ = [
     "SessionManager",
     "HostedSession",
     "UnknownSessionError",
+    "MAX_UNDO_TOKENS",
+    "DEFAULT_SNAPSHOT_EVERY",
+    "SessionJournal",
+    "SessionStore",
     "make_server",
     "serve",
 ]
-
-#: undo tokens remembered per session (oldest dropped first)
-MAX_UNDO_TOKENS = 32
 
 
 class UnknownSessionError(ReproError):
@@ -100,26 +117,44 @@ class HostedSession:
         "created",
         "last_used",
         "requests",
+        "journal",
         "_undo",
         "_undo_counter",
     )
 
-    def __init__(self, session_id: str, session: Session):
+    def __init__(
+        self,
+        session_id: str,
+        session: Session,
+        journal: Optional[SessionJournal] = None,
+        undo: Optional["OrderedDict[str, Changeset]"] = None,
+        undo_counter: int = 0,
+    ):
         self.id = session_id
         self.session = session
         self.lock = threading.Lock()
         self.created = time.time()
         self.last_used = self.created
         self.requests = 0
-        self._undo: "OrderedDict[str, Changeset]" = OrderedDict()
-        self._undo_counter = 0
+        self.journal = journal
+        self._undo: "OrderedDict[str, Changeset]" = (
+            undo if undo is not None else OrderedDict()
+        )
+        self._undo_counter = undo_counter
 
     def touch(self) -> None:
         self.last_used = time.time()
         self.requests += 1
 
     def remember_undo(self, undo: Changeset) -> str:
-        """Store an undo changeset; returns its single-use token."""
+        """Store an undo changeset; returns its single-use token.
+
+        This is the *only* place the ``MAX_UNDO_TOKENS`` bound is
+        enforced — tokens leave the table through :meth:`consume_undo`
+        (successful replay), :meth:`clear_undo` (instance swap) or the
+        LRU eviction here, never by re-insertion, so the eviction order
+        is exactly token-creation order.
+        """
         self._undo_counter += 1
         token = f"undo-{self._undo_counter}"
         self._undo[token] = undo
@@ -127,23 +162,67 @@ class HostedSession:
             self._undo.popitem(last=False)
         return token
 
-    def take_undo(self, token: str) -> Changeset:
-        """Pop a stored undo changeset (tokens are single-use)."""
+    def peek_undo(self, token: str) -> Changeset:
+        """Read a stored undo changeset without consuming the token.
+
+        The token keeps its position in the eviction order: a failed
+        replay must not promote an old token over newer ones (that would
+        change which token :meth:`remember_undo` evicts next).
+        """
         try:
-            return self._undo.pop(token)
+            return self._undo[token]
         except KeyError:
             raise ReproError(
                 f"unknown or already-used undo token {token!r}"
             ) from None
 
-    def restore_undo(self, token: str, undo: Changeset) -> None:
-        """Put a taken undo back (its replay failed and changed nothing)."""
-        self._undo[token] = undo
+    def consume_undo(self, token: str) -> None:
+        """Retire a token after its replay succeeded (tokens are
+        single-use)."""
+        self._undo.pop(token, None)
 
     def clear_undo(self) -> None:
         """Drop every stored token — the instance they were recorded
         against has been replaced (e.g. ``repair(adopt=True)``)."""
         self._undo.clear()
+
+    # -- durability (all called under ``lock``) --------------------------
+
+    def persist_apply(
+        self, changeset_doc: Mapping[str, Any], token: str
+    ) -> None:
+        """WAL a successful apply (fsync'd before the response commits)."""
+        if self.journal is not None:
+            self.journal.log_apply(changeset_doc, token)
+            self._maybe_snapshot()
+
+    def persist_undo(self, taken: str, token: str) -> None:
+        """WAL a successful undo replay."""
+        if self.journal is not None:
+            self.journal.log_undo(taken, token)
+            self._maybe_snapshot()
+
+    def persist_rules(
+        self, rules_docs: List[Dict[str, Any]], replace: bool
+    ) -> None:
+        """WAL a rules replace/append."""
+        if self.journal is not None:
+            self.journal.log_rules(rules_docs, replace)
+            self._maybe_snapshot()
+
+    def persist_snapshot(self) -> None:
+        """Capture full session state now, retiring the WAL generation."""
+        if self.journal is not None:
+            self.journal.write_snapshot(
+                self.session, list(self._undo.items()), self._undo_counter
+            )
+
+    def _maybe_snapshot(self) -> None:
+        if (
+            self.journal is not None
+            and self.journal.wal_records >= self.journal.store.snapshot_every
+        ):
+            self.persist_snapshot()
 
     def info(self) -> Dict[str, Any]:
         """The session info document.
@@ -168,6 +247,11 @@ class HostedSession:
                 "age_seconds": time.time() - self.created,
                 "idle_seconds": time.time() - self.last_used,
                 "undo_tokens": list(self._undo),
+                "durability": (
+                    self.journal.status(session)
+                    if self.journal is not None
+                    else {"enabled": False}
+                ),
             }
 
 
@@ -180,13 +264,29 @@ class SessionManager:
     runs under each :class:`HostedSession`'s own lock.
     """
 
-    def __init__(self, max_sessions: int = 64, data_root: Optional[Path] = None):
+    def __init__(
+        self,
+        max_sessions: int = 64,
+        data_root: Optional[Path] = None,
+        state_dir: Optional[Path] = None,
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+        fsync: bool = True,
+    ):
         if max_sessions < 1:
             raise ReproError("max_sessions must be >= 1")
         self.max_sessions = max_sessions
         self.data_root = Path(data_root) if data_root is not None else Path.cwd()
+        self._data_root_resolved = self.data_root.resolve()
+        self.store: Optional[SessionStore] = (
+            SessionStore(Path(state_dir), snapshot_every=snapshot_every, fsync=fsync)
+            if state_dir is not None
+            else None
+        )
         self._lock = threading.RLock()
         self._sessions: "OrderedDict[str, HostedSession]" = OrderedDict()
+        #: session ids mid-rehydration → event the losers wait on; guarded
+        #: by the manager lock (the recovery itself runs outside it)
+        self._rehydrating: Dict[str, threading.Event] = {}
         self._auto_counter = 0
         self.created_total = 0
         self.evicted_total = 0
@@ -195,21 +295,101 @@ class SessionManager:
     # -- resolution ------------------------------------------------------
 
     def get(self, session_id: str) -> HostedSession:
-        with self._lock:
+        while True:
+            with self._lock:
+                hosted = self._sessions.get(session_id)
+                if hosted is not None:
+                    self._sessions.move_to_end(session_id)
+                    hosted.touch()
+                    return hosted
+                if self.store is None or not self.store.exists(session_id):
+                    raise UnknownSessionError(
+                        f"no session {session_id!r}; open sessions: "
+                        f"{list(self._sessions)}"
+                    ) from None
+                event = self._rehydrating.get(session_id)
+                if event is None:
+                    # claim the rehydration; recovery runs outside the lock
+                    event = threading.Event()
+                    self._rehydrating[session_id] = event
+                    claimed = True
+                else:
+                    claimed = False
+            if not claimed:
+                # another request is recovering this session — wait for it
+                # to land (or fail), then re-resolve from the table
+                event.wait()
+                continue
             try:
-                hosted = self._sessions[session_id]
-            except KeyError:
-                raise UnknownSessionError(
-                    f"no session {session_id!r}; open sessions: "
-                    f"{list(self._sessions)}"
-                ) from None
-            self._sessions.move_to_end(session_id)
-            hosted.touch()
-            return hosted
+                hosted = self._rehydrate(session_id)
+            finally:
+                with self._lock:
+                    self._rehydrating.pop(session_id, None)
+                event.set()
+            if hosted is not None:
+                return hosted
+            # lost a remove()/purge race after claiming — report 404
+
+    def _rehydrate(self, session_id: str) -> Optional[HostedSession]:
+        """Recover a cold durable session and publish it in the table."""
+        assert self.store is not None
+        try:
+            journal, recovered = self.store.recover(session_id)
+        except FileNotFoundError:
+            return None
+        hosted = HostedSession(
+            session_id,
+            recovered.session,
+            journal=journal,
+            undo=recovered.undo,
+            undo_counter=recovered.undo_counter,
+        )
+        evicted: List[HostedSession] = []
+        with hosted.lock:
+            with self._lock:
+                existing = self._sessions.get(session_id)
+                if existing is not None:
+                    # a concurrent create() won the id; its state superseded
+                    # the on-disk copy we just read
+                    journal.close()
+                    recovered.session.close()
+                    existing.touch()
+                    return existing
+                self._sessions[session_id] = hosted
+                hosted.touch()
+                while len(self._sessions) > self.max_sessions:
+                    _, lru = self._sessions.popitem(last=False)
+                    if lru is hosted:
+                        # pathological max_sessions=1 churn: keep the
+                        # session we were asked for, drop nothing else
+                        self._sessions[session_id] = hosted
+                        break
+                    evicted.append(lru)
+                    self.evicted_total += 1
+            if recovered.wal_records >= journal.store.snapshot_every:
+                # long tail replayed — fold it into a snapshot now rather
+                # than replaying it again on the next restart
+                hosted.persist_snapshot()
+        for lru in evicted:
+            self._flush_and_close(lru)
+        return hosted
 
     def list(self) -> List[HostedSession]:
         with self._lock:
             return list(self._sessions.values())
+
+    def cold_session_ids(self) -> List[str]:
+        """Durable sessions on disk but not currently resident."""
+        if self.store is None:
+            return []
+        with self._lock:
+            resident = set(self._sessions)
+            pending = set(self._rehydrating)
+        return [
+            sid
+            for sid in self.store.session_ids()
+            if sid not in resident and sid not in pending
+        ]
 
     def __len__(self) -> int:
         with self._lock:
@@ -218,10 +398,23 @@ class SessionManager:
     # -- lifecycle -------------------------------------------------------
 
     def _resolve_path(self, path: str) -> Path:
+        """Resolve a client-supplied server-side path inside ``data_root``.
+
+        Clients name schema/rules/CSV files by path; the data root is the
+        confinement boundary.  Absolute paths and ``..`` traversal are
+        rejected *after* resolving symlinks, so a link pointing outside
+        the root does not slip through either.
+        """
         candidate = Path(path)
         if not candidate.is_absolute():
             candidate = self.data_root / candidate
-        return candidate
+        resolved = candidate.resolve()
+        if not resolved.is_relative_to(self._data_root_resolved):
+            raise ReproError(
+                f"server-side path {path!r} escapes the data root "
+                f"{str(self.data_root)!r}"
+            )
+        return resolved
 
     def _build_session(self, document: Mapping[str, Any]) -> Session:
         from repro.rules_json import (
@@ -299,56 +492,120 @@ class SessionManager:
                         f"session {session_id!r} already exists; DELETE it "
                         "first or create under a fresh id"
                     )
+            if self.store is not None and self.store.exists(session_id):
+                raise DuplicateSessionError(
+                    f"session {session_id!r} already exists (durable state "
+                    "on disk); DELETE it first or create under a fresh id"
+                )
         session = self._build_session(document)
         evicted: List[HostedSession] = []
-        with self._lock:
-            if session_id is None:
-                self._auto_counter += 1
-                session_id = f"s{self._auto_counter}"
-                while session_id in self._sessions:
+        hosted: Optional[HostedSession] = None
+        try:
+            with self._lock:
+                if session_id is None:
                     self._auto_counter += 1
                     session_id = f"s{self._auto_counter}"
-            elif session_id in self._sessions:
-                raise DuplicateSessionError(
-                    f"session {session_id!r} already exists; DELETE it first "
-                    "or create under a fresh id"
-                )
-            hosted = HostedSession(session_id, session)
-            self._sessions[session_id] = hosted
-            self.created_total += 1
-            while len(self._sessions) > self.max_sessions:
-                _, lru = self._sessions.popitem(last=False)
-                evicted.append(lru)
-                self.evicted_total += 1
+                    while session_id in self._sessions or (
+                        self.store is not None and self.store.exists(session_id)
+                    ):
+                        self._auto_counter += 1
+                        session_id = f"s{self._auto_counter}"
+                elif session_id in self._sessions:
+                    raise DuplicateSessionError(
+                        f"session {session_id!r} already exists; DELETE it "
+                        "first or create under a fresh id"
+                    )
+                hosted = HostedSession(session_id, session)
+                self._sessions[session_id] = hosted
+                self.created_total += 1
+                while len(self._sessions) > self.max_sessions:
+                    _, lru = self._sessions.popitem(last=False)
+                    evicted.append(lru)
+                    self.evicted_total += 1
+            if self.store is not None:
+                # hold the session lock across the durable create so no
+                # request can land on the published session before its
+                # journal (and gen-0 snapshot) exists
+                with hosted.lock:
+                    try:
+                        hosted.journal = self.store.create(session_id, session)
+                    except FileExistsError:
+                        raise DuplicateSessionError(
+                            f"session {session_id!r} already exists (durable "
+                            "state on disk); DELETE it first or create under "
+                            "a fresh id"
+                        ) from None
+        except BaseException:
+            if hosted is not None:
+                with self._lock:
+                    if self._sessions.get(session_id) is hosted:
+                        del self._sessions[session_id]
+                        self.created_total -= 1
+            session.close()
+            raise
         for lru in evicted:
             # Close outside the manager lock: an in-flight request may hold
             # the session lock, and closing must wait for it, not block the
             # whole table.
-            with lru.lock:
-                lru.session.close()
+            self._flush_and_close(lru)
         return hosted
 
-    def remove(self, session_id: str) -> HostedSession:
-        with self._lock:
-            try:
-                hosted = self._sessions.pop(session_id)
-            except KeyError:
-                raise UnknownSessionError(
-                    f"no session {session_id!r}; open sessions: "
-                    f"{list(self._sessions)}"
-                ) from None
-            self.closed_total += 1
-        with hosted.lock:
-            hosted.session.close()
-        return hosted
+    def remove(self, session_id: str) -> str:
+        """Close and drop a session; durable state on disk is purged too.
+
+        Returns the removed session id — the session object itself may
+        never have been resident (cold durable session)."""
+        while True:
+            with self._lock:
+                hosted = self._sessions.pop(session_id, None)
+                event = self._rehydrating.get(session_id)
+                if hosted is None and event is None:
+                    if self.store is None or not self.store.exists(session_id):
+                        raise UnknownSessionError(
+                            f"no session {session_id!r}; open sessions: "
+                            f"{list(self._sessions)}"
+                        ) from None
+                if hosted is not None:
+                    self.closed_total += 1
+            if hosted is None and event is not None:
+                # a rehydration is in flight; let it land, then remove the
+                # resident session it produced
+                event.wait()
+                continue
+            break
+        if hosted is not None:
+            with hosted.lock:
+                if hosted.journal is not None:
+                    hosted.journal.close()
+                hosted.session.close()
+        if self.store is not None:
+            self.store.purge(session_id)
+            if hosted is None:
+                self.closed_total += 1
+        return session_id
 
     def close_all(self) -> None:
+        """Flush every dirty journal and close every session (shutdown)."""
         with self._lock:
             sessions = list(self._sessions.values())
             self._sessions.clear()
         for hosted in sessions:
-            with hosted.lock:
-                hosted.session.close()
+            self._flush_and_close(hosted)
+
+    def _flush_and_close(self, hosted: HostedSession) -> None:
+        """Eviction/shutdown path: snapshot pending state, then close.
+
+        With durability on, eviction means *flush then drop* — the session
+        leaves memory but stays recoverable (and is lazily rehydrated on
+        the next request that names it)."""
+        with hosted.lock:
+            journal = hosted.journal
+            if journal is not None:
+                if journal.needs_flush or hosted.session.dirty:
+                    hosted.persist_snapshot()
+                    journal.store._count("flushed_total")
+                journal.close()
+            hosted.session.close()
 
 
 class ServerMetrics:
@@ -401,10 +658,19 @@ class ReproHTTPServer(ThreadingHTTPServer):
         address: Tuple[str, int],
         max_sessions: int = 64,
         data_root: Optional[Path] = None,
+        state_dir: Optional[Path] = None,
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+        fsync: bool = True,
         verbose: bool = False,
     ):
         super().__init__(address, _Handler)
-        self.manager = SessionManager(max_sessions, data_root=data_root)
+        self.manager = SessionManager(
+            max_sessions,
+            data_root=data_root,
+            state_dir=state_dir,
+            snapshot_every=snapshot_every,
+            fsync=fsync,
+        )
         self.metrics = ServerMetrics()
         self.started = time.time()
         self.verbose = verbose
@@ -483,6 +749,13 @@ class ReproHTTPServer(ThreadingHTTPServer):
             "maintained_violations": maintained_violations,
             "delta_stats": delta_totals,
         }
+        if manager.store is not None:
+            durability: Dict[str, Any] = {"enabled": True}
+            durability.update(manager.store.counters_snapshot())
+            durability["cold_sessions"] = len(manager.cold_session_ids())
+            document["durability"] = durability
+        else:
+            document["durability"] = {"enabled": False}
         return document
 
     def metrics_document_base(self) -> Dict[str, Any]:
@@ -631,15 +904,12 @@ class _Handler(BaseHTTPRequestHandler):
         if parts and parts[0] == "sessions":
             if len(parts) == 1:
                 if method == "GET":
-                    return (
-                        "GET /sessions",
-                        200,
-                        {
-                            "sessions": [
-                                h.info() for h in manager.list()
-                            ]
-                        },
-                    )
+                    document: Dict[str, Any] = {
+                        "sessions": [h.info() for h in manager.list()]
+                    }
+                    if manager.store is not None:
+                        document["cold_sessions"] = manager.cold_session_ids()
+                    return "GET /sessions", 200, document
                 if method == "POST":
                     body = self._read_body() or {}
                     if not isinstance(body, Mapping):
@@ -657,11 +927,11 @@ class _Handler(BaseHTTPRequestHandler):
                         manager.get(session_id).info(),
                     )
                 if method == "DELETE":
-                    hosted = manager.remove(session_id)
+                    removed = manager.remove(session_id)
                     return (
                         "DELETE /sessions/{id}",
                         200,
-                        {"session": hosted.id, "closed": True},
+                        {"session": removed, "closed": True},
                     )
             elif len(parts) == 3:
                 return self._route_session_verb(method, parts[1], parts[2])
@@ -745,31 +1015,27 @@ class _Handler(BaseHTTPRequestHandler):
             )
         changeset = Changeset.from_dict(body)
         delta = hosted.session.apply(changeset)
-        return (
-            "POST /sessions/{id}/apply",
-            200,
-            self._delta_document(hosted, delta),
-        )
+        document = self._delta_document(hosted, delta)
+        # WAL after the apply committed, before the response does: the
+        # canonical changeset (not the raw body) replays deterministically
+        hosted.persist_apply(changeset.to_dict(), document["undo_token"])
+        return "POST /sessions/{id}/apply", 200, document
 
     def _handle_undo(
         self, hosted: HostedSession, body: Any
     ) -> Tuple[str, int, Dict[str, Any]]:
         if not isinstance(body, Mapping) or "token" not in body:
             raise _BadRequest("undo body must be {\"token\": \"...\"}")
-        undo = hosted.take_undo(body["token"])
-        try:
-            delta = hosted.session.apply(undo)
-        except Exception:
-            # a failed apply rolled the database back (delta-engine
-            # atomicity), so the token is still valid — keep it usable
-            # instead of burning it on a failed attempt
-            hosted.restore_undo(body["token"], undo)
-            raise
-        return (
-            "POST /sessions/{id}/undo",
-            200,
-            self._delta_document(hosted, delta),
-        )
+        token = body["token"]
+        # peek, don't pop: a failed apply rolls the database back
+        # (delta-engine atomicity), so the token must stay valid — and in
+        # its original eviction slot — instead of burning on the attempt
+        undo = hosted.peek_undo(token)
+        delta = hosted.session.apply(undo)
+        hosted.consume_undo(token)
+        document = self._delta_document(hosted, delta)
+        hosted.persist_undo(token, document["undo_token"])
+        return "POST /sessions/{id}/undo", 200, document
 
     @staticmethod
     def _handle_repair(
@@ -794,13 +1060,16 @@ class _Handler(BaseHTTPRequestHandler):
             # against is gone; replaying one on the repaired instance
             # would silently corrupt it
             hosted.clear_undo()
+            # wholesale instance swap: no changeset to WAL — capture the
+            # adopted state as a fresh snapshot instead
+            hosted.persist_snapshot()
         return "POST /sessions/{id}/repair", 200, report.to_dict()
 
     @staticmethod
     def _handle_rules_write(
         hosted: HostedSession, method: str, body: Any
     ) -> Tuple[str, int, Dict[str, Any]]:
-        from repro.rules_json import rules_from_list
+        from repro.rules_json import rules_from_list, rules_to_list
 
         if isinstance(body, Mapping):
             documents = body.get("rules")
@@ -816,6 +1085,7 @@ class _Handler(BaseHTTPRequestHandler):
             session.replace_rules(parsed)
         else:
             session.add_rules(*parsed)
+        hosted.persist_rules(rules_to_list(parsed), replace=method == "PUT")
         return (
             f"{method} /sessions/{{id}}/rules",
             200,
@@ -833,11 +1103,15 @@ def make_server(
     port: int = 8765,
     max_sessions: int = 64,
     data_root: Optional[Path] = None,
+    state_dir: Optional[Path] = None,
+    snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+    fsync: bool = True,
     verbose: bool = False,
 ) -> ReproHTTPServer:
     """Build a server (not yet serving); ``port=0`` picks a free port."""
     return ReproHTTPServer(
         (host, port), max_sessions=max_sessions, data_root=data_root,
+        state_dir=state_dir, snapshot_every=snapshot_every, fsync=fsync,
         verbose=verbose,
     )
 
@@ -847,6 +1121,8 @@ def serve(
     port: int = 8765,
     max_sessions: int = 64,
     data_root: Optional[Path] = None,
+    state_dir: Optional[Path] = None,
+    snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
     verbose: bool = True,
 ) -> int:
     """Blocking entry point for ``repro serve`` (Ctrl-C to stop)."""
@@ -854,11 +1130,16 @@ def serve(
 
     server = make_server(
         host, port, max_sessions=max_sessions, data_root=data_root,
+        state_dir=state_dir, snapshot_every=snapshot_every,
         verbose=verbose,
     )
+    durable = ""
+    if state_dir is not None:
+        cold = len(server.manager.cold_session_ids())
+        durable = f", durable state in {state_dir} ({cold} recoverable)"
     print(
         f"repro server listening on {server.base_url} "
-        f"(max {max_sessions} sessions)",
+        f"(max {max_sessions} sessions{durable})",
         file=sys.stderr,
         flush=True,
     )

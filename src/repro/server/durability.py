@@ -1,0 +1,455 @@
+"""Crash-safe session durability: changeset WAL + snapshot recovery.
+
+The server's warm sessions (PR 5) die with the process; this module makes
+them survive it.  Each hosted session owns a directory under the server's
+``--state-dir`` holding two kinds of files:
+
+* **a changeset write-ahead log** (``wal-<gen>.log``) — every successful
+  write verb appends one CRC-framed record (the canonical changeset /
+  rules document plus its undo token id, framed by
+  :func:`repro.registry.wal_record_to_bytes`) and fsyncs it *before* the
+  HTTP response commits.  A crash at any byte boundary leaves at worst a
+  torn final record, which :func:`repro.registry.wal_records_from_bytes`
+  detects and recovery truncates;
+* **periodic snapshots** (``snapshot-<gen>.json``) — the full session
+  state (schema + rules + data documents through the registry codecs,
+  plus the undo-token table) written atomically (tmp + rename) after
+  ``snapshot_every`` WAL records, after which the previous generation's
+  snapshot and WAL are retired.
+
+Recovery rebuilds a session from the newest snapshot plus its WAL tail:
+replaying a logged changeset through :meth:`Changeset.apply_to`
+regenerates exactly the effective ops (and therefore the undo changeset)
+the original request produced, so undo tokens survive restarts with their
+ids, contents and LRU order intact.  Recovery is *lazy*: the manager
+rehydrates a session on first touch, so a restart (or an eviction, which
+becomes flush-then-drop) costs nothing until the session is asked for.
+
+The fsync unit is one HTTP write verb, not one edit op — a 100-op
+changeset is framed as a single record and hardened by a single fsync,
+which is what keeps the apply-latency overhead small
+(``benchmarks/bench_server_durability.py`` tracks it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+from urllib.parse import quote, unquote
+
+from repro.engine.delta import Changeset
+from repro.errors import ReproError
+from repro.registry import wal_record_to_bytes, wal_records_from_bytes
+from repro.session import Session
+
+__all__ = [
+    "DEFAULT_SNAPSHOT_EVERY",
+    "MAX_UNDO_TOKENS",
+    "RecoveredSession",
+    "SessionJournal",
+    "SessionStore",
+]
+
+#: WAL records per generation before a snapshot retires the log
+DEFAULT_SNAPSHOT_EVERY = 64
+
+#: undo tokens remembered per session (oldest dropped first); lives here so
+#: recovery enforces the same bound the live server does
+MAX_UNDO_TOKENS = 32
+
+_SNAPSHOT_FORMAT = 1
+
+
+def _fsync_dir(path: Path) -> None:
+    """Harden a directory entry (created/renamed file) — best effort."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _undo_token_ordinal(token: str) -> int:
+    """The numeric suffix of an ``undo-<n>`` token (0 when unparseable)."""
+    _, _, suffix = token.partition("-")
+    try:
+        return int(suffix)
+    except ValueError:
+        return 0
+
+
+class RecoveredSession:
+    """What :meth:`SessionStore.recover` hands back: the rebuilt session
+    plus the server-side state that must survive with it."""
+
+    __slots__ = ("session", "undo", "undo_counter", "wal_records")
+
+    def __init__(
+        self,
+        session: Session,
+        undo: "OrderedDict[str, Changeset]",
+        undo_counter: int,
+        wal_records: int,
+    ):
+        self.session = session
+        self.undo = undo
+        self.undo_counter = undo_counter
+        self.wal_records = wal_records
+
+
+class SessionJournal:
+    """One session's durability handle: WAL appends + snapshot cycling.
+
+    Not internally locked: every call happens under the owning
+    :class:`~repro.server.HostedSession`'s lock (the same lock that
+    serializes the write verbs the journal records).
+    """
+
+    def __init__(self, store: "SessionStore", session_id: str, directory: Path):
+        self.store = store
+        self.session_id = session_id
+        self.directory = directory
+        #: snapshot generation currently on disk (-1: none yet)
+        self.generation = -1
+        #: WAL records appended since that snapshot
+        self.wal_records = 0
+        self._wal_handle: Optional[Any] = None
+
+    # -- paths -----------------------------------------------------------
+
+    def _snapshot_path(self, generation: int) -> Path:
+        return self.directory / f"snapshot-{generation:08d}.json"
+
+    def _wal_path(self, generation: int) -> Path:
+        return self.directory / f"wal-{generation:08d}.log"
+
+    # -- WAL appends -----------------------------------------------------
+
+    def _append(self, record: Mapping[str, Any]) -> None:
+        """Frame, write and sync one record before the caller responds.
+
+        Appends use ``fdatasync`` where the platform has it: the record
+        bytes must be on disk before the response commits, but the file's
+        metadata (mtime) can lag — recovery never reads it.
+        """
+        if self._wal_handle is None:
+            self._wal_handle = open(self._wal_path(self.generation), "ab")
+        handle = self._wal_handle
+        handle.write(wal_record_to_bytes(record))
+        handle.flush()
+        if self.store.fsync:
+            getattr(os, "fdatasync", os.fsync)(handle.fileno())
+        self.wal_records += 1
+        self.store._count("wal_records_total")
+
+    def log_apply(self, changeset_doc: Mapping[str, Any], token: str) -> None:
+        """Record a successful ``/apply``: the changeset + its undo token."""
+        self._append(
+            {"kind": "apply", "changeset": dict(changeset_doc), "token": token}
+        )
+
+    def log_undo(self, taken: str, token: str) -> None:
+        """Record a successful ``/undo``.
+
+        Only the token ids are logged: replay pops ``taken`` from the
+        undo table it is rebuilding (the changeset is already there) and
+        stores the replay's own inverse under ``token`` — the same
+        deterministic construction the live request used.
+        """
+        self._append({"kind": "undo", "taken": taken, "token": token})
+
+    def log_rules(
+        self, rules_docs: List[Dict[str, Any]], replace: bool
+    ) -> None:
+        """Record a rules PUT (replace) or POST (append) by its documents."""
+        self._append(
+            {"kind": "rules", "rules": list(rules_docs), "replace": replace}
+        )
+
+    # -- snapshots -------------------------------------------------------
+
+    def write_snapshot(
+        self,
+        session: Session,
+        undo_items: List[Tuple[str, Changeset]],
+        undo_counter: int,
+    ) -> None:
+        """Capture the full session state and retire the old generation.
+
+        The snapshot is written to a temp file, fsync'd, then renamed into
+        place (atomic on POSIX) — recovery never sees a half-written
+        snapshot.  Only after the rename lands are the previous
+        generation's snapshot and WAL deleted.
+        """
+        document = {
+            "format": _SNAPSHOT_FORMAT,
+            "session": self.session_id,
+            "executor": session.executor,
+            "shards": session._shards,
+            "schema": session.schema_document(),
+            "rules": session.rules_documents(),
+            "data": session.data_documents(),
+            "undo": [
+                [token, undo.to_dict()] for token, undo in undo_items
+            ],
+            "undo_counter": undo_counter,
+        }
+        next_generation = self.generation + 1
+        target = self._snapshot_path(next_generation)
+        tmp = target.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, separators=(",", ":"), default=str)
+            handle.flush()
+            if self.store.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, target)
+        _fsync_dir(self.directory)
+        if self._wal_handle is not None:
+            self._wal_handle.close()
+            self._wal_handle = None
+        old_generation = self.generation
+        self.generation = next_generation
+        self.wal_records = 0
+        if old_generation >= 0:
+            self._wal_path(old_generation).unlink(missing_ok=True)
+            self._snapshot_path(old_generation).unlink(missing_ok=True)
+        session.mark_clean()
+        self.store._count("snapshots_total")
+
+    @property
+    def needs_flush(self) -> bool:
+        """True iff state accrued since the last snapshot (WAL tail)."""
+        return self.wal_records > 0
+
+    def status(self, session: Session) -> Dict[str, Any]:
+        """The durability section of the session info document."""
+        return {
+            "enabled": True,
+            "generation": self.generation,
+            "wal_records": self.wal_records,
+            "snapshot_every": self.store.snapshot_every,
+            "dirty": session.dirty,
+        }
+
+    def close(self) -> None:
+        if self._wal_handle is not None:
+            self._wal_handle.close()
+            self._wal_handle = None
+
+
+class SessionStore:
+    """The on-disk table of durable sessions under one ``--state-dir``.
+
+    Layout: ``<state_dir>/sessions/<quoted session id>/`` with the
+    snapshot/WAL generations described in the module docstring.  Session
+    ids are percent-encoded for the filesystem, so any id the wire
+    protocol accepts maps to a directory.
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+        fsync: bool = True,
+    ):
+        if snapshot_every < 1:
+            raise ReproError("snapshot_every must be >= 1")
+        self.root = Path(root)
+        self.snapshot_every = snapshot_every
+        self.fsync = fsync
+        self.sessions_dir = self.root / "sessions"
+        self.sessions_dir.mkdir(parents=True, exist_ok=True)
+        self._counter_lock = threading.Lock()
+        self.counters: Dict[str, int] = {
+            "snapshots_total": 0,
+            "wal_records_total": 0,
+            "rehydrated_total": 0,
+            "flushed_total": 0,
+        }
+
+    def _count(self, counter: str) -> None:
+        with self._counter_lock:
+            self.counters[counter] += 1
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        with self._counter_lock:
+            return dict(self.counters)
+
+    # -- directory table -------------------------------------------------
+
+    def _session_dir(self, session_id: str) -> Path:
+        return self.sessions_dir / quote(session_id, safe="")
+
+    def exists(self, session_id: str) -> bool:
+        return self._session_dir(session_id).is_dir()
+
+    def session_ids(self) -> List[str]:
+        """Every session with durable state, sorted by id."""
+        return sorted(
+            unquote(entry.name)
+            for entry in self.sessions_dir.iterdir()
+            if entry.is_dir()
+        )
+
+    def purge(self, session_id: str) -> None:
+        """Drop a session's durable state (DELETE semantics)."""
+        directory = self._session_dir(session_id)
+        if directory.is_dir():
+            shutil.rmtree(directory)
+            _fsync_dir(self.sessions_dir)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def create(self, session_id: str, session: Session) -> SessionJournal:
+        """Open durable state for a fresh session: generation-0 snapshot."""
+        directory = self._session_dir(session_id)
+        directory.mkdir(parents=True, exist_ok=False)
+        _fsync_dir(self.sessions_dir)
+        journal = SessionJournal(self, session_id, directory)
+        journal.write_snapshot(session, [], 0)
+        return journal
+
+    def recover(
+        self, session_id: str
+    ) -> Tuple[SessionJournal, RecoveredSession]:
+        """Rebuild a session from its newest snapshot plus the WAL tail.
+
+        A torn final WAL record (crash mid-write) is truncated away; the
+        journal comes back open on the recovered generation, ready to
+        append.  Raises :class:`~repro.errors.ReproError` when no usable
+        snapshot exists or the WAL names state the snapshot cannot
+        explain (corruption beyond a torn tail).
+        """
+        from repro.relational.instance import DatabaseInstance
+        from repro.rules_json import database_schema_from_dict, rules_from_list
+
+        directory = self._session_dir(session_id)
+        if not directory.is_dir():
+            # purged (DELETE) between the existence check and recovery
+            raise FileNotFoundError(str(directory))
+        snapshot_doc: Optional[Dict[str, Any]] = None
+        generation = -1
+        for path in sorted(directory.glob("snapshot-*.json"), reverse=True):
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    candidate = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            if isinstance(candidate, dict) and "schema" in candidate:
+                snapshot_doc = candidate
+                generation = int(path.stem.split("-")[1])
+                break
+        if snapshot_doc is None:
+            raise ReproError(
+                f"session {session_id!r} has durable state under "
+                f"{directory} but no usable snapshot"
+            )
+
+        db_schema = database_schema_from_dict(snapshot_doc["schema"])
+        rules = rules_from_list(snapshot_doc.get("rules", []), db_schema)
+        db = DatabaseInstance(db_schema)
+        for rel_name, rows in (snapshot_doc.get("data") or {}).items():
+            relation = db.relation(rel_name)
+            for row in rows:
+                relation.add(row)
+        session = Session.from_instance(
+            db,
+            rules,
+            executor=snapshot_doc.get("executor", "indexed"),
+            shards=snapshot_doc.get("shards"),
+        )
+        undo: "OrderedDict[str, Changeset]" = OrderedDict(
+            (token, Changeset.from_dict(undo_doc))
+            for token, undo_doc in snapshot_doc.get("undo", [])
+        )
+        undo_counter = int(snapshot_doc.get("undo_counter", 0))
+
+        journal = SessionJournal(self, session_id, directory)
+        journal.generation = generation
+        wal_path = journal._wal_path(generation)
+        records: List[Dict[str, Any]] = []
+        if wal_path.exists():
+            data = wal_path.read_bytes()
+            records, clean_length = wal_records_from_bytes(data)
+            if clean_length < len(data):
+                # torn tail: the crash cut a record short — drop it so the
+                # next append starts at a clean frame boundary
+                with open(wal_path, "r+b") as handle:
+                    handle.truncate(clean_length)
+                    handle.flush()
+                    if self.fsync:
+                        os.fsync(handle.fileno())
+
+        for index, record in enumerate(records):
+            try:
+                self._replay(record, session, undo)
+            except Exception as exc:
+                raise ReproError(
+                    f"session {session_id!r}: WAL record #{index} "
+                    f"({record.get('kind')!r}) failed to replay: {exc}"
+                ) from exc
+            token = record.get("token")
+            if isinstance(token, str):
+                undo_counter = max(undo_counter, _undo_token_ordinal(token))
+            while len(undo) > MAX_UNDO_TOKENS:
+                undo.popitem(last=False)
+        journal.wal_records = len(records)
+        session.mark_clean()
+
+        # retire generations the snapshot superseded but a crash left behind
+        for stale in directory.glob("snapshot-*.json"):
+            if int(stale.stem.split("-")[1]) < generation:
+                stale.unlink(missing_ok=True)
+        for stale in directory.glob("wal-*.log"):
+            if int(stale.stem.split("-")[1]) < generation:
+                stale.unlink(missing_ok=True)
+        for leftover in directory.glob("*.json.tmp"):
+            leftover.unlink(missing_ok=True)
+
+        self._count("rehydrated_total")
+        return journal, RecoveredSession(
+            session, undo, undo_counter, len(records)
+        )
+
+    @staticmethod
+    def _replay(
+        record: Mapping[str, Any],
+        session: Session,
+        undo: "OrderedDict[str, Changeset]",
+    ) -> None:
+        """Re-apply one WAL record to the session being rebuilt.
+
+        Changesets go through :meth:`Changeset.apply_to` directly (no
+        delta engine: recovery does not need violation maintenance, and
+        the engine builds lazily on the first post-recovery request);
+        the inverse of the effective ops is byte-identical to the undo
+        changeset the live request stored, because the live path
+        (:meth:`DeltaEngine.apply`) derives it the same way.
+        """
+        from repro.rules_json import rules_from_list
+
+        kind = record.get("kind")
+        if kind == "apply":
+            changeset = Changeset.from_dict(record["changeset"])
+            effective = changeset.apply_to(session.database)
+            undo[record["token"]] = Changeset.inverse_of(effective)
+        elif kind == "undo":
+            taken = undo.pop(record["taken"])
+            effective = taken.apply_to(session.database)
+            undo[record["token"]] = Changeset.inverse_of(effective)
+        elif kind == "rules":
+            parsed = rules_from_list(record.get("rules", []), session.schema)
+            if record.get("replace", True):
+                session.replace_rules(parsed)
+            else:
+                session.add_rules(*parsed)
+        else:
+            raise ReproError(f"unknown WAL record kind {kind!r}")

@@ -195,6 +195,7 @@ class Session:
             raise ReproError("engine was built over a different database instance")
         self._engine: Optional[DeltaEngine] = engine
         self._parallel = None  # warm ParallelExecutor, built on first use
+        self._dirty = False  # mutated since the last mark_clean()
 
     # -- construction ----------------------------------------------------
 
@@ -258,13 +259,31 @@ class Session:
         """Add rules; the delta engine is rebuilt on next use."""
         self._rules.extend(rules)
         self._engine = None
+        self._dirty = True
         return self
 
     def replace_rules(self, rules: Iterable[Dependency]) -> "Session":
         """Swap the whole rule set; the delta engine is rebuilt on next use."""
         self._rules = list(rules)
         self._engine = None
+        self._dirty = True
         return self
+
+    @property
+    def dirty(self) -> bool:
+        """True iff the session mutated since the last :meth:`mark_clean`.
+
+        This is the persistence seam: ``apply``/``stream``, rule-set edits
+        and ``repair(adopt=True)`` set it; a caller that has durably
+        captured the session's state (e.g. the server's snapshot writer)
+        calls :meth:`mark_clean`.  The ``save_*`` methods deliberately do
+        *not* clear it — saving one relation is not a full capture.
+        """
+        return self._dirty
+
+    def mark_clean(self) -> None:
+        """Declare the current state durably captured (see :attr:`dirty`)."""
+        self._dirty = False
 
     def close(self) -> None:
         """Release engine resources: parallel worker processes and the warm
@@ -479,6 +498,7 @@ class Session:
         if adopt:
             self._db = repaired
             self._engine = None
+            self._dirty = True
         return report
 
     def discover(
@@ -502,7 +522,9 @@ class Session:
     def apply(self, changeset: Changeset) -> ViolationDelta:
         """Apply a batch of edits through the delta engine (PR 2 semantics:
         returns added/removed violations plus the undo changeset)."""
-        return self.engine.apply(changeset)
+        delta = self.engine.apply(changeset)
+        self._dirty = True
+        return delta
 
     def stream(
         self,
@@ -538,6 +560,7 @@ class Session:
         for index, batch in enumerate(batches):
             started = time.perf_counter()
             delta = engine.apply(batch)
+            self._dirty = True
             elapsed = time.perf_counter() - started
             results.append(
                 BatchResult(
@@ -596,6 +619,20 @@ class Session:
         """Write one relation (default: the only one) as CSV."""
         name = relation or self._single_relation_name()
         dump_csv(self._db.relation(name), path)
+
+    def data_documents(self) -> Dict[str, List[Dict[str, Any]]]:
+        """Every relation's live rows as JSON-ready documents.
+
+        ``{relation: [row mapping, ...]}`` in live insertion order — the
+        same shape the server's session-creation endpoint accepts as
+        inline ``data``, and what the durability layer snapshots.
+        Rebuilding a relation by adding these rows in order reproduces
+        the instance exactly (detection output is byte-identical).
+        """
+        return {
+            rel.schema.name: [t.as_dict() for t in rel]
+            for rel in self._db
+        }
 
     # -- helpers ---------------------------------------------------------
 

@@ -690,6 +690,170 @@ class TestChangesetWireFormat:
         }
 
 
+class TestDataRootConfinement:
+    """Server-side paths (schema/rules/CSV) must stay inside --data-root:
+    neither `..` traversal, absolute paths, nor symlinks may escape it."""
+
+    @pytest.fixture()
+    def confined(self, tmp_path):
+        root = tmp_path / "root"
+        root.mkdir()
+        (root / "schema.json").write_text(json.dumps(SCHEMA_DOC))
+        (root / "rules.json").write_text(json.dumps(RULES_DOC))
+        (root / "emp.csv").write_text(
+            "dept,floor\n" + "\n".join(f"{r['dept']},{r['floor']}" for r in ROWS)
+        )
+        # a perfectly readable file one level above the root — the attack
+        # target; any test that manages to load it has found the bug
+        (tmp_path / "outside.json").write_text(json.dumps(SCHEMA_DOC))
+        server = make_server(port=0, data_root=root)
+        server.start_background()
+        client = ServerClient(server.base_url)
+        client.wait_ready()
+        yield client, root, tmp_path
+        server.shutdown()
+
+    def test_inside_paths_resolve(self, confined):
+        client, _, _ = confined
+        info = client.create_session(
+            schema="schema.json",
+            rules="rules.json",
+            data={"emp": "emp.csv"},
+            session_id="inside",
+        )
+        assert info["relations"] == {"emp": 3}
+
+    def test_relative_traversal_rejected(self, confined):
+        client, _, _ = confined
+        with pytest.raises(ServerError) as err:
+            client.create_session(schema="../outside.json", session_id="esc")
+        assert err.value.status == 400
+        assert "../outside.json" in str(err.value)
+        assert "escapes the data root" in str(err.value)
+
+    def test_deep_traversal_in_data_rejected(self, confined):
+        client, _, _ = confined
+        with pytest.raises(ServerError) as err:
+            client.create_session(
+                schema="schema.json",
+                data={"emp": "sub/../../outside.json"},
+                session_id="esc2",
+            )
+        assert err.value.status == 400
+        assert "escapes the data root" in str(err.value)
+
+    def test_absolute_path_rejected(self, confined):
+        client, _, tmp_path = confined
+        for target in ("/etc/passwd", str(tmp_path / "outside.json")):
+            with pytest.raises(ServerError) as err:
+                client.create_session(schema=target, session_id="abs")
+            assert err.value.status == 400
+            assert "escapes the data root" in str(err.value)
+
+    def test_symlink_escape_rejected(self, confined):
+        client, root, tmp_path = confined
+        link = root / "innocent.json"
+        try:
+            link.symlink_to(tmp_path / "outside.json")
+        except OSError:
+            pytest.skip("filesystem does not support symlinks")
+        with pytest.raises(ServerError) as err:
+            client.create_session(schema="innocent.json", session_id="sym")
+        assert err.value.status == 400
+        assert "escapes the data root" in str(err.value)
+
+    def test_absolute_path_inside_root_still_works(self, confined):
+        client, root, _ = confined
+        info = client.create_session(
+            schema=str(root / "schema.json"), session_id="absin"
+        )
+        assert info["relations"] == {"emp": 0}
+
+
+class TestUndoTokenTable:
+    """The undo-token OrderedDict is an LRU keyed by *creation* order; a
+    failed replay must not promote its token to the MRU end (that would
+    silently change which token the capacity bound evicts next)."""
+
+    def _hosted(self, n_tokens: int = 3):
+        from repro.server import HostedSession
+
+        session = Session.from_instance(_local_db(), _local_rules())
+        hosted = HostedSession("t", session)
+        tokens = []
+        for i in range(n_tokens):
+            delta = session.apply(
+                Changeset().insert("emp", {"dept": f"u{i}", "floor": 300 + i})
+            )
+            tokens.append(hosted.remember_undo(delta.undo))
+        return hosted, tokens
+
+    def test_peek_does_not_reorder(self):
+        hosted, tokens = self._hosted()
+        hosted.peek_undo(tokens[0])
+        hosted.peek_undo(tokens[1])
+        assert list(hosted._undo) == tokens
+
+    def test_consume_retires_token(self):
+        from repro.errors import ReproError
+
+        hosted, tokens = self._hosted()
+        hosted.peek_undo(tokens[1])
+        hosted.consume_undo(tokens[1])
+        with pytest.raises(ReproError):
+            hosted.peek_undo(tokens[1])
+        assert list(hosted._undo) == [tokens[0], tokens[2]]
+
+    def test_capacity_evicts_in_creation_order_after_peek(self):
+        """Regression: peeking (a failed replay) must leave the oldest
+        token as the next capacity victim."""
+        from repro.server import MAX_UNDO_TOKENS
+
+        hosted, tokens = self._hosted(MAX_UNDO_TOKENS)
+        hosted.peek_undo(tokens[0])  # pre-fix this promoted tokens[0]
+        delta = hosted.session.apply(
+            Changeset().insert("emp", {"dept": "over", "floor": 999})
+        )
+        hosted.remember_undo(delta.undo)
+        assert tokens[0] not in hosted._undo  # oldest evicted, not tokens[1]
+        assert tokens[1] in hosted._undo
+
+    def test_failed_undo_over_http_keeps_token_and_order(
+        self, client, server, monkeypatch
+    ):
+        from repro.errors import ReproError
+
+        _fresh(client, "ord")
+        tokens = []
+        for i in range(3):
+            delta = client.apply(
+                "ord",
+                {"ops": [
+                    {
+                        "op": "insert",
+                        "relation": "emp",
+                        "row": {"dept": f"o{i}", "floor": 200 + i},
+                    }
+                ]},
+            )
+            tokens.append(delta["undo_token"])
+
+        def boom(self, changeset):
+            raise ReproError("induced replay failure")
+
+        with monkeypatch.context() as patch:
+            patch.setattr(Session, "apply", boom)
+            with pytest.raises(ServerError) as err:
+                client.undo("ord", tokens[0])
+            assert err.value.status == 400
+            assert "induced replay failure" in str(err.value)
+        # the failed replay burned nothing and reordered nothing
+        assert client.session_info("ord")["undo_tokens"] == tokens
+        # and the token is still replayable once the failure clears
+        replay = client.undo("ord", tokens[0])
+        assert "undo_token" in replay
+
+
 def _local_db():
     from repro.relational.instance import DatabaseInstance
     from repro.rules_json import database_schema_from_dict

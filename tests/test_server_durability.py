@@ -1,0 +1,536 @@
+"""Crash-safe session durability: WAL + snapshot recovery for ``serve``.
+
+The acceptance bar is the ISSUE's: kill the server at *any* WAL byte
+boundary — including mid-record — restart it on the same ``--state-dir``,
+and every session (resident or evicted) must answer ``detect``
+byte-identically to an uninterrupted twin, with its undo tokens intact.
+
+Crashes are simulated in-process by shutting the socket loop down
+*without* the flush that a graceful ``ReproHTTPServer.shutdown`` runs
+(``manager.close_all``) — valid because the WAL is fsync'd inside each
+request, so whatever a client saw acknowledged is on disk the moment the
+response commits.  One subprocess test does the real thing with SIGKILL.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import struct
+import subprocess
+import sys
+import tempfile
+from http.server import ThreadingHTTPServer
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.client import ServerClient, ServerError
+from repro.registry import wal_record_to_bytes, wal_records_from_bytes
+from repro.server import make_server
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SCHEMA_DOC = {
+    "name": "emp",
+    "attributes": [
+        {"name": "dept", "type": "string"},
+        {"name": "floor", "type": "int"},
+    ],
+}
+RULES_DOC = [{"type": "fd", "relation": "emp", "lhs": ["dept"], "rhs": ["floor"]}]
+ROWS = [
+    {"dept": "eng", "floor": 1},
+    {"dept": "eng", "floor": 2},  # violates dept -> floor
+    {"dept": "ops", "floor": 3},
+]
+
+
+def _boot(state_dir: Path, **kwargs):
+    server = make_server(port=0, state_dir=state_dir, **kwargs)
+    server.start_background()
+    client = ServerClient(server.base_url)
+    client.wait_ready()
+    return server, client
+
+
+def _crash(server) -> None:
+    """Kill the server without the graceful-shutdown flush."""
+    ThreadingHTTPServer.shutdown(server)
+    server.server_close()
+
+
+def _create(client: ServerClient, session_id: str, rows=ROWS):
+    return client.create_session(
+        schema=SCHEMA_DOC,
+        rules=RULES_DOC,
+        data={"emp": list(rows)},
+        session_id=session_id,
+    )
+
+
+def _insert(dept: str, floor: int):
+    return {"ops": [{"op": "insert", "relation": "emp",
+                     "row": {"dept": dept, "floor": floor}}]}
+
+
+def _delete(dept: str, floor: int):
+    return {"ops": [{"op": "delete", "relation": "emp",
+                     "row": {"dept": dept, "floor": floor}}]}
+
+
+def _dump(doc) -> str:
+    return json.dumps(doc, sort_keys=True, default=str)
+
+
+def _session_files(state_dir: Path, session_id: str):
+    directory = state_dir / "sessions" / session_id
+    return sorted(p.name for p in directory.iterdir())
+
+
+def _current_wal(state_dir: Path, session_id: str) -> Path:
+    directory = state_dir / "sessions" / session_id
+    snapshots = sorted(directory.glob("snapshot-*.json"))
+    assert snapshots, f"no snapshot for {session_id} under {directory}"
+    generation = snapshots[-1].stem.split("-")[1]
+    return directory / f"wal-{generation}.log"
+
+
+class TestDurableLifecycle:
+    def test_create_writes_gen0_snapshot(self, tmp_path):
+        server, client = _boot(tmp_path)
+        try:
+            _create(client, "a")
+            assert _session_files(tmp_path, "a") == ["snapshot-00000000.json"]
+            info = client.session_info("a")
+            assert info["durability"] == {
+                "enabled": True,
+                "generation": 0,
+                "wal_records": 0,
+                "snapshot_every": 64,
+                "dirty": False,
+            }
+        finally:
+            server.shutdown()
+
+    def test_non_durable_server_reports_disabled(self, tmp_path):
+        server = make_server(port=0)
+        server.start_background()
+        try:
+            client = ServerClient(server.base_url)
+            client.wait_ready()
+            _create(client, "a")
+            assert client.session_info("a")["durability"] == {"enabled": False}
+            assert client.metrics()["durability"] == {"enabled": False}
+            assert client.cold_sessions() == []
+        finally:
+            server.shutdown()
+
+    def test_restart_recovers_byte_identical_detect(self, tmp_path):
+        server, client = _boot(tmp_path)
+        _create(client, "a")
+        client.apply("a", _insert("qa", 9))
+        client.apply("a", _delete("ops", 3))
+        before = client.detect("a")
+        _crash(server)
+
+        server2, client2 = _boot(tmp_path)
+        try:
+            assert client2.cold_sessions() == ["a"]
+            assert _dump(client2.detect("a")) == _dump(before)
+            assert client2.metrics()["durability"]["rehydrated_total"] == 1
+        finally:
+            server2.shutdown()
+
+    def test_undo_tokens_survive_restart(self, tmp_path):
+        server, client = _boot(tmp_path)
+        _create(client, "a")
+        tokens = [
+            client.apply("a", _insert(f"d{i}", 100 + i))["undo_token"]
+            for i in range(3)
+        ]
+        baseline = client.detect("a")
+        _crash(server)
+
+        server2, client2 = _boot(tmp_path)
+        try:
+            info = client2.session_info("a")
+            assert info["undo_tokens"] == tokens  # ids *and* LRU order
+            # replay the middle token: the d1 insert comes back out
+            replay = client2.undo("a", tokens[1])
+            assert len(replay["removed"]) + len(replay["added"]) >= 0
+            assert client2.session_info("a")["relations"] == {"emp": 5}
+            with pytest.raises(ServerError) as err:
+                client2.undo("a", tokens[1])  # still single-use
+            assert err.value.status == 400
+            del baseline
+        finally:
+            server2.shutdown()
+
+    def test_rules_changes_survive_restart(self, tmp_path):
+        server, client = _boot(tmp_path)
+        _create(client, "a")
+        extra = {
+            "type": "cfd",
+            "relation": "emp",
+            "name": "eng-first-floor",
+            "lhs": ["dept"],
+            "rhs": ["floor"],
+            "tableau": [{"dept": "eng", "floor": 1}],
+        }
+        client.add_rules("a", [extra])
+        before = client.detect("a")
+        assert "eng-first-floor" in before["per_dependency"]
+        _crash(server)
+
+        server2, client2 = _boot(tmp_path)
+        try:
+            assert _dump(client2.detect("a")) == _dump(before)
+            assert client2.get_rules("a") == RULES_DOC + [extra]
+        finally:
+            server2.shutdown()
+
+    def test_rules_replace_survives_restart(self, tmp_path):
+        server, client = _boot(tmp_path)
+        _create(client, "a")
+        client.set_rules("a", [])
+        before = client.detect("a")
+        assert before["total"] == 0
+        _crash(server)
+
+        server2, client2 = _boot(tmp_path)
+        try:
+            assert client2.get_rules("a") == []
+            assert _dump(client2.detect("a")) == _dump(before)
+        finally:
+            server2.shutdown()
+
+    def test_repair_adopt_survives_restart(self, tmp_path):
+        server, client = _boot(tmp_path)
+        _create(client, "a")
+        client.repair("a", strategy="x", adopt=True)
+        before = client.detect("a")
+        assert before["total"] == 0
+        _crash(server)
+
+        server2, client2 = _boot(tmp_path)
+        try:
+            assert _dump(client2.detect("a")) == _dump(before)
+            assert client2.session_info("a")["undo_tokens"] == []
+        finally:
+            server2.shutdown()
+
+    def test_snapshot_cycle_retires_old_generation(self, tmp_path):
+        server, client = _boot(tmp_path, snapshot_every=2)
+        try:
+            _create(client, "a")
+            for i in range(5):
+                client.apply("a", _insert(f"g{i}", 500 + i))
+            info = client.session_info("a")["durability"]
+            # 5 records at snapshot_every=2: two cycles, one tail record
+            assert info["generation"] == 2
+            assert info["wal_records"] == 1
+            files = _session_files(tmp_path, "a")
+            assert files == ["snapshot-00000002.json", "wal-00000002.log"]
+        finally:
+            server.shutdown()
+
+    def test_graceful_shutdown_flushes_to_snapshot(self, tmp_path):
+        server, client = _boot(tmp_path)
+        _create(client, "a")
+        client.apply("a", _insert("qa", 9))
+        before = client.detect("a")
+        server.shutdown()  # graceful: close_all flushes the WAL tail
+        files = _session_files(tmp_path, "a")
+        assert files == ["snapshot-00000001.json"]
+
+        server2, client2 = _boot(tmp_path)
+        try:
+            assert _dump(client2.detect("a")) == _dump(before)
+        finally:
+            server2.shutdown()
+
+
+class TestEvictionAndColdSessions:
+    def test_eviction_flushes_then_drops(self, tmp_path):
+        server, client = _boot(tmp_path, max_sessions=1)
+        try:
+            _create(client, "a")
+            client.apply("a", _insert("qa", 9))
+            before = client.detect("a")
+            _create(client, "b")  # evicts "a" (flush-then-drop)
+            assert {s["session"] for s in client.list_sessions()} == {"b"}
+            assert client.cold_sessions() == ["a"]
+            # first touch rehydrates "a" transparently (and evicts "b")
+            assert _dump(client.detect("a")) == _dump(before)
+            assert client.cold_sessions() == ["b"]
+            metrics = client.metrics()["durability"]
+            assert metrics["flushed_total"] >= 1
+            assert metrics["rehydrated_total"] == 1
+        finally:
+            server.shutdown()
+
+    def test_delete_purges_cold_session(self, tmp_path):
+        server, client = _boot(tmp_path, max_sessions=1)
+        try:
+            _create(client, "a")
+            _create(client, "b")  # "a" now cold
+            assert client.cold_sessions() == ["a"]
+            assert client.delete_session("a") == {"session": "a", "closed": True}
+            assert client.cold_sessions() == []
+            with pytest.raises(ServerError) as err:
+                client.detect("a")
+            assert err.value.status == 404
+            assert not (tmp_path / "sessions" / "a").exists()
+        finally:
+            server.shutdown()
+
+    def test_duplicate_id_vs_cold_state_conflicts(self, tmp_path):
+        server, client = _boot(tmp_path, max_sessions=1)
+        try:
+            _create(client, "a")
+            _create(client, "b")  # "a" cold, but its id is still taken
+            with pytest.raises(ServerError) as err:
+                _create(client, "a")
+            assert err.value.status == 409
+            assert "durable state" in str(err.value)
+        finally:
+            server.shutdown()
+
+    def test_auto_ids_skip_cold_sessions(self, tmp_path):
+        server, client = _boot(tmp_path, max_sessions=1)
+        auto = client.create_session(schema=SCHEMA_DOC, data={"emp": ROWS})
+        _crash(server)
+        server2, client2 = _boot(tmp_path, max_sessions=1)
+        try:
+            fresh = client2.create_session(schema=SCHEMA_DOC, data={"emp": ROWS})
+            assert fresh["session"] != auto["session"]
+        finally:
+            server2.shutdown()
+
+
+class TestTornTail:
+    """A crash mid-write leaves at worst a torn final WAL record; recovery
+    must truncate it and land on the last fully-acknowledged state."""
+
+    def _framed(self, wal: Path):
+        data = wal.read_bytes()
+        records, clean = wal_records_from_bytes(data)
+        assert clean == len(data)  # an acknowledged WAL is never torn
+        return data, records
+
+    def test_half_written_record_is_dropped(self, tmp_path):
+        server, client = _boot(tmp_path)
+        _create(client, "a")
+        checkpoints = [client.detect("a")]
+        for i in range(3):
+            client.apply("a", _insert(f"t{i}", 700 + i))
+            checkpoints.append(client.detect("a"))
+        _crash(server)
+
+        wal = _current_wal(tmp_path, "a")
+        data, records = self._framed(wal)
+        last_frame = wal_record_to_bytes(records[-1])
+        # cut into the final record's payload: a torn write
+        wal.write_bytes(data[: len(data) - len(last_frame) // 2])
+
+        server2, client2 = _boot(tmp_path)
+        try:
+            assert _dump(client2.detect("a")) == _dump(checkpoints[-2])
+            # the torn bytes were truncated away on disk too
+            kept, clean = wal_records_from_bytes(wal.read_bytes())
+            assert len(kept) == len(records) - 1
+            assert clean == wal.stat().st_size
+        finally:
+            server2.shutdown()
+
+    def test_torn_header_is_dropped(self, tmp_path):
+        server, client = _boot(tmp_path)
+        _create(client, "a")
+        client.apply("a", _insert("x", 1))
+        before = client.detect("a")
+        _crash(server)
+
+        wal = _current_wal(tmp_path, "a")
+        with open(wal, "ab") as handle:
+            handle.write(struct.pack(">I", 12345)[:3])  # 3 of 8 header bytes
+
+        server2, client2 = _boot(tmp_path)
+        try:
+            assert _dump(client2.detect("a")) == _dump(before)
+        finally:
+            server2.shutdown()
+
+    def test_corrupt_crc_stops_replay_at_the_tear(self, tmp_path):
+        server, client = _boot(tmp_path)
+        _create(client, "a")
+        client.apply("a", _insert("x", 1))
+        good = client.detect("a")
+        client.apply("a", _insert("y", 2))
+        _crash(server)
+
+        wal = _current_wal(tmp_path, "a")
+        data = wal.read_bytes()
+        # flip a payload byte inside the *last* record: CRC mismatch
+        wal.write_bytes(data[:-1] + bytes([data[-1] ^ 0xFF]))
+
+        server2, client2 = _boot(tmp_path)
+        try:
+            assert _dump(client2.detect("a")) == _dump(good)
+        finally:
+            server2.shutdown()
+
+    def test_append_after_truncated_tail_stays_clean(self, tmp_path):
+        """New WAL appends after a torn-tail recovery must start at the
+        truncation point — frame-aligned, fully replayable."""
+        server, client = _boot(tmp_path)
+        _create(client, "a")
+        client.apply("a", _insert("x", 1))
+        client.apply("a", _insert("y", 2))
+        _crash(server)
+
+        wal = _current_wal(tmp_path, "a")
+        data = wal.read_bytes()
+        wal.write_bytes(data[:-4])  # tear the last record
+
+        server2, client2 = _boot(tmp_path)
+        client2.detect("a")  # rehydrate (truncates the tail)
+        client2.apply("a", _insert("z", 3))
+        after_append = client2.detect("a")
+        _crash(server2)
+
+        server3, client3 = _boot(tmp_path)
+        try:
+            assert _dump(client3.detect("a")) == _dump(after_append)
+        finally:
+            server3.shutdown()
+
+
+class TestCrashRecoveryProperties:
+    """Hypothesis-seeded edit streams with a crash at a random point.
+
+    Each example drives a durable server over HTTP with a random
+    insert/delete/undo stream (recording the acknowledged detect document
+    after every successful write — the 'uninterrupted twin'), crashes it
+    without flushing, optionally tears the final WAL record, restarts,
+    and requires detect to be byte-identical to the twin's document for
+    the surviving prefix.
+    """
+
+    ACTIONS = st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "undo"]),
+            st.sampled_from(["eng", "ops", "qa", "hr"]),
+            st.integers(min_value=0, max_value=5),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+
+    @given(actions=ACTIONS, tear=st.booleans(), data=st.data())
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_detect_matches_uninterrupted_twin(self, actions, tear, data):
+        state_dir = Path(tempfile.mkdtemp(prefix="repro-durability-"))
+        server = None
+        server2 = None
+        try:
+            server, client = _boot(state_dir, snapshot_every=3)
+            _create(client, "p")
+            checkpoints = [client.detect("p")]
+            tokens: list = []
+            for op, dept, floor in actions:
+                try:
+                    if op == "insert":
+                        delta = client.apply("p", _insert(dept, floor))
+                    elif op == "delete":
+                        delta = client.apply("p", _delete(dept, floor))
+                    elif tokens:
+                        delta = client.undo("p", tokens.pop(0))
+                    else:
+                        continue
+                except ServerError:
+                    continue  # rejected edits write no WAL record
+                tokens.append(delta["undo_token"])
+                checkpoints.append(client.detect("p"))
+            _crash(server)
+            server = None
+
+            expected = checkpoints[-1]
+            wal = _current_wal(state_dir, "p")
+            if tear and wal.exists() and wal.stat().st_size > 0:
+                raw = wal.read_bytes()
+                records, clean = wal_records_from_bytes(raw)
+                assert clean == len(raw)
+                last_frame = wal_record_to_bytes(records[-1])
+                cut = data.draw(
+                    st.integers(min_value=1, max_value=len(last_frame) - 1),
+                    label="bytes cut off the final record",
+                )
+                wal.write_bytes(raw[: len(raw) - cut])
+                # dropping the final record rewinds exactly one checkpoint
+                expected = checkpoints[-1 - 1]
+
+            server2, client2 = _boot(state_dir, snapshot_every=3)
+            assert _dump(client2.detect("p")) == _dump(expected)
+        finally:
+            for srv in (server, server2):
+                if srv is not None:
+                    srv.shutdown()
+            shutil.rmtree(state_dir, ignore_errors=True)
+
+
+class TestSigkillSubprocess:
+    """The real thing: SIGKILL a ``repro serve --state-dir`` subprocess
+    mid-flight and recover on a fresh process."""
+
+    def _spawn(self, state_dir: Path) -> tuple:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--state-dir", str(state_dir), "--quiet",
+            ],
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        banner = proc.stderr.readline()
+        assert "listening on" in banner, banner
+        base_url = next(
+            word for word in banner.split() if word.startswith("http://")
+        )
+        client = ServerClient(base_url)
+        client.wait_ready()
+        return proc, client
+
+    def test_sigkill_then_restart_recovers(self, tmp_path):
+        proc, client = self._spawn(tmp_path)
+        try:
+            _create(client, "k")
+            client.apply("k", _insert("qa", 9))
+            token = client.apply("k", _insert("hr", 4))["undo_token"]
+            before = client.detect("k")
+        finally:
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+            proc.stderr.close()
+
+        proc2, client2 = self._spawn(tmp_path)
+        try:
+            assert client2.cold_sessions() == ["k"]
+            assert _dump(client2.detect("k")) == _dump(before)
+            replay = client2.undo("k", token)
+            assert "undo_token" in replay
+        finally:
+            proc2.terminate()
+            proc2.wait(timeout=30)
+            proc2.stderr.close()
