@@ -186,29 +186,40 @@ class HostedSession:
         against has been replaced (e.g. ``repair(adopt=True)``)."""
         self._undo.clear()
 
+    def undo_state(self) -> Tuple[List[Tuple[str, Changeset]], int]:
+        """Copy of the token table + counter, for journal-failure rollback."""
+        return list(self._undo.items()), self._undo_counter
+
+    def restore_undo_state(
+        self, state: Tuple[List[Tuple[str, Changeset]], int]
+    ) -> None:
+        """Put the token table back exactly as :meth:`undo_state` saw it."""
+        items, counter = state
+        self._undo.clear()
+        self._undo.update(items)
+        self._undo_counter = counter
+
     # -- durability (all called under ``lock``) --------------------------
 
     def persist_apply(
         self, changeset_doc: Mapping[str, Any], token: str
     ) -> None:
         """WAL a successful apply (fsync'd before the response commits)."""
-        if self.journal is not None:
-            self.journal.log_apply(changeset_doc, token)
-            self._maybe_snapshot()
+        self._persist_record(
+            lambda journal: journal.log_apply(changeset_doc, token)
+        )
 
     def persist_undo(self, taken: str, token: str) -> None:
         """WAL a successful undo replay."""
-        if self.journal is not None:
-            self.journal.log_undo(taken, token)
-            self._maybe_snapshot()
+        self._persist_record(lambda journal: journal.log_undo(taken, token))
 
     def persist_rules(
         self, rules_docs: List[Dict[str, Any]], replace: bool
     ) -> None:
         """WAL a rules replace/append."""
-        if self.journal is not None:
-            self.journal.log_rules(rules_docs, replace)
-            self._maybe_snapshot()
+        self._persist_record(
+            lambda journal: journal.log_rules(rules_docs, replace)
+        )
 
     def persist_snapshot(self) -> None:
         """Capture full session state now, retiring the WAL generation."""
@@ -217,12 +228,38 @@ class HostedSession:
                 self.session, list(self._undo.items()), self._undo_counter
             )
 
+    def _persist_record(self, append: Any) -> None:
+        """Make one write verb durable: a WAL append, normally.
+
+        A *blocked* journal (an earlier append left bytes it could not
+        remove, or a snapshot failed with memory ahead of disk) cannot
+        take appends; a full snapshot both captures this write — the
+        in-memory mutation and its undo token land before this runs —
+        and reopens a fresh WAL generation, clearing the block.  Either
+        path raising means the write did not durably commit; the handler
+        rolls the in-memory mutation back and the client sees the error.
+        """
+        if self.journal is None:
+            return
+        if self.journal.blocked is not None:
+            self.persist_snapshot()
+            return
+        append(self.journal)
+        self._maybe_snapshot()
+
     def _maybe_snapshot(self) -> None:
         if (
             self.journal is not None
             and self.journal.wal_records >= self.journal.store.snapshot_every
         ):
-            self.persist_snapshot()
+            try:
+                self.persist_snapshot()
+            except Exception:
+                # the triggering write is already durable in the WAL, so a
+                # failed cadence snapshot must not fail its request; the
+                # WAL stays open and the next write retries (via the
+                # journal's blocked fallback in ``_persist_record``)
+                self.journal.store._count("snapshot_failures_total")
 
     def info(self) -> Dict[str, Any]:
         """The session info document.
@@ -483,6 +520,8 @@ class SessionManager:
         session_id = document.get("id")
         if session_id is not None and not isinstance(session_id, str):
             raise ReproError(f"'id' must be a string, got {session_id!r}")
+        if session_id == "":
+            raise ReproError("'id' must be a non-empty string")
         if session_id is not None:
             # fail fast before paying the data upload / instance build;
             # the post-build check below still covers a create/create race
@@ -602,8 +641,15 @@ class SessionManager:
             journal = hosted.journal
             if journal is not None:
                 if journal.needs_flush or hosted.session.dirty:
-                    hosted.persist_snapshot()
-                    journal.store._count("flushed_total")
+                    try:
+                        hosted.persist_snapshot()
+                        journal.store._count("flushed_total")
+                    except Exception:
+                        # every acknowledged write is already durable in
+                        # the snapshot + WAL on disk; a failed eviction
+                        # flush only loses the chance to fold the WAL
+                        # tail into a snapshot before dropping the session
+                        journal.store._count("snapshot_failures_total")
                 journal.close()
             hosted.session.close()
 
@@ -1014,11 +1060,20 @@ class _Handler(BaseHTTPRequestHandler):
                 "apply body must be a changeset document {\"ops\": [...]}"
             )
         changeset = Changeset.from_dict(body)
+        saved_undo = hosted.undo_state()
         delta = hosted.session.apply(changeset)
         document = self._delta_document(hosted, delta)
         # WAL after the apply committed, before the response does: the
         # canonical changeset (not the raw body) replays deterministically
-        hosted.persist_apply(changeset.to_dict(), document["undo_token"])
+        try:
+            hosted.persist_apply(changeset.to_dict(), document["undo_token"])
+        except BaseException:
+            # the record did not durably commit: roll the in-memory apply
+            # back so memory, journal and the client's error response all
+            # agree the write never happened (a retry is safe)
+            hosted.session.apply(delta.undo)
+            hosted.restore_undo_state(saved_undo)
+            raise
         return "POST /sessions/{id}/apply", 200, document
 
     def _handle_undo(
@@ -1031,10 +1086,18 @@ class _Handler(BaseHTTPRequestHandler):
         # (delta-engine atomicity), so the token must stay valid — and in
         # its original eviction slot — instead of burning on the attempt
         undo = hosted.peek_undo(token)
+        saved_undo = hosted.undo_state()
         delta = hosted.session.apply(undo)
         hosted.consume_undo(token)
         document = self._delta_document(hosted, delta)
-        hosted.persist_undo(token, document["undo_token"])
+        try:
+            hosted.persist_undo(token, document["undo_token"])
+        except BaseException:
+            # roll the replay back: the database reverts and the taken
+            # token returns to its original eviction slot, still valid
+            hosted.session.apply(delta.undo)
+            hosted.restore_undo_state(saved_undo)
+            raise
         return "POST /sessions/{id}/undo", 200, document
 
     @staticmethod
@@ -1081,11 +1144,20 @@ class _Handler(BaseHTTPRequestHandler):
             )
         session = hosted.session
         parsed = rules_from_list(documents, session.schema)
+        previous = list(session.rules)
         if method == "PUT":
             session.replace_rules(parsed)
         else:
             session.add_rules(*parsed)
-        hosted.persist_rules(rules_to_list(parsed), replace=method == "PUT")
+        try:
+            hosted.persist_rules(
+                rules_to_list(parsed), replace=method == "PUT"
+            )
+        except BaseException:
+            # journal failure: put the previous rule set back so the
+            # client's error response matches the session's state
+            session.replace_rules(previous)
+            raise
         return (
             f"{method} /sessions/{{id}}/rules",
             200,

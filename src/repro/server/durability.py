@@ -121,6 +121,12 @@ class SessionJournal:
         self.generation = -1
         #: WAL records appended since that snapshot
         self.wal_records = 0
+        #: non-None: the WAL cannot take appends (an earlier append left
+        #: bytes that could not be cut back out, or a snapshot failed with
+        #: memory ahead of disk).  Cleared by the next successful
+        #: snapshot, which the write verbs fall back to (see
+        #: :meth:`HostedSession._persist_record`).
+        self.blocked: Optional[str] = None
         self._wal_handle: Optional[Any] = None
 
     # -- paths -----------------------------------------------------------
@@ -140,13 +146,46 @@ class SessionJournal:
         bytes must be on disk before the response commits, but the file's
         metadata (mtime) can lag — recovery never reads it.
         """
+        if self.blocked is not None:
+            raise ReproError(f"session WAL suspended: {self.blocked}")
         if self._wal_handle is None:
-            self._wal_handle = open(self._wal_path(self.generation), "ab")
+            path = self._wal_path(self.generation)
+            existed = path.exists()
+            self._wal_handle = open(path, "ab")
+            if not existed and self.store.fsync:
+                # a brand-new WAL's *directory entry* needs its own fsync:
+                # the record bytes are fdatasync'd below, but without this
+                # the whole file can vanish in a crash even though its
+                # records were hardened and the responses acknowledged
+                _fsync_dir(self.directory)
         handle = self._wal_handle
-        handle.write(wal_record_to_bytes(record))
-        handle.flush()
-        if self.store.fsync:
-            getattr(os, "fdatasync", os.fsync)(handle.fileno())
+        frame = wal_record_to_bytes(record)
+        offset = handle.tell()
+        try:
+            handle.write(frame)
+            handle.flush()
+            if self.store.fsync:
+                getattr(os, "fdatasync", os.fsync)(handle.fileno())
+        except BaseException:
+            # the record did not durably commit: cut any partial bytes
+            # back out so the WAL agrees with the caller's rolled-back
+            # in-memory state and later appends start frame-aligned
+            try:
+                handle.truncate(offset)
+                handle.flush()
+                if self.store.fsync:
+                    os.fsync(handle.fileno())
+            except OSError:
+                # partial bytes may remain mid-file; appending after them
+                # would corrupt the log, so suspend the WAL until a
+                # snapshot opens a fresh generation
+                self.blocked = (
+                    "a WAL append failed and its partial bytes could not "
+                    "be removed"
+                )
+                handle.close()
+                self._wal_handle = None
+            raise
         self.wal_records += 1
         self.store._count("wal_records_total")
 
@@ -205,12 +244,23 @@ class SessionJournal:
         next_generation = self.generation + 1
         target = self._snapshot_path(next_generation)
         tmp = target.with_suffix(".json.tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, separators=(",", ":"), default=str)
-            handle.flush()
-            if self.store.fsync:
-                os.fsync(handle.fileno())
-        os.replace(tmp, target)
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(
+                    document, handle, separators=(",", ":"), default=str
+                )
+                handle.flush()
+                if self.store.fsync:
+                    os.fsync(handle.fileno())
+            os.replace(tmp, target)
+        except BaseException:
+            # memory may now be ahead of disk (repair-adopt snapshots the
+            # instance swap directly); suspend WAL appends — the next
+            # write verb retries a full snapshot, which both captures that
+            # write and reopens a fresh log
+            self.blocked = "a snapshot failed; memory may be ahead of disk"
+            raise
+        self.blocked = None
         _fsync_dir(self.directory)
         if self._wal_handle is not None:
             self._wal_handle.close()
@@ -231,13 +281,16 @@ class SessionJournal:
 
     def status(self, session: Session) -> Dict[str, Any]:
         """The durability section of the session info document."""
-        return {
+        document = {
             "enabled": True,
             "generation": self.generation,
             "wal_records": self.wal_records,
             "snapshot_every": self.store.snapshot_every,
             "dirty": session.dirty,
         }
+        if self.blocked is not None:
+            document["blocked"] = self.blocked
+        return document
 
     def close(self) -> None:
         if self._wal_handle is not None:
@@ -270,6 +323,7 @@ class SessionStore:
         self._counter_lock = threading.Lock()
         self.counters: Dict[str, int] = {
             "snapshots_total": 0,
+            "snapshot_failures_total": 0,
             "wal_records_total": 0,
             "rehydrated_total": 0,
             "flushed_total": 0,
@@ -286,7 +340,17 @@ class SessionStore:
     # -- directory table -------------------------------------------------
 
     def _session_dir(self, session_id: str) -> Path:
-        return self.sessions_dir / quote(session_id, safe="")
+        name = quote(session_id, safe="")
+        if not name:
+            raise ReproError("session id must be a non-empty string")
+        if set(name) == {"."}:
+            # quote() leaves '.' unencoded, so the ids '.' and '..' would
+            # alias the sessions dir and the state root — and purge()
+            # would rmtree the entire state dir.  Force-encode the dots
+            # into an ordinary directory name; unquote() in session_ids()
+            # still round-trips the id.
+            name = name.replace(".", "%2E")
+        return self.sessions_dir / name
 
     def exists(self, session_id: str) -> bool:
         return self._session_dir(session_id).is_dir()
@@ -314,7 +378,14 @@ class SessionStore:
         directory.mkdir(parents=True, exist_ok=False)
         _fsync_dir(self.sessions_dir)
         journal = SessionJournal(self, session_id, directory)
-        journal.write_snapshot(session, [], 0)
+        try:
+            journal.write_snapshot(session, [], 0)
+        except BaseException:
+            # don't leave a snapshot-less directory behind: it would 409
+            # future creates of this id yet be unrecoverable
+            journal.close()
+            shutil.rmtree(directory, ignore_errors=True)
+            raise
         return journal
 
     def recover(
@@ -335,23 +406,34 @@ class SessionStore:
         if not directory.is_dir():
             # purged (DELETE) between the existence check and recovery
             raise FileNotFoundError(str(directory))
-        snapshot_doc: Optional[Dict[str, Any]] = None
-        generation = -1
-        for path in sorted(directory.glob("snapshot-*.json"), reverse=True):
-            try:
-                with open(path, encoding="utf-8") as handle:
-                    candidate = json.load(handle)
-            except (OSError, json.JSONDecodeError):
-                continue
-            if isinstance(candidate, dict) and "schema" in candidate:
-                snapshot_doc = candidate
-                generation = int(path.stem.split("-")[1])
-                break
-        if snapshot_doc is None:
+        snapshot_paths = sorted(directory.glob("snapshot-*.json"), reverse=True)
+        if not snapshot_paths:
             raise ReproError(
                 f"session {session_id!r} has durable state under "
-                f"{directory} but no usable snapshot"
+                f"{directory} but no snapshot"
             )
+        # only the *newest* snapshot is recoverable: writing generation N
+        # retired generation N-1's WAL, so falling back to an older
+        # snapshot would silently rewind the session past acknowledged
+        # writes.  Snapshots land via tmp + atomic rename, so a crash
+        # never tears one — an unreadable newest snapshot is corruption
+        # and must fail loudly.
+        newest = snapshot_paths[0]
+        try:
+            with open(newest, encoding="utf-8") as handle:
+                snapshot_doc = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(
+                f"session {session_id!r}: newest snapshot {newest.name} is "
+                f"unreadable ({exc}); refusing to fall back to an older "
+                "generation whose WAL was already retired"
+            ) from exc
+        if not isinstance(snapshot_doc, dict) or "schema" not in snapshot_doc:
+            raise ReproError(
+                f"session {session_id!r}: newest snapshot {newest.name} is "
+                "not a session snapshot document"
+            )
+        generation = int(newest.stem.split("-")[1])
 
         db_schema = database_schema_from_dict(snapshot_doc["schema"])
         rules = rules_from_list(snapshot_doc.get("rules", []), db_schema)

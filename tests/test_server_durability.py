@@ -30,8 +30,9 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.client import ServerClient, ServerError
+from repro.errors import ReproError
 from repro.registry import wal_record_to_bytes, wal_records_from_bytes
-from repro.server import make_server
+from repro.server import SessionStore, make_server
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -90,6 +91,37 @@ def _dump(doc) -> str:
 def _session_files(state_dir: Path, session_id: str):
     directory = state_dir / "sessions" / session_id
     return sorted(p.name for p in directory.iterdir())
+
+
+def _bare_session():
+    """A Session built off-server, for store-level tests."""
+    from repro.relational.instance import DatabaseInstance
+    from repro.rules_json import database_schema_from_dict
+    from repro.session import Session
+
+    db = DatabaseInstance(database_schema_from_dict(SCHEMA_DOC))
+    for row in ROWS:
+        db.relation("emp").add(row)
+    return Session.from_instance(db, [])
+
+
+def _raw_status(base_url: str, method: str, path: str) -> int:
+    """Issue a request with the path sent verbatim (no '..' normalization —
+    the equivalent of ``curl --path-as-is``)."""
+    import http.client
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(base_url)
+    conn = http.client.HTTPConnection(parts.hostname, parts.port, timeout=10)
+    try:
+        conn.putrequest(method, path)
+        conn.putheader("Content-Length", "0")
+        conn.endheaders()
+        response = conn.getresponse()
+        response.read()
+        return response.status
+    finally:
+        conn.close()
 
 
 def _current_wal(state_dir: Path, session_id: str) -> Path:
@@ -534,3 +566,207 @@ class TestSigkillSubprocess:
             proc2.terminate()
             proc2.wait(timeout=30)
             proc2.stderr.close()
+
+
+class TestSessionIdConfinement:
+    """'.'/'..' are directory syntax, not session names: they must map to
+    ordinary directories (or 404), never to the sessions dir / state root
+    — ``DELETE /sessions/..`` used to rmtree the entire ``--state-dir``."""
+
+    def test_store_maps_dot_ids_to_safe_directories(self, tmp_path):
+        store = SessionStore(tmp_path)
+        for session_id in (".", "..", "..."):
+            directory = store._session_dir(session_id)
+            assert directory.parent == store.sessions_dir
+            assert directory.name not in ("", ".", "..")
+            assert not store.exists(session_id)
+        with pytest.raises(ReproError):
+            store._session_dir("")
+
+    def test_dot_id_round_trips_without_escaping(self, tmp_path):
+        store = SessionStore(tmp_path)
+        journal = store.create("..", _bare_session())
+        journal.close()
+        assert store.session_ids() == [".."]
+        store.purge("..")
+        assert store.session_ids() == []
+        # the purge removed one session directory, not the state root
+        assert store.sessions_dir.is_dir()
+        assert tmp_path.is_dir()
+
+    def test_dot_ids_over_http_are_404_and_destroy_nothing(self, tmp_path):
+        server, client = _boot(tmp_path)
+        try:
+            _create(client, "a")
+            for session_id in (".", ".."):
+                for method in ("DELETE", "GET"):
+                    status = _raw_status(
+                        server.base_url, method, f"/sessions/{session_id}"
+                    )
+                    assert status == 404, (method, session_id, status)
+                status = _raw_status(
+                    server.base_url, "POST", f"/sessions/{session_id}/detect"
+                )
+                assert status == 404, session_id
+            # every session's durable state survived the probes
+            assert _session_files(tmp_path, "a") == ["snapshot-00000000.json"]
+            assert client.detect("a")["total"] >= 1
+        finally:
+            server.shutdown()
+
+    def test_empty_session_id_create_is_rejected(self, tmp_path):
+        server, client = _boot(tmp_path)
+        try:
+            with pytest.raises(ServerError) as err:
+                _create(client, "")
+            assert err.value.status == 400
+            assert (tmp_path / "sessions").is_dir()
+        finally:
+            server.shutdown()
+
+
+class TestJournalFailure:
+    """A write verb whose WAL append (or forced snapshot) fails must leave
+    the session exactly as before the request: memory rolled back, token
+    table untouched, nothing extra on disk — the client's 5xx and the
+    recovered state agree the write never happened."""
+
+    def test_wal_append_failure_rolls_back_apply(self, tmp_path):
+        server, client = _boot(tmp_path)
+        _create(client, "a")
+        client.apply("a", _insert("qa", 9))
+        before = client.detect("a")
+        tokens_before = client.session_info("a")["undo_tokens"]
+
+        hosted = server.manager.get("a")
+        original = hosted.journal.log_apply
+        def boom(*args, **kwargs):
+            raise OSError(28, "injected: no space left on device")
+        hosted.journal.log_apply = boom
+        with pytest.raises(ServerError) as err:
+            client.apply("a", _insert("hr", 4))
+        assert err.value.status == 500
+        hosted.journal.log_apply = original
+
+        assert _dump(client.detect("a")) == _dump(before)
+        assert client.session_info("a")["undo_tokens"] == tokens_before
+        _crash(server)
+
+        server2, client2 = _boot(tmp_path)
+        try:
+            # disk agrees with the rolled-back memory state
+            assert _dump(client2.detect("a")) == _dump(before)
+        finally:
+            server2.shutdown()
+
+    def test_wal_append_failure_rolls_back_undo_in_place(self, tmp_path):
+        server, client = _boot(tmp_path)
+        try:
+            _create(client, "a")
+            tokens = [
+                client.apply("a", _insert(f"d{i}", 100 + i))["undo_token"]
+                for i in range(3)
+            ]
+            before = client.detect("a")
+
+            hosted = server.manager.get("a")
+            original = hosted.journal.log_undo
+            def boom(*args, **kwargs):
+                raise OSError(28, "injected: no space left on device")
+            hosted.journal.log_undo = boom
+            with pytest.raises(ServerError) as err:
+                client.undo("a", tokens[1])
+            assert err.value.status == 500
+            hosted.journal.log_undo = original
+
+            # database reverted, token still valid *and* in its old slot
+            assert _dump(client.detect("a")) == _dump(before)
+            assert client.session_info("a")["undo_tokens"] == tokens
+            replay = client.undo("a", tokens[1])
+            assert "undo_token" in replay
+        finally:
+            server.shutdown()
+
+    def test_wal_append_failure_rolls_back_rules(self, tmp_path):
+        server, client = _boot(tmp_path)
+        try:
+            _create(client, "a")
+            hosted = server.manager.get("a")
+            original = hosted.journal.log_rules
+            def boom(*args, **kwargs):
+                raise OSError(28, "injected: no space left on device")
+            hosted.journal.log_rules = boom
+            with pytest.raises(ServerError) as err:
+                client.set_rules("a", [])
+            assert err.value.status == 500
+            hosted.journal.log_rules = original
+            assert client.get_rules("a") == RULES_DOC
+        finally:
+            server.shutdown()
+
+    def test_failed_fsync_truncates_partial_record(self, tmp_path, monkeypatch):
+        store = SessionStore(tmp_path)
+        journal = store.create("j", _bare_session())
+        journal.log_apply({"ops": []}, "undo-1")
+        wal = journal._wal_path(journal.generation)
+        size_before = wal.stat().st_size
+
+        def boom(fd):
+            raise OSError(5, "injected I/O error")
+        monkeypatch.setattr(os, "fdatasync", boom, raising=False)
+        with pytest.raises(OSError):
+            journal.log_apply({"ops": []}, "undo-2")
+        monkeypatch.undo()
+
+        # the partial record was cut back out; the next append lands
+        # frame-aligned and the log replays fully
+        assert wal.stat().st_size == size_before
+        assert journal.wal_records == 1
+        journal.log_apply({"ops": []}, "undo-2")
+        records, clean = wal_records_from_bytes(wal.read_bytes())
+        assert len(records) == 2
+        assert clean == wal.stat().st_size
+        journal.close()
+
+    def test_blocked_journal_snapshots_instead_of_appending(self, tmp_path):
+        server, client = _boot(tmp_path)
+        _create(client, "a")
+        hosted = server.manager.get("a")
+        hosted.journal.blocked = "simulated earlier WAL failure"
+        client.apply("a", _insert("qa", 9))  # still succeeds, durably
+        info = client.session_info("a")["durability"]
+        assert info["generation"] == 1
+        assert info["wal_records"] == 0
+        assert hosted.journal.blocked is None
+        before = client.detect("a")
+        _crash(server)
+
+        server2, client2 = _boot(tmp_path)
+        try:
+            assert _dump(client2.detect("a")) == _dump(before)
+        finally:
+            server2.shutdown()
+
+    def test_corrupt_newest_snapshot_fails_loudly(self, tmp_path):
+        server, client = _boot(tmp_path, snapshot_every=2)
+        _create(client, "a")
+        client.apply("a", _insert("x", 1))
+        client.apply("a", _insert("y", 2))  # cadence snapshot: generation 1
+        _crash(server)
+
+        directory = tmp_path / "sessions" / "a"
+        newest = sorted(directory.glob("snapshot-*.json"))[-1]
+        generation = int(newest.stem.split("-")[1])
+        corrupt = directory / f"snapshot-{generation + 1:08d}.json"
+        corrupt.write_text("{ this is not a snapshot", encoding="utf-8")
+
+        server2, client2 = _boot(tmp_path, snapshot_every=2)
+        try:
+            # recovery must refuse to silently rewind to generation 1
+            # (its predecessor's WAL is gone) — corruption is loud
+            with pytest.raises(ServerError) as err:
+                client2.detect("a")
+            assert err.value.status == 400
+            assert "snapshot" in str(err.value)
+        finally:
+            server2.shutdown()
