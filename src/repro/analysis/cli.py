@@ -1,0 +1,159 @@
+"""Command line driver: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 — clean (or all findings baselined); 1 — new findings
+(or stale baseline entries under ``--strict-baseline``); 2 — usage
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.core import Analyzer, Baseline, Finding
+from repro.analysis.rules import default_rules
+
+__all__ = ["main"]
+
+DEFAULT_BASELINE = "analysis_baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repo-invariant static checker for the repro codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=(
+            "baseline ledger to diff against (default: "
+            f"./{DEFAULT_BASELINE} when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="write the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--stats",
+        metavar="FILE",
+        default=None,
+        help="write per-rule hit counts as JSON (use '-' for stdout)",
+    )
+    parser.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="also fail when the baseline holds stale (fixed) entries",
+    )
+    return parser
+
+
+def _emit_stats(analyzer: Analyzer, destination: str) -> None:
+    document = {
+        "files_scanned": analyzer.files_scanned,
+        "rule_hits": {code: analyzer.stats[code] for code in sorted(analyzer.stats)},
+        "total": sum(analyzer.stats.values()),
+    }
+    payload = json.dumps(document, indent=2) + "\n"
+    if destination == "-":
+        sys.stdout.write(payload)
+    else:
+        Path(destination).write_text(payload, encoding="utf-8")
+
+
+def _emit_findings(findings: List[Finding], output_format: str) -> None:
+    if output_format == "json":
+        sys.stdout.write(
+            json.dumps([f.to_dict() for f in findings], indent=2) + "\n"
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+    paths = [Path(p) for p in options.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path: {missing[0]}")
+
+    analyzer = Analyzer(default_rules())
+    findings = analyzer.run(paths)
+
+    if options.stats:
+        _emit_stats(analyzer, options.stats)
+
+    if options.write_baseline:
+        Baseline.from_findings(findings).dump(Path(options.write_baseline))
+        print(
+            f"wrote baseline with {len(findings)} finding(s) to "
+            f"{options.write_baseline}"
+        )
+        return 0
+
+    baseline: Optional[Baseline] = None
+    if not options.no_baseline:
+        baseline_path: Optional[Path] = None
+        if options.baseline:
+            baseline_path = Path(options.baseline)
+            if not baseline_path.exists():
+                parser.error(f"baseline not found: {baseline_path}")
+        elif Path(DEFAULT_BASELINE).exists():
+            baseline_path = Path(DEFAULT_BASELINE)
+        if baseline_path is not None:
+            baseline = Baseline.load(baseline_path)
+
+    if baseline is None:
+        _emit_findings(findings, options.format)
+        if findings and options.format == "text":
+            print(f"\n{len(findings)} finding(s)", file=sys.stderr)
+        return 1 if findings else 0
+
+    new, stale = baseline.diff(findings)
+    _emit_findings(new, options.format)
+    if options.format == "text":
+        if new:
+            print(
+                f"\n{len(new)} new finding(s) not in baseline "
+                f"({len(findings)} total, "
+                f"{len(findings) - len(new)} baselined)",
+                file=sys.stderr,
+            )
+        if stale:
+            print(
+                f"{len(stale)} stale baseline entr(y/ies) no longer "
+                "observed; re-run with --write-baseline to shrink the "
+                "ledger",
+                file=sys.stderr,
+            )
+    if new:
+        return 1
+    if stale and options.strict_baseline:
+        return 1
+    return 0

@@ -298,7 +298,9 @@ def derive_cfd(
                     absorb(chained, "transitivity", pair)
                     frontier.append(index[chained])
         # finite-domain case analysis on attributes with finite domains
-        for attr in set(a for c in rows for a in c.lhs):
+        # sorted: case-analysis attribute order feeds derivation order,
+        # which reaches the emitted proof steps
+        for attr in sorted({a for c in rows for a in c.lhs}):
             if not schema.domain(attr).is_finite:
                 continue
             group: Dict[PyTuple, List[CFD]] = {}

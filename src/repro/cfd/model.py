@@ -84,10 +84,11 @@ class PatternTuple:
 
     def constants_on(self, attributes: Sequence[str]) -> Dict[str, Any]:
         """The constant positions of tp restricted to ``attributes``."""
+        wanted = set(attributes)
         return {
             a: v
             for a, v in self._values.items()
-            if a in set(attributes) and v is not UNNAMED
+            if a in wanted and v is not UNNAMED
         }
 
     def matches_tuple(self, t: Tuple, attributes: Sequence[str]) -> bool:

@@ -121,6 +121,7 @@ def is_lossless_binary(
 
     (R1, R2) is lossless iff R1 ∩ R2 → R1 or R1 ∩ R2 → R2 is implied.
     """
-    shared = [a for a in left_attrs if a in set(right_attrs)]
+    right = set(right_attrs)
+    shared = [a for a in left_attrs if a in right]
     closed = closure(shared, list(fds))
     return set(left_attrs) <= closed or set(right_attrs) <= closed

@@ -45,9 +45,11 @@ from __future__ import annotations
 
 from collections import Counter
 from typing import (
+    TYPE_CHECKING,
     Any,
     Dict,
     Iterable,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -58,10 +60,13 @@ from typing import (
 from repro.deps.base import Dependency, Violation
 from repro.engine.indexes import key_getter
 from repro.engine.parallel import resolve_shards, stable_shard
-from repro.engine.planner import plan_detection
+from repro.engine.planner import InclusionGroup, ScanGroup, plan_detection
 from repro.errors import DependencyError, ReproError
 from repro.relational.instance import DatabaseInstance, RelationInstance
 from repro.relational.tuples import Tuple
+
+if TYPE_CHECKING:
+    from repro.cfd.detect import DetectionReport
 
 __all__ = [
     "Changeset",
@@ -332,7 +337,7 @@ class ViolationDelta:
         removed: List[Violation],
         undo: Changeset,
         remaining: int,
-    ):
+    ) -> None:
         self.added = added
         self.removed = removed
         self.undo = undo
@@ -426,7 +431,7 @@ class _ScanState:
     def __init__(
         self,
         relation: RelationInstance,
-        scan_group,
+        scan_group: ScanGroup,
         tuples: Optional[Iterable[Tuple]] = None,
     ) -> None:
         self.relation_name = scan_group.relation_name
@@ -464,7 +469,7 @@ class _ScanState:
             if found:
                 self.violations[key] = found
 
-    def iter_found(self):
+    def iter_found(self) -> Iterator[PyTuple[int, Violation]]:
         """All stored (position, violation) entries, per-partition order."""
         for found in self.violations.values():
             yield from found
@@ -580,7 +585,13 @@ class _InclusionRow:
 
     __slots__ = ("position", "dep", "lhs_pat", "yp_key", "reason", "demand", "violating")
 
-    def __init__(self, position: int, dep, lhs_pat: Dict[str, Any], rhs_pat: Dict[str, Any]):
+    def __init__(
+        self,
+        position: int,
+        dep: Dependency,
+        lhs_pat: Dict[str, Any],
+        rhs_pat: Dict[str, Any],
+    ) -> None:
         from repro.cind.model import CIND
 
         self.position = position
@@ -625,7 +636,7 @@ class _InclusionState:
     def __init__(
         self,
         db: DatabaseInstance,
-        inclusion_group,
+        inclusion_group: InclusionGroup,
         shard: Optional[PyTuple[int, int]] = None,
     ) -> None:
         from repro.cind.model import CIND
@@ -827,7 +838,9 @@ class _ShardedScanState:
 
     __slots__ = ("relation_name", "signature", "key_of", "shards", "states")
 
-    def __init__(self, relation: RelationInstance, scan_group, shards: int) -> None:
+    def __init__(
+        self, relation: RelationInstance, scan_group: ScanGroup, shards: int
+    ) -> None:
         self.relation_name = scan_group.relation_name
         self.signature = scan_group.signature
         self.key_of = key_getter(relation.schema, self.signature)
@@ -855,7 +868,7 @@ class _ShardedScanState:
             merged.update(state.violations)
         return merged
 
-    def iter_found(self):
+    def iter_found(self) -> Iterator[PyTuple[int, Violation]]:
         """All stored (position, violation) entries without a merge copy."""
         for state in self.states:
             yield from state.iter_found()
@@ -890,7 +903,9 @@ class _ShardedInclusionState:
 
     __slots__ = ("relation_name", "sources", "states")
 
-    def __init__(self, db: DatabaseInstance, inclusion_group, shards: int) -> None:
+    def __init__(
+        self, db: DatabaseInstance, inclusion_group: InclusionGroup, shards: int
+    ) -> None:
         self.states = [
             _InclusionState(db, inclusion_group, shard=(index, shards))
             for index in range(shards)
@@ -938,7 +953,7 @@ class DeltaEngine:
         db: DatabaseInstance,
         dependencies: Sequence[Dependency],
         shards: Optional[int] = None,
-    ):
+    ) -> None:
         self._db = db
         self._shards = resolve_shards(shards)
         self._plan = plan_detection(dependencies)
@@ -1013,13 +1028,15 @@ class DeltaEngine:
             results[position].extend(found)
         return [v for sub in results for v in sub]
 
-    def report(self):
+    def report(self) -> "DetectionReport":
         """Current violations as a :class:`~repro.cfd.detect.DetectionReport`."""
         from repro.cfd.detect import DetectionReport
 
         return DetectionReport(self.violations())
 
-    def partitions(self, relation_name: str, signature: PyTuple[str, ...]):
+    def partitions(
+        self, relation_name: str, signature: PyTuple[str, ...]
+    ) -> Optional[Dict[tuple, Dict[Tuple, None]]]:
         """The maintained partition map for a tracked scan signature, or
         ``None`` if no scan group uses it.  Values are insertion-ordered
         mappings of tuples (read-only by contract).  With ``shards > 1``

@@ -179,6 +179,8 @@ class RelationIndexes:
                 # Dedupe on code tuples, decode each distinct key once.
                 positions, rows = _code_rows(store, self._relation.schema, attrs)
                 decode = _decoder(store, positions)
+                # repro: allow[REP001] — the set feeds a frozenset, so
+                # iteration order cannot reach any output
                 keys = frozenset(decode(codes) for codes in set(rows))
             else:
                 key_of = self._key_getter(attrs)

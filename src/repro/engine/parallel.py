@@ -595,8 +595,8 @@ class ParallelExecutor:
         try:
             if self._pool is not None:
                 self._pool.terminate()
-        except Exception:
-            pass
+        except Exception:  # repro: allow[REP006] — interpreter-teardown
+            pass  # __del__ must never raise; close() is the real contract
 
     def _prepare(self, db: DatabaseInstance, dependencies: Sequence[Dependency]):
         fingerprint = (

@@ -85,7 +85,7 @@ class ConstraintCodec:
         to_dict: Callable[[Any], Dict[str, Any]],
         from_dict: Callable[[Mapping[str, Any]], Any],
         check: Optional[Callable[[Any, DatabaseSchema], None]] = None,
-    ):
+    ) -> None:
         self.tag = tag
         self.cls = cls
         self.to_dict = to_dict

@@ -51,6 +51,8 @@ class Tuple:
                         f"not in domain {attr.domain.name}"
                     )
         self._values: PyTuple[Any, ...] = ordered
+        # repro: allow[REP001] — cached __hash__ value; placement-only,
+        # set/dict iteration over tuples is sorted wherever it reaches output
         self._hash = hash((schema.name, ordered))
 
     def __getitem__(self, attributes: str | Sequence[str]) -> Any:

@@ -129,7 +129,7 @@ class HostedSession:
         journal: Optional[SessionJournal] = None,
         undo: Optional["OrderedDict[str, Changeset]"] = None,
         undo_counter: int = 0,
-    ):
+    ) -> None:
         self.id = session_id
         self.session = session
         self.lock = threading.Lock()
@@ -146,6 +146,7 @@ class HostedSession:
         self.last_used = time.time()
         self.requests += 1
 
+    # repro: lock-held — verb handlers call this under ``self.lock``
     def remember_undo(self, undo: Changeset) -> str:
         """Store an undo changeset; returns its single-use token.
 
@@ -176,11 +177,13 @@ class HostedSession:
                 f"unknown or already-used undo token {token!r}"
             ) from None
 
+    # repro: lock-held — verb handlers call this under ``self.lock``
     def consume_undo(self, token: str) -> None:
         """Retire a token after its replay succeeded (tokens are
         single-use)."""
         self._undo.pop(token, None)
 
+    # repro: lock-held — verb handlers call this under ``self.lock``
     def clear_undo(self) -> None:
         """Drop every stored token — the instance they were recorded
         against has been replaced (e.g. ``repair(adopt=True)``)."""
@@ -190,6 +193,7 @@ class HostedSession:
         """Copy of the token table + counter, for journal-failure rollback."""
         return list(self._undo.items()), self._undo_counter
 
+    # repro: lock-held — rollback paths call this under ``self.lock``
     def restore_undo_state(
         self, state: Tuple[List[Tuple[str, Changeset]], int]
     ) -> None:
@@ -308,7 +312,7 @@ class SessionManager:
         state_dir: Optional[Path] = None,
         snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
         fsync: bool = True,
-    ):
+    ) -> None:
         if max_sessions < 1:
             raise ReproError("max_sessions must be >= 1")
         self.max_sessions = max_sessions
@@ -620,7 +624,8 @@ class SessionManager:
         if self.store is not None:
             self.store.purge(session_id)
             if hosted is None:
-                self.closed_total += 1
+                with self._lock:
+                    self.closed_total += 1
         return session_id
 
     def close_all(self) -> None:
@@ -708,7 +713,7 @@ class ReproHTTPServer(ThreadingHTTPServer):
         snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
         fsync: bool = True,
         verbose: bool = False,
-    ):
+    ) -> None:
         super().__init__(address, _Handler)
         self.manager = SessionManager(
             max_sessions,

@@ -98,7 +98,7 @@ class RecoveredSession:
         undo: "OrderedDict[str, Changeset]",
         undo_counter: int,
         wal_records: int,
-    ):
+    ) -> None:
         self.session = session
         self.undo = undo
         self.undo_counter = undo_counter
@@ -113,7 +113,9 @@ class SessionJournal:
     serializes the write verbs the journal records).
     """
 
-    def __init__(self, store: "SessionStore", session_id: str, directory: Path):
+    def __init__(
+        self, store: "SessionStore", session_id: str, directory: Path
+    ) -> None:
         self.store = store
         self.session_id = session_id
         self.directory = directory
@@ -312,7 +314,7 @@ class SessionStore:
         root: Path,
         snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
         fsync: bool = True,
-    ):
+    ) -> None:
         if snapshot_every < 1:
             raise ReproError("snapshot_every must be >= 1")
         self.root = Path(root)
@@ -487,13 +489,13 @@ class SessionStore:
         session.mark_clean()
 
         # retire generations the snapshot superseded but a crash left behind
-        for stale in directory.glob("snapshot-*.json"):
+        for stale in sorted(directory.glob("snapshot-*.json")):
             if int(stale.stem.split("-")[1]) < generation:
                 stale.unlink(missing_ok=True)
-        for stale in directory.glob("wal-*.log"):
+        for stale in sorted(directory.glob("wal-*.log")):
             if int(stale.stem.split("-")[1]) < generation:
                 stale.unlink(missing_ok=True)
-        for leftover in directory.glob("*.json.tmp"):
+        for leftover in sorted(directory.glob("*.json.tmp")):
             leftover.unlink(missing_ok=True)
 
         self._count("rehydrated_total")

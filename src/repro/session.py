@@ -25,7 +25,17 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.cfd.detect import DetectionReport, detect_violations
 from repro.cfd.discovery import DiscoveredCFD, discover_cfds
@@ -37,6 +47,11 @@ from repro.errors import RepairError, ReproError, SchemaError
 from repro.relational.csvio import dump_csv, load_csv
 from repro.relational.instance import DatabaseInstance
 from repro.relational.schema import DatabaseSchema
+
+if TYPE_CHECKING:
+    from repro.engine.parallel import ParallelExecutor
+    from repro.repair.models import CostModel
+    from repro.workloads.stream import StreamConfig, StreamReport
 
 __all__ = ["Session", "ViolationReport", "RepairReport"]
 
@@ -107,7 +122,7 @@ class RepairReport:
         residual: ViolationReport,
         passes: Optional[int] = None,
         changes: Optional[Sequence[Any]] = None,
-    ):
+    ) -> None:
         self.strategy = strategy
         self.repaired = repaired
         self.cost = cost
@@ -182,7 +197,7 @@ class Session:
         engine: Optional[DeltaEngine] = None,
         executor: str = "indexed",
         shards: Optional[int] = None,
-    ):
+    ) -> None:
         if executor not in _EXECUTORS:
             raise ReproError(
                 f"unknown executor {executor!r}; expected one of {_EXECUTORS}"
@@ -194,7 +209,8 @@ class Session:
         if engine is not None and engine.database is not db:
             raise ReproError("engine was built over a different database instance")
         self._engine: Optional[DeltaEngine] = engine
-        self._parallel = None  # warm ParallelExecutor, built on first use
+        # warm ParallelExecutor, built on first use
+        self._parallel: Optional["ParallelExecutor"] = None
         self._dirty = False  # mutated since the last mark_clean()
 
     # -- construction ----------------------------------------------------
@@ -301,7 +317,7 @@ class Session:
     def __enter__(self) -> "Session":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     @property
@@ -422,7 +438,7 @@ class Session:
         strategy: str = "u",
         *,
         max_passes: int = 25,
-        cost_model=None,
+        cost_model: Optional["CostModel"] = None,
         limit: int = 100_000,
         adopt: bool = False,
     ) -> RepairReport:
@@ -528,11 +544,11 @@ class Session:
 
     def stream(
         self,
-        config=None,
+        config: Optional["StreamConfig"] = None,
         *,
         batches: Optional[Iterable[Changeset]] = None,
         verify: bool = False,
-    ):
+    ) -> "StreamReport":
         """Feed an edit stream through the delta engine, batch by batch.
 
         ``batches`` may be any iterable of changesets; by default a seeded
@@ -558,10 +574,12 @@ class Session:
         engine = self.engine
         results: List[BatchResult] = []
         for index, batch in enumerate(batches):
-            started = time.perf_counter()
+            started = time.perf_counter()  # repro: allow[REP001]
             delta = engine.apply(batch)
             self._dirty = True
-            elapsed = time.perf_counter() - started
+            # timings are opt-in diagnostics, excluded from the
+            # byte-stable report surface
+            elapsed = time.perf_counter() - started  # repro: allow[REP001]
             results.append(
                 BatchResult(
                     index,

@@ -1,0 +1,56 @@
+"""Helpers for the analyzer fixture corpus.
+
+Fixture trees are materialised under ``tmp_path`` with a ``repro/...``
+layout so the analyzer's module-name scoping (``repro.engine`` etc.)
+resolves exactly as it does against ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro.analysis.core import Analyzer, Finding
+from repro.analysis.rules import default_rules
+
+
+class FixtureTree:
+    """Builds a throwaway ``repro``-shaped source tree and analyzes it."""
+
+    def __init__(self, root: Path):
+        self.root = root
+
+    def write(self, relative: str, source: str) -> Path:
+        path = self.root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        for parent in path.relative_to(self.root).parents:
+            package_init = self.root / parent / "__init__.py"
+            if str(parent) != "." and not package_init.exists():
+                package_init.write_text("", encoding="utf-8")
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return path
+
+    def run(self) -> List[Finding]:
+        analyzer = Analyzer(default_rules())
+        return analyzer.run([self.root])
+
+    def codes(self) -> List[str]:
+        return [finding.code for finding in self.run()]
+
+    def by_code(self) -> Dict[str, List[Finding]]:
+        grouped: Dict[str, List[Finding]] = {}
+        for finding in self.run():
+            grouped.setdefault(finding.code, []).append(finding)
+        return grouped
+
+
+@pytest.fixture
+def tree(tmp_path: Path) -> FixtureTree:
+    # nested one level down: a bare ``repro/`` in the CLI's working
+    # directory would shadow the real package on ``python -m`` runs
+    root = tmp_path / "fixture_src"
+    root.mkdir()
+    return FixtureTree(root)

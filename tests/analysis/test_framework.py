@@ -1,0 +1,234 @@
+"""Framework behavior: pragmas, baseline ratchet semantics, CLI driver."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.core import Analyzer, Baseline, Finding
+from repro.analysis.rules import default_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+# -- pragma suppression ----------------------------------------------------
+
+
+def test_pragma_on_same_line_suppresses(tree):
+    tree.write(
+        "repro/engine/allowed.py",
+        """
+        def emit(rows):
+            return [r for r in {x for x in rows}]  # repro: allow[REP001]
+        """,
+    )
+    assert tree.codes() == []
+
+
+def test_pragma_on_line_above_suppresses(tree):
+    tree.write(
+        "repro/engine/allowed.py",
+        """
+        def emit(rows):
+            # repro: allow[REP001] — order is re-sorted by the caller
+            return [r for r in {x for x in rows}]
+        """,
+    )
+    assert tree.codes() == []
+
+
+def test_pragma_heading_comment_block_suppresses(tree):
+    tree.write(
+        "repro/engine/allowed.py",
+        """
+        def emit(rows):
+            # repro: allow[REP001] — the set feeds a frozenset, so
+            # iteration order cannot reach any output
+            return frozenset(r for r in {x for x in rows})
+        """,
+    )
+    assert tree.codes() == []
+
+
+def test_pragma_only_suppresses_named_code(tree):
+    tree.write(
+        "repro/engine/partial.py",
+        """
+        def emit(rows):
+            # repro: allow[REP006] — wrong code on purpose
+            return [r for r in {x for x in rows}]
+        """,
+    )
+    assert tree.codes() == ["REP001"]
+
+
+def test_pragma_with_multiple_codes(tree):
+    tree.write(
+        "repro/engine/multi.py",
+        """
+        def emit(rows):
+            try:
+                return [r for r in {x for x in rows}]  # repro: allow[REP001, REP006]
+            except Exception:  # repro: allow[REP006] — fixture
+                pass
+        """,
+    )
+    assert tree.codes() == []
+
+
+def test_pragma_does_not_leak_past_code_lines(tree):
+    tree.write(
+        "repro/engine/leak.py",
+        """
+        def emit(rows):
+            # repro: allow[REP001]
+            first = [r for r in {x for x in rows}]
+            second = [r for r in {x for x in rows}]
+            return first + second
+        """,
+    )
+    assert tree.codes() == ["REP001"]
+
+
+# -- baseline semantics ----------------------------------------------------
+
+
+def _finding(code="REP001", path="repro/engine/x.py", line=3, message="m"):
+    return Finding(code, path, line, 1, message)
+
+
+def test_baseline_roundtrip(tmp_path):
+    findings = [_finding(), _finding(line=9), _finding(code="REP006")]
+    baseline = Baseline.from_findings(findings)
+    target = tmp_path / "baseline.json"
+    baseline.dump(target)
+    loaded = Baseline.load(target)
+    assert loaded.counts == baseline.counts
+    document = json.loads(target.read_text())
+    assert document["version"] == 1
+    # identical (path, code, message) findings aggregate by count
+    assert {e["count"] for e in document["findings"]} == {1, 2}
+
+
+def test_baseline_masks_known_findings_and_reports_new():
+    known = [_finding(), _finding(code="REP006")]
+    baseline = Baseline.from_findings(known)
+    new_finding = _finding(message="something else")
+    new, stale = baseline.diff([known[0], new_finding])
+    assert new == [new_finding]
+    assert stale == [("repro/engine/x.py", "REP006", "m")]
+
+
+def test_baseline_count_ratchet():
+    # two identical findings baselined; a third occurrence is new
+    baseline = Baseline.from_findings([_finding(), _finding()])
+    new, stale = baseline.diff([_finding(), _finding(), _finding()])
+    assert len(new) == 1
+    assert stale == []
+
+
+def test_baseline_line_moves_do_not_churn():
+    baseline = Baseline.from_findings([_finding(line=3)])
+    new, stale = baseline.diff([_finding(line=300)])
+    assert new == []
+    assert stale == []
+
+
+# -- CLI driver ------------------------------------------------------------
+
+
+def _run_cli(*argv, cwd):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_cli_exit_codes_and_json(tree, tmp_path):
+    tree.write(
+        "repro/engine/bad.py",
+        """
+        def emit(rows):
+            return [r for r in {x for x in rows}]
+        """,
+    )
+    result = _run_cli(
+        "fixture_src/repro", "--no-baseline", "--format", "json", cwd=tmp_path
+    )
+    assert result.returncode == 1
+    findings = json.loads(result.stdout)
+    assert findings and findings[0]["code"] == "REP001"
+
+    # write a baseline, then the same tree checks out clean against it
+    result = _run_cli(
+        "fixture_src/repro", "--write-baseline", "base.json", cwd=tmp_path
+    )
+    assert result.returncode == 0
+    result = _run_cli(
+        "fixture_src/repro", "--baseline", "base.json", cwd=tmp_path
+    )
+    assert result.returncode == 0
+
+    # a fresh finding fails the baseline check
+    tree.write(
+        "repro/engine/worse.py",
+        """
+        def emit(rows):
+            return [r for r in {x for x in rows}]
+        """,
+    )
+    result = _run_cli(
+        "fixture_src/repro", "--baseline", "base.json", cwd=tmp_path
+    )
+    assert result.returncode == 1
+    assert "new finding" in result.stderr
+
+
+def test_cli_stats_output(tree, tmp_path):
+    tree.write(
+        "repro/engine/bad.py",
+        """
+        def emit(rows):
+            try:
+                return [r for r in {x for x in rows}]
+            except Exception:
+                pass
+        """,
+    )
+    stats_file = tmp_path / "stats.json"
+    result = _run_cli(
+        "fixture_src/repro",
+        "--no-baseline",
+        "--stats",
+        str(stats_file),
+        cwd=tmp_path,
+    )
+    assert result.returncode == 1
+    stats = json.loads(stats_file.read_text())
+    assert stats["rule_hits"]["REP001"] == 1
+    assert stats["rule_hits"]["REP006"] == 1
+    assert stats["total"] == 2
+    assert stats["files_scanned"] >= 1
+
+
+def test_cli_missing_path_is_usage_error(tmp_path):
+    result = _run_cli("no/such/dir", cwd=tmp_path)
+    assert result.returncode == 2
+
+
+def test_analyzer_stats_exclude_pragma_suppressed(tree):
+    tree.write(
+        "repro/engine/allowed.py",
+        """
+        def emit(rows):
+            return [r for r in {x for x in rows}]  # repro: allow[REP001]
+        """,
+    )
+    analyzer = Analyzer(default_rules())
+    assert analyzer.run([tree.root]) == []
+    assert analyzer.stats["REP001"] == 0

@@ -1,0 +1,102 @@
+"""Regression: the shipped ``src/repro`` tree stays clean modulo the
+committed baseline, and reintroducing a known-bad pattern fails."""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+from repro.analysis.core import Analyzer, Baseline
+from repro.analysis.rules import default_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / "analysis_baseline.json"
+
+
+def _run(paths):
+    analyzer = Analyzer(default_rules())
+    return analyzer.run(paths)
+
+
+def test_live_tree_clean_modulo_baseline():
+    findings = _run([SRC])
+    baseline = Baseline.load(BASELINE)
+    new, _stale = baseline.diff(findings)
+    assert new == [], "new analyzer findings in src/repro:\n" + "\n".join(
+        f.render() for f in new
+    )
+
+
+def test_live_tree_covers_all_modules():
+    analyzer = Analyzer(default_rules())
+    analyzer.run([SRC])
+    # the whole package is scanned, not a subset
+    assert analyzer.files_scanned >= 80
+
+
+def _copy_live_module(tmp_path: Path, relative: str) -> Path:
+    """Copy one live module into a repro-shaped tree for mutation."""
+    target = tmp_path / "repro" / relative
+    target.parent.mkdir(parents=True, exist_ok=True)
+    current = target.parent
+    while current != tmp_path:
+        init = current / "__init__.py"
+        if not init.exists():
+            init.write_text("", encoding="utf-8")
+        current = current.parent
+    shutil.copy(SRC / relative, target)
+    return target
+
+
+def test_reintroducing_raw_write_bypass_fails(tmp_path):
+    """The PR-7-era pattern: server code writing state files directly."""
+    target = _copy_live_module(tmp_path, "server/__init__.py")
+    source = target.read_text(encoding="utf-8")
+    needle = "def make_server("
+    assert needle in source
+    patched = source.replace(
+        needle,
+        "def _stash_state(path, payload):\n"
+        '    path.write_text(payload, encoding="utf-8")\n'
+        "\n\n" + needle,
+        1,
+    )
+    target.write_text(patched, encoding="utf-8")
+    findings = _run([tmp_path / "repro"])
+    assert any(
+        f.code == "REP003" and "write_text" in f.message for f in findings
+    )
+
+
+def test_reintroducing_unsorted_set_iteration_fails(tmp_path):
+    """An unsorted set iteration in a report path must be flagged."""
+    target = _copy_live_module(tmp_path, "engine/indexes.py")
+    source = target.read_text(encoding="utf-8")
+    patched = source + (
+        "\n\ndef _emit_unsorted(keys):\n"
+        "    return [k for k in set(keys)]\n"
+    )
+    target.write_text(patched, encoding="utf-8")
+    findings = _run([tmp_path / "repro"])
+    assert any(
+        f.code == "REP001" and "set" in f.message for f in findings
+    )
+
+
+def test_reintroducing_unlocked_mutation_fails(tmp_path):
+    target = _copy_live_module(tmp_path, "server/__init__.py")
+    source = target.read_text(encoding="utf-8")
+    needle = "    def touch(self) -> None:"
+    assert needle in source
+    patched = source.replace(
+        needle,
+        "    def bump_unlocked(self) -> None:\n"
+        "        self.closed_total += 1\n\n" + needle,
+        1,
+    )
+    target.write_text(patched, encoding="utf-8")
+    findings = _run([tmp_path / "repro"])
+    assert any(
+        f.code == "REP002" and "closed_total" in f.message for f in findings
+    )

@@ -1,0 +1,534 @@
+"""Per-rule fixture corpus: one triggering and one clean snippet each."""
+
+from __future__ import annotations
+
+
+# -- REP001 determinism ----------------------------------------------------
+
+
+def test_rep001_flags_set_iteration_in_engine(tree):
+    tree.write(
+        "repro/engine/bad.py",
+        """
+        def emit(rows):
+            out = []
+            for row in {r for r in rows}:
+                out.append(row)
+            return out
+        """,
+    )
+    assert "REP001" in tree.codes()
+
+
+def test_rep001_sorted_set_iteration_is_clean(tree):
+    tree.write(
+        "repro/engine/good.py",
+        """
+        def emit(rows):
+            out = []
+            for row in sorted({r for r in rows}):
+                out.append(row)
+            return out
+        """,
+    )
+    assert tree.codes() == []
+
+
+def test_rep001_flags_dict_keys_iteration(tree):
+    tree.write(
+        "repro/relational/bad.py",
+        """
+        def names(columns):
+            return [k for k in columns.keys()]
+        """,
+    )
+    assert "REP001" in tree.codes()
+
+
+def test_rep001_flags_unsorted_glob(tree):
+    tree.write(
+        "repro/engine/loader.py",
+        """
+        def load(directory):
+            return [p.name for p in directory.glob("*.csv")]
+        """,
+    )
+    findings = tree.by_code()["REP001"]
+    assert any("glob" in f.message for f in findings)
+
+
+def test_rep001_sorted_glob_is_clean(tree):
+    tree.write(
+        "repro/engine/loader.py",
+        """
+        def load(directory):
+            return [p.name for p in sorted(directory.glob("*.csv"))]
+        """,
+    )
+    assert tree.codes() == []
+
+
+def test_rep001_flags_membership_against_rebuilt_set(tree):
+    tree.write(
+        "repro/deps/bad.py",
+        """
+        def shared(left, right):
+            return [a for a in left if a in set(right)]
+        """,
+    )
+    findings = tree.by_code()["REP001"]
+    assert any("rebuilt" in f.message for f in findings)
+
+
+def test_rep001_hoisted_membership_set_is_clean(tree):
+    tree.write(
+        "repro/deps/good.py",
+        """
+        def shared(left, right):
+            members = set(right)
+            return [a for a in left if a in members]
+        """,
+    )
+    assert tree.codes() == []
+
+
+def test_rep001_flags_clock_and_hash_in_engine(tree):
+    tree.write(
+        "repro/engine/clocky.py",
+        """
+        import time
+
+
+        def stamp(name):
+            return (time.time(), hash(name))
+        """,
+    )
+    findings = tree.by_code()["REP001"]
+    assert any("time.time" in f.message for f in findings)
+    assert any("hash()" in f.message for f in findings)
+
+
+def test_rep001_hash_inside_dunder_hash_is_clean(tree):
+    tree.write(
+        "repro/relational/hashy.py",
+        """
+        class Key:
+            def __init__(self, parts):
+                self._parts = parts
+
+            def __hash__(self):
+                return hash(self._parts)
+        """,
+    )
+    assert tree.codes() == []
+
+
+def test_rep001_workloads_are_exempt(tree):
+    tree.write(
+        "repro/workloads/gen.py",
+        """
+        import random
+
+
+        def noise(rows):
+            for row in {r for r in rows}:
+                yield random.random()
+        """,
+    )
+    assert tree.codes() == []
+
+
+# -- REP002 lock discipline ------------------------------------------------
+
+
+def test_rep002_flags_unlocked_mutation(tree):
+    tree.write(
+        "repro/server/manager.py",
+        """
+        class SessionManager:
+            def evict(self, session_id):
+                self._sessions.pop(session_id, None)
+                self.evicted_total += 1
+        """,
+    )
+    assert tree.codes().count("REP002") == 2
+
+
+def test_rep002_with_lock_scope_is_clean(tree):
+    tree.write(
+        "repro/server/manager.py",
+        """
+        class SessionManager:
+            def evict(self, session_id):
+                with self._lock:
+                    self._sessions.pop(session_id, None)
+                    self.evicted_total += 1
+        """,
+    )
+    assert tree.codes() == []
+
+
+def test_rep002_lock_held_marker_is_clean(tree):
+    tree.write(
+        "repro/server/manager.py",
+        """
+        class SessionManager:
+            # repro: lock-held — callers own self._lock
+            def evict_locked(self, session_id):
+                self._sessions.pop(session_id, None)
+        """,
+    )
+    assert tree.codes() == []
+
+
+def test_rep002_init_is_exempt(tree):
+    tree.write(
+        "repro/server/manager.py",
+        """
+        class SessionManager:
+            def __init__(self):
+                self._sessions = {}
+                self.evicted_total = 0
+        """,
+    )
+    assert tree.codes() == []
+
+
+# -- REP003 durability ordering --------------------------------------------
+
+
+def test_rep003_flags_handler_without_persist(tree):
+    tree.write(
+        "repro/server/handlers.py",
+        """
+        def _handle_apply(hosted, body):
+            delta = hosted.session.apply(body)
+            token = hosted.remember_undo(delta.undo)
+            return 200, {"undo_token": token}
+        """,
+    )
+    findings = tree.by_code()["REP003"]
+    assert any("never calls a persist_*" in f.message for f in findings)
+
+
+def test_rep003_flags_mutation_after_last_persist(tree):
+    tree.write(
+        "repro/server/handlers.py",
+        """
+        def _handle_apply(hosted, body):
+            delta = hosted.session.apply(body)
+            try:
+                hosted.persist_apply(delta, "t")
+            except BaseException:
+                raise
+            token = hosted.remember_undo(delta.undo)
+            return 200, {"undo_token": token}
+        """,
+    )
+    findings = tree.by_code()["REP003"]
+    assert any("after the last persist_*" in f.message for f in findings)
+
+
+def test_rep003_flags_unguarded_persist(tree):
+    tree.write(
+        "repro/server/handlers.py",
+        """
+        def _handle_apply(hosted, body):
+            delta = hosted.session.apply(body)
+            hosted.persist_apply(delta, "t")
+            return 200, {}
+        """,
+    )
+    findings = tree.by_code()["REP003"]
+    assert any("re-raises" in f.message for f in findings)
+
+
+def test_rep003_canonical_handler_shape_is_clean(tree):
+    tree.write(
+        "repro/server/handlers.py",
+        """
+        def _handle_apply(hosted, body):
+            delta = hosted.session.apply(body)
+            token = hosted.remember_undo(delta.undo)
+            try:
+                hosted.persist_apply(delta, token)
+            except BaseException:
+                hosted.session.apply(delta.undo)
+                raise
+            return 200, {"undo_token": token}
+        """,
+    )
+    assert "REP003" not in tree.codes()
+
+
+def test_rep003_flags_raw_write_bypassing_journal(tree):
+    tree.write(
+        "repro/server/sneaky.py",
+        """
+        import os
+        import shutil
+
+
+        def stash(path, payload, root):
+            path.write_text(payload)
+            shutil.rmtree(root)
+            os.remove(path)
+            with open(path, "w") as handle:
+                handle.write(payload)
+        """,
+    )
+    assert tree.codes().count("REP003") == 4
+
+
+def test_rep003_durability_module_itself_may_write(tree):
+    tree.write(
+        "repro/server/durability.py",
+        """
+        def write_snapshot(path, payload):
+            path.write_text(payload)
+        """,
+    )
+    assert "REP003" not in tree.codes()
+
+
+def test_rep003_non_fs_remove_and_read_open_are_clean(tree):
+    tree.write(
+        "repro/server/ok.py",
+        """
+        def close(manager, session_id, path):
+            manager.remove(session_id)
+            with open(path) as handle:
+                return handle.read()
+        """,
+    )
+    assert "REP003" not in tree.codes()
+
+
+# -- REP004 registry completeness ------------------------------------------
+
+
+def test_rep004_flags_unregistered_concrete_dependency(tree):
+    tree.write(
+        "repro/deps/base.py",
+        """
+        from abc import ABC, abstractmethod
+
+
+        class Dependency(ABC):
+            @abstractmethod
+            def violations(self):
+                ...
+        """,
+    )
+    tree.write(
+        "repro/deps/orphan.py",
+        """
+        from repro.deps.base import Dependency
+
+
+        class OrphanConstraint(Dependency):
+            def violations(self):
+                return []
+        """,
+    )
+    findings = tree.by_code()["REP004"]
+    assert any("OrphanConstraint" in f.message for f in findings)
+
+
+def test_rep004_registered_subclass_is_clean(tree):
+    tree.write(
+        "repro/deps/base.py",
+        """
+        from abc import ABC, abstractmethod
+
+
+        class Dependency(ABC):
+            @abstractmethod
+            def violations(self):
+                ...
+
+
+        class FD(Dependency):
+            def violations(self):
+                return []
+        """,
+    )
+    tree.write(
+        "repro/registry.py",
+        """
+        from repro.deps.base import FD
+
+
+        class ConstraintCodec:
+            def __init__(self, tag, cls, to_dict, from_dict):
+                self.tag = tag
+                self.cls = cls
+
+
+        CODEC = ConstraintCodec("fd", FD, None, None)
+        """,
+    )
+    assert "REP004" not in tree.codes()
+
+
+def test_rep004_abstract_intermediate_is_exempt(tree):
+    tree.write(
+        "repro/deps/base.py",
+        """
+        from abc import ABC, abstractmethod
+
+
+        class Dependency(ABC):
+            @abstractmethod
+            def violations(self):
+                ...
+
+
+        class Conditional(Dependency):
+            @abstractmethod
+            def tableau(self):
+                ...
+        """,
+    )
+    assert "REP004" not in tree.codes()
+
+
+# -- REP005 fork safety ----------------------------------------------------
+
+
+def test_rep005_flags_import_time_lock_in_worker_closure(tree):
+    tree.write(
+        "repro/engine/parallel.py",
+        """
+        from repro.engine import shared
+        """,
+    )
+    tree.write(
+        "repro/engine/shared.py",
+        """
+        import threading
+
+        _LOCK = threading.Lock()
+        """,
+    )
+    findings = tree.by_code()["REP005"]
+    assert any("threading.Lock" in f.message for f in findings)
+
+
+def test_rep005_class_body_socket_is_flagged(tree):
+    tree.write(
+        "repro/engine/parallel.py",
+        """
+        import socket
+
+
+        class Worker:
+            channel = socket.socket()
+        """,
+    )
+    assert "REP005" in tree.codes()
+
+
+def test_rep005_lazy_creation_is_clean(tree):
+    tree.write(
+        "repro/engine/parallel.py",
+        """
+        import threading
+        from repro.engine import shared
+
+
+        def make_lock():
+            return threading.Lock()
+        """,
+    )
+    tree.write(
+        "repro/engine/shared.py",
+        """
+        import threading
+
+
+        def helper():
+            return threading.RLock()
+        """,
+    )
+    assert tree.codes() == []
+
+
+def test_rep005_module_outside_closure_is_exempt(tree):
+    tree.write(
+        "repro/engine/parallel.py",
+        """
+        def run():
+            return None
+        """,
+    )
+    tree.write(
+        "repro/server/standalone.py",
+        """
+        import threading
+
+        _LOCK = threading.Lock()
+        """,
+    )
+    assert "REP005" not in tree.codes()
+
+
+# -- REP006 exception hygiene ----------------------------------------------
+
+
+def test_rep006_flags_bare_except(tree):
+    tree.write(
+        "repro/engine/swallow.py",
+        """
+        def run(step):
+            try:
+                step()
+            except:
+                return None
+        """,
+    )
+    findings = tree.by_code()["REP006"]
+    assert any("bare" in f.message for f in findings)
+
+
+def test_rep006_flags_swallowed_blanket_except(tree):
+    tree.write(
+        "repro/server/swallow.py",
+        """
+        def run(step):
+            try:
+                step()
+            except Exception:
+                pass
+        """,
+    )
+    assert "REP006" in tree.codes()
+
+
+def test_rep006_reraising_blanket_except_is_clean(tree):
+    tree.write(
+        "repro/engine/ok.py",
+        """
+        def run(step, engine):
+            try:
+                step()
+            except Exception:
+                engine.refresh()
+                raise
+        """,
+    )
+    assert tree.codes() == []
+
+
+def test_rep006_typed_except_is_clean(tree):
+    tree.write(
+        "repro/engine/ok.py",
+        """
+        def run(step):
+            try:
+                step()
+            except ValueError:
+                pass
+        """,
+    )
+    assert tree.codes() == []
