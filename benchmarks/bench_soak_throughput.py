@@ -1,0 +1,120 @@
+"""SOAK — multi-tenant verified throughput under driver concurrency.
+
+Every operation the soak driver issues is shadow-modelled and the final
+state of every tenant is byte-verified against an offline replay, so the
+numbers here are *verified* ops/s — the rate at which the server can
+absorb mixed multi-tenant traffic while the harness proves it never
+diverged.  The sweep scales the driver worker count over one in-process
+server with eviction pressure (``max_sessions`` below the tenant count),
+which is the serving configuration the soak exists to stress.
+
+This benchmark is an operational artifact, not a regression gate: soak
+throughput moves with host load and scheduler noise, so it is *not*
+wired into ``check_bench_regression.py``.  Run standalone to produce
+``BENCH_soak.json``:
+
+    python benchmarks/bench_soak_throughput.py [--out BENCH_soak.json]
+    python benchmarks/bench_soak_throughput.py --smoke   # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+if __name__ == "__main__":  # allow running without an installed package
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.workloads.soak import InProcessServer, SoakConfig, run_soak
+
+WORKER_SWEEP = [1, 4, 8]
+
+
+def _bench_workers(
+    workers: int, tenants: int, ops: int, max_sessions: int
+) -> Dict[str, Any]:
+    config = SoakConfig(
+        tenants=tenants,
+        ops=ops,
+        seed=11,
+        workers=workers,
+        restarts=0,
+        max_sessions=max_sessions,
+        verify_every=25,
+    )
+    server = InProcessServer(port=0, max_sessions=max_sessions)
+    try:
+        report = run_soak(config, server)
+    finally:
+        server.close()
+    if not report.ok:
+        raise SystemExit(
+            f"soak diverged during benchmark: {report.error or report.divergence}"
+        )
+    return {
+        "workers": workers,
+        "tenants": tenants,
+        "ops": ops,
+        "max_sessions": max_sessions,
+        "elapsed_seconds": report.elapsed_seconds,
+        "ops_per_second": ops / report.elapsed_seconds,
+        "applied_rows": report.counters.get("applied_ops", 0),
+        "verifications": report.counters.get("verifications", 0),
+        "evictions_rebuilt": report.counters.get("evictions_rebuilt", 0),
+        "counters": dict(report.counters),
+    }
+
+
+def run(sweep: List[int], tenants: int, ops: int, max_sessions: int) -> Dict[str, Any]:
+    series = [
+        _bench_workers(workers, tenants, ops, max_sessions)
+        for workers in sweep
+    ]
+    base = series[0]["ops_per_second"]
+    return {
+        "benchmark": "soak_throughput",
+        "workload": "verified multi-tenant soak over HTTP (in-process server)",
+        "worker_sweep": sweep,
+        "series": series,
+        "peak_ops_per_second": max(e["ops_per_second"] for e in series),
+        "scaling_vs_one_worker": [
+            e["ops_per_second"] / base for e in series
+        ],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_soak.json")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="few tenants / few ops (CI smoke; artifact only, never gated)",
+    )
+    parser.add_argument("--tenants", type=int, default=None)
+    parser.add_argument("--ops", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    tenants = args.tenants or (8 if args.smoke else 64)
+    ops = args.ops or (120 if args.smoke else 1_500)
+    max_sessions = max(3, tenants // 4)
+    sweep = [1, 4] if args.smoke else WORKER_SWEEP
+
+    document = run(sweep, tenants, ops, max_sessions)
+    Path(args.out).write_text(json.dumps(document, indent=2) + "\n")
+    for entry in document["series"]:
+        print(
+            f"{entry['workers']:>2} workers: "
+            f"{entry['ops_per_second']:8.1f} verified ops/s "
+            f"({entry['elapsed_seconds']:.2f}s, "
+            f"{entry['evictions_rebuilt']} rebuilds)"
+        )
+    print(f"peak {document['peak_ops_per_second']:.1f} verified ops/s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,12 @@ so its document is deterministic too.
 (:mod:`repro.server`): many named warm sessions behind
 create/detect/apply/repair/rules endpoints, with ``/healthz`` and
 ``/metrics`` for operations.  See ``docs/server.md``.
+
+``soak`` drives a spawned (or ``--url``) server with seeded multi-tenant
+load — Zipf-skewed traffic, bursty edit batches, eviction pressure and
+SIGKILL crash/restart cycles — while byte-verifying every tenant's
+served detect document against an offline replay
+(:mod:`repro.workloads.soak`).  Exit 0 means zero byte divergences.
 """
 
 from __future__ import annotations
@@ -175,7 +181,77 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--degraded-after",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "consecutive 5xx handler failures before a session is gated "
+            "degraded (503 until a recovery probe succeeds; 0 disables; "
+            "default: 5)"
+        ),
+    )
+    serve.add_argument(
         "--quiet", action="store_true", help="suppress per-request log lines"
+    )
+
+    soak = sub.add_parser(
+        "soak",
+        help=(
+            "multi-tenant soak: seeded load over real HTTP with live "
+            "byte-verification against offline replay"
+        ),
+    )
+    soak.add_argument(
+        "--smoke",
+        action="store_true",
+        help="the ~30s CI preset (16 tenants, 1 crash/restart cycle)",
+    )
+    soak.add_argument("--tenants", type=int, default=None, metavar="N")
+    soak.add_argument("--ops", type=int, default=None, metavar="N")
+    soak.add_argument("--seed", type=int, default=None)
+    soak.add_argument("--workers", type=int, default=None, metavar="N")
+    soak.add_argument(
+        "--restarts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="SIGKILL crash/restart cycles mid-run (default: 1)",
+    )
+    soak.add_argument(
+        "--max-sessions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="server residency cap; small values force eviction churn",
+    )
+    soak.add_argument(
+        "--verify-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="ops per tenant between online verification checkpoints",
+    )
+    soak.add_argument(
+        "--degraded-after", type=int, default=None, metavar="K"
+    )
+    soak.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="durable state dir for the spawned server (default: a tempdir)",
+    )
+    soak.add_argument(
+        "--url",
+        default=None,
+        help="soak an already-running server instead of spawning one",
+    )
+    soak.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="write report.json, reproducer, diagnostics and a Prometheus "
+        "scrape under DIR",
     )
 
     stream = sub.add_parser(
@@ -341,7 +417,11 @@ def _cmd_stream(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.server import DEFAULT_SNAPSHOT_EVERY, serve
+    from repro.server import (
+        DEFAULT_DEGRADED_AFTER,
+        DEFAULT_SNAPSHOT_EVERY,
+        serve,
+    )
 
     if args.snapshot_every is not None and args.state_dir is None:
         raise SystemExit("--snapshot-every requires --state-dir")
@@ -356,8 +436,21 @@ def _cmd_serve(args) -> int:
             if args.snapshot_every is not None
             else DEFAULT_SNAPSHOT_EVERY
         ),
+        degraded_after=(
+            args.degraded_after
+            if args.degraded_after is not None
+            else DEFAULT_DEGRADED_AFTER
+        ),
         verbose=not args.quiet,
     )
+
+
+def _cmd_soak(args) -> int:
+    # all clock/randomness lives in repro.workloads.soak; the CLI module
+    # stays deterministic (the static checker's REP001 scope)
+    from repro.workloads.soak import run_from_args
+
+    return run_from_args(args)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -368,6 +461,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "discover": _cmd_discover,
         "stream": _cmd_stream,
         "serve": _cmd_serve,
+        "soak": _cmd_soak,
     }
     return handlers[args.command](args)
 

@@ -24,6 +24,7 @@ round-trip and ``benchmarks/bench_server_throughput.py``.
 from __future__ import annotations
 
 import json
+from http.client import HTTPException
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 from urllib.error import HTTPError, URLError
 from urllib.request import Request, urlopen
@@ -32,18 +33,37 @@ from repro.errors import ReproError
 
 __all__ = ["ServerClient", "ServerError"]
 
+#: HTTP statuses that signal a transient server-side condition: the request
+#: may well succeed if simply retried (503 is what degraded sessions answer).
+_RETRIABLE_STATUSES = frozenset({502, 503, 504})
+
 
 class ServerError(ReproError):
     """A non-2xx response from the server (or no response at all).
 
     ``status`` is the HTTP status code (0 when the server was unreachable),
-    ``kind`` the server-side exception class name when one was reported.
+    ``kind`` the server-side exception class name when one was reported,
+    ``document`` the parsed error body (``{}`` when there was none), and
+    ``retriable`` whether retrying the same request can plausibly succeed:
+    transport failures (connection refused/reset, torn responses) and
+    502/503/504 responses are retriable, everything else is not.
     """
 
-    def __init__(self, message: str, status: int = 0, kind: str = ""):
+    def __init__(
+        self,
+        message: str,
+        status: int = 0,
+        kind: str = "",
+        retriable: Optional[bool] = None,
+        document: Optional[Mapping[str, Any]] = None,
+    ):
         super().__init__(message)
         self.status = status
         self.kind = kind
+        self.document: Dict[str, Any] = dict(document or {})
+        if retriable is None:
+            retriable = status == 0 or status in _RETRIABLE_STATUSES
+        self.retriable = retriable
 
 
 class ServerClient:
@@ -70,8 +90,11 @@ class ServerClient:
                 return json.loads(response.read())
         except HTTPError as exc:
             raw = exc.read()
+            document: Dict[str, Any] = {}
             try:
-                document = json.loads(raw)
+                parsed = json.loads(raw)
+                if isinstance(parsed, dict):
+                    document = parsed
                 message = document.get("error", raw.decode("utf-8", "replace"))
                 kind = document.get("type", "")
             except (json.JSONDecodeError, AttributeError):
@@ -81,11 +104,30 @@ class ServerClient:
                 f"{method} {path} -> {exc.code}: {message}",
                 status=exc.code,
                 kind=kind,
+                document=document,
             ) from None
         except URLError as exc:
             raise ServerError(
                 f"{method} {path}: server unreachable at {self.base_url} "
-                f"({exc.reason})"
+                f"({exc.reason})",
+                retriable=True,
+            ) from None
+        except (HTTPException, OSError) as exc:
+            # urllib leaks raw socket/protocol errors raised *after* the
+            # connection is up (RemoteDisconnected, ConnectionResetError,
+            # IncompleteRead, timeouts) — same failure class as URLError.
+            raise ServerError(
+                f"{method} {path}: transport failure talking to "
+                f"{self.base_url} ({exc!r})",
+                retriable=True,
+            ) from None
+        except json.JSONDecodeError as exc:
+            # A torn/truncated 2xx body (e.g. the server was SIGKILLed
+            # mid-response) is a transport failure, not a client bug.
+            raise ServerError(
+                f"{method} {path}: invalid JSON in response from "
+                f"{self.base_url} ({exc})",
+                retriable=True,
             ) from None
 
     # -- service ---------------------------------------------------------
@@ -96,8 +138,33 @@ class ServerClient:
     def metrics(self) -> Dict[str, Any]:
         return self._request("GET", "/metrics")
 
+    def prometheus_metrics(self) -> str:
+        """``GET /metrics?format=prometheus`` — the text exposition format."""
+        url = f"{self.base_url}/metrics?format=prometheus"
+        request = Request(url, headers={"Accept": "text/plain"}, method="GET")
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except HTTPError as exc:
+            raise ServerError(
+                f"GET /metrics?format=prometheus -> {exc.code}",
+                status=exc.code,
+            ) from None
+        except (URLError, HTTPException, OSError) as exc:
+            raise ServerError(
+                f"GET /metrics?format=prometheus: transport failure "
+                f"({exc!r})",
+                retriable=True,
+            ) from None
+
     def wait_ready(self, attempts: int = 50, delay: float = 0.1) -> Dict[str, Any]:
-        """Poll ``/healthz`` until the server answers (boot synchronizer)."""
+        """Poll ``/healthz`` until the server answers (boot synchronizer).
+
+        Only *retriable* failures (connection refused while the listener
+        boots, transient 503s) keep the poll going; a definitive error —
+        say a 404 because the URL points at something else entirely — is
+        raised immediately.
+        """
         import time
 
         last: Optional[ServerError] = None
@@ -105,6 +172,8 @@ class ServerClient:
             try:
                 return self.healthz()
             except ServerError as exc:
+                if not exc.retriable:
+                    raise
                 last = exc
                 time.sleep(delay)
         raise ServerError(
@@ -155,6 +224,11 @@ class ServerClient:
 
     def session_info(self, session_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/sessions/{session_id}")
+
+    def diagnostics(self, session_id: str) -> Dict[str, Any]:
+        """Per-session diagnostics: engine/delta stats, lock waits,
+        durability generation and WAL depth, degraded state."""
+        return self._request("GET", f"/sessions/{session_id}/diagnostics")
 
     def delete_session(self, session_id: str) -> Dict[str, Any]:
         return self._request("DELETE", f"/sessions/{session_id}")

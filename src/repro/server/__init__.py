@@ -29,6 +29,7 @@ Endpoints (see ``docs/server.md`` for the full wire format):
 ===========================  ==============================================
 ``GET  /healthz``            liveness + open-session count
 ``GET  /metrics``            request counts, per-endpoint latency, cache stats
+``GET  /metrics?format=prometheus``  the same document, text exposition format
 ``GET  /sessions``           list hosted sessions
 ``POST /sessions``           create a session (inline docs or server paths)
 ``GET  /sessions/{id}``      one session's info document
@@ -38,7 +39,13 @@ Endpoints (see ``docs/server.md`` for the full wire format):
 ``POST /sessions/{id}/undo``    replay a stored undo token
 ``POST /sessions/{id}/repair``  repair (strategy u|x|s) → repair report doc
 ``GET/PUT/POST /sessions/{id}/rules``  registry round-trip of the rule set
+``GET  /sessions/{id}/diagnostics``  engine/delta/lock/durability deep dive
 ===========================  ==============================================
+
+A session that fails ``degraded_after`` consecutive times server-side is
+*degraded*: it answers 503 ``{"degraded": ...}`` while one request at a
+time runs the verb as a recovery probe — the first success clears the
+state (see ``docs/server.md`` § Ops).
 
 Start one from Python (tests, benchmarks)::
 
@@ -58,8 +65,8 @@ import time
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Tuple
-from urllib.parse import urlsplit
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlsplit
 
 from repro.engine.delta import Changeset, StaleEngineError
 from repro.errors import (
@@ -77,6 +84,7 @@ from repro.server.durability import (
     SessionJournal,
     SessionStore,
 )
+from repro.server.metrics import LATENCY_BUCKETS, prometheus_text
 from repro.session import Session
 
 __all__ = [
@@ -84,6 +92,8 @@ __all__ = [
     "SessionManager",
     "HostedSession",
     "UnknownSessionError",
+    "SessionDegradedError",
+    "DEFAULT_DEGRADED_AFTER",
     "MAX_UNDO_TOKENS",
     "DEFAULT_SNAPSHOT_EVERY",
     "SessionJournal",
@@ -92,6 +102,23 @@ __all__ = [
     "serve",
 ]
 
+#: consecutive server-side handler failures before a session is degraded
+DEFAULT_DEGRADED_AFTER = 5
+
+#: a lock acquired slower than this waited on another request (an
+#: uncontended ``threading.Lock`` acquires in well under a microsecond)
+_CONTENDED_LOCK_WAIT = 0.001
+
+#: DeltaStats counters aggregated into /metrics and per-session diagnostics
+_DELTA_STAT_FIELDS = (
+    "batches",
+    "ops_applied",
+    "keys_patched",
+    "keys_reevaluated",
+    "inclusion_keys_touched",
+    "fallback_rescans",
+)
+
 
 class UnknownSessionError(ReproError):
     """No hosted session under the requested id (HTTP 404)."""
@@ -99,6 +126,20 @@ class UnknownSessionError(ReproError):
 
 class DuplicateSessionError(ReproError):
     """A session with the requested id already exists (HTTP 409)."""
+
+
+class SessionDegradedError(ReproError):
+    """The session is degraded; the verb was not run (HTTP 503).
+
+    ``document`` is the degraded-state body merged into the error
+    response under ``"degraded"``.
+    """
+
+    def __init__(
+        self, message: str, document: Optional[Dict[str, Any]] = None
+    ) -> None:
+        super().__init__(message)
+        self.document: Dict[str, Any] = document or {}
 
 
 class HostedSession:
@@ -120,6 +161,16 @@ class HostedSession:
         "journal",
         "_undo",
         "_undo_counter",
+        "failures",
+        "degraded_since",
+        "degraded_total",
+        "last_error",
+        "probe_in_flight",
+        "lock_acquisitions",
+        "lock_wait_seconds_total",
+        "lock_wait_seconds_max",
+        "lock_contended",
+        "closed",
     )
 
     def __init__(
@@ -141,6 +192,21 @@ class HostedSession:
             undo if undo is not None else OrderedDict()
         )
         self._undo_counter = undo_counter
+        #: degraded gating: consecutive 5xx-class handler failures
+        self.failures = 0
+        self.degraded_since: Optional[float] = None
+        self.degraded_total = 0
+        self.last_error: Optional[str] = None
+        self.probe_in_flight = False
+        #: lock-wait aggregates for the diagnostics endpoint
+        self.lock_acquisitions = 0
+        self.lock_wait_seconds_total = 0.0
+        self.lock_wait_seconds_max = 0.0
+        self.lock_contended = 0
+        #: set (under ``lock``) when eviction/removal closed this object;
+        #: a handler that won the lock after a close must re-resolve the
+        #: session id instead of running on a dead engine
+        self.closed = False
 
     def touch(self) -> None:
         self.last_used = time.time()
@@ -265,6 +331,110 @@ class HostedSession:
                 # journal's blocked fallback in ``_persist_record``)
                 self.journal.store._count("snapshot_failures_total")
 
+    # -- degraded gating (mutations under ``lock``) ----------------------
+
+    @property
+    def is_degraded(self) -> bool:
+        return self.degraded_since is not None
+
+    # repro: lock-held — ``_gated_verb`` calls this under ``self.lock``
+    def record_failure(self, message: str, threshold: int) -> bool:
+        """Count one server-side (5xx-class) handler failure.
+
+        Returns True exactly when this failure crossed ``threshold``
+        consecutive failures and moved the session into the degraded
+        state."""
+        self.failures += 1
+        self.last_error = message
+        if self.degraded_since is None and self.failures >= threshold:
+            self.degraded_since = time.time()
+            self.degraded_total += 1
+            return True
+        return False
+
+    # repro: lock-held — ``_gated_verb`` calls this under ``self.lock``
+    def record_success(self) -> bool:
+        """Reset the failure counters after a verb succeeded.
+
+        Returns True when this success was a recovery probe clearing a
+        degraded session."""
+        recovered = self.degraded_since is not None
+        self.failures = 0
+        self.degraded_since = None
+        self.last_error = None
+        return recovered
+
+    def degraded_document(self) -> Dict[str, Any]:
+        """The state document served under ``"degraded"`` in 503 bodies."""
+        since = self.degraded_since
+        return {
+            "session": self.id,
+            "degraded": since is not None,
+            "consecutive_failures": self.failures,
+            "degraded_seconds": (
+                time.time() - since if since is not None else 0.0
+            ),
+            "last_error": self.last_error,
+        }
+
+    # repro: lock-held — ``_gated_verb`` calls this right after acquiring
+    def note_lock_wait(self, seconds: float) -> None:
+        """Aggregate how long this request queued for the session lock."""
+        self.lock_acquisitions += 1
+        self.lock_wait_seconds_total += seconds
+        if seconds > self.lock_wait_seconds_max:
+            self.lock_wait_seconds_max = seconds
+        if seconds >= _CONTENDED_LOCK_WAIT:
+            self.lock_contended += 1
+
+    def diagnostics(self) -> Dict[str, Any]:
+        """The deep per-session document (``GET /sessions/{id}/diagnostics``):
+        engine cache + delta stats, lock-wait aggregates, degraded state,
+        durability generation and WAL depth."""
+        with self.lock:
+            session = self.session
+            engine = session.warm_engine
+            engine_doc: Dict[str, Any] = {
+                "warm_delta_engine": engine is not None,
+                "warm_parallel_executor": session.has_warm_parallel,
+                "executor": session.executor,
+                "shards": session.shards,
+                "maintained_violations": None,
+                "delta_stats": None,
+            }
+            if engine is not None:
+                engine_doc["maintained_violations"] = engine.total_violations()
+                engine_doc["delta_stats"] = {
+                    field: getattr(engine.stats, field)
+                    for field in _DELTA_STAT_FIELDS
+                }
+            degraded = self.degraded_document()
+            degraded["degraded_total"] = self.degraded_total
+            return {
+                "session": self.id,
+                "relations": {
+                    rel.schema.name: len(rel) for rel in session.database
+                },
+                "rules": len(session.rules),
+                "requests": self.requests,
+                "age_seconds": time.time() - self.created,
+                "idle_seconds": time.time() - self.last_used,
+                "engine": engine_doc,
+                "locks": {
+                    "acquisitions": self.lock_acquisitions,
+                    "wait_seconds_total": self.lock_wait_seconds_total,
+                    "wait_seconds_max": self.lock_wait_seconds_max,
+                    "contended": self.lock_contended,
+                },
+                "degraded": degraded,
+                "undo_tokens": list(self._undo),
+                "durability": (
+                    self.journal.status(session)
+                    if self.journal is not None
+                    else {"enabled": False}
+                ),
+            }
+
     def info(self) -> Dict[str, Any]:
         """The session info document.
 
@@ -284,6 +454,7 @@ class HostedSession:
                 "shards": session.shards,
                 "warm_engine": session.has_warm_engine,
                 "warm_parallel": session.has_warm_parallel,
+                "degraded": self.is_degraded,
                 "requests": self.requests,
                 "age_seconds": time.time() - self.created,
                 "idle_seconds": time.time() - self.last_used,
@@ -328,6 +499,11 @@ class SessionManager:
         #: session ids mid-rehydration → event the losers wait on; guarded
         #: by the manager lock (the recovery itself runs outside it)
         self._rehydrating: Dict[str, threading.Event] = {}
+        #: session ids mid-eviction (popped from the table, flush-and-close
+        #: still running outside the lock) → event; resolution must wait for
+        #: the flush to land before rehydrating, or it races the snapshot
+        #: retirement and reads state missing the victim's in-flight verb
+        self._evicting: Dict[str, threading.Event] = {}
         self._auto_counter = 0
         self.created_total = 0
         self.evicted_total = 0
@@ -337,12 +513,29 @@ class SessionManager:
 
     def get(self, session_id: str) -> HostedSession:
         while True:
+            evicting: Optional[threading.Event] = None
             with self._lock:
                 hosted = self._sessions.get(session_id)
                 if hosted is not None:
                     self._sessions.move_to_end(session_id)
                     hosted.touch()
                     return hosted
+                evicting = self._evicting.get(session_id)
+            if evicting is not None:
+                # the session was just popped by LRU pressure and its
+                # flush-and-close is still running; re-resolve once the
+                # on-disk state is complete (rehydrating mid-flush reads
+                # a snapshot generation the flush is about to retire)
+                evicting.wait()
+                continue
+            with self._lock:
+                hosted = self._sessions.get(session_id)
+                if hosted is not None:
+                    self._sessions.move_to_end(session_id)
+                    hosted.touch()
+                    return hosted
+                if session_id in self._evicting:
+                    continue
                 if self.store is None or not self.store.exists(session_id):
                     raise UnknownSessionError(
                         f"no session {session_id!r}; open sessions: "
@@ -406,14 +599,26 @@ class SessionManager:
                         self._sessions[session_id] = hosted
                         break
                     evicted.append(lru)
+                    self._evicting[lru.id] = threading.Event()
                     self.evicted_total += 1
             if recovered.wal_records >= journal.store.snapshot_every:
                 # long tail replayed — fold it into a snapshot now rather
                 # than replaying it again on the next restart
                 hosted.persist_snapshot()
-        for lru in evicted:
-            self._flush_and_close(lru)
+        self._evict_all(evicted)
         return hosted
+
+    def _evict_all(self, evicted: List[HostedSession]) -> None:
+        """Flush-and-close popped LRU victims, then release their
+        eviction tombstones so waiting resolvers may rehydrate."""
+        for lru in evicted:
+            try:
+                self._flush_and_close(lru)
+            finally:
+                with self._lock:
+                    event = self._evicting.pop(lru.id, None)
+                if event is not None:
+                    event.set()
 
     def list(self) -> List[HostedSession]:
         with self._lock:
@@ -564,6 +769,7 @@ class SessionManager:
                 while len(self._sessions) > self.max_sessions:
                     _, lru = self._sessions.popitem(last=False)
                     evicted.append(lru)
+                    self._evicting[lru.id] = threading.Event()
                     self.evicted_total += 1
             if self.store is not None:
                 # hold the session lock across the durable create so no
@@ -586,11 +792,12 @@ class SessionManager:
                         self.created_total -= 1
             session.close()
             raise
-        for lru in evicted:
+        finally:
             # Close outside the manager lock: an in-flight request may hold
             # the session lock, and closing must wait for it, not block the
-            # whole table.
-            self._flush_and_close(lru)
+            # whole table.  Runs on the failure path too — the victims were
+            # already popped, and resolvers are waiting on their tombstones.
+            self._evict_all(evicted)
         return hosted
 
     def remove(self, session_id: str) -> str:
@@ -602,6 +809,8 @@ class SessionManager:
             with self._lock:
                 hosted = self._sessions.pop(session_id, None)
                 event = self._rehydrating.get(session_id)
+                if event is None:
+                    event = self._evicting.get(session_id)
                 if hosted is None and event is None:
                     if self.store is None or not self.store.exists(session_id):
                         raise UnknownSessionError(
@@ -611,13 +820,14 @@ class SessionManager:
                 if hosted is not None:
                     self.closed_total += 1
             if hosted is None and event is not None:
-                # a rehydration is in flight; let it land, then remove the
-                # resident session it produced
+                # a rehydration or eviction flush is in flight; let it
+                # land, then remove whatever it produced
                 event.wait()
                 continue
             break
         if hosted is not None:
             with hosted.lock:
+                hosted.closed = True
                 if hosted.journal is not None:
                     hosted.journal.close()
                 hosted.session.close()
@@ -643,6 +853,7 @@ class SessionManager:
         leaves memory but stays recoverable (and is lazily rehydrated on
         the next request that names it)."""
         with hosted.lock:
+            hosted.closed = True
             journal = hosted.journal
             if journal is not None:
                 if journal.needs_flush or hosted.session.dirty:
@@ -660,13 +871,25 @@ class SessionManager:
 
 
 class ServerMetrics:
-    """Thread-safe request counters: totals, statuses, per-endpoint latency."""
+    """Thread-safe request counters: totals, statuses, per-endpoint latency
+    (with Prometheus-style histogram buckets) and named ops counters."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self.requests_total = 0
         self.responses: Dict[str, int] = {}
         self.endpoints: Dict[str, Dict[str, float]] = {}
+        #: per-endpoint latency observations, one slot per LATENCY_BUCKETS
+        #: bound plus the trailing +Inf overflow slot
+        self._buckets: Dict[str, List[int]] = {}
+        #: named operational counters (degraded gating lifecycle)
+        self.counters: Dict[str, int] = {
+            "handler_failures_total": 0,
+            "degraded_total": 0,
+            "probes_total": 0,
+            "recoveries_total": 0,
+            "rejected_total": 0,
+        }
 
     def record(self, endpoint: str, status: int, seconds: float) -> None:
         with self._lock:
@@ -679,18 +902,45 @@ class ServerMetrics:
             stats["count"] += 1
             stats["seconds_total"] += seconds
             stats["seconds_max"] = max(stats["seconds_max"], seconds)
+            buckets = self._buckets.setdefault(
+                endpoint, [0] * (len(LATENCY_BUCKETS) + 1)
+            )
+            for index, bound in enumerate(LATENCY_BUCKETS):
+                if seconds <= bound:
+                    buckets[index] += 1
+                    break
+            else:
+                buckets[-1] += 1
+
+    def count(self, name: str) -> None:
+        """Bump one named operational counter."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + 1
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self.counters)
 
     def snapshot(self) -> Dict[str, Any]:
         with self._lock:
-            endpoints = {
-                endpoint: {
+            labels = [f"{bound:g}" for bound in LATENCY_BUCKETS] + ["+Inf"]
+            empty = [0] * (len(LATENCY_BUCKETS) + 1)
+            endpoints: Dict[str, Dict[str, Any]] = {}
+            for endpoint, stats in sorted(self.endpoints.items()):
+                cumulative: Dict[str, int] = {}
+                running = 0
+                for label, observed in zip(
+                    labels, self._buckets.get(endpoint, empty)
+                ):
+                    running += observed
+                    cumulative[label] = running
+                endpoints[endpoint] = {
                     "count": stats["count"],
                     "seconds_total": stats["seconds_total"],
                     "seconds_avg": stats["seconds_total"] / stats["count"],
                     "seconds_max": stats["seconds_max"],
+                    "seconds_bucket": cumulative,
                 }
-                for endpoint, stats in sorted(self.endpoints.items())
-            }
             return {
                 "requests_total": self.requests_total,
                 "responses": dict(sorted(self.responses.items())),
@@ -712,6 +962,7 @@ class ReproHTTPServer(ThreadingHTTPServer):
         state_dir: Optional[Path] = None,
         snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
         fsync: bool = True,
+        degraded_after: int = DEFAULT_DEGRADED_AFTER,
         verbose: bool = False,
     ) -> None:
         super().__init__(address, _Handler)
@@ -723,6 +974,8 @@ class ReproHTTPServer(ThreadingHTTPServer):
             fsync=fsync,
         )
         self.metrics = ServerMetrics()
+        #: consecutive handler failures before a session degrades (0 = off)
+        self.degraded_after = max(0, degraded_after)
         self.started = time.time()
         self.verbose = verbose
         self._thread: Optional[threading.Thread] = None
@@ -763,30 +1016,51 @@ class ReproHTTPServer(ThreadingHTTPServer):
         manager = self.manager
         warm_engines = 0
         warm_parallel = 0
-        delta_totals = {
-            "batches": 0,
-            "ops_applied": 0,
-            "keys_patched": 0,
-            "keys_reevaluated": 0,
-            "inclusion_keys_touched": 0,
-            "fallback_rescans": 0,
-        }
+        delta_totals = {field: 0 for field in _DELTA_STAT_FIELDS}
         maintained_violations = 0
+        degraded_sessions = 0
         for hosted in manager.list():
-            # per-session lock: engine state mutates under it, and
-            # warm_engine (unlike Session.engine) never lazy-builds on
-            # this read path
-            with hosted.lock:
+            # per-session lock, but never *wait* for one: a scrape must
+            # not hang behind a long (or wedged) verb handler.  Busy
+            # sessions fall back to dirty single-attribute reads and
+            # skip the engine totals — a momentary undercount in a
+            # gauge, not a stalled /metrics endpoint.
+            if hosted.lock.acquire(blocking=False):
+                try:
+                    session = hosted.session
+                    engine = session.warm_engine
+                    if engine is not None:
+                        warm_engines += 1
+                        maintained_violations += engine.total_violations()
+                        for field in delta_totals:
+                            delta_totals[field] += getattr(
+                                engine.stats, field
+                            )
+                    if session.has_warm_parallel:
+                        warm_parallel += 1
+                    if hosted.is_degraded:
+                        degraded_sessions += 1
+                finally:
+                    hosted.lock.release()
+            else:
                 session = hosted.session
-                engine = session.warm_engine
-                if engine is not None:
+                if session.warm_engine is not None:
                     warm_engines += 1
-                    maintained_violations += engine.total_violations()
-                    for field in delta_totals:
-                        delta_totals[field] += getattr(engine.stats, field)
                 if session.has_warm_parallel:
                     warm_parallel += 1
+                if hosted.is_degraded:
+                    degraded_sessions += 1
         document = self.metrics_document_base()
+        ops_counters = self.metrics.counters_snapshot()
+        document["degraded"] = {
+            "threshold": self.degraded_after,
+            "sessions_degraded": degraded_sessions,
+            "degraded_total": ops_counters["degraded_total"],
+            "handler_failures_total": ops_counters["handler_failures_total"],
+            "probes_total": ops_counters["probes_total"],
+            "recoveries_total": ops_counters["recoveries_total"],
+            "rejected_total": ops_counters["rejected_total"],
+        }
         document["sessions"] = {
             "open": len(manager),
             "max_sessions": manager.max_sessions,
@@ -821,6 +1095,7 @@ class ReproHTTPServer(ThreadingHTTPServer):
 
 #: (error class, HTTP status) in match order — first isinstance hit wins
 _ERROR_STATUS = (
+    (SessionDegradedError, 503),
     (UnknownSessionError, 404),
     (DuplicateSessionError, 409),
     (StaleEngineError, 409),
@@ -834,8 +1109,26 @@ _ERROR_STATUS = (
 )
 
 
+def _status_for(exc: BaseException) -> int:
+    """Map a handler exception to its HTTP status (500 when unclassified)."""
+    for error_cls, error_status in _ERROR_STATUS:
+        if isinstance(exc, error_cls):
+            return error_status
+    return 500
+
+
 class _BadRequest(Exception):
     """Internal: malformed request envelope (not a library error)."""
+
+
+class _PlainText:
+    """Marker: a route resolved to a non-JSON payload."""
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(self, text: str, content_type: str) -> None:
+        self.text = text
+        self.content_type = content_type
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -885,6 +1178,15 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        self._drain_body()
+        payload = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
     def _send_error_json(self, status: int, message: str, kind: str) -> None:
         self._send_json(status, {"error": message, "type": kind})
 
@@ -910,18 +1212,23 @@ class _Handler(BaseHTTPRequestHandler):
         status = 500
         try:
             endpoint, status, document = self._route(method)
-            self._send_json(status, document)
+            if isinstance(document, _PlainText):
+                self._send_text(status, document.text, document.content_type)
+            else:
+                self._send_json(status, document)
         except _BadRequest as exc:
             status = 400
             self._send_error_json(status, str(exc), "BadRequest")
         except Exception as exc:
-            status = 500
-            for error_cls, error_status in _ERROR_STATUS:
-                if isinstance(exc, error_cls):
-                    status = error_status
-                    break
+            status = _status_for(exc)
             message = str(exc) if not isinstance(exc, KeyError) else repr(exc)
-            self._send_error_json(status, message, type(exc).__name__)
+            body: Dict[str, Any] = {
+                "error": message,
+                "type": type(exc).__name__,
+            }
+            if isinstance(exc, SessionDegradedError):
+                body["degraded"] = exc.document
+            self._send_json(status, body)
         finally:
             self.server.metrics.record(
                 endpoint, status, time.perf_counter() - started
@@ -941,7 +1248,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routing ---------------------------------------------------------
 
-    def _route(self, method: str) -> Tuple[str, int, Dict[str, Any]]:
+    def _route(
+        self, method: str
+    ) -> Tuple[str, int, Union[Dict[str, Any], _PlainText]]:
         """Resolve one request; returns (endpoint template, status, doc)."""
         path = urlsplit(self.path).path
         parts = [p for p in path.split("/") if p]
@@ -949,7 +1258,24 @@ class _Handler(BaseHTTPRequestHandler):
         if parts == ["healthz"] and method == "GET":
             return "GET /healthz", 200, self.server.health_document()
         if parts == ["metrics"] and method == "GET":
-            return "GET /metrics", 200, self.server.metrics_document()
+            query = parse_qs(urlsplit(self.path).query)
+            fmt = query.get("format", ["json"])[-1]
+            if fmt not in ("json", "prometheus"):
+                raise _BadRequest(
+                    f"unknown metrics format {fmt!r} (expected json or "
+                    "prometheus)"
+                )
+            metrics_doc = self.server.metrics_document()
+            if fmt == "prometheus":
+                return (
+                    "GET /metrics",
+                    200,
+                    _PlainText(
+                        prometheus_text(metrics_doc),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    ),
+                )
+            return "GET /metrics", 200, metrics_doc
 
         manager = self.server.manager
         if parts and parts[0] == "sessions":
@@ -993,35 +1319,146 @@ class _Handler(BaseHTTPRequestHandler):
         self, method: str, session_id: str, verb: str
     ) -> Tuple[str, int, Dict[str, Any]]:
         manager = self.server.manager
+        if verb == "diagnostics" and method == "GET":
+            # ungated: diagnostics must stay readable while degraded
+            while True:
+                hosted = manager.get(session_id)
+                try:
+                    document = hosted.diagnostics()
+                except Exception:
+                    if hosted.closed:
+                        continue  # read a dying session; re-resolve
+                    raise
+                if hosted.closed:
+                    continue  # evicted under us; re-resolve
+                return ("GET /sessions/{id}/diagnostics", 200, document)
         if verb == "rules" and method == "GET":
-            hosted = manager.get(session_id)
-            with hosted.lock:
-                return (
-                    "GET /sessions/{id}/rules",
-                    200,
-                    {"rules": hosted.session.rules_documents()},
-                )
+            # ungated read: serving the rule documents never runs the
+            # engine, so it says nothing about (and needs nothing from)
+            # the session's health
+            while True:
+                hosted = manager.get(session_id)
+                with hosted.lock:
+                    if hosted.closed:
+                        continue  # evicted under us; re-resolve
+                    return (
+                        "GET /sessions/{id}/rules",
+                        200,
+                        {"rules": hosted.session.rules_documents()},
+                    )
         if verb == "rules" and method in ("PUT", "POST"):
             body = self._read_body()
-            hosted = manager.get(session_id)
-            with hosted.lock:
-                return self._handle_rules_write(hosted, method, body)
+            return self._run_gated(
+                session_id,
+                lambda hosted: self._handle_rules_write(hosted, method, body),
+            )
         if method != "POST":
             raise _BadRequest(
                 f"no route for {method} /sessions/{{id}}/{verb}"
             )
         body = self._read_body()
-        hosted = manager.get(session_id)
-        with hosted.lock:
-            if verb == "detect":
-                return self._handle_detect(hosted, body)
-            if verb == "apply":
-                return self._handle_apply(hosted, body)
-            if verb == "undo":
-                return self._handle_undo(hosted, body)
-            if verb == "repair":
-                return self._handle_repair(hosted, body)
+        if verb == "detect":
+            return self._run_gated(
+                session_id, lambda hosted: self._handle_detect(hosted, body)
+            )
+        if verb == "apply":
+            return self._run_gated(
+                session_id, lambda hosted: self._handle_apply(hosted, body)
+            )
+        if verb == "undo":
+            return self._run_gated(
+                session_id, lambda hosted: self._handle_undo(hosted, body)
+            )
+        if verb == "repair":
+            return self._run_gated(
+                session_id, lambda hosted: self._handle_repair(hosted, body)
+            )
         raise _BadRequest(f"no route for POST /sessions/{{id}}/{verb}")
+
+    def _run_gated(
+        self,
+        session_id: str,
+        handler: Callable[
+            [HostedSession], Tuple[str, int, Dict[str, Any]]
+        ],
+    ) -> Tuple[str, int, Dict[str, Any]]:
+        """Resolve the session and run ``handler`` under degraded gating.
+
+        Re-resolves when the resolved object was closed between lookup
+        and lock acquisition (LRU eviction racing the request) — the
+        retry lands on the rehydrated copy, or 404s if the session is
+        truly gone."""
+        while True:
+            hosted = self.server.manager.get(session_id)
+            result = self._gated_verb(hosted, handler)
+            if result is not None:
+                return result
+
+    def _gated_verb(
+        self,
+        hosted: HostedSession,
+        handler: Callable[
+            [HostedSession], Tuple[str, int, Dict[str, Any]]
+        ],
+    ) -> Optional[Tuple[str, int, Dict[str, Any]]]:
+        """Run one verb handler under the session lock with degraded gating.
+
+        A session that failed ``degraded_after`` consecutive times is
+        *degraded*: the next request to reach its lock runs the verb as a
+        recovery probe (a success clears the state and answers normally),
+        while requests arriving during an in-flight probe are rejected
+        with a fast 503 instead of queueing behind a likely-failing
+        handler.  Failure accounting is 5xx-only — client errors (bad
+        documents, unknown undo tokens) say nothing about session health.
+        The lock is released on every path: a degraded session can never
+        poison it.
+
+        Returns ``None`` when the session object was closed before the
+        lock was won — the caller (:meth:`_run_gated`) re-resolves.
+        """
+        server = self.server
+        threshold = server.degraded_after
+        if threshold and hosted.is_degraded and hosted.probe_in_flight:
+            # dirty read by design: the worst a race costs is one extra
+            # request queueing for the lock and becoming the next probe
+            server.metrics.count("rejected_total")
+            raise SessionDegradedError(
+                f"session {hosted.id!r} is degraded and a recovery probe "
+                "is already in flight; retry shortly",
+                hosted.degraded_document(),
+            )
+        wait_from = time.perf_counter()
+        with hosted.lock:
+            if hosted.closed:
+                return None
+            hosted.note_lock_wait(time.perf_counter() - wait_from)
+            probing = bool(threshold) and hosted.is_degraded
+            if probing:
+                hosted.probe_in_flight = True
+                server.metrics.count("probes_total")
+            try:
+                result = handler(hosted)
+            except Exception as exc:
+                if threshold and _status_for(exc) >= 500:
+                    server.metrics.count("handler_failures_total")
+                    if hosted.record_failure(str(exc), threshold):
+                        server.metrics.count("degraded_total")
+                    if hosted.is_degraded:
+                        raise SessionDegradedError(
+                            f"session {hosted.id!r} is degraded after "
+                            f"{hosted.failures} consecutive failures; the "
+                            f"next request probes for recovery (last "
+                            f"error: {exc})",
+                            hosted.degraded_document(),
+                        ) from exc
+                raise
+            else:
+                if threshold and hosted.record_success():
+                    server.metrics.count("recoveries_total")
+                return result
+            finally:
+                if probing:
+                    hosted.probe_in_flight = False
 
     # -- verbs (all run under the hosted session's lock) -----------------
 
@@ -1183,13 +1620,14 @@ def make_server(
     state_dir: Optional[Path] = None,
     snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
     fsync: bool = True,
+    degraded_after: int = DEFAULT_DEGRADED_AFTER,
     verbose: bool = False,
 ) -> ReproHTTPServer:
     """Build a server (not yet serving); ``port=0`` picks a free port."""
     return ReproHTTPServer(
         (host, port), max_sessions=max_sessions, data_root=data_root,
         state_dir=state_dir, snapshot_every=snapshot_every, fsync=fsync,
-        verbose=verbose,
+        degraded_after=degraded_after, verbose=verbose,
     )
 
 
@@ -1200,6 +1638,7 @@ def serve(
     data_root: Optional[Path] = None,
     state_dir: Optional[Path] = None,
     snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+    degraded_after: int = DEFAULT_DEGRADED_AFTER,
     verbose: bool = True,
 ) -> int:
     """Blocking entry point for ``repro serve`` (Ctrl-C to stop)."""
@@ -1208,7 +1647,7 @@ def serve(
     server = make_server(
         host, port, max_sessions=max_sessions, data_root=data_root,
         state_dir=state_dir, snapshot_every=snapshot_every,
-        verbose=verbose,
+        degraded_after=degraded_after, verbose=verbose,
     )
     durable = ""
     if state_dir is not None:

@@ -20,6 +20,14 @@ from repro.workloads.noise import (
     typo,
 )
 from repro.workloads.orders import OrdersConfig, OrdersWorkload, generate_orders
+from repro.workloads.soak import (
+    InProcessServer,
+    ServerProcess,
+    SoakConfig,
+    SoakReport,
+    run_soak,
+    smoke_config,
+)
 from repro.workloads.stream import (
     BatchResult,
     StreamConfig,
@@ -27,6 +35,7 @@ from repro.workloads.stream import (
     run_stream,
     stream_edits,
 )
+from repro.workloads.tenants import TenantSpec, make_tenants, zipf_weights
 
 __all__ = [
     "BatchResult",
@@ -34,19 +43,28 @@ __all__ = [
     "CardBillingWorkload",
     "CustomerConfig",
     "CustomerWorkload",
+    "InProcessServer",
     "InjectedError",
     "OrdersConfig",
     "OrdersWorkload",
+    "ServerProcess",
+    "SoakConfig",
+    "SoakReport",
     "StreamConfig",
     "StreamReport",
+    "TenantSpec",
     "abbreviate_name",
     "address_variant",
     "generate_card_billing",
     "generate_customers",
     "generate_orders",
+    "make_tenants",
     "pick_other",
+    "run_soak",
     "run_stream",
+    "smoke_config",
     "stream_edits",
     "truncate",
     "typo",
+    "zipf_weights",
 ]

@@ -1,0 +1,294 @@
+"""Seeded multi-tenant population for the soak harness.
+
+Each *tenant* is one named server session: a small two-relation schema
+(``R``/``S``), an adversarial rule set drawn from the same generator
+family as the 340-case differential corpus (``tests/engine/
+test_differential.py`` — FDs, CFDs, eCFDs, INDs, CINDs and denial
+constraints all meeting batched edits), and a seeded starting instance.
+Everything is expressed as wire documents (the registry's canonical
+JSON), so one :class:`TenantSpec` can build the server-side session over
+HTTP *and* the offline shadow :class:`~repro.session.Session` the
+verifier replays — byte-equality between the two is the whole point of
+the soak (:mod:`repro.workloads.soak`).
+
+Tenant popularity is Zipf-skewed (:func:`zipf_weights`): a handful of
+hot tenants absorb most of the traffic while the long tail goes cold and
+gets evicted under ``--max-sessions`` pressure — the realistic shape of
+multi-tenant load.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.cfd.ecfd import ECFD, SetPattern
+from repro.cfd.model import CFD, UNNAMED
+from repro.cind.model import CIND
+from repro.deps.base import Dependency
+from repro.deps.denial import DenialConstraint
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.relational.domains import STRING
+from repro.relational.instance import DatabaseInstance
+from repro.relational.predicates import And, Comparison
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.session import Session
+
+__all__ = ["TenantSpec", "make_tenants", "random_rule_documents", "zipf_weights"]
+
+#: the shared value pool — small on purpose, so edits collide with rules
+VALUES = ("a", "b", "c")
+
+
+class TenantSpec:
+    """One tenant's full definition, as wire documents.
+
+    ``schema_doc``/``rules_docs``/``data`` are exactly what
+    ``POST /sessions`` accepts inline, and what
+    :meth:`build_session` feeds the offline replay."""
+
+    __slots__ = ("tenant_id", "seed", "schema_doc", "rules_docs", "data")
+
+    def __init__(
+        self,
+        tenant_id: str,
+        seed: int,
+        schema_doc: Dict[str, Any],
+        rules_docs: List[Dict[str, Any]],
+        data: Dict[str, List[Dict[str, Any]]],
+    ) -> None:
+        self.tenant_id = tenant_id
+        self.seed = seed
+        self.schema_doc = schema_doc
+        self.rules_docs = rules_docs
+        self.data = data
+
+    def creation_document(self) -> Dict[str, Any]:
+        """The ``POST /sessions`` body for this tenant."""
+        return {
+            "id": self.tenant_id,
+            "schema": self.schema_doc,
+            "rules": self.rules_docs,
+            "data": {rel: list(rows) for rel, rows in self.data.items()},
+        }
+
+    def build_session(
+        self, data: Optional[Mapping[str, List[Dict[str, Any]]]] = None
+    ) -> Session:
+        """An offline :class:`Session` equivalent to the served one.
+
+        ``data`` overrides the initial rows (the soak driver rebuilds
+        evicted non-durable tenants from the shadow's *current* rows)."""
+        from repro.rules_json import database_schema_from_dict, rules_from_list
+
+        db_schema = database_schema_from_dict(self.schema_doc)
+        rules = rules_from_list(self.rules_docs, db_schema)
+        db = DatabaseInstance(db_schema)
+        for rel_name, rows in (data if data is not None else self.data).items():
+            relation = db.relation(rel_name)
+            for row in rows:
+                relation.add(row)
+        return Session.from_instance(db, rules)
+
+
+# --------------------------------------------------------------------------
+# Corpus-style generators (mirroring tests/engine/test_differential.py)
+# --------------------------------------------------------------------------
+
+
+def _random_schema(rng: random.Random) -> DatabaseSchema:
+    r_arity = rng.randrange(3, 5)
+    s_arity = rng.randrange(2, 4)
+    r = RelationSchema("R", [(f"A{i}", STRING) for i in range(r_arity)])
+    s = RelationSchema("S", [(f"X{i}", STRING) for i in range(s_arity)])
+    return DatabaseSchema([r, s])
+
+
+def _random_fd(attrs: List[str], rng: random.Random) -> FD:
+    lhs = rng.sample(attrs, rng.randrange(1, min(3, len(attrs))))
+    rhs = [rng.choice([a for a in attrs if a not in lhs])]
+    return FD("R", lhs, rhs)
+
+
+def _random_cfd(attrs: List[str], rng: random.Random) -> CFD:
+    lhs = rng.sample(attrs, rng.randrange(1, min(3, len(attrs))))
+    rhs = [rng.choice([a for a in attrs if a not in lhs])]
+    rows = []
+    for _ in range(rng.randrange(1, 4)):
+        rows.append(
+            {
+                a: (
+                    rng.choice([UNNAMED, *VALUES])
+                    if rng.random() < 0.7
+                    else UNNAMED
+                )
+                for a in lhs + rhs
+            }
+        )
+    return CFD("R", lhs, rhs, rows)
+
+
+def _random_ecfd(attrs: List[str], rng: random.Random) -> ECFD:
+    lhs = rng.sample(attrs, rng.randrange(1, min(3, len(attrs))))
+    rhs = [rng.choice([a for a in attrs if a not in lhs])]
+    pattern = {}
+    for a in lhs + rhs:
+        if rng.random() < 0.5:
+            continue  # wildcard
+        values = rng.sample(VALUES, rng.randrange(1, 3))
+        pattern[a] = SetPattern(values, negated=rng.random() < 0.4)
+    return ECFD("R", lhs, rhs, pattern)
+
+
+def _random_inclusion(
+    schema: DatabaseSchema, rng: random.Random
+) -> Dependency:
+    r_attrs = list(schema.relation("R").attribute_names)
+    s_attrs = list(schema.relation("S").attribute_names)
+    width = rng.randrange(1, min(len(r_attrs), len(s_attrs)) + 1)
+    lhs = rng.sample(r_attrs, width)
+    rhs = rng.sample(s_attrs, width)
+    if rng.random() < 0.5:
+        return IND("R", lhs, "S", rhs)
+    lhs_free = [a for a in r_attrs if a not in lhs]
+    rhs_free = [a for a in s_attrs if a not in rhs]
+    lhs_pat = rng.sample(lhs_free, rng.randrange(0, len(lhs_free) + 1))
+    rhs_pat = rng.sample(rhs_free, rng.randrange(0, len(rhs_free) + 1))
+    rows = []
+    for _ in range(rng.randrange(1, 3)):
+        row = {f"L.{a}": rng.choice(VALUES) for a in lhs_pat}
+        row.update({f"R.{a}": rng.choice(VALUES) for a in rhs_pat})
+        rows.append(row)
+    return CIND(
+        "R",
+        lhs,
+        "S",
+        rhs,
+        lhs_pattern_attrs=lhs_pat,
+        rhs_pattern_attrs=rhs_pat,
+        tableau=rows,
+    )
+
+
+def _random_denial(
+    schema: DatabaseSchema, rng: random.Random
+) -> DenialConstraint:
+    r_attrs = list(schema.relation("R").attribute_names)
+    s_attrs = list(schema.relation("S").attribute_names)
+    shape = rng.randrange(3)
+    if shape == 0:
+        picked = rng.sample(r_attrs, rng.randrange(1, 3))
+        condition = And(
+            [Comparison(f"@t0.{a}", "=", rng.choice(VALUES)) for a in picked]
+        )
+        return DenialConstraint(
+            ("R",), condition, name=f"deny-const-{'-'.join(picked)}"
+        )
+    if shape == 1:
+        agree, differ = rng.sample(r_attrs, 2)
+        condition = And(
+            [
+                Comparison(f"@t0.{agree}", "=", f"@t1.{agree}"),
+                Comparison(f"@t0.{differ}", "!=", f"@t1.{differ}"),
+            ]
+        )
+        return DenialConstraint(
+            ("R", "R"), condition, name=f"deny-fd-{agree}-{differ}"
+        )
+    a = rng.choice(r_attrs)
+    x = rng.choice(s_attrs)
+    condition = And(
+        [
+            Comparison(f"@t0.{a}", "=", f"@t1.{x}"),
+            Comparison(f"@t0.{a}", "=", rng.choice(VALUES)),
+        ]
+    )
+    return DenialConstraint(("R", "S"), condition, name=f"deny-join-{a}-{x}")
+
+
+def _random_dependencies(
+    schema: DatabaseSchema, rng: random.Random
+) -> List[Dependency]:
+    r_attrs = list(schema.relation("R").attribute_names)
+    makers = [
+        lambda: _random_fd(r_attrs, rng),
+        lambda: _random_cfd(r_attrs, rng),
+        lambda: _random_ecfd(r_attrs, rng),
+        lambda: _random_inclusion(schema, rng),
+        lambda: _random_denial(schema, rng),
+    ]
+    return [rng.choice(makers)() for _ in range(rng.randrange(2, 7))]
+
+
+def _random_rows(
+    schema: DatabaseSchema, rng: random.Random
+) -> Dict[str, List[Dict[str, Any]]]:
+    data: Dict[str, List[Dict[str, Any]]] = {}
+    for rel in schema:
+        attrs = list(rel.attribute_names)
+        data[rel.name] = [
+            {a: rng.choice(VALUES) for a in attrs}
+            for _ in range(rng.randrange(4, 17))
+        ]
+    return data
+
+
+# --------------------------------------------------------------------------
+# Public surface
+# --------------------------------------------------------------------------
+
+
+def make_tenants(count: int, seed: int) -> List[TenantSpec]:
+    """``count`` deterministic tenant specs derived from ``seed``.
+
+    Tenant *i* is generated from ``seed + i`` — stable ids, schemas,
+    rules and rows for a given (count, seed) pair, independent of how
+    many tenants the caller slices off."""
+    from repro.rules_json import database_schema_to_dict, rules_to_list
+
+    if count < 1:
+        raise ValueError("need at least one tenant")
+    tenants: List[TenantSpec] = []
+    for index in range(count):
+        tenant_seed = seed + index
+        rng = random.Random(tenant_seed)
+        schema = _random_schema(rng)
+        rules = _random_dependencies(schema, rng)
+        tenants.append(
+            TenantSpec(
+                tenant_id=f"tenant-{index:03d}",
+                seed=tenant_seed,
+                schema_doc=database_schema_to_dict(schema),
+                rules_docs=rules_to_list(rules),
+                data=_random_rows(schema, rng),
+            )
+        )
+    return tenants
+
+
+def random_rule_documents(
+    spec: TenantSpec, rng: random.Random
+) -> List[Dict[str, Any]]:
+    """One fresh random rule for ``spec``'s schema, as wire documents.
+
+    Used for live ``POST .../rules`` round-trips during the soak: server
+    and shadow parse the *same* documents through the registry, so the
+    two rule sets stay identical by construction."""
+    from repro.rules_json import database_schema_from_dict, rules_to_list
+
+    schema = database_schema_from_dict(spec.schema_doc)
+    return rules_to_list(_random_dependencies(schema, rng)[:1])
+
+
+def zipf_weights(count: int, exponent: float = 1.1) -> List[float]:
+    """Zipf-style popularity weights: weight(rank) = 1 / rank**exponent.
+
+    Rank order is list order — tenant 0 is the hottest.  ``exponent``
+    around 1 matches the classic web-traffic skew; larger values
+    concentrate traffic harder on the head."""
+    if count < 1:
+        raise ValueError("need at least one weight")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    return [1.0 / (rank**exponent) for rank in range(1, count + 1)]
