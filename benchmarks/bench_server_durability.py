@@ -118,7 +118,7 @@ def _bench_size(
     plain_server = make_server(port=0)
     plain_server.start_background()
     try:
-        client = ServerClient(plain_server.base_url, timeout=300.0)
+        client = ServerClient(base_url=plain_server.base_url, timeout=300.0)
         client.wait_ready()
         client.create_session(**create_kwargs)
         plain_per_apply = _time_applies(client, "bench", template, requests, BATCH_OPS)
@@ -134,7 +134,7 @@ def _bench_size(
             port=0, state_dir=state_dir, snapshot_every=wal_only_every
         )
         durable_server.start_background()
-        client = ServerClient(durable_server.base_url, timeout=300.0)
+        client = ServerClient(base_url=durable_server.base_url, timeout=300.0)
         client.wait_ready()
         client.create_session(**create_kwargs)
         durable_per_apply = _time_applies(
@@ -147,7 +147,7 @@ def _bench_size(
         restarted = make_server(port=0, state_dir=state_dir)
         restarted.start_background()
         try:
-            client = ServerClient(restarted.base_url, timeout=300.0)
+            client = ServerClient(base_url=restarted.base_url, timeout=300.0)
             client.wait_ready()
             started = time.perf_counter()
             client.detect("bench", include_violations=False)
@@ -162,7 +162,7 @@ def _bench_size(
     try:
         cadence_server = make_server(port=0, state_dir=state_dir)
         cadence_server.start_background()
-        client = ServerClient(cadence_server.base_url, timeout=300.0)
+        client = ServerClient(base_url=cadence_server.base_url, timeout=300.0)
         client.wait_ready()
         client.create_session(**create_kwargs)
         cadence_per_apply = _time_applies(

@@ -109,7 +109,7 @@ def run(sizes: List[int], warm_requests: int, cold_requests: int) -> Dict[str, A
     server = make_server(port=0, max_sessions=8)
     server.start_background()
     try:
-        client = ServerClient(server.base_url, timeout=300.0)
+        client = ServerClient(base_url=server.base_url, timeout=300.0)
         client.wait_ready()
         series = [
             _bench_size(

@@ -54,6 +54,17 @@ def _series_metric(field: str) -> Callable[[Dict[str, Any]], Dict[int, float]]:
     return extract
 
 
+def _concurrency_metric(document: Dict[str, Any]) -> Dict[int, float]:
+    """Per-client-count async-over-threaded speedups (the concurrency
+    benchmark's "size" axis is clients, not tuples)."""
+    points: Dict[int, float] = {}
+    for entry in document.get("series", []):
+        size, value = entry.get("clients"), entry.get("speedup")
+        if isinstance(size, int) and isinstance(value, (int, float)):
+            points[size] = float(value)
+    return points
+
+
 def _parallel_metric(document: Dict[str, Any]) -> Dict[int, float]:
     shards = str(document.get("target_shards", 4))
     points: Dict[int, float] = {}
@@ -82,6 +93,9 @@ METRICS: Dict[str, List[Tuple[str, Callable[[Dict[str, Any]], Dict[int, float]]]
     # orientation this gate's floor comparison expects
     "server_durability": [
         ("overhead_headroom", _series_metric("overhead_headroom"))
+    ],
+    "server_concurrency": [
+        ("speedup_async_over_threaded", _concurrency_metric)
     ],
 }
 
@@ -114,13 +128,13 @@ def _match_baseline_size(
 
 
 def _skip_reason(name: str, fresh: Dict[str, Any]) -> Optional[str]:
-    if name == "parallel_scaling":
+    if name in ("parallel_scaling", "server_concurrency"):
         host_cpus = os.cpu_count() or 1
         recorded_cpus = fresh.get("cpu_count", host_cpus)
         if min(host_cpus, recorded_cpus) < PARALLEL_MIN_CPUS:
             return (
                 f"host has {min(host_cpus, recorded_cpus)} CPUs "
-                f"(parallel gate needs >={PARALLEL_MIN_CPUS})"
+                f"({name} gate needs >={PARALLEL_MIN_CPUS})"
             )
     return None
 

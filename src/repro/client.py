@@ -1,21 +1,41 @@
 """``repro.client`` — a thin stdlib client for the ``repro.server`` API.
 
 One class, :class:`ServerClient`, wrapping ``urllib.request``: every method
-maps to one endpoint, takes/returns the plain JSON documents described in
+maps to one ``/v1`` endpoint, takes the plain JSON documents described in
 ``docs/server.md``, and raises :class:`ServerError` (with the HTTP status
 and the server's error text) on any non-2xx response — so the registry's
 error messages (unknown constraint tags, malformed changesets, schema
 mismatches) surface verbatim on the client side.
 
-::
+The constructor is keyword-only::
 
-    client = ServerClient("http://127.0.0.1:8765")
+    client = ServerClient(base_url="http://127.0.0.1:8765",
+                          timeout=30.0, retries=2)
     client.create_session(schema={...}, rules=[...], data={"customer": rows},
                           session_id="crm")
     report = client.detect("crm")                    # the CLI's JSON doc
     delta = client.apply("crm", {"ops": [...]})      # delta + undo token
-    client.undo("crm", delta["undo_token"])
+    client.undo("crm", delta.undo_token)
     client.delete_session("crm")
+
+(the pre-/v1 positional form ``ServerClient(url, timeout)`` still works
+for one release behind a :class:`DeprecationWarning`).
+
+Every request is sent to the versioned ``/v1`` mount and every response
+body arrives in the versioned envelope ``{"wire_version": 1, ...}``.  The
+client strips the envelope: returned documents carry the payload keys
+only (byte-compatible with the offline CLI's documents) and expose the
+stripped version as a ``.wire_version`` attribute — returns are *typed*
+:class:`WireDocument` subclasses (still plain ``dict`` subclasses, so
+``json.dumps``/key access keep working) with properties for the fields
+each endpoint guarantees.
+
+With ``retries=N`` the client retransmits a failed request up to ``N``
+times when — and only when — the failure is *retriable*
+(``ServerError.retriable``: transport failures and 502/503/504), sleeping
+``backoff * 2**attempt`` between attempts.  The default is ``retries=0``:
+verbs like ``apply`` are not idempotent, so opting into retransmission is
+the caller's call.
 
 No third-party dependencies; used by the test suite, the CI packaging
 round-trip and ``benchmarks/bench_server_throughput.py``.
@@ -24,14 +44,25 @@ round-trip and ``benchmarks/bench_server_throughput.py``.
 from __future__ import annotations
 
 import json
+import time
+import warnings
 from http.client import HTTPException
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Type, Union
 from urllib.error import HTTPError, URLError
 from urllib.request import Request, urlopen
 
 from repro.errors import ReproError
 
-__all__ = ["ServerClient", "ServerError"]
+__all__ = [
+    "ServerClient",
+    "ServerError",
+    "WireDocument",
+    "HealthDocument",
+    "SessionInfoDocument",
+    "DeltaDocument",
+    "DetectDocument",
+    "RepairDocument",
+]
 
 #: HTTP statuses that signal a transient server-side condition: the request
 #: may well succeed if simply retried (503 is what degraded sessions answer).
@@ -43,10 +74,12 @@ class ServerError(ReproError):
 
     ``status`` is the HTTP status code (0 when the server was unreachable),
     ``kind`` the server-side exception class name when one was reported,
-    ``document`` the parsed error body (``{}`` when there was none), and
-    ``retriable`` whether retrying the same request can plausibly succeed:
-    transport failures (connection refused/reset, torn responses) and
-    502/503/504 responses are retriable, everything else is not.
+    ``document`` the parsed error body (``{}`` when there was none, with
+    the envelope's ``wire_version`` stripped into the attribute of the
+    same name), and ``retriable`` whether retrying the same request can
+    plausibly succeed: transport failures (connection refused/reset, torn
+    responses) and 502/503/504 responses are retriable, everything else
+    is not.
     """
 
     def __init__(
@@ -61,24 +94,195 @@ class ServerError(ReproError):
         self.status = status
         self.kind = kind
         self.document: Dict[str, Any] = dict(document or {})
+        self.wire_version: Optional[int] = self.document.pop(
+            "wire_version", None
+        )
         if retriable is None:
             retriable = status == 0 or status in _RETRIABLE_STATUSES
         self.retriable = retriable
 
 
+# --------------------------------------------------------------------------
+# Typed response documents
+# --------------------------------------------------------------------------
+
+
+class WireDocument(Dict[str, Any]):
+    """A response payload: a plain ``dict`` of the document keys plus the
+    envelope's ``wire_version`` as an attribute.
+
+    Subclasses add read-only properties for the fields their endpoint
+    guarantees; everything stays a ``dict`` so existing key-access call
+    sites, ``json.dumps(..., default=str)`` round-trips and byte-compare
+    harnesses keep working unchanged.
+    """
+
+    def __init__(
+        self, document: Mapping[str, Any], wire_version: Optional[int] = None
+    ) -> None:
+        super().__init__(document)
+        self.wire_version = wire_version
+
+
+class HealthDocument(WireDocument):
+    """``GET /v1/healthz``."""
+
+    @property
+    def status(self) -> str:
+        return str(self["status"])
+
+    @property
+    def sessions(self) -> int:
+        return int(self["sessions"])
+
+
+class SessionInfoDocument(WireDocument):
+    """A session info document (create / info / list entries)."""
+
+    @property
+    def session_id(self) -> str:
+        return str(self["session"])
+
+    @property
+    def executor(self) -> str:
+        return str(self["executor"])
+
+    @property
+    def shards(self) -> Optional[int]:
+        value = self.get("shards")
+        return None if value is None else int(value)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self["degraded"])
+
+    @property
+    def undo_tokens(self) -> List[str]:
+        return list(self.get("undo_tokens", []))
+
+
+class DeltaDocument(WireDocument):
+    """A violation delta (``apply`` / ``undo``):
+    added/removed/remaining/clean plus the stored undo token."""
+
+    @property
+    def undo_token(self) -> str:
+        return str(self["undo_token"])
+
+    @property
+    def clean(self) -> bool:
+        return bool(self["clean"])
+
+    @property
+    def added(self) -> List[Dict[str, Any]]:
+        return list(self["added"])
+
+    @property
+    def removed(self) -> List[Dict[str, Any]]:
+        return list(self["removed"])
+
+    @property
+    def remaining(self) -> int:
+        return int(self["remaining"])
+
+
+class DetectDocument(WireDocument):
+    """``POST /v1/sessions/{id}/detect`` — the CLI's ``--format json``
+    detection document."""
+
+    @property
+    def clean(self) -> bool:
+        # the detection document carries counts, not a "clean" flag
+        return int(self["total"]) == 0
+
+    @property
+    def violations(self) -> List[Dict[str, Any]]:
+        return list(self.get("violations", []))
+
+
+class RepairDocument(WireDocument):
+    """``POST /v1/sessions/{id}/repair``."""
+
+    @property
+    def strategy(self) -> str:
+        return str(self["strategy"])
+
+
 class ServerClient:
     """Client for one ``repro.server`` instance at ``base_url``."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(
+        self,
+        *args: Any,
+        base_url: Optional[str] = None,
+        timeout: float = 30.0,
+        retries: int = 0,
+        backoff: float = 0.05,
+    ) -> None:
+        if args:
+            # pre-/v1 positional signature: ServerClient(url[, timeout])
+            warnings.warn(
+                "positional ServerClient(base_url, timeout) is deprecated; "
+                "use keyword arguments: ServerClient(base_url=..., "
+                "timeout=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > 2:
+                raise TypeError(
+                    "ServerClient() takes at most 2 positional arguments "
+                    f"(got {len(args)})"
+                )
+            if base_url is not None:
+                raise TypeError(
+                    "ServerClient() got base_url both positionally and by "
+                    "keyword"
+                )
+            base_url = args[0]
+            if len(args) == 2:
+                timeout = args[1]
+        if base_url is None:
+            raise TypeError("ServerClient() requires base_url=...")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
 
     # -- plumbing --------------------------------------------------------
 
     def _request(
-        self, method: str, path: str, body: Optional[Mapping[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping[str, Any]] = None,
+        cls: Type[WireDocument] = WireDocument,
     ) -> Any:
-        url = f"{self.base_url}{path}"
+        """One wire round-trip (plus opt-in retransmission).
+
+        Prefixes the versioned mount, strips the response envelope into
+        ``cls(..., wire_version=...)``, and — when ``retries > 0`` —
+        retransmits retriable failures with exponential backoff.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body, cls)
+            except ServerError as exc:
+                if not exc.retriable or attempt >= self.retries:
+                    raise
+                time.sleep(self.backoff * (2**attempt))
+                attempt += 1
+
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping[str, Any]],
+        cls: Type[WireDocument],
+    ) -> Any:
+        url = f"{self.base_url}/v1{path}"
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
@@ -87,14 +291,14 @@ class ServerClient:
         request = Request(url, data=data, headers=headers, method=method)
         try:
             with urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read())
+                parsed = json.loads(response.read())
         except HTTPError as exc:
             raw = exc.read()
             document: Dict[str, Any] = {}
             try:
-                parsed = json.loads(raw)
-                if isinstance(parsed, dict):
-                    document = parsed
+                error_doc = json.loads(raw)
+                if isinstance(error_doc, dict):
+                    document = error_doc
                 message = document.get("error", raw.decode("utf-8", "replace"))
                 kind = document.get("type", "")
             except (json.JSONDecodeError, AttributeError):
@@ -129,18 +333,22 @@ class ServerClient:
                 f"{self.base_url} ({exc})",
                 retriable=True,
             ) from None
+        if not isinstance(parsed, dict):
+            return parsed
+        wire_version = parsed.pop("wire_version", None)
+        return cls(parsed, wire_version=wire_version)
 
     # -- service ---------------------------------------------------------
 
-    def healthz(self) -> Dict[str, Any]:
-        return self._request("GET", "/healthz")
+    def healthz(self) -> HealthDocument:
+        return self._request("GET", "/healthz", cls=HealthDocument)
 
-    def metrics(self) -> Dict[str, Any]:
+    def metrics(self) -> WireDocument:
         return self._request("GET", "/metrics")
 
     def prometheus_metrics(self) -> str:
-        """``GET /metrics?format=prometheus`` — the text exposition format."""
-        url = f"{self.base_url}/metrics?format=prometheus"
+        """``GET /v1/metrics?format=prometheus`` — text exposition."""
+        url = f"{self.base_url}/v1/metrics?format=prometheus"
         request = Request(url, headers={"Accept": "text/plain"}, method="GET")
         try:
             with urlopen(request, timeout=self.timeout) as response:
@@ -157,7 +365,9 @@ class ServerClient:
                 retriable=True,
             ) from None
 
-    def wait_ready(self, attempts: int = 50, delay: float = 0.1) -> Dict[str, Any]:
+    def wait_ready(
+        self, attempts: int = 50, delay: float = 0.1
+    ) -> HealthDocument:
         """Poll ``/healthz`` until the server answers (boot synchronizer).
 
         Only *retriable* failures (connection refused while the listener
@@ -165,8 +375,6 @@ class ServerClient:
         say a 404 because the URL points at something else entirely — is
         raised immediately.
         """
-        import time
-
         last: Optional[ServerError] = None
         for _ in range(attempts):
             try:
@@ -183,12 +391,16 @@ class ServerClient:
 
     # -- session lifecycle -----------------------------------------------
 
-    def list_sessions(self) -> List[Dict[str, Any]]:
+    def list_sessions(self) -> List[SessionInfoDocument]:
         """Info documents for the *resident* (warm) sessions.
 
         On a durable server evicted sessions are not listed here — they
         are still recoverable; see :meth:`cold_sessions`."""
-        return self._request("GET", "/sessions")["sessions"]
+        listing = self._request("GET", "/sessions")
+        return [
+            SessionInfoDocument(entry, wire_version=listing.wire_version)
+            for entry in listing["sessions"]
+        ]
 
     def cold_sessions(self) -> List[str]:
         """Durable session ids on disk but not resident (durable servers
@@ -204,33 +416,39 @@ class ServerClient:
         session_id: Optional[str] = None,
         executor: str = "indexed",
         shards: Optional[int] = None,
-    ) -> Dict[str, Any]:
+    ) -> SessionInfoDocument:
         """Create a hosted session; returns its info document.
 
         ``schema``/``rules``/``data`` values may be inline documents (row
         lists for data) or server-side paths, exactly as the endpoint
-        accepts them.
+        accepts them.  Engine configuration travels in the unified
+        ``{"engine": {"executor": ..., "shards": ...}}`` wire object.
         """
-        body: Dict[str, Any] = {"schema": schema, "executor": executor}
+        engine: Dict[str, Any] = {"executor": executor}
+        if shards is not None:
+            engine["shards"] = shards
+        body: Dict[str, Any] = {"schema": schema, "engine": engine}
         if rules is not None:
             body["rules"] = rules
         if data is not None:
             body["data"] = data
         if session_id is not None:
             body["id"] = session_id
-        if shards is not None:
-            body["shards"] = shards
-        return self._request("POST", "/sessions", body)
+        return self._request(
+            "POST", "/sessions", body, cls=SessionInfoDocument
+        )
 
-    def session_info(self, session_id: str) -> Dict[str, Any]:
-        return self._request("GET", f"/sessions/{session_id}")
+    def session_info(self, session_id: str) -> SessionInfoDocument:
+        return self._request(
+            "GET", f"/sessions/{session_id}", cls=SessionInfoDocument
+        )
 
-    def diagnostics(self, session_id: str) -> Dict[str, Any]:
+    def diagnostics(self, session_id: str) -> WireDocument:
         """Per-session diagnostics: engine/delta stats, lock waits,
         durability generation and WAL depth, degraded state."""
         return self._request("GET", f"/sessions/{session_id}/diagnostics")
 
-    def delete_session(self, session_id: str) -> Dict[str, Any]:
+    def delete_session(self, session_id: str) -> WireDocument:
         return self._request("DELETE", f"/sessions/{session_id}")
 
     # -- verbs -----------------------------------------------------------
@@ -241,28 +459,35 @@ class ServerClient:
         executor: Optional[str] = None,
         shards: Optional[int] = None,
         include_violations: bool = True,
-    ) -> Dict[str, Any]:
+    ) -> DetectDocument:
         """Run detection; returns the CLI's ``--format json`` document."""
         body: Dict[str, Any] = {"include_violations": include_violations}
+        engine: Dict[str, Any] = {}
         if executor is not None:
-            body["executor"] = executor
+            engine["executor"] = executor
         if shards is not None:
-            body["shards"] = shards
-        return self._request("POST", f"/sessions/{session_id}/detect", body)
+            engine["shards"] = shards
+        if engine:
+            body["engine"] = engine
+        return self._request(
+            "POST", f"/sessions/{session_id}/detect", body, cls=DetectDocument
+        )
 
     def apply(
         self, session_id: str, changeset: Mapping[str, Any]
-    ) -> Dict[str, Any]:
+    ) -> DeltaDocument:
         """Apply a changeset document; returns the violation delta document
         (``added``/``removed``/``remaining``/``clean``/``undo_token``)."""
         return self._request(
-            "POST", f"/sessions/{session_id}/apply", changeset
+            "POST", f"/sessions/{session_id}/apply", changeset,
+            cls=DeltaDocument,
         )
 
-    def undo(self, session_id: str, token: str) -> Dict[str, Any]:
+    def undo(self, session_id: str, token: str) -> DeltaDocument:
         """Replay a stored undo token (single-use)."""
         return self._request(
-            "POST", f"/sessions/{session_id}/undo", {"token": token}
+            "POST", f"/sessions/{session_id}/undo", {"token": token},
+            cls=DeltaDocument,
         )
 
     def repair(
@@ -271,17 +496,19 @@ class ServerClient:
         strategy: str = "u",
         adopt: bool = False,
         **options: Any,
-    ) -> Dict[str, Any]:
+    ) -> RepairDocument:
         body: Dict[str, Any] = {"strategy": strategy, "adopt": adopt}
         body.update(options)
-        return self._request("POST", f"/sessions/{session_id}/repair", body)
+        return self._request(
+            "POST", f"/sessions/{session_id}/repair", body, cls=RepairDocument
+        )
 
     def get_rules(self, session_id: str) -> List[Dict[str, Any]]:
         return self._request("GET", f"/sessions/{session_id}/rules")["rules"]
 
     def set_rules(
         self, session_id: str, rules: Sequence[Mapping[str, Any]]
-    ) -> Dict[str, Any]:
+    ) -> WireDocument:
         """Replace the session's rule set with ``rules`` documents."""
         return self._request(
             "PUT", f"/sessions/{session_id}/rules", {"rules": list(rules)}
@@ -289,11 +516,11 @@ class ServerClient:
 
     def add_rules(
         self, session_id: str, rules: Sequence[Mapping[str, Any]]
-    ) -> Dict[str, Any]:
+    ) -> WireDocument:
         """Append ``rules`` documents to the session's rule set."""
         return self._request(
             "POST", f"/sessions/{session_id}/rules", {"rules": list(rules)}
         )
 
     def __repr__(self) -> str:
-        return f"ServerClient({self.base_url!r})"
+        return f"ServerClient(base_url={self.base_url!r})"

@@ -1,0 +1,108 @@
+"""One executor/shards configuration schema for every layer.
+
+Three layers accept the same two knobs — which detection executor a
+session runs (``indexed`` / ``parallel`` / ``naive``) and how many hash
+shards the parallel engine fans over:
+
+* :class:`repro.session.Session` keyword arguments,
+* the CLI flags ``--executor`` / ``--shards``,
+* the wire protocol's ``{"engine": {"executor": ..., "shards": ...}}``
+  object (session creation and ``detect`` bodies).
+
+Historically each layer validated independently (the server accepted the
+knobs as loose top-level body keys with its own error text).  This module
+is the single source of truth: every layer funnels through
+:func:`validate_executor` / :func:`validate_shards`, so an invalid value
+produces the *same* error text whether it arrived as a Python kwarg, a
+CLI flag or a wire field.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "EXECUTORS",
+    "ENGINE_SCHEMA_HINT",
+    "validate_executor",
+    "validate_shards",
+    "engine_config_from_document",
+]
+
+#: executor names accepted everywhere a detection path is selected
+EXECUTORS: Tuple[str, ...] = ("indexed", "parallel", "naive")
+
+#: the wire shape, quoted verbatim in rejection messages so a client that
+#: sent the pre-/v1 loose keys learns the replacement schema from the error
+ENGINE_SCHEMA_HINT = (
+    '{"engine": {"executor": "indexed" | "parallel" | "naive", "shards": N}}'
+)
+
+
+def validate_executor(executor: Any) -> str:
+    """Return ``executor`` when it names a known detection path.
+
+    The error text is the canonical one shared by Session kwargs, CLI
+    flags and wire fields.
+    """
+    if executor not in EXECUTORS:
+        raise ReproError(
+            f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+        )
+    return str(executor)
+
+
+def validate_shards(shards: Any) -> Optional[int]:
+    """Return ``shards`` as an int >= 1 (``None`` passes through).
+
+    ``bool`` is rejected explicitly: JSON ``true`` decodes to a Python
+    bool, which *is* an int — accepting it would silently mean 1 shard.
+    """
+    if shards is None:
+        return None
+    if isinstance(shards, bool) or not isinstance(shards, int) or shards < 1:
+        raise ReproError(
+            f"'shards' must be an integer >= 1, got {shards!r}"
+        )
+    return shards
+
+
+def engine_config_from_document(
+    document: Mapping[str, Any],
+    *,
+    default_executor: Optional[str] = None,
+) -> Tuple[Optional[str], Optional[int]]:
+    """Parse the wire ``{"engine": {...}}`` object out of a request body.
+
+    Returns ``(executor, shards)`` with ``default_executor`` substituted
+    when the object (or its ``executor`` key) is absent.  The pre-/v1
+    loose top-level ``executor`` / ``shards`` keys are rejected with an
+    error naming the replacement schema — silently ignoring them would
+    let an old client believe its knobs took effect.
+    """
+    for legacy in ("executor", "shards"):
+        if legacy in document:
+            raise ReproError(
+                f"top-level {legacy!r} was replaced by the engine object "
+                f"in wire version 1; send {ENGINE_SCHEMA_HINT}"
+            )
+    engine = document.get("engine")
+    if engine is None:
+        return default_executor, None
+    if not isinstance(engine, Mapping):
+        raise ReproError(
+            f"'engine' must be an object {ENGINE_SCHEMA_HINT}, "
+            f"got {engine!r}"
+        )
+    unknown = sorted(set(engine) - {"executor", "shards"})
+    if unknown:
+        raise ReproError(
+            f"unknown engine option(s) {unknown}; expected "
+            f"{ENGINE_SCHEMA_HINT}"
+        )
+    executor: Optional[str] = engine.get("executor", default_executor)
+    if executor is not None:
+        executor = validate_executor(executor)
+    return executor, validate_shards(engine.get("shards"))

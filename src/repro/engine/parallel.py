@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import queue
 import zlib
 from typing import Any, Iterable, List, Optional, Sequence, Tuple as PyTuple
 
@@ -60,6 +61,7 @@ from repro.relational.tuples import Tuple
 __all__ = [
     "ParallelExecutor",
     "ParallelStats",
+    "default_pin_workers",
     "default_shards",
     "detect_violations_parallel",
     "resolve_shards",
@@ -69,6 +71,16 @@ __all__ = [
 #: env var consulted when no explicit shard count is given (CI runs the
 #: whole tier-1 suite once under REPRO_DEFAULT_SHARDS=2)
 SHARDS_ENV = "REPRO_DEFAULT_SHARDS"
+
+#: env var opting warm executors into the pinned worker pool (any
+#: non-empty value other than "0"); the ``pin_workers`` kwarg wins
+PIN_ENV = "REPRO_PIN_WORKERS"
+
+
+def default_pin_workers() -> bool:
+    """The process-wide pinning default (``REPRO_PIN_WORKERS`` or off)."""
+    raw = os.environ.get(PIN_ENV, "").strip()
+    return bool(raw) and raw != "0"
 
 
 def default_shards() -> int:
@@ -521,6 +533,93 @@ def _fork_context():
         return None
 
 
+def _pinned_worker_main(work: _WorkState, inbox, results) -> None:
+    """Loop of one pinned worker: inherited work state, private inbox.
+
+    Every job this worker will ever run arrived with the fork — repeated
+    dispatches of the same shard hit memory this process has already
+    touched (buckets, column stores, compiled tasks), which is the whole
+    point of pinning.  ``None`` on the inbox is the shutdown signal.
+    """
+    while True:
+        item = inbox.get()
+        if item is None:
+            return
+        seq, spec = item
+        try:
+            results.put((seq, _run_job(work, spec), None))
+        except BaseException as exc:  # surface, don't kill the worker
+            results.put((seq, None, f"{type(exc).__name__}: {exc}"))
+
+
+class _PinnedPool:
+    """``n`` persistent fork workers with shard→worker pinning.
+
+    Unlike ``multiprocessing.Pool`` (whose scheduler hands jobs to
+    whichever worker is free), every shard ``s`` is dispatched to worker
+    ``s % n`` on *every* detection: the shard's buckets — inherited once
+    through fork — stay resident in exactly one worker's memory, so a
+    warm server re-detecting an unchanged session touches hot pages
+    instead of faulting the shard state into a different process each
+    time.  Results come back on one shared queue tagged with a sequence
+    number; the parent re-sorts, so scheduling never affects the report.
+    """
+
+    def __init__(self, context, workers: int, work: _WorkState) -> None:
+        self.workers = workers
+        self._results = context.Queue()
+        self._inboxes = []
+        self._procs = []
+        for _ in range(workers):
+            inbox = context.Queue()
+            proc = context.Process(
+                target=_pinned_worker_main,
+                args=(work, inbox, self._results),
+                daemon=True,
+            )
+            proc.start()
+            self._inboxes.append(inbox)
+            self._procs.append(proc)
+
+    def run(self, specs: List[PyTuple[str, int, int]]) -> List[List[_Payload]]:
+        """Dispatch every spec to its pinned worker; return results in
+        spec order."""
+        for seq, spec in enumerate(specs):
+            shard = spec[2]
+            self._inboxes[shard % self.workers].put((seq, spec))
+        chunks: List[Optional[List[_Payload]]] = [None] * len(specs)
+        for _ in range(len(specs)):
+            while True:
+                try:
+                    seq, chunk, error = self._results.get(timeout=1.0)
+                    break
+                except queue.Empty:
+                    dead = [p.pid for p in self._procs if not p.is_alive()]
+                    if dead:
+                        raise RuntimeError(
+                            f"pinned worker(s) {dead} died mid-detection"
+                        ) from None
+            if error is not None:
+                raise RuntimeError(f"pinned worker failed: {error}")
+            chunks[seq] = chunk
+        return chunks  # type: ignore[return-value]
+
+    def close(self) -> None:
+        for inbox in self._inboxes:
+            try:
+                inbox.put(None)
+            except Exception:  # repro: allow[REP006] — best-effort
+                pass  # shutdown: a worker's queue may already be gone
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for inbox in self._inboxes:
+            inbox.close()
+        self._results.close()
+
+
 class ParallelExecutor:
     """Sharded batch detection with a process pool and an inline fallback.
 
@@ -545,12 +644,19 @@ class ParallelExecutor:
         shards: Optional[int] = None,
         workers: Optional[int] = None,
         use_pool: Optional[bool] = None,
+        pin_workers: Optional[bool] = None,
     ):
         self.shards = resolve_shards(shards)
         if workers is not None and workers < 1:
             raise ValueError(f"worker count must be >= 1, got {workers}")
         self.workers = workers
         self.use_pool = use_pool
+        #: shard→worker pinning (``None``: the REPRO_PIN_WORKERS default).
+        #: Only meaningful when the pool runs at all; the report is
+        #: byte-identical either way.
+        self.pin_workers = (
+            default_pin_workers() if pin_workers is None else bool(pin_workers)
+        )
         self.stats = ParallelStats()
         self._fingerprint = None
         #: strong refs backing the fingerprint's id()s — while the cache
@@ -573,8 +679,11 @@ class ParallelExecutor:
     def close(self) -> None:
         """Release the worker pool and drop all cached shard state."""
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            if isinstance(self._pool, _PinnedPool):
+                self._pool.close()
+            else:
+                self._pool.terminate()
+                self._pool.join()
             self._pool = None
         self._pool_size = 0
         self._fingerprint = None
@@ -593,7 +702,9 @@ class ParallelExecutor:
 
     def __del__(self) -> None:  # best-effort; close() is the real contract
         try:
-            if self._pool is not None:
+            if isinstance(self._pool, _PinnedPool):
+                self._pool.close()
+            elif self._pool is not None:
                 self._pool.terminate()
         except Exception:  # repro: allow[REP006] — interpreter-teardown
             pass  # __del__ must never raise; close() is the real contract
@@ -635,16 +746,33 @@ class ParallelExecutor:
             else (self.shards > 1 and pool_workers > 1 and context is not None)
         )
         if pooled and context is not None and self._specs:
-            # With the fork start method, initargs reach workers by memory
-            # inheritance — tuples, schemas and compiled task closures are
-            # never pickled.
-            self._pool = context.Pool(
-                processes=pool_workers,
-                initializer=_init_worker,
-                initargs=(self._work,),
-            )
+            if self.pin_workers:
+                # Persistent processes with shard→worker pinning: the
+                # work state still travels by fork inheritance, and each
+                # shard's buckets stay resident in one worker for the
+                # lifetime of this fingerprint.
+                self._pool = _PinnedPool(context, pool_workers, self._work)
+            else:
+                # With the fork start method, initargs reach workers by
+                # memory inheritance — tuples, schemas and compiled task
+                # closures are never pickled.
+                self._pool = context.Pool(
+                    processes=pool_workers,
+                    initializer=_init_worker,
+                    initargs=(self._work,),
+                )
             self._pool_size = pool_workers
         self._fingerprint = fingerprint
+
+    def prewarm(
+        self, db: DatabaseInstance, dependencies: Iterable[Dependency]
+    ) -> None:
+        """Build shard buckets, serial results and the worker pool *now*.
+
+        A server layer calls this right after a write commits so the
+        first ``detect`` that follows pays only fan-out and merge — the
+        same work :meth:`detect` would do lazily on its first call."""
+        self._prepare(db, list(dependencies))
 
     def detect(self, db: DatabaseInstance, dependencies: Iterable[Dependency]):
         """Plan, shard, fan out, and merge one detection over ``db``."""
@@ -661,7 +789,11 @@ class ParallelExecutor:
         stats.serial_deps = self._serial_count
 
         payloads: List[_Payload] = list(self._serial_payloads)
-        if self._pool is not None:
+        if isinstance(self._pool, _PinnedPool):
+            for chunk in self._pool.run(self._specs):
+                payloads.extend(chunk)
+            stats.pool_workers = self._pool_size
+        elif self._pool is not None:
             for chunk in self._pool.map(_pool_run_job, self._specs):
                 payloads.extend(chunk)
             stats.pool_workers = self._pool_size

@@ -1,17 +1,27 @@
 """``repro.server`` — a long-running JSON-over-HTTP constraint service.
 
 The batch CLI pays a cold start on every invocation: parse schema + rules,
-load the data, build the engine indexes, detect once, exit.  This module
-keeps that work *warm*: a resident :class:`ReproHTTPServer` hosts many
-named :class:`~repro.session.Session` objects, each with its hash indexes,
+load the data, build the engine indexes, detect once, exit.  This package
+keeps that work *warm*: a resident server hosts many named
+:class:`~repro.session.Session` objects, each with its hash indexes,
 shard buckets and delta engine alive across requests, so repeated
 detect/edit traffic pays only the marginal work of each request — the
 amortization the sharded engine layers were built for.
 
-Stdlib only (``http.server`` + ``ThreadingHTTPServer``); one thread per
-request.  Requests against *one* session serialize on that session's lock
-(the delta engine is single-writer); requests against *distinct* sessions
-run in parallel.  When more than ``max_sessions`` sessions are open the
+Two transports share one :class:`~repro.server.core.ServiceCore` (so
+their wire bytes are identical):
+
+* :mod:`repro.server.aio` — the default ``asyncio`` front end: read
+  verbs run lock-free against versioned session snapshots, write verbs
+  serialize per session, and many idle keep-alive connections cost one
+  event loop instead of one thread each;
+* this module's :class:`ReproHTTPServer` — the legacy thread-per-request
+  server (``http.server`` + ``ThreadingHTTPServer``), available behind
+  ``repro serve --legacy-threaded`` for one release.
+
+Requests against *one* session serialize on that session's lock (the
+delta engine is single-writer); requests against *distinct* sessions run
+in parallel.  When more than ``max_sessions`` sessions are open the
 least-recently-used one is evicted through ``Session.close()``.
 
 With ``--state-dir`` the server is *durable*
@@ -24,23 +34,28 @@ snapshot + WAL tail — undo tokens included.  Kill -9 the process at any
 byte boundary, restart on the same state dir, and every session answers
 ``detect`` byte-identically to an uninterrupted run.
 
-Endpoints (see ``docs/server.md`` for the full wire format):
+The wire protocol is versioned (:mod:`repro.server.wire`): every
+endpoint mounts under ``/v1/...`` and every JSON response carries
+``"wire_version": 1`` as the first envelope key.  Unversioned paths
+answer ``301`` to the ``/v1`` mount with a ``Deprecation`` header for
+one release.  Endpoints (see ``docs/server.md`` for the full wire
+format):
 
-===========================  ==============================================
-``GET  /healthz``            liveness + open-session count
-``GET  /metrics``            request counts, per-endpoint latency, cache stats
-``GET  /metrics?format=prometheus``  the same document, text exposition format
-``GET  /sessions``           list hosted sessions
-``POST /sessions``           create a session (inline docs or server paths)
-``GET  /sessions/{id}``      one session's info document
-``DELETE /sessions/{id}``    close + evict a session
-``POST /sessions/{id}/detect``  run detection → the CLI's ``--format json`` doc
-``POST /sessions/{id}/apply``   apply a changeset document via the delta engine
-``POST /sessions/{id}/undo``    replay a stored undo token
-``POST /sessions/{id}/repair``  repair (strategy u|x|s) → repair report doc
-``GET/PUT/POST /sessions/{id}/rules``  registry round-trip of the rule set
-``GET  /sessions/{id}/diagnostics``  engine/delta/lock/durability deep dive
-===========================  ==============================================
+==================================  =======================================
+``GET  /v1/healthz``                liveness + open-session count
+``GET  /v1/metrics``                request counts, latency, cache stats
+``GET  /v1/metrics?format=prometheus``  the same document, text exposition
+``GET  /v1/sessions``               list hosted sessions (lock-free)
+``POST /v1/sessions``               create a session (inline docs or paths)
+``GET  /v1/sessions/{id}``          one session's info document
+``DELETE /v1/sessions/{id}``        close + evict a session
+``POST /v1/sessions/{id}/detect``   run detection → the CLI's json doc
+``POST /v1/sessions/{id}/apply``    apply a changeset via the delta engine
+``POST /v1/sessions/{id}/undo``     replay a stored undo token
+``POST /v1/sessions/{id}/repair``   repair (strategy u|x|s) → repair doc
+``GET/PUT/POST /v1/sessions/{id}/rules``  registry round-trip of the rules
+``GET  /v1/sessions/{id}/diagnostics``  engine/delta/lock/durability dive
+==================================  =======================================
 
 A session that fails ``degraded_after`` consecutive times server-side is
 *degraded*: it answers 503 ``{"degraded": ...}`` while one request at a
@@ -59,900 +74,63 @@ or from the CLI: ``repro serve --port 8765 --max-sessions 64``.
 
 from __future__ import annotations
 
-import json
 import threading
-import time
-from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
-from urllib.parse import parse_qs, urlsplit
+from typing import Any, Dict, Optional, Tuple
 
-from repro.engine.delta import Changeset, StaleEngineError
-from repro.errors import (
-    DependencyError,
-    DomainError,
-    RepairError,
-    ReproError,
-    SchemaError,
+from repro.server.core import (
+    BadRequest,
+    Response,
+    ServiceCore,
+    parse_body_bytes,
 )
-from repro.relational.csvio import load_csv
-from repro.relational.instance import DatabaseInstance
 from repro.server.durability import (
     DEFAULT_SNAPSHOT_EVERY,
     MAX_UNDO_TOKENS,
     SessionJournal,
     SessionStore,
 )
-from repro.server.metrics import LATENCY_BUCKETS, prometheus_text
-from repro.session import Session
+from repro.server.hosting import (
+    DEFAULT_DEGRADED_AFTER,
+    DuplicateSessionError,
+    HostedSession,
+    ServerMetrics,
+    SessionDegradedError,
+    SessionManager,
+    UnknownSessionError,
+)
+from repro.server.wire import WIRE_VERSION
 
 __all__ = [
     "ReproHTTPServer",
     "SessionManager",
     "HostedSession",
+    "ServerMetrics",
+    "ServiceCore",
     "UnknownSessionError",
+    "DuplicateSessionError",
     "SessionDegradedError",
     "DEFAULT_DEGRADED_AFTER",
     "MAX_UNDO_TOKENS",
     "DEFAULT_SNAPSHOT_EVERY",
+    "WIRE_VERSION",
     "SessionJournal",
     "SessionStore",
     "make_server",
+    "make_async_server",
     "serve",
 ]
 
-#: consecutive server-side handler failures before a session is degraded
-DEFAULT_DEGRADED_AFTER = 5
-
-#: a lock acquired slower than this waited on another request (an
-#: uncontended ``threading.Lock`` acquires in well under a microsecond)
-_CONTENDED_LOCK_WAIT = 0.001
-
-#: DeltaStats counters aggregated into /metrics and per-session diagnostics
-_DELTA_STAT_FIELDS = (
-    "batches",
-    "ops_applied",
-    "keys_patched",
-    "keys_reevaluated",
-    "inclusion_keys_touched",
-    "fallback_rescans",
-)
-
-
-class UnknownSessionError(ReproError):
-    """No hosted session under the requested id (HTTP 404)."""
-
-
-class DuplicateSessionError(ReproError):
-    """A session with the requested id already exists (HTTP 409)."""
-
-
-class SessionDegradedError(ReproError):
-    """The session is degraded; the verb was not run (HTTP 503).
-
-    ``document`` is the degraded-state body merged into the error
-    response under ``"degraded"``.
-    """
-
-    def __init__(
-        self, message: str, document: Optional[Dict[str, Any]] = None
-    ) -> None:
-        super().__init__(message)
-        self.document: Dict[str, Any] = document or {}
-
-
-class HostedSession:
-    """One warm session plus the server-side state that wraps it.
-
-    ``lock`` serializes every request that touches the session — the delta
-    engine and the warm parallel executor are single-writer structures, so
-    concurrent requests against one session queue here while requests
-    against other sessions proceed on their own locks.
-    """
-
-    __slots__ = (
-        "id",
-        "session",
-        "lock",
-        "created",
-        "last_used",
-        "requests",
-        "journal",
-        "_undo",
-        "_undo_counter",
-        "failures",
-        "degraded_since",
-        "degraded_total",
-        "last_error",
-        "probe_in_flight",
-        "lock_acquisitions",
-        "lock_wait_seconds_total",
-        "lock_wait_seconds_max",
-        "lock_contended",
-        "closed",
-    )
-
-    def __init__(
-        self,
-        session_id: str,
-        session: Session,
-        journal: Optional[SessionJournal] = None,
-        undo: Optional["OrderedDict[str, Changeset]"] = None,
-        undo_counter: int = 0,
-    ) -> None:
-        self.id = session_id
-        self.session = session
-        self.lock = threading.Lock()
-        self.created = time.time()
-        self.last_used = self.created
-        self.requests = 0
-        self.journal = journal
-        self._undo: "OrderedDict[str, Changeset]" = (
-            undo if undo is not None else OrderedDict()
-        )
-        self._undo_counter = undo_counter
-        #: degraded gating: consecutive 5xx-class handler failures
-        self.failures = 0
-        self.degraded_since: Optional[float] = None
-        self.degraded_total = 0
-        self.last_error: Optional[str] = None
-        self.probe_in_flight = False
-        #: lock-wait aggregates for the diagnostics endpoint
-        self.lock_acquisitions = 0
-        self.lock_wait_seconds_total = 0.0
-        self.lock_wait_seconds_max = 0.0
-        self.lock_contended = 0
-        #: set (under ``lock``) when eviction/removal closed this object;
-        #: a handler that won the lock after a close must re-resolve the
-        #: session id instead of running on a dead engine
-        self.closed = False
-
-    def touch(self) -> None:
-        self.last_used = time.time()
-        self.requests += 1
-
-    # repro: lock-held — verb handlers call this under ``self.lock``
-    def remember_undo(self, undo: Changeset) -> str:
-        """Store an undo changeset; returns its single-use token.
-
-        This is the *only* place the ``MAX_UNDO_TOKENS`` bound is
-        enforced — tokens leave the table through :meth:`consume_undo`
-        (successful replay), :meth:`clear_undo` (instance swap) or the
-        LRU eviction here, never by re-insertion, so the eviction order
-        is exactly token-creation order.
-        """
-        self._undo_counter += 1
-        token = f"undo-{self._undo_counter}"
-        self._undo[token] = undo
-        while len(self._undo) > MAX_UNDO_TOKENS:
-            self._undo.popitem(last=False)
-        return token
-
-    def peek_undo(self, token: str) -> Changeset:
-        """Read a stored undo changeset without consuming the token.
-
-        The token keeps its position in the eviction order: a failed
-        replay must not promote an old token over newer ones (that would
-        change which token :meth:`remember_undo` evicts next).
-        """
-        try:
-            return self._undo[token]
-        except KeyError:
-            raise ReproError(
-                f"unknown or already-used undo token {token!r}"
-            ) from None
-
-    # repro: lock-held — verb handlers call this under ``self.lock``
-    def consume_undo(self, token: str) -> None:
-        """Retire a token after its replay succeeded (tokens are
-        single-use)."""
-        self._undo.pop(token, None)
-
-    # repro: lock-held — verb handlers call this under ``self.lock``
-    def clear_undo(self) -> None:
-        """Drop every stored token — the instance they were recorded
-        against has been replaced (e.g. ``repair(adopt=True)``)."""
-        self._undo.clear()
-
-    def undo_state(self) -> Tuple[List[Tuple[str, Changeset]], int]:
-        """Copy of the token table + counter, for journal-failure rollback."""
-        return list(self._undo.items()), self._undo_counter
-
-    # repro: lock-held — rollback paths call this under ``self.lock``
-    def restore_undo_state(
-        self, state: Tuple[List[Tuple[str, Changeset]], int]
-    ) -> None:
-        """Put the token table back exactly as :meth:`undo_state` saw it."""
-        items, counter = state
-        self._undo.clear()
-        self._undo.update(items)
-        self._undo_counter = counter
-
-    # -- durability (all called under ``lock``) --------------------------
-
-    def persist_apply(
-        self, changeset_doc: Mapping[str, Any], token: str
-    ) -> None:
-        """WAL a successful apply (fsync'd before the response commits)."""
-        self._persist_record(
-            lambda journal: journal.log_apply(changeset_doc, token)
-        )
-
-    def persist_undo(self, taken: str, token: str) -> None:
-        """WAL a successful undo replay."""
-        self._persist_record(lambda journal: journal.log_undo(taken, token))
-
-    def persist_rules(
-        self, rules_docs: List[Dict[str, Any]], replace: bool
-    ) -> None:
-        """WAL a rules replace/append."""
-        self._persist_record(
-            lambda journal: journal.log_rules(rules_docs, replace)
-        )
-
-    def persist_snapshot(self) -> None:
-        """Capture full session state now, retiring the WAL generation."""
-        if self.journal is not None:
-            self.journal.write_snapshot(
-                self.session, list(self._undo.items()), self._undo_counter
-            )
-
-    def _persist_record(self, append: Any) -> None:
-        """Make one write verb durable: a WAL append, normally.
-
-        A *blocked* journal (an earlier append left bytes it could not
-        remove, or a snapshot failed with memory ahead of disk) cannot
-        take appends; a full snapshot both captures this write — the
-        in-memory mutation and its undo token land before this runs —
-        and reopens a fresh WAL generation, clearing the block.  Either
-        path raising means the write did not durably commit; the handler
-        rolls the in-memory mutation back and the client sees the error.
-        """
-        if self.journal is None:
-            return
-        if self.journal.blocked is not None:
-            self.persist_snapshot()
-            return
-        append(self.journal)
-        self._maybe_snapshot()
-
-    def _maybe_snapshot(self) -> None:
-        if (
-            self.journal is not None
-            and self.journal.wal_records >= self.journal.store.snapshot_every
-        ):
-            try:
-                self.persist_snapshot()
-            except Exception:
-                # the triggering write is already durable in the WAL, so a
-                # failed cadence snapshot must not fail its request; the
-                # WAL stays open and the next write retries (via the
-                # journal's blocked fallback in ``_persist_record``)
-                self.journal.store._count("snapshot_failures_total")
-
-    # -- degraded gating (mutations under ``lock``) ----------------------
-
-    @property
-    def is_degraded(self) -> bool:
-        return self.degraded_since is not None
-
-    # repro: lock-held — ``_gated_verb`` calls this under ``self.lock``
-    def record_failure(self, message: str, threshold: int) -> bool:
-        """Count one server-side (5xx-class) handler failure.
-
-        Returns True exactly when this failure crossed ``threshold``
-        consecutive failures and moved the session into the degraded
-        state."""
-        self.failures += 1
-        self.last_error = message
-        if self.degraded_since is None and self.failures >= threshold:
-            self.degraded_since = time.time()
-            self.degraded_total += 1
-            return True
-        return False
-
-    # repro: lock-held — ``_gated_verb`` calls this under ``self.lock``
-    def record_success(self) -> bool:
-        """Reset the failure counters after a verb succeeded.
-
-        Returns True when this success was a recovery probe clearing a
-        degraded session."""
-        recovered = self.degraded_since is not None
-        self.failures = 0
-        self.degraded_since = None
-        self.last_error = None
-        return recovered
-
-    def degraded_document(self) -> Dict[str, Any]:
-        """The state document served under ``"degraded"`` in 503 bodies."""
-        since = self.degraded_since
-        return {
-            "session": self.id,
-            "degraded": since is not None,
-            "consecutive_failures": self.failures,
-            "degraded_seconds": (
-                time.time() - since if since is not None else 0.0
-            ),
-            "last_error": self.last_error,
-        }
-
-    # repro: lock-held — ``_gated_verb`` calls this right after acquiring
-    def note_lock_wait(self, seconds: float) -> None:
-        """Aggregate how long this request queued for the session lock."""
-        self.lock_acquisitions += 1
-        self.lock_wait_seconds_total += seconds
-        if seconds > self.lock_wait_seconds_max:
-            self.lock_wait_seconds_max = seconds
-        if seconds >= _CONTENDED_LOCK_WAIT:
-            self.lock_contended += 1
-
-    def diagnostics(self) -> Dict[str, Any]:
-        """The deep per-session document (``GET /sessions/{id}/diagnostics``):
-        engine cache + delta stats, lock-wait aggregates, degraded state,
-        durability generation and WAL depth."""
-        with self.lock:
-            session = self.session
-            engine = session.warm_engine
-            engine_doc: Dict[str, Any] = {
-                "warm_delta_engine": engine is not None,
-                "warm_parallel_executor": session.has_warm_parallel,
-                "executor": session.executor,
-                "shards": session.shards,
-                "maintained_violations": None,
-                "delta_stats": None,
-            }
-            if engine is not None:
-                engine_doc["maintained_violations"] = engine.total_violations()
-                engine_doc["delta_stats"] = {
-                    field: getattr(engine.stats, field)
-                    for field in _DELTA_STAT_FIELDS
-                }
-            degraded = self.degraded_document()
-            degraded["degraded_total"] = self.degraded_total
-            return {
-                "session": self.id,
-                "relations": {
-                    rel.schema.name: len(rel) for rel in session.database
-                },
-                "rules": len(session.rules),
-                "requests": self.requests,
-                "age_seconds": time.time() - self.created,
-                "idle_seconds": time.time() - self.last_used,
-                "engine": engine_doc,
-                "locks": {
-                    "acquisitions": self.lock_acquisitions,
-                    "wait_seconds_total": self.lock_wait_seconds_total,
-                    "wait_seconds_max": self.lock_wait_seconds_max,
-                    "contended": self.lock_contended,
-                },
-                "degraded": degraded,
-                "undo_tokens": list(self._undo),
-                "durability": (
-                    self.journal.status(session)
-                    if self.journal is not None
-                    else {"enabled": False}
-                ),
-            }
-
-    def info(self) -> Dict[str, Any]:
-        """The session info document.
-
-        Takes the session lock: ``_undo`` and the engine caches mutate
-        under it, so a listing racing an in-flight apply must wait for
-        the batch rather than iterate mutating state.
-        """
-        with self.lock:
-            session = self.session
-            return {
-                "session": self.id,
-                "relations": {
-                    rel.schema.name: len(rel) for rel in session.database
-                },
-                "rules": len(session.rules),
-                "executor": session.executor,
-                "shards": session.shards,
-                "warm_engine": session.has_warm_engine,
-                "warm_parallel": session.has_warm_parallel,
-                "degraded": self.is_degraded,
-                "requests": self.requests,
-                "age_seconds": time.time() - self.created,
-                "idle_seconds": time.time() - self.last_used,
-                "undo_tokens": list(self._undo),
-                "durability": (
-                    self.journal.status(session)
-                    if self.journal is not None
-                    else {"enabled": False}
-                ),
-            }
-
-
-class SessionManager:
-    """The table of hosted sessions: create / resolve / evict.
-
-    LRU order is maintained on every resolve; when the table grows past
-    ``max_sessions`` the least-recently-used session is closed and dropped.
-    All table mutations hold the manager lock; the per-session work itself
-    runs under each :class:`HostedSession`'s own lock.
-    """
-
-    def __init__(
-        self,
-        max_sessions: int = 64,
-        data_root: Optional[Path] = None,
-        state_dir: Optional[Path] = None,
-        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
-        fsync: bool = True,
-    ) -> None:
-        if max_sessions < 1:
-            raise ReproError("max_sessions must be >= 1")
-        self.max_sessions = max_sessions
-        self.data_root = Path(data_root) if data_root is not None else Path.cwd()
-        self._data_root_resolved = self.data_root.resolve()
-        self.store: Optional[SessionStore] = (
-            SessionStore(Path(state_dir), snapshot_every=snapshot_every, fsync=fsync)
-            if state_dir is not None
-            else None
-        )
-        self._lock = threading.RLock()
-        self._sessions: "OrderedDict[str, HostedSession]" = OrderedDict()
-        #: session ids mid-rehydration → event the losers wait on; guarded
-        #: by the manager lock (the recovery itself runs outside it)
-        self._rehydrating: Dict[str, threading.Event] = {}
-        #: session ids mid-eviction (popped from the table, flush-and-close
-        #: still running outside the lock) → event; resolution must wait for
-        #: the flush to land before rehydrating, or it races the snapshot
-        #: retirement and reads state missing the victim's in-flight verb
-        self._evicting: Dict[str, threading.Event] = {}
-        self._auto_counter = 0
-        self.created_total = 0
-        self.evicted_total = 0
-        self.closed_total = 0
-
-    # -- resolution ------------------------------------------------------
-
-    def get(self, session_id: str) -> HostedSession:
-        while True:
-            evicting: Optional[threading.Event] = None
-            with self._lock:
-                hosted = self._sessions.get(session_id)
-                if hosted is not None:
-                    self._sessions.move_to_end(session_id)
-                    hosted.touch()
-                    return hosted
-                evicting = self._evicting.get(session_id)
-            if evicting is not None:
-                # the session was just popped by LRU pressure and its
-                # flush-and-close is still running; re-resolve once the
-                # on-disk state is complete (rehydrating mid-flush reads
-                # a snapshot generation the flush is about to retire)
-                evicting.wait()
-                continue
-            with self._lock:
-                hosted = self._sessions.get(session_id)
-                if hosted is not None:
-                    self._sessions.move_to_end(session_id)
-                    hosted.touch()
-                    return hosted
-                if session_id in self._evicting:
-                    continue
-                if self.store is None or not self.store.exists(session_id):
-                    raise UnknownSessionError(
-                        f"no session {session_id!r}; open sessions: "
-                        f"{list(self._sessions)}"
-                    ) from None
-                event = self._rehydrating.get(session_id)
-                if event is None:
-                    # claim the rehydration; recovery runs outside the lock
-                    event = threading.Event()
-                    self._rehydrating[session_id] = event
-                    claimed = True
-                else:
-                    claimed = False
-            if not claimed:
-                # another request is recovering this session — wait for it
-                # to land (or fail), then re-resolve from the table
-                event.wait()
-                continue
-            try:
-                hosted = self._rehydrate(session_id)
-            finally:
-                with self._lock:
-                    self._rehydrating.pop(session_id, None)
-                event.set()
-            if hosted is not None:
-                return hosted
-            # lost a remove()/purge race after claiming — report 404
-
-    def _rehydrate(self, session_id: str) -> Optional[HostedSession]:
-        """Recover a cold durable session and publish it in the table."""
-        assert self.store is not None
-        try:
-            journal, recovered = self.store.recover(session_id)
-        except FileNotFoundError:
-            return None
-        hosted = HostedSession(
-            session_id,
-            recovered.session,
-            journal=journal,
-            undo=recovered.undo,
-            undo_counter=recovered.undo_counter,
-        )
-        evicted: List[HostedSession] = []
-        with hosted.lock:
-            with self._lock:
-                existing = self._sessions.get(session_id)
-                if existing is not None:
-                    # a concurrent create() won the id; its state superseded
-                    # the on-disk copy we just read
-                    journal.close()
-                    recovered.session.close()
-                    existing.touch()
-                    return existing
-                self._sessions[session_id] = hosted
-                hosted.touch()
-                while len(self._sessions) > self.max_sessions:
-                    _, lru = self._sessions.popitem(last=False)
-                    if lru is hosted:
-                        # pathological max_sessions=1 churn: keep the
-                        # session we were asked for, drop nothing else
-                        self._sessions[session_id] = hosted
-                        break
-                    evicted.append(lru)
-                    self._evicting[lru.id] = threading.Event()
-                    self.evicted_total += 1
-            if recovered.wal_records >= journal.store.snapshot_every:
-                # long tail replayed — fold it into a snapshot now rather
-                # than replaying it again on the next restart
-                hosted.persist_snapshot()
-        self._evict_all(evicted)
-        return hosted
-
-    def _evict_all(self, evicted: List[HostedSession]) -> None:
-        """Flush-and-close popped LRU victims, then release their
-        eviction tombstones so waiting resolvers may rehydrate."""
-        for lru in evicted:
-            try:
-                self._flush_and_close(lru)
-            finally:
-                with self._lock:
-                    event = self._evicting.pop(lru.id, None)
-                if event is not None:
-                    event.set()
-
-    def list(self) -> List[HostedSession]:
-        with self._lock:
-            return list(self._sessions.values())
-
-    def cold_session_ids(self) -> List[str]:
-        """Durable sessions on disk but not currently resident."""
-        if self.store is None:
-            return []
-        with self._lock:
-            resident = set(self._sessions)
-            pending = set(self._rehydrating)
-        return [
-            sid
-            for sid in self.store.session_ids()
-            if sid not in resident and sid not in pending
-        ]
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._sessions)
-
-    # -- lifecycle -------------------------------------------------------
-
-    def _resolve_path(self, path: str) -> Path:
-        """Resolve a client-supplied server-side path inside ``data_root``.
-
-        Clients name schema/rules/CSV files by path; the data root is the
-        confinement boundary.  Absolute paths and ``..`` traversal are
-        rejected *after* resolving symlinks, so a link pointing outside
-        the root does not slip through either.
-        """
-        candidate = Path(path)
-        if not candidate.is_absolute():
-            candidate = self.data_root / candidate
-        resolved = candidate.resolve()
-        if not resolved.is_relative_to(self._data_root_resolved):
-            raise ReproError(
-                f"server-side path {path!r} escapes the data root "
-                f"{str(self.data_root)!r}"
-            )
-        return resolved
-
-    def _build_session(self, document: Mapping[str, Any]) -> Session:
-        from repro.rules_json import (
-            database_schema_from_dict,
-            load_database_schema,
-            load_rules,
-            rules_from_list,
-        )
-
-        schema_doc = document.get("schema")
-        if isinstance(schema_doc, str):
-            db_schema = load_database_schema(self._resolve_path(schema_doc))
-        elif isinstance(schema_doc, Mapping):
-            db_schema = database_schema_from_dict(schema_doc)
-        else:
-            raise SchemaError(
-                "session document needs a 'schema' (inline document or "
-                "server-side path)"
-            )
-
-        rules_doc = document.get("rules")
-        if rules_doc is None:
-            rules: List[Any] = []
-        elif isinstance(rules_doc, str):
-            rules = load_rules(self._resolve_path(rules_doc), db_schema)
-        elif isinstance(rules_doc, (list, tuple)):
-            rules = rules_from_list(rules_doc, db_schema)
-        else:
-            raise DependencyError(
-                "'rules' must be a rules list or a server-side path"
-            )
-
-        db = DatabaseInstance(db_schema)
-        data = document.get("data") or {}
-        if not isinstance(data, Mapping):
-            raise SchemaError(
-                "'data' must map relation names to row lists or CSV paths"
-            )
-        for rel_name, payload in data.items():
-            relation = db.relation(rel_name)
-            if isinstance(payload, str):
-                for t in load_csv(relation.schema, self._resolve_path(payload)):
-                    relation.add(t)
-            elif isinstance(payload, (list, tuple)):
-                for row in payload:
-                    relation.add(row)
-            else:
-                raise SchemaError(
-                    f"data for relation {rel_name!r} must be a row list or "
-                    "a server-side CSV path"
-                )
-
-        executor = document.get("executor", "indexed")
-        shards = document.get("shards")
-        if shards is not None and not isinstance(shards, int):
-            raise ReproError(f"'shards' must be an integer, got {shards!r}")
-        return Session.from_instance(db, rules, executor=executor, shards=shards)
-
-    def create(self, document: Mapping[str, Any]) -> HostedSession:
-        """Build and register a session from a creation document.
-
-        The session is built *outside* the manager lock (data upload and
-        index construction can be slow); only the table insert and any
-        LRU eviction hold it.
-        """
-        session_id = document.get("id")
-        if session_id is not None and not isinstance(session_id, str):
-            raise ReproError(f"'id' must be a string, got {session_id!r}")
-        if session_id == "":
-            raise ReproError("'id' must be a non-empty string")
-        if session_id is not None:
-            # fail fast before paying the data upload / instance build;
-            # the post-build check below still covers a create/create race
-            with self._lock:
-                if session_id in self._sessions:
-                    raise DuplicateSessionError(
-                        f"session {session_id!r} already exists; DELETE it "
-                        "first or create under a fresh id"
-                    )
-            if self.store is not None and self.store.exists(session_id):
-                raise DuplicateSessionError(
-                    f"session {session_id!r} already exists (durable state "
-                    "on disk); DELETE it first or create under a fresh id"
-                )
-        session = self._build_session(document)
-        evicted: List[HostedSession] = []
-        hosted: Optional[HostedSession] = None
-        try:
-            with self._lock:
-                if session_id is None:
-                    self._auto_counter += 1
-                    session_id = f"s{self._auto_counter}"
-                    while session_id in self._sessions or (
-                        self.store is not None and self.store.exists(session_id)
-                    ):
-                        self._auto_counter += 1
-                        session_id = f"s{self._auto_counter}"
-                elif session_id in self._sessions:
-                    raise DuplicateSessionError(
-                        f"session {session_id!r} already exists; DELETE it "
-                        "first or create under a fresh id"
-                    )
-                hosted = HostedSession(session_id, session)
-                self._sessions[session_id] = hosted
-                self.created_total += 1
-                while len(self._sessions) > self.max_sessions:
-                    _, lru = self._sessions.popitem(last=False)
-                    evicted.append(lru)
-                    self._evicting[lru.id] = threading.Event()
-                    self.evicted_total += 1
-            if self.store is not None:
-                # hold the session lock across the durable create so no
-                # request can land on the published session before its
-                # journal (and gen-0 snapshot) exists
-                with hosted.lock:
-                    try:
-                        hosted.journal = self.store.create(session_id, session)
-                    except FileExistsError:
-                        raise DuplicateSessionError(
-                            f"session {session_id!r} already exists (durable "
-                            "state on disk); DELETE it first or create under "
-                            "a fresh id"
-                        ) from None
-        except BaseException:
-            if hosted is not None:
-                with self._lock:
-                    if self._sessions.get(session_id) is hosted:
-                        del self._sessions[session_id]
-                        self.created_total -= 1
-            session.close()
-            raise
-        finally:
-            # Close outside the manager lock: an in-flight request may hold
-            # the session lock, and closing must wait for it, not block the
-            # whole table.  Runs on the failure path too — the victims were
-            # already popped, and resolvers are waiting on their tombstones.
-            self._evict_all(evicted)
-        return hosted
-
-    def remove(self, session_id: str) -> str:
-        """Close and drop a session; durable state on disk is purged too.
-
-        Returns the removed session id — the session object itself may
-        never have been resident (cold durable session)."""
-        while True:
-            with self._lock:
-                hosted = self._sessions.pop(session_id, None)
-                event = self._rehydrating.get(session_id)
-                if event is None:
-                    event = self._evicting.get(session_id)
-                if hosted is None and event is None:
-                    if self.store is None or not self.store.exists(session_id):
-                        raise UnknownSessionError(
-                            f"no session {session_id!r}; open sessions: "
-                            f"{list(self._sessions)}"
-                        ) from None
-                if hosted is not None:
-                    self.closed_total += 1
-            if hosted is None and event is not None:
-                # a rehydration or eviction flush is in flight; let it
-                # land, then remove whatever it produced
-                event.wait()
-                continue
-            break
-        if hosted is not None:
-            with hosted.lock:
-                hosted.closed = True
-                if hosted.journal is not None:
-                    hosted.journal.close()
-                hosted.session.close()
-        if self.store is not None:
-            self.store.purge(session_id)
-            if hosted is None:
-                with self._lock:
-                    self.closed_total += 1
-        return session_id
-
-    def close_all(self) -> None:
-        """Flush every dirty journal and close every session (shutdown)."""
-        with self._lock:
-            sessions = list(self._sessions.values())
-            self._sessions.clear()
-        for hosted in sessions:
-            self._flush_and_close(hosted)
-
-    def _flush_and_close(self, hosted: HostedSession) -> None:
-        """Eviction/shutdown path: snapshot pending state, then close.
-
-        With durability on, eviction means *flush then drop* — the session
-        leaves memory but stays recoverable (and is lazily rehydrated on
-        the next request that names it)."""
-        with hosted.lock:
-            hosted.closed = True
-            journal = hosted.journal
-            if journal is not None:
-                if journal.needs_flush or hosted.session.dirty:
-                    try:
-                        hosted.persist_snapshot()
-                        journal.store._count("flushed_total")
-                    except Exception:
-                        # every acknowledged write is already durable in
-                        # the snapshot + WAL on disk; a failed eviction
-                        # flush only loses the chance to fold the WAL
-                        # tail into a snapshot before dropping the session
-                        journal.store._count("snapshot_failures_total")
-                journal.close()
-            hosted.session.close()
-
-
-class ServerMetrics:
-    """Thread-safe request counters: totals, statuses, per-endpoint latency
-    (with Prometheus-style histogram buckets) and named ops counters."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.requests_total = 0
-        self.responses: Dict[str, int] = {}
-        self.endpoints: Dict[str, Dict[str, float]] = {}
-        #: per-endpoint latency observations, one slot per LATENCY_BUCKETS
-        #: bound plus the trailing +Inf overflow slot
-        self._buckets: Dict[str, List[int]] = {}
-        #: named operational counters (degraded gating lifecycle)
-        self.counters: Dict[str, int] = {
-            "handler_failures_total": 0,
-            "degraded_total": 0,
-            "probes_total": 0,
-            "recoveries_total": 0,
-            "rejected_total": 0,
-        }
-
-    def record(self, endpoint: str, status: int, seconds: float) -> None:
-        with self._lock:
-            self.requests_total += 1
-            key = str(status)
-            self.responses[key] = self.responses.get(key, 0) + 1
-            stats = self.endpoints.setdefault(
-                endpoint, {"count": 0, "seconds_total": 0.0, "seconds_max": 0.0}
-            )
-            stats["count"] += 1
-            stats["seconds_total"] += seconds
-            stats["seconds_max"] = max(stats["seconds_max"], seconds)
-            buckets = self._buckets.setdefault(
-                endpoint, [0] * (len(LATENCY_BUCKETS) + 1)
-            )
-            for index, bound in enumerate(LATENCY_BUCKETS):
-                if seconds <= bound:
-                    buckets[index] += 1
-                    break
-            else:
-                buckets[-1] += 1
-
-    def count(self, name: str) -> None:
-        """Bump one named operational counter."""
-        with self._lock:
-            self.counters[name] = self.counters.get(name, 0) + 1
-
-    def counters_snapshot(self) -> Dict[str, int]:
-        with self._lock:
-            return dict(self.counters)
-
-    def snapshot(self) -> Dict[str, Any]:
-        with self._lock:
-            labels = [f"{bound:g}" for bound in LATENCY_BUCKETS] + ["+Inf"]
-            empty = [0] * (len(LATENCY_BUCKETS) + 1)
-            endpoints: Dict[str, Dict[str, Any]] = {}
-            for endpoint, stats in sorted(self.endpoints.items()):
-                cumulative: Dict[str, int] = {}
-                running = 0
-                for label, observed in zip(
-                    labels, self._buckets.get(endpoint, empty)
-                ):
-                    running += observed
-                    cumulative[label] = running
-                endpoints[endpoint] = {
-                    "count": stats["count"],
-                    "seconds_total": stats["seconds_total"],
-                    "seconds_avg": stats["seconds_total"] / stats["count"],
-                    "seconds_max": stats["seconds_max"],
-                    "seconds_bucket": cumulative,
-                }
-            return {
-                "requests_total": self.requests_total,
-                "responses": dict(sorted(self.responses.items())),
-                "endpoints": endpoints,
-            }
-
 
 class ReproHTTPServer(ThreadingHTTPServer):
-    """The threading HTTP server plus the shared service state."""
+    """The legacy thread-per-request transport over the shared core."""
 
     daemon_threads = True
     allow_reuse_address = True
+    # the stdlib default backlog of 5 resets connections under benchmark
+    # fan-in (hundreds of clients connecting at once)
+    request_queue_size = 128
 
     def __init__(
         self,
@@ -974,9 +152,9 @@ class ReproHTTPServer(ThreadingHTTPServer):
             fsync=fsync,
         )
         self.metrics = ServerMetrics()
-        #: consecutive handler failures before a session degrades (0 = off)
-        self.degraded_after = max(0, degraded_after)
-        self.started = time.time()
+        self.core = ServiceCore(self.manager, self.metrics, degraded_after)
+        self.degraded_after = self.core.degraded_after
+        self.started = self.core.started
         self.verbose = verbose
         self._thread: Optional[threading.Thread] = None
 
@@ -1002,140 +180,21 @@ class ReproHTTPServer(ThreadingHTTPServer):
         self.manager.close_all()
         self.server_close()
 
-    # -- documents -------------------------------------------------------
+    # -- documents (delegated; kept for tests and benchmarks) ------------
 
     def health_document(self) -> Dict[str, Any]:
-        return {
-            "status": "ok",
-            "uptime_seconds": time.time() - self.started,
-            "sessions": len(self.manager),
-            "max_sessions": self.manager.max_sessions,
-        }
+        return self.core.health_document()
 
     def metrics_document(self) -> Dict[str, Any]:
-        manager = self.manager
-        warm_engines = 0
-        warm_parallel = 0
-        delta_totals = {field: 0 for field in _DELTA_STAT_FIELDS}
-        maintained_violations = 0
-        degraded_sessions = 0
-        for hosted in manager.list():
-            # per-session lock, but never *wait* for one: a scrape must
-            # not hang behind a long (or wedged) verb handler.  Busy
-            # sessions fall back to dirty single-attribute reads and
-            # skip the engine totals — a momentary undercount in a
-            # gauge, not a stalled /metrics endpoint.
-            if hosted.lock.acquire(blocking=False):
-                try:
-                    session = hosted.session
-                    engine = session.warm_engine
-                    if engine is not None:
-                        warm_engines += 1
-                        maintained_violations += engine.total_violations()
-                        for field in delta_totals:
-                            delta_totals[field] += getattr(
-                                engine.stats, field
-                            )
-                    if session.has_warm_parallel:
-                        warm_parallel += 1
-                    if hosted.is_degraded:
-                        degraded_sessions += 1
-                finally:
-                    hosted.lock.release()
-            else:
-                session = hosted.session
-                if session.warm_engine is not None:
-                    warm_engines += 1
-                if session.has_warm_parallel:
-                    warm_parallel += 1
-                if hosted.is_degraded:
-                    degraded_sessions += 1
-        document = self.metrics_document_base()
-        ops_counters = self.metrics.counters_snapshot()
-        document["degraded"] = {
-            "threshold": self.degraded_after,
-            "sessions_degraded": degraded_sessions,
-            "degraded_total": ops_counters["degraded_total"],
-            "handler_failures_total": ops_counters["handler_failures_total"],
-            "probes_total": ops_counters["probes_total"],
-            "recoveries_total": ops_counters["recoveries_total"],
-            "rejected_total": ops_counters["rejected_total"],
-        }
-        document["sessions"] = {
-            "open": len(manager),
-            "max_sessions": manager.max_sessions,
-            "created_total": manager.created_total,
-            "evicted_total": manager.evicted_total,
-            "closed_total": manager.closed_total,
-        }
-        document["engines"] = {
-            "warm_delta_engines": warm_engines,
-            "warm_parallel_executors": warm_parallel,
-            "maintained_violations": maintained_violations,
-            "delta_stats": delta_totals,
-        }
-        if manager.store is not None:
-            durability: Dict[str, Any] = {"enabled": True}
-            durability.update(manager.store.counters_snapshot())
-            durability["cold_sessions"] = len(manager.cold_session_ids())
-            document["durability"] = durability
-        else:
-            document["durability"] = {"enabled": False}
-        return document
+        return self.core.metrics_document()
 
     def metrics_document_base(self) -> Dict[str, Any]:
-        document = {"uptime_seconds": time.time() - self.started}
-        document.update(self.metrics.snapshot())
-        return document
-
-
-# --------------------------------------------------------------------------
-# Request handling
-# --------------------------------------------------------------------------
-
-#: (error class, HTTP status) in match order — first isinstance hit wins
-_ERROR_STATUS = (
-    (SessionDegradedError, 503),
-    (UnknownSessionError, 404),
-    (DuplicateSessionError, 409),
-    (StaleEngineError, 409),
-    (RepairError, 400),
-    (DependencyError, 400),
-    (SchemaError, 400),
-    (DomainError, 400),
-    (ReproError, 400),
-    (KeyError, 400),
-    (ValueError, 400),
-)
-
-
-def _status_for(exc: BaseException) -> int:
-    """Map a handler exception to its HTTP status (500 when unclassified)."""
-    for error_cls, error_status in _ERROR_STATUS:
-        if isinstance(exc, error_cls):
-            return error_status
-    return 500
-
-
-class _BadRequest(Exception):
-    """Internal: malformed request envelope (not a library error)."""
-
-
-class _PlainText:
-    """Marker: a route resolved to a non-JSON payload."""
-
-    __slots__ = ("text", "content_type")
-
-    def __init__(self, text: str, content_type: str) -> None:
-        self.text = text
-        self.content_type = content_type
+        return self.core.metrics_document_base()
 
 
 class _Handler(BaseHTTPRequestHandler):
     server: ReproHTTPServer  # narrowed for type checkers
     protocol_version = "HTTP/1.1"
-
-    # -- plumbing --------------------------------------------------------
 
     def log_message(self, format: str, *args: Any) -> None:
         if self.server.verbose:
@@ -1146,11 +205,7 @@ class _Handler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length") or 0)
         if length == 0:
             return None
-        raw = self.rfile.read(length)
-        try:
-            return json.loads(raw)
-        except json.JSONDecodeError as exc:
-            raise _BadRequest(f"request body is not valid JSON: {exc}") from exc
+        return parse_body_bytes(self.rfile.read(length))
 
     def _drain_body(self) -> None:
         """Consume an unread request body before responding.
@@ -1167,72 +222,21 @@ class _Handler(BaseHTTPRequestHandler):
         if length > 0:
             self.rfile.read(length)
 
-    def _send_json(self, status: int, document: Mapping[str, Any]) -> None:
-        self._drain_body()
-        payload = (
-            json.dumps(document, indent=2, default=str) + "\n"
-        ).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(payload)))
-        self.end_headers()
-        self.wfile.write(payload)
-
-    def _send_text(self, status: int, text: str, content_type: str) -> None:
-        self._drain_body()
-        payload = text.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(payload)))
-        self.end_headers()
-        self.wfile.write(payload)
-
-    def _send_error_json(self, status: int, message: str, kind: str) -> None:
-        self._send_json(status, {"error": message, "type": kind})
-
-    def _endpoint_template(self, method: str) -> str:
-        """The metrics key for this request: the route *template* (session
-        ids replaced by ``{id}``) whatever the outcome — raw paths would
-        grow the metrics table without bound under probes against many
-        distinct (e.g. evicted) session ids."""
-        parts = [p for p in urlsplit(self.path).path.split("/") if p]
-        if parts and parts[0] == "sessions":
-            if len(parts) == 2:
-                parts = ["sessions", "{id}"]
-            elif len(parts) >= 3:
-                parts = ["sessions", "{id}", parts[2]]
-        return f"{method} /" + "/".join(parts)
-
     def _dispatch(self, method: str) -> None:
-        started = time.perf_counter()
         # one handler instance serves many requests on a keep-alive
         # connection: the body-consumed flag is per-request state
         self._body_read = False
-        endpoint = self._endpoint_template(method)
-        status = 500
-        try:
-            endpoint, status, document = self._route(method)
-            if isinstance(document, _PlainText):
-                self._send_text(status, document.text, document.content_type)
-            else:
-                self._send_json(status, document)
-        except _BadRequest as exc:
-            status = 400
-            self._send_error_json(status, str(exc), "BadRequest")
-        except Exception as exc:
-            status = _status_for(exc)
-            message = str(exc) if not isinstance(exc, KeyError) else repr(exc)
-            body: Dict[str, Any] = {
-                "error": message,
-                "type": type(exc).__name__,
-            }
-            if isinstance(exc, SessionDegradedError):
-                body["degraded"] = exc.document
-            self._send_json(status, body)
-        finally:
-            self.server.metrics.record(
-                endpoint, status, time.perf_counter() - started
-            )
+        response: Response = self.server.core.handle(
+            method, self.path, self._read_body
+        )
+        self._drain_body()
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(response.body)
 
     def do_GET(self) -> None:
         self._dispatch("GET")
@@ -1245,366 +249,6 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_DELETE(self) -> None:
         self._dispatch("DELETE")
-
-    # -- routing ---------------------------------------------------------
-
-    def _route(
-        self, method: str
-    ) -> Tuple[str, int, Union[Dict[str, Any], _PlainText]]:
-        """Resolve one request; returns (endpoint template, status, doc)."""
-        path = urlsplit(self.path).path
-        parts = [p for p in path.split("/") if p]
-
-        if parts == ["healthz"] and method == "GET":
-            return "GET /healthz", 200, self.server.health_document()
-        if parts == ["metrics"] and method == "GET":
-            query = parse_qs(urlsplit(self.path).query)
-            fmt = query.get("format", ["json"])[-1]
-            if fmt not in ("json", "prometheus"):
-                raise _BadRequest(
-                    f"unknown metrics format {fmt!r} (expected json or "
-                    "prometheus)"
-                )
-            metrics_doc = self.server.metrics_document()
-            if fmt == "prometheus":
-                return (
-                    "GET /metrics",
-                    200,
-                    _PlainText(
-                        prometheus_text(metrics_doc),
-                        "text/plain; version=0.0.4; charset=utf-8",
-                    ),
-                )
-            return "GET /metrics", 200, metrics_doc
-
-        manager = self.server.manager
-        if parts and parts[0] == "sessions":
-            if len(parts) == 1:
-                if method == "GET":
-                    document: Dict[str, Any] = {
-                        "sessions": [h.info() for h in manager.list()]
-                    }
-                    if manager.store is not None:
-                        document["cold_sessions"] = manager.cold_session_ids()
-                    return "GET /sessions", 200, document
-                if method == "POST":
-                    body = self._read_body() or {}
-                    if not isinstance(body, Mapping):
-                        raise _BadRequest(
-                            "session creation body must be a JSON object"
-                        )
-                    hosted = manager.create(body)
-                    return "POST /sessions", 201, hosted.info()
-            elif len(parts) == 2:
-                session_id = parts[1]
-                if method == "GET":
-                    return (
-                        "GET /sessions/{id}",
-                        200,
-                        manager.get(session_id).info(),
-                    )
-                if method == "DELETE":
-                    removed = manager.remove(session_id)
-                    return (
-                        "DELETE /sessions/{id}",
-                        200,
-                        {"session": removed, "closed": True},
-                    )
-            elif len(parts) == 3:
-                return self._route_session_verb(method, parts[1], parts[2])
-
-        raise _BadRequest(f"no route for {method} {path}")
-
-    def _route_session_verb(
-        self, method: str, session_id: str, verb: str
-    ) -> Tuple[str, int, Dict[str, Any]]:
-        manager = self.server.manager
-        if verb == "diagnostics" and method == "GET":
-            # ungated: diagnostics must stay readable while degraded
-            while True:
-                hosted = manager.get(session_id)
-                try:
-                    document = hosted.diagnostics()
-                except Exception:
-                    if hosted.closed:
-                        continue  # read a dying session; re-resolve
-                    raise
-                if hosted.closed:
-                    continue  # evicted under us; re-resolve
-                return ("GET /sessions/{id}/diagnostics", 200, document)
-        if verb == "rules" and method == "GET":
-            # ungated read: serving the rule documents never runs the
-            # engine, so it says nothing about (and needs nothing from)
-            # the session's health
-            while True:
-                hosted = manager.get(session_id)
-                with hosted.lock:
-                    if hosted.closed:
-                        continue  # evicted under us; re-resolve
-                    return (
-                        "GET /sessions/{id}/rules",
-                        200,
-                        {"rules": hosted.session.rules_documents()},
-                    )
-        if verb == "rules" and method in ("PUT", "POST"):
-            body = self._read_body()
-            return self._run_gated(
-                session_id,
-                lambda hosted: self._handle_rules_write(hosted, method, body),
-            )
-        if method != "POST":
-            raise _BadRequest(
-                f"no route for {method} /sessions/{{id}}/{verb}"
-            )
-        body = self._read_body()
-        if verb == "detect":
-            return self._run_gated(
-                session_id, lambda hosted: self._handle_detect(hosted, body)
-            )
-        if verb == "apply":
-            return self._run_gated(
-                session_id, lambda hosted: self._handle_apply(hosted, body)
-            )
-        if verb == "undo":
-            return self._run_gated(
-                session_id, lambda hosted: self._handle_undo(hosted, body)
-            )
-        if verb == "repair":
-            return self._run_gated(
-                session_id, lambda hosted: self._handle_repair(hosted, body)
-            )
-        raise _BadRequest(f"no route for POST /sessions/{{id}}/{verb}")
-
-    def _run_gated(
-        self,
-        session_id: str,
-        handler: Callable[
-            [HostedSession], Tuple[str, int, Dict[str, Any]]
-        ],
-    ) -> Tuple[str, int, Dict[str, Any]]:
-        """Resolve the session and run ``handler`` under degraded gating.
-
-        Re-resolves when the resolved object was closed between lookup
-        and lock acquisition (LRU eviction racing the request) — the
-        retry lands on the rehydrated copy, or 404s if the session is
-        truly gone."""
-        while True:
-            hosted = self.server.manager.get(session_id)
-            result = self._gated_verb(hosted, handler)
-            if result is not None:
-                return result
-
-    def _gated_verb(
-        self,
-        hosted: HostedSession,
-        handler: Callable[
-            [HostedSession], Tuple[str, int, Dict[str, Any]]
-        ],
-    ) -> Optional[Tuple[str, int, Dict[str, Any]]]:
-        """Run one verb handler under the session lock with degraded gating.
-
-        A session that failed ``degraded_after`` consecutive times is
-        *degraded*: the next request to reach its lock runs the verb as a
-        recovery probe (a success clears the state and answers normally),
-        while requests arriving during an in-flight probe are rejected
-        with a fast 503 instead of queueing behind a likely-failing
-        handler.  Failure accounting is 5xx-only — client errors (bad
-        documents, unknown undo tokens) say nothing about session health.
-        The lock is released on every path: a degraded session can never
-        poison it.
-
-        Returns ``None`` when the session object was closed before the
-        lock was won — the caller (:meth:`_run_gated`) re-resolves.
-        """
-        server = self.server
-        threshold = server.degraded_after
-        if threshold and hosted.is_degraded and hosted.probe_in_flight:
-            # dirty read by design: the worst a race costs is one extra
-            # request queueing for the lock and becoming the next probe
-            server.metrics.count("rejected_total")
-            raise SessionDegradedError(
-                f"session {hosted.id!r} is degraded and a recovery probe "
-                "is already in flight; retry shortly",
-                hosted.degraded_document(),
-            )
-        wait_from = time.perf_counter()
-        with hosted.lock:
-            if hosted.closed:
-                return None
-            hosted.note_lock_wait(time.perf_counter() - wait_from)
-            probing = bool(threshold) and hosted.is_degraded
-            if probing:
-                hosted.probe_in_flight = True
-                server.metrics.count("probes_total")
-            try:
-                result = handler(hosted)
-            except Exception as exc:
-                if threshold and _status_for(exc) >= 500:
-                    server.metrics.count("handler_failures_total")
-                    if hosted.record_failure(str(exc), threshold):
-                        server.metrics.count("degraded_total")
-                    if hosted.is_degraded:
-                        raise SessionDegradedError(
-                            f"session {hosted.id!r} is degraded after "
-                            f"{hosted.failures} consecutive failures; the "
-                            f"next request probes for recovery (last "
-                            f"error: {exc})",
-                            hosted.degraded_document(),
-                        ) from exc
-                raise
-            else:
-                if threshold and hosted.record_success():
-                    server.metrics.count("recoveries_total")
-                return result
-            finally:
-                if probing:
-                    hosted.probe_in_flight = False
-
-    # -- verbs (all run under the hosted session's lock) -----------------
-
-    @staticmethod
-    def _handle_detect(
-        hosted: HostedSession, body: Any
-    ) -> Tuple[str, int, Dict[str, Any]]:
-        body = body or {}
-        if not isinstance(body, Mapping):
-            raise _BadRequest("detect body must be a JSON object (or empty)")
-        report = hosted.session.detect(
-            executor=body.get("executor"),
-            shards=body.get("shards"),
-        )
-        document = report.to_dict(
-            include_violations=bool(body.get("include_violations", True))
-        )
-        return "POST /sessions/{id}/detect", 200, document
-
-    @staticmethod
-    def _delta_document(hosted: HostedSession, delta: Any) -> Dict[str, Any]:
-        from repro.session import ViolationReport
-
-        return {
-            "added": [
-                ViolationReport._violation_to_dict(v) for v in delta.added
-            ],
-            "removed": [
-                ViolationReport._violation_to_dict(v) for v in delta.removed
-            ],
-            "remaining": delta.remaining,
-            "clean": delta.clean_after,
-            "undo_token": hosted.remember_undo(delta.undo),
-        }
-
-    def _handle_apply(
-        self, hosted: HostedSession, body: Any
-    ) -> Tuple[str, int, Dict[str, Any]]:
-        if not isinstance(body, Mapping):
-            raise _BadRequest(
-                "apply body must be a changeset document {\"ops\": [...]}"
-            )
-        changeset = Changeset.from_dict(body)
-        saved_undo = hosted.undo_state()
-        delta = hosted.session.apply(changeset)
-        document = self._delta_document(hosted, delta)
-        # WAL after the apply committed, before the response does: the
-        # canonical changeset (not the raw body) replays deterministically
-        try:
-            hosted.persist_apply(changeset.to_dict(), document["undo_token"])
-        except BaseException:
-            # the record did not durably commit: roll the in-memory apply
-            # back so memory, journal and the client's error response all
-            # agree the write never happened (a retry is safe)
-            hosted.session.apply(delta.undo)
-            hosted.restore_undo_state(saved_undo)
-            raise
-        return "POST /sessions/{id}/apply", 200, document
-
-    def _handle_undo(
-        self, hosted: HostedSession, body: Any
-    ) -> Tuple[str, int, Dict[str, Any]]:
-        if not isinstance(body, Mapping) or "token" not in body:
-            raise _BadRequest("undo body must be {\"token\": \"...\"}")
-        token = body["token"]
-        # peek, don't pop: a failed apply rolls the database back
-        # (delta-engine atomicity), so the token must stay valid — and in
-        # its original eviction slot — instead of burning on the attempt
-        undo = hosted.peek_undo(token)
-        saved_undo = hosted.undo_state()
-        delta = hosted.session.apply(undo)
-        hosted.consume_undo(token)
-        document = self._delta_document(hosted, delta)
-        try:
-            hosted.persist_undo(token, document["undo_token"])
-        except BaseException:
-            # roll the replay back: the database reverts and the taken
-            # token returns to its original eviction slot, still valid
-            hosted.session.apply(delta.undo)
-            hosted.restore_undo_state(saved_undo)
-            raise
-        return "POST /sessions/{id}/undo", 200, document
-
-    @staticmethod
-    def _handle_repair(
-        hosted: HostedSession, body: Any
-    ) -> Tuple[str, int, Dict[str, Any]]:
-        body = body or {}
-        if not isinstance(body, Mapping):
-            raise _BadRequest("repair body must be a JSON object (or empty)")
-        kwargs: Dict[str, Any] = {}
-        if "max_passes" in body:
-            kwargs["max_passes"] = int(body["max_passes"])
-        if "limit" in body:
-            kwargs["limit"] = int(body["limit"])
-        adopt = bool(body.get("adopt", False))
-        report = hosted.session.repair(
-            strategy=body.get("strategy", "u"),
-            adopt=adopt,
-            **kwargs,
-        )
-        if adopt:
-            # the instance the stored undo changesets were recorded
-            # against is gone; replaying one on the repaired instance
-            # would silently corrupt it
-            hosted.clear_undo()
-            # wholesale instance swap: no changeset to WAL — capture the
-            # adopted state as a fresh snapshot instead
-            hosted.persist_snapshot()
-        return "POST /sessions/{id}/repair", 200, report.to_dict()
-
-    @staticmethod
-    def _handle_rules_write(
-        hosted: HostedSession, method: str, body: Any
-    ) -> Tuple[str, int, Dict[str, Any]]:
-        from repro.rules_json import rules_from_list, rules_to_list
-
-        if isinstance(body, Mapping):
-            documents = body.get("rules")
-        else:
-            documents = body
-        if not isinstance(documents, (list, tuple)):
-            raise _BadRequest(
-                "rules body must be a rules list (or {\"rules\": [...]})"
-            )
-        session = hosted.session
-        parsed = rules_from_list(documents, session.schema)
-        previous = list(session.rules)
-        if method == "PUT":
-            session.replace_rules(parsed)
-        else:
-            session.add_rules(*parsed)
-        try:
-            hosted.persist_rules(
-                rules_to_list(parsed), replace=method == "PUT"
-            )
-        except BaseException:
-            # journal failure: put the previous rule set back so the
-            # client's error response matches the session's state
-            session.replace_rules(previous)
-            raise
-        return (
-            f"{method} /sessions/{{id}}/rules",
-            200,
-            {"session": hosted.id, "rules": len(session.rules)},
-        )
 
 
 # --------------------------------------------------------------------------
@@ -1623,8 +267,34 @@ def make_server(
     degraded_after: int = DEFAULT_DEGRADED_AFTER,
     verbose: bool = False,
 ) -> ReproHTTPServer:
-    """Build a server (not yet serving); ``port=0`` picks a free port."""
+    """Build a threaded server (not yet serving); ``port=0`` picks a free
+    port.  This is the *legacy* transport — new deployments should prefer
+    :func:`make_async_server`; tests and benchmarks that predate the async
+    front end keep working against this one unchanged."""
     return ReproHTTPServer(
+        (host, port), max_sessions=max_sessions, data_root=data_root,
+        state_dir=state_dir, snapshot_every=snapshot_every, fsync=fsync,
+        degraded_after=degraded_after, verbose=verbose,
+    )
+
+
+def make_async_server(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    max_sessions: int = 64,
+    data_root: Optional[Path] = None,
+    state_dir: Optional[Path] = None,
+    snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+    fsync: bool = True,
+    degraded_after: int = DEFAULT_DEGRADED_AFTER,
+    verbose: bool = False,
+) -> "Any":
+    """Build the asyncio server (same knobs and lifecycle as
+    :func:`make_server`: ``base_url`` / ``start_background()`` /
+    ``shutdown()``)."""
+    from repro.server.aio import AsyncReproServer
+
+    return AsyncReproServer(
         (host, port), max_sessions=max_sessions, data_root=data_root,
         state_dir=state_dir, snapshot_every=snapshot_every, fsync=fsync,
         degraded_after=degraded_after, verbose=verbose,
@@ -1640,11 +310,17 @@ def serve(
     snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
     degraded_after: int = DEFAULT_DEGRADED_AFTER,
     verbose: bool = True,
+    legacy_threaded: bool = False,
 ) -> int:
-    """Blocking entry point for ``repro serve`` (Ctrl-C to stop)."""
+    """Blocking entry point for ``repro serve`` (Ctrl-C to stop).
+
+    Boots the asyncio front end by default; ``legacy_threaded=True``
+    (the ``--legacy-threaded`` flag) keeps the old thread-per-request
+    server for one release."""
     import sys
 
-    server = make_server(
+    factory = make_server if legacy_threaded else make_async_server
+    server = factory(
         host, port, max_sessions=max_sessions, data_root=data_root,
         state_dir=state_dir, snapshot_every=snapshot_every,
         degraded_after=degraded_after, verbose=verbose,
@@ -1667,3 +343,8 @@ def serve(
         server.manager.close_all()
         server.server_close()
     return 0
+
+
+# referenced by type checkers / kept importable for callers that matched
+# on the internal names before the core extraction
+_BadRequest = BadRequest

@@ -1,0 +1,502 @@
+"""The asyncio front end of the constraint service.
+
+One event loop accepts every connection (256 idle keep-alive clients
+cost file descriptors, not threads), and requests split by verb class:
+
+* **snapshot reads** — ``detect`` on an unchanged engine and
+  ``GET .../rules`` — answer *inline on the loop* from cached response
+  bytes, validated against the session's relation-version fingerprint
+  (:meth:`repro.session.Session.state_fingerprint`, the same shape the
+  parallel executor keys its warm caches on).  No session lock, no
+  thread handoff: a reader can never queue behind a writer.
+* **write verbs** (``apply``/``undo``/``repair``/rules writes) serialize
+  per session on an :class:`asyncio.Lock` and run the shared
+  :class:`~repro.server.core.ServiceCore` handler on a worker thread;
+  the completed write invalidates the session's snapshot, and the next
+  read re-publishes one at the new fingerprint.
+* everything else (health, metrics, listings, creates) runs the core
+  handler on a worker thread without session-level coordination — those
+  paths are already lock-free or non-blocking by construction.
+
+CPU-heavy detection still fans out across *processes*: sessions
+configured with the parallel executor dispatch shard jobs to the
+persistent (optionally worker-pinned — ``REPRO_PIN_WORKERS``) pool of
+:mod:`repro.engine.parallel`, so one session's detect uses every core
+while the event loop keeps answering cheap reads.
+
+Durability, degraded gating, eviction tombstones and metrics are all the
+shared core's — the async and threaded transports produce byte-identical
+wire documents (the differential suite replays the same histories
+against both and compares every body).
+
+Snapshot-correctness argument, in one place:
+
+* a snapshot is published only *while holding the session's asyncio
+  lock*, after the verb handler completed, with the fingerprint read
+  under that lock — so the cached bytes and fingerprint always agree;
+* every mutating path on this server holds the same asyncio lock, so a
+  published fingerprint can only be observed concurrently with *reads*;
+* relation versions are monotonic: any committed mutation bumps at least
+  one version, so a hit (fingerprint equality, checked dirty) proves no
+  mutation committed since publication — a torn read can only *miss*;
+* the snapshot pins strong references to the database and rules objects
+  backing its ``id()``-based fingerprint components, so a recycled id
+  can never alias a new object into a false hit;
+* hits additionally require the hosted session to be the manager's
+  current, non-closed, non-degraded resident — degraded sessions answer
+  through the gated (503-producing) path exactly like the threaded
+  server, and evicted/rehydrated sessions miss (different object).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.engine.config import engine_config_from_document
+from repro.server.core import (
+    Response,
+    ServiceCore,
+    parse_body_bytes,
+    status_reason,
+)
+from repro.server.durability import DEFAULT_SNAPSHOT_EVERY
+from repro.server.hosting import (
+    DEFAULT_DEGRADED_AFTER,
+    HostedSession,
+    ServerMetrics,
+    SessionManager,
+    UnknownSessionError,
+)
+from repro.server.wire import split_wire_version
+
+__all__ = ["AsyncReproServer", "SessionSnapshot"]
+
+#: session verbs that mutate state: their completion invalidates the
+#: session's snapshot (rules handles PUT and POST)
+_WRITE_VERBS = frozenset({"apply", "undo", "repair", "rules"})
+
+#: verbs that serialize on the session's asyncio lock — the write verbs
+#: plus the two snapshot-publishing reads (publication must be raceless)
+_LOCKED_VERBS = frozenset({"detect", "apply", "undo", "repair", "rules"})
+
+
+class SessionSnapshot:
+    """Immutable read cache for one session at one fingerprint.
+
+    ``cache`` maps read keys — ``("rules",)`` or
+    ``("detect", executor, shards, include_violations)`` — to fully
+    rendered :class:`Response` objects.  ``pinned`` holds the database
+    and rules objects whose ``id()``s appear in the fingerprint.
+    """
+
+    __slots__ = ("hosted", "fingerprint", "pinned", "cache")
+
+    def __init__(
+        self,
+        hosted: HostedSession,
+        fingerprint: tuple,
+        pinned: tuple,
+    ) -> None:
+        self.hosted = hosted
+        self.fingerprint = fingerprint
+        self.pinned = pinned
+        self.cache: Dict[tuple, Response] = {}
+
+
+def _detect_cache_key(body: Any) -> Optional[tuple]:
+    """The canonical cache key of a detect body, or ``None`` when the
+    body is anything but a plain well-formed detect request."""
+    if body is None:
+        body = {}
+    if not isinstance(body, Mapping):
+        return None
+    if set(body) - {"engine", "include_violations"}:
+        return None
+    try:
+        executor, shards = engine_config_from_document(body)
+    except Exception:
+        return None
+    return ("detect", executor, shards, bool(body.get("include_violations", True)))
+
+
+class AsyncReproServer:
+    """The asyncio transport over the shared service core.
+
+    Lifecycle mirrors :class:`~repro.server.ReproHTTPServer` (tests and
+    benchmarks swap one for the other): the listening socket binds in
+    ``__init__`` (``port=0`` resolves immediately), ``serve_forever()``
+    blocks, ``start_background()`` serves from a daemon thread, and
+    ``shutdown()`` stops the loop and flushes every session.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        max_sessions: int = 64,
+        data_root: Optional[Path] = None,
+        state_dir: Optional[Path] = None,
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+        fsync: bool = True,
+        degraded_after: int = DEFAULT_DEGRADED_AFTER,
+        verbose: bool = False,
+    ) -> None:
+        self.manager = SessionManager(
+            max_sessions,
+            data_root=data_root,
+            state_dir=state_dir,
+            snapshot_every=snapshot_every,
+            fsync=fsync,
+        )
+        self.metrics = ServerMetrics()
+        self.core = ServiceCore(self.manager, self.metrics, degraded_after)
+        self.degraded_after = self.core.degraded_after
+        self.started = self.core.started
+        self.verbose = verbose
+        # bind eagerly so base_url is valid before the loop starts; a deep
+        # listen backlog keeps benchmark-scale connection fan-in (hundreds
+        # of clients connecting at once) from seeing resets
+        self._socket = socket.create_server(
+            address, backlog=256, reuse_port=False
+        )
+        self.server_address: Tuple[str, int] = self._socket.getsockname()[:2]
+        # the core's verb handlers block (session locks, WAL fsync, CPU);
+        # they run here so the loop never does — sized for many concurrent
+        # sessions, not for CPU parallelism (the process pool covers that)
+        self._executor = ThreadPoolExecutor(
+            max_workers=32, thread_name_prefix="repro-verb"
+        )
+        self._locks: Dict[str, asyncio.Lock] = {}
+        self._snapshots: Dict[str, SessionSnapshot] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def base_url(self) -> str:
+        host, port = self.server_address
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        """Run the event loop in the calling thread until shutdown."""
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_connection, sock=self._socket
+        )
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    def start_background(self) -> threading.Thread:
+        """Serve requests on a daemon thread (tests, benchmarks)."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        self._thread = thread
+        if not self._ready.wait(timeout=10):
+            raise RuntimeError("async server failed to start within 10s")
+        return thread
+
+    def _signal_stop(self) -> None:
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None and loop.is_running():
+            loop.call_soon_threadsafe(stop.set)
+
+    def shutdown(self) -> None:
+        """Stop serving, flush every session, release the socket."""
+        self._signal_stop()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self.manager.close_all()
+        self.server_close()
+
+    def server_close(self) -> None:
+        """Release the listening socket and the worker threads."""
+        if self._closed:
+            return
+        self._closed = True
+        self._signal_stop()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+    # -- documents (parity with the threaded server) ---------------------
+
+    def health_document(self) -> Dict[str, Any]:
+        return self.core.health_document()
+
+    def metrics_document(self) -> Dict[str, Any]:
+        return self.core.metrics_document()
+
+    def metrics_document_base(self) -> Dict[str, Any]:
+        return self.core.metrics_document_base()
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader, writer)
+                if request is None:
+                    return
+                method, target, keep_alive, body = request
+                response = await self._respond(method, target, body)
+                self._write_response(writer, response, keep_alive)
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            asyncio.LimitOverrunError,
+        ):
+            return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> Optional[Tuple[str, str, bool, bytes]]:
+        """Parse one HTTP/1.1 request; ``None`` ends the connection."""
+        request_line = await reader.readline()
+        if not request_line or request_line in (b"\r\n", b"\n"):
+            return None
+        try:
+            method, target, version = (
+                request_line.decode("latin-1").rstrip("\r\n").split(" ", 2)
+            )
+        except ValueError:
+            self._write_response(
+                writer,
+                self.core.handle("BAD", "/v1/__malformed__", lambda: None),
+                keep_alive=False,
+            )
+            await writer.drain()
+            return None
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line:
+                return None
+            if line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length") or 0)
+        except ValueError:
+            return None
+        body = await reader.readexactly(length) if length > 0 else b""
+        connection = headers.get("connection", "").lower()
+        keep_alive = version.upper() != "HTTP/1.0" and connection != "close"
+        return method.upper(), target, keep_alive, body
+
+    def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        response: Response,
+        keep_alive: bool,
+    ) -> None:
+        head = [
+            f"HTTP/1.1 {response.status} {status_reason(response.status)}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(response.body)}",
+        ]
+        for name, value in response.headers:
+            head.append(f"{name}: {value}")
+        if not keep_alive:
+            head.append("Connection: close")
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + response.body
+        )
+
+    # -- dispatch --------------------------------------------------------
+
+    async def _respond(self, method: str, target: str, body: bytes) -> Response:
+        fast = self._snapshot_read(method, target, body)
+        if fast is not None:
+            return fast
+        read_body = functools.partial(parse_body_bytes, body)
+        call = functools.partial(self.core.handle, method, target, read_body)
+        loop = asyncio.get_running_loop()
+        route = self._session_route(method, target)
+        if route is None:
+            return await loop.run_in_executor(self._executor, call)
+        session_id, verb = route
+        async with self._session_lock(session_id):
+            response = await loop.run_in_executor(self._executor, call)
+            self._after_session_verb(
+                session_id, verb, method, target, body, response
+            )
+        if verb == "" and method == "DELETE":
+            # the session is gone; its lock object must not pin memory
+            self._locks.pop(session_id, None)
+        return response
+
+    def _session_lock(self, session_id: str) -> asyncio.Lock:
+        lock = self._locks.get(session_id)
+        if lock is None:
+            lock = self._locks[session_id] = asyncio.Lock()
+        return lock
+
+    @staticmethod
+    def _session_route(method: str, target: str) -> Optional[Tuple[str, str]]:
+        """``(session_id, verb)`` for requests that serialize per session.
+
+        ``verb`` is ``""`` for ``DELETE /v1/sessions/{id}``.  Everything
+        else — service endpoints, listings, creates, info reads,
+        diagnostics — returns ``None`` and runs without the asyncio lock
+        (their session access is lock-free or internally synchronized).
+        """
+        path = target.split("?", 1)[0]
+        version, rest = split_wire_version(path)
+        if version != 1:
+            return None
+        parts = [p for p in rest.split("/") if p]
+        if len(parts) == 2 and parts[0] == "sessions" and method == "DELETE":
+            return parts[1], ""
+        if len(parts) == 3 and parts[0] == "sessions":
+            verb = parts[2]
+            if verb in _LOCKED_VERBS and not (
+                verb == "rules" and method == "GET"
+            ):
+                return parts[1], verb
+            if verb == "rules" and method == "GET":
+                return parts[1], verb
+        return None
+
+    # -- the snapshot layer ----------------------------------------------
+
+    def _snapshot_read(
+        self, method: str, target: str, body: bytes
+    ) -> Optional[Response]:
+        """Serve a read from cached bytes when provably still current.
+
+        Runs inline on the event loop: the only synchronization it takes
+        is the manager's table lock inside ``manager.get`` (LRU bump +
+        request accounting, never held across verb handlers).  Returns
+        ``None`` on any miss — the caller falls through to the full path.
+        """
+        started = time.perf_counter()
+        path = target.split("?", 1)[0]
+        if "?" in target:
+            return None  # query strings never hit the cache
+        version, rest = split_wire_version(path)
+        if version != 1:
+            return None
+        parts = [p for p in rest.split("/") if p]
+        if len(parts) != 3 or parts[0] != "sessions":
+            return None
+        session_id, verb = parts[1], parts[2]
+        if verb == "rules" and method == "GET":
+            key: Optional[tuple] = ("rules",)
+        elif verb == "detect" and method == "POST":
+            try:
+                key = _detect_cache_key(parse_body_bytes(body) if body else None)
+            except Exception:
+                return None  # unparseable body: the slow path renders the 400
+        else:
+            return None
+        if key is None:
+            return None
+        snapshot = self._snapshots.get(session_id)
+        if snapshot is None:
+            return None
+        cached = snapshot.cache.get(key)
+        if cached is None:
+            return None
+        try:
+            hosted = self.manager.get(session_id)
+        except UnknownSessionError:
+            return None
+        if (
+            hosted is not snapshot.hosted
+            or hosted.closed
+            or hosted.is_degraded
+            or hosted.session.state_fingerprint() != snapshot.fingerprint
+        ):
+            return None
+        self.metrics.record(
+            cached.endpoint, cached.status, time.perf_counter() - started
+        )
+        return cached
+
+    def _after_session_verb(
+        self,
+        session_id: str,
+        verb: str,
+        method: str,
+        target: str,
+        body: bytes,
+        response: Response,
+    ) -> None:
+        """Maintain the snapshot layer after a locked verb completed.
+
+        Called while still holding the session's asyncio lock, so the
+        fingerprint read here cannot race another writer on this server.
+        """
+        if verb == "" or (verb in _WRITE_VERBS and method != "GET"):
+            # session deleted or mutated: whatever was cached is stale
+            self._snapshots.pop(session_id, None)
+            return
+        if response.status != 200:
+            return
+        if verb == "rules" and method == "GET":
+            key: Optional[tuple] = ("rules",)
+        elif verb == "detect" and method == "POST":
+            if "?" in target:
+                return
+            try:
+                key = _detect_cache_key(parse_body_bytes(body) if body else None)
+            except Exception:
+                return
+        else:
+            return
+        if key is None:
+            return
+        try:
+            hosted = self.manager.get(session_id)
+        except UnknownSessionError:
+            return
+        if hosted.closed or hosted.is_degraded:
+            return
+        session = hosted.session
+        fingerprint = session.state_fingerprint()
+        snapshot = self._snapshots.get(session_id)
+        if (
+            snapshot is None
+            or snapshot.hosted is not hosted
+            or snapshot.fingerprint != fingerprint
+        ):
+            snapshot = SessionSnapshot(
+                hosted,
+                fingerprint,
+                pinned=(session.database, session.rules),
+            )
+            self._snapshots[session_id] = snapshot
+        snapshot.cache[key] = response

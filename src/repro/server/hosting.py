@@ -1,0 +1,910 @@
+"""Hosted-session state shared by both server transports.
+
+:class:`HostedSession` (one warm session + its lock, undo-token table,
+degraded gating and durability journal), :class:`SessionManager` (the
+LRU table with eviction tombstones and lazy rehydration) and
+:class:`ServerMetrics` (thread-safe request counters) are transport
+agnostic: the asyncio front end (:mod:`repro.server.aio`) and the legacy
+threaded server (:mod:`repro.server`) both host their sessions here, so
+durability, eviction and degraded semantics are identical across them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.engine.config import engine_config_from_document
+from repro.engine.delta import Changeset
+from repro.errors import (
+    DependencyError,
+    ReproError,
+    SchemaError,
+)
+from repro.relational.csvio import load_csv
+from repro.relational.instance import DatabaseInstance
+from repro.server.durability import (
+    DEFAULT_SNAPSHOT_EVERY,
+    MAX_UNDO_TOKENS,
+    SessionJournal,
+    SessionStore,
+)
+from repro.server.metrics import LATENCY_BUCKETS
+from repro.session import Session
+
+__all__ = [
+    "DEFAULT_DEGRADED_AFTER",
+    "HostedSession",
+    "SessionManager",
+    "ServerMetrics",
+    "UnknownSessionError",
+    "DuplicateSessionError",
+    "SessionDegradedError",
+]
+
+#: consecutive server-side handler failures before a session is degraded
+DEFAULT_DEGRADED_AFTER = 5
+
+#: a lock acquired slower than this waited on another request (an
+#: uncontended ``threading.Lock`` acquires in well under a microsecond)
+_CONTENDED_LOCK_WAIT = 0.001
+
+#: DeltaStats counters aggregated into /metrics and per-session diagnostics
+_DELTA_STAT_FIELDS = (
+    "batches",
+    "ops_applied",
+    "keys_patched",
+    "keys_reevaluated",
+    "inclusion_keys_touched",
+    "fallback_rescans",
+)
+
+
+class UnknownSessionError(ReproError):
+    """No hosted session under the requested id (HTTP 404)."""
+
+
+class DuplicateSessionError(ReproError):
+    """A session with the requested id already exists (HTTP 409)."""
+
+
+class SessionDegradedError(ReproError):
+    """The session is degraded; the verb was not run (HTTP 503).
+
+    ``document`` is the degraded-state body merged into the error
+    response under ``"degraded"``.
+    """
+
+    def __init__(
+        self, message: str, document: Optional[Dict[str, Any]] = None
+    ) -> None:
+        super().__init__(message)
+        self.document: Dict[str, Any] = document or {}
+
+
+class HostedSession:
+    """One warm session plus the server-side state that wraps it.
+
+    ``lock`` serializes every request that touches the session — the delta
+    engine and the warm parallel executor are single-writer structures, so
+    concurrent requests against one session queue here while requests
+    against other sessions proceed on their own locks.
+    """
+
+    __slots__ = (
+        "id",
+        "session",
+        "lock",
+        "created",
+        "last_used",
+        "requests",
+        "journal",
+        "_undo",
+        "_undo_counter",
+        "undo_tokens_view",
+        "failures",
+        "degraded_since",
+        "degraded_total",
+        "last_error",
+        "probe_in_flight",
+        "lock_acquisitions",
+        "lock_wait_seconds_total",
+        "lock_wait_seconds_max",
+        "lock_contended",
+        "closed",
+    )
+
+    def __init__(
+        self,
+        session_id: str,
+        session: Session,
+        journal: Optional[SessionJournal] = None,
+        undo: Optional["OrderedDict[str, Changeset]"] = None,
+        undo_counter: int = 0,
+    ) -> None:
+        self.id = session_id
+        self.session = session
+        self.lock = threading.Lock()
+        self.created = time.time()
+        self.last_used = self.created
+        self.requests = 0
+        self.journal = journal
+        self._undo: "OrderedDict[str, Changeset]" = (
+            undo if undo is not None else OrderedDict()
+        )
+        self._undo_counter = undo_counter
+        #: immutable published copy of the token order; lock-free readers
+        #: (``info`` and the async snapshot layer) read this instead of
+        #: iterating ``_undo`` while a write verb mutates it
+        self.undo_tokens_view: Tuple[str, ...] = tuple(self._undo)
+        #: degraded gating: consecutive 5xx-class handler failures
+        self.failures = 0
+        self.degraded_since: Optional[float] = None
+        self.degraded_total = 0
+        self.last_error: Optional[str] = None
+        self.probe_in_flight = False
+        #: lock-wait aggregates for the diagnostics endpoint
+        self.lock_acquisitions = 0
+        self.lock_wait_seconds_total = 0.0
+        self.lock_wait_seconds_max = 0.0
+        self.lock_contended = 0
+        #: set (under ``lock``) when eviction/removal closed this object;
+        #: a handler that won the lock after a close must re-resolve the
+        #: session id instead of running on a dead engine
+        self.closed = False
+
+    def touch(self) -> None:
+        self.last_used = time.time()
+        self.requests += 1
+
+    # repro: lock-held — verb handlers call this under ``self.lock``
+    def remember_undo(self, undo: Changeset) -> str:
+        """Store an undo changeset; returns its single-use token.
+
+        This is the *only* place the ``MAX_UNDO_TOKENS`` bound is
+        enforced — tokens leave the table through :meth:`consume_undo`
+        (successful replay), :meth:`clear_undo` (instance swap) or the
+        LRU eviction here, never by re-insertion, so the eviction order
+        is exactly token-creation order.
+        """
+        self._undo_counter += 1
+        token = f"undo-{self._undo_counter}"
+        self._undo[token] = undo
+        while len(self._undo) > MAX_UNDO_TOKENS:
+            self._undo.popitem(last=False)
+        self.undo_tokens_view = tuple(self._undo)
+        return token
+
+    def peek_undo(self, token: str) -> Changeset:
+        """Read a stored undo changeset without consuming the token.
+
+        The token keeps its position in the eviction order: a failed
+        replay must not promote an old token over newer ones (that would
+        change which token :meth:`remember_undo` evicts next).
+        """
+        try:
+            return self._undo[token]
+        except KeyError:
+            raise ReproError(
+                f"unknown or already-used undo token {token!r}"
+            ) from None
+
+    # repro: lock-held — verb handlers call this under ``self.lock``
+    def consume_undo(self, token: str) -> None:
+        """Retire a token after its replay succeeded (tokens are
+        single-use)."""
+        self._undo.pop(token, None)
+        self.undo_tokens_view = tuple(self._undo)
+
+    # repro: lock-held — verb handlers call this under ``self.lock``
+    def clear_undo(self) -> None:
+        """Drop every stored token — the instance they were recorded
+        against has been replaced (e.g. ``repair(adopt=True)``)."""
+        self._undo.clear()
+        self.undo_tokens_view = ()
+
+    def undo_state(self) -> Tuple[List[Tuple[str, Changeset]], int]:
+        """Copy of the token table + counter, for journal-failure rollback."""
+        return list(self._undo.items()), self._undo_counter
+
+    # repro: lock-held — rollback paths call this under ``self.lock``
+    def restore_undo_state(
+        self, state: Tuple[List[Tuple[str, Changeset]], int]
+    ) -> None:
+        """Put the token table back exactly as :meth:`undo_state` saw it."""
+        items, counter = state
+        self._undo.clear()
+        self._undo.update(items)
+        self._undo_counter = counter
+        self.undo_tokens_view = tuple(self._undo)
+
+    # -- durability (all called under ``lock``) --------------------------
+
+    def persist_apply(
+        self, changeset_doc: Mapping[str, Any], token: str
+    ) -> None:
+        """WAL a successful apply (fsync'd before the response commits)."""
+        self._persist_record(
+            lambda journal: journal.log_apply(changeset_doc, token)
+        )
+
+    def persist_undo(self, taken: str, token: str) -> None:
+        """WAL a successful undo replay."""
+        self._persist_record(lambda journal: journal.log_undo(taken, token))
+
+    def persist_rules(
+        self, rules_docs: List[Dict[str, Any]], replace: bool
+    ) -> None:
+        """WAL a rules replace/append."""
+        self._persist_record(
+            lambda journal: journal.log_rules(rules_docs, replace)
+        )
+
+    def persist_snapshot(self) -> None:
+        """Capture full session state now, retiring the WAL generation."""
+        if self.journal is not None:
+            self.journal.write_snapshot(
+                self.session, list(self._undo.items()), self._undo_counter
+            )
+
+    def _persist_record(self, append: Any) -> None:
+        """Make one write verb durable: a WAL append, normally.
+
+        A *blocked* journal (an earlier append left bytes it could not
+        remove, or a snapshot failed with memory ahead of disk) cannot
+        take appends; a full snapshot both captures this write — the
+        in-memory mutation and its undo token land before this runs —
+        and reopens a fresh WAL generation, clearing the block.  Either
+        path raising means the write did not durably commit; the handler
+        rolls the in-memory mutation back and the client sees the error.
+        """
+        if self.journal is None:
+            return
+        if self.journal.blocked is not None:
+            self.persist_snapshot()
+            return
+        append(self.journal)
+        self._maybe_snapshot()
+
+    def _maybe_snapshot(self) -> None:
+        if (
+            self.journal is not None
+            and self.journal.wal_records >= self.journal.store.snapshot_every
+        ):
+            try:
+                self.persist_snapshot()
+            except Exception:
+                # the triggering write is already durable in the WAL, so a
+                # failed cadence snapshot must not fail its request; the
+                # WAL stays open and the next write retries (via the
+                # journal's blocked fallback in ``_persist_record``)
+                self.journal.store._count("snapshot_failures_total")
+
+    # -- degraded gating (mutations under ``lock``) ----------------------
+
+    @property
+    def is_degraded(self) -> bool:
+        return self.degraded_since is not None
+
+    # repro: lock-held — the gated-verb path calls this under ``self.lock``
+    def record_failure(self, message: str, threshold: int) -> bool:
+        """Count one server-side (5xx-class) handler failure.
+
+        Returns True exactly when this failure crossed ``threshold``
+        consecutive failures and moved the session into the degraded
+        state."""
+        self.failures += 1
+        self.last_error = message
+        if self.degraded_since is None and self.failures >= threshold:
+            self.degraded_since = time.time()
+            self.degraded_total += 1
+            return True
+        return False
+
+    # repro: lock-held — the gated-verb path calls this under ``self.lock``
+    def record_success(self) -> bool:
+        """Reset the failure counters after a verb succeeded.
+
+        Returns True when this success was a recovery probe clearing a
+        degraded session."""
+        recovered = self.degraded_since is not None
+        self.failures = 0
+        self.degraded_since = None
+        self.last_error = None
+        return recovered
+
+    def degraded_document(self) -> Dict[str, Any]:
+        """The state document served under ``"degraded"`` in 503 bodies."""
+        since = self.degraded_since
+        return {
+            "session": self.id,
+            "degraded": since is not None,
+            "consecutive_failures": self.failures,
+            "degraded_seconds": (
+                time.time() - since if since is not None else 0.0
+            ),
+            "last_error": self.last_error,
+        }
+
+    # repro: lock-held — the gated-verb path calls this right after acquiring
+    def note_lock_wait(self, seconds: float) -> None:
+        """Aggregate how long this request queued for the session lock."""
+        self.lock_acquisitions += 1
+        self.lock_wait_seconds_total += seconds
+        if seconds > self.lock_wait_seconds_max:
+            self.lock_wait_seconds_max = seconds
+        if seconds >= _CONTENDED_LOCK_WAIT:
+            self.lock_contended += 1
+
+    def diagnostics(self) -> Dict[str, Any]:
+        """The deep per-session document (``GET /sessions/{id}/diagnostics``):
+        engine cache + delta stats, lock-wait aggregates, degraded state,
+        durability generation and WAL depth."""
+        with self.lock:
+            session = self.session
+            engine = session.warm_engine
+            engine_doc: Dict[str, Any] = {
+                "warm_delta_engine": engine is not None,
+                "warm_parallel_executor": session.has_warm_parallel,
+                "executor": session.executor,
+                "shards": session.shards,
+                "maintained_violations": None,
+                "delta_stats": None,
+            }
+            if engine is not None:
+                engine_doc["maintained_violations"] = engine.total_violations()
+                engine_doc["delta_stats"] = {
+                    field: getattr(engine.stats, field)
+                    for field in _DELTA_STAT_FIELDS
+                }
+            degraded = self.degraded_document()
+            degraded["degraded_total"] = self.degraded_total
+            return {
+                "session": self.id,
+                "relations": {
+                    rel.schema.name: len(rel) for rel in session.database
+                },
+                "rules": len(session.rules),
+                "requests": self.requests,
+                "age_seconds": time.time() - self.created,
+                "idle_seconds": time.time() - self.last_used,
+                "engine": engine_doc,
+                "locks": {
+                    "acquisitions": self.lock_acquisitions,
+                    "wait_seconds_total": self.lock_wait_seconds_total,
+                    "wait_seconds_max": self.lock_wait_seconds_max,
+                    "contended": self.lock_contended,
+                },
+                "degraded": degraded,
+                "undo_tokens": list(self._undo),
+                "durability": (
+                    self.journal.status(session)
+                    if self.journal is not None
+                    else {"enabled": False}
+                ),
+            }
+
+    def info(self) -> Dict[str, Any]:
+        """The session info document — built *without* the session lock.
+
+        ``GET /sessions`` enumerates every hosted session through this
+        method; taking each session's lock here would let one wedged
+        verb handler hang the whole listing (and, transitively, every
+        client polling it).  Every field is safe to read dirty:
+
+        * scalars (``executor``, ``requests``, degraded flags, journal
+          generation) are single attribute reads — atomic in CPython;
+        * ``undo_tokens`` reads the immutable ``undo_tokens_view`` tuple
+          republished under the lock on every token-table mutation;
+        * relation row counts are ``len()`` over containers that are
+          mutated (never replaced mid-iteration) by write verbs — a
+          listing racing an apply may be one batch stale, which is the
+          documented read-snapshot semantics of the listing endpoints.
+        """
+        session = self.session
+        return {
+            "session": self.id,
+            "relations": {
+                rel.schema.name: len(rel) for rel in session.database
+            },
+            "rules": len(session.rules),
+            "executor": session.executor,
+            "shards": session.shards,
+            "warm_engine": session.has_warm_engine,
+            "warm_parallel": session.has_warm_parallel,
+            "degraded": self.is_degraded,
+            "requests": self.requests,
+            "age_seconds": time.time() - self.created,
+            "idle_seconds": time.time() - self.last_used,
+            "undo_tokens": list(self.undo_tokens_view),
+            "durability": (
+                self.journal.status(session)
+                if self.journal is not None
+                else {"enabled": False}
+            ),
+        }
+
+
+class SessionManager:
+    """The table of hosted sessions: create / resolve / evict.
+
+    LRU order is maintained on every resolve; when the table grows past
+    ``max_sessions`` the least-recently-used session is closed and dropped.
+    All table mutations hold the manager lock; the per-session work itself
+    runs under each :class:`HostedSession`'s own lock.
+    """
+
+    def __init__(
+        self,
+        max_sessions: int = 64,
+        data_root: Optional[Path] = None,
+        state_dir: Optional[Path] = None,
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+        fsync: bool = True,
+    ) -> None:
+        if max_sessions < 1:
+            raise ReproError("max_sessions must be >= 1")
+        self.max_sessions = max_sessions
+        self.data_root = Path(data_root) if data_root is not None else Path.cwd()
+        self._data_root_resolved = self.data_root.resolve()
+        self.store: Optional[SessionStore] = (
+            SessionStore(Path(state_dir), snapshot_every=snapshot_every, fsync=fsync)
+            if state_dir is not None
+            else None
+        )
+        self._lock = threading.RLock()
+        self._sessions: "OrderedDict[str, HostedSession]" = OrderedDict()
+        #: session ids mid-rehydration → event the losers wait on; guarded
+        #: by the manager lock (the recovery itself runs outside it)
+        self._rehydrating: Dict[str, threading.Event] = {}
+        #: session ids mid-eviction (popped from the table, flush-and-close
+        #: still running outside the lock) → event; resolution must wait for
+        #: the flush to land before rehydrating, or it races the snapshot
+        #: retirement and reads state missing the victim's in-flight verb
+        self._evicting: Dict[str, threading.Event] = {}
+        self._auto_counter = 0
+        self.created_total = 0
+        self.evicted_total = 0
+        self.closed_total = 0
+
+    # -- resolution ------------------------------------------------------
+
+    def get(self, session_id: str) -> HostedSession:
+        while True:
+            evicting: Optional[threading.Event] = None
+            with self._lock:
+                hosted = self._sessions.get(session_id)
+                if hosted is not None:
+                    self._sessions.move_to_end(session_id)
+                    hosted.touch()
+                    return hosted
+                evicting = self._evicting.get(session_id)
+            if evicting is not None:
+                # the session was just popped by LRU pressure and its
+                # flush-and-close is still running; re-resolve once the
+                # on-disk state is complete (rehydrating mid-flush reads
+                # a snapshot generation the flush is about to retire)
+                evicting.wait()
+                continue
+            with self._lock:
+                hosted = self._sessions.get(session_id)
+                if hosted is not None:
+                    self._sessions.move_to_end(session_id)
+                    hosted.touch()
+                    return hosted
+                if session_id in self._evicting:
+                    continue
+                if self.store is None or not self.store.exists(session_id):
+                    raise UnknownSessionError(
+                        f"no session {session_id!r}; open sessions: "
+                        f"{list(self._sessions)}"
+                    ) from None
+                event = self._rehydrating.get(session_id)
+                if event is None:
+                    # claim the rehydration; recovery runs outside the lock
+                    event = threading.Event()
+                    self._rehydrating[session_id] = event
+                    claimed = True
+                else:
+                    claimed = False
+            if not claimed:
+                # another request is recovering this session — wait for it
+                # to land (or fail), then re-resolve from the table
+                event.wait()
+                continue
+            try:
+                hosted = self._rehydrate(session_id)
+            finally:
+                with self._lock:
+                    self._rehydrating.pop(session_id, None)
+                event.set()
+            if hosted is not None:
+                return hosted
+            # lost a remove()/purge race after claiming — report 404
+
+    def _rehydrate(self, session_id: str) -> Optional[HostedSession]:
+        """Recover a cold durable session and publish it in the table."""
+        assert self.store is not None
+        try:
+            journal, recovered = self.store.recover(session_id)
+        except FileNotFoundError:
+            return None
+        hosted = HostedSession(
+            session_id,
+            recovered.session,
+            journal=journal,
+            undo=recovered.undo,
+            undo_counter=recovered.undo_counter,
+        )
+        evicted: List[HostedSession] = []
+        with hosted.lock:
+            with self._lock:
+                existing = self._sessions.get(session_id)
+                if existing is not None:
+                    # a concurrent create() won the id; its state superseded
+                    # the on-disk copy we just read
+                    journal.close()
+                    recovered.session.close()
+                    existing.touch()
+                    return existing
+                self._sessions[session_id] = hosted
+                hosted.touch()
+                while len(self._sessions) > self.max_sessions:
+                    _, lru = self._sessions.popitem(last=False)
+                    if lru is hosted:
+                        # pathological max_sessions=1 churn: keep the
+                        # session we were asked for, drop nothing else
+                        self._sessions[session_id] = hosted
+                        break
+                    evicted.append(lru)
+                    self._evicting[lru.id] = threading.Event()
+                    self.evicted_total += 1
+            if recovered.wal_records >= journal.store.snapshot_every:
+                # long tail replayed — fold it into a snapshot now rather
+                # than replaying it again on the next restart
+                hosted.persist_snapshot()
+        self._evict_all(evicted)
+        return hosted
+
+    def _evict_all(self, evicted: List[HostedSession]) -> None:
+        """Flush-and-close popped LRU victims, then release their
+        eviction tombstones so waiting resolvers may rehydrate."""
+        for lru in evicted:
+            try:
+                self._flush_and_close(lru)
+            finally:
+                with self._lock:
+                    event = self._evicting.pop(lru.id, None)
+                if event is not None:
+                    event.set()
+
+    def list(self) -> List[HostedSession]:
+        with self._lock:
+            return list(self._sessions.values())
+
+    def cold_session_ids(self) -> List[str]:
+        """Durable sessions on disk but not currently resident."""
+        if self.store is None:
+            return []
+        with self._lock:
+            resident = set(self._sessions)
+            pending = set(self._rehydrating)
+        return [
+            sid
+            for sid in self.store.session_ids()
+            if sid not in resident and sid not in pending
+        ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _resolve_path(self, path: str) -> Path:
+        """Resolve a client-supplied server-side path inside ``data_root``.
+
+        Clients name schema/rules/CSV files by path; the data root is the
+        confinement boundary.  Absolute paths and ``..`` traversal are
+        rejected *after* resolving symlinks, so a link pointing outside
+        the root does not slip through either.
+        """
+        candidate = Path(path)
+        if not candidate.is_absolute():
+            candidate = self.data_root / candidate
+        resolved = candidate.resolve()
+        if not resolved.is_relative_to(self._data_root_resolved):
+            raise ReproError(
+                f"server-side path {path!r} escapes the data root "
+                f"{str(self.data_root)!r}"
+            )
+        return resolved
+
+    def _build_session(self, document: Mapping[str, Any]) -> Session:
+        from repro.rules_json import (
+            database_schema_from_dict,
+            load_database_schema,
+            load_rules,
+            rules_from_list,
+        )
+
+        schema_doc = document.get("schema")
+        if isinstance(schema_doc, str):
+            db_schema = load_database_schema(self._resolve_path(schema_doc))
+        elif isinstance(schema_doc, Mapping):
+            db_schema = database_schema_from_dict(schema_doc)
+        else:
+            raise SchemaError(
+                "session document needs a 'schema' (inline document or "
+                "server-side path)"
+            )
+
+        rules_doc = document.get("rules")
+        if rules_doc is None:
+            rules: List[Any] = []
+        elif isinstance(rules_doc, str):
+            rules = load_rules(self._resolve_path(rules_doc), db_schema)
+        elif isinstance(rules_doc, (list, tuple)):
+            rules = rules_from_list(rules_doc, db_schema)
+        else:
+            raise DependencyError(
+                "'rules' must be a rules list or a server-side path"
+            )
+
+        db = DatabaseInstance(db_schema)
+        data = document.get("data") or {}
+        if not isinstance(data, Mapping):
+            raise SchemaError(
+                "'data' must map relation names to row lists or CSV paths"
+            )
+        for rel_name, payload in data.items():
+            relation = db.relation(rel_name)
+            if isinstance(payload, str):
+                for t in load_csv(relation.schema, self._resolve_path(payload)):
+                    relation.add(t)
+            elif isinstance(payload, (list, tuple)):
+                for row in payload:
+                    relation.add(row)
+            else:
+                raise SchemaError(
+                    f"data for relation {rel_name!r} must be a row list or "
+                    "a server-side CSV path"
+                )
+
+        # the unified engine schema (shared with Session kwargs and the
+        # CLI flags): {"engine": {"executor": ..., "shards": ...}}
+        executor, shards = engine_config_from_document(
+            document, default_executor="indexed"
+        )
+        return Session.from_instance(db, rules, executor=executor, shards=shards)
+
+    def create(self, document: Mapping[str, Any]) -> HostedSession:
+        """Build and register a session from a creation document.
+
+        The session is built *outside* the manager lock (data upload and
+        index construction can be slow); only the table insert and any
+        LRU eviction hold it.
+        """
+        session_id = document.get("id")
+        if session_id is not None and not isinstance(session_id, str):
+            raise ReproError(f"'id' must be a string, got {session_id!r}")
+        if session_id == "":
+            raise ReproError("'id' must be a non-empty string")
+        if session_id is not None:
+            # fail fast before paying the data upload / instance build;
+            # the post-build check below still covers a create/create race
+            with self._lock:
+                if session_id in self._sessions:
+                    raise DuplicateSessionError(
+                        f"session {session_id!r} already exists; DELETE it "
+                        "first or create under a fresh id"
+                    )
+            if self.store is not None and self.store.exists(session_id):
+                raise DuplicateSessionError(
+                    f"session {session_id!r} already exists (durable state "
+                    "on disk); DELETE it first or create under a fresh id"
+                )
+        session = self._build_session(document)
+        evicted: List[HostedSession] = []
+        hosted: Optional[HostedSession] = None
+        try:
+            with self._lock:
+                if session_id is None:
+                    self._auto_counter += 1
+                    session_id = f"s{self._auto_counter}"
+                    while session_id in self._sessions or (
+                        self.store is not None and self.store.exists(session_id)
+                    ):
+                        self._auto_counter += 1
+                        session_id = f"s{self._auto_counter}"
+                elif session_id in self._sessions:
+                    raise DuplicateSessionError(
+                        f"session {session_id!r} already exists; DELETE it "
+                        "first or create under a fresh id"
+                    )
+                hosted = HostedSession(session_id, session)
+                self._sessions[session_id] = hosted
+                self.created_total += 1
+                while len(self._sessions) > self.max_sessions:
+                    _, lru = self._sessions.popitem(last=False)
+                    evicted.append(lru)
+                    self._evicting[lru.id] = threading.Event()
+                    self.evicted_total += 1
+            if self.store is not None:
+                # hold the session lock across the durable create so no
+                # request can land on the published session before its
+                # journal (and gen-0 snapshot) exists
+                with hosted.lock:
+                    try:
+                        hosted.journal = self.store.create(session_id, session)
+                    except FileExistsError:
+                        raise DuplicateSessionError(
+                            f"session {session_id!r} already exists (durable "
+                            "state on disk); DELETE it first or create under "
+                            "a fresh id"
+                        ) from None
+        except BaseException:
+            if hosted is not None:
+                with self._lock:
+                    if self._sessions.get(session_id) is hosted:
+                        del self._sessions[session_id]
+                        self.created_total -= 1
+            session.close()
+            raise
+        finally:
+            # Close outside the manager lock: an in-flight request may hold
+            # the session lock, and closing must wait for it, not block the
+            # whole table.  Runs on the failure path too — the victims were
+            # already popped, and resolvers are waiting on their tombstones.
+            self._evict_all(evicted)
+        return hosted
+
+    def remove(self, session_id: str) -> str:
+        """Close and drop a session; durable state on disk is purged too.
+
+        Returns the removed session id — the session object itself may
+        never have been resident (cold durable session)."""
+        while True:
+            with self._lock:
+                hosted = self._sessions.pop(session_id, None)
+                event = self._rehydrating.get(session_id)
+                if event is None:
+                    event = self._evicting.get(session_id)
+                if hosted is None and event is None:
+                    if self.store is None or not self.store.exists(session_id):
+                        raise UnknownSessionError(
+                            f"no session {session_id!r}; open sessions: "
+                            f"{list(self._sessions)}"
+                        ) from None
+                if hosted is not None:
+                    self.closed_total += 1
+            if hosted is None and event is not None:
+                # a rehydration or eviction flush is in flight; let it
+                # land, then remove whatever it produced
+                event.wait()
+                continue
+            break
+        if hosted is not None:
+            with hosted.lock:
+                hosted.closed = True
+                if hosted.journal is not None:
+                    hosted.journal.close()
+                hosted.session.close()
+        if self.store is not None:
+            self.store.purge(session_id)
+            if hosted is None:
+                with self._lock:
+                    self.closed_total += 1
+        return session_id
+
+    def close_all(self) -> None:
+        """Flush every dirty journal and close every session (shutdown)."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for hosted in sessions:
+            self._flush_and_close(hosted)
+
+    def _flush_and_close(self, hosted: HostedSession) -> None:
+        """Eviction/shutdown path: snapshot pending state, then close.
+
+        With durability on, eviction means *flush then drop* — the session
+        leaves memory but stays recoverable (and is lazily rehydrated on
+        the next request that names it)."""
+        with hosted.lock:
+            hosted.closed = True
+            journal = hosted.journal
+            if journal is not None:
+                if journal.needs_flush or hosted.session.dirty:
+                    try:
+                        hosted.persist_snapshot()
+                        journal.store._count("flushed_total")
+                    except Exception:
+                        # every acknowledged write is already durable in
+                        # the snapshot + WAL on disk; a failed eviction
+                        # flush only loses the chance to fold the WAL
+                        # tail into a snapshot before dropping the session
+                        journal.store._count("snapshot_failures_total")
+                journal.close()
+            hosted.session.close()
+
+
+class ServerMetrics:
+    """Thread-safe request counters: totals, statuses, per-endpoint latency
+    (with Prometheus-style histogram buckets) and named ops counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests_total = 0
+        self.responses: Dict[str, int] = {}
+        self.endpoints: Dict[str, Dict[str, float]] = {}
+        #: per-endpoint latency observations, one slot per LATENCY_BUCKETS
+        #: bound plus the trailing +Inf overflow slot
+        self._buckets: Dict[str, List[int]] = {}
+        #: named operational counters (degraded gating lifecycle)
+        self.counters: Dict[str, int] = {
+            "handler_failures_total": 0,
+            "degraded_total": 0,
+            "probes_total": 0,
+            "recoveries_total": 0,
+            "rejected_total": 0,
+        }
+
+    def record(self, endpoint: str, status: int, seconds: float) -> None:
+        with self._lock:
+            self.requests_total += 1
+            key = str(status)
+            self.responses[key] = self.responses.get(key, 0) + 1
+            stats = self.endpoints.setdefault(
+                endpoint, {"count": 0, "seconds_total": 0.0, "seconds_max": 0.0}
+            )
+            stats["count"] += 1
+            stats["seconds_total"] += seconds
+            stats["seconds_max"] = max(stats["seconds_max"], seconds)
+            buckets = self._buckets.setdefault(
+                endpoint, [0] * (len(LATENCY_BUCKETS) + 1)
+            )
+            for index, bound in enumerate(LATENCY_BUCKETS):
+                if seconds <= bound:
+                    buckets[index] += 1
+                    break
+            else:
+                buckets[-1] += 1
+
+    def count(self, name: str) -> None:
+        """Bump one named operational counter."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + 1
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self.counters)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            labels = [f"{bound:g}" for bound in LATENCY_BUCKETS] + ["+Inf"]
+            empty = [0] * (len(LATENCY_BUCKETS) + 1)
+            endpoints: Dict[str, Dict[str, Any]] = {}
+            for endpoint, stats in sorted(self.endpoints.items()):
+                cumulative: Dict[str, int] = {}
+                running = 0
+                for label, observed in zip(
+                    labels, self._buckets.get(endpoint, empty)
+                ):
+                    running += observed
+                    cumulative[label] = running
+                endpoints[endpoint] = {
+                    "count": stats["count"],
+                    "seconds_total": stats["seconds_total"],
+                    "seconds_avg": stats["seconds_total"] / stats["count"],
+                    "seconds_max": stats["seconds_max"],
+                    "seconds_bucket": cumulative,
+                }
+            return {
+                "requests_total": self.requests_total,
+                "responses": dict(sorted(self.responses.items())),
+                "endpoints": endpoints,
+            }

@@ -1,0 +1,89 @@
+"""Wire-protocol versioning for the constraint service.
+
+Every endpoint is mounted under a version prefix (``/v1/...``) and every
+JSON response carries its wire version in the envelope — the first key of
+the document is ``"wire_version"``.  The version covers the *shape* of
+the documents (field names, the ``{"engine": ...}`` object, error bodies),
+not their values; a client that pins ``wire_version == 1`` is insulated
+from future breaking changes, which will mount as ``/v2`` alongside.
+
+Migration affordances for pre-versioning clients (one release):
+
+* an unversioned path (``GET /healthz``) answers ``301 Moved Permanently``
+  to the same path under ``/v1`` (query string preserved) with a
+  ``Deprecation: true`` header — stdlib/urllib and curl follow it
+  transparently for GETs;
+* an *unknown* version prefix (``/v2/...``) answers 404 with a document
+  naming the versions this server speaks, so a too-new client fails with
+  an actionable error instead of a bare route miss.
+
+Shared by both transports (the asyncio front end and the legacy threaded
+server) so their wire bytes stay identical.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+__all__ = [
+    "WIRE_VERSION",
+    "SUPPORTED_WIRE_VERSIONS",
+    "envelope",
+    "split_wire_version",
+    "unsupported_version_document",
+]
+
+#: the wire version this server speaks; bump on breaking document changes
+WIRE_VERSION = 1
+
+#: every version prefix the server will route (currently just /v1)
+SUPPORTED_WIRE_VERSIONS: Tuple[int, ...] = (WIRE_VERSION,)
+
+#: a path segment that *claims* to be a version prefix: "v" + digits
+_VERSION_SEGMENT = re.compile(r"^v(\d+)$")
+
+
+def envelope(document: Mapping[str, Any]) -> Dict[str, Any]:
+    """Wrap a response document in the versioned envelope.
+
+    ``wire_version`` is injected as the *first* key so the version is
+    readable in truncated logs and streamed output; an explicit
+    ``wire_version`` already in ``document`` (never the case for library
+    documents) would be overridden by the canonical one.
+    """
+    wrapped: Dict[str, Any] = {"wire_version": WIRE_VERSION}
+    wrapped.update(document)
+    wrapped["wire_version"] = WIRE_VERSION
+    return wrapped
+
+
+def split_wire_version(path: str) -> Tuple[Optional[int], str]:
+    """Split a request path into (claimed wire version, remaining path).
+
+    ``/v1/sessions/x`` -> ``(1, "/sessions/x")``; a path whose first
+    segment is not ``v<digits>`` returns ``(None, path)`` untouched.
+    Only the first segment is inspected — a *session* named ``v1`` is
+    addressable as ``/v1/sessions/v1``.
+    """
+    segments = [p for p in path.split("/") if p]
+    if segments:
+        match = _VERSION_SEGMENT.match(segments[0])
+        if match is not None:
+            rest = "/" + "/".join(segments[1:])
+            return int(match.group(1)), rest
+    return None, path
+
+
+def unsupported_version_document(version: int) -> Dict[str, Any]:
+    """The 404 body for a version prefix this server does not speak."""
+    return {
+        "error": (
+            f"wire version {version} is not supported by this server; "
+            f"supported versions: "
+            f"{', '.join(f'/v{v}' for v in SUPPORTED_WIRE_VERSIONS)}"
+        ),
+        "type": "UnsupportedWireVersion",
+        "requested_version": version,
+        "supported_versions": list(SUPPORTED_WIRE_VERSIONS),
+    }

@@ -42,6 +42,7 @@ from repro.cfd.discovery import DiscoveredCFD, discover_cfds
 from repro.cfd.model import CFD, fd_as_cfd
 from repro.deps.base import Dependency, Violation
 from repro.deps.fd import FD
+from repro.engine.config import EXECUTORS, validate_executor, validate_shards
 from repro.engine.delta import Changeset, DeltaEngine, ViolationDelta
 from repro.errors import RepairError, ReproError, SchemaError
 from repro.relational.csvio import dump_csv, load_csv
@@ -173,8 +174,10 @@ def _load_data_files(
     return db
 
 
-#: executor names accepted by Session(executor=...) and Session.detect
-_EXECUTORS = ("indexed", "parallel", "naive")
+#: executor names accepted by Session(executor=...) and Session.detect —
+#: re-exported from the shared config schema so Session kwargs, CLI flags
+#: and wire fields agree on names *and* error text
+_EXECUTORS = EXECUTORS
 
 
 class Session:
@@ -198,14 +201,10 @@ class Session:
         executor: str = "indexed",
         shards: Optional[int] = None,
     ) -> None:
-        if executor not in _EXECUTORS:
-            raise ReproError(
-                f"unknown executor {executor!r}; expected one of {_EXECUTORS}"
-            )
         self._db = db
         self._rules: List[Dependency] = list(rules)
-        self._executor = executor
-        self._shards = shards
+        self._executor = validate_executor(executor)
+        self._shards = validate_shards(shards)
         if engine is not None and engine.database is not db:
             raise ReproError("engine was built over a different database instance")
         self._engine: Optional[DeltaEngine] = engine
@@ -332,6 +331,25 @@ class Session:
         """The configured detection executor name."""
         return self._executor
 
+    def state_fingerprint(self) -> tuple:
+        """A version fingerprint of everything a detect answer depends on.
+
+        The same shape the parallel executor keys its warm caches on:
+        (database identity, rule identities, per-relation versions).  Two
+        calls returning equal fingerprints bracket a window with no
+        observable mutation — relation versions are bumped on every
+        mutation, rule-set edits swap the rules list, and repair-adopt
+        swaps the database object.  The server's snapshot layer uses this
+        to serve reads against cached response bytes without the session
+        lock; callers comparing fingerprints must hold strong references
+        to the session (id reuse after collection would alias).
+        """
+        return (
+            id(self._db),
+            tuple(id(rule) for rule in self._rules),
+            tuple((rel.schema.name, rel.version) for rel in self._db),
+        )
+
     @property
     def has_warm_engine(self) -> bool:
         """True iff the delta engine is built (warm maintained state)."""
@@ -377,11 +395,10 @@ class Session:
         ``engine=False`` keeps its historical meaning (the naive
         per-dependency loop).
         """
-        chosen = executor if executor is not None else self._executor
-        if chosen not in _EXECUTORS:
-            raise ReproError(
-                f"unknown executor {chosen!r}; expected one of {_EXECUTORS}"
-            )
+        shards = validate_shards(shards)
+        chosen = (
+            validate_executor(executor) if executor is not None else self._executor
+        )
         if not engine:
             chosen = "naive"
         if shards is not None and chosen != "parallel":

@@ -275,7 +275,9 @@ class ServerProcess:
             else src_root
         )
         self.process = subprocess.Popen(command, env=env)
-        ServerClient(self.base_url).wait_ready(attempts=200, delay=0.1)
+        ServerClient(base_url=self.base_url).wait_ready(
+            attempts=200, delay=0.1
+        )
 
     def restart(self) -> None:
         """A crash cycle: SIGKILL, then reboot on the same port/state."""
@@ -332,7 +334,9 @@ class InProcessServer:
         self._hard_stop()
         self._server = self._make_server(**self._kwargs)
         self._server.start_background()
-        ServerClient(self.base_url).wait_ready(attempts=100, delay=0.05)
+        ServerClient(base_url=self.base_url).wait_ready(
+            attempts=100, delay=0.05
+        )
 
     def _hard_stop(self) -> None:
         from http.server import ThreadingHTTPServer
@@ -931,7 +935,7 @@ def run_soak(
             log(message)
 
     started = time.perf_counter()
-    client = ServerClient(server.base_url, timeout=120.0)
+    client = ServerClient(base_url=server.base_url, timeout=120.0)
     client.wait_ready(attempts=200)
     report = SoakReport(config)
     ctx = _RunContext(config, client)

@@ -85,7 +85,7 @@ def test_reintroducing_unsorted_set_iteration_fails(tmp_path):
 
 
 def test_reintroducing_unlocked_mutation_fails(tmp_path):
-    target = _copy_live_module(tmp_path, "server/__init__.py")
+    target = _copy_live_module(tmp_path, "server/hosting.py")
     source = target.read_text(encoding="utf-8")
     needle = "    def touch(self) -> None:"
     assert needle in source

@@ -51,7 +51,7 @@ def server():
 
 @pytest.fixture(scope="module")
 def client(server):
-    client = ServerClient(server.base_url)
+    client = ServerClient(base_url=server.base_url)
     client.wait_ready()
     return client
 
@@ -350,7 +350,7 @@ class TestErrorPaths:
             body = json.dumps({"ops": [{"op": "insert"}] * 50})
             conn.request(
                 "POST",
-                "/teapot",
+                "/v1/teapot",
                 body=body,
                 headers={"Content-Type": "application/json"},
             )
@@ -358,7 +358,7 @@ class TestErrorPaths:
             assert first.status == 400
             first.read()
             # same socket: the follow-up must parse cleanly
-            conn.request("GET", "/healthz")
+            conn.request("GET", "/v1/healthz")
             second = conn.getresponse()
             assert second.status == 200
             assert json.loads(second.read())["status"] == "ok"
@@ -555,7 +555,7 @@ class TestEvictionAndMetrics:
         server = make_server(port=0, max_sessions=2)
         server.start_background()
         try:
-            client = ServerClient(server.base_url)
+            client = ServerClient(base_url=server.base_url)
             client.wait_ready()
             for session_id in ("a", "b", "c"):
                 client.create_session(
@@ -585,7 +585,7 @@ class TestEvictionAndMetrics:
         server = make_server(port=0)
         server.start_background()
         try:
-            client = ServerClient(server.base_url)
+            client = ServerClient(base_url=server.base_url)
             client.wait_ready()
             client.create_session(
                 schema=SCHEMA_DOC, rules=RULES_DOC,
@@ -708,7 +708,7 @@ class TestDataRootConfinement:
         (tmp_path / "outside.json").write_text(json.dumps(SCHEMA_DOC))
         server = make_server(port=0, data_root=root)
         server.start_background()
-        client = ServerClient(server.base_url)
+        client = ServerClient(base_url=server.base_url)
         client.wait_ready()
         yield client, root, tmp_path
         server.shutdown()

@@ -1,0 +1,497 @@
+"""The asyncio front end, the /v1 wire versioning and the snapshot reads.
+
+Three acceptance bars from the async-service redesign:
+
+* **wire versioning** — every endpoint mounts under ``/v1`` and carries
+  ``"wire_version": 1`` as the first envelope key; unversioned paths
+  answer 301 (with a ``Deprecation`` header) to the ``/v1`` mount;
+  unknown version prefixes answer 404 with a supported-versions doc.
+* **transport equivalence** — the async server and the legacy threaded
+  server share one :class:`~repro.server.core.ServiceCore`, so the same
+  request history must produce *byte-identical* response bodies on both,
+  error documents and undo-token flows included.
+* **snapshot reads** — on the async server a warm ``detect`` against an
+  unchanged engine is served from the session snapshot without entering
+  the gated verb path; any write invalidates the snapshot.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+from urllib.parse import urlsplit
+
+import pytest
+
+from repro.client import ServerClient, ServerError
+from repro.server import make_async_server, make_server
+
+SCHEMA_DOC = {
+    "name": "emp",
+    "attributes": [
+        {"name": "dept", "type": "string"},
+        {"name": "floor", "type": "int"},
+    ],
+}
+RULES_DOC = [
+    {"type": "fd", "relation": "emp", "lhs": ["dept"], "rhs": ["floor"]}
+]
+ROWS = [
+    {"dept": "eng", "floor": 1},
+    {"dept": "eng", "floor": 2},  # violates dept -> floor
+    {"dept": "ops", "floor": 3},
+]
+
+EXTRA_RULE = {
+    "type": "cfd",
+    "relation": "emp",
+    "name": "eng-first-floor",
+    "lhs": ["dept"],
+    "rhs": ["floor"],
+    "tableau": [{"dept": "eng", "floor": 1}],
+}
+
+
+@pytest.fixture(scope="module")
+def server():
+    server = make_async_server(port=0)
+    server.start_background()
+    yield server
+    server.shutdown()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    client = ServerClient(base_url=server.base_url)
+    client.wait_ready()
+    return client
+
+
+def _fresh(client: ServerClient, session_id: str, **kwargs):
+    try:
+        client.delete_session(session_id)
+    except ServerError:
+        pass
+    return client.create_session(
+        schema=SCHEMA_DOC,
+        rules=RULES_DOC,
+        data={"emp": list(ROWS)},
+        session_id=session_id,
+        **kwargs,
+    )
+
+
+def _raw(base_url, method, path, body=None):
+    """One raw request (no redirect following); returns
+    ``(status, headers, body_bytes)``."""
+    parts = urlsplit(base_url)
+    conn = http.client.HTTPConnection(parts.hostname, parts.port, timeout=30)
+    try:
+        headers = {}
+        payload = None
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        return response.status, dict(response.getheaders()), raw
+    finally:
+        conn.close()
+
+
+# --------------------------------------------------------------------------
+# Wire versioning
+# --------------------------------------------------------------------------
+
+
+class TestWireVersioning:
+    def test_envelope_carries_wire_version_first(self, server):
+        status, _headers, raw = _raw(server.base_url, "GET", "/v1/healthz")
+        assert status == 200
+        document = json.loads(raw)
+        assert document["wire_version"] == 1
+        assert next(iter(document)) == "wire_version"
+
+    def test_client_strips_the_envelope(self, client):
+        doc = client.healthz()
+        assert "wire_version" not in doc
+        assert doc.wire_version == 1
+
+    def test_unversioned_path_redirects_with_deprecation(self, server):
+        status, headers, raw = _raw(server.base_url, "GET", "/healthz")
+        assert status == 301
+        assert headers["Location"] == "/v1/healthz"
+        assert headers["Deprecation"] == "true"
+        document = json.loads(raw)
+        assert document["type"] == "MovedPermanently"
+        assert document["location"] == "/v1/healthz"
+
+    def test_redirect_preserves_the_query_string(self, server):
+        status, headers, _raw_body = _raw(
+            server.base_url, "GET", "/metrics?format=prometheus"
+        )
+        assert status == 301
+        assert headers["Location"] == "/v1/metrics?format=prometheus"
+
+    def test_unknown_version_is_404_with_supported_doc(self, server):
+        status, _headers, raw = _raw(server.base_url, "GET", "/v999/healthz")
+        assert status == 404
+        document = json.loads(raw)
+        assert document["supported_versions"] == [1]
+        assert "999" in document["error"]
+
+    def test_session_named_v1_stays_addressable(self, client, server):
+        _fresh(client, "v1")
+        status, _headers, raw = _raw(
+            server.base_url, "GET", "/v1/sessions/v1"
+        )
+        assert status == 200
+        assert json.loads(raw)["session"] == "v1"
+        client.delete_session("v1")
+
+
+# --------------------------------------------------------------------------
+# The async transport end to end
+# --------------------------------------------------------------------------
+
+
+class TestAsyncVerbs:
+    def test_full_verb_cycle(self, client):
+        info = _fresh(client, "cycle")
+        assert info["session"] == "cycle"
+        report = client.detect("cycle")
+        assert report["total"] == 1
+        assert report.clean is False  # derived from "total": the detect
+        # document carries counts, not a "clean" flag
+        delta = client.apply(
+            "cycle",
+            {"ops": [{"op": "delete", "relation": "emp",
+                      "row": {"dept": "eng", "floor": 2}}]},
+        )
+        assert delta.clean is True
+        replay = client.undo("cycle", delta.undo_token)
+        assert len(replay["added"]) == 1
+        assert client.get_rules("cycle") == RULES_DOC
+        client.add_rules("cycle", [EXTRA_RULE])
+        assert len(client.get_rules("cycle")) == 2
+        repair = client.repair("cycle", strategy="u")
+        assert repair["strategy"] == "u"
+        diag = client.diagnostics("cycle")
+        assert diag["session"] == "cycle"
+        assert "cycle" in {s["session"] for s in client.list_sessions()}
+        assert client.delete_session("cycle") == {
+            "session": "cycle",
+            "closed": True,
+        }
+        with pytest.raises(ServerError) as err:
+            client.detect("cycle")
+        assert err.value.status == 404
+
+    def test_malformed_json_body_is_400(self, server):
+        parts = urlsplit(server.base_url)
+        conn = http.client.HTTPConnection(
+            parts.hostname, parts.port, timeout=30
+        )
+        try:
+            conn.request(
+                "POST",
+                "/v1/sessions",
+                body=b"{nope",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            raw = response.read()
+            assert response.status == 400
+            assert "not valid JSON" in json.loads(raw)["error"]
+            # keep-alive survives the parse error
+            conn.request("GET", "/v1/healthz")
+            second = conn.getresponse()
+            assert second.status == 200
+            second.read()
+        finally:
+            conn.close()
+
+    def test_legacy_executor_keys_rejected_with_schema_hint(
+        self, client, server
+    ):
+        _fresh(client, "legacy")
+        status, _headers, raw = _raw(
+            server.base_url,
+            "POST",
+            "/v1/sessions/legacy/detect",
+            body={"executor": "indexed"},
+        )
+        assert status == 400
+        assert '{"engine":' in json.loads(raw)["error"]
+        client.delete_session("legacy")
+
+    def test_engine_error_text_matches_session_layer(self, client):
+        from repro.errors import ReproError
+        from repro.session import Session
+
+        # the kwarg layer
+        with pytest.raises(ReproError) as local:
+            from repro.relational.instance import DatabaseInstance
+            from repro.rules_json import database_schema_from_dict
+
+            Session.from_instance(
+                DatabaseInstance(database_schema_from_dict(SCHEMA_DOC)),
+                [],
+                executor="warp-drive",
+            )
+        # the wire layer
+        _fresh(client, "errs")
+        with pytest.raises(ServerError) as served:
+            client.detect("errs", executor="warp-drive")
+        assert str(local.value) in str(served.value)
+        client.delete_session("errs")
+
+    def test_positional_client_shim_warns(self, server):
+        with pytest.warns(DeprecationWarning):
+            shim = ServerClient(server.base_url)
+        assert shim.base_url == server.base_url
+        assert shim.healthz()["status"] == "ok"
+
+
+# --------------------------------------------------------------------------
+# Lock-free reads
+# --------------------------------------------------------------------------
+
+
+class TestLockFreeReads:
+    def test_sessions_list_answers_while_a_session_is_wedged(
+        self, client, server
+    ):
+        """GET /v1/sessions and GET /v1/sessions/{id} must not take
+        session locks: a wedged (long-running or stuck) verb on one
+        session cannot stall the listing."""
+        _fresh(client, "wedged")
+        _fresh(client, "bystander")
+        hosted = server.manager.get("wedged")
+        assert hosted.lock.acquire(timeout=5)
+        try:
+            done = threading.Event()
+            result = {}
+
+            def read():
+                result["list"] = client.list_sessions()
+                result["info"] = client.session_info("wedged")
+                done.set()
+
+            thread = threading.Thread(target=read, daemon=True)
+            thread.start()
+            assert done.wait(timeout=5), (
+                "lock-free reads stalled behind a held session lock"
+            )
+            ids = {s["session"] for s in result["list"]}
+            assert {"wedged", "bystander"} <= ids
+            assert result["info"]["session"] == "wedged"
+        finally:
+            hosted.lock.release()
+        client.delete_session("wedged")
+        client.delete_session("bystander")
+
+
+# --------------------------------------------------------------------------
+# Snapshot reads
+# --------------------------------------------------------------------------
+
+
+class TestSnapshotReads:
+    def test_warm_detect_skips_the_gated_verb_path(self, client, server):
+        """Repeated detects on an unchanged engine are snapshot hits.
+
+        Proof: sabotage the session's ``detect`` after the first call —
+        a request that re-entered the verb path would blow up, a
+        snapshot hit answers the cached bytes."""
+        _fresh(client, "snap")
+        first = client.detect("snap")
+        hosted = server.manager.get("snap")
+        real = hosted.session.detect
+
+        def explode(**_kwargs):
+            raise RuntimeError("detect re-ran on an unchanged engine")
+
+        hosted.session.detect = explode
+        try:
+            for _ in range(3):
+                assert client.detect("snap") == first
+        finally:
+            hosted.session.detect = real
+
+    def test_writes_invalidate_the_snapshot(self, client, server):
+        _fresh(client, "inval")
+        before = client.detect("inval")
+        assert client.detect("inval") == before  # snapshot hit
+        delta = client.apply(
+            "inval",
+            {"ops": [{"op": "delete", "relation": "emp",
+                      "row": {"dept": "eng", "floor": 2}}]},
+        )
+        after = client.detect("inval")  # must re-run: engine changed
+        assert after["total"] == 0
+        client.undo("inval", delta.undo_token)
+        assert client.detect("inval") == before
+
+    def test_summary_and_full_detect_cache_separately(self, client):
+        _fresh(client, "keys")
+        full = client.detect("keys")
+        summary = client.detect("keys", include_violations=False)
+        assert "violations" in full
+        assert "violations" not in summary
+        assert client.detect("keys") == full
+        assert client.detect("keys", include_violations=False) == summary
+
+
+# --------------------------------------------------------------------------
+# Async vs threaded: byte-identical wire behavior
+# --------------------------------------------------------------------------
+
+
+def _history():
+    """A scripted request history touching every verb, error paths and
+    undo-token flows.  Tokens are deterministic (``undo-N``), so the raw
+    response bytes must agree between transports."""
+    ops = [{"op": "insert", "relation": "emp",
+            "row": {"dept": "qa", "floor": 7}}]
+    bad_ops = [{"op": "insert", "relation": "emp",
+                "row": {"dept": "qa"}}]  # missing attribute -> 400
+    return [
+        ("POST", "/v1/sessions", {
+            "schema": SCHEMA_DOC, "rules": RULES_DOC,
+            "data": {"emp": ROWS}, "id": "t",
+        }),
+        ("POST", "/v1/sessions/t/detect", None),
+        ("POST", "/v1/sessions/t/detect", {"include_violations": False}),
+        ("POST", "/v1/sessions/t/detect",
+         {"engine": {"executor": "naive"}}),
+        ("POST", "/v1/sessions/t/apply", {"ops": ops}),
+        ("POST", "/v1/sessions/t/detect", None),
+        ("POST", "/v1/sessions/t/undo", {"token": "undo-1"}),
+        ("POST", "/v1/sessions/t/undo", {"token": "undo-1"}),  # reused: 400
+        ("POST", "/v1/sessions/t/apply", {"ops": bad_ops}),  # 400
+        ("GET", "/v1/sessions/t/rules", None),
+        ("PUT", "/v1/sessions/t/rules", {"rules": RULES_DOC + [EXTRA_RULE]}),
+        ("POST", "/v1/sessions/t/rules", {"rules": [EXTRA_RULE]}),  # dup 400
+        ("POST", "/v1/sessions/t/detect", None),
+        ("POST", "/v1/sessions/t/repair", {"strategy": "u"}),
+        ("POST", "/v1/sessions/t/detect",
+         {"engine": {"executor": "warp-drive"}}),  # 400, canonical text
+        ("POST", "/v1/sessions/t/detect", {"executor": "naive"}),  # legacy 400
+        ("GET", "/v1/sessions/missing", None),  # 404
+        ("POST", "/v1/sessions/missing/detect", None),  # 404
+        ("GET", "/v1/teapot", None),  # 400
+        ("GET", "/v999/healthz", None),  # 404 version doc
+        ("GET", "/healthz", None),  # 301 + Deprecation
+        ("DELETE", "/v1/sessions/t", None),
+        ("DELETE", "/v1/sessions/t", None),  # already gone: 404
+    ]
+
+
+#: wall-clock fields — non-deterministic between any two server boots
+#: (two runs of the *same* transport disagree on them too)
+_CLOCK_KEYS = frozenset({"age_seconds", "idle_seconds", "uptime_seconds"})
+
+
+def _mask_clocks(value):
+    if isinstance(value, dict):
+        return {
+            key: 0.0 if key in _CLOCK_KEYS else _mask_clocks(entry)
+            for key, entry in value.items()
+        }
+    if isinstance(value, list):
+        return [_mask_clocks(entry) for entry in value]
+    return value
+
+
+def _assert_same_bytes(context, t_raw, a_raw):
+    if t_raw == a_raw:
+        return
+    # only wall-clock fields may diverge — and only in value, never in
+    # key order or structure: masking them must restore byte equality
+    t_masked = json.dumps(_mask_clocks(json.loads(t_raw)), indent=2)
+    a_masked = json.dumps(_mask_clocks(json.loads(a_raw)), indent=2)
+    assert t_masked == a_masked, (
+        f"{context}: bodies diverge beyond clock fields\n"
+        f"threaded: {t_raw!r}\nasync:    {a_raw!r}"
+    )
+
+
+def test_async_and_threaded_servers_answer_byte_identically():
+    threaded = make_server(port=0)
+    threaded.start_background()
+    asyncio_server = make_async_server(port=0)
+    asyncio_server.start_background()
+    try:
+        for index, (method, path, body) in enumerate(_history()):
+            t_status, t_headers, t_raw = _raw(
+                threaded.base_url, method, path, body
+            )
+            a_status, a_headers, a_raw = _raw(
+                asyncio_server.base_url, method, path, body
+            )
+            context = f"step {index}: {method} {path}"
+            assert t_status == a_status, context
+            _assert_same_bytes(context, t_raw, a_raw)
+            assert t_headers.get("Content-Type") == a_headers.get(
+                "Content-Type"
+            ), context
+            assert t_headers.get("Deprecation") == a_headers.get(
+                "Deprecation"
+            ), context
+            assert t_headers.get("Location") == a_headers.get(
+                "Location"
+            ), context
+    finally:
+        threaded.shutdown()
+        asyncio_server.shutdown()
+
+
+# --------------------------------------------------------------------------
+# Worker-pinned shards
+# --------------------------------------------------------------------------
+
+
+class TestPinnedWorkers:
+    def test_pinned_pool_report_is_byte_identical(self):
+        from repro.engine.parallel import ParallelExecutor
+        from repro.relational.instance import DatabaseInstance
+        from repro.rules_json import database_schema_from_dict, rules_from_list
+        from repro.session import ViolationReport
+
+        def canon(report):
+            return json.dumps(ViolationReport(report.violations).to_dict())
+
+        db = DatabaseInstance(database_schema_from_dict(SCHEMA_DOC))
+        for i in range(200):
+            db.relation("emp").add({"dept": f"d{i % 17}", "floor": i % 5})
+        deps = rules_from_list(RULES_DOC, db.schema)
+
+        plain = ParallelExecutor(
+            shards=2, workers=2, use_pool=True, pin_workers=False
+        )
+        pinned = ParallelExecutor(
+            shards=2, workers=2, use_pool=True, pin_workers=True
+        )
+        try:
+            baseline = canon(plain.detect(db, deps))
+            pinned.prewarm(db, deps)
+            assert canon(pinned.detect(db, deps)) == baseline
+            assert pinned.stats.pool_workers == 2
+            # the pinned pool is warm: repeated detects reuse it
+            assert canon(pinned.detect(db, deps)) == baseline
+        finally:
+            plain.close()
+            pinned.close()
+
+    def test_pin_workers_env_default(self, monkeypatch):
+        from repro.engine import parallel
+
+        monkeypatch.setenv(parallel.PIN_ENV, "1")
+        assert parallel.default_pin_workers() is True
+        monkeypatch.setenv(parallel.PIN_ENV, "0")
+        assert parallel.default_pin_workers() is False
+        monkeypatch.delenv(parallel.PIN_ENV)
+        assert parallel.default_pin_workers() is False

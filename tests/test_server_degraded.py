@@ -49,7 +49,7 @@ def server():
 
 @pytest.fixture(scope="module")
 def client(server):
-    client = ServerClient(server.base_url)
+    client = ServerClient(base_url=server.base_url)
     client.wait_ready()
     return client
 
@@ -244,7 +244,7 @@ class TestFastPathRejection:
 
 class TestClientTransportErrors:
     def test_connection_refused_is_retriable_server_error(self):
-        dead = ServerClient("http://127.0.0.1:9", timeout=1.0)
+        dead = ServerClient(base_url="http://127.0.0.1:9", timeout=1.0)
         with pytest.raises(ServerError) as err:
             dead.healthz()
         assert err.value.status == 0
@@ -270,7 +270,7 @@ class TestClientTransportErrors:
 
     def test_wait_ready_gives_up_on_non_retriable(self, client):
         # a 404 from a live server must not be polled through
-        bogus = ServerClient(client.base_url + "/sessions/nope")
+        bogus = ServerClient(base_url=client.base_url + "/sessions/nope")
         with pytest.raises(ServerError) as err:
             bogus.wait_ready(attempts=50, delay=0.01)
         assert err.value.retriable is False

@@ -54,7 +54,7 @@ ROWS = [
 def _boot(state_dir: Path, **kwargs):
     server = make_server(port=0, state_dir=state_dir, **kwargs)
     server.start_background()
-    client = ServerClient(server.base_url)
+    client = ServerClient(base_url=server.base_url)
     client.wait_ready()
     return server, client
 
@@ -153,7 +153,7 @@ class TestDurableLifecycle:
         server = make_server(port=0)
         server.start_background()
         try:
-            client = ServerClient(server.base_url)
+            client = ServerClient(base_url=server.base_url)
             client.wait_ready()
             _create(client, "a")
             assert client.session_info("a")["durability"] == {"enabled": False}
@@ -540,7 +540,7 @@ class TestSigkillSubprocess:
         base_url = next(
             word for word in banner.split() if word.startswith("http://")
         )
-        client = ServerClient(base_url)
+        client = ServerClient(base_url=base_url)
         client.wait_ready()
         return proc, client
 
@@ -601,11 +601,13 @@ class TestSessionIdConfinement:
             for session_id in (".", ".."):
                 for method in ("DELETE", "GET"):
                     status = _raw_status(
-                        server.base_url, method, f"/sessions/{session_id}"
+                        server.base_url, method, f"/v1/sessions/{session_id}"
                     )
                     assert status == 404, (method, session_id, status)
                 status = _raw_status(
-                    server.base_url, "POST", f"/sessions/{session_id}/detect"
+                    server.base_url,
+                    "POST",
+                    f"/v1/sessions/{session_id}/detect",
                 )
                 assert status == 404, session_id
             # every session's durable state survived the probes

@@ -55,7 +55,7 @@ def server(tmp_path_factory):
 
 @pytest.fixture(scope="module")
 def client(server):
-    client = ServerClient(server.base_url)
+    client = ServerClient(base_url=server.base_url)
     client.wait_ready()
     # some traffic so every metric section is populated
     try:

@@ -55,7 +55,7 @@ def server():
 
 @pytest.fixture(scope="module")
 def client(server):
-    client = ServerClient(server.base_url)
+    client = ServerClient(base_url=server.base_url)
     client.wait_ready()
     return client
 
@@ -224,7 +224,7 @@ class TestMiniSoak:
         import time
 
         server = InProcessServer(port=0, max_sessions=16)
-        ServerClient(server.base_url).wait_ready()
+        ServerClient(base_url=server.base_url).wait_ready()
 
         def corrupt():
             deadline = time.monotonic() + 30
